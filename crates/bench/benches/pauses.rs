@@ -1,0 +1,112 @@
+//! Criterion benches: collection mechanics — young evacuation and old-space
+//! reclamation under the two heap layouts that decide the paper's story:
+//! interleaved lifetimes (G1's world) vs. cohort-segregated lifetimes
+//! (NG2C/POLM2's world).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use polm2_gc::{AllocRequest, Collector, G1Collector, GcConfig, Ng2cCollector, SafepointRoots, ThreadId};
+use polm2_heap::{GenId, Heap, HeapConfig, SiteId};
+
+fn alloc_req(heap: &mut Heap, size: u32, pretenure: bool) -> AllocRequest {
+    AllocRequest {
+        class: heap.classes_mut().intern("Blob"),
+        size,
+        site: SiteId::new(0),
+        pretenure,
+        thread: ThreadId::new(0),
+    }
+}
+
+/// Interleaved cohort: half the objects are rooted (middle-lived), half are
+/// garbage, all born young — the layout that forces copy/compact work.
+fn g1_interleaved_collection(c: &mut Criterion) {
+    c.bench_function("g1_minor_collection_interleaved_8k", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::new(HeapConfig::paper_scaled());
+                let mut gc = G1Collector::new(GcConfig::default());
+                gc.attach(&mut heap);
+                let slot = heap.roots_mut().create_slot("keep");
+                for i in 0..8_192 {
+                    let req = alloc_req(&mut heap, 2048, false);
+                    let out = gc.alloc(&mut heap, req, &SafepointRoots::none()).expect("alloc");
+                    if i % 2 == 0 {
+                        heap.roots_mut().push(slot, out.object);
+                    }
+                }
+                (heap, gc)
+            },
+            |(mut heap, mut gc)| {
+                let pauses = gc.collect(&mut heap, &SafepointRoots::none());
+                pauses.iter().map(|p| p.pause.as_micros()).sum::<u64>()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Segregated cohort: the same live mass, pretenured into its own
+/// generation — the layout pretenuring buys, where regions die whole.
+fn ng2c_segregated_collection(c: &mut Criterion) {
+    c.bench_function("ng2c_collection_segregated_8k", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::new(HeapConfig::paper_scaled());
+                let mut gc = Ng2cCollector::new(GcConfig::default());
+                gc.attach(&mut heap);
+                let gen = gc.new_generation(&mut heap);
+                gc.set_target_gen(ThreadId::new(0), gen).expect("gen exists");
+                let slot = heap.roots_mut().create_slot("keep");
+                for i in 0..8_192 {
+                    let pretenure = i % 2 == 0;
+                    let req = alloc_req(&mut heap, 2048, pretenure);
+                    let out = gc.alloc(&mut heap, req, &SafepointRoots::none()).expect("alloc");
+                    if pretenure {
+                        heap.roots_mut().push(slot, out.object);
+                    }
+                }
+                (heap, gc)
+            },
+            |(mut heap, mut gc)| {
+                let pauses = gc.collect(&mut heap, &SafepointRoots::none());
+                pauses.iter().map(|p| p.pause.as_micros()).sum::<u64>()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Marking throughput: the BFS over a linked heap.
+fn mark_live_throughput(c: &mut Criterion) {
+    c.bench_function("mark_live_64k_objects_chained", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::new(HeapConfig::paper_scaled());
+                let class = heap.classes_mut().intern("Node");
+                let slot = heap.roots_mut().create_slot("head");
+                let old = heap.create_space(GenId::new(1), None);
+                let mut prev = None;
+                for _ in 0..65_536 {
+                    let id = heap.allocate(class, 256, SiteId::new(0), old).expect("alloc");
+                    if let Some(p) = prev {
+                        heap.add_ref(p, id).expect("link");
+                    } else {
+                        heap.roots_mut().push(slot, id);
+                    }
+                    prev = Some(id);
+                }
+                heap
+            },
+            |mut heap| heap.mark_live(&[]).len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = g1_interleaved_collection, ng2c_segregated_collection, mark_live_throughput
+}
+criterion_main!(benches);

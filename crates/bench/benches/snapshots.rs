@@ -1,0 +1,84 @@
+//! Criterion benches: snapshot capture — CRIU Dumper vs jmap, plus the
+//! ablation of the Dumper's two optimizations (paper §3.2). These are the
+//! micro-scale companions to the `fig3_4` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use polm2_heap::{Heap, HeapConfig, SiteId};
+use polm2_metrics::SimTime;
+use polm2_snapshot::{CriuDumper, DumperOptions, HeapDumper, JmapDumper};
+
+/// A heap with `live` rooted objects and `garbage` dead ones, all 2 KiB.
+fn populated_heap(live: usize, garbage: usize) -> Heap {
+    let mut heap = Heap::new(HeapConfig::paper_scaled());
+    let class = heap.classes_mut().intern("Blob");
+    let slot = heap.roots_mut().create_slot("keep");
+    for i in 0..(live + garbage) {
+        let id = heap.allocate(class, 2048, SiteId::new(0), Heap::YOUNG_SPACE).expect("alloc");
+        if i < live {
+            heap.roots_mut().push(slot, id);
+        }
+    }
+    heap
+}
+
+fn dumpers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_capture_8k_live_8k_dead");
+    group.sample_size(10);
+    for (name, dumper) in [
+        ("criu_both_opts", DumperOptions::default()),
+        ("criu_no_need_only", DumperOptions { use_incremental: false, ..DumperOptions::default() }),
+        ("criu_incremental_only", DumperOptions { use_no_need: false, ..DumperOptions::default() }),
+        (
+            "criu_no_opts",
+            DumperOptions { use_no_need: false, use_incremental: false, ..DumperOptions::default() },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (populated_heap(8_192, 8_192), CriuDumper::with_options(dumper)),
+                |(mut heap, mut dumper)| dumper.snapshot(&mut heap, SimTime::ZERO).size_bytes,
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("jmap", |b| {
+        b.iter_batched(
+            || populated_heap(8_192, 8_192),
+            |mut heap| JmapDumper::new().snapshot(&mut heap, SimTime::ZERO).size_bytes,
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// The *simulated* cost ablation: how much of the snapshot's stop time each
+/// optimization saves (printed as a side effect once, measured as the cheap
+/// accounting it is).
+fn simulated_cost_ablation(c: &mut Criterion) {
+    c.bench_function("snapshot_cost_model_ablation", |b| {
+        b.iter_batched(
+            || populated_heap(4_096, 12_288),
+            |mut heap| {
+                let mut total = 0u64;
+                for options in [
+                    DumperOptions::default(),
+                    DumperOptions { use_no_need: false, ..DumperOptions::default() },
+                ] {
+                    let snap =
+                        CriuDumper::with_options(options).snapshot(&mut heap, SimTime::ZERO);
+                    total += snap.capture_time.as_micros();
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = dumpers, simulated_cost_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches: runtime interpretation throughput — how many simulated
+//! workload operations per host second the harness sustains. (Simulated
+//! throughput itself is deterministic; this measures the simulator.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use polm2_runtime::{Jvm, RuntimeConfig};
+use polm2_workloads::cassandra::{self, CassandraConfig, CassandraState};
+use polm2_workloads::lucene::{self, LuceneConfig, LuceneState};
+use polm2_workloads::OpMix;
+
+fn cassandra_ops(c: &mut Criterion) {
+    c.bench_function("interpret_1k_cassandra_ops", |b| {
+        b.iter_batched(
+            || {
+                let mut jvm = Jvm::builder(RuntimeConfig::paper_scaled())
+                    .hooks(cassandra::hooks())
+                    .state(Box::new(CassandraState::new(
+                        CassandraConfig::paper(OpMix::WRITE_INTENSIVE),
+                        9,
+                    )))
+                    .build(cassandra::program())
+                    .expect("boot");
+                let t = jvm.spawn_thread();
+                (jvm, t)
+            },
+            |(mut jvm, t)| {
+                for _ in 0..1_000 {
+                    jvm.invoke(t, "Cassandra", "handleOp").expect("op");
+                }
+                jvm.heap().stats().allocated_objects
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn lucene_ops(c: &mut Criterion) {
+    c.bench_function("interpret_1k_lucene_ops", |b| {
+        b.iter_batched(
+            || {
+                let mut jvm = Jvm::builder(RuntimeConfig::paper_scaled())
+                    .hooks(lucene::hooks())
+                    .state(Box::new(LuceneState::new(LuceneConfig::paper(), 9)))
+                    .build(lucene::program())
+                    .expect("boot");
+                let t = jvm.spawn_thread();
+                (jvm, t)
+            },
+            |(mut jvm, t)| {
+                for _ in 0..1_000 {
+                    jvm.invoke(t, "Lucene", "handleOp").expect("op");
+                }
+                jvm.heap().stats().allocated_objects
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = cassandra_ops, lucene_ops
+}
+criterion_main!(benches);

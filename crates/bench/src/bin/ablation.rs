@@ -1,0 +1,191 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. The Dumper's two optimizations (no-need filtering, incremental
+//!    capture), each toggled independently — what each buys (paper §3.2).
+//! 2. Conflict resolution: POLM2 with the STTree's call-site wrappers
+//!    stripped (site-only @Gen annotation, path-blind) vs full POLM2 — what
+//!    Algorithm 1 buys (paper §5.4's "misplaced annotations" story, run on
+//!    the generated profile itself).
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin ablation [-- --quick|--standard]`
+
+use polm2_bench::EvalOptions;
+use polm2_core::{AllocationProfile, PretenuredSite};
+use polm2_metrics::report::TextTable;
+use polm2_metrics::SimTime;
+use polm2_runtime::Jvm;
+use polm2_snapshot::{CriuDumper, DumperOptions, HeapDumper, SnapshotSeries};
+use polm2_workloads::cassandra::CassandraWorkload;
+use polm2_workloads::{profile_workload, run_workload, CollectorSetup, Workload};
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    eprintln!("[ablation] {}", opts.label());
+
+    dumper_ablation(&opts);
+    conflict_ablation(&opts);
+    binary_pretenuring_ablation(&opts);
+}
+
+/// Part 3: N generations vs *binary* pretenuring (one tenured space for
+/// everything, as in Memento — paper §6.1): collapse every profile
+/// generation to generation 2 and compare. Co-locating different lifetimes
+/// in one space brings back compaction work.
+fn binary_pretenuring_ablation(opts: &EvalOptions) {
+    let workload = CassandraWorkload::write_intensive();
+    let profile = profile_workload(&workload, &opts.profile_config())
+        .expect("profiling")
+        .outcome
+        .profile;
+
+    let mut binary = AllocationProfile::new();
+    for site in profile.sites() {
+        binary.add_site(PretenuredSite {
+            loc: site.loc.clone(),
+            gen: polm2_heap::GenId::new(2),
+            local: site.local,
+        });
+    }
+    for call in profile.gen_calls() {
+        binary.add_gen_call(polm2_core::GenCall {
+            at: call.at.clone(),
+            gen: polm2_heap::GenId::new(2),
+        });
+    }
+
+    let run_config = opts.run_config();
+    let multi = run_workload(&workload, &CollectorSetup::Polm2(profile), &run_config)
+        .expect("multi-generation run");
+    let single = run_workload(&workload, &CollectorSetup::Polm2(binary), &run_config)
+        .expect("binary run");
+
+    let mut table = TextTable::new(vec![
+        "setup".into(),
+        "worst pause (ms)".into(),
+        "total stop".into(),
+        "compacted (MiB)".into(),
+        "regions freed whole".into(),
+    ]);
+    for (label, r) in
+        [("binary pretenuring (Memento-style)", &single), ("POLM2 (N generations)", &multi)]
+    {
+        let work = r.gc_log.total_work();
+        table.add_row(vec![
+            label.into(),
+            r.pause_histogram().max().unwrap_or_default().as_millis().to_string(),
+            r.gc_log.total_pause().to_string(),
+            (work.compacted_bytes >> 20).to_string(),
+            work.freed_regions.to_string(),
+        ]);
+    }
+    println!("\nAblation 3: one tenured space vs per-lifetime generations (cassandra-wi)");
+    println!("{}", table.render());
+}
+
+/// Part 1: snapshot cost with each Dumper optimization toggled.
+fn dumper_ablation(opts: &EvalOptions) {
+    let workload = CassandraWorkload::write_intensive();
+    let variants = [
+        ("both optimizations", DumperOptions::default()),
+        ("no-need only", DumperOptions { use_incremental: false, ..DumperOptions::default() }),
+        ("incremental only", DumperOptions { use_no_need: false, ..DumperOptions::default() }),
+        (
+            "neither (raw CRIU)",
+            DumperOptions { use_no_need: false, use_incremental: false, ..DumperOptions::default() },
+        ),
+    ];
+    let mut table = TextTable::new(vec![
+        "dumper variant".into(),
+        "mean size".into(),
+        "mean stop".into(),
+        "total stop".into(),
+        "snapshots".into(),
+    ]);
+    for (label, options) in variants {
+        let series = snapshot_series(&workload, CriuDumper::with_options(options), opts);
+        table.add_row(vec![
+            label.into(),
+            polm2_metrics::report::bytes(series.mean_size_bytes()),
+            (series.total_capture_time() / series.len().max(1) as u64).to_string(),
+            series.total_capture_time().to_string(),
+            series.len().to_string(),
+        ]);
+    }
+    println!("Ablation 1: Dumper optimizations (cassandra-wi, first 12 snapshots)");
+    println!("{}", table.render());
+}
+
+fn snapshot_series(
+    workload: &dyn Workload,
+    mut dumper: CriuDumper,
+    opts: &EvalOptions,
+) -> SnapshotSeries {
+    let config = opts.profile_config();
+    let mut jvm = Jvm::builder(config.runtime)
+        .hooks(workload.hooks())
+        .state(workload.new_state(config.seed))
+        .build(workload.program())
+        .expect("boot");
+    let thread = jvm.spawn_thread();
+    let (class, method) = workload.entry();
+    let mut series = SnapshotSeries::new();
+    let mut cycles = 0;
+    let end = SimTime::ZERO + config.duration;
+    while jvm.now() < end && series.len() < 12 {
+        jvm.invoke(thread, class, method).expect("op");
+        jvm.advance_mutator(workload.op_cost());
+        if jvm.gc_log().cycle_count() > cycles {
+            cycles = jvm.gc_log().cycle_count();
+            let now = jvm.now();
+            series.push(dumper.snapshot(jvm.heap_mut(), now));
+        }
+    }
+    series
+}
+
+/// Part 2: POLM2 with and without conflict resolution.
+fn conflict_ablation(opts: &EvalOptions) {
+    let workload = CassandraWorkload::write_intensive();
+    let profile = profile_workload(&workload, &opts.profile_config())
+        .expect("profiling")
+        .outcome
+        .profile;
+
+    // Strip the STTree's output: keep the @Gen annotations but make every
+    // site path-blind (site-local generation, no call-site wrappers) — what
+    // a profiler without Algorithm 1 would emit.
+    let mut stripped = AllocationProfile::new();
+    for site in profile.sites() {
+        stripped.add_site(PretenuredSite { loc: site.loc.clone(), gen: site.gen, local: true });
+    }
+
+    let run_config = opts.run_config();
+    let full = run_workload(&workload, &CollectorSetup::Polm2(profile), &run_config)
+        .expect("full POLM2 run");
+    let blind = run_workload(&workload, &CollectorSetup::Polm2(stripped), &run_config)
+        .expect("path-blind run");
+    let g1 = run_workload(&workload, &CollectorSetup::G1, &run_config).expect("G1 run");
+
+    let mut table = TextTable::new(vec![
+        "setup".into(),
+        "p50 (ms)".into(),
+        "p99 (ms)".into(),
+        "worst (ms)".into(),
+        "total stop".into(),
+    ]);
+    for (label, r) in
+        [("G1", &g1), ("POLM2 without conflict resolution", &blind), ("POLM2 (full)", &full)]
+    {
+        let mut h = r.pause_histogram();
+        table.add_row(vec![
+            label.into(),
+            h.percentile(50.0).unwrap_or_default().as_millis().to_string(),
+            h.percentile(99.0).unwrap_or_default().as_millis().to_string(),
+            h.max().unwrap_or_default().as_millis().to_string(),
+            r.gc_log.total_pause().to_string(),
+        ]);
+    }
+    println!("\nAblation 2: conflict resolution (cassandra-wi)");
+    println!("{}", table.render());
+    println!("(path-blind pretenuring sends short-lived helper allocations to old space)");
+}

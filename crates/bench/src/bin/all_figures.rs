@@ -1,0 +1,159 @@
+//! Runs the entire evaluation in one process, sharing the collector runs
+//! across Figures 5–9 (each individual `fig*` binary re-runs its own), plus
+//! Table 1 and Figures 3–4. This is the binary used to record
+//! EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin all_figures [-- --standard|--quick]`
+
+use polm2_bench::experiments::collector_runs;
+use polm2_bench::{
+    fig3_4_snapshots, fig5_percentiles, fig6_intervals, fig7_throughput, fig8_timeline,
+    fig9_memory, table1_profiling, EvalOptions,
+};
+use polm2_metrics::report::{bytes, percent_reduction, TextTable};
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    eprintln!("[all_figures] {}", opts.label());
+
+    // ---------------- Table 1 ----------------
+    let rows = table1_profiling(&opts);
+    let mut table = TextTable::new(vec![
+        "Workload".into(),
+        "# Instr. Alloc Sites (POLM2/NG2C of candidates)".into(),
+        "# Used Generations".into(),
+        "# Conflicts".into(),
+        "allocs recorded".into(),
+    ]);
+    for r in &rows {
+        table.add_row(vec![
+            r.workload.into(),
+            format!("{}/{} of {}", r.polm2_sites, r.manual_sites, r.candidates),
+            format!("{}/{}", r.polm2_gens, r.manual_gens),
+            format!("{}/{}", r.polm2_conflicts, r.manual_conflicts),
+            r.recorded_allocs.to_string(),
+        ]);
+    }
+    println!("\n==== Table 1: Application Profiling Metrics (POLM2/NG2C) ====");
+    println!("{}", table.render());
+
+    // ---------------- Figures 3-4 ----------------
+    let comparisons = fig3_4_snapshots(&opts, 20);
+    let mut table = TextTable::new(vec![
+        "Workload".into(),
+        "time ratio (Fig3)".into(),
+        "size ratio (Fig4)".into(),
+        "Dumper mean".into(),
+        "jmap mean".into(),
+    ]);
+    for c in &comparisons {
+        table.add_row(vec![
+            c.workload.into(),
+            format!("{:.4}", c.time_ratio()),
+            format!("{:.4}", c.size_ratio()),
+            bytes(c.criu.mean_size_bytes()),
+            bytes(c.jmap.mean_size_bytes()),
+        ]);
+    }
+    println!("\n==== Figures 3-4: Snapshot time/size, Dumper normalized to jmap ====");
+    println!("{}", table.render());
+
+    // ---------------- The shared collector runs ----------------
+    let runs = collector_runs(&opts, true);
+
+    // Figure 5.
+    println!("\n==== Figure 5: Pause Time Percentiles (ms) ====");
+    for (workload, ladder) in fig5_percentiles(&runs) {
+        let mut table = TextTable::new(vec![
+            "pct".into(),
+            "G1".into(),
+            "NG2C".into(),
+            "POLM2".into(),
+            "POLM2 vs G1".into(),
+        ]);
+        for (p, g1, ng2c, polm2) in ladder {
+            let label = if p >= 100.0 { "worst".into() } else { format!("{p}") };
+            table.add_row(vec![
+                label,
+                g1.to_string(),
+                ng2c.to_string(),
+                polm2.to_string(),
+                percent_reduction(polm2 as f64, g1 as f64),
+            ]);
+        }
+        println!("\n--- {workload} ---\n{}", table.render());
+    }
+
+    // Figure 6.
+    println!("\n==== Figure 6: Pauses per duration interval ====");
+    for (workload, rows) in fig6_intervals(&runs) {
+        let mut table =
+            TextTable::new(vec!["interval".into(), "G1".into(), "NG2C".into(), "POLM2".into()]);
+        for (label, g1, ng2c, polm2) in rows {
+            table.add_row(vec![label, g1.to_string(), ng2c.to_string(), polm2.to_string()]);
+        }
+        println!("\n--- {workload} ---\n{}", table.render());
+    }
+
+    // Figure 7.
+    println!("\n==== Figure 7: Throughput normalized to G1 ====");
+    let mut table = TextTable::new(vec![
+        "Workload".into(),
+        "NG2C/G1".into(),
+        "C4/G1".into(),
+        "POLM2/G1".into(),
+        "G1 ops/s".into(),
+    ]);
+    for ((workload, ng2c, c4, polm2), r) in fig7_throughput(&runs).iter().zip(&runs) {
+        table.add_row(vec![
+            workload.clone(),
+            format!("{ng2c:.3}"),
+            c4.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
+            format!("{polm2:.3}"),
+            format!("{:.0}", r.g1.mean_throughput()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Figure 8 (condensed to 60-second buckets).
+    println!("\n==== Figure 8: Cassandra tx/s, 10-minute sample (60 s buckets) ====");
+    for (workload, rows) in fig8_timeline(&runs, 60) {
+        let mut table = TextTable::new(vec![
+            "t (s)".into(),
+            "G1".into(),
+            "NG2C".into(),
+            "POLM2".into(),
+            "C4".into(),
+        ]);
+        for (t, g1, ng2c, polm2, c4) in rows {
+            table.add_row(vec![
+                t.to_string(),
+                format!("{g1:.0}"),
+                format!("{ng2c:.0}"),
+                format!("{polm2:.0}"),
+                c4.map(|v| format!("{v:.0}")).unwrap_or_else(|| "n/a".into()),
+            ]);
+        }
+        println!("\n--- {workload} ---\n{}", table.render());
+    }
+
+    // Figure 9.
+    println!("\n==== Figure 9: Max memory normalized to G1 ====");
+    let mut table = TextTable::new(vec![
+        "Workload".into(),
+        "NG2C/G1".into(),
+        "POLM2/G1".into(),
+        "C4/G1".into(),
+        "G1 max".into(),
+    ]);
+    for ((workload, ng2c, polm2, c4), r) in fig9_memory(&runs).iter().zip(&runs) {
+        table.add_row(vec![
+            workload.clone(),
+            format!("{ng2c:.3}"),
+            format!("{polm2:.3}"),
+            c4.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
+            bytes(r.g1.max_memory_bytes()),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,60 @@
+//! Calibration helper: times the harness phases per workload (host wall
+//! clock) and prints headline pause/throughput numbers at quick scale.
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin calibrate [-- <workload>]`
+
+use std::time::Instant;
+
+use polm2_bench::EvalOptions;
+use polm2_workloads::{
+    paper_workloads, profile_workload, run_workload, CollectorSetup, Workload,
+};
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1).filter(|a| !a.starts_with("--"));
+    let opts = EvalOptions::Quick;
+    for workload in paper_workloads() {
+        if let Some(f) = &filter {
+            if workload.name() != f {
+                continue;
+            }
+        }
+        calibrate(workload.as_ref(), &opts);
+    }
+}
+
+fn calibrate(w: &dyn Workload, opts: &EvalOptions) {
+    println!("=== {} ===", w.name());
+    let t0 = Instant::now();
+    let prof = profile_workload(w, &opts.profile_config()).expect("profile");
+    println!(
+        "profiling: {:.1}s wall, {} allocs, {} traces->sites {}, gens {}, conflicts {}, {} snapshots",
+        t0.elapsed().as_secs_f64(),
+        prof.recorded_allocations,
+        prof.recorder_sites,
+        prof.outcome.profile.sites().len(),
+        prof.outcome.profile.generations_used().len(),
+        prof.outcome.conflicts.len(),
+        prof.snapshots.len(),
+    );
+    for (label, setup) in [
+        ("G1", CollectorSetup::G1),
+        ("NG2C", CollectorSetup::Ng2cManual),
+        ("POLM2", CollectorSetup::Polm2(prof.outcome.profile.clone())),
+        ("C4", CollectorSetup::C4),
+    ] {
+        let t0 = Instant::now();
+        let r = run_workload(w, &setup, &opts.run_config()).expect("run");
+        let mut h = r.pause_histogram();
+        println!(
+            "{label:>6}: {:.1}s wall | pauses {} | p50 {} p99 {} worst {} | tput {:.0} ops/s | mem {:.0} MiB",
+            t0.elapsed().as_secs_f64(),
+            h.len(),
+            h.percentile(50.0).unwrap_or_default(),
+            h.percentile(99.0).unwrap_or_default(),
+            h.max().unwrap_or_default(),
+            r.mean_throughput(),
+            r.max_memory_bytes() as f64 / (1 << 20) as f64,
+        );
+    }
+}

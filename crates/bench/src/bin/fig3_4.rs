@@ -1,0 +1,53 @@
+//! Regenerates Figures 3 and 4: memory-snapshot time and size with the
+//! Dumper, normalized to jmap (first 20 snapshots per workload), plus the
+//! §5.3.2 absolute numbers.
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin fig3_4 [-- --quick]`
+
+use polm2_bench::{fig3_4_snapshots, EvalOptions};
+use polm2_metrics::report::{bytes, TextTable};
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    eprintln!("[fig3_4] {}", opts.label());
+    let comparisons = fig3_4_snapshots(&opts, 20);
+
+    let mut table = TextTable::new(vec![
+        "Workload".into(),
+        "Dumper time/jmap (Fig 3)".into(),
+        "Dumper size/jmap (Fig 4)".into(),
+        "Dumper mean size".into(),
+        "jmap mean size".into(),
+        "Dumper total stop".into(),
+        "jmap total stop".into(),
+        "snapshots".into(),
+    ]);
+    for c in &comparisons {
+        table.add_row(vec![
+            c.workload.into(),
+            format!("{:.4}", c.time_ratio()),
+            format!("{:.4}", c.size_ratio()),
+            bytes(c.criu.mean_size_bytes()),
+            bytes(c.jmap.mean_size_bytes()),
+            c.criu.total_capture_time().to_string(),
+            c.jmap.total_capture_time().to_string(),
+            c.criu.len().to_string(),
+        ]);
+    }
+    println!("Figures 3-4: Memory Snapshot Time and Size, Dumper normalized to jmap");
+    println!("{}", table.render());
+    println!("(paper: time reduced by more than 90% — ratio < 0.10; size by ~60% — ratio ~0.4)");
+
+    // The per-snapshot series the figures plot.
+    for c in &comparisons {
+        println!("\n{} per-snapshot ratios (time, size):", c.workload);
+        for (criu, jmap) in c.criu.snapshots().iter().zip(c.jmap.snapshots()) {
+            println!(
+                "  snap {:>2}: time {:.4}  size {:.4}",
+                criu.seq,
+                criu.capture_time.as_micros() as f64 / jmap.capture_time.as_micros().max(1) as f64,
+                criu.size_bytes as f64 / jmap.size_bytes.max(1) as f64,
+            );
+        }
+    }
+}

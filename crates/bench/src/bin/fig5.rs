@@ -1,0 +1,48 @@
+//! Regenerates Figure 5: pause-time percentiles (ms) for G1, NG2C, and
+//! POLM2 across all six workloads.
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin fig5 [-- --quick]`
+
+use polm2_bench::experiments::collector_runs;
+use polm2_bench::{fig5_percentiles, EvalOptions};
+use polm2_metrics::report::{percent_reduction, TextTable};
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    eprintln!("[fig5] {}", opts.label());
+    let runs = collector_runs(&opts, false);
+    let panels = fig5_percentiles(&runs);
+
+    println!("Figure 5: Pause Time Percentiles (ms)");
+    for (workload, ladder) in &panels {
+        let mut table = TextTable::new(vec![
+            "percentile".into(),
+            "G1 (ms)".into(),
+            "NG2C (ms)".into(),
+            "POLM2 (ms)".into(),
+            "POLM2 vs G1".into(),
+        ]);
+        for &(p, g1, ng2c, polm2) in ladder {
+            let label = if p >= 100.0 { "worst".to_string() } else { format!("{p}") };
+            table.add_row(vec![
+                label,
+                g1.to_string(),
+                ng2c.to_string(),
+                polm2.to_string(),
+                percent_reduction(polm2 as f64, g1 as f64),
+            ]);
+        }
+        println!("\n--- {workload} ---\n{}", table.render());
+    }
+
+    println!("\npause counts (measured window):");
+    for r in &runs {
+        println!(
+            "  {:>14}: G1 {:>6}  NG2C {:>6}  POLM2 {:>6}",
+            r.workload,
+            r.g1.pause_histogram().len(),
+            r.ng2c.pause_histogram().len(),
+            r.polm2.pause_histogram().len(),
+        );
+    }
+}

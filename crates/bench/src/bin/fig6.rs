@@ -1,0 +1,34 @@
+//! Regenerates Figure 6: number of application pauses per duration interval
+//! for G1, NG2C, and POLM2 ("the less pauses to the right, the better").
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin fig6 [-- --quick]`
+
+use polm2_bench::experiments::collector_runs;
+use polm2_bench::{fig6_intervals, EvalOptions};
+use polm2_metrics::report::TextTable;
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    eprintln!("[fig6] {}", opts.label());
+    let runs = collector_runs(&opts, false);
+    let panels = fig6_intervals(&runs);
+
+    println!("Figure 6: Number of Application Pauses Per Duration Interval (ms)");
+    for (workload, rows) in &panels {
+        let mut table = TextTable::new(vec![
+            "interval".into(),
+            "G1".into(),
+            "NG2C".into(),
+            "POLM2".into(),
+        ]);
+        for (label, g1, ng2c, polm2) in rows {
+            table.add_row(vec![
+                label.clone(),
+                g1.to_string(),
+                ng2c.to_string(),
+                polm2.to_string(),
+            ]);
+        }
+        println!("\n--- {workload} ---\n{}", table.render());
+    }
+}

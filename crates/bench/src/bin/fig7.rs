@@ -1,0 +1,35 @@
+//! Regenerates Figure 7: application throughput normalized to G1 (NG2C, C4,
+//! POLM2).
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin fig7 [-- --quick]`
+
+use polm2_bench::experiments::collector_runs;
+use polm2_bench::{fig7_throughput, EvalOptions};
+use polm2_metrics::report::TextTable;
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    eprintln!("[fig7] {}", opts.label());
+    let runs = collector_runs(&opts, true);
+    let rows = fig7_throughput(&runs);
+
+    let mut table = TextTable::new(vec![
+        "Workload".into(),
+        "NG2C / G1".into(),
+        "C4 / G1".into(),
+        "POLM2 / G1".into(),
+        "G1 ops/s".into(),
+    ]);
+    for ((workload, ng2c, c4, polm2), r) in rows.iter().zip(&runs) {
+        table.add_row(vec![
+            workload.clone(),
+            format!("{ng2c:.3}"),
+            c4.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
+            format!("{polm2:.3}"),
+            format!("{:.0}", r.g1.mean_throughput()),
+        ]);
+    }
+    println!("Figure 7: Application throughput normalized to G1");
+    println!("{}", table.render());
+    println!("(paper: POLM2 ~= NG2C, +1..+18% on Cassandra, -1..-5% elsewhere; C4 worst)");
+}

@@ -1,0 +1,37 @@
+//! Regenerates Figure 8: Cassandra throughput (transactions/second), a
+//! ten-minute sample per mix, for G1 / NG2C / POLM2 / C4.
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin fig8 [-- --quick]`
+
+use polm2_bench::experiments::collector_runs;
+use polm2_bench::{fig8_timeline, EvalOptions};
+use polm2_metrics::report::TextTable;
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    eprintln!("[fig8] {}", opts.label());
+    let runs = collector_runs(&opts, true);
+    // 30-second buckets: 20 printable rows over the 10-minute sample.
+    let panels = fig8_timeline(&runs, 30);
+
+    println!("Figure 8: Cassandra Throughput (transactions/second) - 10 minute sample");
+    for (workload, rows) in &panels {
+        let mut table = TextTable::new(vec![
+            "t (s)".into(),
+            "G1".into(),
+            "NG2C".into(),
+            "POLM2".into(),
+            "C4".into(),
+        ]);
+        for &(t, g1, ng2c, polm2, c4) in rows {
+            table.add_row(vec![
+                t.to_string(),
+                format!("{g1:.0}"),
+                format!("{ng2c:.0}"),
+                format!("{polm2:.0}"),
+                c4.map(|v| format!("{v:.0}")).unwrap_or_else(|| "n/a".into()),
+            ]);
+        }
+        println!("\n--- {workload} ---\n{}", table.render());
+    }
+}

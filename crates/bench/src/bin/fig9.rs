@@ -1,0 +1,38 @@
+//! Regenerates Figure 9: maximum memory usage normalized to G1.
+//!
+//! C4 is included the way the paper describes it in prose: it pre-reserves
+//! the whole heap, so its ratio lands near `heap size / G1's max usage`
+//! ("close to 2 for Cassandra benchmarks").
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin fig9 [-- --quick]`
+
+use polm2_bench::experiments::collector_runs;
+use polm2_bench::{fig9_memory, EvalOptions};
+use polm2_metrics::report::{bytes, TextTable};
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    eprintln!("[fig9] {}", opts.label());
+    let runs = collector_runs(&opts, true);
+    let rows = fig9_memory(&runs);
+
+    let mut table = TextTable::new(vec![
+        "Workload".into(),
+        "NG2C / G1".into(),
+        "POLM2 / G1".into(),
+        "C4 / G1 (prose)".into(),
+        "G1 max".into(),
+    ]);
+    for ((workload, ng2c, polm2, c4), r) in rows.iter().zip(&runs) {
+        table.add_row(vec![
+            workload.clone(),
+            format!("{ng2c:.3}"),
+            format!("{polm2:.3}"),
+            c4.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
+            bytes(r.g1.max_memory_bytes()),
+        ]);
+    }
+    println!("Figure 9: Application Max Memory Usage normalized to G1");
+    println!("{}", table.render());
+    println!("(paper: G1 ~= NG2C ~= POLM2; C4 would be close to 2 for Cassandra)");
+}

@@ -1,0 +1,78 @@
+//! Development tool: isolates where host time goes by running one simulated
+//! minute of cassandra-wi under increasing instrumentation.
+
+use std::time::Instant;
+
+use polm2_core::{ProfilingSession, SnapshotPolicy};
+use polm2_metrics::{SimDuration, SimTime};
+use polm2_runtime::{Jvm, RuntimeConfig};
+use polm2_workloads::cassandra::CassandraWorkload;
+use polm2_workloads::Workload;
+
+fn drive(jvm: &mut Jvm, secs: u64, mut per_op: impl FnMut(&mut Jvm)) -> u64 {
+    let t = jvm.spawn_thread();
+    let end = SimTime::from_secs(secs);
+    let mut ops = 0;
+    while jvm.now() < end {
+        jvm.invoke(t, "Cassandra", "handleOp").expect("op");
+        jvm.advance_mutator(SimDuration::from_micros(200));
+        per_op(jvm);
+        ops += 1;
+    }
+    ops
+}
+
+fn main() {
+    let w = CassandraWorkload::write_intensive();
+    let secs = 120;
+
+    // 1. plain run (interpreter + GC only)
+    let mut jvm = Jvm::builder(RuntimeConfig::paper_scaled())
+        .hooks(w.hooks())
+        .state(w.new_state(7))
+        .build(w.program())
+        .unwrap();
+    let t0 = Instant::now();
+    let ops = drive(&mut jvm, secs, |_| {});
+    println!(
+        "plain       : {:>6.1}s wall | {ops} ops | {} GCs | {} allocs | live {}",
+        t0.elapsed().as_secs_f64(),
+        jvm.gc_log().cycle_count(),
+        jvm.heap().stats().allocated_objects,
+        jvm.heap().object_count(),
+    );
+
+    // 2. + recorder agent (no snapshots)
+    let session = ProfilingSession::new(SnapshotPolicy { every_n_cycles: u32::MAX });
+    let mut jvm = Jvm::builder(RuntimeConfig::paper_scaled())
+        .hooks(w.hooks())
+        .state(w.new_state(7))
+        .transformer(session.recorder_agent())
+        .build(w.program())
+        .unwrap();
+    let mut session = session;
+    let t0 = Instant::now();
+    drive(&mut jvm, secs, |jvm| session.after_op(jvm));
+    println!(
+        "+recorder   : {:>6.1}s wall | {} recorded",
+        t0.elapsed().as_secs_f64(),
+        session.recorded_allocations()
+    );
+
+    // 3. + snapshots every cycle
+    let session = ProfilingSession::new(SnapshotPolicy::default());
+    let mut jvm = Jvm::builder(RuntimeConfig::paper_scaled())
+        .hooks(w.hooks())
+        .state(w.new_state(7))
+        .transformer(session.recorder_agent())
+        .build(w.program())
+        .unwrap();
+    let mut session = session;
+    let t0 = Instant::now();
+    drive(&mut jvm, secs, |jvm| session.after_op(jvm));
+    println!(
+        "+snapshots  : {:>6.1}s wall | {} snapshots",
+        t0.elapsed().as_secs_f64(),
+        session.snapshots().len()
+    );
+}

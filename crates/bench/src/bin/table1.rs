@@ -1,0 +1,35 @@
+//! Regenerates Table 1: application profiling metrics, POLM2 vs NG2C.
+//!
+//! Usage: `cargo run --release -p polm2-bench --bin table1 [-- --quick]`
+
+use polm2_bench::{table1_profiling, EvalOptions};
+use polm2_metrics::report::TextTable;
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    eprintln!("[table1] {}", opts.label());
+    let rows = table1_profiling(&opts);
+
+    let mut table = TextTable::new(vec![
+        "Workload".into(),
+        "# Instrumented Alloc Sites (POLM2/NG2C of candidates)".into(),
+        "# Used Generations".into(),
+        "# Conflicts Encountered".into(),
+        "allocs recorded".into(),
+    ]);
+    for r in &rows {
+        table.add_row(vec![
+            r.workload.into(),
+            format!("{}/{} of {}", r.polm2_sites, r.manual_sites, r.candidates),
+            format!("{}/{}", r.polm2_gens, r.manual_gens),
+            format!("{}/{}", r.polm2_conflicts, r.manual_conflicts),
+            r.recorded_allocs.to_string(),
+        ]);
+    }
+    println!("Table 1: Application Profiling Metrics for POLM2/NG2C");
+    println!("{}", table.render());
+    println!("profiles:");
+    for r in &rows {
+        println!("--- {} ---\n{}", r.workload, r.profile);
+    }
+}

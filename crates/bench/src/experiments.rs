@@ -1,0 +1,300 @@
+//! Experiment drivers for every table and figure.
+
+use polm2_core::AllocationProfile;
+use polm2_metrics::{SimDuration, SimTime};
+use polm2_runtime::Jvm;
+use polm2_snapshot::{CriuDumper, HeapDumper, JmapDumper, SnapshotSeries};
+use polm2_workloads::{
+    paper_workloads, profile_workload, run_workload, CollectorSetup, RunResult, Workload,
+};
+
+use crate::EvalOptions;
+
+/// One row of Table 1, POLM2 vs. the manual NG2C annotations.
+#[derive(Debug)]
+pub struct Table1Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Allocation sites POLM2's profile `@Gen`-annotates.
+    pub polm2_sites: usize,
+    /// Allocation sites the manual annotations cover.
+    pub manual_sites: usize,
+    /// Candidate sites (the denominator).
+    pub candidates: u32,
+    /// Distinct generations POLM2 uses (young included).
+    pub polm2_gens: usize,
+    /// Distinct generations the manual annotations use (young included).
+    pub manual_gens: usize,
+    /// Conflicts POLM2 detected.
+    pub polm2_conflicts: usize,
+    /// Conflicts the manual annotations handle (path-aware wrappers).
+    pub manual_conflicts: usize,
+    /// Allocations recorded during profiling.
+    pub recorded_allocs: u64,
+    /// The generated profile (reused by the figure runs).
+    pub profile: AllocationProfile,
+}
+
+/// Runs the profiling phase on every paper workload and assembles Table 1.
+pub fn table1_profiling(opts: &EvalOptions) -> Vec<Table1Row> {
+    let config = opts.profile_config();
+    let mut rows = Vec::new();
+    for workload in paper_workloads() {
+        let result = profile_workload(workload.as_ref(), &config).expect("profiling run");
+        let manual = workload.manual_profile();
+        // Conflicts the manual annotations handle: shared sites annotated
+        // non-locally, i.e. with path-aware call-site wrappers.
+        let manual_conflicts = manual.sites().iter().filter(|s| !s.local).count();
+        rows.push(Table1Row {
+            workload: workload.name(),
+            polm2_sites: result.outcome.profile.sites().len(),
+            manual_sites: manual.sites().len(),
+            candidates: workload.candidate_sites(),
+            polm2_gens: result.outcome.profile.generations_used().len() + 1,
+            manual_gens: manual.generations_used().len() + 1,
+            polm2_conflicts: result.outcome.conflicts.len(),
+            manual_conflicts,
+            recorded_allocs: result.recorded_allocations,
+            profile: result.outcome.profile,
+        });
+    }
+    rows
+}
+
+/// The measured runs for one workload under each collector setup.
+#[derive(Debug)]
+pub struct CollectorRuns {
+    /// Workload name.
+    pub workload: &'static str,
+    /// The G1 baseline run.
+    pub g1: RunResult,
+    /// The manually-annotated NG2C run.
+    pub ng2c: RunResult,
+    /// The POLM2 run (NG2C + generated profile).
+    pub polm2: RunResult,
+    /// The C4 run (throughput/memory figures only).
+    pub c4: Option<RunResult>,
+}
+
+/// Profiles and runs every workload under G1 / NG2C / POLM2 (and C4 when
+/// `with_c4`), the shared substrate of Figures 5–9.
+pub fn collector_runs(opts: &EvalOptions, with_c4: bool) -> Vec<CollectorRuns> {
+    let run_config = opts.run_config();
+    let profile_config = opts.profile_config();
+    let mut out = Vec::new();
+    for workload in paper_workloads() {
+        let w = workload.as_ref();
+        eprintln!("[harness] profiling {}", w.name());
+        let profile =
+            profile_workload(w, &profile_config).expect("profiling run").outcome.profile;
+        eprintln!("[harness] running {} under G1", w.name());
+        let g1 = run_workload(w, &CollectorSetup::G1, &run_config).expect("G1 run");
+        eprintln!("[harness] running {} under NG2C (manual)", w.name());
+        let ng2c = run_workload(w, &CollectorSetup::Ng2cManual, &run_config).expect("NG2C run");
+        eprintln!("[harness] running {} under POLM2", w.name());
+        let polm2 =
+            run_workload(w, &CollectorSetup::Polm2(profile), &run_config).expect("POLM2 run");
+        let c4 = if with_c4 {
+            eprintln!("[harness] running {} under C4", w.name());
+            Some(run_workload(w, &CollectorSetup::C4, &run_config).expect("C4 run"))
+        } else {
+            None
+        };
+        out.push(CollectorRuns { workload: w.name(), g1, ng2c, polm2, c4 });
+    }
+    out
+}
+
+/// One Figure 5 panel: `(percentile, G1 ms, NG2C ms, POLM2 ms)` rows.
+pub type PercentilePanel = (String, Vec<(f64, u64, u64, u64)>);
+
+/// Figure 5: the pause-time percentile ladders.
+pub fn fig5_percentiles(runs: &[CollectorRuns]) -> Vec<PercentilePanel> {
+    runs.iter()
+        .map(|r| {
+            let mut g1 = r.g1.pause_histogram();
+            let mut ng2c = r.ng2c.pause_histogram();
+            let mut polm2 = r.polm2.pause_histogram();
+            let ladder = polm2_metrics::STANDARD_PERCENTILES
+                .iter()
+                .map(|&p| {
+                    (
+                        p,
+                        g1.percentile(p).unwrap_or_default().as_millis(),
+                        ng2c.percentile(p).unwrap_or_default().as_millis(),
+                        polm2.percentile(p).unwrap_or_default().as_millis(),
+                    )
+                })
+                .collect();
+            (r.workload.to_string(), ladder)
+        })
+        .collect()
+}
+
+/// One Figure 6 panel: `(interval label, G1, NG2C, POLM2)` counts.
+pub type IntervalPanel = (String, Vec<(String, u64, u64, u64)>);
+
+/// Figure 6: pause counts per duration interval.
+pub fn fig6_intervals(runs: &[CollectorRuns]) -> Vec<IntervalPanel> {
+    runs.iter()
+        .map(|r| {
+            let g1 = r.g1.interval_histogram();
+            let ng2c = r.ng2c.interval_histogram();
+            let polm2 = r.polm2.interval_histogram();
+            let rows = g1
+                .bins()
+                .iter()
+                .zip(ng2c.bins())
+                .zip(polm2.bins())
+                .map(|((a, b), c)| (a.label(), a.count, b.count, c.count))
+                .collect();
+            (r.workload.to_string(), rows)
+        })
+        .collect()
+}
+
+/// Figure 7: throughput normalized to G1 (NG2C, C4, POLM2).
+pub fn fig7_throughput(runs: &[CollectorRuns]) -> Vec<(String, f64, Option<f64>, f64)> {
+    runs.iter()
+        .map(|r| {
+            let g1 = r.g1.mean_throughput();
+            (
+                r.workload.to_string(),
+                r.ng2c.mean_throughput() / g1,
+                r.c4.as_ref().map(|c4| c4.mean_throughput() / g1),
+                r.polm2.mean_throughput() / g1,
+            )
+        })
+        .collect()
+}
+
+/// One Figure 8 panel: `(t, G1, NG2C, POLM2, C4)` mean tx/s per bucket.
+pub type TimelinePanel = (String, Vec<(u64, f64, f64, f64, Option<f64>)>);
+
+/// Figure 8: a ten-minute transactions/second sample for the Cassandra
+/// workloads, bucketed to `bucket_secs` for printing.
+pub fn fig8_timeline(runs: &[CollectorRuns], bucket_secs: u64) -> Vec<TimelinePanel> {
+    let start = SimTime::from_secs(5 * 60);
+    let window = SimDuration::from_secs(10 * 60);
+    runs.iter()
+        .filter(|r| r.workload.starts_with("cassandra"))
+        .map(|r| {
+            let series = |res: &RunResult| res.throughput.series_window(start, window);
+            let g1 = series(&r.g1);
+            let ng2c = series(&r.ng2c);
+            let polm2 = series(&r.polm2);
+            let c4 = r.c4.as_ref().map(series);
+            let buckets = g1.len() as u64 / bucket_secs;
+            let mut rows = Vec::new();
+            for b in 0..buckets {
+                let lo = (b * bucket_secs) as usize;
+                let hi = ((b + 1) * bucket_secs) as usize;
+                let mean = |s: &[polm2_metrics::ThroughputSample]| {
+                    if s.is_empty() || lo >= s.len() {
+                        0.0
+                    } else {
+                        let hi = hi.min(s.len());
+                        s[lo..hi].iter().map(|x| x.ops as f64).sum::<f64>() / (hi - lo) as f64
+                    }
+                };
+                rows.push((
+                    start.as_secs() + b * bucket_secs,
+                    mean(&g1),
+                    mean(&ng2c),
+                    mean(&polm2),
+                    c4.as_ref().map(|s| mean(s)),
+                ));
+            }
+            (r.workload.to_string(), rows)
+        })
+        .collect()
+}
+
+/// Figure 9: max memory usage normalized to G1.
+pub fn fig9_memory(runs: &[CollectorRuns]) -> Vec<(String, f64, f64, Option<f64>)> {
+    runs.iter()
+        .map(|r| {
+            let g1 = r.g1.max_memory_bytes() as f64;
+            (
+                r.workload.to_string(),
+                r.ng2c.max_memory_bytes() as f64 / g1,
+                r.polm2.max_memory_bytes() as f64 / g1,
+                r.c4.as_ref().map(|c| c.max_memory_bytes() as f64 / g1),
+            )
+        })
+        .collect()
+}
+
+/// The Dumper-vs-jmap comparison of one workload (Figures 3 and 4).
+#[derive(Debug)]
+pub struct SnapshotComparison {
+    /// Workload name.
+    pub workload: &'static str,
+    /// The first snapshots taken with the CRIU Dumper.
+    pub criu: SnapshotSeries,
+    /// The first snapshots taken with jmap.
+    pub jmap: SnapshotSeries,
+}
+
+impl SnapshotComparison {
+    /// Mean capture time, Dumper normalized to jmap.
+    pub fn time_ratio(&self) -> f64 {
+        self.criu.total_capture_time().as_micros() as f64
+            / self.jmap.total_capture_time().as_micros().max(1) as f64
+    }
+
+    /// Mean snapshot size, Dumper normalized to jmap.
+    pub fn size_ratio(&self) -> f64 {
+        self.criu.total_size_bytes() as f64 / self.jmap.total_size_bytes().max(1) as f64
+    }
+}
+
+/// Figures 3–4: takes the first `max_snapshots` snapshots of each workload
+/// with the Dumper and with jmap (separate, identical runs) and compares
+/// cost.
+pub fn fig3_4_snapshots(opts: &EvalOptions, max_snapshots: usize) -> Vec<SnapshotComparison> {
+    let mut out = Vec::new();
+    for workload in paper_workloads() {
+        let w = workload.as_ref();
+        eprintln!("[harness] snapshotting {} with criu-dumper", w.name());
+        let criu = drive_with_dumper(w, Box::new(CriuDumper::new()), max_snapshots, opts);
+        eprintln!("[harness] snapshotting {} with jmap", w.name());
+        let jmap = drive_with_dumper(w, Box::new(JmapDumper::new()), max_snapshots, opts);
+        out.push(SnapshotComparison { workload: w.name(), criu, jmap });
+    }
+    out
+}
+
+/// Runs `workload` under G1 and captures a snapshot after every GC cycle
+/// with `dumper`, until `max_snapshots` are taken or the profiling duration
+/// elapses.
+fn drive_with_dumper(
+    workload: &dyn Workload,
+    mut dumper: Box<dyn HeapDumper>,
+    max_snapshots: usize,
+    opts: &EvalOptions,
+) -> SnapshotSeries {
+    let config = opts.profile_config();
+    let mut jvm = Jvm::builder(config.runtime)
+        .hooks(workload.hooks())
+        .state(workload.new_state(config.seed))
+        .build(workload.program())
+        .expect("program loads");
+    let thread = jvm.spawn_thread();
+    let (class, method) = workload.entry();
+    let op_cost = workload.op_cost();
+    let end = SimTime::ZERO + config.duration;
+    let mut series = SnapshotSeries::new();
+    let mut cycles_seen = 0;
+    while jvm.now() < end && series.len() < max_snapshots {
+        jvm.invoke(thread, class, method).expect("operation");
+        jvm.advance_mutator(op_cost);
+        let cycles = jvm.gc_log().cycle_count();
+        if cycles > cycles_seen {
+            cycles_seen = cycles;
+            let now = jvm.now();
+            series.push(dumper.snapshot(jvm.heap_mut(), now));
+        }
+    }
+    series
+}

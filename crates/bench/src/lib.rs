@@ -1,0 +1,19 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index).
+//!
+//! Each `fig*`/`table1` binary drives the functions here and prints aligned
+//! text tables; `EXPERIMENTS.md` records paper-reported vs. measured values.
+//! All runs are deterministic (seeded workloads on simulated time), so the
+//! numbers below are reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod experiments;
+pub mod options;
+
+pub use experiments::{
+    fig3_4_snapshots, fig5_percentiles, fig6_intervals, fig7_throughput, fig8_timeline,
+    fig9_memory, table1_profiling, CollectorRuns, SnapshotComparison, Table1Row,
+};
+pub use options::EvalOptions;

@@ -1,0 +1,85 @@
+//! Command-line options shared by the figure binaries.
+
+use polm2_metrics::SimDuration;
+use polm2_workloads::{ProfilePhaseConfig, RunConfig};
+
+/// Evaluation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalOptions {
+    /// The paper's setup: 30 simulated minutes per run, 5 ignored;
+    /// 6 simulated minutes of profiling.
+    Paper,
+    /// A 15-simulated-minute pass: the scale used for the numbers recorded
+    /// in EXPERIMENTS.md — long enough for stable tails at a fraction of the
+    /// host cost.
+    Standard,
+    /// A quick pass (~6 simulated minutes per run) for smoke-testing the
+    /// harness; shapes hold, tails are shorter.
+    Quick,
+}
+
+impl EvalOptions {
+    /// Parses process arguments: `--quick` selects the quick pass.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            EvalOptions::Quick
+        } else if std::env::args().any(|a| a == "--standard") {
+            EvalOptions::Standard
+        } else {
+            EvalOptions::Paper
+        }
+    }
+
+    /// The measured-run configuration at this scale.
+    pub fn run_config(&self) -> RunConfig {
+        match self {
+            EvalOptions::Paper => RunConfig::paper(),
+            EvalOptions::Standard => RunConfig {
+                duration: SimDuration::from_secs(15 * 60),
+                warmup: SimDuration::from_secs(3 * 60),
+                ..RunConfig::paper()
+            },
+            EvalOptions::Quick => RunConfig {
+                duration: SimDuration::from_secs(6 * 60),
+                warmup: SimDuration::from_secs(60),
+                ..RunConfig::paper()
+            },
+        }
+    }
+
+    /// The profiling-phase configuration at this scale.
+    pub fn profile_config(&self) -> ProfilePhaseConfig {
+        match self {
+            EvalOptions::Paper => ProfilePhaseConfig::paper(),
+            EvalOptions::Standard => ProfilePhaseConfig::paper(),
+            EvalOptions::Quick => ProfilePhaseConfig {
+                duration: SimDuration::from_secs(3 * 60),
+                ..ProfilePhaseConfig::paper()
+            },
+        }
+    }
+
+    /// Label for output headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvalOptions::Paper => "paper scale (30 sim-minutes/run)",
+            EvalOptions::Standard => "standard scale (15 sim-minutes/run)",
+            EvalOptions::Quick => "quick scale (6 sim-minutes/run)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ() {
+        let paper = EvalOptions::Paper.run_config();
+        let quick = EvalOptions::Quick.run_config();
+        assert!(quick.duration < paper.duration);
+        assert!(quick.warmup < paper.warmup);
+        assert!(EvalOptions::Quick.profile_config().duration < ProfilePhaseConfig::paper().duration);
+        assert!(!EvalOptions::Paper.label().is_empty());
+    }
+}

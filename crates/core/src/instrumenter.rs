@@ -1,0 +1,249 @@
+//! The Instrumenter: applies an allocation profile at class-load time
+//! (paper §3.4).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use polm2_runtime::{ClassDef, ClassTransformer, CodeLoc, Instr};
+
+use crate::AllocationProfile;
+
+/// Counters describing what the Instrumenter actually rewrote (Table 1's
+/// POLM2 columns come from these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrumentationStats {
+    /// Allocation sites `@Gen`-annotated.
+    pub annotated_sites: u64,
+    /// `setGeneration`/restore pairs inserted.
+    pub gen_call_pairs: u64,
+}
+
+/// The load-time agent of the production phase: rewrites application
+/// bytecode according to an [`AllocationProfile`].
+///
+/// For every `site` entry it flips the allocation's `@Gen` flag (and, for
+/// `local` entries, brackets the allocation with `setGeneration`/restore);
+/// for every `call` entry it brackets the call instruction. The program
+/// source is never touched — only the in-memory class definitions during
+/// loading, matching the paper's "no source code access" property.
+#[derive(Debug)]
+pub struct Instrumenter {
+    profile: AllocationProfile,
+    stats: Rc<RefCell<InstrumentationStats>>,
+}
+
+impl Instrumenter {
+    /// Creates an instrumenter for `profile`.
+    pub fn new(profile: AllocationProfile) -> Self {
+        Instrumenter { profile, stats: Rc::new(RefCell::new(InstrumentationStats::default())) }
+    }
+
+    /// The load-time agent to install in the JVM builder.
+    pub fn agent(&self) -> Box<dyn ClassTransformer> {
+        Box::new(InstrumenterAgent {
+            profile: self.profile.clone(),
+            stats: Rc::clone(&self.stats),
+        })
+    }
+
+    /// What has been rewritten so far.
+    pub fn stats(&self) -> InstrumentationStats {
+        *self.stats.borrow()
+    }
+
+    /// The profile being applied.
+    pub fn profile(&self) -> &AllocationProfile {
+        &self.profile
+    }
+}
+
+struct InstrumenterAgent {
+    profile: AllocationProfile,
+    stats: Rc<RefCell<InstrumentationStats>>,
+}
+
+impl ClassTransformer for InstrumenterAgent {
+    fn name(&self) -> &str {
+        "polm2-instrumenter"
+    }
+
+    fn transform(&mut self, class: &mut ClassDef) {
+        let class_name = class.name.clone();
+        let mut stats = self.stats.borrow_mut();
+        for method in &mut class.methods {
+            let method_name = method.name.clone();
+            rewrite_block(&mut method.body, &class_name, &method_name, &self.profile, &mut stats);
+        }
+    }
+}
+
+fn rewrite_block(
+    block: &mut Vec<Instr>,
+    class: &str,
+    method: &str,
+    profile: &AllocationProfile,
+    stats: &mut InstrumentationStats,
+) {
+    let mut out = Vec::with_capacity(block.len());
+    for mut instr in block.drain(..) {
+        match &mut instr {
+            Instr::Branch { then_block, else_block, .. } => {
+                rewrite_block(then_block, class, method, profile, stats);
+                rewrite_block(else_block, class, method, profile, stats);
+                out.push(instr);
+            }
+            Instr::Repeat { body, .. } => {
+                rewrite_block(body, class, method, profile, stats);
+                out.push(instr);
+            }
+            Instr::Alloc { line, pretenure, .. } => {
+                let loc = CodeLoc::new(class, method, *line);
+                if let Some(site) = profile.site_at(&loc) {
+                    *pretenure = true;
+                    stats.annotated_sites += 1;
+                    if site.local {
+                        let line = *line;
+                        out.push(Instr::SetGen { gen: site.gen, line });
+                        out.push(instr);
+                        out.push(Instr::RestoreGen { line });
+                        stats.gen_call_pairs += 1;
+                        continue;
+                    }
+                }
+                out.push(instr);
+            }
+            Instr::Call { line, .. } => {
+                let loc = CodeLoc::new(class, method, *line);
+                if let Some(call) = profile.gen_call_at(&loc) {
+                    let line = *line;
+                    out.push(Instr::SetGen { gen: call.gen, line });
+                    out.push(instr);
+                    out.push(Instr::RestoreGen { line });
+                    stats.gen_call_pairs += 1;
+                } else {
+                    out.push(instr);
+                }
+            }
+            _ => out.push(instr),
+        }
+    }
+    *block = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GenCall, PretenuredSite};
+    use polm2_heap::GenId;
+    use polm2_runtime::{MethodDef, Program, SizeSpec};
+
+    fn program() -> Program {
+        let mut p = Program::new();
+        p.add_class(
+            ClassDef::new("Store")
+                .with_method(MethodDef::new("put").push(Instr::call("Cell", "create", 10)))
+                .with_method(MethodDef::new("loop").push(Instr::Repeat {
+                    count: polm2_runtime::CountSpec::Fixed(2),
+                    body: vec![Instr::call("Cell", "create", 21)],
+                    line: 20,
+                })),
+        );
+        p.add_class(ClassDef::new("Cell").with_method(
+            MethodDef::new("create").push(Instr::alloc("Cell", SizeSpec::Fixed(64), 5)),
+        ));
+        p
+    }
+
+    fn profile() -> AllocationProfile {
+        let mut prof = AllocationProfile::new();
+        prof.add_site(PretenuredSite {
+            loc: CodeLoc::new("Cell", "create", 5),
+            gen: GenId::new(2),
+            local: false,
+        });
+        prof.add_gen_call(GenCall { at: CodeLoc::new("Store", "put", 10), gen: GenId::new(2) });
+        prof
+    }
+
+    #[test]
+    fn annotates_sites_and_wraps_calls() {
+        let mut p = program();
+        let inst = Instrumenter::new(profile());
+        let mut agent = inst.agent();
+        for class in p.classes_mut() {
+            agent.transform(class);
+        }
+        // The allocation site is @Gen-flagged.
+        let body = &p.class("Cell").unwrap().method("create").unwrap().body;
+        assert!(matches!(body[0], Instr::Alloc { pretenure: true, .. }));
+        // The call in Store.put is wrapped.
+        let body = &p.class("Store").unwrap().method("put").unwrap().body;
+        assert!(matches!(body[0], Instr::SetGen { gen, .. } if gen == GenId::new(2)));
+        assert!(matches!(body[1], Instr::Call { .. }));
+        assert!(matches!(body[2], Instr::RestoreGen { .. }));
+        // The other call site (line 21, inside the loop) is untouched.
+        let body = &p.class("Store").unwrap().method("loop").unwrap().body;
+        if let Instr::Repeat { body, .. } = &body[0] {
+            assert_eq!(body.len(), 1);
+            assert!(matches!(body[0], Instr::Call { .. }));
+        } else {
+            panic!("loop preserved");
+        }
+        let stats = inst.stats();
+        assert_eq!(stats.annotated_sites, 1);
+        assert_eq!(stats.gen_call_pairs, 1);
+    }
+
+    #[test]
+    fn local_sites_get_bracketed_in_place() {
+        let mut prof = AllocationProfile::new();
+        prof.add_site(PretenuredSite {
+            loc: CodeLoc::new("Cell", "create", 5),
+            gen: GenId::new(3),
+            local: true,
+        });
+        let mut p = program();
+        let inst = Instrumenter::new(prof);
+        let mut agent = inst.agent();
+        for class in p.classes_mut() {
+            agent.transform(class);
+        }
+        let body = &p.class("Cell").unwrap().method("create").unwrap().body;
+        assert!(matches!(body[0], Instr::SetGen { gen, .. } if gen == GenId::new(3)));
+        assert!(matches!(body[1], Instr::Alloc { pretenure: true, .. }));
+        assert!(matches!(body[2], Instr::RestoreGen { .. }));
+        assert_eq!(inst.stats().gen_call_pairs, 1);
+    }
+
+    #[test]
+    fn empty_profile_rewrites_nothing() {
+        let mut p = program();
+        let before = p.clone();
+        let inst = Instrumenter::new(AllocationProfile::new());
+        let mut agent = inst.agent();
+        for class in p.classes_mut() {
+            agent.transform(class);
+        }
+        assert_eq!(p, before);
+        assert_eq!(inst.stats(), InstrumentationStats::default());
+    }
+
+    #[test]
+    fn nested_call_sites_are_found() {
+        let mut prof = AllocationProfile::new();
+        prof.add_gen_call(GenCall { at: CodeLoc::new("Store", "loop", 21), gen: GenId::new(2) });
+        let mut p = program();
+        let inst = Instrumenter::new(prof);
+        let mut agent = inst.agent();
+        for class in p.classes_mut() {
+            agent.transform(class);
+        }
+        let body = &p.class("Store").unwrap().method("loop").unwrap().body;
+        if let Instr::Repeat { body, .. } = &body[0] {
+            assert!(matches!(body[0], Instr::SetGen { .. }));
+            assert!(matches!(body[2], Instr::RestoreGen { .. }));
+        } else {
+            panic!("loop preserved");
+        }
+    }
+}

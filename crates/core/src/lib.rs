@@ -1,0 +1,67 @@
+//! POLM2: automatic profiling for object lifetime-aware memory management.
+//!
+//! This crate is the paper's primary contribution, built on the simulated
+//! substrates in the sibling crates. The four components of Figure 1:
+//!
+//! * [`Recorder`] — a load-time agent ([`Recorder::agent`]) that instruments
+//!   every allocation site to log (stack trace, object identity hash) pairs,
+//!   plus the snapshot scheduling policy (one heap snapshot per GC cycle by
+//!   default, §3.2).
+//! * **Dumper** — lives in [`polm2-snapshot`]: CRIU-style incremental,
+//!   no-need-filtered heap snapshots.
+//! * [`Analyzer`] — offline: replays allocation records against the snapshot
+//!   series, estimates per-allocation-site lifetime distributions
+//!   ([`SiteLifetimes`]), derives target generations, and builds the
+//!   stack-trace tree ([`SttTree`]) to detect and resolve conflicts —
+//!   allocation sites reached through call paths with different lifetimes
+//!   (§3.3, Algorithm 1).
+//! * [`Instrumenter`] — a load-time agent that applies an
+//!   [`AllocationProfile`]: `@Gen`-annotates allocation sites and inserts
+//!   `setGeneration`/restore pairs at the call sites the STTree chose
+//!   (§3.4), with the subtree-hoisting optimization of §4.4.
+//!
+//! The two phases (§3.5) are driven by [`ProfilingSession`] (profiling) and
+//! [`ProductionSetup`] (production).
+//!
+//! [`polm2-snapshot`]: ../polm2_snapshot/index.html
+//!
+//! # Examples
+//!
+//! The profiling→production round trip on a toy program lives in the crate's
+//! integration tests and the repository's `examples/quickstart.rs`; the
+//! pieces compose like this:
+//!
+//! ```no_run
+//! use polm2_core::{AnalyzerConfig, ProfilingSession, SnapshotPolicy};
+//! use polm2_runtime::{Jvm, Program, RuntimeConfig};
+//! # fn workload_program() -> Program { Program::new() }
+//!
+//! // Profiling phase: run the workload under the Recorder.
+//! let mut session = ProfilingSession::new(SnapshotPolicy::default());
+//! let mut jvm = Jvm::builder(RuntimeConfig::paper_scaled())
+//!     .transformer(session.recorder_agent())
+//!     .build(workload_program())?;
+//! let thread = jvm.spawn_thread();
+//! // ... invoke workload operations, calling session.after_op(&mut jvm) ...
+//! let profile = session.finish(&mut jvm, &AnalyzerConfig::default());
+//!
+//! // Production phase: run again with the Instrumenter applying the profile.
+//! # Ok::<(), polm2_runtime::RuntimeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod analyzer;
+mod instrumenter;
+mod pipeline;
+mod profile;
+mod recorder;
+mod sttree;
+
+pub use analyzer::{AnalysisOutcome, Analyzer, AnalyzerConfig, SiteLifetimes, TraceLifetime};
+pub use instrumenter::Instrumenter;
+pub use pipeline::{ProductionSetup, ProfilingSession, SnapshotPolicy};
+pub use profile::{AllocationProfile, GenCall, ProfileParseError, PretenuredSite};
+pub use recorder::{AllocationRecords, Recorder, TraceId};
+pub use sttree::{Conflict, Resolution, SttTree};

@@ -1,0 +1,339 @@
+//! The two phases of POLM2 (paper §3.5): profiling and production.
+
+use polm2_runtime::{ClassTransformer, Jvm};
+use polm2_snapshot::{CriuDumper, HeapDumper, SnapshotSeries};
+
+use crate::analyzer::{AnalysisOutcome, Analyzer, AnalyzerConfig};
+use crate::instrumenter::{InstrumentationStats, Instrumenter};
+use crate::recorder::Recorder;
+use crate::AllocationProfile;
+
+/// When the Recorder asks the Dumper for a snapshot.
+///
+/// "By default (this is configurable), the Recorder asks for a new memory
+/// snapshot at the end of every GC cycle" (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Take a snapshot after every `every_n_cycles` completed GC cycles.
+    pub every_n_cycles: u32,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy { every_n_cycles: 1 }
+    }
+}
+
+/// Drives the profiling phase: Recorder + Dumper + Analyzer.
+///
+/// The workload driver calls [`after_op`](ProfilingSession::after_op) after
+/// every operation; the session drains allocation events into the Recorder
+/// and, whenever the policy says a GC cycle has completed, asks the Dumper
+/// for an incremental snapshot. [`finish`](ProfilingSession::finish) runs the
+/// Analyzer and yields the allocation profile.
+pub struct ProfilingSession {
+    recorder: Recorder,
+    dumper: Box<dyn HeapDumper>,
+    snapshots: SnapshotSeries,
+    policy: SnapshotPolicy,
+    cycles_at_last_snapshot: usize,
+}
+
+impl std::fmt::Debug for ProfilingSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfilingSession")
+            .field("dumper", &self.dumper.name())
+            .field("snapshots", &self.snapshots.len())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProfilingSession {
+    /// Creates a session with the CRIU Dumper.
+    pub fn new(policy: SnapshotPolicy) -> Self {
+        ProfilingSession::with_dumper(policy, Box::new(CriuDumper::new()))
+    }
+
+    /// Creates a session with a custom dumper (ablations, jmap baseline).
+    pub fn with_dumper(policy: SnapshotPolicy, dumper: Box<dyn HeapDumper>) -> Self {
+        ProfilingSession {
+            recorder: Recorder::new(),
+            dumper,
+            snapshots: SnapshotSeries::new(),
+            policy,
+            cycles_at_last_snapshot: 0,
+        }
+    }
+
+    /// The Recorder's load-time agent; install it in the profiling JVM.
+    pub fn recorder_agent(&self) -> Box<dyn ClassTransformer> {
+        self.recorder.agent()
+    }
+
+    /// Allocation sites the Recorder instrumented at load time.
+    pub fn instrumented_sites(&self) -> u64 {
+        self.recorder.instrumented_sites()
+    }
+
+    /// Called after each workload operation: drains allocation events and
+    /// takes a snapshot if a GC cycle completed since the last one.
+    pub fn after_op(&mut self, jvm: &mut Jvm) {
+        self.recorder.ingest(jvm.drain_alloc_events());
+        let cycles = jvm.gc_log().cycle_count();
+        if cycles >= self.cycles_at_last_snapshot + self.policy.every_n_cycles as usize {
+            self.take_snapshot(jvm);
+        }
+    }
+
+    /// Takes a snapshot unconditionally (the end-of-run snapshot, or tests).
+    pub fn take_snapshot(&mut self, jvm: &mut Jvm) {
+        let now = jvm.now();
+        let snap = self.dumper.snapshot(jvm.heap_mut(), now);
+        self.snapshots.push(snap);
+        self.cycles_at_last_snapshot = jvm.gc_log().cycle_count();
+    }
+
+    /// The snapshots taken so far.
+    pub fn snapshots(&self) -> &SnapshotSeries {
+        &self.snapshots
+    }
+
+    /// Allocations recorded so far.
+    pub fn recorded_allocations(&self) -> u64 {
+        self.recorder.records().total_records()
+    }
+
+    /// Ends the profiling phase: final drain, final snapshot, analysis.
+    pub fn finish(mut self, jvm: &mut Jvm, config: &AnalyzerConfig) -> AnalysisOutcome {
+        self.recorder.ingest(jvm.drain_alloc_events());
+        self.take_snapshot(jvm);
+        let records = self.recorder.into_records();
+        Analyzer::new(*config).analyze(&records, &self.snapshots, jvm.program())
+    }
+}
+
+/// Sets up the production phase: the Instrumenter agent plus launch-time
+/// generation creation.
+///
+/// "The generations necessary to accommodate application objects are
+/// automatically created (by calling the newGeneration NG2C API call) at
+/// launch time" (§3.4).
+#[derive(Debug)]
+pub struct ProductionSetup {
+    instrumenter: Instrumenter,
+}
+
+impl ProductionSetup {
+    /// Creates the production setup for a profile.
+    pub fn new(profile: AllocationProfile) -> Self {
+        ProductionSetup { instrumenter: Instrumenter::new(profile) }
+    }
+
+    /// The Instrumenter's load-time agent; install it in the production JVM.
+    pub fn agent(&self) -> Box<dyn ClassTransformer> {
+        self.instrumenter.agent()
+    }
+
+    /// Creates the generations the profile references (call once, right
+    /// after building the JVM).
+    pub fn prepare_generations(&self, jvm: &mut Jvm) {
+        let max = self.instrumenter.profile().max_gen().raw();
+        // The collector starts with generations 0 (young) and 1 (old);
+        // dynamic generations 2..=max are created here.
+        for _ in 1..max {
+            jvm.new_generation();
+        }
+    }
+
+    /// What the agent rewrote.
+    pub fn stats(&self) -> InstrumentationStats {
+        self.instrumenter.stats()
+    }
+
+    /// The profile being applied.
+    pub fn profile(&self) -> &AllocationProfile {
+        self.instrumenter.profile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polm2_gc::{GcConfig, Ng2cCollector};
+    use polm2_heap::GenId;
+    use polm2_runtime::{
+        ClassDef, HookAction, HookRegistry, Instr, MethodDef, Program, RuntimeConfig, SizeSpec,
+    };
+
+    /// A memtable-style toy workload: `put` cells that live until `flush`,
+    /// plus `scratch` garbage.
+    fn workload_program() -> Program {
+        let mut p = Program::new();
+        p.add_class(
+            ClassDef::new("Store")
+                .with_method(
+                    MethodDef::new("put")
+                        .push(Instr::call("Cell", "create", 10))
+                        .push(Instr::native("insert", 11)),
+                )
+                .with_method(
+                    MethodDef::new("scratch").push(Instr::alloc("Tmp", SizeSpec::Fixed(512), 20)),
+                )
+                .with_method(MethodDef::new("flush").push(Instr::native("flush", 30))),
+        );
+        p.add_class(ClassDef::new("Cell").with_method(
+            MethodDef::new("create").push(Instr::alloc("Cell", SizeSpec::Fixed(1024), 5)),
+        ));
+        p
+    }
+
+    fn workload_hooks() -> HookRegistry {
+        let mut h = HookRegistry::new();
+        h.register_action("insert", |ctx| {
+            let obj = ctx.acc.expect("cell before insert");
+            let slot = ctx.heap.roots_mut().create_slot("memtable");
+            ctx.heap.roots_mut().push(slot, obj);
+            HookAction::default()
+        });
+        h.register_action("flush", |ctx| {
+            if let Some(slot) = ctx.heap.roots().find_slot("memtable") {
+                ctx.heap.roots_mut().clear_slot(slot);
+            }
+            HookAction::default()
+        });
+        h
+    }
+
+    /// Cohorts must outlive several GC cycles for the analyzer to see them:
+    /// each batch churns ~1.5 MiB through the 1 MiB young generation, and the
+    /// memtable flushes only every third batch.
+    fn drive(jvm: &mut Jvm, session: Option<&mut ProfilingSession>, batches: usize) {
+        let t = jvm.spawn_thread();
+        let mut session = session;
+        for batch in 0..batches {
+            for _ in 0..300 {
+                jvm.invoke(t, "Store", "put").unwrap();
+                for _ in 0..8 {
+                    jvm.invoke(t, "Store", "scratch").unwrap();
+                }
+                if let Some(s) = session.as_deref_mut() {
+                    s.after_op(jvm);
+                }
+            }
+            if batch % 3 == 2 {
+                jvm.invoke(t, "Store", "flush").unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn profiling_phase_produces_a_useful_profile() {
+        let mut session = ProfilingSession::new(SnapshotPolicy::default());
+        let mut jvm = Jvm::builder(RuntimeConfig::small())
+            .hooks(workload_hooks())
+            .transformer(session.recorder_agent())
+            .build(workload_program())
+            .unwrap();
+        assert_eq!(session.instrumented_sites(), 2);
+        drive(&mut jvm, Some(&mut session), 9);
+        assert!(session.recorded_allocations() > 0);
+        assert!(session.snapshots().len() > 1, "GC cycles must trigger snapshots");
+
+        let outcome = session.finish(&mut jvm, &AnalyzerConfig::default());
+        // The cell site is pretenured; the scratch site is not.
+        let cell = outcome
+            .profile
+            .site_at(&polm2_runtime::CodeLoc::new("Cell", "create", 5))
+            .expect("cell site pretenured");
+        assert!(!cell.gen.is_young());
+        assert!(outcome
+            .profile
+            .site_at(&polm2_runtime::CodeLoc::new("Store", "scratch", 20))
+            .is_none());
+    }
+
+    #[test]
+    fn production_phase_pretenures_according_to_profile() {
+        // Phase 1: profile.
+        let mut session = ProfilingSession::new(SnapshotPolicy::default());
+        let mut jvm = Jvm::builder(RuntimeConfig::small())
+            .hooks(workload_hooks())
+            .transformer(session.recorder_agent())
+            .build(workload_program())
+            .unwrap();
+        drive(&mut jvm, Some(&mut session), 9);
+        let outcome = session.finish(&mut jvm, &AnalyzerConfig::default());
+        assert!(!outcome.profile.is_empty());
+
+        // Phase 2: production under NG2C + Instrumenter.
+        let setup = ProductionSetup::new(outcome.profile.clone());
+        let mut jvm = Jvm::builder(RuntimeConfig::small())
+            .collector(Box::new(Ng2cCollector::new(GcConfig::default())))
+            .hooks(workload_hooks())
+            .transformer(setup.agent())
+            .build(workload_program())
+            .unwrap();
+        setup.prepare_generations(&mut jvm);
+        drive(&mut jvm, None, 7);
+        assert!(setup.stats().annotated_sites > 0);
+
+        // Cells ended up outside the young generation at allocation time.
+        let mut pretenured = 0;
+        let mut total_cells = 0;
+        let cell_class = jvm.heap().classes().lookup("Cell").unwrap();
+        let live = jvm.heap_mut().mark_live(&[]);
+        for id in live.iter() {
+            let rec = jvm.heap().object(id).unwrap();
+            if rec.class() == cell_class {
+                total_cells += 1;
+                if !rec.allocated_gen().is_young() {
+                    pretenured += 1;
+                }
+            }
+        }
+        assert!(total_cells > 0);
+        assert_eq!(pretenured, total_cells, "every live cell was pretenured");
+    }
+
+    #[test]
+    fn prepare_generations_creates_profile_generations() {
+        let mut profile = AllocationProfile::new();
+        profile.add_site(crate::PretenuredSite {
+            loc: polm2_runtime::CodeLoc::new("X", "y", 1),
+            gen: GenId::new(3),
+            local: true,
+        });
+        let setup = ProductionSetup::new(profile);
+        let mut jvm = Jvm::builder(RuntimeConfig::small())
+            .collector(Box::new(Ng2cCollector::new(GcConfig::default())))
+            .build(workload_program())
+            .unwrap();
+        setup.prepare_generations(&mut jvm);
+        // Young + old + gens 2 and 3 = four spaces.
+        assert_eq!(jvm.heap().spaces().len(), 4);
+    }
+
+    #[test]
+    fn snapshot_policy_respects_cycle_stride() {
+        let mut s1 = ProfilingSession::new(SnapshotPolicy { every_n_cycles: 1 });
+        let mut jvm = Jvm::builder(RuntimeConfig::small())
+            .hooks(workload_hooks())
+            .transformer(s1.recorder_agent())
+            .build(workload_program())
+            .unwrap();
+        drive(&mut jvm, Some(&mut s1), 3);
+        let every_cycle = s1.snapshots().len();
+
+        let mut s4 = ProfilingSession::new(SnapshotPolicy { every_n_cycles: 4 });
+        let mut jvm = Jvm::builder(RuntimeConfig::small())
+            .hooks(workload_hooks())
+            .transformer(s4.recorder_agent())
+            .build(workload_program())
+            .unwrap();
+        drive(&mut jvm, Some(&mut s4), 3);
+        let every_fourth = s4.snapshots().len();
+
+        assert!(every_fourth < every_cycle, "{every_fourth} !< {every_cycle}");
+    }
+}

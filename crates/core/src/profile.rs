@@ -1,0 +1,362 @@
+//! The allocation profile: the profiling phase's output, the production
+//! phase's input (paper §3.5).
+//!
+//! Serialized as a small line-oriented text format so profiles can be saved
+//! per workload and chosen at launch time ("one allocation profile per
+//! expected workload"):
+//!
+//! ```text
+//! polm2-profile v1
+//! site <class> <method> <line> gen <g> [local]
+//! call <class> <method> <line> gen <g>
+//! ```
+//!
+//! * `site` — `@Gen`-annotate this allocation site; with `local`, also set
+//!   the target generation right at the site (non-conflicted, unhoisted).
+//! * `call` — wrap this call site in `setGeneration(g)` / restore.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use polm2_heap::GenId;
+use polm2_runtime::CodeLoc;
+
+/// An allocation site the Instrumenter must `@Gen`-annotate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PretenuredSite {
+    /// The allocation site.
+    pub loc: CodeLoc,
+    /// The generation objects from this site should live in (via the target
+    /// generation — informative for `local == false`, binding otherwise).
+    pub gen: GenId,
+    /// True if the site itself sets the target generation (no hoisting, no
+    /// conflict); false if an ancestor `call` entry provides it.
+    pub local: bool,
+}
+
+/// A call site to wrap in `setGeneration(gen)` / restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenCall {
+    /// The call site.
+    pub at: CodeLoc,
+    /// The generation to set while the callee runs.
+    pub gen: GenId,
+}
+
+/// Failure to parse a serialized profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ProfileParseError {}
+
+/// A complete application allocation profile for one workload.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_core::AllocationProfile;
+///
+/// let text = "\
+/// polm2-profile v1
+/// site Memtable insert 42 gen 2 local
+/// call Store put 10 gen 3
+/// ";
+/// let profile: AllocationProfile = text.parse()?;
+/// assert_eq!(profile.sites().len(), 1);
+/// assert_eq!(profile.gen_calls().len(), 1);
+/// assert_eq!(profile.to_string().parse::<AllocationProfile>()?, profile);
+/// # Ok::<(), polm2_core::ProfileParseError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocationProfile {
+    sites: Vec<PretenuredSite>,
+    gen_calls: Vec<GenCall>,
+}
+
+impl AllocationProfile {
+    /// Creates an empty profile (everything young — the uninstrumented
+    /// baseline).
+    pub fn new() -> Self {
+        AllocationProfile::default()
+    }
+
+    /// Adds a pretenured site. Entries are kept sorted by location so the
+    /// in-memory representation is canonical: equality and the serialized
+    /// text agree regardless of insertion order.
+    pub fn add_site(&mut self, site: PretenuredSite) {
+        if self.sites.contains(&site) {
+            return;
+        }
+        let at = self
+            .sites
+            .partition_point(|s| (&s.loc, s.gen) <= (&site.loc, site.gen));
+        self.sites.insert(at, site);
+    }
+
+    /// Adds a generation-setting call site (kept sorted; see
+    /// [`add_site`](AllocationProfile::add_site)).
+    pub fn add_gen_call(&mut self, call: GenCall) {
+        if self.gen_calls.contains(&call) {
+            return;
+        }
+        let at = self
+            .gen_calls
+            .partition_point(|c| (&c.at, c.gen) <= (&call.at, call.gen));
+        self.gen_calls.insert(at, call);
+    }
+
+    /// The `@Gen`-annotated allocation sites.
+    pub fn sites(&self) -> &[PretenuredSite] {
+        &self.sites
+    }
+
+    /// The wrapped call sites.
+    pub fn gen_calls(&self) -> &[GenCall] {
+        &self.gen_calls
+    }
+
+    /// Distinct non-young generations the profile uses.
+    pub fn generations_used(&self) -> Vec<GenId> {
+        let mut gens: Vec<GenId> = self
+            .sites
+            .iter()
+            .map(|s| s.gen)
+            .chain(self.gen_calls.iter().map(|c| c.gen))
+            .filter(|g| !g.is_young())
+            .collect();
+        gens.sort_unstable();
+        gens.dedup();
+        gens
+    }
+
+    /// The highest generation number used (0 when empty).
+    pub fn max_gen(&self) -> GenId {
+        self.generations_used().last().copied().unwrap_or(GenId::YOUNG)
+    }
+
+    /// True if the profile changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty() && self.gen_calls.is_empty()
+    }
+
+    /// Writes the profile to a file in the text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_string())
+    }
+
+    /// Reads a profile from a file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and parse failures (reported with their line number).
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        text.parse().map_err(|e: ProfileParseError| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+        })
+    }
+
+    /// Looks up the pretenured-site entry at `loc`.
+    pub fn site_at(&self, loc: &CodeLoc) -> Option<&PretenuredSite> {
+        self.sites.iter().find(|s| s.loc == *loc)
+    }
+
+    /// Looks up the generation-call entry at `loc`.
+    pub fn gen_call_at(&self, loc: &CodeLoc) -> Option<&GenCall> {
+        self.gen_calls.iter().find(|c| c.at == *loc)
+    }
+}
+
+impl fmt::Display for AllocationProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "polm2-profile v1")?;
+        // Entries are stored sorted; emit sites then calls.
+        for site in &self.sites {
+            write!(
+                f,
+                "site {} {} {} gen {}",
+                site.loc.class,
+                site.loc.method,
+                site.loc.line,
+                site.gen.raw()
+            )?;
+            if site.local {
+                write!(f, " local")?;
+            }
+            writeln!(f)?;
+        }
+        for call in &self.gen_calls {
+            writeln!(
+                f,
+                "call {} {} {} gen {}",
+                call.at.class,
+                call.at.method,
+                call.at.line,
+                call.gen.raw()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for AllocationProfile {
+    type Err = ProfileParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut lines = s.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header.trim() == "polm2-profile v1" => {}
+            Some((i, other)) => {
+                return Err(ProfileParseError {
+                    line: i + 1,
+                    message: format!("expected header 'polm2-profile v1', found {other:?}"),
+                })
+            }
+            None => {
+                return Err(ProfileParseError { line: 1, message: "empty profile".to_string() })
+            }
+        }
+        let mut profile = AllocationProfile::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let err = |message: String| ProfileParseError { line: i + 1, message };
+            match parts.as_slice() {
+                ["site", class, method, line_no, "gen", g, rest @ ..] => {
+                    let loc = CodeLoc::new(
+                        *class,
+                        *method,
+                        line_no.parse().map_err(|_| err(format!("bad line number {line_no}")))?,
+                    );
+                    let gen = GenId::new(
+                        g.parse().map_err(|_| err(format!("bad generation {g}")))?,
+                    );
+                    let local = match rest {
+                        [] => false,
+                        ["local"] => true,
+                        other => return Err(err(format!("unexpected trailer {other:?}"))),
+                    };
+                    profile.add_site(PretenuredSite { loc, gen, local });
+                }
+                ["call", class, method, line_no, "gen", g] => {
+                    let at = CodeLoc::new(
+                        *class,
+                        *method,
+                        line_no.parse().map_err(|_| err(format!("bad line number {line_no}")))?,
+                    );
+                    let gen = GenId::new(
+                        g.parse().map_err(|_| err(format!("bad generation {g}")))?,
+                    );
+                    profile.add_gen_call(GenCall { at, gen });
+                }
+                _ => return Err(err(format!("unrecognized directive: {line}"))),
+            }
+        }
+        Ok(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AllocationProfile {
+        let mut p = AllocationProfile::new();
+        p.add_site(PretenuredSite {
+            loc: CodeLoc::new("Cell", "create", 5),
+            gen: GenId::new(2),
+            local: false,
+        });
+        p.add_site(PretenuredSite {
+            loc: CodeLoc::new("Index", "post", 9),
+            gen: GenId::new(3),
+            local: true,
+        });
+        p.add_gen_call(GenCall { at: CodeLoc::new("Store", "put", 10), gen: GenId::new(2) });
+        p
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let p = sample();
+        let text = p.to_string();
+        let parsed: AllocationProfile = text.parse().unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn generations_used_is_sorted_and_deduped() {
+        let p = sample();
+        assert_eq!(p.generations_used(), vec![GenId::new(2), GenId::new(3)]);
+        assert_eq!(p.max_gen(), GenId::new(3));
+        assert!(!p.is_empty());
+        assert!(AllocationProfile::new().is_empty());
+        assert_eq!(AllocationProfile::new().max_gen(), GenId::YOUNG);
+    }
+
+    #[test]
+    fn lookups_by_location() {
+        let p = sample();
+        assert!(p.site_at(&CodeLoc::new("Cell", "create", 5)).is_some());
+        assert!(p.site_at(&CodeLoc::new("Cell", "create", 6)).is_none());
+        assert!(p.gen_call_at(&CodeLoc::new("Store", "put", 10)).is_some());
+    }
+
+    #[test]
+    fn duplicate_entries_are_ignored() {
+        let mut p = sample();
+        let before = p.sites().len();
+        p.add_site(p.sites()[0].clone());
+        assert_eq!(p.sites().len(), before);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("".parse::<AllocationProfile>().is_err());
+        assert!("wrong header".parse::<AllocationProfile>().is_err());
+        assert!("polm2-profile v1\nsite A b x gen 2".parse::<AllocationProfile>().is_err());
+        assert!("polm2-profile v1\nsite A b 1 gen x".parse::<AllocationProfile>().is_err());
+        assert!("polm2-profile v1\nfrob A b 1".parse::<AllocationProfile>().is_err());
+        assert!("polm2-profile v1\nsite A b 1 gen 2 weird".parse::<AllocationProfile>().is_err());
+        let err = "polm2-profile v1\nfrob".parse::<AllocationProfile>().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let p = sample();
+        let path = std::env::temp_dir().join("polm2_profile_roundtrip.profile");
+        p.save(&path).unwrap();
+        let loaded = AllocationProfile::load(&path).unwrap();
+        assert_eq!(loaded, p);
+        std::fs::remove_file(&path).ok();
+        assert!(AllocationProfile::load("/nonexistent/path.profile").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "polm2-profile v1\n\n# a comment\nsite A b 1 gen 2\n";
+        let p: AllocationProfile = text.parse().unwrap();
+        assert_eq!(p.sites().len(), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! The Recorder: allocation logging agent and record store.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use polm2_heap::IdentityHash;
+use polm2_runtime::{ClassDef, ClassTransformer, CodeLoc, Instr, LoadedProgram, TraceFrame};
+
+/// Identifies one unique allocation stack trace.
+///
+/// The paper's Recorder keeps a table of stack traces in memory and streams
+/// object ids per trace (§3.2) so each trace is written once; `TraceId`
+/// indexes that table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(u32);
+
+impl TraceId {
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// The Recorder's output: interned stack traces plus, per trace, the stream
+/// of identity hashes of objects allocated through it.
+#[derive(Debug, Default)]
+pub struct AllocationRecords {
+    /// Interned traces (compact frame form).
+    traces: Vec<Vec<TraceFrame>>,
+    /// Trace intern map; hashed with the heap's fast id hasher — this map
+    /// is hit once per recorded allocation.
+    by_trace: std::collections::HashMap<Vec<TraceFrame>, TraceId, polm2_heap::BuildIdHasher>,
+    /// Per-trace object-id streams (identity hashes, §4.3). The Recorder
+    /// deliberately does NOT index by hash: the paper's Recorder streams ids
+    /// to disk precisely to avoid per-object memory overhead (§3.2).
+    streams: Vec<Vec<IdentityHash>>,
+    total_records: u64,
+}
+
+impl AllocationRecords {
+    /// Records one allocation.
+    pub fn record(&mut self, trace: Vec<TraceFrame>, hash: IdentityHash) {
+        let id = match self.by_trace.get(&trace) {
+            Some(&id) => id,
+            None => {
+                let id = TraceId(self.traces.len() as u32);
+                self.by_trace.insert(trace.clone(), id);
+                self.traces.push(trace);
+                self.streams.push(Vec::new());
+                id
+            }
+        };
+        self.streams[id.0 as usize].push(hash);
+        self.total_records += 1;
+    }
+
+    /// Number of distinct stack traces observed.
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total allocations recorded.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// The compact frames of a trace.
+    pub fn trace(&self, id: TraceId) -> &[TraceFrame] {
+        &self.traces[id.0 as usize]
+    }
+
+    /// The identity-hash stream of a trace.
+    pub fn stream(&self, id: TraceId) -> &[IdentityHash] {
+        &self.streams[id.0 as usize]
+    }
+
+    /// Iterates over all trace ids.
+    pub fn trace_ids(&self) -> impl Iterator<Item = TraceId> {
+        (0..self.traces.len() as u32).map(TraceId)
+    }
+
+    /// Resolves a trace to human-readable locations ("flushing the stack
+    /// traces to disk", done once per trace at the end of profiling).
+    pub fn resolve_trace(&self, id: TraceId, program: &LoadedProgram) -> Vec<CodeLoc> {
+        self.trace(id).iter().map(|&f| program.code_loc(f)).collect()
+    }
+}
+
+/// The Recorder component.
+///
+/// Owns the [`AllocationRecords`] store and hands out the load-time agent
+/// that makes the runtime report every allocation
+/// ([`Recorder::agent`]).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    records: Rc<RefCell<AllocationRecords>>,
+    instrumented_sites: Rc<RefCell<u64>>,
+}
+
+impl Recorder {
+    /// Creates an idle recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// The load-time agent: inserts a logging callback after every
+    /// allocation instruction, exactly as the paper's Recorder rewrites
+    /// bytecode with ASM (§4.1).
+    pub fn agent(&self) -> Box<dyn ClassTransformer> {
+        Box::new(RecorderAgent { instrumented_sites: Rc::clone(&self.instrumented_sites) })
+    }
+
+    /// Ingests allocation events drained from the runtime.
+    pub fn ingest(&mut self, events: Vec<polm2_runtime::AllocEvent>) {
+        let mut records = self.records.borrow_mut();
+        for event in events {
+            records.record(event.trace, event.hash);
+        }
+    }
+
+    /// Number of allocation sites the agent instrumented at load time.
+    pub fn instrumented_sites(&self) -> u64 {
+        *self.instrumented_sites.borrow()
+    }
+
+    /// Read access to the records.
+    pub fn records(&self) -> std::cell::Ref<'_, AllocationRecords> {
+        self.records.borrow()
+    }
+
+    /// Extracts the records, consuming the recorder ("flush at the end of
+    /// the profiling run", §3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder's agent is still installed in a live runtime
+    /// holding a second reference.
+    pub fn into_records(self) -> AllocationRecords {
+        Rc::try_unwrap(self.records).expect("recorder agent still installed").into_inner()
+    }
+}
+
+struct RecorderAgent {
+    instrumented_sites: Rc<RefCell<u64>>,
+}
+
+impl ClassTransformer for RecorderAgent {
+    fn name(&self) -> &str {
+        "polm2-recorder"
+    }
+
+    fn transform(&mut self, class: &mut ClassDef) {
+        let mut count = 0;
+        for method in &mut class.methods {
+            instrument_block(&mut method.body, &mut count);
+        }
+        *self.instrumented_sites.borrow_mut() += count;
+    }
+}
+
+fn instrument_block(block: &mut Vec<Instr>, count: &mut u64) {
+    let mut out = Vec::with_capacity(block.len());
+    for mut instr in block.drain(..) {
+        match &mut instr {
+            Instr::Branch { then_block, else_block, .. } => {
+                instrument_block(then_block, count);
+                instrument_block(else_block, count);
+                out.push(instr);
+            }
+            Instr::Repeat { body, .. } => {
+                instrument_block(body, count);
+                out.push(instr);
+            }
+            Instr::Alloc { line, .. } => {
+                let line = *line;
+                *count += 1;
+                out.push(instr);
+                out.push(Instr::RecordAlloc { line });
+            }
+            _ => out.push(instr),
+        }
+    }
+    *block = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polm2_heap::ObjectId;
+    use polm2_runtime::{MethodDef, Program, SizeSpec};
+
+    fn frame(line: u32) -> TraceFrame {
+        TraceFrame { class_idx: 0, method_idx: 0, line }
+    }
+
+    #[test]
+    fn records_intern_traces_and_stream_hashes() {
+        let mut r = AllocationRecords::default();
+        let t1 = vec![frame(1), frame(5)];
+        let t2 = vec![frame(2), frame(5)];
+        r.record(t1.clone(), IdentityHash::of(ObjectId::new(1)));
+        r.record(t1.clone(), IdentityHash::of(ObjectId::new(2)));
+        r.record(t2, IdentityHash::of(ObjectId::new(3)));
+        assert_eq!(r.trace_count(), 2);
+        assert_eq!(r.total_records(), 3);
+        let id = r.trace_ids().next().unwrap();
+        assert_eq!(r.trace(id), &t1[..]);
+        assert_eq!(r.stream(id).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_hashes_are_tolerated() {
+        // Identity-hash collisions are possible, as in the JVM; recording
+        // just streams both.
+        let mut r = AllocationRecords::default();
+        let h = IdentityHash::of(ObjectId::new(1));
+        r.record(vec![frame(1)], h);
+        r.record(vec![frame(2)], h);
+        assert_eq!(r.total_records(), 2);
+        assert_eq!(r.trace_count(), 2);
+    }
+
+    #[test]
+    fn agent_inserts_record_after_every_alloc_including_nested() {
+        let mut program = Program::new();
+        program.add_class(
+            ClassDef::new("A").with_method(
+                MethodDef::new("m")
+                    .push(Instr::alloc("X", SizeSpec::Fixed(8), 1))
+                    .push(Instr::Branch {
+                        cond: "c".into(),
+                        then_block: vec![Instr::alloc("Y", SizeSpec::Fixed(8), 3)],
+                        else_block: vec![],
+                        line: 2,
+                    }),
+            ),
+        );
+        let recorder = Recorder::new();
+        let mut agent = recorder.agent();
+        agent.transform(&mut program.classes_mut()[0]);
+        assert_eq!(recorder.instrumented_sites(), 2);
+        let body = &program.class("A").unwrap().method("m").unwrap().body;
+        assert!(matches!(body[1], Instr::RecordAlloc { line: 1 }));
+        if let Instr::Branch { then_block, .. } = &body[2] {
+            assert!(matches!(then_block[1], Instr::RecordAlloc { line: 3 }));
+        } else {
+            panic!("branch preserved");
+        }
+    }
+
+    #[test]
+    fn into_records_round_trips() {
+        let mut recorder = Recorder::new();
+        recorder.ingest(vec![polm2_runtime::AllocEvent {
+            trace: vec![frame(4)],
+            object: ObjectId::new(7),
+            hash: IdentityHash::of(ObjectId::new(7)),
+            site: polm2_heap::SiteId::new(0),
+            at: polm2_metrics::SimTime::ZERO,
+        }]);
+        let records = recorder.into_records();
+        assert_eq!(records.total_records(), 1);
+        assert_eq!(records.trace_count(), 1);
+    }
+}

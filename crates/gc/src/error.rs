@@ -1,0 +1,69 @@
+//! Collector error type.
+
+use std::error::Error;
+use std::fmt;
+
+use polm2_heap::HeapError;
+
+/// Errors produced by collectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GcError {
+    /// The heap could not satisfy an allocation even after a full collection.
+    OutOfMemory {
+        /// Bytes the failing allocation requested.
+        requested: u64,
+    },
+    /// An underlying heap operation failed in a way the collector cannot
+    /// recover from.
+    Heap(HeapError),
+    /// A thread referenced a generation that was never created.
+    UnknownGeneration {
+        /// The raw generation number.
+        gen: u32,
+    },
+}
+
+impl fmt::Display for GcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {requested} bytes after full collection")
+            }
+            GcError::Heap(e) => write!(f, "heap operation failed: {e}"),
+            GcError::UnknownGeneration { gen } => write!(f, "generation {gen} was never created"),
+        }
+    }
+}
+
+impl Error for GcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GcError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeapError> for GcError {
+    fn from(e: HeapError) -> Self {
+        GcError::Heap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polm2_heap::SpaceId;
+
+    #[test]
+    fn display_and_source() {
+        let e = GcError::OutOfMemory { requested: 64 };
+        assert!(e.to_string().contains("64 bytes"));
+        let e = GcError::from(HeapError::NoSuchSpace { space: SpaceId::new(3) });
+        assert!(e.to_string().contains("space#3"));
+        assert!(Error::source(&e).is_some());
+        let e = GcError::UnknownGeneration { gen: 9 };
+        assert!(e.to_string().contains('9'));
+    }
+}

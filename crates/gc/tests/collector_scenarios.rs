@@ -1,0 +1,188 @@
+//! Scenario tests for the collectors' G1-style machinery: concurrent-style
+//! mark cycles (floating garbage), bounded collection sets, and the
+//! interplay of young/mixed/full collections over longer operation
+//! sequences.
+
+use polm2_gc::{
+    AllocRequest, C4Collector, Collector, G1Collector, GcConfig, GcKind, Ng2cCollector,
+    SafepointRoots, ThreadId,
+};
+use polm2_heap::{Heap, HeapConfig, ObjectId, SiteId};
+
+fn req(heap: &mut Heap, size: u32, pretenure: bool) -> AllocRequest {
+    AllocRequest {
+        class: heap.classes_mut().intern("T"),
+        size,
+        site: SiteId::new(0),
+        pretenure,
+        thread: ThreadId::new(0),
+    }
+}
+
+/// Churn `n` objects, rooting every `keep_every`-th in `slot`.
+fn churn(
+    heap: &mut Heap,
+    gc: &mut dyn Collector,
+    n: usize,
+    keep_every: usize,
+    slot: &str,
+) -> Vec<ObjectId> {
+    let slot = heap.roots_mut().create_slot(slot);
+    let mut kept = Vec::new();
+    for i in 0..n {
+        let r = req(heap, 2048, false);
+        let out = gc.alloc(heap, r, &SafepointRoots::none()).expect("alloc");
+        if keep_every > 0 && i % keep_every == 0 {
+            heap.roots_mut().push(slot, out.object);
+            kept.push(out.object);
+        }
+    }
+    kept
+}
+
+#[test]
+fn floating_garbage_is_reclaimed_within_a_mark_cycle_refresh() {
+    let mut heap = Heap::new(HeapConfig::paper_scaled());
+    // A lower mixed trigger keeps reclamation active at this test's modest
+    // occupancy.
+    let mut gc = G1Collector::new(GcConfig { mixed_trigger_fraction: 0.25, ..GcConfig::default() });
+    gc.attach(&mut heap);
+    // Promote a large rooted cohort into old space.
+    // Enough rooted mass (~120 MiB promoted) that old-space occupancy keeps
+    // the mixed trigger armed after the cohort dies.
+    let kept = churn(&mut heap, &mut gc, 120_000, 2, "cohort");
+    let missing = kept.iter().filter(|&&o| heap.object(o).is_none()).count();
+    assert_eq!(missing, 0, "rooted objects vanished during churn: {missing} of {}", kept.len());
+    let live_before = heap.object_count();
+    // Kill the cohort: it is now floating garbage w.r.t. any cached mark.
+    let slot = heap.roots_mut().find_slot("cohort").unwrap();
+    heap.roots_mut().clear_slot(slot);
+    drop(kept);
+    // Keep allocating: mixed pauses must eventually refresh the mark cycle
+    // and drain the dead cohort.
+    churn(&mut heap, &mut gc, 120_000, 0, "none");
+    assert!(
+        heap.object_count() < live_before / 4,
+        "dead cohort must drain: {} live of {live_before} before",
+        heap.object_count()
+    );
+    heap.check_invariants();
+}
+
+#[test]
+fn mixed_pauses_respect_the_collection_set_bound() {
+    let config = GcConfig {
+        max_compact_regions_per_pause: 8,
+        mixed_trigger_fraction: 0.25,
+        ..GcConfig::default()
+    };
+    let region_bytes = HeapConfig::paper_scaled().region_bytes;
+    let mut heap = Heap::new(HeapConfig::paper_scaled());
+    let mut gc = G1Collector::new(config);
+    gc.attach(&mut heap);
+    let slot = heap.roots_mut().create_slot("keep");
+    let mut events = Vec::new();
+    for i in 0..200_000 {
+        let r = req(&mut heap, 2048, false);
+        let out = gc.alloc(&mut heap, r, &SafepointRoots::none()).expect("alloc");
+        if i % 3 == 0 {
+            heap.roots_mut().push(slot, out.object);
+        }
+        if i % 9 == 0 {
+            heap.roots_mut().remove(slot, out.object);
+        }
+        events.extend(out.pauses);
+    }
+    let mixed: Vec<_> = events.iter().filter(|p| p.kind == GcKind::Mixed).collect();
+    assert!(!mixed.is_empty(), "the churn must trigger mixed pauses");
+    for p in &mixed {
+        assert!(
+            p.work.compacted_bytes <= 8 * region_bytes,
+            "collection set exceeded: {} bytes compacted",
+            p.work.compacted_bytes
+        );
+    }
+}
+
+#[test]
+fn ng2c_cohort_death_is_mostly_region_frees_not_compaction() {
+    let mut heap = Heap::new(HeapConfig::paper_scaled());
+    let mut gc = Ng2cCollector::new(GcConfig::default());
+    gc.attach(&mut heap);
+    let gen = gc.new_generation(&mut heap);
+    gc.set_target_gen(ThreadId::new(0), gen).unwrap();
+    let slot = heap.roots_mut().create_slot("cohort");
+    let mut freed_whole = 0u64;
+    let mut compacted = 0u64;
+    for round in 0..6 {
+        // A pretenured cohort lives while young garbage churns, then dies.
+        for _ in 0..8_192 {
+            let r = req(&mut heap, 2048, true);
+            let out = gc.alloc(&mut heap, r, &SafepointRoots::none()).expect("alloc");
+            heap.roots_mut().push(slot, out.object);
+        }
+        for _ in 0..16_384 {
+            let r = req(&mut heap, 2048, false);
+            let out = gc.alloc(&mut heap, r, &SafepointRoots::none()).expect("alloc");
+            for p in out.pauses {
+                freed_whole += p.work.freed_regions;
+                compacted += p.work.compacted_bytes;
+            }
+        }
+        let _ = round;
+        heap.roots_mut().clear_slot(slot);
+    }
+    assert!(freed_whole > 50, "cohort regions must be freed whole: {freed_whole}");
+    assert!(
+        compacted < freed_whole * HeapConfig::paper_scaled().region_bytes / 4,
+        "segregated cohorts should rarely need compaction: {compacted} bytes vs {freed_whole} regions"
+    );
+    heap.check_invariants();
+}
+
+#[test]
+fn collectors_agree_on_what_is_garbage() {
+    // Whatever the collector, after the workload ends and a full collection
+    // runs, exactly the rooted objects survive.
+    for collector in ["g1", "ng2c", "c4"] {
+        let mut heap = Heap::new(HeapConfig::paper_scaled());
+        let mut gc: Box<dyn Collector> = match collector {
+            "g1" => Box::new(G1Collector::new(GcConfig::default())),
+            "ng2c" => Box::new(Ng2cCollector::new(GcConfig::default())),
+            _ => Box::new(C4Collector::new(GcConfig::default())),
+        };
+        gc.attach(&mut heap);
+        let kept = churn(&mut heap, gc.as_mut(), 30_000, 10, "keep");
+        gc.collect(&mut heap, &SafepointRoots::none());
+        gc.collect(&mut heap, &SafepointRoots::none());
+        assert_eq!(
+            heap.object_count(),
+            kept.len(),
+            "{collector}: survivors must equal the rooted set"
+        );
+        for obj in kept {
+            assert!(heap.object(obj).is_some(), "{collector}: rooted object lost");
+        }
+        heap.check_invariants();
+    }
+}
+
+#[test]
+fn target_generation_survives_across_collections() {
+    let mut heap = Heap::new(HeapConfig::paper_scaled());
+    let mut gc = Ng2cCollector::new(GcConfig::default());
+    gc.attach(&mut heap);
+    let gen = gc.new_generation(&mut heap);
+    gc.set_target_gen(ThreadId::new(0), gen).unwrap();
+    // Enough churn to force collections between pretenured allocations.
+    for i in 0..60_000 {
+        let pretenure = i % 7 == 0;
+        let r = req(&mut heap, 2048, pretenure);
+        let out = gc.alloc(&mut heap, r, &SafepointRoots::none()).expect("alloc");
+        if pretenure {
+            let rec = heap.object(out.object).unwrap();
+            assert_eq!(rec.allocated_gen(), gen, "target generation drifted at op {i}");
+        }
+    }
+    assert_eq!(gc.target_gen(ThreadId::new(0)), gen);
+}

@@ -1,0 +1,114 @@
+//! Interned class names.
+
+use std::collections::HashMap;
+
+use crate::ClassId;
+
+/// Metadata for one interned class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// Fully-qualified class name, e.g. `"cassandra/Memtable"`.
+    pub name: String,
+}
+
+/// Intern table mapping class names to [`ClassId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_heap::ClassRegistry;
+///
+/// let mut reg = ClassRegistry::new();
+/// let a = reg.intern("Memtable");
+/// let b = reg.intern("Memtable");
+/// assert_eq!(a, b);
+/// assert_eq!(reg.name(a), Some("Memtable"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClassRegistry {
+    classes: Vec<ClassInfo>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ClassRegistry::default()
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> ClassId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ClassId::new(self.classes.len() as u32);
+        self.classes.push(ClassInfo { name: name.to_string() });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a class by name without interning.
+    pub fn lookup(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for `id`, if it exists.
+    pub fn name(&self, id: ClassId) -> Option<&str> {
+        self.classes.get(id.index()).map(|c| c.name.as_str())
+    }
+
+    /// Number of interned classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if no class has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over `(id, info)` pairs in intern order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassInfo)> {
+        self.classes.iter().enumerate().map(|(i, c)| (ClassId::new(i as u32), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.intern("A");
+        let b = reg.intern("B");
+        assert_ne!(a, b);
+        assert_eq!(reg.intern("A"), a);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut reg = ClassRegistry::new();
+        assert_eq!(reg.lookup("missing"), None);
+        let id = reg.intern("present");
+        assert_eq!(reg.lookup("present"), Some(id));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn iteration_follows_intern_order() {
+        let mut reg = ClassRegistry::new();
+        reg.intern("first");
+        reg.intern("second");
+        let names: Vec<&str> = reg.iter().map(|(_, c)| c.name.as_str()).collect();
+        assert_eq!(names, ["first", "second"]);
+    }
+
+    #[test]
+    fn name_of_unknown_id_is_none() {
+        let reg = ClassRegistry::new();
+        assert_eq!(reg.name(ClassId::new(9)), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Heap geometry configuration.
+
+/// Geometry of the simulated heap.
+///
+/// The paper's evaluation fixes a 12 GiB heap with a 2 GiB young generation.
+/// The simulation scales everything down (default 256 MiB / 32 MiB) and
+/// scales workload object counts accordingly; ratios, not absolute sizes,
+/// drive every figure.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_heap::HeapConfig;
+///
+/// let cfg = HeapConfig::default();
+/// assert_eq!(cfg.total_bytes % cfg.region_bytes, 0);
+/// assert_eq!(cfg.region_bytes % cfg.page_bytes, 0);
+/// assert!(cfg.young_bytes < cfg.total_bytes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Total committed heap, in bytes.
+    pub total_bytes: u64,
+    /// Young-generation budget, in bytes (the `-Xmn` analogue).
+    pub young_bytes: u64,
+    /// Region size, in bytes. Spaces grow region by region.
+    pub region_bytes: u64,
+    /// Page size, in bytes. Pages carry dirty/no-need bits for the Dumper.
+    pub page_bytes: u64,
+}
+
+impl HeapConfig {
+    /// The default evaluation geometry: 256 MiB heap, 32 MiB young,
+    /// 1 MiB regions, 4 KiB pages — a 1:48 scale model of the paper's
+    /// 12 GiB / 2 GiB setup.
+    pub fn paper_scaled() -> Self {
+        HeapConfig {
+            total_bytes: 256 << 20,
+            young_bytes: 32 << 20,
+            region_bytes: 1 << 20,
+            page_bytes: 4 << 10,
+        }
+    }
+
+    /// A small geometry for unit tests: 4 MiB heap, 1 MiB young,
+    /// 256 KiB regions, 4 KiB pages.
+    pub fn small() -> Self {
+        HeapConfig {
+            total_bytes: 4 << 20,
+            young_bytes: 1 << 20,
+            region_bytes: 256 << 10,
+            page_bytes: 4 << 10,
+        }
+    }
+
+    /// Number of regions in the pool.
+    pub fn region_count(&self) -> u32 {
+        (self.total_bytes / self.region_bytes) as u32
+    }
+
+    /// Number of pages per region.
+    pub fn pages_per_region(&self) -> u32 {
+        (self.region_bytes / self.page_bytes) as u32
+    }
+
+    /// Total number of pages.
+    pub fn page_count(&self) -> u32 {
+        self.region_count() * self.pages_per_region()
+    }
+
+    /// Number of regions the young generation may hold.
+    pub fn young_region_budget(&self) -> u32 {
+        (self.young_bytes / self.region_bytes) as u32
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if sizes are zero, not multiples of each other, or
+    /// the young budget does not fit in the heap.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.page_bytes == 0 || self.region_bytes == 0 || self.total_bytes == 0 {
+            return Err("heap sizes must be non-zero".into());
+        }
+        if !self.region_bytes.is_multiple_of(self.page_bytes) {
+            return Err("region size must be a multiple of the page size".into());
+        }
+        if !self.total_bytes.is_multiple_of(self.region_bytes) {
+            return Err("heap size must be a multiple of the region size".into());
+        }
+        if !self.young_bytes.is_multiple_of(self.region_bytes) {
+            return Err("young size must be a multiple of the region size".into());
+        }
+        if self.young_bytes == 0 || self.young_bytes >= self.total_bytes {
+            return Err("young generation must be non-empty and smaller than the heap".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig::paper_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_valid() {
+        assert!(HeapConfig::default().validate().is_ok());
+        assert!(HeapConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn derived_counts() {
+        let cfg = HeapConfig::small();
+        assert_eq!(cfg.region_count(), 16);
+        assert_eq!(cfg.pages_per_region(), 64);
+        assert_eq!(cfg.page_count(), 1024);
+        assert_eq!(cfg.young_region_budget(), 4);
+    }
+
+    #[test]
+    fn invalid_geometries_are_rejected() {
+        let mut cfg = HeapConfig::small();
+        cfg.region_bytes = 100_000; // not a multiple of page size
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HeapConfig::small();
+        cfg.young_bytes = cfg.total_bytes;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HeapConfig::small();
+        cfg.young_bytes = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = HeapConfig::small();
+        cfg.total_bytes = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Heap error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ObjectId, SpaceId};
+
+/// Errors produced by heap operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HeapError {
+    /// No free region was available to extend a space. A collector should
+    /// run and retry; if it recurs immediately afterwards the heap is truly
+    /// exhausted.
+    OutOfRegions {
+        /// The space that needed to grow.
+        space: SpaceId,
+    },
+    /// A space has hit its region budget (e.g. the young-generation budget).
+    SpaceFull {
+        /// The space that is full.
+        space: SpaceId,
+    },
+    /// An object id did not resolve to a live object.
+    NoSuchObject {
+        /// The offending id.
+        object: ObjectId,
+    },
+    /// A space id did not resolve to an existing space.
+    NoSuchSpace {
+        /// The offending id.
+        space: SpaceId,
+    },
+    /// An object was larger than a region, which the bump allocator cannot
+    /// place.
+    ObjectTooLarge {
+        /// Requested size in bytes.
+        size: u64,
+        /// Maximum allocatable size (one region).
+        max: u64,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfRegions { space } => {
+                write!(f, "no free region available to grow {space}")
+            }
+            HeapError::SpaceFull { space } => write!(f, "{space} reached its region budget"),
+            HeapError::NoSuchObject { object } => write!(f, "{object} is not a live object"),
+            HeapError::NoSuchSpace { space } => write!(f, "{space} does not exist"),
+            HeapError::ObjectTooLarge { size, max } => {
+                write!(f, "object of {size} bytes exceeds the maximum of {max} bytes")
+            }
+        }
+    }
+}
+
+impl Error for HeapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HeapError::OutOfRegions { space: SpaceId::new(0) };
+        assert!(e.to_string().contains("space#0"));
+        let e = HeapError::NoSuchObject { object: ObjectId::new(5) };
+        assert!(e.to_string().contains("obj#5"));
+        let e = HeapError::ObjectTooLarge { size: 10, max: 5 };
+        assert!(e.to_string().contains("10 bytes"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HeapError>();
+    }
+}

@@ -1,0 +1,1104 @@
+//! The heap façade: allocation, mutation, marking, relocation, reclamation.
+
+use std::collections::VecDeque;
+
+use crate::fasthash::{IdHashMap, IdHashSet};
+
+use crate::{
+    Addr, ClassId, ClassRegistry, GenId, HeapConfig, HeapError, HeapStats, ObjectId, ObjectRecord,
+    PageTable, Region, RegionId, RootTable, SiteId, Space, SpaceId,
+};
+
+/// The result of a marking pass: which objects are reachable and how much
+/// they weigh.
+///
+/// Produced by [`Heap::mark_live`]; consumed by collectors (to decide what to
+/// copy or sweep), by the Dumper's no-need walk, and by the Analyzer's
+/// snapshot contents.
+#[derive(Debug, Clone)]
+pub struct LiveSet {
+    live: IdHashSet<ObjectId>,
+    /// Live objects in deterministic (discovery) order.
+    order: Vec<ObjectId>,
+    live_bytes: u64,
+    /// Objects traced (== `order.len()`), kept separate for cost accounting.
+    traced_objects: u64,
+}
+
+impl LiveSet {
+    /// True if `obj` was reachable at mark time.
+    pub fn contains(&self, obj: ObjectId) -> bool {
+        self.live.contains(&obj)
+    }
+
+    /// Live objects in discovery order (roots first, then BFS).
+    pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if nothing was reachable.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Total bytes of live objects.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Number of objects traced during the mark (equal to [`len`]).
+    ///
+    /// [`len`]: LiveSet::len
+    pub fn traced_objects(&self) -> u64 {
+        self.traced_objects
+    }
+}
+
+/// The simulated managed heap.
+///
+/// See the [crate documentation](crate) for the layout model and an example.
+#[derive(Debug)]
+pub struct Heap {
+    config: HeapConfig,
+    classes: ClassRegistry,
+    roots: RootTable,
+    objects: IdHashMap<ObjectId, ObjectRecord>,
+    next_object: u64,
+    regions: Vec<Region>,
+    /// Free pool; regions are handed out lowest-id first.
+    free_regions: Vec<RegionId>,
+    spaces: Vec<Space>,
+    /// Regions detached from their space for evacuation (still assigned, not
+    /// allocatable). See [`Heap::begin_evacuation`].
+    evacuating: Vec<RegionId>,
+    page_table: PageTable,
+    mark_epoch: u32,
+    /// Remembered set: young objects referenced from non-young objects
+    /// (appended by the `add_ref` write barrier, pruned after each young
+    /// collection). Lets minor collections avoid tracing the old spaces.
+    remembered: Vec<ObjectId>,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// The space id of the always-present young generation.
+    pub const YOUNG_SPACE: SpaceId = SpaceId::new(0);
+
+    /// Creates a heap with the given geometry. The young generation (space 0)
+    /// exists from the start, budgeted to `config.young_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`HeapConfig::validate`].
+    pub fn new(config: HeapConfig) -> Self {
+        config.validate().expect("invalid heap configuration");
+        let region_count = config.region_count();
+        let pages_per_region = config.pages_per_region();
+        let regions: Vec<Region> = (0..region_count)
+            .map(|i| {
+                Region::new(
+                    RegionId::new(i),
+                    crate::PageId::new(i * pages_per_region),
+                )
+            })
+            .collect();
+        let free_regions: Vec<RegionId> = (0..region_count).rev().map(RegionId::new).collect();
+        let mut page_table =
+            PageTable::new(config.page_count(), pages_per_region, config.page_bytes as u32);
+        // Unassigned regions hold no live data.
+        for p in 0..config.page_count() {
+            page_table.set_no_need(p, true);
+        }
+        let young = Space::new(Heap::YOUNG_SPACE, GenId::YOUNG, Some(config.young_region_budget()));
+        Heap {
+            config,
+            classes: ClassRegistry::new(),
+            roots: RootTable::new(),
+            objects: IdHashMap::default(),
+            next_object: 0,
+            regions,
+            free_regions,
+            spaces: vec![young],
+            evacuating: Vec::new(),
+            page_table,
+            mark_epoch: 0,
+            remembered: Vec::new(),
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The heap geometry.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// The class intern table.
+    pub fn classes(&self) -> &ClassRegistry {
+        &self.classes
+    }
+
+    /// Mutable access to the class intern table.
+    pub fn classes_mut(&mut self) -> &mut ClassRegistry {
+        &mut self.classes
+    }
+
+    /// The root table.
+    pub fn roots(&self) -> &RootTable {
+        &self.roots
+    }
+
+    /// Mutable access to the root table.
+    pub fn roots_mut(&mut self) -> &mut RootTable {
+        &mut self.roots
+    }
+
+    /// Cumulative allocation/reclamation counters.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// The kernel-style page table (dirty / no-need bits).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Mutable access to the page table (used by the Dumper to clear dirty
+    /// bits after a snapshot).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    // ------------------------------------------------------------------
+    // Spaces
+    // ------------------------------------------------------------------
+
+    /// Creates a new space representing logical generation `gen`.
+    ///
+    /// `region_budget` bounds the space (young is bounded; older spaces are
+    /// usually unbounded, competing for the shared pool).
+    pub fn create_space(&mut self, gen: GenId, region_budget: Option<u32>) -> SpaceId {
+        let id = SpaceId::new(self.spaces.len() as u32);
+        self.spaces.push(Space::new(id, gen, region_budget));
+        id
+    }
+
+    /// All spaces, creation order.
+    pub fn spaces(&self) -> &[Space] {
+        &self.spaces
+    }
+
+    /// One space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchSpace`] for an unknown id.
+    pub fn space(&self, id: SpaceId) -> Result<&Space, HeapError> {
+        self.spaces.get(id.index()).ok_or(HeapError::NoSuchSpace { space: id })
+    }
+
+    /// One region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (region ids are created only by this
+    /// heap, so an out-of-range id is a logic error).
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// All regions (free and assigned).
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of regions in the free pool.
+    pub fn free_region_count(&self) -> u32 {
+        self.free_regions.len() as u32
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation & mutation
+    // ------------------------------------------------------------------
+
+    /// Allocates an object of `size` bytes of class `class` from allocation
+    /// site `site` into `space`.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeapError::ObjectTooLarge`] if `size` exceeds one region.
+    /// * [`HeapError::SpaceFull`] if the space is at its region budget —
+    ///   the young generation signals a collection this way.
+    /// * [`HeapError::OutOfRegions`] if the shared pool is empty.
+    /// * [`HeapError::NoSuchSpace`] for an unknown space.
+    pub fn allocate(
+        &mut self,
+        class: ClassId,
+        size: u32,
+        site: SiteId,
+        space: SpaceId,
+    ) -> Result<ObjectId, HeapError> {
+        let gen = self.space(space)?.gen();
+        let addr = self.bump_into(space, size)?;
+        let id = ObjectId::new(self.next_object);
+        self.next_object += 1;
+        let record = ObjectRecord::new(id, class, site, size, space, gen, addr);
+        self.regions[addr.region.index()].push_object(id);
+        // Objects allocated after the last mark are conservatively counted
+        // live; marking recomputes the truth.
+        let live = self.regions[addr.region.index()].live_bytes();
+        self.regions[addr.region.index()].set_live_bytes(live + size);
+        self.page_table.mark_dirty_range(addr, size);
+        self.page_table.clear_no_need_range(addr, size);
+        self.objects.insert(id, record);
+        self.stats.allocated_objects += 1;
+        self.stats.allocated_bytes += u64::from(size);
+        Ok(id)
+    }
+
+    fn bump_into(&mut self, space: SpaceId, size: u32) -> Result<Addr, HeapError> {
+        let capacity = self.config.region_bytes as u32;
+        if size > capacity {
+            return Err(HeapError::ObjectTooLarge { size: u64::from(size), max: u64::from(capacity) });
+        }
+        if space.index() >= self.spaces.len() {
+            return Err(HeapError::NoSuchSpace { space });
+        }
+        // Try the current allocation region.
+        if let Some(region) = self.spaces[space.index()].current_region() {
+            if let Some(offset) = self.regions[region.index()].try_bump(size, capacity) {
+                return Ok(Addr { region, offset });
+            }
+        }
+        // Acquire a fresh region.
+        if self.spaces[space.index()].at_budget() {
+            return Err(HeapError::SpaceFull { space });
+        }
+        let region = self.free_regions.pop().ok_or(HeapError::OutOfRegions { space })?;
+        self.regions[region.index()].assign(space);
+        self.spaces[space.index()].push_region(region);
+        let offset = self.regions[region.index()]
+            .try_bump(size, capacity)
+            .expect("fresh region fits a validated size");
+        Ok(Addr { region, offset })
+    }
+
+    /// The record of a live object.
+    pub fn object(&self, id: ObjectId) -> Option<&ObjectRecord> {
+        self.objects.get(&id)
+    }
+
+    /// Number of live object records.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Adds a reference edge `parent -> child` (a field write: the parent's
+    /// memory is dirtied).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchObject`] if either end is not live.
+    pub fn add_ref(&mut self, parent: ObjectId, child: ObjectId) -> Result<(), HeapError> {
+        if !self.objects.contains_key(&child) {
+            return Err(HeapError::NoSuchObject { object: child });
+        }
+        let record =
+            self.objects.get_mut(&parent).ok_or(HeapError::NoSuchObject { object: parent })?;
+        record.refs_mut().push(child);
+        let (addr, size, parent_space) = (record.addr(), record.size(), record.space());
+        self.page_table.mark_dirty_range(addr, size);
+        // Generational write barrier: remember old->young edges so minor
+        // collections need not trace the old spaces.
+        if parent_space != Heap::YOUNG_SPACE {
+            if let Some(child_rec) = self.objects.get(&child) {
+                if child_rec.space() == Heap::YOUNG_SPACE {
+                    self.remembered.push(child);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes one occurrence of the edge `parent -> child`; returns whether
+    /// it was present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchObject`] if `parent` is not live.
+    pub fn remove_ref(&mut self, parent: ObjectId, child: ObjectId) -> Result<bool, HeapError> {
+        let record =
+            self.objects.get_mut(&parent).ok_or(HeapError::NoSuchObject { object: parent })?;
+        let refs = record.refs_mut();
+        let removed = if let Some(pos) = refs.iter().position(|&o| o == child) {
+            refs.swap_remove(pos);
+            true
+        } else {
+            false
+        };
+        if removed {
+            let (addr, size) = (record.addr(), record.size());
+            self.page_table.mark_dirty_range(addr, size);
+        }
+        Ok(removed)
+    }
+
+    /// Records a plain field write to `obj` (dirties its pages without
+    /// changing the reference graph) — e.g. updating a counter inside a
+    /// vertex object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchObject`] if `obj` is not live.
+    pub fn write_field(&mut self, obj: ObjectId) -> Result<(), HeapError> {
+        let record = self.objects.get(&obj).ok_or(HeapError::NoSuchObject { object: obj })?;
+        self.page_table.mark_dirty_range(record.addr(), record.size());
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Marking
+    // ------------------------------------------------------------------
+
+    /// Marks every object reachable from the root table plus `extra_roots`
+    /// (mutator stack roots supplied by the runtime).
+    ///
+    /// Updates each assigned region's `live_bytes` so collectors and the
+    /// no-need walk can reason about occupancy.
+    pub fn mark_live(&mut self, extra_roots: &[ObjectId]) -> LiveSet {
+        self.mark_epoch += 1;
+        let mut queue: VecDeque<ObjectId> = VecDeque::new();
+        let mut order: Vec<ObjectId> = Vec::new();
+        let mut live: IdHashSet<ObjectId> = IdHashSet::default();
+        let mut live_bytes: u64 = 0;
+        let mut region_live: IdHashMap<RegionId, u32> = IdHashMap::default();
+
+        for id in self.roots.iter().chain(extra_roots.iter().copied()) {
+            if let Some(rec) = self.objects.get(&id) {
+                if live.insert(id) {
+                    order.push(id);
+                    live_bytes += u64::from(rec.size());
+                    *region_live.entry(rec.addr().region).or_insert(0) += rec.size();
+                    queue.push_back(id);
+                }
+            }
+        }
+        let mut scratch: Vec<ObjectId> = Vec::new();
+        while let Some(id) = queue.pop_front() {
+            let rec = self.objects.get(&id).expect("queued objects are live");
+            // One reusable scratch buffer instead of a fresh clone per node.
+            scratch.clear();
+            scratch.extend_from_slice(rec.refs());
+            for &child in &scratch {
+                if let Some(child_rec) = self.objects.get(&child) {
+                    if live.insert(child) {
+                        order.push(child);
+                        live_bytes += u64::from(child_rec.size());
+                        *region_live.entry(child_rec.addr().region).or_insert(0) +=
+                            child_rec.size();
+                        queue.push_back(child);
+                    }
+                }
+            }
+        }
+
+        // Refresh per-region live-byte accounting.
+        for region in &mut self.regions {
+            if region.space().is_some() {
+                region.set_live_bytes(region_live.get(&region.id()).copied().unwrap_or(0));
+            }
+        }
+
+        let traced = order.len() as u64;
+        LiveSet { live, order, live_bytes, traced_objects: traced }
+    }
+
+    /// Marks only the *young* generation: everything outside young is
+    /// assumed live (the generational bargain), and old->young edges come
+    /// from the remembered set maintained by the `add_ref` write barrier.
+    /// The returned [`LiveSet`] covers young objects only — exactly what a
+    /// minor collection needs.
+    ///
+    /// Prune the remembered set with [`prune_remembered`](Heap::prune_remembered)
+    /// once the collection has relocated or dropped every young object.
+    pub fn mark_live_young(&mut self, extra_roots: &[ObjectId]) -> LiveSet {
+        self.mark_epoch += 1;
+        let mut queue: VecDeque<ObjectId> = VecDeque::new();
+        let mut order: Vec<ObjectId> = Vec::new();
+        let mut live: IdHashSet<ObjectId> = IdHashSet::default();
+        let mut live_bytes: u64 = 0;
+        let mut region_live: IdHashMap<RegionId, u32> = IdHashMap::default();
+
+        let remembered = std::mem::take(&mut self.remembered);
+        {
+            let mut push_young = |id: ObjectId,
+                                  objects: &IdHashMap<ObjectId, ObjectRecord>,
+                                  queue: &mut VecDeque<ObjectId>| {
+                if let Some(rec) = objects.get(&id) {
+                    if rec.space() == Heap::YOUNG_SPACE && live.insert(id) {
+                        order.push(id);
+                        live_bytes += u64::from(rec.size());
+                        *region_live.entry(rec.addr().region).or_insert(0) += rec.size();
+                        queue.push_back(id);
+                    }
+                }
+            };
+            for id in self
+                .roots
+                .iter()
+                .chain(extra_roots.iter().copied())
+                .chain(remembered.iter().copied())
+            {
+                push_young(id, &self.objects, &mut queue);
+            }
+            let mut scratch: Vec<ObjectId> = Vec::new();
+            while let Some(id) = queue.pop_front() {
+                let rec = self.objects.get(&id).expect("queued objects are live");
+                scratch.clear();
+                scratch.extend_from_slice(rec.refs());
+                for &child in &scratch {
+                    push_young(child, &self.objects, &mut queue);
+                }
+            }
+        }
+        self.remembered = remembered;
+
+        for region in &mut self.regions {
+            if region.space() == Some(Heap::YOUNG_SPACE) {
+                region.set_live_bytes(region_live.get(&region.id()).copied().unwrap_or(0));
+            }
+        }
+
+        let traced = order.len() as u64;
+        LiveSet { live, order, live_bytes, traced_objects: traced }
+    }
+
+    /// Prunes the remembered set after a young collection: entries whose
+    /// object died or left the young generation are dropped, duplicates
+    /// collapse.
+    pub fn prune_remembered(&mut self) {
+        let objects = &self.objects;
+        let mut seen: IdHashSet<ObjectId> = IdHashSet::default();
+        self.remembered.retain(|&id| {
+            objects.get(&id).map(|r| r.space()) == Some(Heap::YOUNG_SPACE) && seen.insert(id)
+        });
+    }
+
+    /// Current remembered-set length (diagnostics).
+    pub fn remembered_len(&self) -> usize {
+        self.remembered.len()
+    }
+
+    /// Adds `obj` to the remembered set if it is a young object. Collectors
+    /// call this for the young children of objects they promote — those
+    /// edges become old->young without passing through the `add_ref`
+    /// barrier.
+    pub fn remember_if_young(&mut self, obj: ObjectId) {
+        if self.objects.get(&obj).map(|r| r.space()) == Some(Heap::YOUNG_SPACE) {
+            self.remembered.push(obj);
+        }
+    }
+
+    /// The current mark epoch (increments on every [`mark_live`]).
+    ///
+    /// [`mark_live`]: Heap::mark_live
+    pub fn mark_epoch(&self) -> u32 {
+        self.mark_epoch
+    }
+
+    // ------------------------------------------------------------------
+    // Relocation & reclamation (collector back-end)
+    // ------------------------------------------------------------------
+
+    /// Relocates `obj` into `dest` (promotion or compaction copy). Returns
+    /// the number of bytes copied.
+    ///
+    /// The object keeps its id and identity hash; its address changes and the
+    /// destination pages are dirtied, as a real copying collector would.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeapError::NoSuchObject`] if `obj` is not live.
+    /// * Any allocation error from the destination space.
+    pub fn relocate(&mut self, obj: ObjectId, dest: SpaceId) -> Result<u32, HeapError> {
+        let (size, old_addr) = {
+            let rec = self.objects.get(&obj).ok_or(HeapError::NoSuchObject { object: obj })?;
+            (rec.size(), rec.addr())
+        };
+        let new_addr = self.bump_into(dest, size)?;
+        self.regions[new_addr.region.index()].push_object(obj);
+        // The source region keeps a stale list entry (see `drop_object`);
+        // relocation sources are always released or purged by the collector.
+        // Keep per-region live accounting fresh: only live objects are
+        // relocated, so the bytes move from the source to the destination.
+        let src_live = self.regions[old_addr.region.index()].live_bytes();
+        self.regions[old_addr.region.index()].set_live_bytes(src_live.saturating_sub(size));
+        let dst_live = self.regions[new_addr.region.index()].live_bytes();
+        self.regions[new_addr.region.index()].set_live_bytes(dst_live + size);
+        self.page_table.mark_dirty_range(new_addr, size);
+        self.page_table.clear_no_need_range(new_addr, size);
+        let rec = self.objects.get_mut(&obj).expect("checked above");
+        rec.relocate(dest, new_addr);
+        self.stats.relocated_objects += 1;
+        self.stats.relocated_bytes += u64::from(size);
+        Ok(size)
+    }
+
+    /// Increments the young-generation age of `obj` and returns the new age.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchObject`] if `obj` is not live.
+    pub fn bump_age(&mut self, obj: ObjectId) -> Result<u8, HeapError> {
+        self.objects
+            .get_mut(&obj)
+            .map(|r| r.bump_age())
+            .ok_or(HeapError::NoSuchObject { object: obj })
+    }
+
+    /// Removes a dead object's record and accounts the reclaimed bytes.
+    ///
+    /// The caller (a collector's sweep) is responsible for only dropping
+    /// objects that the latest mark proved unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchObject`] if `obj` is not live.
+    pub fn drop_object(&mut self, obj: ObjectId) -> Result<u32, HeapError> {
+        let rec = self.objects.remove(&obj).ok_or(HeapError::NoSuchObject { object: obj })?;
+        // The region's object list keeps a stale entry; collectors purge
+        // stale entries in bulk ([`purge_region_objects`]) or release the
+        // region outright. Per-object list surgery would make sweeps
+        // quadratic in region population.
+        //
+        // [`purge_region_objects`]: Heap::purge_region_objects
+        self.stats.freed_objects += 1;
+        self.stats.freed_bytes += u64::from(rec.size());
+        Ok(rec.size())
+    }
+
+    /// Releases `region` back to the free pool and marks all of its pages
+    /// no-need.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region still contains live object records; collectors
+    /// must evacuate or drop them first. Stale list entries are fine.
+    pub fn release_region(&mut self, region: RegionId) {
+        let live = self.live_objects_in_region(region);
+        assert!(
+            live.is_empty(),
+            "released region {region} still holds {} live objects",
+            live.len()
+        );
+        let r = &mut self.regions[region.index()];
+        if let Some(space) = r.space() {
+            self.spaces[space.index()].remove_region(region);
+        }
+        r.release();
+        let first = self.regions[region.index()].first_page().raw();
+        for p in first..first + self.config.pages_per_region() {
+            self.page_table.set_no_need(p, true);
+        }
+        self.free_regions.push(region);
+    }
+
+    /// Detaches every region of `space` for evacuation.
+    ///
+    /// The regions stay assigned (their objects remain addressable) but the
+    /// space's region list empties, so subsequent allocation into the space
+    /// starts on fresh regions — the to-space of a copying collection. The
+    /// collector must then [`relocate`](Heap::relocate) survivors and
+    /// [`drop_object`](Heap::drop_object) the dead, after which
+    /// [`finish_evacuation`](Heap::finish_evacuation) releases the sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchSpace`] for an unknown id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an evacuation is already in progress.
+    pub fn begin_evacuation(&mut self, space: SpaceId) -> Result<Vec<RegionId>, HeapError> {
+        assert!(self.evacuating.is_empty(), "evacuation already in progress");
+        if space.index() >= self.spaces.len() {
+            return Err(HeapError::NoSuchSpace { space });
+        }
+        let regions = self.spaces[space.index()].take_regions();
+        self.evacuating = regions.clone();
+        Ok(regions)
+    }
+
+    /// Detaches specific regions of `space` for evacuation (incremental
+    /// compaction picks its victims; see [`begin_evacuation`] for the
+    /// whole-space variant and the protocol).
+    ///
+    /// [`begin_evacuation`]: Heap::begin_evacuation
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchSpace`] for an unknown id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an evacuation is already in progress or a region does not
+    /// belong to `space`.
+    pub fn begin_evacuation_of(
+        &mut self,
+        space: SpaceId,
+        regions: &[RegionId],
+    ) -> Result<(), HeapError> {
+        assert!(self.evacuating.is_empty(), "evacuation already in progress");
+        if space.index() >= self.spaces.len() {
+            return Err(HeapError::NoSuchSpace { space });
+        }
+        for &r in regions {
+            assert_eq!(
+                self.regions[r.index()].space(),
+                Some(space),
+                "evacuation victim {r} does not belong to {space}"
+            );
+            self.spaces[space.index()].remove_region(r);
+        }
+        self.evacuating = regions.to_vec();
+        Ok(())
+    }
+
+    /// Releases all evacuated regions back to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any evacuated region still holds object records — the
+    /// collector failed to relocate or drop something.
+    pub fn finish_evacuation(&mut self) {
+        let regions = std::mem::take(&mut self.evacuating);
+        for region in regions {
+            self.release_region(region);
+        }
+    }
+
+    /// The regions currently detached for evacuation.
+    pub fn evacuating_regions(&self) -> &[RegionId] {
+        &self.evacuating
+    }
+
+    /// Objects currently residing in `space`, region by region in allocation
+    /// order. Stale list entries (dead or relocated-away objects) are
+    /// filtered out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchSpace`] for an unknown id.
+    pub fn objects_in_space(&self, space: SpaceId) -> Result<Vec<ObjectId>, HeapError> {
+        let s = self.space(space)?;
+        let mut out = Vec::new();
+        for &region in s.regions() {
+            for &obj in self.regions[region.index()].objects() {
+                if self.objects.get(&obj).map(|r| r.addr().region) == Some(region) {
+                    out.push(obj);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Live objects currently residing in `region` (stale entries filtered).
+    pub fn live_objects_in_region(&self, region: RegionId) -> Vec<ObjectId> {
+        self.regions[region.index()]
+            .objects()
+            .iter()
+            .copied()
+            .filter(|&obj| self.objects.get(&obj).map(|r| r.addr().region) == Some(region))
+            .collect()
+    }
+
+    /// Rebuilds `region`'s object list, dropping stale entries — O(list
+    /// length), done once per region per sweep.
+    pub fn purge_region_objects(&mut self, region: RegionId) {
+        let objects = &self.objects;
+        self.regions[region.index()]
+            .retain_objects(|obj| objects.get(&obj).map(|r| r.addr().region) == Some(region));
+    }
+
+    // ------------------------------------------------------------------
+    // Occupancy accounting
+    // ------------------------------------------------------------------
+
+    /// Bytes committed to assigned regions (the JVM-process RSS analogue the
+    /// paper's Figure 9 tracks).
+    pub fn committed_bytes(&self) -> u64 {
+        let assigned = self.regions.iter().filter(|r| r.space().is_some()).count() as u64;
+        assigned * self.config.region_bytes
+    }
+
+    /// Bytes bump-allocated in `space`'s regions (includes dead-but-unswept
+    /// objects, like real occupancy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchSpace`] for an unknown id.
+    pub fn used_bytes(&self, space: SpaceId) -> Result<u64, HeapError> {
+        let s = self.space(space)?;
+        Ok(s.regions().iter().map(|&r| u64::from(self.regions[r.index()].used_bytes())).sum())
+    }
+
+    /// Marks the no-need bit on every page of every assigned region that
+    /// contains no live object bytes (the Recorder's pre-snapshot heap walk,
+    /// paper §3.2/§4.1). Requires a fresh [`mark_live`] to be meaningful.
+    ///
+    /// Returns the number of pages newly marked.
+    ///
+    /// [`mark_live`]: Heap::mark_live
+    pub fn mark_no_need_pages(&mut self, live: &LiveSet) -> u32 {
+        // Compute, per page, whether any live object overlaps it.
+        let mut live_pages: std::collections::HashSet<u32, crate::BuildIdHasher> =
+            Default::default();
+        for id in live.iter() {
+            if let Some(rec) = self.objects.get(&id) {
+                let (first, last) = self.page_table.pages_of(rec.addr(), rec.size());
+                for p in first..=last {
+                    live_pages.insert(p);
+                }
+            }
+        }
+        let mut marked = 0;
+        for region in &self.regions {
+            if region.space().is_none() {
+                continue; // free-pool pages are already no-need
+            }
+            let first = region.first_page().raw();
+            for p in first..first + self.config.pages_per_region() {
+                let flag = self.page_table.flags_of(p);
+                let should = !live_pages.contains(&p);
+                if should && !flag.no_need {
+                    marked += 1;
+                }
+                self.page_table.set_no_need(p, should);
+            }
+        }
+        marked
+    }
+
+    /// Verifies internal invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        // Every object's region must belong to the object's space and list it.
+        let mut ids: Vec<&ObjectId> = self.objects.keys().collect();
+        ids.sort_unstable();
+        for &id in ids {
+            let rec = &self.objects[&id];
+            let region = &self.regions[rec.addr().region.index()];
+            assert_eq!(
+                region.space(),
+                Some(rec.space()),
+                "object {id} resides in a region owned by a different space"
+            );
+            assert!(
+                region.objects().contains(&rec.id()),
+                "object {id} missing from its region's object list"
+            );
+            // (Stale entries — dead or moved-away ids — are permitted.)
+        }
+        // Free regions must be unassigned and empty.
+        for &r in &self.free_regions {
+            let region = &self.regions[r.index()];
+            assert!(region.space().is_none(), "free region {r} is assigned");
+            assert!(region.objects().is_empty(), "free region {r} holds stale objects");
+        }
+        // Region partition: every region is free, owned by exactly one
+        // space, or detached for evacuation.
+        let owned: usize = self.spaces.iter().map(|s| s.regions().len()).sum();
+        assert_eq!(
+            owned + self.free_regions.len() + self.evacuating.len(),
+            self.regions.len(),
+            "regions lost or double-owned"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig::small())
+    }
+
+    fn alloc(h: &mut Heap, size: u32) -> ObjectId {
+        let class = h.classes_mut().intern("T");
+        h.allocate(class, size, SiteId::new(0), Heap::YOUNG_SPACE).expect("alloc")
+    }
+
+    #[test]
+    fn allocation_assigns_addresses_and_dirties_pages() {
+        let mut h = heap();
+        let a = alloc(&mut h, 100);
+        let b = alloc(&mut h, 100);
+        let ra = h.object(a).unwrap().addr();
+        let rb = h.object(b).unwrap().addr();
+        assert_eq!(ra.region, rb.region);
+        assert_eq!(rb.offset, 100);
+        assert!(h.page_table().dirty_count() > 0);
+        assert_eq!(h.stats().allocated_objects, 2);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn young_budget_signals_space_full() {
+        let mut h = heap(); // young budget = 4 regions of 256 KiB
+        let class = h.classes_mut().intern("Blob");
+        let mut err = None;
+        for _ in 0..2048 {
+            match h.allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(HeapError::SpaceFull { space: Heap::YOUNG_SPACE }));
+        h.check_invariants();
+    }
+
+    #[test]
+    fn object_too_large_is_rejected() {
+        let mut h = heap();
+        let class = h.classes_mut().intern("Huge");
+        let err = h.allocate(class, (256 << 10) + 1, SiteId::new(0), Heap::YOUNG_SPACE);
+        assert!(matches!(err, Err(HeapError::ObjectTooLarge { .. })));
+    }
+
+    #[test]
+    fn mark_live_traces_through_edges() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        let c = alloc(&mut h, 64);
+        h.add_ref(a, b).unwrap();
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let live = h.mark_live(&[]);
+        assert!(live.contains(a));
+        assert!(live.contains(b));
+        assert!(!live.contains(c));
+        assert_eq!(live.live_bytes(), 128);
+        assert_eq!(live.len(), 2);
+    }
+
+    #[test]
+    fn extra_roots_keep_objects_alive() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let live = h.mark_live(&[a]);
+        assert!(live.contains(a));
+        let live = h.mark_live(&[]);
+        assert!(!live.contains(a));
+    }
+
+    #[test]
+    fn cycles_do_not_hang_marking() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        h.add_ref(a, b).unwrap();
+        h.add_ref(b, a).unwrap();
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let live = h.mark_live(&[]);
+        assert_eq!(live.len(), 2);
+    }
+
+    #[test]
+    fn relocation_moves_object_between_spaces() {
+        let mut h = heap();
+        let old = h.create_space(GenId::new(1), None);
+        let a = alloc(&mut h, 128);
+        let hash = h.object(a).unwrap().identity_hash();
+        let copied = h.relocate(a, old).unwrap();
+        assert_eq!(copied, 128);
+        let rec = h.object(a).unwrap();
+        assert_eq!(rec.space(), old);
+        assert_eq!(rec.identity_hash(), hash);
+        assert_eq!(h.stats().relocated_objects, 1);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn drop_object_and_release_region() {
+        let mut h = heap();
+        let a = alloc(&mut h, 128);
+        let region = h.object(a).unwrap().addr().region;
+        let freed = h.drop_object(a).unwrap();
+        assert_eq!(freed, 128);
+        assert!(h.object(a).is_none());
+        let before = h.free_region_count();
+        h.release_region(region);
+        assert_eq!(h.free_region_count(), before + 1);
+        h.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "still holds")]
+    fn releasing_populated_region_panics() {
+        let mut h = heap();
+        let a = alloc(&mut h, 128);
+        let region = h.object(a).unwrap().addr().region;
+        h.release_region(region);
+    }
+
+    #[test]
+    fn committed_and_used_bytes() {
+        let mut h = heap();
+        assert_eq!(h.committed_bytes(), 0);
+        alloc(&mut h, 1000);
+        assert_eq!(h.committed_bytes(), 256 << 10);
+        assert_eq!(h.used_bytes(Heap::YOUNG_SPACE).unwrap(), 1000);
+    }
+
+    #[test]
+    fn no_need_walk_marks_dead_pages() {
+        let mut h = heap();
+        // Fill a few pages, keep only the first object alive.
+        let keep = alloc(&mut h, 4096);
+        for _ in 0..16 {
+            alloc(&mut h, 4096);
+        }
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, keep);
+        let live = h.mark_live(&[]);
+        let marked = h.mark_no_need_pages(&live);
+        assert!(marked >= 16, "dead pages should be marked no-need, got {marked}");
+        // The page holding `keep` must not be no-need.
+        let rec = h.object(keep).unwrap();
+        let (first, _) = h.page_table().pages_of(rec.addr(), rec.size());
+        assert!(!h.page_table().flags_of(first).no_need);
+    }
+
+    #[test]
+    fn objects_in_space_enumerates_in_allocation_order() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        assert_eq!(h.objects_in_space(Heap::YOUNG_SPACE).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn ref_errors_on_dead_objects() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        h.drop_object(b).unwrap();
+        assert!(h.add_ref(a, b).is_err());
+        assert!(h.add_ref(b, a).is_err());
+        assert!(h.write_field(b).is_err());
+    }
+
+    #[test]
+    fn young_marking_uses_remembered_set() {
+        let mut h = heap();
+        let old = h.create_space(GenId::new(1), None);
+        let class = h.classes_mut().intern("T");
+        // An old parent referencing a young child: the write barrier must
+        // keep the child alive for young-only marking.
+        let parent = h.allocate(class, 64, SiteId::new(0), old).unwrap();
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, parent);
+        let child = alloc(&mut h, 64);
+        h.add_ref(parent, child).unwrap();
+        assert_eq!(h.remembered_len(), 1);
+        let live = h.mark_live_young(&[]);
+        assert!(live.contains(child), "remembered edge keeps the child");
+        assert!(!live.contains(parent), "old objects are outside the young live set");
+        // A young object with no remembered edge and no root dies.
+        let orphan = alloc(&mut h, 64);
+        let live = h.mark_live_young(&[]);
+        assert!(!live.contains(orphan));
+        // Pruning drops entries for promoted children.
+        h.relocate(child, old).unwrap();
+        h.prune_remembered();
+        assert_eq!(h.remembered_len(), 0);
+    }
+
+    #[test]
+    fn remember_if_young_filters_by_space() {
+        let mut h = heap();
+        let old = h.create_space(GenId::new(1), None);
+        let class = h.classes_mut().intern("T");
+        let old_obj = h.allocate(class, 64, SiteId::new(0), old).unwrap();
+        let young_obj = alloc(&mut h, 64);
+        h.remember_if_young(old_obj);
+        h.remember_if_young(young_obj);
+        assert_eq!(h.remembered_len(), 1);
+    }
+
+    #[test]
+    fn evacuation_protocol() {
+        let mut h = heap();
+        let keep = alloc(&mut h, 4096);
+        let dead = alloc(&mut h, 4096);
+        let src = h.begin_evacuation(Heap::YOUNG_SPACE).unwrap();
+        assert_eq!(src.len(), 1);
+        assert_eq!(h.evacuating_regions(), &src[..]);
+        h.check_invariants();
+        // Survivor moves to a fresh young region; the dead object is dropped.
+        h.relocate(keep, Heap::YOUNG_SPACE).unwrap();
+        h.drop_object(dead).unwrap();
+        h.finish_evacuation();
+        assert!(h.evacuating_regions().is_empty());
+        let rec = h.object(keep).unwrap();
+        assert_ne!(rec.addr().region, src[0], "survivor left the source region");
+        h.check_invariants();
+    }
+
+    #[test]
+    fn partial_evacuation_of_selected_regions() {
+        let mut h = heap();
+        // Fill two regions.
+        let mut ids = Vec::new();
+        for _ in 0..100 {
+            ids.push(alloc(&mut h, 4096));
+        }
+        let regions: Vec<_> = h.space(Heap::YOUNG_SPACE).unwrap().regions().to_vec();
+        assert!(regions.len() >= 2);
+        let victim = regions[0];
+        h.begin_evacuation_of(Heap::YOUNG_SPACE, &[victim]).unwrap();
+        let to_move: Vec<_> = h.region(victim).objects().to_vec();
+        for obj in to_move {
+            h.relocate(obj, Heap::YOUNG_SPACE).unwrap();
+        }
+        h.finish_evacuation();
+        assert_eq!(h.region(victim).space(), None);
+        h.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "already in progress")]
+    fn nested_evacuation_panics() {
+        let mut h = heap();
+        alloc(&mut h, 64);
+        h.begin_evacuation(Heap::YOUNG_SPACE).unwrap();
+        let _ = h.begin_evacuation(Heap::YOUNG_SPACE);
+    }
+
+    #[test]
+    fn remove_ref_round_trip() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        h.add_ref(a, b).unwrap();
+        assert!(h.remove_ref(a, b).unwrap());
+        assert!(!h.remove_ref(a, b).unwrap());
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let live = h.mark_live(&[]);
+        assert!(!live.contains(b));
+    }
+}

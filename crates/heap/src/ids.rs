@@ -1,0 +1,224 @@
+//! Identifier newtypes used across the workspace.
+//!
+//! Every entity the simulation tracks — objects, classes, allocation sites,
+//! spaces (generations), regions, pages — gets its own index newtype so the
+//! different id spaces cannot be mixed up ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+macro_rules! index_id {
+    ($(#[$meta:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name($repr);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(raw: $repr) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index.
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// The raw index widened to `usize` for slab addressing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for $repr {
+            fn from(id: $name) -> $repr {
+                id.0
+            }
+        }
+    };
+}
+
+index_id!(
+    /// Identifies one heap object for its whole lifetime.
+    ///
+    /// Ids are never reused within a run, so an `ObjectId` is a stable handle
+    /// even across relocation — mirroring how the paper's Recorder tracks
+    /// objects by `System.identityHashCode` rather than by address.
+    ObjectId,
+    u64,
+    "obj#"
+);
+
+index_id!(
+    /// Identifies an interned class name.
+    ClassId,
+    u32,
+    "class#"
+);
+
+index_id!(
+    /// Identifies an allocation site: a unique (class, method, line) triple
+    /// in the loaded program. The POLM2 profile maps `SiteId` → generation.
+    SiteId,
+    u32,
+    "site#"
+);
+
+index_id!(
+    /// Identifies a heap space. Space 0 is the young generation; collectors
+    /// create older spaces on demand.
+    SpaceId,
+    u32,
+    "space#"
+);
+
+index_id!(
+    /// Identifies one fixed-size region of the heap's region pool.
+    RegionId,
+    u32,
+    "region#"
+);
+
+index_id!(
+    /// Identifies one page. Pages are numbered globally:
+    /// `page = region.first_page + offset / page_size`.
+    PageId,
+    u32,
+    "page#"
+);
+
+/// A *logical* generation number as NG2C exposes it to applications:
+/// 0 is the young generation, higher numbers are older generations.
+///
+/// Collectors map `GenId`s onto [`SpaceId`]s; applications and profiles only
+/// ever speak `GenId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GenId(u32);
+
+impl GenId {
+    /// The young generation.
+    pub const YOUNG: GenId = GenId(0);
+
+    /// Wraps a raw generation number.
+    pub const fn new(raw: u32) -> Self {
+        GenId(raw)
+    }
+
+    /// The raw generation number.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// True for the young generation.
+    pub const fn is_young(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The next older generation.
+    pub const fn older(self) -> GenId {
+        GenId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for GenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gen{}", self.0)
+    }
+}
+
+/// The 32-bit identity hash stored in an object's header.
+///
+/// The JVM computes `System.identityHashCode` once per object and stashes it
+/// in the header; POLM2's Analyzer matches Recorder ids against snapshot
+/// headers through it. We derive it deterministically from the [`ObjectId`]
+/// with a 64→32 bit mix, so collisions are possible (as in the JVM) but
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IdentityHash(u32);
+
+impl IdentityHash {
+    /// Computes the identity hash for an object id (splitmix64 finalizer,
+    /// truncated).
+    pub fn of(id: ObjectId) -> Self {
+        let mut z = id.raw().wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        IdentityHash(z as u32)
+    }
+
+    /// The raw hash value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for IdentityHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for IdentityHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn newtype_round_trip() {
+        let id = ObjectId::new(7);
+        assert_eq!(id.raw(), 7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(u64::from(id), 7);
+        assert_eq!(id.to_string(), "obj#7");
+    }
+
+    #[test]
+    fn gen_id_ordering_and_helpers() {
+        assert!(GenId::YOUNG.is_young());
+        let g2 = GenId::new(2);
+        assert!(!g2.is_young());
+        assert_eq!(g2.older(), GenId::new(3));
+        assert!(GenId::YOUNG < g2);
+        assert_eq!(g2.to_string(), "gen2");
+    }
+
+    #[test]
+    fn identity_hash_is_deterministic() {
+        let a = IdentityHash::of(ObjectId::new(42));
+        let b = IdentityHash::of(ObjectId::new(42));
+        assert_eq!(a, b);
+        assert_ne!(a, IdentityHash::of(ObjectId::new(43)));
+    }
+
+    #[test]
+    fn identity_hash_spreads() {
+        // 10k sequential ids should produce (nearly) 10k distinct hashes;
+        // a tiny number of collisions is acceptable, as in the JVM.
+        let hashes: HashSet<u32> =
+            (0..10_000).map(|i| IdentityHash::of(ObjectId::new(i)).raw()).collect();
+        assert!(hashes.len() > 9_990, "too many collisions: {}", 10_000 - hashes.len());
+    }
+
+    #[test]
+    fn distinct_id_spaces_display_differently() {
+        assert_eq!(ClassId::new(1).to_string(), "class#1");
+        assert_eq!(SiteId::new(1).to_string(), "site#1");
+        assert_eq!(SpaceId::new(1).to_string(), "space#1");
+        assert_eq!(RegionId::new(1).to_string(), "region#1");
+        assert_eq!(PageId::new(1).to_string(), "page#1");
+    }
+}

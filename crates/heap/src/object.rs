@@ -1,0 +1,176 @@
+//! Object records: the simulated object header plus reference edges.
+
+use crate::{Addr, ClassId, GenId, IdentityHash, ObjectId, SiteId, SpaceId};
+
+/// One live heap object.
+///
+/// Mirrors a JVM object's header (class, identity hash, GC age) plus the two
+/// things the simulation adds: the allocation site that created it (what the
+/// paper's Recorder captures via stack traces) and explicit reference edges
+/// (what defines reachability).
+#[derive(Debug, Clone)]
+pub struct ObjectRecord {
+    id: ObjectId,
+    class: ClassId,
+    site: SiteId,
+    size: u32,
+    identity_hash: IdentityHash,
+    /// Number of collections survived while in the young generation.
+    age: u8,
+    /// The space the object currently resides in.
+    space: SpaceId,
+    /// The logical generation the object was allocated into (0 unless
+    /// pretenured). Used for accounting, not placement.
+    allocated_gen: GenId,
+    addr: Addr,
+    refs: Vec<ObjectId>,
+}
+
+impl ObjectRecord {
+    pub(crate) fn new(
+        id: ObjectId,
+        class: ClassId,
+        site: SiteId,
+        size: u32,
+        space: SpaceId,
+        allocated_gen: GenId,
+        addr: Addr,
+    ) -> Self {
+        ObjectRecord {
+            id,
+            class,
+            site,
+            size,
+            identity_hash: IdentityHash::of(id),
+            age: 0,
+            space,
+            allocated_gen,
+            addr,
+            refs: Vec::new(),
+        }
+    }
+
+    /// The object's stable id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The object's class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The allocation site that created the object.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Object size in bytes (header included).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The header identity hash (what the Analyzer matches snapshot objects
+    /// by).
+    pub fn identity_hash(&self) -> IdentityHash {
+        self.identity_hash
+    }
+
+    /// Collections survived in the young generation.
+    pub fn age(&self) -> u8 {
+        self.age
+    }
+
+    /// The space the object currently resides in.
+    pub fn space(&self) -> SpaceId {
+        self.space
+    }
+
+    /// The logical generation the allocation targeted (0 unless pretenured).
+    pub fn allocated_gen(&self) -> GenId {
+        self.allocated_gen
+    }
+
+    /// The object's current address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Outgoing reference edges.
+    pub fn refs(&self) -> &[ObjectId] {
+        &self.refs
+    }
+
+    pub(crate) fn refs_mut(&mut self) -> &mut Vec<ObjectId> {
+        &mut self.refs
+    }
+
+    pub(crate) fn bump_age(&mut self) -> u8 {
+        self.age = self.age.saturating_add(1);
+        self.age
+    }
+
+    pub(crate) fn relocate(&mut self, space: SpaceId, addr: Addr) {
+        self.space = space;
+        self.addr = addr;
+    }
+
+    /// Resets the young-generation age (a collector may do this when an
+    /// object changes space).
+    pub fn reset_age(&mut self) {
+        self.age = 0;
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegionId;
+
+    fn record() -> ObjectRecord {
+        ObjectRecord::new(
+            ObjectId::new(9),
+            ClassId::new(1),
+            SiteId::new(2),
+            128,
+            SpaceId::new(0),
+            GenId::YOUNG,
+            Addr { region: RegionId::new(0), offset: 0 },
+        )
+    }
+
+    #[test]
+    fn header_fields() {
+        let r = record();
+        assert_eq!(r.id(), ObjectId::new(9));
+        assert_eq!(r.class(), ClassId::new(1));
+        assert_eq!(r.site(), SiteId::new(2));
+        assert_eq!(r.size(), 128);
+        assert_eq!(r.identity_hash(), IdentityHash::of(ObjectId::new(9)));
+        assert_eq!(r.age(), 0);
+        assert!(r.allocated_gen().is_young());
+    }
+
+    #[test]
+    fn aging_saturates() {
+        let mut r = record();
+        for _ in 0..300 {
+            r.bump_age();
+        }
+        assert_eq!(r.age(), u8::MAX);
+        r.reset_age();
+        assert_eq!(r.age(), 0);
+    }
+
+    #[test]
+    fn relocation_updates_placement_only() {
+        let mut r = record();
+        let hash = r.identity_hash();
+        r.relocate(SpaceId::new(2), Addr { region: RegionId::new(7), offset: 512 });
+        assert_eq!(r.space(), SpaceId::new(2));
+        assert_eq!(r.addr().region, RegionId::new(7));
+        assert_eq!(r.identity_hash(), hash, "identity hash survives relocation");
+        assert_eq!(r.id(), ObjectId::new(9));
+    }
+}

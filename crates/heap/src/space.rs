@@ -1,0 +1,116 @@
+//! Spaces: the heap's generations.
+
+use crate::{GenId, RegionId, SpaceId};
+
+/// One space (generation) of the heap.
+///
+/// A space owns a set of regions and bump-allocates into the most recently
+/// acquired one. Space 0 is always the young generation; collectors create
+/// older spaces (`G1` one, `NG2C` arbitrarily many) and map logical
+/// [`GenId`]s onto them.
+#[derive(Debug, Clone)]
+pub struct Space {
+    id: SpaceId,
+    /// The logical generation this space represents.
+    gen: GenId,
+    /// Regions owned by this space, acquisition order. The last one is the
+    /// current allocation region.
+    regions: Vec<RegionId>,
+    /// Maximum number of regions this space may own (`None` = unbounded,
+    /// i.e. limited only by the shared pool).
+    region_budget: Option<u32>,
+}
+
+impl Space {
+    pub(crate) fn new(id: SpaceId, gen: GenId, region_budget: Option<u32>) -> Self {
+        Space { id, gen, regions: Vec::new(), region_budget }
+    }
+
+    /// This space's id.
+    pub fn id(&self) -> SpaceId {
+        self.id
+    }
+
+    /// The logical generation this space represents.
+    pub fn gen(&self) -> GenId {
+        self.gen
+    }
+
+    /// Regions owned by this space, oldest first.
+    pub fn regions(&self) -> &[RegionId] {
+        &self.regions
+    }
+
+    /// Number of regions owned.
+    pub fn region_count(&self) -> u32 {
+        self.regions.len() as u32
+    }
+
+    /// The region budget, if bounded.
+    pub fn region_budget(&self) -> Option<u32> {
+        self.region_budget
+    }
+
+    /// True if acquiring one more region would exceed the budget.
+    pub fn at_budget(&self) -> bool {
+        match self.region_budget {
+            Some(b) => self.region_count() >= b,
+            None => false,
+        }
+    }
+
+    /// The current allocation region, if any.
+    pub fn current_region(&self) -> Option<RegionId> {
+        self.regions.last().copied()
+    }
+
+    pub(crate) fn push_region(&mut self, region: RegionId) {
+        self.regions.push(region);
+    }
+
+    pub(crate) fn remove_region(&mut self, region: RegionId) {
+        self.regions.retain(|&r| r != region);
+    }
+
+    pub(crate) fn take_regions(&mut self) -> Vec<RegionId> {
+        std::mem::take(&mut self.regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_tracking() {
+        let mut s = Space::new(SpaceId::new(0), GenId::YOUNG, Some(2));
+        assert!(!s.at_budget());
+        s.push_region(RegionId::new(0));
+        s.push_region(RegionId::new(1));
+        assert!(s.at_budget());
+        assert_eq!(s.current_region(), Some(RegionId::new(1)));
+        assert_eq!(s.region_count(), 2);
+    }
+
+    #[test]
+    fn unbounded_space_never_at_budget() {
+        let mut s = Space::new(SpaceId::new(1), GenId::new(1), None);
+        for i in 0..100 {
+            s.push_region(RegionId::new(i));
+        }
+        assert!(!s.at_budget());
+        assert_eq!(s.region_budget(), None);
+    }
+
+    #[test]
+    fn remove_and_take() {
+        let mut s = Space::new(SpaceId::new(0), GenId::YOUNG, None);
+        s.push_region(RegionId::new(5));
+        s.push_region(RegionId::new(6));
+        s.remove_region(RegionId::new(5));
+        assert_eq!(s.regions(), &[RegionId::new(6)]);
+        let all = s.take_regions();
+        assert_eq!(all, vec![RegionId::new(6)]);
+        assert_eq!(s.region_count(), 0);
+    }
+}

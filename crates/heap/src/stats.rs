@@ -1,0 +1,56 @@
+//! Cumulative heap statistics.
+
+/// Cumulative counters maintained by the heap.
+///
+/// `allocated_*` only ever grow; occupancy numbers live on the heap itself
+/// ([`Heap::committed_bytes`], [`Heap::used_bytes`]) because they are derived
+/// from region state.
+///
+/// [`Heap::committed_bytes`]: crate::Heap::committed_bytes
+/// [`Heap::used_bytes`]: crate::Heap::used_bytes
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects allocated since heap creation.
+    pub allocated_objects: u64,
+    /// Bytes allocated since heap creation.
+    pub allocated_bytes: u64,
+    /// Objects reclaimed by sweeps.
+    pub freed_objects: u64,
+    /// Bytes reclaimed by sweeps.
+    pub freed_bytes: u64,
+    /// Objects relocated (promotion + compaction copies).
+    pub relocated_objects: u64,
+    /// Bytes relocated.
+    pub relocated_bytes: u64,
+}
+
+impl HeapStats {
+    /// Live object count implied by the counters.
+    pub fn live_objects(&self) -> u64 {
+        self.allocated_objects - self.freed_objects
+    }
+
+    /// Live byte count implied by the counters.
+    pub fn live_bytes(&self) -> u64 {
+        self.allocated_bytes - self.freed_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_live_counts() {
+        let s = HeapStats {
+            allocated_objects: 10,
+            allocated_bytes: 1_000,
+            freed_objects: 4,
+            freed_bytes: 400,
+            relocated_objects: 2,
+            relocated_bytes: 128,
+        };
+        assert_eq!(s.live_objects(), 6);
+        assert_eq!(s.live_bytes(), 600);
+    }
+}

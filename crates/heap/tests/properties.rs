@@ -1,0 +1,173 @@
+//! Property-based tests: random operation sequences preserve heap invariants.
+
+use proptest::prelude::*;
+
+use polm2_heap::{GenId, Heap, HeapConfig, HeapError, ObjectId, SiteId};
+
+/// One randomly generated heap operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { size: u32, site: u32 },
+    AddRef { from: usize, to: usize },
+    RemoveRef { from: usize, to: usize },
+    Root { idx: usize },
+    Unroot { idx: usize },
+    MarkAndSweepYoung,
+    Promote { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (16u32..2048, 0u32..8).prop_map(|(size, site)| Op::Alloc { size, site }),
+        3 => (0usize..64, 0usize..64).prop_map(|(from, to)| Op::AddRef { from, to }),
+        1 => (0usize..64, 0usize..64).prop_map(|(from, to)| Op::RemoveRef { from, to }),
+        2 => (0usize..64).prop_map(|idx| Op::Root { idx }),
+        1 => (0usize..64).prop_map(|idx| Op::Unroot { idx }),
+        1 => Just(Op::MarkAndSweepYoung),
+        1 => (0usize..64).prop_map(|idx| Op::Promote { idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of operations runs, the heap's internal invariants
+    /// hold and accounting stays consistent.
+    #[test]
+    fn random_ops_preserve_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut heap = Heap::new(HeapConfig::small());
+        let class = heap.classes_mut().intern("P");
+        let old = heap.create_space(GenId::new(1), None);
+        let slot = heap.roots_mut().create_slot("prop");
+        let mut known: Vec<ObjectId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { size, site } => {
+                    match heap.allocate(class, size, SiteId::new(site), Heap::YOUNG_SPACE) {
+                        Ok(id) => known.push(id),
+                        Err(HeapError::SpaceFull { .. }) | Err(HeapError::OutOfRegions { .. }) => {
+                            // Young full: collect everything unreachable.
+                            collect_young(&mut heap, &mut known);
+                        }
+                        Err(e) => panic!("unexpected allocation error: {e}"),
+                    }
+                }
+                Op::AddRef { from, to } => {
+                    if let (Some(&f), Some(&t)) = (known.get(from), known.get(to)) {
+                        if heap.object(f).is_some() && heap.object(t).is_some() {
+                            heap.add_ref(f, t).unwrap();
+                        }
+                    }
+                }
+                Op::RemoveRef { from, to } => {
+                    if let (Some(&f), Some(&t)) = (known.get(from), known.get(to)) {
+                        if heap.object(f).is_some() {
+                            let _ = heap.remove_ref(f, t);
+                        }
+                    }
+                }
+                Op::Root { idx } => {
+                    if let Some(&o) = known.get(idx) {
+                        if heap.object(o).is_some() {
+                            heap.roots_mut().push(slot, o);
+                        }
+                    }
+                }
+                Op::Unroot { idx } => {
+                    if let Some(&o) = known.get(idx) {
+                        heap.roots_mut().remove(slot, o);
+                    }
+                }
+                Op::MarkAndSweepYoung => collect_young(&mut heap, &mut known),
+                Op::Promote { idx } => {
+                    if let Some(&o) = known.get(idx) {
+                        if heap.object(o).map(|r| r.space()) == Some(Heap::YOUNG_SPACE) {
+                            // Promotion can fail if the pool is exhausted; that
+                            // is a legal outcome, not an invariant violation.
+                            let _ = heap.relocate(o, old);
+                        }
+                    }
+                }
+            }
+            heap.check_invariants();
+
+            let stats = heap.stats();
+            prop_assert!(stats.freed_objects <= stats.allocated_objects);
+            prop_assert!(stats.freed_bytes <= stats.allocated_bytes);
+            prop_assert_eq!(stats.live_objects(), heap.object_count() as u64);
+            prop_assert!(heap.committed_bytes() <= heap.config().total_bytes);
+        }
+    }
+
+    /// Marking is idempotent: two consecutive marks see the same live set.
+    #[test]
+    fn marking_is_idempotent(sizes in proptest::collection::vec(16u32..512, 1..40), root_mask in any::<u64>()) {
+        let mut heap = Heap::new(HeapConfig::small());
+        let class = heap.classes_mut().intern("P");
+        let slot = heap.roots_mut().create_slot("prop");
+        let mut ids = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let id = heap.allocate(class, *size, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+            if root_mask & (1 << (i % 64)) != 0 {
+                heap.roots_mut().push(slot, id);
+            }
+            ids.push(id);
+        }
+        let first = heap.mark_live(&[]);
+        let second = heap.mark_live(&[]);
+        prop_assert_eq!(first.len(), second.len());
+        prop_assert_eq!(first.live_bytes(), second.live_bytes());
+        for id in ids {
+            prop_assert_eq!(first.contains(id), second.contains(id));
+        }
+    }
+
+    /// Relocation preserves identity: id, hash, size, and edges survive a move.
+    #[test]
+    fn relocation_preserves_identity(size in 16u32..4096, nrefs in 0usize..8) {
+        let mut heap = Heap::new(HeapConfig::small());
+        let class = heap.classes_mut().intern("P");
+        let old = heap.create_space(GenId::new(1), None);
+        let obj = heap.allocate(class, size, SiteId::new(1), Heap::YOUNG_SPACE).unwrap();
+        let mut children = Vec::new();
+        for _ in 0..nrefs {
+            let c = heap.allocate(class, 32, SiteId::new(2), Heap::YOUNG_SPACE).unwrap();
+            heap.add_ref(obj, c).unwrap();
+            children.push(c);
+        }
+        let before = heap.object(obj).unwrap().clone();
+        heap.relocate(obj, old).unwrap();
+        let after = heap.object(obj).unwrap();
+        prop_assert_eq!(after.id(), before.id());
+        prop_assert_eq!(after.identity_hash(), before.identity_hash());
+        prop_assert_eq!(after.size(), before.size());
+        prop_assert_eq!(after.refs(), before.refs());
+        prop_assert_eq!(after.space(), old);
+        heap.check_invariants();
+    }
+}
+
+/// Minimal young collection for the property tests: mark, evacuate nothing,
+/// drop dead young objects, release empty young regions.
+fn collect_young(heap: &mut Heap, known: &mut Vec<ObjectId>) {
+    let live = heap.mark_live(&[]);
+    let young = heap.objects_in_space(Heap::YOUNG_SPACE).unwrap();
+    for obj in young {
+        if !live.contains(obj) {
+            heap.drop_object(obj).unwrap();
+        }
+    }
+    let regions: Vec<_> = heap
+        .space(Heap::YOUNG_SPACE)
+        .unwrap()
+        .regions()
+        .iter()
+        .copied()
+        .filter(|&r| heap.region(r).objects().is_empty())
+        .collect();
+    for r in regions {
+        heap.release_region(r);
+    }
+    known.retain(|&o| heap.object(o).is_some());
+}

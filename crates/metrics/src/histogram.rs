@@ -1,0 +1,216 @@
+//! Pause-time percentile ladders (paper Figure 5).
+
+use crate::SimDuration;
+
+/// The percentile ladder the paper plots in Figure 5, plus the worst
+/// observable pause (represented as `100.0`).
+pub const STANDARD_PERCENTILES: [f64; 7] = [50.0, 90.0, 99.0, 99.9, 99.99, 99.999, 100.0];
+
+/// One row of a percentile table: a percentile and the pause duration at it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentileRow {
+    /// Percentile in `[0, 100]`; `100.0` is the worst observed value.
+    pub percentile: f64,
+    /// Pause duration at that percentile.
+    pub value: SimDuration,
+}
+
+/// An exact histogram of pause durations supporting percentile queries.
+///
+/// Durations are kept verbatim (the experiment scale is tens of thousands of
+/// pauses, so exactness is affordable) and sorted lazily on first query.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_metrics::{PauseHistogram, SimDuration};
+///
+/// let mut h = PauseHistogram::new();
+/// for ms in 1..=100 {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.percentile(50.0).unwrap().as_millis(), 50);
+/// assert_eq!(h.max().unwrap().as_millis(), 100);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PauseHistogram {
+    samples: Vec<SimDuration>,
+    sorted: bool,
+}
+
+impl PauseHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        PauseHistogram { samples: Vec::new(), sorted: true }
+    }
+
+    /// Records one pause.
+    pub fn record(&mut self, pause: SimDuration) {
+        self.samples.push(pause);
+        self.sorted = false;
+    }
+
+    /// Number of recorded pauses.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no pauses have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total stop-the-world time across all recorded pauses.
+    pub fn total(&self) -> SimDuration {
+        self.samples.iter().copied().sum()
+    }
+
+    /// Mean pause, or `None` if empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.total() / self.samples.len() as u64)
+        }
+    }
+
+    /// The worst observed pause, or `None` if empty.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples.iter().copied().max()
+    }
+
+    /// The pause duration at percentile `p` (nearest-rank method), or `None`
+    /// if the histogram is empty.
+    ///
+    /// `p = 100.0` returns the worst observed pause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 100]` or is NaN.
+    pub fn percentile(&mut self, p: f64) -> Option<SimDuration> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        // Nearest-rank: smallest index i such that (i+1)/n >= p/100.
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        let idx = rank.clamp(1, n) - 1;
+        Some(self.samples[idx])
+    }
+
+    /// The full ladder of [`STANDARD_PERCENTILES`], or an empty vector if no
+    /// pauses were recorded.
+    pub fn standard_rows(&mut self) -> Vec<PercentileRow> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        STANDARD_PERCENTILES
+            .iter()
+            .map(|&p| PercentileRow {
+                percentile: p,
+                value: self.percentile(p).expect("non-empty histogram"),
+            })
+            .collect()
+    }
+
+    /// Iterates over the recorded pauses in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = SimDuration> + '_ {
+        self.samples.iter().copied()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+impl Extend<SimDuration> for PauseHistogram {
+    fn extend<T: IntoIterator<Item = SimDuration>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<SimDuration> for PauseHistogram {
+    fn from_iter<T: IntoIterator<Item = SimDuration>>(iter: T) -> Self {
+        let mut h = PauseHistogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder(n: u64) -> PauseHistogram {
+        (1..=n).map(SimDuration::from_millis).collect()
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let mut h = PauseHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.standard_rows().is_empty());
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut h = ladder(100);
+        assert_eq!(h.percentile(1.0).unwrap().as_millis(), 1);
+        assert_eq!(h.percentile(50.0).unwrap().as_millis(), 50);
+        assert_eq!(h.percentile(99.0).unwrap().as_millis(), 99);
+        assert_eq!(h.percentile(100.0).unwrap().as_millis(), 100);
+    }
+
+    #[test]
+    fn percentile_of_single_sample() {
+        let mut h = PauseHistogram::new();
+        h.record(SimDuration::from_millis(42));
+        for p in STANDARD_PERCENTILES {
+            assert_eq!(h.percentile(p).unwrap().as_millis(), 42);
+        }
+    }
+
+    #[test]
+    fn standard_rows_are_monotone() {
+        let mut h = ladder(5_000);
+        let rows = h.standard_rows();
+        assert_eq!(rows.len(), STANDARD_PERCENTILES.len());
+        for w in rows.windows(2) {
+            assert!(w[0].value <= w[1].value);
+        }
+        assert_eq!(rows.last().unwrap().value, h.max().unwrap());
+    }
+
+    #[test]
+    fn mean_and_total() {
+        let h = ladder(4); // 1+2+3+4 = 10ms
+        assert_eq!(h.total(), SimDuration::from_millis(10));
+        assert_eq!(h.mean().unwrap(), SimDuration::from_micros(2_500));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        ladder(3).percentile(101.0);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved_by_iter() {
+        let mut h = PauseHistogram::new();
+        h.record(SimDuration::from_millis(9));
+        h.record(SimDuration::from_millis(1));
+        // Percentile query sorts internally...
+        assert_eq!(h.percentile(100.0).unwrap().as_millis(), 9);
+        // ...but iteration still follows a deterministic total order.
+        assert_eq!(h.len(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Pause counts per duration interval (paper Figure 6).
+//!
+//! Figure 6 buckets every application pause into fixed duration intervals and
+//! plots the count per interval: "the less pauses to the right, the better".
+//! [`IntervalHistogram`] reproduces that binning with a configurable edge set.
+
+use crate::SimDuration;
+
+/// One bin of an [`IntervalHistogram`]: the half-open duration interval
+/// `[lower, upper)` and the number of pauses that fell inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalBin {
+    /// Inclusive lower edge.
+    pub lower: SimDuration,
+    /// Exclusive upper edge; `None` for the unbounded last bin.
+    pub upper: Option<SimDuration>,
+    /// Number of pauses in the interval.
+    pub count: u64,
+}
+
+impl IntervalBin {
+    /// Human-readable label, e.g. `"[64ms, 128ms)"` or `"[512ms, +inf)"`.
+    pub fn label(&self) -> String {
+        match self.upper {
+            Some(upper) => format!("[{}ms, {}ms)", self.lower.as_millis(), upper.as_millis()),
+            None => format!("[{}ms, +inf)", self.lower.as_millis()),
+        }
+    }
+}
+
+/// A histogram over fixed duration intervals.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_metrics::{IntervalHistogram, SimDuration};
+///
+/// let mut h = IntervalHistogram::paper_default();
+/// h.record(SimDuration::from_millis(3));
+/// h.record(SimDuration::from_millis(90));
+/// h.record(SimDuration::from_millis(2_000));
+/// let bins = h.bins();
+/// assert_eq!(bins.iter().map(|b| b.count).sum::<u64>(), 3);
+/// // Long pauses land in the unbounded tail bin.
+/// assert_eq!(bins.last().unwrap().count, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntervalHistogram {
+    /// Upper edges of the bounded bins, strictly increasing.
+    edges: Vec<SimDuration>,
+    /// `counts.len() == edges.len() + 1`; the final slot is the unbounded tail.
+    counts: Vec<u64>,
+}
+
+impl IntervalHistogram {
+    /// Creates a histogram with the given strictly-increasing upper edges.
+    ///
+    /// A pause `d` lands in the first bin whose upper edge is `> d`; pauses at
+    /// or beyond the last edge land in the unbounded tail bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: Vec<SimDuration>) -> Self {
+        assert!(!edges.is_empty(), "interval histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "interval edges must be strictly increasing"
+        );
+        let counts = vec![0; edges.len() + 1];
+        IntervalHistogram { edges, counts }
+    }
+
+    /// The doubling edge set used for the paper's Figure 6 panels:
+    /// 16, 32, 64, 128, 256, 512, 1024 ms plus an unbounded tail.
+    pub fn paper_default() -> Self {
+        IntervalHistogram::new(
+            [16, 32, 64, 128, 256, 512, 1024].map(SimDuration::from_millis).to_vec(),
+        )
+    }
+
+    /// Records one pause.
+    pub fn record(&mut self, pause: SimDuration) {
+        let idx = self.edges.partition_point(|&edge| edge <= pause);
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of recorded pauses.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Snapshot of the bins, lowest interval first.
+    pub fn bins(&self) -> Vec<IntervalBin> {
+        let mut lower = SimDuration::ZERO;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &count) in self.counts.iter().enumerate() {
+            let upper = self.edges.get(i).copied();
+            out.push(IntervalBin { lower, upper, count });
+            if let Some(u) = upper {
+                lower = u;
+            }
+        }
+        out
+    }
+
+    /// Number of pauses at or beyond `threshold`.
+    ///
+    /// Useful for "pauses to the right" comparisons between collectors.
+    pub fn count_at_or_above(&self, threshold: SimDuration) -> u64 {
+        // Recompute from bins whose lower edge >= threshold, counting partial
+        // bins conservatively is impossible without raw samples; Figure 6 only
+        // needs whole-bin comparisons, so we require threshold to be an edge.
+        let mut lower = SimDuration::ZERO;
+        let mut total = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if lower >= threshold {
+                total += count;
+            }
+            if let Some(&u) = self.edges.get(i) {
+                lower = u;
+            }
+        }
+        total
+    }
+}
+
+impl Extend<SimDuration> for IntervalHistogram {
+    fn extend<T: IntoIterator<Item = SimDuration>>(&mut self, iter: T) {
+        for d in iter {
+            self.record(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_eight_bins() {
+        let h = IntervalHistogram::paper_default();
+        assert_eq!(h.bins().len(), 8);
+        assert_eq!(h.bins()[0].label(), "[0ms, 16ms)");
+        assert_eq!(h.bins()[7].label(), "[1024ms, +inf)");
+    }
+
+    #[test]
+    fn records_land_in_correct_bins() {
+        let mut h = IntervalHistogram::paper_default();
+        h.record(SimDuration::from_millis(0));
+        h.record(SimDuration::from_millis(15));
+        h.record(SimDuration::from_millis(16)); // boundary -> second bin
+        h.record(SimDuration::from_millis(1023));
+        h.record(SimDuration::from_millis(1024)); // boundary -> tail
+        let bins = h.bins();
+        assert_eq!(bins[0].count, 2);
+        assert_eq!(bins[1].count, 1);
+        assert_eq!(bins[6].count, 1);
+        assert_eq!(bins[7].count, 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn count_at_or_above_edge() {
+        let mut h = IntervalHistogram::paper_default();
+        for ms in [1, 20, 40, 100, 300, 700, 2000] {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.count_at_or_above(SimDuration::from_millis(128)), 3);
+        assert_eq!(h.count_at_or_above(SimDuration::ZERO), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_edges_panic() {
+        IntervalHistogram::new(vec![SimDuration::from_millis(10), SimDuration::from_millis(5)]);
+    }
+
+    #[test]
+    fn extend_records_all() {
+        let mut h = IntervalHistogram::paper_default();
+        h.extend((1..=10).map(SimDuration::from_millis));
+        assert_eq!(h.total(), 10);
+    }
+}

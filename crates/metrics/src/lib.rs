@@ -1,0 +1,43 @@
+//! Measurement substrate for the POLM2 reproduction.
+//!
+//! Everything in this workspace runs on *simulated time*: the runtime advances
+//! a logical clock as mutators execute and as collectors pause the world, so
+//! every experiment is deterministic and host-independent. This crate holds
+//! the time newtypes and the instruments the evaluation section of the paper
+//! needs:
+//!
+//! * [`SimTime`] / [`SimDuration`] — the logical clock vocabulary.
+//! * [`PauseHistogram`] — pause-time percentile ladders (paper Figure 5).
+//! * [`IntervalHistogram`] — pause counts per duration interval (Figure 6).
+//! * [`ThroughputTracker`] — operations/second time series (Figures 7–8).
+//! * [`MemoryTracker`] — heap-usage high-water marks (Figure 9).
+//! * [`report`] — plain-text table rendering shared by the figure binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use polm2_metrics::{PauseHistogram, SimDuration};
+//!
+//! let mut pauses = PauseHistogram::new();
+//! for ms in [5_u64, 12, 7, 110, 9] {
+//!     pauses.record(SimDuration::from_millis(ms));
+//! }
+//! assert_eq!(pauses.max().unwrap().as_millis(), 110);
+//! assert!(pauses.percentile(50.0).unwrap() <= pauses.percentile(99.9).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod histogram;
+mod intervals;
+mod memory;
+pub mod report;
+mod throughput;
+mod time;
+
+pub use histogram::{PauseHistogram, PercentileRow, STANDARD_PERCENTILES};
+pub use intervals::{IntervalBin, IntervalHistogram};
+pub use memory::{MemorySample, MemoryTracker};
+pub use throughput::{ThroughputSample, ThroughputTracker};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,102 @@
+//! Heap-usage tracking (paper Figure 9: max memory usage normalized to G1).
+
+use crate::SimTime;
+
+/// One sample of heap usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorySample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Committed heap bytes in use at that instant.
+    pub used_bytes: u64,
+}
+
+/// Records heap-usage samples and tracks the high-water mark.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_metrics::{MemoryTracker, SimTime};
+///
+/// let mut m = MemoryTracker::new();
+/// m.sample(SimTime::from_secs(1), 100);
+/// m.sample(SimTime::from_secs(2), 400);
+/// m.sample(SimTime::from_secs(3), 250);
+/// assert_eq!(m.max_used_bytes(), 400);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryTracker {
+    samples: Vec<MemorySample>,
+    max_used: u64,
+}
+
+impl MemoryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        MemoryTracker::default()
+    }
+
+    /// Records a heap-usage sample.
+    pub fn sample(&mut self, at: SimTime, used_bytes: u64) {
+        self.samples.push(MemorySample { at, used_bytes });
+        self.max_used = self.max_used.max(used_bytes);
+    }
+
+    /// The high-water mark across all samples (0 if none were taken).
+    pub fn max_used_bytes(&self) -> u64 {
+        self.max_used
+    }
+
+    /// The high-water mark over samples taken at or after `start`.
+    ///
+    /// The paper ignores the first five minutes of each run; this lets the
+    /// harness apply the same warm-up rule to memory.
+    pub fn max_used_bytes_since(&self, start: SimTime) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.at >= start)
+            .map(|s| s.used_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All samples, in recording order.
+    pub fn samples(&self) -> &[MemorySample] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_water_mark() {
+        let mut m = MemoryTracker::new();
+        assert_eq!(m.max_used_bytes(), 0);
+        m.sample(SimTime::from_secs(1), 10);
+        m.sample(SimTime::from_secs(2), 5);
+        assert_eq!(m.max_used_bytes(), 10);
+    }
+
+    #[test]
+    fn warm_up_filtered_mark() {
+        let mut m = MemoryTracker::new();
+        m.sample(SimTime::from_secs(1), 1_000); // load-time spike
+        m.sample(SimTime::from_secs(400), 600);
+        m.sample(SimTime::from_secs(500), 700);
+        assert_eq!(m.max_used_bytes(), 1_000);
+        assert_eq!(m.max_used_bytes_since(SimTime::from_secs(300)), 700);
+        assert_eq!(m.max_used_bytes_since(SimTime::from_secs(9_999)), 0);
+    }
+
+    #[test]
+    fn samples_preserved_in_order() {
+        let mut m = MemoryTracker::new();
+        m.sample(SimTime::from_secs(2), 2);
+        m.sample(SimTime::from_secs(1), 1);
+        let s = m.samples();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].used_bytes, 2);
+    }
+}

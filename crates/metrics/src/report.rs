@@ -1,0 +1,166 @@
+//! Plain-text table rendering shared by the figure binaries.
+//!
+//! Every experiment binary prints its table/figure as an aligned text table;
+//! keeping the renderer here makes the outputs uniform and testable.
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_metrics::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["workload".into(), "p50".into(), "worst".into()]);
+/// t.add_row(vec!["cassandra-wi".into(), "38ms".into(), "310ms".into()]);
+/// let s = t.render();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("cassandra-wi"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable { header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats `value / baseline` as the normalized ratios the paper plots in
+/// Figures 3, 4, 7, and 9 (e.g. `0.42`).
+///
+/// Returns `"n/a"` when the baseline is zero.
+pub fn normalized(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.3}", value / baseline)
+    }
+}
+
+/// Formats a byte count with binary units (`1.5 MiB`).
+pub fn bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2} GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.2} MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.2} KiB", b / KIB)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Formats the percent reduction from `baseline` to `value`, as the paper
+/// reports ("reduces the worst observable pause by 55%").
+///
+/// Positive means `value` is smaller than `baseline`.
+pub fn percent_reduction(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", (1.0 - value / baseline) * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["a".into(), "bb".into()]);
+        t.add_row(vec!["xxxx".into(), "y".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxx"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.add_row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn normalized_formatting() {
+        assert_eq!(normalized(50.0, 100.0), "0.500");
+        assert_eq!(normalized(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.00 KiB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.00 MiB");
+        assert_eq!(bytes(5 * 1024 * 1024 * 1024), "5.00 GiB");
+    }
+
+    #[test]
+    fn percent_reduction_formatting() {
+        assert_eq!(percent_reduction(45.0, 100.0), "55.0%");
+        assert_eq!(percent_reduction(100.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,163 @@
+//! Operation-throughput tracking (paper Figures 7 and 8).
+//!
+//! Figure 7 reports whole-run throughput normalized to G1; Figure 8 plots a
+//! ten-minute transactions-per-second timeline for Cassandra. Both derive
+//! from the same primitive: a counter of completed operations bucketed into
+//! one-second windows of simulated time.
+
+use crate::{SimDuration, SimTime};
+
+/// One point of a throughput time series: a one-second window and the number
+/// of operations completed inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputSample {
+    /// Start of the one-second window.
+    pub window_start: SimTime,
+    /// Operations completed in `[window_start, window_start + 1s)`.
+    pub ops: u64,
+}
+
+/// Tracks completed operations over simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_metrics::{SimTime, ThroughputTracker};
+///
+/// let mut t = ThroughputTracker::new();
+/// t.record_ops(SimTime::from_millis(100), 3);
+/// t.record_ops(SimTime::from_millis(900), 2);
+/// t.record_ops(SimTime::from_millis(1_500), 4);
+/// assert_eq!(t.total_ops(), 9);
+/// let series = t.per_second_series();
+/// assert_eq!(series[0].ops, 5);
+/// assert_eq!(series[1].ops, 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputTracker {
+    /// Ops per one-second window, indexed by window number.
+    windows: Vec<u64>,
+    total: u64,
+    last_event: SimTime,
+}
+
+impl ThroughputTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ThroughputTracker::default()
+    }
+
+    /// Records `ops` operations completing at time `now`.
+    pub fn record_ops(&mut self, now: SimTime, ops: u64) {
+        let window = now.as_secs() as usize;
+        if self.windows.len() <= window {
+            self.windows.resize(window + 1, 0);
+        }
+        self.windows[window] += ops;
+        self.total += ops;
+        self.last_event = self.last_event.max(now);
+    }
+
+    /// Total operations recorded.
+    pub fn total_ops(&self) -> u64 {
+        self.total
+    }
+
+    /// Time of the last recorded event.
+    pub fn last_event(&self) -> SimTime {
+        self.last_event
+    }
+
+    /// Mean throughput in operations/second over `[start, end)`.
+    ///
+    /// Windows are attributed whole; `start`/`end` are truncated to second
+    /// boundaries. Returns 0.0 for an empty range.
+    pub fn mean_ops_per_sec(&self, start: SimTime, end: SimTime) -> f64 {
+        let s = start.as_secs() as usize;
+        let e = end.as_secs() as usize;
+        if e <= s {
+            return 0.0;
+        }
+        let ops: u64 = self
+            .windows
+            .iter()
+            .skip(s)
+            .take(e - s)
+            .sum();
+        ops as f64 / (e - s) as f64
+    }
+
+    /// The full per-second series, one sample per elapsed window.
+    pub fn per_second_series(&self) -> Vec<ThroughputSample> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, &ops)| ThroughputSample { window_start: SimTime::from_secs(i as u64), ops })
+            .collect()
+    }
+
+    /// The series restricted to `[start, start + len)`, e.g. the paper's
+    /// ten-minute Cassandra sample.
+    pub fn series_window(&self, start: SimTime, len: SimDuration) -> Vec<ThroughputSample> {
+        let s = start.as_secs() as usize;
+        let n = len.as_secs_f64().ceil() as usize;
+        self.windows
+            .iter()
+            .enumerate()
+            .skip(s)
+            .take(n)
+            .map(|(i, &ops)| ThroughputSample { window_start: SimTime::from_secs(i as u64), ops })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_accumulate_by_second() {
+        let mut t = ThroughputTracker::new();
+        t.record_ops(SimTime::from_millis(10), 1);
+        t.record_ops(SimTime::from_millis(999), 1);
+        t.record_ops(SimTime::from_millis(1_000), 1);
+        let s = t.per_second_series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].ops, 2);
+        assert_eq!(s[1].ops, 1);
+    }
+
+    #[test]
+    fn mean_over_range() {
+        let mut t = ThroughputTracker::new();
+        for sec in 0..10 {
+            t.record_ops(SimTime::from_secs(sec), 100);
+        }
+        assert_eq!(t.mean_ops_per_sec(SimTime::ZERO, SimTime::from_secs(10)), 100.0);
+        // Ignoring the first five seconds (paper warm-up rule).
+        assert_eq!(t.mean_ops_per_sec(SimTime::from_secs(5), SimTime::from_secs(10)), 100.0);
+        assert_eq!(t.mean_ops_per_sec(SimTime::from_secs(10), SimTime::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    fn series_window_slices() {
+        let mut t = ThroughputTracker::new();
+        for sec in 0..30 {
+            t.record_ops(SimTime::from_secs(sec), sec);
+        }
+        let w = t.series_window(SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(w.len(), 5);
+        assert_eq!(w[0].ops, 10);
+        assert_eq!(w[4].ops, 14);
+    }
+
+    #[test]
+    fn totals_and_last_event() {
+        let mut t = ThroughputTracker::new();
+        assert_eq!(t.total_ops(), 0);
+        t.record_ops(SimTime::from_secs(3), 7);
+        t.record_ops(SimTime::from_secs(1), 2);
+        assert_eq!(t.total_ops(), 9);
+        assert_eq!(t.last_event(), SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,289 @@
+//! Simulated-time newtypes.
+//!
+//! The whole workspace uses a logical clock measured in microseconds. Wrapping
+//! the raw `u64` in [`SimTime`] and [`SimDuration`] keeps instants and spans
+//! from being confused and gives both types unit-aware constructors and
+//! accessors.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulated clock, in microseconds since the start of the
+/// simulation.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_metrics::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(250);
+/// assert_eq!(t.as_micros(), 250_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(250));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `micros` microseconds after the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant `millis` milliseconds after the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates an instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The span from `earlier` to `self`, or [`SimDuration::ZERO`] if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "SimTime subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+/// A span of simulated time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_metrics::SimDuration;
+///
+/// let d = SimDuration::from_millis(3) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_micros(), 3_500);
+/// assert_eq!(d.as_millis_f64(), 3.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Length in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Length in milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Length in milliseconds as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Length in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is longer than `self`.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "SimDuration subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t0 = SimTime::from_millis(10);
+        let d = SimDuration::from_micros(2_500);
+        let t1 = t0 + d;
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1.as_micros(), 12_500);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(2);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_unit_conversions() {
+        let d = SimDuration::from_secs(2);
+        assert_eq!(d.as_millis(), 2_000);
+        assert_eq!(d.as_micros(), 2_000_000);
+        assert_eq!(d.as_secs_f64(), 2.0);
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!(d * 3, SimDuration::from_millis(30));
+        assert_eq!(d / 2, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+        assert_eq!(SimDuration::from_millis(7).to_string(), "7.000ms");
+        assert_eq!(SimDuration::from_secs(7).to_string(), "7.000s");
+        assert_eq!(SimTime::from_millis(1_500).to_string(), "t+1.500s");
+    }
+
+    #[test]
+    fn ordering_follows_magnitude() {
+        assert!(SimDuration::from_micros(999) < SimDuration::from_millis(1));
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+    }
+}

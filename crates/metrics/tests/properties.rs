@@ -1,0 +1,91 @@
+//! Property-based tests for the measurement instruments.
+
+use proptest::prelude::*;
+
+use polm2_metrics::{
+    IntervalHistogram, PauseHistogram, SimDuration, SimTime, ThroughputTracker,
+    STANDARD_PERCENTILES,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Percentiles are monotone in the percentile argument and bounded by
+    /// the extremes.
+    #[test]
+    fn percentiles_are_monotone(samples in proptest::collection::vec(0u64..5_000_000, 1..300)) {
+        let mut h: PauseHistogram =
+            samples.iter().map(|&us| SimDuration::from_micros(us)).collect();
+        let ladder: Vec<SimDuration> = STANDARD_PERCENTILES
+            .iter()
+            .map(|&p| h.percentile(p).expect("non-empty"))
+            .collect();
+        for w in ladder.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let min = samples.iter().min().copied().unwrap();
+        let max = samples.iter().max().copied().unwrap();
+        prop_assert!(ladder[0] >= SimDuration::from_micros(min));
+        prop_assert_eq!(*ladder.last().unwrap(), SimDuration::from_micros(max));
+        prop_assert_eq!(h.max().unwrap(), SimDuration::from_micros(max));
+    }
+
+    /// The interval histogram never loses or invents pauses, regardless of
+    /// the edge set.
+    #[test]
+    fn interval_histogram_conserves_mass(
+        samples in proptest::collection::vec(0u64..2_000_000, 0..300),
+        edges in proptest::collection::btree_set(1u64..1_000, 1..10),
+    ) {
+        let mut h = IntervalHistogram::new(
+            edges.iter().map(|&ms| SimDuration::from_millis(ms)).collect(),
+        );
+        for &us in &samples {
+            h.record(SimDuration::from_micros(us));
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let bin_sum: u64 = h.bins().iter().map(|b| b.count).sum();
+        prop_assert_eq!(bin_sum, samples.len() as u64);
+        prop_assert_eq!(h.count_at_or_above(SimDuration::ZERO), samples.len() as u64);
+    }
+
+    /// Mean throughput over the whole run equals total ops / duration,
+    /// whatever the arrival pattern.
+    #[test]
+    fn throughput_mean_matches_totals(
+        arrivals in proptest::collection::vec((0u64..600, 1u64..50), 1..200),
+    ) {
+        let mut t = ThroughputTracker::new();
+        let mut total = 0u64;
+        let mut last = 0u64;
+        for &(sec, ops) in &arrivals {
+            t.record_ops(SimTime::from_secs(sec), ops);
+            total += ops;
+            last = last.max(sec);
+        }
+        prop_assert_eq!(t.total_ops(), total);
+        let mean = t.mean_ops_per_sec(SimTime::ZERO, SimTime::from_secs(last + 1));
+        let expected = total as f64 / (last + 1) as f64;
+        prop_assert!((mean - expected).abs() < 1e-9, "{mean} vs {expected}");
+    }
+
+    /// Per-second series and windowed series agree.
+    #[test]
+    fn series_windows_are_consistent(
+        arrivals in proptest::collection::vec((0u64..120, 1u64..20), 1..100),
+        start in 0u64..60,
+        len in 1u64..60,
+    ) {
+        let mut t = ThroughputTracker::new();
+        for &(sec, ops) in &arrivals {
+            t.record_ops(SimTime::from_secs(sec), ops);
+        }
+        let full = t.per_second_series();
+        let window = t.series_window(SimTime::from_secs(start), SimDuration::from_secs(len));
+        for (i, sample) in window.iter().enumerate() {
+            let idx = start as usize + i;
+            prop_assert_eq!(sample.ops, full[idx].ops);
+            prop_assert_eq!(sample.window_start, full[idx].window_start);
+        }
+    }
+}

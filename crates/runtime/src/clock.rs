@@ -1,0 +1,75 @@
+//! The simulated clock.
+
+use polm2_metrics::{SimDuration, SimTime};
+
+/// The runtime's logical clock.
+///
+/// Mutator work and stop-the-world pauses both advance it; nothing else does.
+/// Runs are therefore deterministic and independent of the host machine.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_runtime::SimClock;
+/// use polm2_metrics::SimDuration;
+///
+/// let mut clock = SimClock::new();
+/// clock.advance(SimDuration::from_millis(5));
+/// assert_eq!(clock.now().as_millis(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimClock {
+    now: SimTime,
+    mutator_time: SimDuration,
+    pause_time: SimDuration,
+}
+
+impl SimClock {
+    /// Creates a clock at the epoch.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances by mutator work.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+        self.mutator_time += d;
+    }
+
+    /// Advances by a stop-the-world pause.
+    pub fn advance_paused(&mut self, d: SimDuration) {
+        self.now += d;
+        self.pause_time += d;
+    }
+
+    /// Total time spent running mutators.
+    pub fn mutator_time(&self) -> SimDuration {
+        self.mutator_time
+    }
+
+    /// Total time spent paused.
+    pub fn pause_time(&self) -> SimDuration {
+        self.pause_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutator_and_pause_time_are_tracked_separately() {
+        let mut c = SimClock::new();
+        c.advance(SimDuration::from_millis(10));
+        c.advance_paused(SimDuration::from_millis(3));
+        c.advance(SimDuration::from_millis(2));
+        assert_eq!(c.now().as_millis(), 15);
+        assert_eq!(c.mutator_time().as_millis(), 12);
+        assert_eq!(c.pause_time().as_millis(), 3);
+    }
+}

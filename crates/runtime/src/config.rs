@@ -1,0 +1,56 @@
+//! Runtime configuration.
+
+use polm2_gc::GcConfig;
+use polm2_heap::HeapConfig;
+
+/// Configuration for a [`Jvm`](crate::Jvm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Heap geometry.
+    pub heap: HeapConfig,
+    /// Collector tuning.
+    pub gc: GcConfig,
+    /// Mutator cost charged per interpreted instruction, in nanoseconds.
+    pub instr_cost_ns: u64,
+    /// Extra mutator cost charged per allocation, in nanoseconds.
+    pub alloc_cost_ns: u64,
+    /// Maximum interpreter call depth.
+    pub max_stack_depth: usize,
+}
+
+impl RuntimeConfig {
+    /// The evaluation configuration: paper-scaled heap, default GC tuning.
+    pub fn paper_scaled() -> Self {
+        RuntimeConfig {
+            heap: HeapConfig::paper_scaled(),
+            gc: GcConfig::default(),
+            instr_cost_ns: 50,
+            alloc_cost_ns: 200,
+            max_stack_depth: 256,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn small() -> Self {
+        RuntimeConfig { heap: HeapConfig::small(), ..RuntimeConfig::paper_scaled() }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::paper_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_valid() {
+        assert!(RuntimeConfig::default().heap.validate().is_ok());
+        assert!(RuntimeConfig::small().heap.validate().is_ok());
+        assert!(RuntimeConfig::default().gc.validate().is_ok());
+        assert!(RuntimeConfig::default().max_stack_depth > 0);
+    }
+}

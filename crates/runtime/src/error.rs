@@ -1,0 +1,117 @@
+//! Runtime error type.
+
+use std::error::Error;
+use std::fmt;
+
+use polm2_gc::GcError;
+use polm2_heap::HeapError;
+
+/// Errors produced while loading or executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A call referenced a class that is not loaded.
+    UnknownClass {
+        /// The class name.
+        class: String,
+    },
+    /// A call referenced a method that does not exist on its class.
+    UnknownMethod {
+        /// The class name.
+        class: String,
+        /// The method name.
+        method: String,
+    },
+    /// An instruction referenced a hook that is not registered.
+    UnknownHook {
+        /// The hook name.
+        hook: String,
+    },
+    /// Call depth exceeded the interpreter's stack limit.
+    StackOverflow {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A `RestoreGen` executed without a matching `SetGen` on the frame.
+    UnbalancedRestoreGen,
+    /// `RecordAlloc` executed with an empty accumulator (no allocation
+    /// preceded it).
+    NothingToRecord,
+    /// The collector failed.
+    Gc(GcError),
+    /// A heap operation failed.
+    Heap(HeapError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownClass { class } => write!(f, "unknown class {class}"),
+            RuntimeError::UnknownMethod { class, method } => {
+                write!(f, "unknown method {class}.{method}")
+            }
+            RuntimeError::UnknownHook { hook } => write!(f, "unknown hook {hook}"),
+            RuntimeError::StackOverflow { limit } => {
+                write!(f, "call depth exceeded the limit of {limit} frames")
+            }
+            RuntimeError::UnbalancedRestoreGen => {
+                write!(f, "RestoreGen without a matching SetGen on the frame")
+            }
+            RuntimeError::NothingToRecord => {
+                write!(f, "RecordAlloc with no preceding allocation in the frame")
+            }
+            RuntimeError::Gc(e) => write!(f, "collection failed: {e}"),
+            RuntimeError::Heap(e) => write!(f, "heap operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Gc(e) => Some(e),
+            RuntimeError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GcError> for RuntimeError {
+    fn from(e: GcError) -> Self {
+        RuntimeError::Gc(e)
+    }
+}
+
+impl From<HeapError> for RuntimeError {
+    fn from(e: HeapError) -> Self {
+        RuntimeError::Heap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(RuntimeError::UnknownClass { class: "C".into() }.to_string().contains("C"));
+        assert!(
+            RuntimeError::UnknownMethod { class: "C".into(), method: "m".into() }
+                .to_string()
+                .contains("C.m")
+        );
+        assert!(RuntimeError::UnknownHook { hook: "h".into() }.to_string().contains("h"));
+        assert!(RuntimeError::StackOverflow { limit: 64 }.to_string().contains("64"));
+        assert!(!RuntimeError::UnbalancedRestoreGen.to_string().is_empty());
+        assert!(!RuntimeError::NothingToRecord.to_string().is_empty());
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: RuntimeError = GcError::OutOfMemory { requested: 1 }.into();
+        assert!(Error::source(&e).is_some());
+        let e: RuntimeError =
+            HeapError::NoSuchObject { object: polm2_heap::ObjectId::new(1) }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,66 @@
+//! Allocation events: what the Recorder drains from the runtime.
+
+use polm2_heap::{IdentityHash, ObjectId, SiteId};
+use polm2_metrics::SimTime;
+
+/// One frame of a captured stack trace, in compact (index) form.
+///
+/// Indices refer to the [`LoadedProgram`]; resolve to a human-readable
+/// [`CodeLoc`] with [`LoadedProgram::code_loc`].
+///
+/// [`LoadedProgram`]: crate::LoadedProgram
+/// [`LoadedProgram::code_loc`]: crate::LoadedProgram::code_loc
+/// [`CodeLoc`]: crate::CodeLoc
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceFrame {
+    /// Class index in the loaded program.
+    pub class_idx: u16,
+    /// Method index within the class.
+    pub method_idx: u16,
+    /// Source line within the method (call line for caller frames, the
+    /// allocation line for the innermost frame).
+    pub line: u32,
+}
+
+/// One recorded allocation: what the paper's Recorder logs — the full stack
+/// trace of the allocation site plus the object's identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocEvent {
+    /// The call path, outermost frame first; the last frame is the
+    /// allocation site itself.
+    pub trace: Vec<TraceFrame>,
+    /// The allocated object.
+    pub object: ObjectId,
+    /// The identity hash stored in the object's header (what snapshots are
+    /// matched by).
+    pub hash: IdentityHash,
+    /// The allocation site id the loader assigned.
+    pub site: SiteId,
+    /// When the allocation happened.
+    pub at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_frames_order_and_compare() {
+        let a = TraceFrame { class_idx: 0, method_idx: 0, line: 1 };
+        let b = TraceFrame { class_idx: 0, method_idx: 0, line: 2 };
+        assert!(a < b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn event_is_cloneable_and_comparable() {
+        let e = AllocEvent {
+            trace: vec![TraceFrame { class_idx: 1, method_idx: 2, line: 3 }],
+            object: ObjectId::new(9),
+            hash: IdentityHash::of(ObjectId::new(9)),
+            site: SiteId::new(4),
+            at: SimTime::from_millis(5),
+        };
+        assert_eq!(e.clone(), e);
+    }
+}

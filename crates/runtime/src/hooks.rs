@@ -1,0 +1,290 @@
+//! Native hooks: workload semantics behind the IR.
+//!
+//! An interpreted program handles *allocation structure* (who allocates what,
+//! where, through which call path); what the objects then *mean* — inserted
+//! into a memtable, linked into an index, flushed, evicted — is workload
+//! logic implemented as Rust closures registered here. Hooks get mutable
+//! access to the heap's reference graph and root table plus a typed workload
+//! state, so object lifetimes are driven by real data-structure dynamics.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+
+use polm2_gc::ThreadId;
+use polm2_heap::{Heap, ObjectId};
+use polm2_metrics::SimTime;
+
+use crate::RuntimeError;
+
+/// Everything a hook may touch.
+pub struct HookCtx<'a> {
+    /// The heap: reference graph, root table, object queries.
+    pub heap: &'a mut Heap,
+    /// The executing thread.
+    pub thread: ThreadId,
+    /// The current frame's accumulator (most recent allocation or callee
+    /// result). Hooks may read it (to link the object somewhere) or replace
+    /// it (to "return" a looked-up object).
+    pub acc: &'a mut Option<ObjectId>,
+    /// Workload-defined state; downcast with [`HookCtx::state`].
+    pub raw_state: &'a mut dyn Any,
+    /// The current simulated time.
+    pub now: SimTime,
+}
+
+impl fmt::Debug for HookCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HookCtx")
+            .field("thread", &self.thread)
+            .field("acc", &self.acc)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HookCtx<'_> {
+    /// Downcasts the workload state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is not a `S` — a wiring bug, not a runtime
+    /// condition.
+    pub fn state<S: 'static>(&mut self) -> &mut S {
+        self.raw_state.downcast_mut::<S>().expect("workload state has unexpected type")
+    }
+}
+
+/// An action hook's effect on the interpreter, all fields optional.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HookAction {
+    /// Extra mutator time to charge (models I/O or computation the workload
+    /// performs besides allocation).
+    pub cost: Option<polm2_metrics::SimDuration>,
+}
+
+type ActionFn = Box<dyn FnMut(&mut HookCtx<'_>) -> HookAction>;
+type CondFn = Box<dyn FnMut(&mut HookCtx<'_>) -> bool>;
+type ValueFn = Box<dyn FnMut(&mut HookCtx<'_>) -> u32>;
+
+/// Registry of named hooks, by kind.
+///
+/// * **action** hooks run for [`Instr::Native`];
+/// * **cond** hooks decide [`Instr::Branch`];
+/// * **size** hooks compute [`SizeSpec::Hook`] allocation sizes;
+/// * **count** hooks compute [`CountSpec::Hook`] trip counts.
+///
+/// [`Instr::Native`]: crate::Instr::Native
+/// [`Instr::Branch`]: crate::Instr::Branch
+/// [`SizeSpec::Hook`]: crate::SizeSpec::Hook
+/// [`CountSpec::Hook`]: crate::CountSpec::Hook
+#[derive(Default)]
+pub struct HookRegistry {
+    actions: HashMap<String, ActionFn>,
+    conds: HashMap<String, CondFn>,
+    sizes: HashMap<String, ValueFn>,
+    counts: HashMap<String, ValueFn>,
+}
+
+impl fmt::Debug for HookRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.actions.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("HookRegistry")
+            .field("actions", &names)
+            .field("conds", &self.conds.len())
+            .field("sizes", &self.sizes.len())
+            .field("counts", &self.counts.len())
+            .finish()
+    }
+}
+
+impl HookRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        HookRegistry::default()
+    }
+
+    /// Registers an action hook (replaces any previous one of that name).
+    pub fn register_action(
+        &mut self,
+        name: impl Into<String>,
+        hook: impl FnMut(&mut HookCtx<'_>) -> HookAction + 'static,
+    ) {
+        self.actions.insert(name.into(), Box::new(hook));
+    }
+
+    /// Registers a condition hook.
+    pub fn register_cond(
+        &mut self,
+        name: impl Into<String>,
+        hook: impl FnMut(&mut HookCtx<'_>) -> bool + 'static,
+    ) {
+        self.conds.insert(name.into(), Box::new(hook));
+    }
+
+    /// Registers a size hook.
+    pub fn register_size(
+        &mut self,
+        name: impl Into<String>,
+        hook: impl FnMut(&mut HookCtx<'_>) -> u32 + 'static,
+    ) {
+        self.sizes.insert(name.into(), Box::new(hook));
+    }
+
+    /// Registers a count hook.
+    pub fn register_count(
+        &mut self,
+        name: impl Into<String>,
+        hook: impl FnMut(&mut HookCtx<'_>) -> u32 + 'static,
+    ) {
+        self.counts.insert(name.into(), Box::new(hook));
+    }
+
+    /// Runs an action hook.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownHook`] if no action hook has that name.
+    pub fn run_action(&mut self, name: &str, ctx: &mut HookCtx<'_>) -> Result<HookAction, RuntimeError> {
+        match self.actions.get_mut(name) {
+            Some(h) => Ok(h(ctx)),
+            None => Err(RuntimeError::UnknownHook { hook: name.to_string() }),
+        }
+    }
+
+    /// Evaluates a condition hook.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownHook`] if no cond hook has that name.
+    pub fn eval_cond(&mut self, name: &str, ctx: &mut HookCtx<'_>) -> Result<bool, RuntimeError> {
+        match self.conds.get_mut(name) {
+            Some(h) => Ok(h(ctx)),
+            None => Err(RuntimeError::UnknownHook { hook: name.to_string() }),
+        }
+    }
+
+    /// Evaluates a size hook.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownHook`] if no size hook has that name.
+    pub fn eval_size(&mut self, name: &str, ctx: &mut HookCtx<'_>) -> Result<u32, RuntimeError> {
+        match self.sizes.get_mut(name) {
+            Some(h) => Ok(h(ctx)),
+            None => Err(RuntimeError::UnknownHook { hook: name.to_string() }),
+        }
+    }
+
+    /// Evaluates a count hook.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownHook`] if no count hook has that name.
+    pub fn eval_count(&mut self, name: &str, ctx: &mut HookCtx<'_>) -> Result<u32, RuntimeError> {
+        match self.counts.get_mut(name) {
+            Some(h) => Ok(h(ctx)),
+            None => Err(RuntimeError::UnknownHook { hook: name.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polm2_heap::HeapConfig;
+
+    fn ctx_parts() -> (Heap, Option<ObjectId>, u32) {
+        (Heap::new(HeapConfig::small()), None, 7)
+    }
+
+    #[test]
+    fn hooks_round_trip_through_registry() {
+        let (mut heap, mut acc, mut state) = ctx_parts();
+        let mut reg = HookRegistry::new();
+        reg.register_action("bump", |ctx| {
+            *ctx.state::<u32>() += 1;
+            HookAction::default()
+        });
+        reg.register_cond("is_big", |ctx| *ctx.state::<u32>() > 5);
+        reg.register_size("sz", |ctx| *ctx.state::<u32>() * 2);
+        reg.register_count("n", |_| 3);
+
+        let mut ctx = HookCtx {
+            heap: &mut heap,
+            thread: ThreadId::new(0),
+            acc: &mut acc,
+            raw_state: &mut state,
+            now: SimTime::ZERO,
+        };
+        reg.run_action("bump", &mut ctx).unwrap();
+        assert!(reg.eval_cond("is_big", &mut ctx).unwrap());
+        assert_eq!(reg.eval_size("sz", &mut ctx).unwrap(), 16);
+        assert_eq!(reg.eval_count("n", &mut ctx).unwrap(), 3);
+        assert_eq!(state, 8);
+    }
+
+    #[test]
+    fn unknown_hooks_error() {
+        let (mut heap, mut acc, mut state) = ctx_parts();
+        let mut reg = HookRegistry::new();
+        let mut ctx = HookCtx {
+            heap: &mut heap,
+            thread: ThreadId::new(0),
+            acc: &mut acc,
+            raw_state: &mut state,
+            now: SimTime::ZERO,
+        };
+        assert!(matches!(
+            reg.run_action("missing", &mut ctx),
+            Err(RuntimeError::UnknownHook { .. })
+        ));
+        assert!(reg.eval_cond("missing", &mut ctx).is_err());
+        assert!(reg.eval_size("missing", &mut ctx).is_err());
+        assert!(reg.eval_count("missing", &mut ctx).is_err());
+    }
+
+    #[test]
+    fn hooks_can_manipulate_the_heap_and_acc() {
+        let (mut heap, mut acc, mut state) = ctx_parts();
+        let class = heap.classes_mut().intern("T");
+        let obj = heap
+            .allocate(class, 64, polm2_heap::SiteId::new(0), Heap::YOUNG_SPACE)
+            .unwrap();
+        let _ = acc;
+        acc = Some(obj);
+        let mut reg = HookRegistry::new();
+        reg.register_action("park", |ctx| {
+            let obj = ctx.acc.expect("acc set");
+            let slot = ctx.heap.roots_mut().create_slot("parked");
+            ctx.heap.roots_mut().push(slot, obj);
+            *ctx.acc = None;
+            HookAction::default()
+        });
+        let mut ctx = HookCtx {
+            heap: &mut heap,
+            thread: ThreadId::new(0),
+            acc: &mut acc,
+            raw_state: &mut state,
+            now: SimTime::ZERO,
+        };
+        reg.run_action("park", &mut ctx).unwrap();
+        assert!(acc.is_none());
+        assert_eq!(heap.roots().root_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn wrong_state_type_panics() {
+        let (mut heap, mut acc, mut state) = ctx_parts();
+        let mut ctx = HookCtx {
+            heap: &mut heap,
+            thread: ThreadId::new(0),
+            acc: &mut acc,
+            raw_state: &mut state,
+            now: SimTime::ZERO,
+        };
+        let _: &mut String = ctx.state::<String>();
+    }
+}

@@ -1,0 +1,373 @@
+//! The structured bytecode IR.
+//!
+//! Programs are trees, not flat instruction streams: blocks nest inside
+//! branches and loops. That keeps the interpreter simple while preserving
+//! everything POLM2 observes — allocation sites with (class, method, line)
+//! identity, call paths, and rewrite points for the agents.
+
+use std::fmt;
+
+use polm2_heap::GenId;
+
+/// A source location: the (class, method, line) triple POLM2's STTree nodes
+/// carry (the paper's 4-tuple minus the target generation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CodeLoc {
+    /// Class name.
+    pub class: String,
+    /// Method name.
+    pub method: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl CodeLoc {
+    /// Creates a location.
+    pub fn new(class: impl Into<String>, method: impl Into<String>, line: u32) -> Self {
+        CodeLoc { class: class.into(), method: method.into(), line }
+    }
+}
+
+impl fmt::Display for CodeLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}:{}", self.class, self.method, self.line)
+    }
+}
+
+/// How an allocation's size is determined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizeSpec {
+    /// A fixed size in bytes.
+    Fixed(u32),
+    /// Computed by a size hook (e.g. a value-size distribution).
+    Hook(String),
+}
+
+/// How a loop's trip count is determined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountSpec {
+    /// A fixed count.
+    Fixed(u32),
+    /// Computed by a count hook (e.g. "edges remaining in this batch").
+    Hook(String),
+}
+
+/// One instruction of the structured IR.
+///
+/// Every variant carries a source line; lines identify allocation sites and
+/// call sites to the profiler, so keep them unique within a method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Allocate an object of `class_name`. The new object becomes the
+    /// frame's accumulator and is frame-rooted until the frame pops.
+    /// `pretenure` is the `@Gen` annotation (set by the Instrumenter).
+    Alloc {
+        /// Class of the allocated object.
+        class_name: String,
+        /// Size specification.
+        size: SizeSpec,
+        /// Source line (site identity).
+        line: u32,
+        /// `@Gen` annotation: allocate into the thread's target generation.
+        pretenure: bool,
+    },
+    /// Call `class.method`. The callee's accumulator propagates back to the
+    /// caller's accumulator on return.
+    Call {
+        /// Callee class name.
+        class: String,
+        /// Callee method name.
+        method: String,
+        /// Source line (call-site identity).
+        line: u32,
+    },
+    /// Two-way branch on a condition hook.
+    Branch {
+        /// Condition hook name (must be registered as a cond hook).
+        cond: String,
+        /// Block when the hook returns true.
+        then_block: Vec<Instr>,
+        /// Block when the hook returns false.
+        else_block: Vec<Instr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Repeat a block.
+    Repeat {
+        /// Trip count specification.
+        count: CountSpec,
+        /// Loop body.
+        body: Vec<Instr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Invoke a native hook (workload semantics: insert into a memtable,
+    /// flush, publish results, ...).
+    Native {
+        /// Action hook name.
+        hook: String,
+        /// Source line.
+        line: u32,
+    },
+    /// Set the thread's target generation, saving the previous one on the
+    /// frame (inserted by the Instrumenter; NG2C `setGeneration`).
+    SetGen {
+        /// The generation to make current.
+        gen: GenId,
+        /// Source line.
+        line: u32,
+    },
+    /// Restore the most recently saved target generation (the Instrumenter
+    /// pairs each [`Instr::SetGen`] with one of these).
+    RestoreGen {
+        /// Source line.
+        line: u32,
+    },
+    /// Report the frame's accumulator (the most recent allocation) to the
+    /// allocation-event buffer (inserted by the Recorder after every
+    /// `Alloc`).
+    RecordAlloc {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Instr {
+    /// Shorthand for a fixed-size, non-pretenured allocation.
+    pub fn alloc(class_name: impl Into<String>, size: SizeSpec, line: u32) -> Instr {
+        Instr::Alloc { class_name: class_name.into(), size, line, pretenure: false }
+    }
+
+    /// Shorthand for a call.
+    pub fn call(class: impl Into<String>, method: impl Into<String>, line: u32) -> Instr {
+        Instr::Call { class: class.into(), method: method.into(), line }
+    }
+
+    /// Shorthand for a native hook invocation.
+    pub fn native(hook: impl Into<String>, line: u32) -> Instr {
+        Instr::Native { hook: hook.into(), line }
+    }
+
+    /// The instruction's source line.
+    pub fn line(&self) -> u32 {
+        match self {
+            Instr::Alloc { line, .. }
+            | Instr::Call { line, .. }
+            | Instr::Branch { line, .. }
+            | Instr::Repeat { line, .. }
+            | Instr::Native { line, .. }
+            | Instr::SetGen { line, .. }
+            | Instr::RestoreGen { line }
+            | Instr::RecordAlloc { line } => *line,
+        }
+    }
+}
+
+/// One method: a name and a body of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDef {
+    /// Method name, unique within its class.
+    pub name: String,
+    /// The method body.
+    pub body: Vec<Instr>,
+}
+
+impl MethodDef {
+    /// Creates an empty method.
+    pub fn new(name: impl Into<String>) -> Self {
+        MethodDef { name: name.into(), body: Vec::new() }
+    }
+
+    /// Appends an instruction (builder style).
+    pub fn push(mut self, instr: Instr) -> Self {
+        self.body.push(instr);
+        self
+    }
+
+    /// Appends many instructions (builder style).
+    pub fn extend(mut self, instrs: impl IntoIterator<Item = Instr>) -> Self {
+        self.body.extend(instrs);
+        self
+    }
+}
+
+/// One class: a name and its methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name, unique within the program.
+    pub name: String,
+    /// The class's methods.
+    pub methods: Vec<MethodDef>,
+}
+
+impl ClassDef {
+    /// Creates an empty class.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassDef { name: name.into(), methods: Vec::new() }
+    }
+
+    /// Adds a method (builder style).
+    pub fn with_method(mut self, method: MethodDef) -> Self {
+        self.methods.push(method);
+        self
+    }
+
+    /// Finds a method by name.
+    pub fn method(&self, name: &str) -> Option<&MethodDef> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// Finds a method by name, mutably (used by transformers).
+    pub fn method_mut(&mut self, name: &str) -> Option<&mut MethodDef> {
+        self.methods.iter_mut().find(|m| m.name == name)
+    }
+}
+
+/// A whole program: the unit the [`Loader`](crate::Loader) loads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    classes: Vec<ClassDef>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class with the same name already exists.
+    pub fn add_class(&mut self, class: ClassDef) {
+        assert!(
+            self.class(&class.name).is_none(),
+            "duplicate class {}",
+            class.name
+        );
+        self.classes.push(class);
+    }
+
+    /// All classes.
+    pub fn classes(&self) -> &[ClassDef] {
+        &self.classes
+    }
+
+    /// Mutable classes (used by transformers before loading).
+    pub fn classes_mut(&mut self) -> &mut [ClassDef] {
+        &mut self.classes
+    }
+
+    /// Finds a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Walks every instruction in the program, depth first.
+    pub fn visit_instrs<'a>(&'a self, mut f: impl FnMut(&'a ClassDef, &'a MethodDef, &'a Instr)) {
+        fn walk<'a>(
+            class: &'a ClassDef,
+            method: &'a MethodDef,
+            block: &'a [Instr],
+            f: &mut impl FnMut(&'a ClassDef, &'a MethodDef, &'a Instr),
+        ) {
+            for instr in block {
+                f(class, method, instr);
+                match instr {
+                    Instr::Branch { then_block, else_block, .. } => {
+                        walk(class, method, then_block, f);
+                        walk(class, method, else_block, f);
+                    }
+                    Instr::Repeat { body, .. } => walk(class, method, body, f),
+                    _ => {}
+                }
+            }
+        }
+        for class in &self.classes {
+            for method in &class.methods {
+                walk(class, method, &method.body, &mut f);
+            }
+        }
+    }
+
+    /// Counts allocation sites in the program (`Alloc` instructions).
+    pub fn alloc_site_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_instrs(|_, _, i| {
+            if matches!(i, Instr::Alloc { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        p.add_class(
+            ClassDef::new("A")
+                .with_method(
+                    MethodDef::new("m")
+                        .push(Instr::alloc("X", SizeSpec::Fixed(8), 1))
+                        .push(Instr::Branch {
+                            cond: "c".into(),
+                            then_block: vec![Instr::alloc("Y", SizeSpec::Fixed(8), 3)],
+                            else_block: vec![Instr::Repeat {
+                                count: CountSpec::Fixed(2),
+                                body: vec![Instr::alloc("Z", SizeSpec::Fixed(8), 5)],
+                                line: 4,
+                            }],
+                            line: 2,
+                        }),
+                )
+                .with_method(MethodDef::new("n").push(Instr::call("A", "m", 9))),
+        );
+        p
+    }
+
+    #[test]
+    fn code_loc_display() {
+        let loc = CodeLoc::new("Memtable", "insert", 42);
+        assert_eq!(loc.to_string(), "Memtable.insert:42");
+    }
+
+    #[test]
+    fn visit_reaches_nested_blocks() {
+        let p = sample();
+        assert_eq!(p.alloc_site_count(), 3);
+        let mut lines = Vec::new();
+        p.visit_instrs(|_, _, i| lines.push(i.line()));
+        assert_eq!(lines, vec![1, 2, 3, 4, 5, 9]);
+    }
+
+    #[test]
+    fn class_and_method_lookup() {
+        let p = sample();
+        assert!(p.class("A").is_some());
+        assert!(p.class("B").is_none());
+        assert!(p.class("A").unwrap().method("m").is_some());
+        assert!(p.class("A").unwrap().method("q").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class")]
+    fn duplicate_class_panics() {
+        let mut p = sample();
+        p.add_class(ClassDef::new("A"));
+    }
+
+    #[test]
+    fn instr_shorthands() {
+        assert_eq!(Instr::alloc("X", SizeSpec::Fixed(1), 7).line(), 7);
+        assert_eq!(Instr::call("A", "b", 8).line(), 8);
+        assert_eq!(Instr::native("h", 9).line(), 9);
+        assert_eq!(Instr::RecordAlloc { line: 3 }.line(), 3);
+        assert_eq!(Instr::RestoreGen { line: 4 }.line(), 4);
+        assert_eq!(Instr::SetGen { gen: GenId::new(1), line: 5 }.line(), 5);
+    }
+}

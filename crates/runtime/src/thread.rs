@@ -1,0 +1,121 @@
+//! Mutator threads and call frames.
+
+use polm2_gc::ThreadId;
+use polm2_heap::{GenId, ObjectId, SiteId};
+
+use crate::events::TraceFrame;
+
+/// One call frame.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    /// Class index in the loaded program.
+    pub(crate) class_idx: u16,
+    /// Method index within the class.
+    pub(crate) method_idx: u16,
+    /// The line currently executing (call line, alloc line, ...).
+    pub(crate) line: u32,
+    /// The frame accumulator: most recent allocation or callee result.
+    pub(crate) acc: Option<ObjectId>,
+    /// Objects this frame holds references to (its locals); GC roots while
+    /// the frame is on the stack.
+    pub(crate) roots: Vec<ObjectId>,
+    /// The site of the most recent allocation in this frame (for
+    /// `RecordAlloc`).
+    pub(crate) last_site: Option<SiteId>,
+    /// Target generations saved by `SetGen`, restored by `RestoreGen` or at
+    /// frame pop.
+    pub(crate) saved_gens: Vec<GenId>,
+}
+
+impl Frame {
+    pub(crate) fn new(class_idx: u16, method_idx: u16) -> Self {
+        Frame {
+            class_idx,
+            method_idx,
+            line: 0,
+            acc: None,
+            roots: Vec::new(),
+            last_site: None,
+            saved_gens: Vec::new(),
+        }
+    }
+}
+
+/// One mutator thread: an id and a call stack.
+///
+/// Threads are scheduled cooperatively by the driver — one
+/// [`Jvm::invoke`](crate::Jvm::invoke) at a time — which keeps the simulation
+/// deterministic. Frame roots model Java locals: every object a frame
+/// allocates or receives stays reachable until the frame pops.
+#[derive(Debug)]
+pub struct MutatorThread {
+    id: ThreadId,
+    pub(crate) frames: Vec<Frame>,
+}
+
+impl MutatorThread {
+    pub(crate) fn new(id: ThreadId) -> Self {
+        MutatorThread { id, frames: Vec::new() }
+    }
+
+    /// The thread id.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// Current call depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The current stack trace, outermost frame first.
+    pub fn trace(&self) -> Vec<TraceFrame> {
+        self.frames
+            .iter()
+            .map(|f| TraceFrame { class_idx: f.class_idx, method_idx: f.method_idx, line: f.line })
+            .collect()
+    }
+
+    /// All objects rooted by this thread's stack (locals + accumulators).
+    pub fn stack_roots(&self) -> Vec<ObjectId> {
+        let mut roots = Vec::new();
+        for f in &self.frames {
+            roots.extend_from_slice(&f.roots);
+            roots.extend(f.acc);
+        }
+        roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_reflects_frames() {
+        let mut t = MutatorThread::new(ThreadId::new(1));
+        assert_eq!(t.depth(), 0);
+        let mut f0 = Frame::new(0, 0);
+        f0.line = 3;
+        let mut f1 = Frame::new(0, 1);
+        f1.line = 7;
+        t.frames.push(f0);
+        t.frames.push(f1);
+        let trace = t.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].line, 3);
+        assert_eq!(trace[1].line, 7);
+    }
+
+    #[test]
+    fn stack_roots_include_locals_and_acc() {
+        let mut t = MutatorThread::new(ThreadId::new(1));
+        let mut f = Frame::new(0, 0);
+        f.roots.push(ObjectId::new(10));
+        f.acc = Some(ObjectId::new(20));
+        t.frames.push(f);
+        let roots = t.stack_roots();
+        assert!(roots.contains(&ObjectId::new(10)));
+        assert!(roots.contains(&ObjectId::new(20)));
+    }
+}

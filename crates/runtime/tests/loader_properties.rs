@@ -1,0 +1,99 @@
+//! Property-based tests for the loader: arbitrary well-formed programs load,
+//! resolve, and count allocation sites consistently — whatever the agents do
+//! to them first.
+
+use proptest::prelude::*;
+
+use polm2_heap::{Heap, HeapConfig};
+use polm2_runtime::{ClassDef, Instr, Loader, MethodDef, Program, SizeSpec};
+
+/// A random instruction tree of bounded depth, with calls restricted to the
+/// fixed method `Lib.helper` so resolution always succeeds.
+fn arb_instr(depth: u32) -> BoxedStrategy<Instr> {
+    let leaf = prop_oneof![
+        ("[A-Z][a-z]{1,6}", 1u32..500)
+            .prop_map(|(class, line)| Instr::alloc(class, SizeSpec::Fixed(16), line)),
+        (1u32..500).prop_map(|line| Instr::call("Lib", "helper", line)),
+        (1u32..500).prop_map(|line| Instr::native("noop", line)),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            4 => leaf,
+            1 => (
+                proptest::collection::vec(arb_instr(depth - 1), 0..3),
+                proptest::collection::vec(arb_instr(depth - 1), 0..3),
+                1u32..500,
+            )
+                .prop_map(|(then_block, else_block, line)| Instr::Branch {
+                    cond: "flag".into(),
+                    then_block,
+                    else_block,
+                    line,
+                }),
+            1 => (proptest::collection::vec(arb_instr(depth - 1), 0..3), 1u32..500)
+                .prop_map(|(body, line)| Instr::Repeat {
+                    count: polm2_runtime::CountSpec::Fixed(2),
+                    body,
+                    line,
+                }),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(proptest::collection::vec(arb_instr(2), 1..8), 1..4).prop_map(
+        |methods| {
+            let mut program = Program::new();
+            program.add_class(ClassDef::new("Lib").with_method(
+                MethodDef::new("helper").push(Instr::alloc("H", SizeSpec::Fixed(8), 1)),
+            ));
+            let mut class = ClassDef::new("App");
+            for (i, body) in methods.into_iter().enumerate() {
+                let mut m = MethodDef::new(format!("m{i}"));
+                m.body = body;
+                class = class.with_method(m);
+            }
+            program.add_class(class);
+            program
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loading never fails for well-formed programs, and the site table has
+    /// one entry per distinct allocation location.
+    #[test]
+    fn well_formed_programs_load(program in arb_program()) {
+        let mut heap = Heap::new(HeapConfig::small());
+        let mut locations = std::collections::HashSet::new();
+        program.visit_instrs(|class, method, instr| {
+            if matches!(instr, Instr::Alloc { .. }) {
+                locations.insert((class.name.clone(), method.name.clone(), instr.line()));
+            }
+        });
+        let loaded = Loader::load(program, &mut [], &mut heap).expect("loads");
+        prop_assert_eq!(loaded.sites().len(), locations.len());
+        prop_assert!(loaded.resolve("Lib", "helper").is_ok());
+        prop_assert!(loaded.resolve("App", "m0").is_ok());
+        prop_assert!(loaded.resolve("App", "zzz").is_err());
+    }
+
+    /// Loading is idempotent in structure: loading the same program twice
+    /// produces identical site tables.
+    #[test]
+    fn loading_is_deterministic(program in arb_program()) {
+        let mut heap_a = Heap::new(HeapConfig::small());
+        let mut heap_b = Heap::new(HeapConfig::small());
+        let a = Loader::load(program.clone(), &mut [], &mut heap_a).expect("loads");
+        let b = Loader::load(program, &mut [], &mut heap_b).expect("loads");
+        prop_assert_eq!(a.sites().len(), b.sites().len());
+        for (sa, sb) in a.sites().iter().zip(b.sites().iter()) {
+            prop_assert_eq!(sa, sb);
+        }
+    }
+}

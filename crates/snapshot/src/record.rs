@@ -1,0 +1,161 @@
+//! Snapshot records and series.
+
+use polm2_heap::{IdHashSet, IdentityHash};
+use polm2_metrics::{SimDuration, SimTime};
+
+/// One captured heap snapshot.
+///
+/// Content is the set of live-object identity hashes (what the Analyzer
+/// consumes); cost is the number of bytes captured and the stop time the
+/// capture imposed (what Figures 3–4 compare).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Sequence number within its series (0-based).
+    pub seq: u32,
+    /// When the capture happened.
+    pub at: SimTime,
+    /// Identity hashes of the live objects included in the snapshot.
+    hashes: IdHashSet<IdentityHash>,
+    /// Number of live objects captured.
+    pub live_objects: u64,
+    /// Bytes written by the capture.
+    pub size_bytes: u64,
+    /// How long the application was stopped for the capture.
+    pub capture_time: SimDuration,
+}
+
+impl Snapshot {
+    /// Creates a snapshot record.
+    pub fn new(
+        seq: u32,
+        at: SimTime,
+        hashes: IdHashSet<IdentityHash>,
+        size_bytes: u64,
+        capture_time: SimDuration,
+    ) -> Self {
+        let live_objects = hashes.len() as u64;
+        Snapshot { seq, at, hashes, live_objects, size_bytes, capture_time }
+    }
+
+    /// True if an object with this identity hash was live at capture time.
+    pub fn contains(&self, hash: IdentityHash) -> bool {
+        self.hashes.contains(&hash)
+    }
+
+    /// The captured identity hashes.
+    pub fn hashes(&self) -> &IdHashSet<IdentityHash> {
+        &self.hashes
+    }
+}
+
+/// A sequence of snapshots from one profiling run.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotSeries {
+    snapshots: Vec<Snapshot>,
+}
+
+impl SnapshotSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        SnapshotSeries::default()
+    }
+
+    /// Appends a snapshot.
+    pub fn push(&mut self, snapshot: Snapshot) {
+        self.snapshots.push(snapshot);
+    }
+
+    /// The snapshots, capture order.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Total bytes across the series.
+    pub fn total_size_bytes(&self) -> u64 {
+        self.snapshots.iter().map(|s| s.size_bytes).sum()
+    }
+
+    /// Total stop time across the series.
+    pub fn total_capture_time(&self) -> SimDuration {
+        self.snapshots.iter().map(|s| s.capture_time).sum()
+    }
+
+    /// Mean snapshot size (0 for an empty series).
+    pub fn mean_size_bytes(&self) -> u64 {
+        if self.snapshots.is_empty() {
+            0
+        } else {
+            self.total_size_bytes() / self.snapshots.len() as u64
+        }
+    }
+
+    /// The number of snapshots in which each hash appears consecutively from
+    /// its first appearance is what the Analyzer derives; the series only
+    /// provides ordered access, via [`snapshots`](SnapshotSeries::snapshots).
+    ///
+    /// Convenience: how many snapshots contain `hash`.
+    pub fn appearances(&self, hash: IdentityHash) -> usize {
+        self.snapshots.iter().filter(|s| s.contains(hash)).count()
+    }
+}
+
+impl FromIterator<Snapshot> for SnapshotSeries {
+    fn from_iter<T: IntoIterator<Item = Snapshot>>(iter: T) -> Self {
+        SnapshotSeries { snapshots: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polm2_heap::ObjectId;
+
+    fn snap(seq: u32, ids: &[u64], size: u64, ms: u64) -> Snapshot {
+        Snapshot::new(
+            seq,
+            SimTime::from_secs(seq as u64),
+            ids.iter().map(|&i| IdentityHash::of(ObjectId::new(i))).collect(),
+            size,
+            SimDuration::from_millis(ms),
+        )
+    }
+
+    #[test]
+    fn snapshot_content_queries() {
+        let s = snap(0, &[1, 2], 4096, 3);
+        assert!(s.contains(IdentityHash::of(ObjectId::new(1))));
+        assert!(!s.contains(IdentityHash::of(ObjectId::new(9))));
+        assert_eq!(s.live_objects, 2);
+    }
+
+    #[test]
+    fn series_accumulates_costs() {
+        let series: SnapshotSeries =
+            vec![snap(0, &[1], 100, 5), snap(1, &[1, 2], 300, 10)].into_iter().collect();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.total_size_bytes(), 400);
+        assert_eq!(series.mean_size_bytes(), 200);
+        assert_eq!(series.total_capture_time(), SimDuration::from_millis(15));
+        assert_eq!(series.appearances(IdentityHash::of(ObjectId::new(1))), 2);
+        assert_eq!(series.appearances(IdentityHash::of(ObjectId::new(2))), 1);
+        assert!(!series.is_empty());
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let series = SnapshotSeries::new();
+        assert!(series.is_empty());
+        assert_eq!(series.mean_size_bytes(), 0);
+        assert_eq!(series.total_size_bytes(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the snapshot machinery.
+
+use proptest::prelude::*;
+
+use polm2_heap::{Heap, HeapConfig, ObjectId, SiteId};
+use polm2_metrics::SimTime;
+use polm2_snapshot::{CriuDumper, DumperOptions, HeapDumper, JmapDumper};
+
+/// Builds a heap with the given object sizes; every `keep_mask` bit decides
+/// rooting.
+fn build_heap(sizes: &[u32], keep_mask: u64) -> (Heap, Vec<ObjectId>) {
+    let mut heap = Heap::new(HeapConfig::small());
+    let class = heap.classes_mut().intern("P");
+    let slot = heap.roots_mut().create_slot("keep");
+    let mut kept = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        let id = heap
+            .allocate(class, size.clamp(16, 64 << 10), SiteId::new(0), Heap::YOUNG_SPACE)
+            .expect("alloc");
+        if keep_mask & (1 << (i % 64)) != 0 {
+            heap.roots_mut().push(slot, id);
+            kept.push(id);
+        }
+    }
+    (heap, kept)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshot content is exactly the live set, for both dumpers.
+    #[test]
+    fn content_equals_live_set(
+        sizes in proptest::collection::vec(16u32..4096, 1..60),
+        keep_mask in any::<u64>(),
+    ) {
+        let (mut heap, kept) = build_heap(&sizes, keep_mask);
+        let criu = CriuDumper::new().snapshot(&mut heap, SimTime::ZERO);
+        let (mut heap2, _) = build_heap(&sizes, keep_mask);
+        let jmap = JmapDumper::new().snapshot(&mut heap2, SimTime::ZERO);
+        prop_assert_eq!(criu.live_objects, kept.len() as u64);
+        prop_assert_eq!(jmap.live_objects, kept.len() as u64);
+        for id in kept {
+            let hash = heap.object(id).unwrap().identity_hash();
+            prop_assert!(criu.contains(hash));
+            prop_assert!(jmap.contains(hash));
+        }
+    }
+
+    /// With both optimizations, a snapshot is never larger than with either
+    /// disabled; a quiescent follow-up snapshot is never larger than the
+    /// first.
+    #[test]
+    fn optimizations_never_hurt(
+        sizes in proptest::collection::vec(256u32..8192, 1..60),
+        keep_mask in any::<u64>(),
+    ) {
+        let options = [
+            DumperOptions::default(),
+            DumperOptions { use_no_need: false, ..DumperOptions::default() },
+            DumperOptions { use_incremental: false, ..DumperOptions::default() },
+            DumperOptions { use_no_need: false, use_incremental: false, ..DumperOptions::default() },
+        ];
+        let mut first_sizes = Vec::new();
+        for o in options {
+            let (mut heap, _) = build_heap(&sizes, keep_mask);
+            let mut dumper = CriuDumper::with_options(o);
+            let first = dumper.snapshot(&mut heap, SimTime::ZERO);
+            let second = dumper.snapshot(&mut heap, SimTime::from_secs(1));
+            if o.use_incremental {
+                prop_assert!(second.size_bytes <= first.size_bytes);
+            }
+            first_sizes.push(first.size_bytes);
+        }
+        // Fully-optimized is minimal among the variants for the first shot.
+        for &other in &first_sizes[1..] {
+            prop_assert!(first_sizes[0] <= other);
+        }
+    }
+
+    /// Capture time grows monotonically with captured bytes under one cost
+    /// model.
+    #[test]
+    fn cost_is_monotone_in_size(
+        a in proptest::collection::vec(1024u32..4096, 1..40),
+        b in proptest::collection::vec(1024u32..4096, 41..80),
+    ) {
+        let (mut small_heap, _) = build_heap(&a, u64::MAX);
+        let (mut big_heap, _) = build_heap(&b, u64::MAX);
+        let small = CriuDumper::new().snapshot(&mut small_heap, SimTime::ZERO);
+        let big = CriuDumper::new().snapshot(&mut big_heap, SimTime::ZERO);
+        prop_assert!(small.size_bytes <= big.size_bytes);
+        prop_assert!(small.capture_time <= big.capture_time);
+    }
+}

@@ -1,0 +1,782 @@
+//! A Cassandra-style key-value store (paper §5.2.1).
+//!
+//! Reproduces the allocation structure that makes Cassandra hard for G1:
+//!
+//! * **Write path** — every write appends a commit-log entry (dies when its
+//!   log segment rotates out) and inserts a cell (name + value + cell
+//!   header + partition index entry) into the current *memtable*. Memtables
+//!   grow to a quarter of the heap and then flush: the whole cohort dies at
+//!   once, after surviving several young collections — exactly the
+//!   middle-lived en-masse pattern of the paper.
+//! * **Flush path** — each flush produces an SSTable *summary* plus a Bloom
+//!   filter, long-lived until compaction retires the oldest tables.
+//! * **Read path** — short-lived read commands/response buffers, plus a
+//!   segmented row cache whose rows live for the cache-churn period.
+//!
+//! Two helper classes are deliberately shared between paths of different
+//! lifetimes — `Buffers.alloc` (commit-log entries vs. response buffers) and
+//! `Arrays.copy` (cell values vs. read scratch) — producing the two
+//! allocation-path conflicts Table 1 reports for Cassandra.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use polm2_core::{AllocationProfile, GenCall, PretenuredSite};
+use polm2_heap::{GenId, ObjectId};
+use polm2_metrics::SimDuration;
+use polm2_runtime::{
+    ClassDef, CodeLoc, HookAction, HookRegistry, Instr, MethodDef, Program, SizeSpec,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::workload::Workload;
+use crate::ycsb::{seeded_rng, OpMix, ZipfGenerator};
+
+/// Tunables for the Cassandra simulation (defaults follow DESIGN.md's
+/// 1:48 scale of the paper's setup).
+#[derive(Debug, Clone)]
+pub struct CassandraConfig {
+    /// Read/write mix (WI / WR / RI).
+    pub mix: OpMix,
+    /// Key-space size.
+    pub keyspace: u64,
+    /// Zipfian skew.
+    pub theta: f64,
+    /// Flush the memtable beyond this many bytes (Cassandra 2.1 defaults to
+    /// a quarter of the heap).
+    pub memtable_flush_bytes: u64,
+    /// Commit-log entries per segment.
+    pub log_segment_entries: u64,
+    /// Commit-log segments retained.
+    pub log_segments: usize,
+    /// Rows per cache segment.
+    pub cache_segment_rows: u64,
+    /// Cache segments retained.
+    pub cache_segments: usize,
+    /// SSTable summaries retained before compaction drops the oldest.
+    pub sstable_cap: usize,
+    /// Keys per partition (for partition-header allocation).
+    pub keys_per_partition: u64,
+    /// Mutator think time per operation.
+    pub op_cost: SimDuration,
+}
+
+impl CassandraConfig {
+    /// The paper's configuration for the given mix.
+    pub fn paper(mix: OpMix) -> Self {
+        CassandraConfig {
+            mix,
+            keyspace: 200_000,
+            theta: 0.99,
+            memtable_flush_bytes: 64 << 20,
+            log_segment_entries: 8_192,
+            log_segments: 8,
+            cache_segment_rows: 8_192,
+            cache_segments: 4,
+            sstable_cap: 16,
+            keys_per_partition: 64,
+            op_cost: SimDuration::from_micros(200),
+        }
+    }
+
+    /// A small configuration for tests (tiny heap, fast flushes).
+    pub fn small(mix: OpMix) -> Self {
+        CassandraConfig {
+            keyspace: 2_000,
+            memtable_flush_bytes: 1 << 20,
+            log_segment_entries: 512,
+            log_segments: 4,
+            cache_segment_rows: 256,
+            cache_segments: 4,
+            sstable_cap: 4,
+            ..CassandraConfig::paper(mix)
+        }
+    }
+}
+
+/// Runtime state driving the hooks.
+#[derive(Debug)]
+pub struct CassandraState {
+    config: CassandraConfig,
+    rng: StdRng,
+    zipf: ZipfGenerator,
+    current_key: u64,
+    // Memtable.
+    memtable_obj: Option<ObjectId>,
+    memtable_bytes: u64,
+    partitions: HashSet<u64>,
+    /// Flush statistics (Table 1 commentary, tests).
+    pub flushes: u64,
+    // Commit log.
+    log_segment: Option<ObjectId>,
+    log_segment_entries: u64,
+    log_segments: VecDeque<ObjectId>,
+    // Row cache.
+    cache_segment: Option<ObjectId>,
+    cache_segment_rows: u64,
+    cache_segments: VecDeque<(u32, ObjectId)>,
+    cache_map: HashMap<u64, u32>,
+    cache_seg_counter: u32,
+    /// Cache hits observed (tests).
+    pub cache_hits: u64,
+    // SSTables.
+    sstables: VecDeque<ObjectId>,
+    // Cross-instruction stashes.
+    pending_name: Option<ObjectId>,
+    pending_value: Option<ObjectId>,
+    pending_summary: Option<ObjectId>,
+}
+
+impl CassandraState {
+    /// Creates fresh state.
+    pub fn new(config: CassandraConfig, seed: u64) -> Self {
+        let zipf = ZipfGenerator::new(config.keyspace, config.theta);
+        CassandraState {
+            config,
+            rng: seeded_rng(seed),
+            zipf,
+            current_key: 0,
+            memtable_obj: None,
+            memtable_bytes: 0,
+            partitions: HashSet::new(),
+            flushes: 0,
+            log_segment: None,
+            log_segment_entries: 0,
+            log_segments: VecDeque::new(),
+            cache_segment: None,
+            cache_segment_rows: 0,
+            cache_segments: VecDeque::new(),
+            cache_map: HashMap::new(),
+            cache_seg_counter: 0,
+            cache_hits: 0,
+            sstables: VecDeque::new(),
+            pending_name: None,
+            pending_value: None,
+            pending_summary: None,
+        }
+    }
+
+    fn cache_segment_alive(&self, seg: u32) -> bool {
+        self.cache_segments.iter().any(|&(id, _)| id == seg)
+    }
+}
+
+/// The Cassandra workload (one of WI / WR / RI).
+#[derive(Debug, Clone)]
+pub struct CassandraWorkload {
+    name: &'static str,
+    config: CassandraConfig,
+}
+
+impl CassandraWorkload {
+    /// Creates the workload for the given mix name and config.
+    pub fn new(name: &'static str, config: CassandraConfig) -> Self {
+        CassandraWorkload { name, config }
+    }
+
+    /// Write-intensive: 2 500 reads / 7 500 writes per second.
+    pub fn write_intensive() -> Self {
+        CassandraWorkload::new("cassandra-wi", CassandraConfig::paper(OpMix::WRITE_INTENSIVE))
+    }
+
+    /// Balanced: 5 000 / 5 000.
+    pub fn write_read() -> Self {
+        CassandraWorkload::new("cassandra-wr", CassandraConfig::paper(OpMix::WRITE_READ))
+    }
+
+    /// Read-intensive: 7 500 reads / 2 500 writes.
+    pub fn read_intensive() -> Self {
+        CassandraWorkload::new("cassandra-ri", CassandraConfig::paper(OpMix::READ_INTENSIVE))
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CassandraConfig {
+        &self.config
+    }
+}
+
+/// Builds the Cassandra IR program. Line numbers are the site identities the
+/// profiler sees; keep them stable.
+pub fn program() -> Program {
+    let mut p = Program::new();
+    p.add_class(
+        ClassDef::new("Cassandra").with_method(
+            MethodDef::new("handleOp").push(Instr::Branch {
+                cond: "is_write".into(),
+                then_block: vec![Instr::call("Cassandra", "handleWrite", 2)],
+                else_block: vec![Instr::call("Cassandra", "handleRead", 3)],
+                line: 1,
+            }),
+        )
+        .with_method(
+            MethodDef::new("handleWrite")
+                .push(Instr::call("CommitLog", "append", 10))
+                .push(Instr::call("Memtable", "put", 11))
+                .push(Instr::Branch {
+                    cond: "needs_flush".into(),
+                    then_block: vec![Instr::call("Memtable", "flush", 13)],
+                    else_block: vec![],
+                    line: 12,
+                })
+                .push(Instr::alloc("WriteResponse", SizeSpec::Fixed(1024), 14)),
+        )
+        .with_method(
+            MethodDef::new("handleRead")
+                .push(Instr::alloc("ReadCommand", SizeSpec::Fixed(768), 20))
+                .push(Instr::Branch {
+                    cond: "cache_hit".into(),
+                    then_block: vec![Instr::native("cache_touch", 22)],
+                    else_block: vec![
+                        Instr::Branch {
+                            cond: "cache_seg_needed".into(),
+                            then_block: vec![
+                                Instr::alloc("CacheSegment", SizeSpec::Fixed(256), 24),
+                                Instr::native("install_cache_seg", 25),
+                            ],
+                            else_block: vec![],
+                            line: 23,
+                        },
+                        Instr::call("ReadPath", "materialize", 26),
+                        Instr::native("cache_insert", 27),
+                    ],
+                    line: 21,
+                })
+                .push(Instr::call("Buffers", "alloc", 28)),
+        ),
+    );
+    p.add_class(
+        ClassDef::new("CommitLog").with_method(
+            MethodDef::new("append")
+                .push(Instr::Branch {
+                    cond: "needs_rotate".into(),
+                    then_block: vec![
+                        Instr::alloc("LogSegment", SizeSpec::Fixed(256), 51),
+                        Instr::native("rotate_log", 52),
+                    ],
+                    else_block: vec![],
+                    line: 50,
+                })
+                .push(Instr::call("Buffers", "alloc", 53))
+                .push(Instr::native("log_append", 54)),
+        ),
+    );
+    p.add_class(ClassDef::new("Buffers").with_method(
+        MethodDef::new("alloc").push(Instr::alloc("ByteBuffer", SizeSpec::Hook("buf_size".into()), 60)),
+    ));
+    p.add_class(
+        ClassDef::new("Memtable")
+            .with_method(
+                MethodDef::new("put")
+                    .push(Instr::Branch {
+                        cond: "memtable_missing".into(),
+                        then_block: vec![
+                            Instr::alloc("Memtable", SizeSpec::Fixed(512), 66),
+                            Instr::native("install_memtable", 67),
+                        ],
+                        else_block: vec![],
+                        line: 65,
+                    })
+                    .push(Instr::Branch {
+                        cond: "new_partition".into(),
+                        then_block: vec![
+                            Instr::alloc("PartitionHeader", SizeSpec::Fixed(80), 71),
+                            Instr::native("register_partition", 72),
+                        ],
+                        else_block: vec![],
+                        line: 70,
+                    })
+                    .push(Instr::alloc("CellName", SizeSpec::Fixed(48), 73))
+                    .push(Instr::native("stash_name", 74))
+                    .push(Instr::call("Cell", "create", 75))
+                    .push(Instr::native("memtable_insert", 76)),
+            )
+            .with_method(
+                MethodDef::new("flush")
+                    .push(Instr::native("flush_memtable", 30))
+                    .push(Instr::call("SSTable", "build", 31)),
+            ),
+    );
+    p.add_class(
+        ClassDef::new("Cell").with_method(
+            MethodDef::new("create")
+                .push(Instr::call("Arrays", "copy", 80))
+                .push(Instr::native("stash_value", 81))
+                .push(Instr::alloc("Cell", SizeSpec::Fixed(64), 82))
+                .push(Instr::native("attach_value", 83)),
+        ),
+    );
+    p.add_class(ClassDef::new("Arrays").with_method(
+        MethodDef::new("copy").push(Instr::alloc("ByteArray", SizeSpec::Hook("value_size".into()), 90)),
+    ));
+    p.add_class(
+        ClassDef::new("SSTable").with_method(
+            MethodDef::new("build")
+                .push(Instr::alloc("SSTableSummary", SizeSpec::Hook("summary_size".into()), 40))
+                .push(Instr::native("register_summary", 41))
+                .push(Instr::alloc("BloomFilter", SizeSpec::Fixed(4096), 42))
+                .push(Instr::native("attach_bloom", 43)),
+        ),
+    );
+    p.add_class(
+        ClassDef::new("ReadPath").with_method(
+            MethodDef::new("materialize")
+                .push(Instr::call("Arrays", "copy", 100))
+                .push(Instr::alloc("CachedRow", SizeSpec::Hook("row_size".into()), 101)),
+        ),
+    );
+    p
+}
+
+/// Builds the Cassandra hooks.
+pub fn hooks() -> HookRegistry {
+    let mut h = HookRegistry::new();
+
+    // ---- conditions ----
+    h.register_cond("is_write", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        s.current_key = s.zipf.next(&mut s.rng);
+        !s.config.mix.next_is_read(&mut s.rng)
+    });
+    h.register_cond("needs_flush", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        s.memtable_bytes >= s.config.memtable_flush_bytes
+    });
+    h.register_cond("needs_rotate", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        s.log_segment.is_none() || s.log_segment_entries >= s.config.log_segment_entries
+    });
+    h.register_cond("memtable_missing", |ctx| ctx.state::<CassandraState>().memtable_obj.is_none());
+    h.register_cond("new_partition", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        let partition = s.current_key / s.config.keys_per_partition;
+        !s.partitions.contains(&partition)
+    });
+    h.register_cond("cache_hit", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        let key = s.current_key;
+        match s.cache_map.get(&key).copied() {
+            Some(seg) if s.cache_segment_alive(seg) => {
+                s.cache_hits += 1;
+                true
+            }
+            Some(_) => {
+                s.cache_map.remove(&key);
+                false
+            }
+            None => false,
+        }
+    });
+    h.register_cond("cache_seg_needed", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        s.cache_segment.is_none() || s.cache_segment_rows >= s.config.cache_segment_rows
+    });
+
+    // ---- sizes ----
+    h.register_size("buf_size", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        64 + s.rng.gen_range(0..192)
+    });
+    h.register_size("value_size", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        128 + s.rng.gen_range(0..512)
+    });
+    h.register_size("summary_size", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        // Summaries scale with the flushed memtable (~1/64 of it).
+        ((s.config.memtable_flush_bytes / 64) as u32).clamp(4_096, 1 << 20)
+    });
+    h.register_size("row_size", |ctx| {
+        let s = ctx.state::<CassandraState>();
+        256 + s.rng.gen_range(0..512)
+    });
+
+    // ---- commit log ----
+    h.register_action("rotate_log", |ctx| {
+        let seg = ctx.acc.expect("LogSegment allocated");
+        let slot = ctx.heap.roots_mut().create_slot("cassandra.commitlog");
+        ctx.heap.roots_mut().push(slot, seg);
+        let s = ctx.state::<CassandraState>();
+        s.log_segment = Some(seg);
+        s.log_segment_entries = 0;
+        s.log_segments.push_back(seg);
+        let retired = if s.log_segments.len() > s.config.log_segments {
+            s.log_segments.pop_front()
+        } else {
+            None
+        };
+        if let Some(old) = retired {
+            ctx.heap.roots_mut().remove(slot, old);
+        }
+        HookAction::default()
+    });
+    h.register_action("log_append", |ctx| {
+        let entry = ctx.acc.expect("log entry buffer allocated");
+        let seg = {
+            let s = ctx.state::<CassandraState>();
+            s.log_segment_entries += 1;
+            s.log_segment.expect("rotate_log ran first")
+        };
+        ctx.heap.add_ref(seg, entry).expect("segment and entry are live");
+        HookAction { cost: Some(SimDuration::from_micros(3)) }
+    });
+
+    // ---- memtable ----
+    h.register_action("install_memtable", |ctx| {
+        let obj = ctx.acc.expect("Memtable allocated");
+        let slot = ctx.heap.roots_mut().create_slot("cassandra.memtable");
+        ctx.heap.roots_mut().push(slot, obj);
+        let s = ctx.state::<CassandraState>();
+        s.memtable_obj = Some(obj);
+        s.memtable_bytes = 512;
+        HookAction::default()
+    });
+    h.register_action("register_partition", |ctx| {
+        let header = ctx.acc.expect("PartitionHeader allocated");
+        let (memtable, partition) = {
+            let s = ctx.state::<CassandraState>();
+            let partition = s.current_key / s.config.keys_per_partition;
+            s.partitions.insert(partition);
+            s.memtable_bytes += 80;
+            (s.memtable_obj.expect("memtable installed"), partition)
+        };
+        let _ = partition;
+        ctx.heap.add_ref(memtable, header).expect("memtable and header are live");
+        HookAction::default()
+    });
+    h.register_action("stash_name", |ctx| {
+        let name = ctx.acc.expect("CellName allocated");
+        ctx.state::<CassandraState>().pending_name = Some(name);
+        HookAction::default()
+    });
+    h.register_action("stash_value", |ctx| {
+        let value = ctx.acc.expect("ByteArray allocated");
+        ctx.state::<CassandraState>().pending_value = Some(value);
+        HookAction::default()
+    });
+    h.register_action("attach_value", |ctx| {
+        let cell = ctx.acc.expect("Cell allocated");
+        let value = ctx.state::<CassandraState>().pending_value.take().expect("value stashed");
+        ctx.heap.add_ref(cell, value).expect("cell and value are live");
+        HookAction::default()
+    });
+    h.register_action("memtable_insert", |ctx| {
+        let cell = ctx.acc.expect("cell returned by Cell.create");
+        let (memtable, name) = {
+            let s = ctx.state::<CassandraState>();
+            (s.memtable_obj.expect("memtable installed"), s.pending_name.take().expect("name stashed"))
+        };
+        ctx.heap.add_ref(cell, name).expect("cell and name are live");
+        ctx.heap.add_ref(memtable, cell).expect("memtable and cell are live");
+        let cell_bytes = 48
+            + 64
+            + u64::from(ctx.heap.object(cell).expect("live cell").refs().iter().map(|&r| {
+                ctx.heap.object(r).map(|o| o.size()).unwrap_or(0)
+            }).sum::<u32>());
+        let s = ctx.state::<CassandraState>();
+        s.memtable_bytes += cell_bytes;
+        HookAction { cost: Some(SimDuration::from_micros(4)) }
+    });
+    h.register_action("flush_memtable", |ctx| {
+        let slot = ctx.heap.roots_mut().create_slot("cassandra.memtable");
+        let retired = {
+            let s = ctx.state::<CassandraState>();
+            let retired = s.memtable_obj.take();
+            s.memtable_bytes = 0;
+            s.partitions.clear();
+            s.flushes += 1;
+            retired
+        };
+        if let Some(obj) = retired {
+            ctx.heap.roots_mut().remove(slot, obj);
+        }
+        // Flushing writes the cohort out; the I/O cost is charged here.
+        HookAction { cost: Some(SimDuration::from_millis(2)) }
+    });
+
+    // ---- sstables ----
+    h.register_action("register_summary", |ctx| {
+        let summary = ctx.acc.expect("SSTableSummary allocated");
+        let slot = ctx.heap.roots_mut().create_slot("cassandra.sstables");
+        ctx.heap.roots_mut().push(slot, summary);
+        let retired = {
+            let s = ctx.state::<CassandraState>();
+            s.pending_summary = Some(summary);
+            s.sstables.push_back(summary);
+            if s.sstables.len() > s.config.sstable_cap {
+                s.sstables.pop_front()
+            } else {
+                None
+            }
+        };
+        if let Some(old) = retired {
+            ctx.heap.roots_mut().remove(slot, old);
+        }
+        HookAction::default()
+    });
+    h.register_action("attach_bloom", |ctx| {
+        let bloom = ctx.acc.expect("BloomFilter allocated");
+        let summary = ctx.state::<CassandraState>().pending_summary.take().expect("summary stashed");
+        ctx.heap.add_ref(summary, bloom).expect("summary and bloom are live");
+        HookAction::default()
+    });
+
+    // ---- row cache ----
+    h.register_action("cache_touch", |_ctx| HookAction { cost: Some(SimDuration::from_micros(1)) });
+    h.register_action("install_cache_seg", |ctx| {
+        let seg_obj = ctx.acc.expect("CacheSegment allocated");
+        let slot = ctx.heap.roots_mut().create_slot("cassandra.rowcache");
+        ctx.heap.roots_mut().push(slot, seg_obj);
+        let retired = {
+            let s = ctx.state::<CassandraState>();
+            s.cache_seg_counter += 1;
+            let id = s.cache_seg_counter;
+            s.cache_segment = Some(seg_obj);
+            s.cache_segment_rows = 0;
+            s.cache_segments.push_back((id, seg_obj));
+            if s.cache_segments.len() > s.config.cache_segments {
+                s.cache_segments.pop_front()
+            } else {
+                None
+            }
+        };
+        if let Some((_, old)) = retired {
+            ctx.heap.roots_mut().remove(slot, old);
+        }
+        HookAction::default()
+    });
+    h.register_action("cache_insert", |ctx| {
+        let row = ctx.acc.expect("CachedRow returned by materialize");
+        let (seg_obj, key, seg_id) = {
+            let s = ctx.state::<CassandraState>();
+            let seg_obj = s.cache_segment.expect("cache segment installed");
+            s.cache_segment_rows += 1;
+            (seg_obj, s.current_key, s.cache_seg_counter)
+        };
+        ctx.heap.add_ref(seg_obj, row).expect("segment and row are live");
+        let s = ctx.state::<CassandraState>();
+        s.cache_map.insert(key, seg_id);
+        HookAction { cost: Some(SimDuration::from_micros(5)) }
+    });
+
+    h
+}
+
+/// The code locations of the middle/long-lived sites (used by the manual
+/// profiles and the Table 1 accounting).
+pub mod sites {
+    use polm2_runtime::CodeLoc;
+
+    /// All candidate allocation sites an expert would review.
+    pub fn candidates() -> Vec<CodeLoc> {
+        vec![
+            CodeLoc::new("Cassandra", "handleRead", 20),  // ReadCommand (short)
+            CodeLoc::new("Cassandra", "handleWrite", 14), // WriteResponse (short)
+            CodeLoc::new("Cassandra", "handleRead", 24),  // CacheSegment
+            CodeLoc::new("CommitLog", "append", 51),      // LogSegment
+            CodeLoc::new("Buffers", "alloc", 60),         // ByteBuffer (conflict)
+            CodeLoc::new("Memtable", "put", 66),          // Memtable
+            CodeLoc::new("Memtable", "put", 71),          // PartitionHeader
+            CodeLoc::new("Memtable", "put", 73),          // CellName
+            CodeLoc::new("Cell", "create", 82),           // Cell
+            CodeLoc::new("Arrays", "copy", 90),           // ByteArray (conflict)
+            CodeLoc::new("SSTable", "build", 40),         // SSTableSummary
+            CodeLoc::new("SSTable", "build", 42),         // BloomFilter
+            CodeLoc::new("ReadPath", "materialize", 101), // CachedRow
+        ]
+    }
+}
+
+/// The manual NG2C annotations for Cassandra (what the NG2C paper's authors
+/// wrote by hand): memtable cohort in gen 2, cache in gen 3, sstable
+/// metadata in gen 4. The conflicted helper sites are annotated with a
+/// single generation set at the *write-path* callers only — correct for
+/// WI/WR where writes dominate.
+fn manual_profile_base() -> AllocationProfile {
+    let mut p = AllocationProfile::new();
+    let g2 = GenId::new(2); // memtable-lifetime cohort
+    let g3 = GenId::new(3); // cache-lifetime cohort
+    let g4 = GenId::new(4); // sstable metadata
+    for (loc, gen, local) in [
+        (CodeLoc::new("Memtable", "put", 66), g2, true),
+        (CodeLoc::new("Memtable", "put", 71), g2, true),
+        (CodeLoc::new("Memtable", "put", 73), g2, true),
+        (CodeLoc::new("Cell", "create", 82), g2, true),
+        (CodeLoc::new("CommitLog", "append", 51), g2, true),
+        (CodeLoc::new("Cassandra", "handleRead", 24), g3, true),
+        (CodeLoc::new("ReadPath", "materialize", 101), g3, true),
+        (CodeLoc::new("SSTable", "build", 40), g4, true),
+        (CodeLoc::new("SSTable", "build", 42), g4, true),
+        // The shared helpers, annotated (@Gen) with the generation supplied
+        // by wrapped call sites below.
+        (CodeLoc::new("Buffers", "alloc", 60), g2, false),
+        (CodeLoc::new("Arrays", "copy", 90), g2, false),
+    ] {
+        p.add_site(PretenuredSite { loc, gen, local });
+    }
+    // Path-aware setGeneration wrappers for the shared helpers: the
+    // commit-log append and the cell-value copy are the middle-lived users.
+    p.add_gen_call(GenCall { at: CodeLoc::new("CommitLog", "append", 53), gen: g2 });
+    p.add_gen_call(GenCall { at: CodeLoc::new("Cell", "create", 80), gen: g2 });
+    p
+}
+
+/// The *misplaced* manual profile the paper describes for Cassandra-RI
+/// (§5.4): the expert tuned for the write path and — with reads dominating —
+/// also pinned the read-path helpers into the middle-lived generation,
+/// sending short-lived response buffers and read scratch to old space.
+fn manual_profile_ri() -> AllocationProfile {
+    let mut p = manual_profile_base();
+    let g2 = GenId::new(2);
+    // Misplacement: the read paths into the shared helpers get the
+    // write-path generation.
+    p.add_gen_call(GenCall { at: CodeLoc::new("Cassandra", "handleRead", 28), gen: g2 });
+    p.add_gen_call(GenCall { at: CodeLoc::new("ReadPath", "materialize", 100), gen: g2 });
+    p
+}
+
+impl Workload for CassandraWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn program(&self) -> Program {
+        program()
+    }
+
+    fn hooks(&self) -> HookRegistry {
+        hooks()
+    }
+
+    fn new_state(&self, seed: u64) -> Box<dyn Any> {
+        Box::new(CassandraState::new(self.config.clone(), seed))
+    }
+
+    fn entry(&self) -> (&'static str, &'static str) {
+        ("Cassandra", "handleOp")
+    }
+
+    fn op_cost(&self) -> SimDuration {
+        self.config.op_cost
+    }
+
+    fn manual_profile(&self) -> AllocationProfile {
+        if self.name == "cassandra-ri" {
+            manual_profile_ri()
+        } else {
+            manual_profile_base()
+        }
+    }
+
+    fn candidate_sites(&self) -> u32 {
+        // ReadCommand and WriteResponse are obviously short-lived; an expert
+        // would not consider them.
+        sites::candidates().len() as u32 - 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polm2_runtime::{Jvm, RuntimeConfig};
+
+    fn boot(mix: OpMix) -> Jvm {
+        let w = CassandraWorkload::new("cassandra-test", CassandraConfig::small(mix));
+        Jvm::builder(RuntimeConfig::small())
+            .hooks(w.hooks())
+            .state(w.new_state(7))
+            .build(w.program())
+            .expect("program loads")
+    }
+
+    #[test]
+    fn program_has_the_documented_sites() {
+        let p = program();
+        assert_eq!(p.alloc_site_count(), sites::candidates().len());
+    }
+
+    #[test]
+    fn writes_accumulate_and_flush() {
+        let mut jvm = boot(OpMix { read_permille: 0 });
+        let t = jvm.spawn_thread();
+        for _ in 0..3_000 {
+            jvm.invoke(t, "Cassandra", "handleOp").unwrap();
+        }
+        let flushes = jvm.state_mut::<CassandraState>().flushes;
+        assert!(flushes >= 1, "1 MiB flush threshold must trigger: {flushes}");
+        // SSTable summaries exist and are rooted.
+        assert!(jvm.heap().roots().find_slot("cassandra.sstables").is_some());
+        jvm.heap().check_invariants();
+    }
+
+    #[test]
+    fn flush_kills_the_memtable_cohort() {
+        let mut jvm = boot(OpMix { read_permille: 0 });
+        let t = jvm.spawn_thread();
+        // Run until just after a flush.
+        let mut last_flushes = 0;
+        for _ in 0..5_000 {
+            jvm.invoke(t, "Cassandra", "handleOp").unwrap();
+            let f = jvm.state_mut::<CassandraState>().flushes;
+            if f > last_flushes {
+                last_flushes = f;
+                break;
+            }
+        }
+        assert!(last_flushes > 0);
+        jvm.force_collect();
+        // After a flush + full GC, live cells are only the post-flush ones.
+        let cell_class = jvm.heap().classes().lookup("Cell").unwrap();
+        let live = jvm.heap_mut().mark_live(&[]);
+        let live_cells = live
+            .iter()
+            .filter(|&id| jvm.heap().object(id).map(|o| o.class()) == Some(cell_class))
+            .count();
+        let state = jvm.state_mut::<CassandraState>();
+        assert!(
+            (live_cells as u64) < 2 * state.config.log_segment_entries,
+            "flushed cells must die: {live_cells} live"
+        );
+    }
+
+    #[test]
+    fn reads_hit_the_cache_for_hot_keys() {
+        let mut jvm = boot(OpMix { read_permille: 1000 });
+        let t = jvm.spawn_thread();
+        for _ in 0..5_000 {
+            jvm.invoke(t, "Cassandra", "handleOp").unwrap();
+        }
+        let hits = jvm.state_mut::<CassandraState>().cache_hits;
+        assert!(hits > 500, "Zipfian reads must hit the cache: {hits} hits");
+    }
+
+    #[test]
+    fn commit_log_is_bounded() {
+        let mut jvm = boot(OpMix { read_permille: 0 });
+        let t = jvm.spawn_thread();
+        for _ in 0..4_000 {
+            jvm.invoke(t, "Cassandra", "handleOp").unwrap();
+        }
+        let s = jvm.state_mut::<CassandraState>();
+        assert!(s.log_segments.len() <= s.config.log_segments);
+        // Retired segments (and their entries) must be collectable.
+        jvm.force_collect();
+        jvm.heap().check_invariants();
+    }
+
+    #[test]
+    fn manual_profiles_differ_for_ri() {
+        let wi = CassandraWorkload::write_intensive().manual_profile();
+        let ri = CassandraWorkload::read_intensive().manual_profile();
+        assert!(ri.gen_calls().len() > wi.gen_calls().len(), "RI adds the misplaced wrappers");
+        assert_eq!(wi.sites().len(), 11);
+    }
+
+    #[test]
+    fn mix_constructors() {
+        assert_eq!(CassandraWorkload::write_intensive().name(), "cassandra-wi");
+        assert_eq!(CassandraWorkload::write_read().name(), "cassandra-wr");
+        assert_eq!(CassandraWorkload::read_intensive().name(), "cassandra-ri");
+        assert_eq!(CassandraWorkload::write_intensive().entry(), ("Cassandra", "handleOp"));
+    }
+}

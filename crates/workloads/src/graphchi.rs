@@ -1,0 +1,594 @@
+//! A GraphChi-style out-of-core graph engine (paper §5.2.3).
+//!
+//! The paper runs PageRank (PR) and Connected Components (CC) over the 2010
+//! Twitter graph (42 M vertices, 1.5 B edges), loading vertices and edges in
+//! batches under a memory budget. The memory behaviour that matters:
+//!
+//! * **Edge blocks** — each batch loads a memory budget's worth of edge
+//!   blocks; they all die together at the batch boundary after surviving the
+//!   young collections the batch itself provokes (the budget exceeds the
+//!   young generation). Under G1 this is a copy/promote storm every batch.
+//! * **Vertex state, value blocks, degree tables** — run-lived.
+//! * **Update scratch** — per-vertex message buffers, short-lived.
+//!
+//! `Codec.decode` serves both the load path (buffers attached to blocks,
+//! batch-lived, plus degree-table decode at init, run-lived) and the update
+//! path (scratch) — GraphChi's Table 1 conflict.
+//!
+//! One driver operation = one batch (load + update phase), so throughput is
+//! batches/second — GraphChi is the paper's throughput-oriented system.
+
+use std::any::Any;
+
+use polm2_core::{AllocationProfile, GenCall, PretenuredSite};
+use polm2_heap::{GenId, ObjectId};
+use polm2_metrics::SimDuration;
+use polm2_runtime::{
+    ClassDef, CodeLoc, CountSpec, HookAction, HookRegistry, Instr, MethodDef, Program, SizeSpec,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::workload::Workload;
+use crate::ycsb::seeded_rng;
+
+/// Which vertex program runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// PageRank.
+    PageRank,
+    /// Connected Components.
+    ConnectedComponents,
+}
+
+/// Tunables for the GraphChi simulation.
+#[derive(Debug, Clone)]
+pub struct GraphchiConfig {
+    /// The vertex program.
+    pub algorithm: Algorithm,
+    /// Vertices in the (scaled) graph.
+    pub num_vertices: u64,
+    /// Edge blocks loaded per batch (the memory budget).
+    pub blocks_per_batch: u32,
+    /// Batches whose blocks stay resident (the sliding shard window real
+    /// GraphChi keeps under its memory budget). Blocks die when their batch
+    /// leaves the window.
+    pub batches_in_memory: usize,
+    /// Vertices updated per batch.
+    pub vertices_per_batch: u32,
+    /// A vertex-value block is allocated every this many new vertices.
+    pub vertices_per_value_block: u64,
+    /// Degree-table blocks decoded at init.
+    pub degree_blocks: u32,
+    /// A shard index object is allocated every this many edge blocks.
+    pub blocks_per_shard_index: u32,
+    /// Think time per batch (I/O + compute the simulation does not model).
+    pub op_cost: SimDuration,
+}
+
+impl GraphchiConfig {
+    /// The paper-scaled configuration for the given algorithm.
+    pub fn paper(algorithm: Algorithm) -> Self {
+        GraphchiConfig {
+            algorithm,
+            num_vertices: 50_000,
+            blocks_per_batch: 4_000,
+            batches_in_memory: 3,
+            vertices_per_batch: 12_500,
+            vertices_per_value_block: 256,
+            degree_blocks: 2_000,
+            blocks_per_shard_index: 64,
+            op_cost: SimDuration::from_millis(3_000),
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small(algorithm: Algorithm) -> Self {
+        GraphchiConfig {
+            algorithm,
+            num_vertices: 400,
+            blocks_per_batch: 64,
+            batches_in_memory: 2,
+            vertices_per_batch: 100,
+            vertices_per_value_block: 64,
+            degree_blocks: 16,
+            blocks_per_shard_index: 16,
+            op_cost: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Runtime state driving the hooks.
+#[derive(Debug)]
+pub struct GraphchiState {
+    config: GraphchiConfig,
+    rng: StdRng,
+    initialized: bool,
+    batch_holder: Option<ObjectId>,
+    resident_batches: std::collections::VecDeque<ObjectId>,
+    pending_block: Option<ObjectId>,
+    pending_degree_table: Option<ObjectId>,
+    vertex_cursor: u64,
+    vertices_created: u64,
+    blocks_loaded_in_batch: u32,
+    /// Batches completed (throughput unit; tests).
+    pub batches: u64,
+    /// Simulated PageRank mass / CC label sum (forces the update math to be
+    /// real work with an observable result).
+    pub aggregate: f64,
+}
+
+impl GraphchiState {
+    /// Creates fresh state.
+    pub fn new(config: GraphchiConfig, seed: u64) -> Self {
+        GraphchiState {
+            config,
+            rng: seeded_rng(seed),
+            initialized: false,
+            batch_holder: None,
+            resident_batches: std::collections::VecDeque::new(),
+            pending_block: None,
+            pending_degree_table: None,
+            vertex_cursor: 0,
+            vertices_created: 0,
+            blocks_loaded_in_batch: 0,
+            batches: 0,
+            aggregate: 0.0,
+        }
+    }
+}
+
+/// The GraphChi workload (PR or CC).
+#[derive(Debug, Clone)]
+pub struct GraphchiWorkload {
+    name: &'static str,
+    config: GraphchiConfig,
+}
+
+impl GraphchiWorkload {
+    /// PageRank on the scaled Twitter-like graph.
+    pub fn pagerank() -> Self {
+        GraphchiWorkload { name: "graphchi-pr", config: GraphchiConfig::paper(Algorithm::PageRank) }
+    }
+
+    /// Connected Components on the scaled Twitter-like graph.
+    pub fn connected_components() -> Self {
+        GraphchiWorkload {
+            name: "graphchi-cc",
+            config: GraphchiConfig::paper(Algorithm::ConnectedComponents),
+        }
+    }
+
+    /// With a custom configuration.
+    pub fn new(name: &'static str, config: GraphchiConfig) -> Self {
+        GraphchiWorkload { name, config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GraphchiConfig {
+        &self.config
+    }
+}
+
+/// Builds the GraphChi IR program.
+pub fn program() -> Program {
+    let mut p = Program::new();
+    p.add_class(
+        ClassDef::new("GraphChi")
+            .with_method(
+                MethodDef::new("runBatch")
+                    .push(Instr::Branch {
+                        cond: "needs_init".into(),
+                        then_block: vec![Instr::call("GraphChi", "init", 2)],
+                        else_block: vec![],
+                        line: 1,
+                    })
+                    .push(Instr::alloc("BatchHolder", SizeSpec::Fixed(128), 3))
+                    .push(Instr::native("install_batch", 4))
+                    .push(Instr::Repeat {
+                        count: CountSpec::Hook("blocks_in_batch".into()),
+                        body: vec![Instr::call("Shard", "loadBlock", 6)],
+                        line: 5,
+                    })
+                    .push(Instr::Repeat {
+                        count: CountSpec::Hook("vertices_in_batch".into()),
+                        body: vec![Instr::call("Engine", "updateVertex", 8)],
+                        line: 7,
+                    })
+                    .push(Instr::alloc("CommitBuf", SizeSpec::Fixed(8192), 9))
+                    .push(Instr::native("end_batch", 10)),
+            )
+            .with_method(
+                MethodDef::new("init").push(Instr::Repeat {
+                    count: CountSpec::Hook("degree_blocks".into()),
+                    body: vec![
+                        Instr::alloc("DegreeTable", SizeSpec::Fixed(4096), 16),
+                        Instr::native("register_degrees", 17),
+                        Instr::call("Codec", "decode", 18),
+                        Instr::native("attach_degree_codec", 19),
+                    ],
+                    line: 15,
+                }),
+            ),
+    );
+    p.add_class(
+        ClassDef::new("Shard").with_method(
+            MethodDef::new("loadBlock")
+                .push(Instr::alloc("EdgeBlock", SizeSpec::Hook("edge_block_size".into()), 20))
+                .push(Instr::native("register_block", 21))
+                .push(Instr::call("Codec", "decode", 22))
+                .push(Instr::native("attach_block_codec", 23))
+                .push(Instr::Branch {
+                    cond: "shard_index_needed".into(),
+                    then_block: vec![
+                        Instr::alloc("ShardIndex", SizeSpec::Fixed(1024), 25),
+                        Instr::native("register_shard_index", 26),
+                    ],
+                    else_block: vec![],
+                    line: 24,
+                }),
+        ),
+    );
+    p.add_class(ClassDef::new("Codec").with_method(
+        MethodDef::new("decode").push(Instr::alloc("DecodeBuf", SizeSpec::Hook("decode_size".into()), 30)),
+    ));
+    p.add_class(
+        ClassDef::new("Engine").with_method(
+            MethodDef::new("updateVertex")
+                .push(Instr::Branch {
+                    cond: "vertex_is_new".into(),
+                    then_block: vec![
+                        Instr::alloc("VertexState", SizeSpec::Fixed(48), 41),
+                        Instr::native("register_vertex", 42),
+                        Instr::Branch {
+                            cond: "needs_value_block".into(),
+                            then_block: vec![
+                                Instr::alloc("ValueBlock", SizeSpec::Fixed(4096), 44),
+                                Instr::native("register_value_block", 45),
+                            ],
+                            else_block: vec![],
+                            line: 43,
+                        },
+                    ],
+                    else_block: vec![],
+                    line: 40,
+                })
+                .push(Instr::call("Codec", "decode", 46))
+                .push(Instr::alloc("MsgScratch", SizeSpec::Fixed(256), 47))
+                .push(Instr::native("apply_update", 48)),
+        ),
+    );
+    p
+}
+
+/// Builds the GraphChi hooks.
+pub fn hooks() -> HookRegistry {
+    let mut h = HookRegistry::new();
+
+    h.register_cond("needs_init", |ctx| !ctx.state::<GraphchiState>().initialized);
+    h.register_cond("shard_index_needed", |ctx| {
+        let s = ctx.state::<GraphchiState>();
+        s.blocks_loaded_in_batch % s.config.blocks_per_shard_index == 0
+    });
+    h.register_cond("vertex_is_new", |ctx| {
+        let s = ctx.state::<GraphchiState>();
+        s.vertex_cursor = (s.vertex_cursor + 1) % s.config.num_vertices;
+        s.vertices_created < s.config.num_vertices && s.vertex_cursor >= s.vertices_created
+    });
+    h.register_cond("needs_value_block", |ctx| {
+        let s = ctx.state::<GraphchiState>();
+        s.vertices_created % s.config.vertices_per_value_block == 1
+    });
+
+    h.register_count("blocks_in_batch", |ctx| ctx.state::<GraphchiState>().config.blocks_per_batch);
+    h.register_count("vertices_in_batch", |ctx| {
+        ctx.state::<GraphchiState>().config.vertices_per_batch
+    });
+    h.register_count("degree_blocks", |ctx| ctx.state::<GraphchiState>().config.degree_blocks);
+
+    h.register_size("edge_block_size", |ctx| {
+        let s = ctx.state::<GraphchiState>();
+        3_072 + s.rng.gen_range(0..3_072)
+    });
+    h.register_size("decode_size", |ctx| {
+        let s = ctx.state::<GraphchiState>();
+        1_024 + s.rng.gen_range(0..1_024)
+    });
+
+    h.register_action("install_batch", |ctx| {
+        let holder = ctx.acc.expect("BatchHolder allocated");
+        let slot = ctx.heap.roots_mut().create_slot("graphchi.batch");
+        ctx.heap.roots_mut().push(slot, holder);
+        let s = ctx.state::<GraphchiState>();
+        s.batch_holder = Some(holder);
+        s.blocks_loaded_in_batch = 0;
+        HookAction::default()
+    });
+    h.register_action("register_block", |ctx| {
+        let block = ctx.acc.expect("EdgeBlock allocated");
+        let holder = {
+            let s = ctx.state::<GraphchiState>();
+            s.blocks_loaded_in_batch += 1;
+            s.pending_block = Some(block);
+            s.batch_holder.expect("install_batch ran")
+        };
+        ctx.heap.add_ref(holder, block).expect("holder and block are live");
+        HookAction::default()
+    });
+    h.register_action("attach_block_codec", |ctx| {
+        let buf = ctx.acc.expect("DecodeBuf allocated");
+        let block = ctx.state::<GraphchiState>().pending_block.take().expect("block stashed");
+        ctx.heap.add_ref(block, buf).expect("block and buf are live");
+        HookAction::default()
+    });
+    h.register_action("register_shard_index", |ctx| {
+        let index = ctx.acc.expect("ShardIndex allocated");
+        let holder = ctx.state::<GraphchiState>().batch_holder.expect("install_batch ran");
+        ctx.heap.add_ref(holder, index).expect("holder and index are live");
+        HookAction::default()
+    });
+    h.register_action("register_degrees", |ctx| {
+        let table = ctx.acc.expect("DegreeTable allocated");
+        let slot = ctx.heap.roots_mut().create_slot("graphchi.degrees");
+        ctx.heap.roots_mut().push(slot, table);
+        ctx.state::<GraphchiState>().pending_degree_table = Some(table);
+        HookAction::default()
+    });
+    h.register_action("attach_degree_codec", |ctx| {
+        let buf = ctx.acc.expect("DecodeBuf allocated");
+        let table =
+            ctx.state::<GraphchiState>().pending_degree_table.take().expect("table stashed");
+        ctx.heap.add_ref(table, buf).expect("table and buf are live");
+        HookAction::default()
+    });
+    h.register_action("register_vertex", |ctx| {
+        let vertex = ctx.acc.expect("VertexState allocated");
+        let slot = ctx.heap.roots_mut().create_slot("graphchi.vertices");
+        let key = {
+            let s = ctx.state::<GraphchiState>();
+            s.vertices_created += 1;
+            s.vertex_cursor
+        };
+        ctx.heap.roots_mut().set_keyed(slot, key, vertex);
+        HookAction::default()
+    });
+    h.register_action("register_value_block", |ctx| {
+        let block = ctx.acc.expect("ValueBlock allocated");
+        let slot = ctx.heap.roots_mut().create_slot("graphchi.values");
+        ctx.heap.roots_mut().push(slot, block);
+        HookAction::default()
+    });
+    h.register_action("apply_update", |ctx| {
+        // The vertex program's arithmetic: PR accumulates damped rank mass,
+        // CC takes label minima. Both write the vertex's state (dirtying its
+        // page, which the incremental Dumper must then recapture).
+        let (cursor, algorithm, draw) = {
+            let s = ctx.state::<GraphchiState>();
+            (s.vertex_cursor, s.config.algorithm, s.rng.gen::<f64>())
+        };
+        let slot = ctx.heap.roots_mut().create_slot("graphchi.vertices");
+        if let Some(vertex) = ctx.heap.roots().keyed(slot, cursor) {
+            let _ = ctx.heap.write_field(vertex);
+        }
+        let s = ctx.state::<GraphchiState>();
+        match algorithm {
+            Algorithm::PageRank => s.aggregate = 0.85 * s.aggregate + 0.15 * draw,
+            Algorithm::ConnectedComponents => {
+                s.aggregate = s.aggregate.min(draw * cursor as f64 + 1.0)
+            }
+        }
+        HookAction::default()
+    });
+    h.register_action("end_batch", |ctx| {
+        let commit = ctx.acc.expect("CommitBuf allocated");
+        let (holder, retired) = {
+            let s = ctx.state::<GraphchiState>();
+            s.initialized = true;
+            s.batches += 1;
+            let holder = s.batch_holder.take();
+            if let Some(h_obj) = holder {
+                s.resident_batches.push_back(h_obj);
+            }
+            let retired = if s.resident_batches.len() > s.config.batches_in_memory {
+                s.resident_batches.pop_front()
+            } else {
+                None
+            };
+            (holder, retired)
+        };
+        let slot = ctx.heap.roots_mut().create_slot("graphchi.batch");
+        if let Some(h_obj) = holder {
+            // The commit buffer rides along with the batch it commits.
+            ctx.heap.add_ref(h_obj, commit).expect("holder and commit are live");
+        }
+        // The oldest batch leaves the shard window; its blocks die together.
+        if let Some(old) = retired {
+            ctx.heap.roots_mut().remove(slot, old);
+        }
+        HookAction { cost: Some(SimDuration::from_millis(5)) }
+    });
+
+    h
+}
+
+/// Candidate allocation sites (Table 1's denominator for GraphChi: 9).
+pub mod sites {
+    use polm2_runtime::CodeLoc;
+
+    /// All candidate allocation sites.
+    pub fn candidates() -> Vec<CodeLoc> {
+        vec![
+            CodeLoc::new("GraphChi", "runBatch", 3),   // BatchHolder
+            CodeLoc::new("GraphChi", "runBatch", 9),   // CommitBuf
+            CodeLoc::new("GraphChi", "init", 16),      // DegreeTable
+            CodeLoc::new("Shard", "loadBlock", 20),    // EdgeBlock
+            CodeLoc::new("Shard", "loadBlock", 25),    // ShardIndex
+            CodeLoc::new("Codec", "decode", 30),       // DecodeBuf (conflict)
+            CodeLoc::new("Engine", "updateVertex", 41), // VertexState
+            CodeLoc::new("Engine", "updateVertex", 44), // ValueBlock
+            CodeLoc::new("Engine", "updateVertex", 47), // MsgScratch
+        ]
+    }
+}
+
+/// The manual NG2C annotations for GraphChi: the batch-lived load path in
+/// gen 2, the run-lived state in gen 3. The expert missed the `Codec.decode`
+/// conflict (Table 1: POLM2 found a conflict NG2C's annotations did not
+/// handle) — the decode site is left unannotated, so block decode buffers
+/// churn through the young generation.
+fn manual_profile() -> AllocationProfile {
+    let mut p = AllocationProfile::new();
+    let g2 = GenId::new(2);
+    let g3 = GenId::new(3);
+    for (loc, gen) in [
+        (CodeLoc::new("GraphChi", "runBatch", 3), g2),
+        (CodeLoc::new("GraphChi", "runBatch", 9), g2),
+        (CodeLoc::new("Shard", "loadBlock", 20), g2),
+        (CodeLoc::new("Shard", "loadBlock", 25), g2),
+        (CodeLoc::new("GraphChi", "init", 16), g3),
+        (CodeLoc::new("Engine", "updateVertex", 41), g3),
+        (CodeLoc::new("Engine", "updateVertex", 44), g3),
+    ] {
+        p.add_site(PretenuredSite { loc, gen, local: true });
+    }
+    // One wrapper the expert did place: the whole load loop runs in gen 2.
+    p.add_gen_call(GenCall { at: CodeLoc::new("GraphChi", "runBatch", 6), gen: g2 });
+    p
+}
+
+impl Workload for GraphchiWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn program(&self) -> Program {
+        program()
+    }
+
+    fn hooks(&self) -> HookRegistry {
+        hooks()
+    }
+
+    fn new_state(&self, seed: u64) -> Box<dyn Any> {
+        Box::new(GraphchiState::new(self.config.clone(), seed))
+    }
+
+    fn entry(&self) -> (&'static str, &'static str) {
+        ("GraphChi", "runBatch")
+    }
+
+    fn op_cost(&self) -> SimDuration {
+        self.config.op_cost
+    }
+
+    fn manual_profile(&self) -> AllocationProfile {
+        manual_profile()
+    }
+
+    fn candidate_sites(&self) -> u32 {
+        sites::candidates().len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polm2_runtime::{Jvm, RuntimeConfig};
+
+    fn boot(algorithm: Algorithm) -> Jvm {
+        let w = GraphchiWorkload::new("graphchi-test", GraphchiConfig::small(algorithm));
+        Jvm::builder(RuntimeConfig::small())
+            .hooks(w.hooks())
+            .state(w.new_state(5))
+            .build(w.program())
+            .expect("program loads")
+    }
+
+    #[test]
+    fn program_has_the_documented_sites() {
+        assert_eq!(program().alloc_site_count(), sites::candidates().len());
+    }
+
+    #[test]
+    fn batches_load_blocks_that_die_when_leaving_the_window() {
+        let mut jvm = boot(Algorithm::PageRank);
+        let t = jvm.spawn_thread();
+        // The small config keeps 2 batches resident; run 4 so the first two
+        // leave the window.
+        for _ in 0..4 {
+            jvm.invoke(t, "GraphChi", "runBatch").unwrap();
+        }
+        assert_eq!(jvm.state_mut::<GraphchiState>().batches, 4);
+        jvm.force_collect();
+        let block_class = jvm.heap().classes().lookup("EdgeBlock").unwrap();
+        let live = jvm.heap_mut().mark_live(&[]);
+        let live_blocks = live
+            .iter()
+            .filter(|&id| jvm.heap().object(id).map(|o| o.class()) == Some(block_class))
+            .count() as u32;
+        let per_batch = jvm.state_mut::<GraphchiState>().config.blocks_per_batch;
+        assert_eq!(
+            live_blocks,
+            2 * per_batch,
+            "exactly the resident window's blocks survive"
+        );
+    }
+
+    #[test]
+    fn vertex_state_survives_batches() {
+        let mut jvm = boot(Algorithm::ConnectedComponents);
+        let t = jvm.spawn_thread();
+        for _ in 0..3 {
+            jvm.invoke(t, "GraphChi", "runBatch").unwrap();
+        }
+        jvm.force_collect();
+        let vertex_class = jvm.heap().classes().lookup("VertexState").unwrap();
+        let live = jvm.heap_mut().mark_live(&[]);
+        let live_vertices = live
+            .iter()
+            .filter(|&id| jvm.heap().object(id).map(|o| o.class()) == Some(vertex_class))
+            .count() as u64;
+        let created = jvm.state_mut::<GraphchiState>().vertices_created;
+        assert_eq!(live_vertices, created);
+        assert!(created > 0);
+    }
+
+    #[test]
+    fn init_runs_once_and_degree_tables_persist() {
+        let mut jvm = boot(Algorithm::PageRank);
+        let t = jvm.spawn_thread();
+        jvm.invoke(t, "GraphChi", "runBatch").unwrap();
+        let class = jvm.heap().classes().lookup("DegreeTable").unwrap();
+        let count_tables = |jvm: &mut Jvm| {
+            let live = jvm.heap_mut().mark_live(&[]);
+            live.iter()
+                .filter(|&id| jvm.heap().object(id).map(|o| o.class()) == Some(class))
+                .count()
+        };
+        let first = count_tables(&mut jvm);
+        jvm.invoke(t, "GraphChi", "runBatch").unwrap();
+        let second = count_tables(&mut jvm);
+        assert_eq!(first, second, "init must not re-run");
+        assert_eq!(first, 16);
+    }
+
+    #[test]
+    fn both_algorithms_make_progress() {
+        for algorithm in [Algorithm::PageRank, Algorithm::ConnectedComponents] {
+            let mut jvm = boot(algorithm);
+            let t = jvm.spawn_thread();
+            for _ in 0..2 {
+                jvm.invoke(t, "GraphChi", "runBatch").unwrap();
+            }
+            assert!(jvm.state_mut::<GraphchiState>().aggregate.is_finite());
+            jvm.heap().check_invariants();
+        }
+    }
+
+    #[test]
+    fn manual_profile_misses_the_decode_conflict() {
+        let p = manual_profile();
+        assert!(p.site_at(&CodeLoc::new("Codec", "decode", 30)).is_none());
+        assert_eq!(p.sites().len(), 7);
+    }
+}

@@ -1,0 +1,37 @@
+//! The paper's evaluation workloads, rebuilt as simulated BGPLATs.
+//!
+//! Three platforms (paper §5.2), each expressed as an IR program whose
+//! allocation structure mirrors the real system's, with workload semantics
+//! (memtables, indexes, shards) in native hooks driving object lifetimes:
+//!
+//! * [`cassandra`] — a Cassandra-style key-value store: commit log,
+//!   memtables flushed to SSTable summaries, row cache; driven by a
+//!   YCSB-style Zipfian generator in write-intensive (WI), write-read (WR),
+//!   and read-intensive (RI) mixes.
+//! * [`lucene`] — a Lucene-style in-memory text index: term dictionary,
+//!   postings that die when their document is re-indexed, top-word searches;
+//!   write-heavy, the paper's worst case.
+//! * [`graphchi`] — a GraphChi-style out-of-core graph engine: edge blocks
+//!   loaded in batches under a memory budget, PageRank (PR) and Connected
+//!   Components (CC) vertex programs.
+//!
+//! [`registry::paper_workloads`] returns the six configurations of Table 1;
+//! [`runner::run_workload`] executes one under a chosen collector setup and
+//! collects every metric the figures need; [`runner::profile_workload`] runs
+//! the POLM2 profiling phase.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod cassandra;
+pub mod graphchi;
+pub mod lucene;
+pub mod registry;
+pub mod runner;
+pub mod workload;
+pub mod ycsb;
+
+pub use registry::paper_workloads;
+pub use runner::{profile_workload, run_workload, ProfilePhaseConfig, RunConfig, RunResult};
+pub use workload::{CollectorSetup, Workload};
+pub use ycsb::{OpMix, ZipfGenerator};

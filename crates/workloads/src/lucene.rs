@@ -1,0 +1,528 @@
+//! A Lucene-style in-memory text index (paper §5.2.2).
+//!
+//! The paper indexes a Wikipedia dump and drives 20 000 document updates
+//! plus 5 000 searches per second — a write-intensive worst case. The memory
+//! behaviour that matters:
+//!
+//! * **Postings** — each document update allocates a posting (plus payload
+//!   block) per term; the *previous* version's postings die when a document
+//!   is re-indexed. With updates spread over the corpus, posting lifetime is
+//!   the corpus-turnover period: middle-lived, the bulk of the heap churn.
+//! * **Term dictionary** — entries are allocated on first occurrence and
+//!   never die (immortal).
+//! * **Segment metadata** — sealed every N updates; norms tables and index
+//!   blocks attached to segments live until old segments are retired.
+//! * **Search scratch** — queries loop over the top terms allocating
+//!   short-lived buffers (the paper's top-500-words read loop).
+//!
+//! `Buffers.grow` (posting payloads / segment index blocks / search scratch)
+//! and `Pool.get` (update scratch / segment norms) are shared helpers
+//! reached through paths with different lifetimes — Lucene's two Table 1
+//! conflicts.
+
+use std::any::Any;
+use std::collections::{HashSet, VecDeque};
+
+use polm2_core::{AllocationProfile, PretenuredSite};
+use polm2_heap::{GenId, ObjectId};
+use polm2_metrics::SimDuration;
+use polm2_runtime::{
+    ClassDef, CodeLoc, CountSpec, HookAction, HookRegistry, Instr, MethodDef, Program, SizeSpec,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::workload::Workload;
+use crate::ycsb::{seeded_rng, ZipfGenerator};
+
+/// Tunables for the Lucene simulation.
+#[derive(Debug, Clone)]
+pub struct LuceneConfig {
+    /// Document updates per 1000 operations (paper: 20k of 25k ops/s).
+    pub update_permille: u16,
+    /// Corpus size in documents.
+    pub doc_space: u64,
+    /// Distinct terms.
+    pub term_space: u64,
+    /// Terms (re)indexed per document update.
+    pub terms_per_doc: u32,
+    /// Terms scanned per search (the top-words loop).
+    pub terms_per_search: u32,
+    /// Hot-term window searched (paper: top 500 words).
+    pub search_term_window: u64,
+    /// Seal a segment every this many updates.
+    pub updates_per_segment: u64,
+    /// Segments retained.
+    pub segment_cap: usize,
+    /// Mutator think time per operation.
+    pub op_cost: SimDuration,
+}
+
+impl LuceneConfig {
+    /// The paper-scaled configuration.
+    pub fn paper() -> Self {
+        LuceneConfig {
+            update_permille: 800,
+            doc_space: 25_000,
+            term_space: 40_000,
+            terms_per_doc: 6,
+            terms_per_search: 24,
+            search_term_window: 500,
+            updates_per_segment: 4_096,
+            segment_cap: 48,
+            op_cost: SimDuration::from_micros(280),
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small() -> Self {
+        LuceneConfig {
+            doc_space: 400,
+            term_space: 800,
+            updates_per_segment: 128,
+            segment_cap: 8,
+            ..LuceneConfig::paper()
+        }
+    }
+}
+
+/// Runtime state driving the hooks.
+#[derive(Debug)]
+pub struct LuceneState {
+    config: LuceneConfig,
+    rng: StdRng,
+    term_zipf: ZipfGenerator,
+    current_doc: u64,
+    current_term: u64,
+    terms_seen: HashSet<u64>,
+    /// Holder object of the document currently being indexed.
+    current_holder: Option<ObjectId>,
+    pending_payload: Option<ObjectId>,
+    pending_segment: Option<ObjectId>,
+    segments: VecDeque<ObjectId>,
+    updates: u64,
+    /// Updates since the last segment seal.
+    updates_in_segment: u64,
+    /// Segments sealed (tests, Table 1 commentary).
+    pub segments_sealed: u64,
+    /// Searches served (tests).
+    pub searches: u64,
+}
+
+impl LuceneState {
+    /// Creates fresh state.
+    pub fn new(config: LuceneConfig, seed: u64) -> Self {
+        let term_zipf = ZipfGenerator::new(config.term_space, 0.99);
+        LuceneState {
+            config,
+            rng: seeded_rng(seed),
+            term_zipf,
+            current_doc: 0,
+            current_term: 0,
+            terms_seen: HashSet::new(),
+            current_holder: None,
+            pending_payload: None,
+            pending_segment: None,
+            segments: VecDeque::new(),
+            updates: 0,
+            updates_in_segment: 0,
+            segments_sealed: 0,
+            searches: 0,
+        }
+    }
+}
+
+/// The Lucene workload.
+#[derive(Debug, Clone)]
+pub struct LuceneWorkload {
+    config: LuceneConfig,
+}
+
+impl LuceneWorkload {
+    /// The paper's Lucene workload.
+    pub fn paper() -> Self {
+        LuceneWorkload { config: LuceneConfig::paper() }
+    }
+
+    /// With a custom configuration.
+    pub fn new(config: LuceneConfig) -> Self {
+        LuceneWorkload { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LuceneConfig {
+        &self.config
+    }
+}
+
+/// Builds the Lucene IR program.
+pub fn program() -> Program {
+    let mut p = Program::new();
+    p.add_class(
+        ClassDef::new("Lucene").with_method(
+            MethodDef::new("handleOp").push(Instr::Branch {
+                cond: "is_update".into(),
+                then_block: vec![Instr::call("IndexWriter", "updateDocument", 2)],
+                else_block: vec![Instr::call("Searcher", "search", 3)],
+                line: 1,
+            }),
+        ),
+    );
+    p.add_class(
+        ClassDef::new("IndexWriter").with_method(
+            MethodDef::new("updateDocument")
+                .push(Instr::call("Pool", "get", 10))
+                .push(Instr::alloc("DocVersion", SizeSpec::Fixed(96), 11))
+                .push(Instr::native("install_doc", 12))
+                .push(Instr::Repeat {
+                    count: CountSpec::Hook("terms_per_doc".into()),
+                    body: vec![
+                        Instr::call("TermDict", "lookup", 14),
+                        Instr::call("Postings", "add", 15),
+                    ],
+                    line: 13,
+                })
+                .push(Instr::Branch {
+                    cond: "segment_boundary".into(),
+                    then_block: vec![Instr::call("Segments", "seal", 17)],
+                    else_block: vec![],
+                    line: 16,
+                })
+                .push(Instr::native("finish_update", 18)),
+        ),
+    );
+    p.add_class(
+        ClassDef::new("TermDict").with_method(
+            MethodDef::new("lookup").push(Instr::Branch {
+                cond: "term_is_new".into(),
+                then_block: vec![
+                    Instr::alloc("TermEntry", SizeSpec::Fixed(96), 21),
+                    Instr::native("register_term", 22),
+                ],
+                else_block: vec![],
+                line: 20,
+            }),
+        ),
+    );
+    p.add_class(
+        ClassDef::new("Postings").with_method(
+            MethodDef::new("add")
+                .push(Instr::call("Buffers", "grow", 30))
+                .push(Instr::native("stash_payload", 31))
+                .push(Instr::alloc("Posting", SizeSpec::Fixed(64), 32))
+                .push(Instr::native("link_posting", 33)),
+        ),
+    );
+    p.add_class(ClassDef::new("Buffers").with_method(
+        MethodDef::new("grow").push(Instr::alloc("ByteBlock", SizeSpec::Hook("block_size".into()), 40)),
+    ));
+    p.add_class(
+        ClassDef::new("Segments").with_method(
+            MethodDef::new("seal")
+                .push(Instr::alloc("SegmentMeta", SizeSpec::Fixed(512), 50))
+                .push(Instr::native("register_segment", 51))
+                .push(Instr::call("Pool", "get", 52))
+                .push(Instr::native("attach_norms", 53))
+                .push(Instr::call("Buffers", "grow", 54))
+                .push(Instr::native("attach_index_block", 55)),
+        ),
+    );
+    p.add_class(ClassDef::new("Pool").with_method(
+        MethodDef::new("get").push(Instr::alloc("PooledBuf", SizeSpec::Hook("pool_size".into()), 60)),
+    ));
+    p.add_class(
+        ClassDef::new("Searcher").with_method(
+            MethodDef::new("search")
+                .push(Instr::alloc("Query", SizeSpec::Fixed(64), 70))
+                .push(Instr::Repeat {
+                    count: CountSpec::Hook("terms_per_search".into()),
+                    body: vec![Instr::call("Buffers", "grow", 72)],
+                    line: 71,
+                })
+                .push(Instr::alloc("TopDocs", SizeSpec::Fixed(256), 74))
+                .push(Instr::native("finish_search", 75)),
+        ),
+    );
+    p
+}
+
+/// Builds the Lucene hooks.
+pub fn hooks() -> HookRegistry {
+    let mut h = HookRegistry::new();
+
+    h.register_cond("is_update", |ctx| {
+        let s = ctx.state::<LuceneState>();
+        let update = s.rng.gen_range(0..1000) < u32::from(s.config.update_permille);
+        if update {
+            // Updates sweep the corpus round-robin, so posting lifetime is
+            // exactly the corpus turnover period and postings die in
+            // allocation order — Lucene rewriting documents dump-order.
+            s.current_doc = s.updates % s.config.doc_space;
+        }
+        update
+    });
+    h.register_cond("term_is_new", |ctx| {
+        let s = ctx.state::<LuceneState>();
+        s.current_term = s.term_zipf.next(&mut s.rng);
+        !s.terms_seen.contains(&s.current_term)
+    });
+    h.register_cond("segment_boundary", |ctx| {
+        let s = ctx.state::<LuceneState>();
+        s.updates_in_segment >= s.config.updates_per_segment
+    });
+
+    h.register_count("terms_per_doc", |ctx| ctx.state::<LuceneState>().config.terms_per_doc);
+    h.register_count("terms_per_search", |ctx| ctx.state::<LuceneState>().config.terms_per_search);
+
+    h.register_size("block_size", |ctx| {
+        let s = ctx.state::<LuceneState>();
+        128 + s.rng.gen_range(0..128)
+    });
+    h.register_size("pool_size", |ctx| {
+        let s = ctx.state::<LuceneState>();
+        256 + s.rng.gen_range(0..512)
+    });
+
+    h.register_action("install_doc", |ctx| {
+        let holder = ctx.acc.expect("DocVersion allocated");
+        let slot = ctx.heap.roots_mut().create_slot("lucene.docs");
+        let doc = ctx.state::<LuceneState>().current_doc;
+        // Replacing the keyed root kills the previous version's postings.
+        ctx.heap.roots_mut().set_keyed(slot, doc, holder);
+        ctx.state::<LuceneState>().current_holder = Some(holder);
+        HookAction::default()
+    });
+    h.register_action("register_term", |ctx| {
+        let entry = ctx.acc.expect("TermEntry allocated");
+        let slot = ctx.heap.roots_mut().create_slot("lucene.terms");
+        ctx.heap.roots_mut().push(slot, entry);
+        let s = ctx.state::<LuceneState>();
+        let term = s.current_term;
+        s.terms_seen.insert(term);
+        HookAction::default()
+    });
+    h.register_action("stash_payload", |ctx| {
+        let payload = ctx.acc.expect("ByteBlock allocated");
+        ctx.state::<LuceneState>().pending_payload = Some(payload);
+        HookAction::default()
+    });
+    h.register_action("link_posting", |ctx| {
+        let posting = ctx.acc.expect("Posting allocated");
+        let (holder, payload) = {
+            let s = ctx.state::<LuceneState>();
+            (
+                s.current_holder.expect("install_doc ran"),
+                s.pending_payload.take().expect("payload stashed"),
+            )
+        };
+        ctx.heap.add_ref(posting, payload).expect("posting and payload are live");
+        ctx.heap.add_ref(holder, posting).expect("holder and posting are live");
+        HookAction::default()
+    });
+    h.register_action("finish_update", |ctx| {
+        let s = ctx.state::<LuceneState>();
+        s.updates += 1;
+        s.updates_in_segment += 1;
+        HookAction { cost: Some(SimDuration::from_micros(6)) }
+    });
+    h.register_action("register_segment", |ctx| {
+        let segment = ctx.acc.expect("SegmentMeta allocated");
+        let slot = ctx.heap.roots_mut().create_slot("lucene.segments");
+        ctx.heap.roots_mut().push(slot, segment);
+        let retired = {
+            let s = ctx.state::<LuceneState>();
+            s.pending_segment = Some(segment);
+            s.updates_in_segment = 0;
+            s.segments_sealed += 1;
+            s.segments.push_back(segment);
+            if s.segments.len() > s.config.segment_cap {
+                s.segments.pop_front()
+            } else {
+                None
+            }
+        };
+        if let Some(old) = retired {
+            ctx.heap.roots_mut().remove(slot, old);
+        }
+        HookAction::default()
+    });
+    h.register_action("attach_norms", |ctx| {
+        let norms = ctx.acc.expect("PooledBuf allocated");
+        let segment = ctx.state::<LuceneState>().pending_segment.expect("segment stashed");
+        ctx.heap.add_ref(segment, norms).expect("segment and norms are live");
+        HookAction::default()
+    });
+    h.register_action("attach_index_block", |ctx| {
+        let block = ctx.acc.expect("ByteBlock allocated");
+        let segment = ctx.state::<LuceneState>().pending_segment.take().expect("segment stashed");
+        ctx.heap.add_ref(segment, block).expect("segment and block are live");
+        HookAction::default()
+    });
+    h.register_action("finish_search", |ctx| {
+        ctx.state::<LuceneState>().searches += 1;
+        HookAction { cost: Some(SimDuration::from_micros(10)) }
+    });
+
+    h
+}
+
+/// Candidate allocation sites (Table 1's denominator for Lucene: 8).
+pub mod sites {
+    use polm2_runtime::CodeLoc;
+
+    /// All candidate allocation sites.
+    pub fn candidates() -> Vec<CodeLoc> {
+        vec![
+            CodeLoc::new("IndexWriter", "updateDocument", 11), // DocVersion
+            CodeLoc::new("TermDict", "lookup", 21),            // TermEntry
+            CodeLoc::new("Postings", "add", 32),               // Posting
+            CodeLoc::new("Buffers", "grow", 40),               // ByteBlock (conflict)
+            CodeLoc::new("Segments", "seal", 50),              // SegmentMeta
+            CodeLoc::new("Pool", "get", 60),                   // PooledBuf (conflict)
+            CodeLoc::new("Searcher", "search", 70),            // Query
+            CodeLoc::new("Searcher", "search", 74),            // TopDocs
+        ]
+    }
+}
+
+/// The manual NG2C annotations for Lucene, *with the paper's misplacements*
+/// (§5.4): the developer correctly pretenures the term dictionary and
+/// segment metadata, but — not realizing the same helpers also serve the
+/// search path — annotates the shared `Buffers.grow` and `Pool.get` sites
+/// with a site-local old generation. Every search's scratch buffers then
+/// land in old space, the "misplaced manual code changes" POLM2 beats.
+fn manual_profile() -> AllocationProfile {
+    let mut p = AllocationProfile::new();
+    let g2 = GenId::new(2);
+    for (loc, local) in [
+        (CodeLoc::new("TermDict", "lookup", 21), true),
+        (CodeLoc::new("Segments", "seal", 50), true),
+        (CodeLoc::new("Postings", "add", 32), true),
+        // The misplaced annotations: site-local, path-blind.
+        (CodeLoc::new("Buffers", "grow", 40), true),
+        (CodeLoc::new("Pool", "get", 60), true),
+    ] {
+        p.add_site(PretenuredSite { loc, gen: g2, local });
+    }
+    p
+}
+
+impl Workload for LuceneWorkload {
+    fn name(&self) -> &'static str {
+        "lucene"
+    }
+
+    fn program(&self) -> Program {
+        program()
+    }
+
+    fn hooks(&self) -> HookRegistry {
+        hooks()
+    }
+
+    fn new_state(&self, seed: u64) -> Box<dyn Any> {
+        Box::new(LuceneState::new(self.config.clone(), seed))
+    }
+
+    fn entry(&self) -> (&'static str, &'static str) {
+        ("Lucene", "handleOp")
+    }
+
+    fn op_cost(&self) -> SimDuration {
+        self.config.op_cost
+    }
+
+    fn manual_profile(&self) -> AllocationProfile {
+        manual_profile()
+    }
+
+    fn candidate_sites(&self) -> u32 {
+        sites::candidates().len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polm2_runtime::{Jvm, RuntimeConfig};
+
+    fn boot() -> Jvm {
+        let w = LuceneWorkload::new(LuceneConfig::small());
+        Jvm::builder(RuntimeConfig::small())
+            .hooks(w.hooks())
+            .state(w.new_state(3))
+            .build(w.program())
+            .expect("program loads")
+    }
+
+    #[test]
+    fn program_has_the_documented_sites() {
+        assert_eq!(program().alloc_site_count(), sites::candidates().len());
+    }
+
+    #[test]
+    fn updates_replace_documents_and_kill_old_postings() {
+        let mut jvm = boot();
+        let t = jvm.spawn_thread();
+        // Drive enough updates to wrap the 400-document corpus ~4 times.
+        for _ in 0..2_000 {
+            jvm.invoke(t, "Lucene", "handleOp").unwrap();
+        }
+        jvm.force_collect();
+        let posting_class = jvm.heap().classes().lookup("Posting").unwrap();
+        let live = jvm.heap_mut().mark_live(&[]);
+        let live_postings = live
+            .iter()
+            .filter(|&id| jvm.heap().object(id).map(|o| o.class()) == Some(posting_class))
+            .count() as u64;
+        let s = jvm.state_mut::<LuceneState>();
+        let bound = s.config.doc_space * u64::from(s.config.terms_per_doc);
+        assert!(
+            live_postings <= bound,
+            "only the latest version per document survives: {live_postings} > {bound}"
+        );
+        assert!(live_postings > 0);
+    }
+
+    #[test]
+    fn term_dictionary_is_immortal() {
+        let mut jvm = boot();
+        let t = jvm.spawn_thread();
+        for _ in 0..1_000 {
+            jvm.invoke(t, "Lucene", "handleOp").unwrap();
+        }
+        let terms_before = jvm.state_mut::<LuceneState>().terms_seen.len();
+        assert!(terms_before > 0);
+        jvm.force_collect();
+        let term_class = jvm.heap().classes().lookup("TermEntry").unwrap();
+        let live = jvm.heap_mut().mark_live(&[]);
+        let live_terms = live
+            .iter()
+            .filter(|&id| jvm.heap().object(id).map(|o| o.class()) == Some(term_class))
+            .count();
+        assert_eq!(live_terms, terms_before, "term entries never die");
+    }
+
+    #[test]
+    fn segments_seal_and_are_bounded() {
+        let mut jvm = boot();
+        let t = jvm.spawn_thread();
+        for _ in 0..3_000 {
+            jvm.invoke(t, "Lucene", "handleOp").unwrap();
+        }
+        let s = jvm.state_mut::<LuceneState>();
+        assert!(s.segments_sealed >= 2, "segments must seal: {}", s.segments_sealed);
+        assert!(s.segments.len() <= s.config.segment_cap);
+        assert!(s.searches > 0, "search path exercised");
+        jvm.heap().check_invariants();
+    }
+
+    #[test]
+    fn manual_profile_is_path_blind() {
+        let p = manual_profile();
+        // The misplacement: helper sites are local (no call-site wrappers),
+        // so search scratch gets pretenured too.
+        assert!(p.site_at(&CodeLoc::new("Buffers", "grow", 40)).unwrap().local);
+        assert!(p.gen_calls().is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! The six paper workloads of Table 1.
+
+use crate::cassandra::CassandraWorkload;
+use crate::graphchi::GraphchiWorkload;
+use crate::lucene::LuceneWorkload;
+use crate::workload::Workload;
+
+/// The six workload configurations the paper evaluates, in Table 1 order:
+/// Cassandra-WI, Cassandra-RW, Cassandra-RI, Lucene, GraphChi-CC,
+/// GraphChi-PR.
+pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(CassandraWorkload::write_intensive()),
+        Box::new(CassandraWorkload::write_read()),
+        Box::new(CassandraWorkload::read_intensive()),
+        Box::new(LuceneWorkload::paper()),
+        Box::new(GraphchiWorkload::connected_components()),
+        Box::new(GraphchiWorkload::pagerank()),
+    ]
+}
+
+/// Looks up one paper workload by name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    paper_workloads().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table_one() {
+        let names: Vec<&str> = paper_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            ["cassandra-wi", "cassandra-wr", "cassandra-ri", "lucene", "graphchi-cc", "graphchi-pr"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("lucene").is_some());
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_workload_is_well_formed() {
+        for w in paper_workloads() {
+            assert!(w.program().alloc_site_count() > 0, "{}", w.name());
+            assert!(w.candidate_sites() > 0);
+            assert!(!w.op_cost().is_zero());
+            let manual = w.manual_profile();
+            assert!(!manual.is_empty(), "{} has manual annotations", w.name());
+        }
+    }
+}

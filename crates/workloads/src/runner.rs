@@ -1,0 +1,297 @@
+//! The closed-loop workload driver: runs a workload under a collector setup
+//! and gathers every metric the paper's figures need.
+
+use polm2_core::{AnalysisOutcome, AnalyzerConfig, ProductionSetup, ProfilingSession, SnapshotPolicy};
+use polm2_gc::{C4Collector, GcLog, Ng2cCollector};
+use polm2_metrics::{MemoryTracker, PauseHistogram, SimDuration, SimTime, ThroughputTracker};
+use polm2_runtime::{Jvm, RuntimeConfig, RuntimeError};
+use polm2_snapshot::SnapshotSeries;
+
+use crate::workload::{CollectorSetup, Workload};
+
+/// Parameters of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Total simulated run length (paper: 30 minutes).
+    pub duration: SimDuration,
+    /// Initial span excluded from all metrics (paper: 5 minutes).
+    pub warmup: SimDuration,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Runtime (heap + GC) configuration.
+    pub runtime: RuntimeConfig,
+}
+
+impl RunConfig {
+    /// The paper's measurement setup: 30 simulated minutes, first 5 ignored.
+    pub fn paper() -> Self {
+        RunConfig {
+            duration: SimDuration::from_secs(30 * 60),
+            warmup: SimDuration::from_secs(5 * 60),
+            seed: 42,
+            runtime: RuntimeConfig::paper_scaled(),
+        }
+    }
+
+    /// A short configuration for tests (2 simulated minutes, 20 s warm-up).
+    pub fn short() -> Self {
+        RunConfig {
+            duration: SimDuration::from_secs(120),
+            warmup: SimDuration::from_secs(20),
+            seed: 42,
+            runtime: RuntimeConfig::paper_scaled(),
+        }
+    }
+}
+
+/// Everything measured during one run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Collector label ("G1", "NG2C", "POLM2", "C4").
+    pub collector: &'static str,
+    /// The full GC event log.
+    pub gc_log: GcLog,
+    /// Completed operations over time.
+    pub throughput: ThroughputTracker,
+    /// Per-operation latency (simulated time from issue to completion,
+    /// stop-the-world pauses included) over the measured window — the
+    /// request-latency view behind the paper's SLA motivation (§1).
+    pub op_latency: PauseHistogram,
+    /// Committed-memory samples (one per simulated second).
+    pub memory: MemoryTracker,
+    /// Operations completed after warm-up.
+    pub measured_ops: u64,
+    /// The warm-up cutoff used.
+    pub warmup_end: SimTime,
+    /// Total simulated run length.
+    pub duration: SimDuration,
+}
+
+impl RunResult {
+    /// Pause histogram over the measured window (warm-up excluded), as
+    /// Figure 5 plots it.
+    pub fn pause_histogram(&self) -> PauseHistogram {
+        self.gc_log.pause_histogram(self.warmup_end)
+    }
+
+    /// Pause counts per duration interval (Figure 6).
+    pub fn interval_histogram(&self) -> polm2_metrics::IntervalHistogram {
+        self.gc_log.interval_histogram(self.warmup_end)
+    }
+
+    /// Mean throughput over the measured window, operations/second
+    /// (Figure 7).
+    pub fn mean_throughput(&self) -> f64 {
+        self.throughput.mean_ops_per_sec(self.warmup_end, SimTime::ZERO + self.duration)
+    }
+
+    /// Maximum committed memory over the measured window (Figure 9).
+    pub fn max_memory_bytes(&self) -> u64 {
+        self.memory.max_used_bytes_since(self.warmup_end)
+    }
+}
+
+/// Runs `workload` under `setup` for `config`.
+///
+/// The driver is closed-loop: it issues the next operation as soon as the
+/// previous one (plus its think time) completes, so stop-the-world pauses
+/// and barrier taxes translate directly into throughput loss, as in the
+/// paper's saturated runs.
+///
+/// # Errors
+///
+/// Propagates runtime failures (the heap is sized so none occur with the
+/// paper configurations).
+pub fn run_workload(
+    workload: &dyn Workload,
+    setup: &CollectorSetup,
+    config: &RunConfig,
+) -> Result<RunResult, RuntimeError> {
+    let mut builder = Jvm::builder(config.runtime)
+        .hooks(workload.hooks())
+        .state(workload.new_state(config.seed));
+    let production: Option<ProductionSetup> = match setup {
+        CollectorSetup::G1 => None,
+        CollectorSetup::C4 => {
+            builder = builder.collector(Box::new(C4Collector::new(config.runtime.gc)));
+            None
+        }
+        CollectorSetup::Ng2cManual => {
+            builder = builder.collector(Box::new(Ng2cCollector::new(config.runtime.gc)));
+            Some(ProductionSetup::new(workload.manual_profile()))
+        }
+        CollectorSetup::Polm2(profile) => {
+            builder = builder.collector(Box::new(Ng2cCollector::new(config.runtime.gc)));
+            Some(ProductionSetup::new(profile.clone()))
+        }
+    };
+    if let Some(setup) = &production {
+        builder = builder.transformer(setup.agent());
+    }
+    let mut jvm = builder.build(workload.program())?;
+    if let Some(setup) = &production {
+        setup.prepare_generations(&mut jvm);
+    }
+
+    let thread = jvm.spawn_thread();
+    let (class, method) = workload.entry();
+    let op_cost = workload.op_cost();
+    let end = SimTime::ZERO + config.duration;
+    let warmup_end = SimTime::ZERO + config.warmup;
+
+    let mut throughput = ThroughputTracker::new();
+    let mut memory = MemoryTracker::new();
+    let mut op_latency = PauseHistogram::new();
+    let mut measured_ops: u64 = 0;
+    let mut last_sample_sec = u64::MAX;
+
+    while jvm.now() < end {
+        let issued = jvm.now();
+        jvm.invoke(thread, class, method)?;
+        jvm.advance_mutator(op_cost);
+        let now = jvm.now();
+        throughput.record_ops(now, 1);
+        if now >= warmup_end {
+            measured_ops += 1;
+            op_latency.record(now - issued);
+        }
+        let sec = now.as_secs();
+        if sec != last_sample_sec {
+            last_sample_sec = sec;
+            memory.sample(now, jvm.reported_committed_bytes());
+        }
+    }
+
+    Ok(RunResult {
+        workload: workload.name(),
+        collector: setup.label(),
+        gc_log: jvm.gc_log().clone(),
+        throughput,
+        memory,
+        op_latency,
+        measured_ops,
+        warmup_end,
+        duration: config.duration,
+    })
+}
+
+/// Parameters of the profiling phase (paper §5.3: five minutes of profiling
+/// plus an ignored first minute — six simulated minutes total).
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilePhaseConfig {
+    /// Length of the profiling run.
+    pub duration: SimDuration,
+    /// Workload RNG seed (distinct from production runs: profiles transfer
+    /// across runs of the same workload, paper §3.5).
+    pub seed: u64,
+    /// Runtime configuration.
+    pub runtime: RuntimeConfig,
+    /// Snapshot cadence.
+    pub policy: SnapshotPolicy,
+    /// Analyzer tuning.
+    pub analyzer: AnalyzerConfig,
+}
+
+impl ProfilePhaseConfig {
+    /// The paper's profiling setup: six simulated minutes, snapshot every
+    /// GC cycle.
+    pub fn paper() -> Self {
+        ProfilePhaseConfig {
+            duration: SimDuration::from_secs(6 * 60),
+            seed: 7,
+            runtime: RuntimeConfig::paper_scaled(),
+            policy: SnapshotPolicy::default(),
+            analyzer: AnalyzerConfig::default(),
+        }
+    }
+
+    /// A short configuration for tests.
+    pub fn short() -> Self {
+        ProfilePhaseConfig { duration: SimDuration::from_secs(90), ..ProfilePhaseConfig::paper() }
+    }
+}
+
+/// Output of [`profile_workload`]: the analysis plus profiling-phase
+/// bookkeeping for Table 1 and Figures 3–4.
+#[derive(Debug)]
+pub struct ProfilePhaseResult {
+    /// The analysis (profile, lifetimes, conflicts).
+    pub outcome: AnalysisOutcome,
+    /// Allocation sites the Recorder instrumented at load time.
+    pub recorder_sites: u64,
+    /// Allocations recorded.
+    pub recorded_allocations: u64,
+    /// The snapshot series (sizes and capture times for Figures 3–4).
+    pub snapshots: SnapshotSeries,
+}
+
+/// Runs the POLM2 profiling phase on `workload` (under G1 — profiling needs
+/// no pretenuring support) and returns the analysis.
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn profile_workload(
+    workload: &dyn Workload,
+    config: &ProfilePhaseConfig,
+) -> Result<ProfilePhaseResult, RuntimeError> {
+    let mut session = ProfilingSession::new(config.policy);
+    let mut jvm = Jvm::builder(config.runtime)
+        .hooks(workload.hooks())
+        .state(workload.new_state(config.seed))
+        .transformer(session.recorder_agent())
+        .build(workload.program())?;
+    let thread = jvm.spawn_thread();
+    let (class, method) = workload.entry();
+    let op_cost = workload.op_cost();
+    let end = SimTime::ZERO + config.duration;
+    while jvm.now() < end {
+        jvm.invoke(thread, class, method)?;
+        jvm.advance_mutator(op_cost);
+        session.after_op(&mut jvm);
+    }
+    let recorder_sites = session.instrumented_sites();
+    let recorded_allocations = session.recorded_allocations();
+    let snapshots = session.snapshots().clone();
+    let outcome = session.finish(&mut jvm, &config.analyzer);
+    Ok(ProfilePhaseResult { outcome, recorder_sites, recorded_allocations, snapshots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cassandra::{CassandraConfig, CassandraWorkload};
+    use crate::OpMix;
+
+    #[test]
+    fn run_result_latency_includes_pauses() {
+        let workload = CassandraWorkload::new(
+            "cassandra-latency-test",
+            CassandraConfig::small(OpMix::WRITE_INTENSIVE),
+        );
+        let config = RunConfig {
+            duration: SimDuration::from_secs(30),
+            warmup: SimDuration::from_secs(5),
+            runtime: polm2_runtime::RuntimeConfig::small(),
+            ..RunConfig::paper()
+        };
+        let result = run_workload(&workload, &CollectorSetup::G1, &config).expect("run");
+        assert_eq!(result.op_latency.len() as u64, result.measured_ops);
+        // The worst operation latency is at least the worst pause: some
+        // operation absorbed it.
+        let worst_pause = result.pause_histogram().max().unwrap_or_default();
+        let worst_latency = result.op_latency.max().expect("ops ran");
+        assert!(
+            worst_latency >= worst_pause,
+            "an operation must have absorbed the worst pause: {worst_latency} < {worst_pause}"
+        );
+    }
+
+    #[test]
+    fn short_and_paper_configs_are_ordered() {
+        assert!(RunConfig::short().duration < RunConfig::paper().duration);
+        assert!(ProfilePhaseConfig::short().duration < ProfilePhaseConfig::paper().duration);
+    }
+}

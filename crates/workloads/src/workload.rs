@@ -1,0 +1,79 @@
+//! The [`Workload`] abstraction and collector setups.
+
+use std::any::Any;
+
+use polm2_core::AllocationProfile;
+use polm2_metrics::SimDuration;
+use polm2_runtime::{HookRegistry, Program};
+
+/// One evaluation workload: a program, its hooks and state, and the paper's
+/// comparison metadata.
+pub trait Workload {
+    /// Workload name as the paper labels it ("cassandra-wi", "lucene", ...).
+    fn name(&self) -> &'static str;
+
+    /// The application program (built fresh per run; agents rewrite it at
+    /// load time).
+    fn program(&self) -> Program;
+
+    /// The native hooks implementing the workload's data-structure
+    /// semantics.
+    fn hooks(&self) -> HookRegistry;
+
+    /// Fresh workload state for a run.
+    fn new_state(&self, seed: u64) -> Box<dyn Any>;
+
+    /// The per-operation entry point `(class, method)` the driver invokes.
+    fn entry(&self) -> (&'static str, &'static str);
+
+    /// Mutator think time per operation beyond interpretation — sets the
+    /// offered load in the closed-loop driver.
+    fn op_cost(&self) -> SimDuration;
+
+    /// The manual NG2C annotations an expert developer wrote (the paper's
+    /// comparison baseline). For Cassandra-RI and Lucene this includes the
+    /// misplaced annotations §5.4 describes.
+    fn manual_profile(&self) -> AllocationProfile;
+
+    /// Allocation sites a developer would consider instrumentation
+    /// candidates (Table 1's denominator).
+    fn candidate_sites(&self) -> u32;
+}
+
+/// Which memory-management setup a run uses (the paper's four systems).
+#[derive(Debug, Clone)]
+pub enum CollectorSetup {
+    /// OpenJDK's default G1, no lifetime information.
+    G1,
+    /// NG2C with the workload's manual annotations.
+    Ng2cManual,
+    /// NG2C driven by a POLM2-generated profile.
+    Polm2(AllocationProfile),
+    /// Azul's C4 (throughput/memory comparisons only).
+    C4,
+}
+
+impl CollectorSetup {
+    /// Label used in tables and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CollectorSetup::G1 => "G1",
+            CollectorSetup::Ng2cManual => "NG2C",
+            CollectorSetup::Polm2(_) => "POLM2",
+            CollectorSetup::C4 => "C4",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(CollectorSetup::G1.label(), "G1");
+        assert_eq!(CollectorSetup::Ng2cManual.label(), "NG2C");
+        assert_eq!(CollectorSetup::Polm2(AllocationProfile::new()).label(), "POLM2");
+        assert_eq!(CollectorSetup::C4.label(), "C4");
+    }
+}

@@ -1,0 +1,172 @@
+//! YCSB-style load generation: Zipfian key popularity and read/write mixes.
+//!
+//! The paper drives Cassandra with the Yahoo! Cloud Serving Benchmark; this
+//! module reimplements the two pieces that matter for memory behaviour: the
+//! Zipfian request distribution (hot keys dominate) and the configurable
+//! read/write ratio.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A read/write operation mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Reads per 1000 operations.
+    pub read_permille: u16,
+}
+
+impl OpMix {
+    /// The paper's Cassandra-WI mix: 2500 reads / 7500 writes per second.
+    pub const WRITE_INTENSIVE: OpMix = OpMix { read_permille: 250 };
+    /// The paper's Cassandra-WR mix: 5000 / 5000.
+    pub const WRITE_READ: OpMix = OpMix { read_permille: 500 };
+    /// The paper's Cassandra-RI mix: 7500 reads / 2500 writes.
+    pub const READ_INTENSIVE: OpMix = OpMix { read_permille: 750 };
+
+    /// Draws whether the next operation is a read.
+    pub fn next_is_read(&self, rng: &mut StdRng) -> bool {
+        rng.gen_range(0..1000) < self.read_permille as u32
+    }
+}
+
+/// A Zipfian integer generator over `0..n` (YCSB's `ZipfianGenerator`,
+/// Gray et al.'s algorithm): constant-time sampling after an O(n) zeta
+/// precomputation.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_workloads::ZipfGenerator;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut zipf = ZipfGenerator::new(1000, 0.99);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let sample = zipf.next(&mut rng);
+/// assert!(sample < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfGenerator {
+    /// Creates a generator over `0..n` with skew `theta` (YCSB default
+    /// 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfGenerator { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// The key-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws the next key; key 0 is the hottest.
+    pub fn next(&mut self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.n as f64) * spread) as u64 % self.n
+    }
+
+    /// The zeta constants, exposed for tests.
+    pub fn constants(&self) -> (f64, f64) {
+        (self.zetan, self.zeta2)
+    }
+}
+
+/// A deterministic RNG for workload state, seeded per run.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn op_mix_respects_ratio() {
+        let mut rng = seeded_rng(1);
+        let mix = OpMix::READ_INTENSIVE;
+        let reads = (0..100_000).filter(|_| mix.next_is_read(&mut rng)).count();
+        let ratio = reads as f64 / 100_000.0;
+        assert!((ratio - 0.75).abs() < 0.01, "read ratio {ratio} should be ~0.75");
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let mut zipf = ZipfGenerator::new(100, 0.99);
+        let mut rng = seeded_rng(2);
+        for _ in 0..10_000 {
+            assert!(zipf.next(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_keys() {
+        let mut zipf = ZipfGenerator::new(10_000, 0.99);
+        let mut rng = seeded_rng(3);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(zipf.next(&mut rng)).or_insert(0) += 1;
+        }
+        let hot: u64 = (0..100).map(|k| counts.get(&k).copied().unwrap_or(0)).sum();
+        // With theta = 0.99, the hottest 1% of keys draw well over a third
+        // of the traffic.
+        assert!(hot > 35_000, "hot-key mass {hot} too small for a Zipfian");
+        // And the single hottest key dominates any typical cold key.
+        let top = counts.get(&0).copied().unwrap_or(0);
+        let cold = counts.get(&9_999).copied().unwrap_or(0);
+        assert!(top > 50 * (cold + 1));
+    }
+
+    #[test]
+    fn zipf_is_deterministic_per_seed() {
+        let mut a = ZipfGenerator::new(1000, 0.99);
+        let mut b = ZipfGenerator::new(1000, 0.99);
+        let mut ra = seeded_rng(42);
+        let mut rb = seeded_rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(&mut ra), b.next(&mut rb));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key space")]
+    fn empty_keyspace_panics() {
+        ZipfGenerator::new(0, 0.99);
+    }
+
+    #[test]
+    fn zeta_constants_grow_with_n() {
+        let small = ZipfGenerator::new(10, 0.99).constants().0;
+        let large = ZipfGenerator::new(1000, 0.99).constants().0;
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based and scenario tests across the workload simulations.
+
+use proptest::prelude::*;
+
+use polm2_metrics::SimDuration;
+use polm2_runtime::{Jvm, RuntimeConfig};
+use polm2_workloads::cassandra::{self, CassandraConfig, CassandraState, CassandraWorkload};
+use polm2_workloads::paper_workloads;
+use polm2_workloads::workload::Workload;
+use polm2_workloads::OpMix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the seed and mix, a few thousand Cassandra operations leave
+    /// the heap consistent and within bounds.
+    #[test]
+    fn cassandra_is_sound_for_any_seed(seed in 0u64..1_000, read_permille in 0u16..1000) {
+        let config = CassandraConfig::small(OpMix { read_permille });
+        let mut jvm = Jvm::builder(RuntimeConfig::small())
+            .hooks(cassandra::hooks())
+            .state(Box::new(CassandraState::new(config, seed)))
+            .build(cassandra::program())
+            .expect("boot");
+        let t = jvm.spawn_thread();
+        for _ in 0..3_000 {
+            jvm.invoke(t, "Cassandra", "handleOp").expect("op");
+        }
+        jvm.heap().check_invariants();
+        prop_assert!(jvm.heap().committed_bytes() <= jvm.heap().config().total_bytes);
+        prop_assert!(jvm.heap().stats().allocated_objects > 0);
+    }
+
+    /// Identical seeds produce identical simulations, op for op.
+    #[test]
+    fn workload_execution_is_deterministic(seed in 0u64..1_000) {
+        let run = |seed| {
+            let w = CassandraWorkload::new(
+                "cassandra-prop",
+                CassandraConfig::small(OpMix::WRITE_READ),
+            );
+            let mut jvm = Jvm::builder(RuntimeConfig::small())
+                .hooks(w.hooks())
+                .state(w.new_state(seed))
+                .build(w.program())
+                .expect("boot");
+            let t = jvm.spawn_thread();
+            for _ in 0..2_000 {
+                jvm.invoke(t, "Cassandra", "handleOp").expect("op");
+            }
+            (
+                jvm.heap().stats().allocated_objects,
+                jvm.heap().stats().allocated_bytes,
+                jvm.gc_log().cycle_count(),
+                jvm.now(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+#[test]
+fn every_paper_workload_sustains_extended_execution() {
+    // A slow-burn smoke test over all six workloads at paper scale: a
+    // simulated minute each, heap invariants checked at the end.
+    for workload in paper_workloads() {
+        let mut jvm = Jvm::builder(RuntimeConfig::paper_scaled())
+            .hooks(workload.hooks())
+            .state(workload.new_state(11))
+            .build(workload.program())
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+        let t = jvm.spawn_thread();
+        let (class, method) = workload.entry();
+        let end = polm2_metrics::SimTime::ZERO + SimDuration::from_secs(60);
+        let mut ops = 0u64;
+        while jvm.now() < end {
+            jvm.invoke(t, class, method).unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+            jvm.advance_mutator(workload.op_cost());
+            ops += 1;
+        }
+        assert!(ops > 10, "{} made progress", workload.name());
+        jvm.heap().check_invariants();
+        assert!(
+            jvm.heap().committed_bytes() <= jvm.heap().config().total_bytes,
+            "{} stayed within the heap",
+            workload.name()
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Compares all four memory-management setups on Cassandra write-intensive
+//! at quick scale — the paper's headline comparison in miniature.
+//!
+//! Run with: `cargo run --release --example cassandra_tuning`
+
+use polm2::metrics::report::TextTable;
+use polm2::metrics::{SimDuration, STANDARD_PERCENTILES};
+use polm2::workloads::cassandra::CassandraWorkload;
+use polm2::workloads::{
+    profile_workload, run_workload, CollectorSetup, ProfilePhaseConfig, RunConfig, Workload,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = CassandraWorkload::write_intensive();
+    let run_config = RunConfig {
+        duration: SimDuration::from_secs(6 * 60),
+        warmup: SimDuration::from_secs(60),
+        ..RunConfig::paper()
+    };
+    let profile_config = ProfilePhaseConfig {
+        duration: SimDuration::from_secs(2 * 60),
+        ..ProfilePhaseConfig::paper()
+    };
+
+    eprintln!("profiling {} ...", workload.name());
+    let profile = profile_workload(&workload, &profile_config)?.outcome.profile;
+
+    let setups = [
+        CollectorSetup::G1,
+        CollectorSetup::Ng2cManual,
+        CollectorSetup::Polm2(profile),
+        CollectorSetup::C4,
+    ];
+    let mut results = Vec::new();
+    for setup in &setups {
+        eprintln!("running {} under {} ...", workload.name(), setup.label());
+        results.push(run_workload(&workload, setup, &run_config)?);
+    }
+
+    let mut table = TextTable::new(vec![
+        "metric".into(),
+        "G1".into(),
+        "NG2C".into(),
+        "POLM2".into(),
+        "C4".into(),
+    ]);
+    for &p in &STANDARD_PERCENTILES {
+        let label =
+            if p >= 100.0 { "worst pause (ms)".to_string() } else { format!("p{p} pause (ms)") };
+        let row: Vec<String> = results
+            .iter()
+            .map(|r| r.pause_histogram().percentile(p).unwrap_or_default().as_millis().to_string())
+            .collect();
+        table.add_row([vec![label], row].concat());
+    }
+    table.add_row(
+        [
+            vec!["throughput (ops/s)".to_string()],
+            results.iter().map(|r| format!("{:.0}", r.mean_throughput())).collect(),
+        ]
+        .concat(),
+    );
+    table.add_row(
+        [
+            vec!["max memory (MiB)".to_string()],
+            results
+                .iter()
+                .map(|r| format!("{:.0}", r.max_memory_bytes() as f64 / (1 << 20) as f64))
+                .collect(),
+        ]
+        .concat(),
+    );
+    println!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Prints the per-allocation-path lifetime distributions the Analyzer
+//! derives — the raw material behind every target-generation decision
+//! (paper §3.3's buckets, made visible).
+//!
+//! Run with: `cargo run --release --example lifetime_explorer [-- <workload>]`
+//! (default workload: lucene)
+
+use polm2::metrics::report::TextTable;
+use polm2::metrics::SimDuration;
+use polm2::workloads::registry::workload_by_name;
+use polm2::workloads::{profile_workload, ProfilePhaseConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lucene".to_string());
+    let workload = workload_by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name}; see registry::paper_workloads"));
+    let config = ProfilePhaseConfig {
+        duration: SimDuration::from_secs(3 * 60),
+        ..ProfilePhaseConfig::paper()
+    };
+    eprintln!("profiling {name} for {} ...", config.duration);
+    let result = profile_workload(workload.as_ref(), &config)?;
+
+    println!(
+        "{name}: {} allocations recorded, {} distinct allocation paths, {} snapshots\n",
+        result.recorded_allocations,
+        result.outcome.lifetimes.traces().len(),
+        result.snapshots.len() + 1,
+    );
+
+    let mut table = TextTable::new(vec![
+        "allocation path (caller -> site)".into(),
+        "objects".into(),
+        "typical survivals (median)".into(),
+        "assigned gen".into(),
+        "bucket histogram (survivals:count)".into(),
+    ]);
+    let mut traces: Vec<_> = result.outcome.lifetimes.traces().to_vec();
+    traces.sort_by_key(|t| std::cmp::Reverse(t.objects));
+    for t in traces {
+        let path: Vec<String> = t.path.iter().map(ToString::to_string).collect();
+        let histogram: Vec<String> = t
+            .histogram
+            .iter()
+            .map(|(survivals, count)| format!("{survivals}:{count}"))
+            .collect();
+        table.add_row(vec![
+            path.join(" -> "),
+            t.objects.to_string(),
+            t.typical_survivals.to_string(),
+            t.gen.to_string(),
+            histogram.join(" "),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("conflicts detected:");
+    if result.outcome.conflicts.is_empty() {
+        println!("  (none)");
+    }
+    for c in &result.outcome.conflicts {
+        println!("  {} reached through {} call paths with different lifetimes", c.loc, c.path_count());
+    }
+    for r in &result.outcome.resolutions {
+        println!("    -> {} resolved at call site {} (gen {})", r.leaf, r.at, r.gen.raw());
+    }
+    Ok(())
+}

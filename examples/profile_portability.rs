@@ -1,0 +1,64 @@
+//! Demonstrates paper §3.5: an allocation profile is per *workload*, not per
+//! *run* — profile once, then reuse the profile on different request streams
+//! (seeds) of the same workload, and even check what happens when a profile
+//! from one mix is applied to another.
+//!
+//! Run with: `cargo run --release --example profile_portability`
+
+use polm2::metrics::SimDuration;
+use polm2::workloads::cassandra::CassandraWorkload;
+use polm2::workloads::{
+    profile_workload, run_workload, CollectorSetup, ProfilePhaseConfig, RunConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run_config = RunConfig {
+        duration: SimDuration::from_secs(5 * 60),
+        warmup: SimDuration::from_secs(60),
+        ..RunConfig::paper()
+    };
+    let profile_config = ProfilePhaseConfig {
+        duration: SimDuration::from_secs(2 * 60),
+        seed: 7,
+        ..ProfilePhaseConfig::paper()
+    };
+
+    let wi = CassandraWorkload::write_intensive();
+    let ri = CassandraWorkload::read_intensive();
+
+    eprintln!("profiling cassandra-wi (seed 7) ...");
+    let wi_profile = profile_workload(&wi, &profile_config)?.outcome.profile;
+    eprintln!("profiling cassandra-ri (seed 7) ...");
+    let ri_profile = profile_workload(&ri, &profile_config)?.outcome.profile;
+
+    // The same profile drives *different* production request streams.
+    println!("cassandra-wi, profile from seed 7 applied to unseen seeds:");
+    for seed in [42, 1337, 2024] {
+        let config = RunConfig { seed, ..run_config };
+        let g1 = run_workload(&wi, &CollectorSetup::G1, &config)?;
+        let polm2 = run_workload(&wi, &CollectorSetup::Polm2(wi_profile.clone()), &config)?;
+        println!(
+            "  seed {seed}: worst pause G1 {} -> POLM2 {}",
+            g1.pause_histogram().max().unwrap_or_default(),
+            polm2.pause_histogram().max().unwrap_or_default(),
+        );
+    }
+
+    // Cross-workload application: the paper recommends one profile per
+    // expected workload; using the matching profile should never lose to a
+    // mismatched one.
+    println!("\ncassandra-ri under its own profile vs the WI profile:");
+    let own = run_workload(&ri, &CollectorSetup::Polm2(ri_profile), &run_config)?;
+    let borrowed = run_workload(&ri, &CollectorSetup::Polm2(wi_profile), &run_config)?;
+    println!(
+        "  matching profile: worst {}, total stop {}",
+        own.pause_histogram().max().unwrap_or_default(),
+        own.gc_log.total_pause(),
+    );
+    println!(
+        "  WI profile:       worst {}, total stop {}",
+        borrowed.pause_histogram().max().unwrap_or_default(),
+        borrowed.gc_log.total_pause(),
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Quickstart: the complete POLM2 pipeline on a small Cassandra-style
+//! workload.
+//!
+//! Phase 1 (profiling): run the workload with the Recorder agent attached,
+//! snapshotting the heap after every GC cycle, then analyze.
+//! Phase 2 (production): run again under NG2C with the Instrumenter applying
+//! the generated allocation profile, and compare pauses against plain G1.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use polm2::core::{AnalyzerConfig, ProductionSetup, ProfilingSession, SnapshotPolicy};
+use polm2::gc::{GcConfig, Ng2cCollector};
+use polm2::metrics::SimTime;
+use polm2::runtime::{Jvm, RuntimeConfig, RuntimeError};
+use polm2::workloads::cassandra::{self, CassandraConfig, CassandraState};
+use polm2::workloads::OpMix;
+
+const OPS: usize = 60_000;
+
+fn drive(jvm: &mut Jvm, mut session: Option<&mut ProfilingSession>) -> Result<(), RuntimeError> {
+    let thread = jvm.spawn_thread();
+    for _ in 0..OPS {
+        jvm.invoke(thread, "Cassandra", "handleOp")?;
+        jvm.advance_mutator(polm2::metrics::SimDuration::from_micros(100));
+        if let Some(s) = session.as_deref_mut() {
+            s.after_op(jvm);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload_config = CassandraConfig::small(OpMix::WRITE_INTENSIVE);
+
+    // ---------- profiling phase ----------
+    println!("== profiling phase ==");
+    let mut session = ProfilingSession::new(SnapshotPolicy::default());
+    let mut jvm = Jvm::builder(RuntimeConfig::small())
+        .hooks(cassandra::hooks())
+        .state(Box::new(CassandraState::new(workload_config.clone(), 1)))
+        .transformer(session.recorder_agent())
+        .build(cassandra::program())?;
+    drive(&mut jvm, Some(&mut session))?;
+    println!(
+        "recorded {} allocations across {} snapshots",
+        session.recorded_allocations(),
+        session.snapshots().len()
+    );
+    let outcome = session.finish(&mut jvm, &AnalyzerConfig::default());
+    println!(
+        "profile: {} pretenured sites, {} setGeneration call sites, {} conflicts detected",
+        outcome.profile.sites().len(),
+        outcome.profile.gen_calls().len(),
+        outcome.conflicts.len()
+    );
+    println!("\n{}", outcome.profile);
+
+    // ---------- production: G1 baseline ----------
+    let mut g1 = Jvm::builder(RuntimeConfig::small())
+        .hooks(cassandra::hooks())
+        .state(Box::new(CassandraState::new(workload_config.clone(), 2)))
+        .build(cassandra::program())?;
+    drive(&mut g1, None)?;
+
+    // ---------- production: NG2C + POLM2 profile ----------
+    let setup = ProductionSetup::new(outcome.profile);
+    let mut polm2 = Jvm::builder(RuntimeConfig::small())
+        .collector(Box::new(Ng2cCollector::new(GcConfig::default())))
+        .hooks(cassandra::hooks())
+        .state(Box::new(CassandraState::new(workload_config, 2)))
+        .transformer(setup.agent())
+        .build(cassandra::program())?;
+    setup.prepare_generations(&mut polm2);
+    drive(&mut polm2, None)?;
+
+    println!("== production phase ==");
+    for (label, jvm) in [("G1", &g1), ("POLM2", &polm2)] {
+        let mut pauses = jvm.gc_log().pause_histogram(SimTime::ZERO);
+        println!(
+            "{label:>6}: {} pauses, p50 {}, worst {}, total stop {}",
+            pauses.len(),
+            pauses.percentile(50.0).unwrap_or_default(),
+            pauses.max().unwrap_or_default(),
+            pauses.total(),
+        );
+    }
+    let g1_total = g1.gc_log().total_pause();
+    let p2_total = polm2.gc_log().total_pause();
+    println!(
+        "\nPOLM2 reduced total stop-the-world time by {}",
+        polm2::metrics::report::percent_reduction(
+            p2_total.as_micros() as f64,
+            g1_total.as_micros() as f64
+        )
+    );
+    Ok(())
+}

@@ -1,0 +1,223 @@
+//! The `polm2` command-line tool: profile a workload, save the allocation
+//! profile, run workloads under any collector setup, and inspect profiles —
+//! the paper's two-phase operation (§3.5) as a CLI.
+//!
+//! ```text
+//! polm2 workloads
+//! polm2 profile cassandra-wi --out wi.profile --minutes 6 --seed 7
+//! polm2 run cassandra-wi --collector polm2 --profile wi.profile --minutes 15
+//! polm2 run cassandra-wi --collector g1 --minutes 15
+//! polm2 inspect wi.profile
+//! ```
+
+use std::process::ExitCode;
+
+use polm2::core::AllocationProfile;
+use polm2::metrics::report::TextTable;
+use polm2::metrics::{SimDuration, STANDARD_PERCENTILES};
+use polm2::workloads::registry::{paper_workloads, workload_by_name};
+use polm2::workloads::{
+    profile_workload, run_workload, CollectorSetup, ProfilePhaseConfig, RunConfig,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("workloads") => cmd_workloads(),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "polm2 — object lifetime-aware memory management, reproduced\n\n\
+         USAGE:\n\
+         \x20 polm2 workloads                          list the paper's workloads\n\
+         \x20 polm2 profile <workload> [options]       run the profiling phase\n\
+         \x20     --out <file>       write the allocation profile (default: <workload>.profile)\n\
+         \x20     --minutes <n>      profiling length in simulated minutes (default 6)\n\
+         \x20     --seed <n>         workload seed (default 7)\n\
+         \x20 polm2 run <workload> [options]           run the production phase\n\
+         \x20     --collector <c>    g1 | ng2c | c4 | polm2 (default g1)\n\
+         \x20     --profile <file>   allocation profile (required for --collector polm2)\n\
+         \x20     --minutes <n>      run length in simulated minutes (default 15)\n\
+         \x20     --warmup <n>       ignored prefix in simulated minutes (default 3)\n\
+         \x20     --seed <n>         workload seed (default 42)\n\
+         \x20 polm2 inspect <file>                     pretty-print a profile"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_u64(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match flag(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    let mut table = TextTable::new(vec![
+        "name".into(),
+        "entry".into(),
+        "candidate sites".into(),
+        "op cost".into(),
+    ]);
+    for w in paper_workloads() {
+        let (class, method) = w.entry();
+        table.add_row(vec![
+            w.name().into(),
+            format!("{class}.{method}"),
+            w.candidate_sites().to_string(),
+            w.op_cost().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("profile needs a workload name")?;
+    let workload = workload_by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let minutes = parse_u64(args, "--minutes", 6)?;
+    let seed = parse_u64(args, "--seed", 7)?;
+    let out = flag(args, "--out").unwrap_or_else(|| format!("{name}.profile"));
+
+    let config = ProfilePhaseConfig {
+        duration: SimDuration::from_secs(minutes * 60),
+        seed,
+        ..ProfilePhaseConfig::paper()
+    };
+    eprintln!("profiling {name} for {minutes} simulated minutes (seed {seed}) ...");
+    let result = profile_workload(workload.as_ref(), &config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "recorded {} allocations over {} snapshots; {} sites pretenured, {} conflicts",
+        result.recorded_allocations,
+        result.snapshots.len() + 1,
+        result.outcome.profile.sites().len(),
+        result.outcome.conflicts.len(),
+    );
+    std::fs::write(&out, result.outcome.profile.to_string())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("run needs a workload name")?;
+    let workload = workload_by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let minutes = parse_u64(args, "--minutes", 15)?;
+    let warmup = parse_u64(args, "--warmup", 3)?;
+    let seed = parse_u64(args, "--seed", 42)?;
+    let collector = flag(args, "--collector").unwrap_or_else(|| "g1".into());
+    let setup = match collector.as_str() {
+        "g1" => CollectorSetup::G1,
+        "ng2c" => CollectorSetup::Ng2cManual,
+        "c4" => CollectorSetup::C4,
+        "polm2" => {
+            let path = flag(args, "--profile")
+                .ok_or("--collector polm2 needs --profile <file>")?;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            let profile: AllocationProfile = text.parse().map_err(|e| format!("{path}: {e}"))?;
+            CollectorSetup::Polm2(profile)
+        }
+        other => return Err(format!("unknown collector {other:?} (g1|ng2c|c4|polm2)")),
+    };
+
+    let config = RunConfig {
+        duration: SimDuration::from_secs(minutes * 60),
+        warmup: SimDuration::from_secs(warmup * 60),
+        seed,
+        ..RunConfig::paper()
+    };
+    eprintln!(
+        "running {name} under {} for {minutes} simulated minutes (warmup {warmup}, seed {seed}) ...",
+        setup.label()
+    );
+    let result = run_workload(workload.as_ref(), &setup, &config).map_err(|e| e.to_string())?;
+
+    let mut table = TextTable::new(vec!["metric".into(), "value".into()]);
+    let mut pauses = result.pause_histogram();
+    for &p in &STANDARD_PERCENTILES {
+        let label =
+            if p >= 100.0 { "worst pause".to_string() } else { format!("p{p} pause") };
+        table.add_row(vec![
+            label,
+            pauses.percentile(p).map(|d| d.to_string()).unwrap_or_else(|| "n/a".into()),
+        ]);
+    }
+    table.add_row(vec!["pauses".into(), pauses.len().to_string()]);
+    let mut latency = result.op_latency.clone();
+    table.add_row(vec![
+        "p99 op latency".into(),
+        latency.percentile(99.0).map(|d| d.to_string()).unwrap_or_else(|| "n/a".into()),
+    ]);
+    table.add_row(vec![
+        "worst op latency".into(),
+        latency.max().map(|d| d.to_string()).unwrap_or_else(|| "n/a".into()),
+    ]);
+    table.add_row(vec!["total stop".into(), result.gc_log.total_pause().to_string()]);
+    table.add_row(vec![
+        "throughput".into(),
+        format!("{:.1} ops/s", result.mean_throughput()),
+    ]);
+    table.add_row(vec![
+        "max memory".into(),
+        polm2::metrics::report::bytes(result.max_memory_bytes()),
+    ]);
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("inspect needs a profile file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let profile: AllocationProfile = text.parse().map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} pretenured sites, {} setGeneration call sites, generations {:?}",
+        profile.sites().len(),
+        profile.gen_calls().len(),
+        profile.generations_used().iter().map(|g| g.raw()).collect::<Vec<_>>(),
+    );
+    let mut table = TextTable::new(vec![
+        "kind".into(),
+        "location".into(),
+        "generation".into(),
+        "mode".into(),
+    ]);
+    for s in profile.sites() {
+        table.add_row(vec![
+            "site (@Gen)".into(),
+            s.loc.to_string(),
+            s.gen.to_string(),
+            if s.local { "site-local setGeneration" } else { "generation set by caller" }.into(),
+        ]);
+    }
+    for c in profile.gen_calls() {
+        table.add_row(vec![
+            "call wrapper".into(),
+            c.at.to_string(),
+            c.gen.to_string(),
+            "setGeneration / restore pair".into(),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! # polm2 — a reproduction of POLM2 (Middleware '17)
+//!
+//! *POLM2: Automatic Profiling for Object Lifetime-Aware Memory Management
+//! for HotSpot Big Data Applications* (Bruno & Ferreira, Middleware '17)
+//! proposes a profiler that automatically pretenures objects: it records
+//! allocations and heap snapshots, estimates per-allocation-site lifetimes,
+//! resolves call-path conflicts with a stack-trace tree, and rewrites
+//! application bytecode at load time to drive NG2C, an N-generational
+//! pretenuring collector.
+//!
+//! Rust has no managed generational runtime to instrument, so this
+//! repository reproduces the entire stack as a deterministic simulation (see
+//! `DESIGN.md` for the substitution argument):
+//!
+//! | layer | crate |
+//! |---|---|
+//! | measurement (simulated time, percentiles, throughput) | [`metrics`] |
+//! | heap (objects, pages, regions, spaces, roots, marking) | [`heap`] |
+//! | collectors (G1, NG2C, C4) + pause cost model | [`gc`] |
+//! | managed runtime (bytecode IR, loader agents, interpreter) | [`runtime`] |
+//! | snapshots (CRIU-style Dumper, jmap baseline) | [`snapshot`] |
+//! | **POLM2 itself** (Recorder, Analyzer, STTree, Instrumenter) | [`core`] |
+//! | evaluation workloads (Cassandra, Lucene, GraphChi, YCSB) | [`workloads`] |
+//!
+//! # Quickstart
+//!
+//! Profile a workload, then run it in production with the generated profile
+//! (the full paper pipeline):
+//!
+//! ```
+//! use polm2::core::{AnalyzerConfig, ProfilingSession, SnapshotPolicy, ProductionSetup};
+//! use polm2::gc::{GcConfig, Ng2cCollector};
+//! use polm2::runtime::{Jvm, RuntimeConfig};
+//! use polm2::workloads::cassandra::{self, CassandraConfig, CassandraState};
+//! use polm2::workloads::OpMix;
+//!
+//! // --- profiling phase ---
+//! let config = CassandraConfig::small(OpMix::WRITE_INTENSIVE);
+//! let mut session = ProfilingSession::new(SnapshotPolicy::default());
+//! let mut jvm = Jvm::builder(RuntimeConfig::small())
+//!     .hooks(cassandra::hooks())
+//!     .state(Box::new(CassandraState::new(config.clone(), 1)))
+//!     .transformer(session.recorder_agent())
+//!     .build(cassandra::program())?;
+//! let t = jvm.spawn_thread();
+//! for _ in 0..3_000 {
+//!     jvm.invoke(t, "Cassandra", "handleOp")?;
+//!     session.after_op(&mut jvm);
+//! }
+//! let outcome = session.finish(&mut jvm, &AnalyzerConfig::default());
+//!
+//! // --- production phase ---
+//! let setup = ProductionSetup::new(outcome.profile);
+//! let mut jvm = Jvm::builder(RuntimeConfig::small())
+//!     .collector(Box::new(Ng2cCollector::new(GcConfig::default())))
+//!     .hooks(cassandra::hooks())
+//!     .state(Box::new(CassandraState::new(config, 2)))
+//!     .transformer(setup.agent())
+//!     .build(cassandra::program())?;
+//! setup.prepare_generations(&mut jvm);
+//! let t = jvm.spawn_thread();
+//! for _ in 0..1_000 {
+//!     jvm.invoke(t, "Cassandra", "handleOp")?;
+//! }
+//! # Ok::<(), polm2::runtime::RuntimeError>(())
+//! ```
+//!
+//! The runnable entry points live in `examples/` and the figure harness in
+//! `crates/bench`.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub use polm2_core as core;
+pub use polm2_gc as gc;
+pub use polm2_heap as heap;
+pub use polm2_metrics as metrics;
+pub use polm2_runtime as runtime;
+pub use polm2_snapshot as snapshot;
+pub use polm2_workloads as workloads;

@@ -1,0 +1,100 @@
+//! Comparative collector behaviour across the paper's workloads — the
+//! qualitative claims of §5, checked as assertions at test scale.
+
+use polm2::metrics::SimDuration;
+use polm2::workloads::graphchi::GraphchiWorkload;
+use polm2::workloads::lucene::LuceneWorkload;
+use polm2::workloads::{
+    profile_workload, run_workload, CollectorSetup, ProfilePhaseConfig, RunConfig,
+};
+
+fn quick_profile() -> ProfilePhaseConfig {
+    ProfilePhaseConfig { duration: SimDuration::from_secs(60), ..ProfilePhaseConfig::paper() }
+}
+
+fn quick_run() -> RunConfig {
+    RunConfig {
+        duration: SimDuration::from_secs(90),
+        warmup: SimDuration::from_secs(15),
+        ..RunConfig::paper()
+    }
+}
+
+#[test]
+fn graphchi_batch_blocks_hurt_g1_but_not_polm2() {
+    let workload = GraphchiWorkload::pagerank();
+    let profile = profile_workload(&workload, &quick_profile()).expect("profile").outcome.profile;
+    let run = quick_run();
+    let g1 = run_workload(&workload, &CollectorSetup::G1, &run).expect("g1");
+    let polm2 = run_workload(&workload, &CollectorSetup::Polm2(profile), &run).expect("polm2");
+    let g1_worst = g1.pause_histogram().max().expect("g1 pauses");
+    let polm2_worst = polm2.pause_histogram().max().expect("polm2 pauses");
+    assert!(
+        polm2_worst.as_micros() * 2 < g1_worst.as_micros(),
+        "pretenured edge blocks must tame pauses: {polm2_worst} vs {g1_worst}"
+    );
+}
+
+#[test]
+fn c4_pauses_stay_under_ten_ms_at_a_throughput_cost() {
+    let workload = LuceneWorkload::paper();
+    let run = quick_run();
+    let g1 = run_workload(&workload, &CollectorSetup::G1, &run).expect("g1");
+    let c4 = run_workload(&workload, &CollectorSetup::C4, &run).expect("c4");
+    // Paper §5: "the duration of all pauses fall below 10 ms" for C4.
+    let worst = c4.pause_histogram().max().expect("c4 pauses");
+    assert!(worst < SimDuration::from_millis(10), "C4 worst pause {worst}");
+    // And the barrier tax costs throughput (Figure 7: C4 worst).
+    assert!(
+        c4.mean_throughput() < 0.90 * g1.mean_throughput(),
+        "C4 {:.0} should trail G1 {:.0}",
+        c4.mean_throughput(),
+        g1.mean_throughput()
+    );
+    // And it pre-reserves the heap (Figure 9 prose).
+    assert!(c4.max_memory_bytes() > g1.max_memory_bytes());
+    assert_eq!(c4.max_memory_bytes(), run.runtime.heap.total_bytes);
+}
+
+#[test]
+fn manual_ng2c_and_polm2_are_comparable_on_graphchi() {
+    let workload = GraphchiWorkload::connected_components();
+    let profile = profile_workload(&workload, &quick_profile()).expect("profile").outcome.profile;
+    let run = quick_run();
+    let ng2c = run_workload(&workload, &CollectorSetup::Ng2cManual, &run).expect("ng2c");
+    let polm2 = run_workload(&workload, &CollectorSetup::Polm2(profile), &run).expect("polm2");
+    let ng2c_total = ng2c.gc_log.total_pause().as_micros() as f64;
+    let polm2_total = polm2.gc_log.total_pause().as_micros() as f64;
+    // The paper's core claim: automatic profiling matches manual expertise.
+    // POLM2 must be within 2x of the expert (and often better).
+    assert!(
+        polm2_total <= 2.0 * ng2c_total,
+        "POLM2 ({polm2_total}us) should be comparable to manual NG2C ({ng2c_total}us)"
+    );
+}
+
+#[test]
+fn all_collectors_preserve_heap_health_on_lucene() {
+    let workload = LuceneWorkload::paper();
+    let run = RunConfig {
+        duration: SimDuration::from_secs(45),
+        warmup: SimDuration::from_secs(10),
+        ..RunConfig::paper()
+    };
+    let profile = profile_workload(&workload, &quick_profile()).expect("profile").outcome.profile;
+    for setup in [
+        CollectorSetup::G1,
+        CollectorSetup::Ng2cManual,
+        CollectorSetup::Polm2(profile),
+        CollectorSetup::C4,
+    ] {
+        let result = run_workload(&workload, &setup, &run)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", setup.label()));
+        assert!(result.measured_ops > 0, "{} made progress", setup.label());
+        assert!(
+            result.max_memory_bytes() <= run.runtime.heap.total_bytes,
+            "{} stayed within the heap",
+            setup.label()
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end integration: the full POLM2 pipeline (profile → analyze →
+//! instrument → run) on the real workloads, spanning every crate.
+
+use polm2::core::{AllocationProfile, AnalyzerConfig};
+use polm2::metrics::SimDuration;
+use polm2::workloads::cassandra::CassandraWorkload;
+use polm2::workloads::lucene::{LuceneConfig, LuceneWorkload};
+use polm2::workloads::{
+    profile_workload, run_workload, CollectorSetup, ProfilePhaseConfig, RunConfig,
+};
+
+fn quick_profile() -> ProfilePhaseConfig {
+    ProfilePhaseConfig {
+        duration: SimDuration::from_secs(60),
+        analyzer: AnalyzerConfig::default(),
+        ..ProfilePhaseConfig::paper()
+    }
+}
+
+fn quick_run() -> RunConfig {
+    RunConfig {
+        duration: SimDuration::from_secs(90),
+        warmup: SimDuration::from_secs(15),
+        ..RunConfig::paper()
+    }
+}
+
+#[test]
+fn cassandra_profile_identifies_memtable_sites() {
+    let workload = CassandraWorkload::write_intensive();
+    let result = profile_workload(&workload, &quick_profile()).expect("profiling");
+    let profile = &result.outcome.profile;
+    assert!(!profile.is_empty(), "cassandra must yield a non-trivial profile");
+    // The cell allocation site (the paper's canonical middle-lived site)
+    // must be pretenured.
+    assert!(
+        profile.site_at(&polm2::runtime::CodeLoc::new("Cell", "create", 82)).is_some(),
+        "cell site missing from profile: {profile}"
+    );
+    // The obviously short-lived write response must not be.
+    assert!(profile
+        .site_at(&polm2::runtime::CodeLoc::new("Cassandra", "handleWrite", 14))
+        .is_none());
+    // The two shared-helper conflicts are detected.
+    assert_eq!(result.outcome.conflicts.len(), 2, "{:?}", result.outcome.conflicts);
+    // Recorder economics: every allocation recorded, sites interned once.
+    assert!(result.recorded_allocations > 10_000);
+    assert!(result.snapshots.len() > 3, "one snapshot per GC cycle");
+}
+
+#[test]
+fn polm2_reduces_cassandra_pauses_vs_g1() {
+    let workload = CassandraWorkload::write_intensive();
+    let profile = profile_workload(&workload, &quick_profile()).expect("profiling").outcome.profile;
+    let run = quick_run();
+    let g1 = run_workload(&workload, &CollectorSetup::G1, &run).expect("g1");
+    let polm2 =
+        run_workload(&workload, &CollectorSetup::Polm2(profile), &run).expect("polm2");
+
+    let g1_worst = g1.pause_histogram().max().expect("g1 pauses exist");
+    let polm2_worst = polm2.pause_histogram().max().expect("polm2 pauses exist");
+    assert!(
+        polm2_worst.as_micros() * 2 < g1_worst.as_micros(),
+        "POLM2 must at least halve the worst pause: {polm2_worst} vs {g1_worst}"
+    );
+    let g1_total = g1.gc_log.total_pause();
+    let polm2_total = polm2.gc_log.total_pause();
+    assert!(
+        polm2_total < g1_total,
+        "total stop-the-world time must drop: {polm2_total} vs {g1_total}"
+    );
+    // And throughput must not regress meaningfully (paper: no negative impact).
+    assert!(polm2.mean_throughput() > 0.95 * g1.mean_throughput());
+    // Memory parity (paper Figure 9).
+    assert!(polm2.max_memory_bytes() as f64 <= 1.25 * g1.max_memory_bytes() as f64);
+}
+
+#[test]
+fn empty_profile_behaves_like_plain_ng2c() {
+    let workload = CassandraWorkload::write_read();
+    let run = quick_run();
+    let ng2c_empty =
+        run_workload(&workload, &CollectorSetup::Polm2(AllocationProfile::new()), &run)
+            .expect("ng2c");
+    // With nothing pretenured, NG2C degenerates to a 2-generation collector;
+    // the run completes and pauses exist.
+    assert!(!ng2c_empty.pause_histogram().is_empty());
+}
+
+#[test]
+fn lucene_profile_round_trips_through_text() {
+    let workload = LuceneWorkload::new(LuceneConfig::paper());
+    let result = profile_workload(&workload, &quick_profile()).expect("profiling");
+    let text = result.outcome.profile.to_string();
+    let parsed: AllocationProfile = text.parse().expect("parse back");
+    assert_eq!(parsed, result.outcome.profile);
+    // The term dictionary (immortal) must be pretenured.
+    assert!(
+        parsed.site_at(&polm2::runtime::CodeLoc::new("TermDict", "lookup", 21)).is_some(),
+        "term dictionary missing: {text}"
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_results() {
+    let workload = CassandraWorkload::read_intensive();
+    let run = quick_run();
+    let a = run_workload(&workload, &CollectorSetup::G1, &run).expect("run a");
+    let b = run_workload(&workload, &CollectorSetup::G1, &run).expect("run b");
+    assert_eq!(a.measured_ops, b.measured_ops);
+    assert_eq!(a.gc_log.cycle_count(), b.gc_log.cycle_count());
+    assert_eq!(a.gc_log.total_pause(), b.gc_log.total_pause());
+    assert_eq!(a.max_memory_bytes(), b.max_memory_bytes());
+}
+
+#[test]
+fn different_seeds_still_converge_in_shape() {
+    let workload = CassandraWorkload::write_intensive();
+    let run_a = quick_run();
+    let run_b = RunConfig { seed: 99, ..run_a };
+    let a = run_workload(&workload, &CollectorSetup::G1, &run_a).expect("run a");
+    let b = run_workload(&workload, &CollectorSetup::G1, &run_b).expect("run b");
+    // Throughput within 10% across seeds: the workload model is stable.
+    let ratio = a.mean_throughput() / b.mean_throughput();
+    assert!((0.9..1.1).contains(&ratio), "throughput unstable across seeds: {ratio}");
+}
