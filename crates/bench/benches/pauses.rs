@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use polm2_gc::{AllocRequest, Collector, G1Collector, GcConfig, Ng2cCollector, SafepointRoots, ThreadId};
+use polm2_gc::{
+    AllocRequest, Collector, G1Collector, GcConfig, Ng2cCollector, SafepointRoots, ThreadId,
+};
 use polm2_heap::{GenId, Heap, HeapConfig, SiteId};
 
 fn alloc_req(heap: &mut Heap, size: u32, pretenure: bool) -> AllocRequest {
@@ -30,7 +32,9 @@ fn g1_interleaved_collection(c: &mut Criterion) {
                 let slot = heap.roots_mut().create_slot("keep");
                 for i in 0..8_192 {
                     let req = alloc_req(&mut heap, 2048, false);
-                    let out = gc.alloc(&mut heap, req, &SafepointRoots::none()).expect("alloc");
+                    let out = gc
+                        .alloc(&mut heap, req, &SafepointRoots::none())
+                        .expect("alloc");
                     if i % 2 == 0 {
                         heap.roots_mut().push(slot, out.object);
                     }
@@ -56,12 +60,15 @@ fn ng2c_segregated_collection(c: &mut Criterion) {
                 let mut gc = Ng2cCollector::new(GcConfig::default());
                 gc.attach(&mut heap);
                 let gen = gc.new_generation(&mut heap);
-                gc.set_target_gen(ThreadId::new(0), gen).expect("gen exists");
+                gc.set_target_gen(ThreadId::new(0), gen)
+                    .expect("gen exists");
                 let slot = heap.roots_mut().create_slot("keep");
                 for i in 0..8_192 {
                     let pretenure = i % 2 == 0;
                     let req = alloc_req(&mut heap, 2048, pretenure);
-                    let out = gc.alloc(&mut heap, req, &SafepointRoots::none()).expect("alloc");
+                    let out = gc
+                        .alloc(&mut heap, req, &SafepointRoots::none())
+                        .expect("alloc");
                     if pretenure {
                         heap.roots_mut().push(slot, out.object);
                     }
@@ -88,7 +95,9 @@ fn mark_live_throughput(c: &mut Criterion) {
                 let old = heap.create_space(GenId::new(1), None);
                 let mut prev = None;
                 for _ in 0..65_536 {
-                    let id = heap.allocate(class, 256, SiteId::new(0), old).expect("alloc");
+                    let id = heap
+                        .allocate(class, 256, SiteId::new(0), old)
+                        .expect("alloc");
                     if let Some(p) = prev {
                         heap.add_ref(p, id).expect("link");
                     } else {

@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use polm2_core::{Analyzer, AnalyzerConfig, Recorder, SttTree};
 use polm2_heap::{GenId, Heap, HeapConfig, IdentityHash, ObjectId};
 use polm2_metrics::{SimDuration, SimTime};
-use polm2_runtime::{
-    ClassDef, CodeLoc, Instr, Loader, MethodDef, Program, SizeSpec, TraceFrame,
-};
+use polm2_runtime::{ClassDef, CodeLoc, Instr, Loader, MethodDef, Program, SizeSpec, TraceFrame};
 use polm2_snapshot::{Snapshot, SnapshotSeries};
 
 fn recorder_ingest(c: &mut Criterion) {
@@ -19,8 +17,16 @@ fn recorder_ingest(c: &mut Criterion) {
                 (0..10_000u64)
                     .map(|i| polm2_runtime::AllocEvent {
                         trace: vec![
-                            TraceFrame { class_idx: 0, method_idx: (i % 7) as u16, line: 1 },
-                            TraceFrame { class_idx: 1, method_idx: 0, line: 5 },
+                            TraceFrame {
+                                class_idx: 0,
+                                method_idx: (i % 7) as u16,
+                                line: 1,
+                            },
+                            TraceFrame {
+                                class_idx: 1,
+                                method_idx: 0,
+                                line: 5,
+                            },
                         ],
                         object: ObjectId::new(i),
                         hash: IdentityHash::of(ObjectId::new(i)),
@@ -47,7 +53,11 @@ fn sttree_conflicts(c: &mut Criterion) {
             let shared = CodeLoc::new("Helper", "alloc", 9);
             for i in 0..200u32 {
                 tree.insert_path(
-                    &[CodeLoc::new("App", "op", i), CodeLoc::new("Mid", "call", 5), shared.clone()],
+                    &[
+                        CodeLoc::new("App", "op", i),
+                        CodeLoc::new("Mid", "call", 5),
+                        shared.clone(),
+                    ],
                     GenId::new(i % 3),
                 );
             }
@@ -72,8 +82,16 @@ fn analyzer_pipeline(c: &mut Criterion) {
         (0..50_000u64)
             .map(|i| polm2_runtime::AllocEvent {
                 trace: vec![
-                    TraceFrame { class_idx: 0, method_idx: 1, line: 2 },
-                    TraceFrame { class_idx: 0, method_idx: 0, line: 1 },
+                    TraceFrame {
+                        class_idx: 0,
+                        method_idx: 1,
+                        line: 2,
+                    },
+                    TraceFrame {
+                        class_idx: 0,
+                        method_idx: 0,
+                        line: 1,
+                    },
                 ],
                 object: ObjectId::new(i),
                 hash: IdentityHash::of(ObjectId::new(i)),
@@ -82,7 +100,9 @@ fn analyzer_pipeline(c: &mut Criterion) {
             })
             .collect(),
     );
-    let records = recorder.into_records();
+    let records = recorder
+        .into_records()
+        .expect("no live agent holds the recorder");
 
     let mut series = SnapshotSeries::new();
     for s in 0..30u32 {

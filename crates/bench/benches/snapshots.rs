@@ -14,7 +14,9 @@ fn populated_heap(live: usize, garbage: usize) -> Heap {
     let class = heap.classes_mut().intern("Blob");
     let slot = heap.roots_mut().create_slot("keep");
     for i in 0..(live + garbage) {
-        let id = heap.allocate(class, 2048, SiteId::new(0), Heap::YOUNG_SPACE).expect("alloc");
+        let id = heap
+            .allocate(class, 2048, SiteId::new(0), Heap::YOUNG_SPACE)
+            .expect("alloc");
         if i < live {
             heap.roots_mut().push(slot, id);
         }
@@ -27,17 +29,43 @@ fn dumpers(c: &mut Criterion) {
     group.sample_size(10);
     for (name, dumper) in [
         ("criu_both_opts", DumperOptions::default()),
-        ("criu_no_need_only", DumperOptions { use_incremental: false, ..DumperOptions::default() }),
-        ("criu_incremental_only", DumperOptions { use_no_need: false, ..DumperOptions::default() }),
+        (
+            "criu_no_need_only",
+            DumperOptions {
+                use_incremental: false,
+                ..DumperOptions::default()
+            },
+        ),
+        (
+            "criu_incremental_only",
+            DumperOptions {
+                use_no_need: false,
+                ..DumperOptions::default()
+            },
+        ),
         (
             "criu_no_opts",
-            DumperOptions { use_no_need: false, use_incremental: false, ..DumperOptions::default() },
+            DumperOptions {
+                use_no_need: false,
+                use_incremental: false,
+                ..DumperOptions::default()
+            },
         ),
     ] {
         group.bench_function(name, |b| {
             b.iter_batched(
-                || (populated_heap(8_192, 8_192), CriuDumper::with_options(dumper)),
-                |(mut heap, mut dumper)| dumper.snapshot(&mut heap, SimTime::ZERO).size_bytes,
+                || {
+                    (
+                        populated_heap(8_192, 8_192),
+                        CriuDumper::with_options(dumper),
+                    )
+                },
+                |(mut heap, mut dumper)| {
+                    dumper
+                        .snapshot(&mut heap, SimTime::ZERO)
+                        .expect("snapshot")
+                        .size_bytes
+                },
                 BatchSize::SmallInput,
             )
         });
@@ -45,7 +73,12 @@ fn dumpers(c: &mut Criterion) {
     group.bench_function("jmap", |b| {
         b.iter_batched(
             || populated_heap(8_192, 8_192),
-            |mut heap| JmapDumper::new().snapshot(&mut heap, SimTime::ZERO).size_bytes,
+            |mut heap| {
+                JmapDumper::new()
+                    .snapshot(&mut heap, SimTime::ZERO)
+                    .expect("snapshot")
+                    .size_bytes
+            },
             BatchSize::SmallInput,
         )
     });
@@ -63,10 +96,14 @@ fn simulated_cost_ablation(c: &mut Criterion) {
                 let mut total = 0u64;
                 for options in [
                     DumperOptions::default(),
-                    DumperOptions { use_no_need: false, ..DumperOptions::default() },
+                    DumperOptions {
+                        use_no_need: false,
+                        ..DumperOptions::default()
+                    },
                 ] {
-                    let snap =
-                        CriuDumper::with_options(options).snapshot(&mut heap, SimTime::ZERO);
+                    let snap = CriuDumper::with_options(options)
+                        .snapshot(&mut heap, SimTime::ZERO)
+                        .expect("snapshot");
                     total += snap.capture_time.as_micros();
                 }
                 total

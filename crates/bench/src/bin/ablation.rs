@@ -56,8 +56,8 @@ fn binary_pretenuring_ablation(opts: &EvalOptions) {
     let run_config = opts.run_config();
     let multi = run_workload(&workload, &CollectorSetup::Polm2(profile), &run_config)
         .expect("multi-generation run");
-    let single = run_workload(&workload, &CollectorSetup::Polm2(binary), &run_config)
-        .expect("binary run");
+    let single =
+        run_workload(&workload, &CollectorSetup::Polm2(binary), &run_config).expect("binary run");
 
     let mut table = TextTable::new(vec![
         "setup".into(),
@@ -66,13 +66,18 @@ fn binary_pretenuring_ablation(opts: &EvalOptions) {
         "compacted (MiB)".into(),
         "regions freed whole".into(),
     ]);
-    for (label, r) in
-        [("binary pretenuring (Memento-style)", &single), ("POLM2 (N generations)", &multi)]
-    {
+    for (label, r) in [
+        ("binary pretenuring (Memento-style)", &single),
+        ("POLM2 (N generations)", &multi),
+    ] {
         let work = r.gc_log.total_work();
         table.add_row(vec![
             label.into(),
-            r.pause_histogram().max().unwrap_or_default().as_millis().to_string(),
+            r.pause_histogram()
+                .max()
+                .unwrap_or_default()
+                .as_millis()
+                .to_string(),
             r.gc_log.total_pause().to_string(),
             (work.compacted_bytes >> 20).to_string(),
             work.freed_regions.to_string(),
@@ -87,11 +92,27 @@ fn dumper_ablation(opts: &EvalOptions) {
     let workload = CassandraWorkload::write_intensive();
     let variants = [
         ("both optimizations", DumperOptions::default()),
-        ("no-need only", DumperOptions { use_incremental: false, ..DumperOptions::default() }),
-        ("incremental only", DumperOptions { use_no_need: false, ..DumperOptions::default() }),
+        (
+            "no-need only",
+            DumperOptions {
+                use_incremental: false,
+                ..DumperOptions::default()
+            },
+        ),
+        (
+            "incremental only",
+            DumperOptions {
+                use_no_need: false,
+                ..DumperOptions::default()
+            },
+        ),
         (
             "neither (raw CRIU)",
-            DumperOptions { use_no_need: false, use_incremental: false, ..DumperOptions::default() },
+            DumperOptions {
+                use_no_need: false,
+                use_incremental: false,
+                ..DumperOptions::default()
+            },
         ),
     ];
     let mut table = TextTable::new(vec![
@@ -137,7 +158,7 @@ fn snapshot_series(
         if jvm.gc_log().cycle_count() > cycles {
             cycles = jvm.gc_log().cycle_count();
             let now = jvm.now();
-            series.push(dumper.snapshot(jvm.heap_mut(), now));
+            series.push(dumper.snapshot(jvm.heap_mut(), now).expect("snapshot"));
         }
     }
     series
@@ -156,7 +177,11 @@ fn conflict_ablation(opts: &EvalOptions) {
     // a profiler without Algorithm 1 would emit.
     let mut stripped = AllocationProfile::new();
     for site in profile.sites() {
-        stripped.add_site(PretenuredSite { loc: site.loc.clone(), gen: site.gen, local: true });
+        stripped.add_site(PretenuredSite {
+            loc: site.loc.clone(),
+            gen: site.gen,
+            local: true,
+        });
     }
 
     let run_config = opts.run_config();
@@ -173,14 +198,22 @@ fn conflict_ablation(opts: &EvalOptions) {
         "worst (ms)".into(),
         "total stop".into(),
     ]);
-    for (label, r) in
-        [("G1", &g1), ("POLM2 without conflict resolution", &blind), ("POLM2 (full)", &full)]
-    {
+    for (label, r) in [
+        ("G1", &g1),
+        ("POLM2 without conflict resolution", &blind),
+        ("POLM2 (full)", &full),
+    ] {
         let mut h = r.pause_histogram();
         table.add_row(vec![
             label.into(),
-            h.percentile(50.0).unwrap_or_default().as_millis().to_string(),
-            h.percentile(99.0).unwrap_or_default().as_millis().to_string(),
+            h.percentile(50.0)
+                .unwrap_or_default()
+                .as_millis()
+                .to_string(),
+            h.percentile(99.0)
+                .unwrap_or_default()
+                .as_millis()
+                .to_string(),
             h.max().unwrap_or_default().as_millis().to_string(),
             r.gc_log.total_pause().to_string(),
         ]);

@@ -72,7 +72,11 @@ fn main() {
             "POLM2 vs G1".into(),
         ]);
         for (p, g1, ng2c, polm2) in ladder {
-            let label = if p >= 100.0 { "worst".into() } else { format!("{p}") };
+            let label = if p >= 100.0 {
+                "worst".into()
+            } else {
+                format!("{p}")
+            };
             table.add_row(vec![
                 label,
                 g1.to_string(),
@@ -87,10 +91,19 @@ fn main() {
     // Figure 6.
     println!("\n==== Figure 6: Pauses per duration interval ====");
     for (workload, rows) in fig6_intervals(&runs) {
-        let mut table =
-            TextTable::new(vec!["interval".into(), "G1".into(), "NG2C".into(), "POLM2".into()]);
+        let mut table = TextTable::new(vec![
+            "interval".into(),
+            "G1".into(),
+            "NG2C".into(),
+            "POLM2".into(),
+        ]);
         for (label, g1, ng2c, polm2) in rows {
-            table.add_row(vec![label, g1.to_string(), ng2c.to_string(), polm2.to_string()]);
+            table.add_row(vec![
+                label,
+                g1.to_string(),
+                ng2c.to_string(),
+                polm2.to_string(),
+            ]);
         }
         println!("\n--- {workload} ---\n{}", table.render());
     }
@@ -108,7 +121,8 @@ fn main() {
         table.add_row(vec![
             workload.clone(),
             format!("{ng2c:.3}"),
-            c4.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
+            c4.map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
             format!("{polm2:.3}"),
             format!("{:.0}", r.g1.mean_throughput()),
         ]);
@@ -131,7 +145,8 @@ fn main() {
                 format!("{g1:.0}"),
                 format!("{ng2c:.0}"),
                 format!("{polm2:.0}"),
-                c4.map(|v| format!("{v:.0}")).unwrap_or_else(|| "n/a".into()),
+                c4.map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "n/a".into()),
             ]);
         }
         println!("\n--- {workload} ---\n{}", table.render());
@@ -151,7 +166,8 @@ fn main() {
             workload.clone(),
             format!("{ng2c:.3}"),
             format!("{polm2:.3}"),
-            c4.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
+            c4.map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
             bytes(r.g1.max_memory_bytes()),
         ]);
     }

@@ -6,9 +6,7 @@
 use std::time::Instant;
 
 use polm2_bench::EvalOptions;
-use polm2_workloads::{
-    paper_workloads, profile_workload, run_workload, CollectorSetup, Workload,
-};
+use polm2_workloads::{paper_workloads, profile_workload, run_workload, CollectorSetup, Workload};
 
 fn main() {
     let filter: Option<String> = std::env::args().nth(1).filter(|a| !a.starts_with("--"));

@@ -23,7 +23,11 @@ fn main() {
             "POLM2 vs G1".into(),
         ]);
         for &(p, g1, ng2c, polm2) in ladder {
-            let label = if p >= 100.0 { "worst".to_string() } else { format!("{p}") };
+            let label = if p >= 100.0 {
+                "worst".to_string()
+            } else {
+                format!("{p}")
+            };
             table.add_row(vec![
                 label,
                 g1.to_string(),

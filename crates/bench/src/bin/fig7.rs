@@ -24,7 +24,8 @@ fn main() {
         table.add_row(vec![
             workload.clone(),
             format!("{ng2c:.3}"),
-            c4.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
+            c4.map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
             format!("{polm2:.3}"),
             format!("{:.0}", r.g1.mean_throughput()),
         ]);

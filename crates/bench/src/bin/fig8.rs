@@ -29,7 +29,8 @@ fn main() {
                 format!("{g1:.0}"),
                 format!("{ng2c:.0}"),
                 format!("{polm2:.0}"),
-                c4.map(|v| format!("{v:.0}")).unwrap_or_else(|| "n/a".into()),
+                c4.map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "n/a".into()),
             ]);
         }
         println!("\n--- {workload} ---\n{}", table.render());

@@ -28,7 +28,8 @@ fn main() {
             workload.clone(),
             format!("{ng2c:.3}"),
             format!("{polm2:.3}"),
-            c4.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
+            c4.map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
             bytes(r.g1.max_memory_bytes()),
         ]);
     }

@@ -43,7 +43,9 @@ fn main() {
     );
 
     // 2. + recorder agent (no snapshots)
-    let session = ProfilingSession::new(SnapshotPolicy { every_n_cycles: u32::MAX });
+    let session = ProfilingSession::new(SnapshotPolicy {
+        every_n_cycles: u32::MAX,
+    });
     let mut jvm = Jvm::builder(RuntimeConfig::paper_scaled())
         .hooks(w.hooks())
         .state(w.new_state(7))
@@ -52,7 +54,9 @@ fn main() {
         .unwrap();
     let mut session = session;
     let t0 = Instant::now();
-    drive(&mut jvm, secs, |jvm| session.after_op(jvm));
+    drive(&mut jvm, secs, |jvm| {
+        session.after_op(jvm).expect("after_op");
+    });
     println!(
         "+recorder   : {:>6.1}s wall | {} recorded",
         t0.elapsed().as_secs_f64(),
@@ -69,7 +73,9 @@ fn main() {
         .unwrap();
     let mut session = session;
     let t0 = Instant::now();
-    drive(&mut jvm, secs, |jvm| session.after_op(jvm));
+    drive(&mut jvm, secs, |jvm| {
+        session.after_op(jvm).expect("after_op");
+    });
     println!(
         "+snapshots  : {:>6.1}s wall | {} snapshots",
         t0.elapsed().as_secs_f64(),

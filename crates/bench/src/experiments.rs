@@ -85,8 +85,10 @@ pub fn collector_runs(opts: &EvalOptions, with_c4: bool) -> Vec<CollectorRuns> {
     for workload in paper_workloads() {
         let w = workload.as_ref();
         eprintln!("[harness] profiling {}", w.name());
-        let profile =
-            profile_workload(w, &profile_config).expect("profiling run").outcome.profile;
+        let profile = profile_workload(w, &profile_config)
+            .expect("profiling run")
+            .outcome
+            .profile;
         eprintln!("[harness] running {} under G1", w.name());
         let g1 = run_workload(w, &CollectorSetup::G1, &run_config).expect("G1 run");
         eprintln!("[harness] running {} under NG2C (manual)", w.name());
@@ -100,7 +102,13 @@ pub fn collector_runs(opts: &EvalOptions, with_c4: bool) -> Vec<CollectorRuns> {
         } else {
             None
         };
-        out.push(CollectorRuns { workload: w.name(), g1, ng2c, polm2, c4 });
+        out.push(CollectorRuns {
+            workload: w.name(),
+            g1,
+            ng2c,
+            polm2,
+            c4,
+        });
     }
     out
 }
@@ -260,7 +268,11 @@ pub fn fig3_4_snapshots(opts: &EvalOptions, max_snapshots: usize) -> Vec<Snapsho
         let criu = drive_with_dumper(w, Box::new(CriuDumper::new()), max_snapshots, opts);
         eprintln!("[harness] snapshotting {} with jmap", w.name());
         let jmap = drive_with_dumper(w, Box::new(JmapDumper::new()), max_snapshots, opts);
-        out.push(SnapshotComparison { workload: w.name(), criu, jmap });
+        out.push(SnapshotComparison {
+            workload: w.name(),
+            criu,
+            jmap,
+        });
     }
     out
 }
@@ -293,7 +305,7 @@ fn drive_with_dumper(
         if cycles > cycles_seen {
             cycles_seen = cycles;
             let now = jvm.now();
-            series.push(dumper.snapshot(jvm.heap_mut(), now));
+            series.push(dumper.snapshot(jvm.heap_mut(), now).expect("snapshot"));
         }
     }
     series

@@ -79,7 +79,9 @@ mod tests {
         let quick = EvalOptions::Quick.run_config();
         assert!(quick.duration < paper.duration);
         assert!(quick.warmup < paper.warmup);
-        assert!(EvalOptions::Quick.profile_config().duration < ProfilePhaseConfig::paper().duration);
+        assert!(
+            EvalOptions::Quick.profile_config().duration < ProfilePhaseConfig::paper().duration
+        );
         assert!(!EvalOptions::Paper.label().is_empty());
     }
 }

@@ -22,11 +22,21 @@ pub struct AnalyzerConfig {
     /// little evidence to pretenure (misplacing rare allocations costs more
     /// than it saves).
     pub min_objects: u64,
+    /// With fewer snapshots than this in the whole series, no trace is
+    /// pretenured at all: lifetime estimates from one (or zero) snapshots
+    /// are guesses, and the safe degradation is the young-generation
+    /// default. Traces demoted by this guard are counted in
+    /// [`AnalysisOutcome::demoted_traces`].
+    pub min_snapshots: u32,
 }
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
-        AnalyzerConfig { min_survivals: 2, min_objects: 4 }
+        AnalyzerConfig {
+            min_survivals: 2,
+            min_objects: 4,
+            min_snapshots: 2,
+        }
     }
 }
 
@@ -69,7 +79,9 @@ impl SiteLifetimes {
 
     /// Lifetime records whose allocation site is `loc`.
     pub fn at_site<'a>(&'a self, loc: &'a CodeLoc) -> impl Iterator<Item = &'a TraceLifetime> {
-        self.traces.iter().filter(move |t| t.path.last() == Some(loc))
+        self.traces
+            .iter()
+            .filter(move |t| t.path.last() == Some(loc))
     }
 }
 
@@ -84,6 +96,10 @@ pub struct AnalysisOutcome {
     pub conflicts: Vec<Conflict>,
     /// How each conflict path was resolved.
     pub resolutions: Vec<Resolution>,
+    /// Traces that had enough evidence to pretenure but were demoted to the
+    /// young generation because the run was under-observed (fewer than
+    /// [`AnalyzerConfig::min_snapshots`] snapshots).
+    pub demoted_traces: u64,
 }
 
 /// The offline analyzer.
@@ -123,6 +139,8 @@ impl Analyzer {
         }
 
         // Step 2: per-trace histograms, modes, and generation classes.
+        let under_observed = (snapshots.len() as u32) < self.config.min_snapshots;
+        let mut demoted_traces = 0u64;
         let mut lifetimes = Vec::new();
         let mut classes: Vec<u32> = Vec::new(); // distinct log2 lifetime classes
         for trace in records.trace_ids() {
@@ -150,6 +168,12 @@ impl Analyzer {
                 || typical_survivals < self.config.min_survivals
             {
                 None
+            } else if under_observed {
+                // Enough evidence to pretenure in a healthy run, but too few
+                // snapshots actually arrived (lost captures): fall back to
+                // the young default and count the demotion.
+                demoted_traces += 1;
+                None
             } else {
                 Some(typical_survivals.ilog2())
             };
@@ -173,14 +197,16 @@ impl Analyzer {
 
         let lifetimes: Vec<TraceLifetime> = lifetimes
             .into_iter()
-            .map(|(trace, path, histogram, typical_survivals, objects, class)| TraceLifetime {
-                trace,
-                path,
-                histogram,
-                typical_survivals,
-                objects,
-                gen: class.map(|c| gen_of_class[&c]).unwrap_or(GenId::YOUNG),
-            })
+            .map(
+                |(trace, path, histogram, typical_survivals, objects, class)| TraceLifetime {
+                    trace,
+                    path,
+                    histogram,
+                    typical_survivals,
+                    objects,
+                    gen: class.map(|c| gen_of_class[&c]).unwrap_or(GenId::YOUNG),
+                },
+            )
             .collect();
 
         // Step 3: STTree.
@@ -202,7 +228,11 @@ impl Analyzer {
             if conflicted.contains(&leaf.loc) {
                 // Conflicted site: @Gen annotation; generation arrives via
                 // the resolutions' call-site wrappers.
-                profile.add_site(PretenuredSite { loc: leaf.loc.clone(), gen: leaf.gen, local: false });
+                profile.add_site(PretenuredSite {
+                    loc: leaf.loc.clone(),
+                    gen: leaf.gen,
+                    local: false,
+                });
             } else {
                 let (at, is_local) = tree.hoist_point(leaf.idx, &conflicted);
                 profile.add_site(PretenuredSite {
@@ -217,7 +247,10 @@ impl Analyzer {
         }
         for r in &resolutions {
             if !r.gen.is_young() {
-                profile.add_gen_call(GenCall { at: r.at.clone(), gen: r.gen });
+                profile.add_gen_call(GenCall {
+                    at: r.at.clone(),
+                    gen: r.gen,
+                });
             }
         }
 
@@ -226,6 +259,7 @@ impl Analyzer {
             lifetimes: SiteLifetimes { traces: lifetimes },
             conflicts,
             resolutions,
+            demoted_traces,
         }
     }
 }
@@ -246,7 +280,11 @@ mod tests {
             ClassDef::new("C")
                 .with_method(MethodDef::new("longCaller").push(Instr::call("C", "make", 10)))
                 .with_method(MethodDef::new("shortCaller").push(Instr::call("C", "make", 20)))
-                .with_method(MethodDef::new("make").push(Instr::alloc("Buf", SizeSpec::Fixed(64), 5))),
+                .with_method(MethodDef::new("make").push(Instr::alloc(
+                    "Buf",
+                    SizeSpec::Fixed(64),
+                    5,
+                ))),
         );
         let mut heap = Heap::new(HeapConfig::small());
         let loaded = Loader::load(p, &mut [], &mut heap).unwrap();
@@ -270,15 +308,31 @@ mod tests {
     /// Trace through longCaller (frames: longCaller@10 -> make@5).
     fn long_trace() -> Vec<TraceFrame> {
         vec![
-            TraceFrame { class_idx: 0, method_idx: 0, line: 10 },
-            TraceFrame { class_idx: 0, method_idx: 2, line: 5 },
+            TraceFrame {
+                class_idx: 0,
+                method_idx: 0,
+                line: 10,
+            },
+            TraceFrame {
+                class_idx: 0,
+                method_idx: 2,
+                line: 5,
+            },
         ]
     }
 
     fn short_trace() -> Vec<TraceFrame> {
         vec![
-            TraceFrame { class_idx: 0, method_idx: 1, line: 20 },
-            TraceFrame { class_idx: 0, method_idx: 2, line: 5 },
+            TraceFrame {
+                class_idx: 0,
+                method_idx: 1,
+                line: 20,
+            },
+            TraceFrame {
+                class_idx: 0,
+                method_idx: 2,
+                line: 5,
+            },
         ]
     }
 
@@ -291,8 +345,7 @@ mod tests {
         for &h in &long_hashes {
             records.record(long_trace(), h);
         }
-        let series: SnapshotSeries =
-            (0..4).map(|s| snapshot(s, &long_hashes)).collect();
+        let series: SnapshotSeries = (0..4).map(|s| snapshot(s, &long_hashes)).collect();
         let outcome = Analyzer::default().analyze(&records, &series, &program);
         assert!(outcome.conflicts.is_empty());
         assert_eq!(outcome.profile.sites().len(), 1);
@@ -301,7 +354,10 @@ mod tests {
         assert!(!site.gen.is_young());
         // Single-gen subtree hoists to the caller's call site.
         assert_eq!(outcome.profile.gen_calls().len(), 1);
-        assert_eq!(outcome.profile.gen_calls()[0].at, CodeLoc::new("C", "longCaller", 10));
+        assert_eq!(
+            outcome.profile.gen_calls()[0].at,
+            CodeLoc::new("C", "longCaller", 10)
+        );
     }
 
     #[test]
@@ -314,7 +370,10 @@ mod tests {
         // Objects never appear in any snapshot: they die before the first.
         let series: SnapshotSeries = (0..4).map(|s| snapshot(s, &[])).collect();
         let outcome = Analyzer::default().analyze(&records, &series, &program);
-        assert!(outcome.profile.is_empty(), "short-lived sites must not be instrumented");
+        assert!(
+            outcome.profile.is_empty(),
+            "short-lived sites must not be instrumented"
+        );
         assert_eq!(outcome.lifetimes.traces()[0].gen, GenId::YOUNG);
         assert_eq!(outcome.lifetimes.traces()[0].typical_survivals, 0);
     }
@@ -349,7 +408,10 @@ mod tests {
             .iter()
             .all(|c| c.at != CodeLoc::new("C", "shortCaller", 20)));
         // The site is annotated but not local.
-        let site = outcome.profile.site_at(&CodeLoc::new("C", "make", 5)).unwrap();
+        let site = outcome
+            .profile
+            .site_at(&CodeLoc::new("C", "make", 5))
+            .unwrap();
         assert!(!site.local);
     }
 
@@ -377,7 +439,11 @@ mod tests {
         }
         let outcome = Analyzer::default().analyze(&records, &series, &program);
         let gens = outcome.profile.generations_used();
-        assert_eq!(gens.len(), 2, "two lifetime classes, two generations: {gens:?}");
+        assert_eq!(
+            gens.len(),
+            2,
+            "two lifetime classes, two generations: {gens:?}"
+        );
     }
 
     #[test]
@@ -388,10 +454,41 @@ mod tests {
         for i in 0..2 {
             records.record(long_trace(), hash(i));
         }
-        let series: SnapshotSeries =
-            (0..8).map(|s| snapshot(s, &[hash(0), hash(1)])).collect();
+        let series: SnapshotSeries = (0..8).map(|s| snapshot(s, &[hash(0), hash(1)])).collect();
         let outcome = Analyzer::default().analyze(&records, &series, &program);
         assert!(outcome.profile.is_empty());
+    }
+
+    #[test]
+    fn under_observed_runs_demote_to_young_and_count_it() {
+        let (_, program) = loaded();
+        let mut records = AllocationRecords::default();
+        let hashes: Vec<_> = (0..8).map(hash).collect();
+        for &h in &hashes {
+            records.record(long_trace(), h);
+        }
+        // One snapshot only (the rest were lost): the same evidence that
+        // pretenures in `long_lived_sites_get_pretenured` must now demote.
+        let series: SnapshotSeries = std::iter::once(snapshot(0, &hashes)).collect();
+        let config = AnalyzerConfig {
+            min_survivals: 1,
+            ..AnalyzerConfig::default()
+        };
+        let outcome = Analyzer::new(config).analyze(&records, &series, &program);
+        assert!(outcome.profile.is_empty(), "one snapshot is not evidence");
+        assert_eq!(outcome.demoted_traces, 1);
+        assert_eq!(outcome.lifetimes.traces()[0].gen, GenId::YOUNG);
+
+        // With the guard relaxed the same inputs pretenure — proving the
+        // guard (not the evidence) made the difference.
+        let relaxed = AnalyzerConfig {
+            min_survivals: 1,
+            min_snapshots: 1,
+            ..config
+        };
+        let outcome = Analyzer::new(relaxed).analyze(&records, &series, &program);
+        assert!(!outcome.profile.is_empty());
+        assert_eq!(outcome.demoted_traces, 0);
     }
 
     #[test]
@@ -401,7 +498,9 @@ mod tests {
         for i in 0..8 {
             records.record(long_trace(), hash(i));
         }
-        let series: SnapshotSeries = (0..3).map(|s| snapshot(s, &(0..8).map(hash).collect::<Vec<_>>())).collect();
+        let series: SnapshotSeries = (0..3)
+            .map(|s| snapshot(s, &(0..8).map(hash).collect::<Vec<_>>()))
+            .collect();
         let outcome = Analyzer::default().analyze(&records, &series, &program);
         let site = CodeLoc::new("C", "make", 5);
         let stats: Vec<_> = outcome.lifetimes.at_site(&site).collect();

@@ -1,0 +1,115 @@
+//! The pipeline's unified error taxonomy.
+//!
+//! Every fallible step of the two POLM2 phases — snapshot capture, profile
+//! I/O and parsing, runtime execution, record extraction — surfaces here as
+//! one typed error. The profiling pipeline never panics on bad input: faults
+//! either become a [`PipelineError`] or are absorbed and counted (see
+//! `polm2_metrics::FaultCounters`).
+
+use std::error::Error;
+use std::fmt;
+
+use polm2_runtime::RuntimeError;
+use polm2_snapshot::SnapshotError;
+
+use crate::profile::{ProfileError, ProfileParseError};
+
+/// Any failure of the profiling or production pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// A snapshot could not be captured, even after retrying.
+    Snapshot {
+        /// Capture attempts made (1 = no retries).
+        attempts: u32,
+        /// The last capture failure.
+        source: SnapshotError,
+    },
+    /// Loading, parsing, or validating an allocation profile failed.
+    Profile(ProfileError),
+    /// The simulated runtime reported an error.
+    Runtime(RuntimeError),
+    /// The Recorder's records could not be extracted because its load-time
+    /// agent still holds a reference (a JVM using it is still alive).
+    RecorderBusy,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Snapshot { attempts, source } => {
+                write!(
+                    f,
+                    "snapshot capture failed after {attempts} attempt(s): {source}"
+                )
+            }
+            PipelineError::Profile(e) => write!(f, "profile error: {e}"),
+            PipelineError::Runtime(e) => write!(f, "runtime error: {e}"),
+            PipelineError::RecorderBusy => {
+                write!(f, "recorder agent still installed in a live runtime")
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Snapshot { source, .. } => Some(source),
+            PipelineError::Profile(e) => Some(e),
+            PipelineError::Runtime(e) => Some(e),
+            PipelineError::RecorderBusy => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for PipelineError {
+    fn from(e: RuntimeError) -> Self {
+        PipelineError::Runtime(e)
+    }
+}
+
+impl From<ProfileError> for PipelineError {
+    fn from(e: ProfileError) -> Self {
+        PipelineError::Profile(e)
+    }
+}
+
+impl From<ProfileParseError> for PipelineError {
+    fn from(e: ProfileParseError) -> Self {
+        PipelineError::Profile(ProfileError::Parse(e))
+    }
+}
+
+impl From<SnapshotError> for PipelineError {
+    fn from(source: SnapshotError) -> Self {
+        PipelineError::Snapshot {
+            attempts: 1,
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = PipelineError::from(SnapshotError {
+            seq: 3,
+            reason: "rpc timeout".into(),
+        });
+        assert!(e.to_string().contains("1 attempt"));
+        assert!(e.source().unwrap().to_string().contains("snapshot 3"));
+
+        let e = PipelineError::from(ProfileParseError {
+            line: 2,
+            message: "bad".into(),
+        });
+        assert!(matches!(e, PipelineError::Profile(ProfileError::Parse(_))));
+        assert!(e.source().is_some());
+
+        assert!(PipelineError::RecorderBusy.source().is_none());
+    }
+}

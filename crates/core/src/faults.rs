@@ -1,0 +1,448 @@
+//! Deterministic, seeded fault injection for the profiling pipeline.
+//!
+//! The paper's pipeline crosses three process boundaries — the in-process
+//! Recorder agent, the external CRIU Dumper, and the offline Analyzer reading
+//! files — and every boundary can fail: a dump RPC times out, a record stream
+//! is cut short, a profile file is corrupted on disk. This module reproduces
+//! those failures *inside the simulation*, driven by a seeded PRNG so chaos
+//! runs are exactly reproducible: same seed, same faults, same degraded (but
+//! never wrong) profile.
+//!
+//! Fault kinds:
+//!
+//! * **Snapshot failure** — the Dumper returns an error instead of a
+//!   snapshot ([`FaultyDumper`]); the session retries with bounded backoff
+//!   against the simulated clock, then skips and counts.
+//! * **Snapshot truncation** — the dump succeeds but loses a fraction of its
+//!   live-object hashes (a partial image). Objects merely look shorter-lived.
+//! * **Record drop / duplication / corruption** — the Recorder's event
+//!   stream loses events, repeats them, or delivers structurally invalid
+//!   frames (caught at ingest and dropped with a counter).
+//! * **Profile-text corruption** — bytes of a serialized profile are
+//!   clobbered before parsing (surfaces as a typed parse error downstream).
+//!
+//! Every fault only ever *removes or garbles evidence*; none fabricates a
+//! plausible long-lived object. That is what makes degradation graceful: the
+//! Analyzer can only lose pretenuring opportunities, never invent them.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use polm2_heap::{Heap, IdHashSet, IdentityHash};
+use polm2_metrics::SimTime;
+use polm2_runtime::{AllocEvent, TraceFrame};
+use polm2_snapshot::{HeapDumper, Snapshot, SnapshotError};
+
+/// Which faults to inject, and how often. All rates are probabilities in
+/// `[0, 1]`; the default is all-zero (no faults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// PRNG seed; the same seed reproduces the same fault sequence.
+    pub seed: u64,
+    /// Probability that a snapshot capture attempt fails outright.
+    pub snapshot_failure_rate: f64,
+    /// Probability that a captured snapshot is truncated.
+    pub snapshot_truncation_rate: f64,
+    /// Fraction of live-object hashes a truncated snapshot loses.
+    pub truncated_fraction: f64,
+    /// Per-event probability that an allocation record is dropped.
+    pub record_drop_rate: f64,
+    /// Per-event probability that an allocation record is duplicated.
+    pub record_duplicate_rate: f64,
+    /// Per-event probability that an allocation record is structurally
+    /// corrupted (invalid trace frames; dropped at ingest).
+    pub record_corrupt_rate: f64,
+    /// Per-character probability that profile text is clobbered by
+    /// [`FaultInjector::corrupt_profile_text`].
+    pub profile_corrupt_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            snapshot_failure_rate: 0.0,
+            snapshot_truncation_rate: 0.0,
+            truncated_fraction: 0.5,
+            record_drop_rate: 0.0,
+            record_duplicate_rate: 0.0,
+            record_corrupt_rate: 0.0,
+            profile_corrupt_rate: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config that injects every fault kind at `rate` (truncation keeps
+    /// its default lost fraction).
+    pub fn all_at(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            snapshot_failure_rate: rate,
+            snapshot_truncation_rate: rate,
+            record_drop_rate: rate,
+            record_duplicate_rate: rate,
+            record_corrupt_rate: rate,
+            profile_corrupt_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// True if no fault can ever fire (all rates zero).
+    pub fn is_inert(&self) -> bool {
+        self.snapshot_failure_rate == 0.0
+            && self.snapshot_truncation_rate == 0.0
+            && self.record_drop_rate == 0.0
+            && self.record_duplicate_rate == 0.0
+            && self.record_corrupt_rate == 0.0
+            && self.profile_corrupt_rate == 0.0
+    }
+}
+
+/// Tallies of the faults an injector actually fired (ground truth for tests;
+/// the pipeline's own view of what it *detected* lives in
+/// [`polm2_metrics::FaultCounters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Snapshot capture attempts failed.
+    pub snapshot_failures: u64,
+    /// Snapshots truncated.
+    pub snapshots_truncated: u64,
+    /// Live-object hashes removed by truncation.
+    pub hashes_lost: u64,
+    /// Allocation events dropped.
+    pub records_dropped: u64,
+    /// Allocation events duplicated.
+    pub records_duplicated: u64,
+    /// Allocation events structurally corrupted.
+    pub records_corrupted: u64,
+    /// Characters clobbered in profile text.
+    pub profile_chars_corrupted: u64,
+}
+
+/// The seeded fault source. Deterministic: a splitmix64 stream drives every
+/// decision, so no wall-clock or OS entropy enters the simulation.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: u64,
+    injected: InjectedFaults,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `config`.
+    pub fn new(config: FaultConfig) -> Self {
+        // Offset the seed so seed 0 does not start on splitmix64's weak
+        // all-zero state.
+        FaultInjector {
+            config,
+            state: config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            injected: InjectedFaults::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// What has actually been injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        self.injected
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: tiny, seedable, and plenty for fault scheduling.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn roll(&mut self, rate: f64) -> bool {
+        rate > 0.0 && self.next_f64() < rate
+    }
+
+    /// Applies record-stream faults to a drained event batch in place.
+    pub fn mutate_events(&mut self, events: &mut Vec<AllocEvent>) {
+        if self.config.record_drop_rate == 0.0
+            && self.config.record_duplicate_rate == 0.0
+            && self.config.record_corrupt_rate == 0.0
+        {
+            return;
+        }
+        let mut out = Vec::with_capacity(events.len());
+        for mut event in events.drain(..) {
+            if self.roll(self.config.record_drop_rate) {
+                self.injected.records_dropped += 1;
+                continue;
+            }
+            if self.roll(self.config.record_corrupt_rate) {
+                self.corrupt_event(&mut event);
+                self.injected.records_corrupted += 1;
+            } else if self.roll(self.config.record_duplicate_rate) {
+                self.injected.records_duplicated += 1;
+                out.push(event.clone());
+            }
+            out.push(event);
+        }
+        *events = out;
+    }
+
+    /// Structurally corrupts one event's trace. The corruption is always
+    /// *detectable* (an empty trace or frame indices no program resolves):
+    /// corrupt records must be caught at ingest and dropped, never silently
+    /// misattributed to a real allocation path.
+    fn corrupt_event(&mut self, event: &mut AllocEvent) {
+        match self.next_u64() % 3 {
+            0 => event.trace.clear(),
+            1 => {
+                if let Some(frame) = event.trace.first_mut() {
+                    frame.class_idx = u16::MAX;
+                } else {
+                    event.trace.push(TraceFrame {
+                        class_idx: u16::MAX,
+                        method_idx: 0,
+                        line: 0,
+                    });
+                }
+            }
+            _ => {
+                if let Some(frame) = event.trace.last_mut() {
+                    frame.method_idx = u16::MAX;
+                } else {
+                    event.trace.push(TraceFrame {
+                        class_idx: 0,
+                        method_idx: u16::MAX,
+                        line: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Clobbers characters of serialized profile text (disk corruption).
+    pub fn corrupt_profile_text(&mut self, text: &mut String) {
+        if self.config.profile_corrupt_rate == 0.0 {
+            return;
+        }
+        let rate = self.config.profile_corrupt_rate;
+        let mut corrupted = 0;
+        let out: String = text
+            .chars()
+            .map(|c| {
+                if c != '\n' && self.roll(rate) {
+                    corrupted += 1;
+                    '\u{FFFD}'
+                } else {
+                    c
+                }
+            })
+            .collect();
+        self.injected.profile_chars_corrupted += corrupted;
+        *text = out;
+    }
+}
+
+/// A [`HeapDumper`] wrapper that injects capture failures and truncation.
+///
+/// Failure is decided *before* delegating to the inner dumper, so a failed
+/// attempt does not clear soft-dirty bits — exactly like a CRIU dump that
+/// died before writing its image: the next attempt still sees every page the
+/// failed one would have captured.
+pub struct FaultyDumper {
+    inner: Box<dyn HeapDumper>,
+    injector: Rc<RefCell<FaultInjector>>,
+    seq_guess: u32,
+}
+
+impl FaultyDumper {
+    /// Wraps `inner`, drawing faults from `injector`.
+    pub fn new(inner: Box<dyn HeapDumper>, injector: Rc<RefCell<FaultInjector>>) -> Self {
+        FaultyDumper {
+            inner,
+            injector,
+            seq_guess: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultyDumper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyDumper")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HeapDumper for FaultyDumper {
+    fn name(&self) -> &'static str {
+        "faulty-dumper"
+    }
+
+    fn snapshot(&mut self, heap: &mut Heap, now: SimTime) -> Result<Snapshot, SnapshotError> {
+        {
+            let mut inj = self.injector.borrow_mut();
+            let rate = inj.config.snapshot_failure_rate;
+            if inj.roll(rate) {
+                inj.injected.snapshot_failures += 1;
+                return Err(SnapshotError {
+                    seq: self.seq_guess,
+                    reason: "injected capture failure".to_string(),
+                });
+            }
+        }
+        let snap = self.inner.snapshot(heap, now)?;
+        self.seq_guess = snap.seq + 1;
+
+        let mut inj = self.injector.borrow_mut();
+        let truncation_rate = inj.config.snapshot_truncation_rate;
+        let truncate = inj.roll(truncation_rate);
+        if !truncate {
+            return Ok(snap);
+        }
+        inj.injected.snapshots_truncated += 1;
+        let keep_rate = 1.0 - inj.config.truncated_fraction;
+        let mut kept: IdHashSet<IdentityHash> = IdHashSet::default();
+        let mut lost = 0u64;
+        for &hash in snap.hashes() {
+            if inj.roll(keep_rate) {
+                kept.insert(hash);
+            } else {
+                lost += 1;
+            }
+        }
+        inj.injected.hashes_lost += lost;
+        Ok(Snapshot::new(
+            snap.seq,
+            snap.at,
+            kept,
+            snap.size_bytes,
+            snap.capture_time,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polm2_heap::{ObjectId, SiteId};
+
+    fn event(line: u32) -> AllocEvent {
+        AllocEvent {
+            trace: vec![TraceFrame {
+                class_idx: 0,
+                method_idx: 0,
+                line,
+            }],
+            object: ObjectId::new(u64::from(line)),
+            hash: IdentityHash::of(ObjectId::new(u64::from(line))),
+            site: SiteId::new(0),
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn inert_config_never_mutates() {
+        let mut inj = FaultInjector::new(FaultConfig::default());
+        let mut events: Vec<_> = (0..100).map(event).collect();
+        let before = events.clone();
+        inj.mutate_events(&mut events);
+        assert_eq!(events, before);
+        let mut text = "polm2-profile v1\n".to_string();
+        inj.corrupt_profile_text(&mut text);
+        assert_eq!(text, "polm2-profile v1\n");
+        assert_eq!(inj.injected(), InjectedFaults::default());
+        assert!(FaultConfig::default().is_inert());
+        assert!(!FaultConfig::all_at(0.1, 7).is_inert());
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let config = FaultConfig::all_at(0.3, 42);
+        let run = |config| {
+            let mut inj = FaultInjector::new(config);
+            let mut events: Vec<_> = (0..200).map(event).collect();
+            inj.mutate_events(&mut events);
+            (events, inj.injected())
+        };
+        let (a, ia) = run(config);
+        let (b, ib) = run(config);
+        assert_eq!(a, b);
+        assert_eq!(ia, ib);
+        let (c, _) = run(FaultConfig { seed: 43, ..config });
+        assert_ne!(a, c, "a different seed must produce a different stream");
+    }
+
+    #[test]
+    fn drops_and_duplicates_are_tallied() {
+        let config = FaultConfig {
+            seed: 1,
+            record_drop_rate: 0.25,
+            record_duplicate_rate: 0.25,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(config);
+        let mut events: Vec<_> = (0..400).map(event).collect();
+        inj.mutate_events(&mut events);
+        let injected = inj.injected();
+        assert!(injected.records_dropped > 0);
+        assert!(injected.records_duplicated > 0);
+        assert_eq!(
+            events.len() as u64,
+            400 - injected.records_dropped + injected.records_duplicated
+        );
+    }
+
+    #[test]
+    fn corrupted_events_never_resolve_in_any_program() {
+        let config = FaultConfig {
+            seed: 5,
+            record_corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(config);
+        let mut events: Vec<_> = (0..50).map(event).collect();
+        inj.mutate_events(&mut events);
+        assert_eq!(inj.injected().records_corrupted, 50);
+        for e in &events {
+            let detectable = e.trace.is_empty()
+                || e.trace
+                    .iter()
+                    .any(|f| f.class_idx == u16::MAX || f.method_idx == u16::MAX);
+            assert!(
+                detectable,
+                "corruption must be structurally detectable: {:?}",
+                e.trace
+            );
+        }
+    }
+
+    #[test]
+    fn profile_corruption_clobbers_but_keeps_line_structure() {
+        let config = FaultConfig {
+            seed: 9,
+            profile_corrupt_rate: 0.2,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(config);
+        let original = "polm2-profile v1\nsite A b 1 gen 2\ncall C d 3 gen 2\n".to_string();
+        let mut text = original.clone();
+        inj.corrupt_profile_text(&mut text);
+        assert_ne!(text, original);
+        assert_eq!(
+            inj.injected().profile_chars_corrupted,
+            text.matches('\u{FFFD}').count() as u64
+        );
+        assert_eq!(
+            text.lines().count(),
+            original.lines().count(),
+            "newlines survive"
+        );
+    }
+}

@@ -4,8 +4,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use polm2_runtime::{ClassDef, ClassTransformer, CodeLoc, Instr};
+use polm2_runtime::{ClassDef, ClassTransformer, CodeLoc, Instr, Program};
 
+use crate::profile::ProfileValidation;
 use crate::AllocationProfile;
 
 /// Counters describing what the Instrumenter actually rewrote (Table 1's
@@ -29,13 +30,40 @@ pub struct InstrumentationStats {
 #[derive(Debug)]
 pub struct Instrumenter {
     profile: AllocationProfile,
+    stale: ProfileValidation,
     stats: Rc<RefCell<InstrumentationStats>>,
 }
 
 impl Instrumenter {
-    /// Creates an instrumenter for `profile`.
+    /// Creates an instrumenter for `profile`, trusting it to match the
+    /// program it will be applied to. Use [`checked`](Instrumenter::checked)
+    /// when the profile comes from disk or from a different build of the
+    /// application.
     pub fn new(profile: AllocationProfile) -> Self {
-        Instrumenter { profile, stats: Rc::new(RefCell::new(InstrumentationStats::default())) }
+        Instrumenter {
+            profile,
+            stale: ProfileValidation::default(),
+            stats: Rc::new(RefCell::new(InstrumentationStats::default())),
+        }
+    }
+
+    /// Creates an instrumenter that applies only the entries of `profile`
+    /// that resolve in `program`; stale entries are skipped and reported via
+    /// [`stale`](Instrumenter::stale). Skipping is safe: the affected
+    /// allocations simply stay in the young generation.
+    pub fn checked(profile: &AllocationProfile, program: &Program) -> Self {
+        let (valid, stale) = profile.split_valid(program);
+        Instrumenter {
+            profile: valid,
+            stale,
+            stats: Rc::new(RefCell::new(InstrumentationStats::default())),
+        }
+    }
+
+    /// Entries dropped because they did not resolve in the program (empty
+    /// for instrumenters built with [`new`](Instrumenter::new)).
+    pub fn stale(&self) -> &ProfileValidation {
+        &self.stale
     }
 
     /// The load-time agent to install in the JVM builder.
@@ -72,7 +100,13 @@ impl ClassTransformer for InstrumenterAgent {
         let mut stats = self.stats.borrow_mut();
         for method in &mut class.methods {
             let method_name = method.name.clone();
-            rewrite_block(&mut method.body, &class_name, &method_name, &self.profile, &mut stats);
+            rewrite_block(
+                &mut method.body,
+                &class_name,
+                &method_name,
+                &self.profile,
+                &mut stats,
+            );
         }
     }
 }
@@ -87,7 +121,11 @@ fn rewrite_block(
     let mut out = Vec::with_capacity(block.len());
     for mut instr in block.drain(..) {
         match &mut instr {
-            Instr::Branch { then_block, else_block, .. } => {
+            Instr::Branch {
+                then_block,
+                else_block,
+                ..
+            } => {
                 rewrite_block(then_block, class, method, profile, stats);
                 rewrite_block(else_block, class, method, profile, stats);
                 out.push(instr);
@@ -96,14 +134,19 @@ fn rewrite_block(
                 rewrite_block(body, class, method, profile, stats);
                 out.push(instr);
             }
-            Instr::Alloc { line, pretenure, .. } => {
+            Instr::Alloc {
+                line, pretenure, ..
+            } => {
                 let loc = CodeLoc::new(class, method, *line);
                 if let Some(site) = profile.site_at(&loc) {
                     *pretenure = true;
                     stats.annotated_sites += 1;
                     if site.local {
                         let line = *line;
-                        out.push(Instr::SetGen { gen: site.gen, line });
+                        out.push(Instr::SetGen {
+                            gen: site.gen,
+                            line,
+                        });
                         out.push(instr);
                         out.push(Instr::RestoreGen { line });
                         stats.gen_call_pairs += 1;
@@ -116,7 +159,10 @@ fn rewrite_block(
                 let loc = CodeLoc::new(class, method, *line);
                 if let Some(call) = profile.gen_call_at(&loc) {
                     let line = *line;
-                    out.push(Instr::SetGen { gen: call.gen, line });
+                    out.push(Instr::SetGen {
+                        gen: call.gen,
+                        line,
+                    });
                     out.push(instr);
                     out.push(Instr::RestoreGen { line });
                     stats.gen_call_pairs += 1;
@@ -161,7 +207,10 @@ mod tests {
             gen: GenId::new(2),
             local: false,
         });
-        prof.add_gen_call(GenCall { at: CodeLoc::new("Store", "put", 10), gen: GenId::new(2) });
+        prof.add_gen_call(GenCall {
+            at: CodeLoc::new("Store", "put", 10),
+            gen: GenId::new(2),
+        });
         prof
     }
 
@@ -175,7 +224,13 @@ mod tests {
         }
         // The allocation site is @Gen-flagged.
         let body = &p.class("Cell").unwrap().method("create").unwrap().body;
-        assert!(matches!(body[0], Instr::Alloc { pretenure: true, .. }));
+        assert!(matches!(
+            body[0],
+            Instr::Alloc {
+                pretenure: true,
+                ..
+            }
+        ));
         // The call in Store.put is wrapped.
         let body = &p.class("Store").unwrap().method("put").unwrap().body;
         assert!(matches!(body[0], Instr::SetGen { gen, .. } if gen == GenId::new(2)));
@@ -210,7 +265,13 @@ mod tests {
         }
         let body = &p.class("Cell").unwrap().method("create").unwrap().body;
         assert!(matches!(body[0], Instr::SetGen { gen, .. } if gen == GenId::new(3)));
-        assert!(matches!(body[1], Instr::Alloc { pretenure: true, .. }));
+        assert!(matches!(
+            body[1],
+            Instr::Alloc {
+                pretenure: true,
+                ..
+            }
+        ));
         assert!(matches!(body[2], Instr::RestoreGen { .. }));
         assert_eq!(inst.stats().gen_call_pairs, 1);
     }
@@ -229,9 +290,48 @@ mod tests {
     }
 
     #[test]
+    fn checked_skips_stale_entries_and_applies_the_rest() {
+        let mut prof = profile();
+        prof.add_site(PretenuredSite {
+            loc: CodeLoc::new("Removed", "method", 7),
+            gen: GenId::new(2),
+            local: true,
+        });
+        prof.add_gen_call(GenCall {
+            at: CodeLoc::new("Store", "put", 77),
+            gen: GenId::new(2),
+        });
+
+        let mut p = program();
+        let inst = Instrumenter::checked(&prof, &p);
+        assert_eq!(inst.stale().stale_sites.len(), 1);
+        assert_eq!(inst.stale().stale_gen_calls.len(), 1);
+        let mut agent = inst.agent();
+        for class in p.classes_mut() {
+            agent.transform(class);
+        }
+        // The valid entries still applied.
+        let body = &p.class("Cell").unwrap().method("create").unwrap().body;
+        assert!(matches!(
+            body[0],
+            Instr::Alloc {
+                pretenure: true,
+                ..
+            }
+        ));
+        assert_eq!(inst.stats().annotated_sites, 1);
+        assert_eq!(inst.stats().gen_call_pairs, 1);
+        // A trusted instrumenter reports nothing stale.
+        assert!(Instrumenter::new(profile()).stale().is_clean());
+    }
+
+    #[test]
     fn nested_call_sites_are_found() {
         let mut prof = AllocationProfile::new();
-        prof.add_gen_call(GenCall { at: CodeLoc::new("Store", "loop", 21), gen: GenId::new(2) });
+        prof.add_gen_call(GenCall {
+            at: CodeLoc::new("Store", "loop", 21),
+            gen: GenId::new(2),
+        });
         let mut p = program();
         let inst = Instrumenter::new(prof);
         let mut agent = inst.agent();

@@ -23,6 +23,13 @@
 //! The two phases (§3.5) are driven by [`ProfilingSession`] (profiling) and
 //! [`ProductionSetup`] (production).
 //!
+//! Every step of the pipeline is fallible and typed ([`PipelineError`]):
+//! snapshots can fail and are retried on the simulated clock per a
+//! [`RecoveryPolicy`], corrupt allocation records are dropped and counted,
+//! stale profile entries are skipped and reported. Chaos testing is built in:
+//! [`ProfilingSession::with_faults`] injects seeded, deterministic faults
+//! ([`FaultConfig`]) to exercise exactly those paths.
+//!
 //! [`polm2-snapshot`]: ../polm2_snapshot/index.html
 //!
 //! # Examples
@@ -42,17 +49,20 @@
 //!     .transformer(session.recorder_agent())
 //!     .build(workload_program())?;
 //! let thread = jvm.spawn_thread();
-//! // ... invoke workload operations, calling session.after_op(&mut jvm) ...
-//! let profile = session.finish(&mut jvm, &AnalyzerConfig::default());
+//! // ... invoke workload operations, calling session.after_op(&mut jvm)? ...
+//! let report = session.finish(&mut jvm, &AnalyzerConfig::default())?;
+//! let profile = report.outcome.profile;
 //!
 //! // Production phase: run again with the Instrumenter applying the profile.
-//! # Ok::<(), polm2_runtime::RuntimeError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
 mod analyzer;
+mod error;
+mod faults;
 mod instrumenter;
 mod pipeline;
 mod profile;
@@ -60,8 +70,15 @@ mod recorder;
 mod sttree;
 
 pub use analyzer::{AnalysisOutcome, Analyzer, AnalyzerConfig, SiteLifetimes, TraceLifetime};
-pub use instrumenter::Instrumenter;
-pub use pipeline::{ProductionSetup, ProfilingSession, SnapshotPolicy};
-pub use profile::{AllocationProfile, GenCall, ProfileParseError, PretenuredSite};
+pub use error::PipelineError;
+pub use faults::{FaultConfig, FaultInjector, FaultyDumper, InjectedFaults};
+pub use instrumenter::{InstrumentationStats, Instrumenter};
+pub use pipeline::{
+    ProductionSetup, ProfilingReport, ProfilingSession, RecoveryPolicy, SnapshotPolicy,
+};
+pub use profile::{
+    AllocationProfile, GenCall, PretenuredSite, ProfileError, ProfileParseError, ProfileValidation,
+    MAX_PROFILE_GEN,
+};
 pub use recorder::{AllocationRecords, Recorder, TraceId};
 pub use sttree::{Conflict, Resolution, SttTree};

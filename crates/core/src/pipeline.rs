@@ -1,10 +1,17 @@
 //! The two phases of POLM2 (paper §3.5): profiling and production.
 
-use polm2_runtime::{ClassTransformer, Jvm};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use polm2_metrics::{FaultCounters, SimDuration};
+use polm2_runtime::{ClassTransformer, Jvm, Program};
 use polm2_snapshot::{CriuDumper, HeapDumper, SnapshotSeries};
 
 use crate::analyzer::{AnalysisOutcome, Analyzer, AnalyzerConfig};
+use crate::error::PipelineError;
+use crate::faults::{FaultConfig, FaultInjector, FaultyDumper, InjectedFaults};
 use crate::instrumenter::{InstrumentationStats, Instrumenter};
+use crate::profile::ProfileValidation;
 use crate::recorder::Recorder;
 use crate::AllocationProfile;
 
@@ -24,6 +31,47 @@ impl Default for SnapshotPolicy {
     }
 }
 
+/// How the profiling session recovers from Dumper failures.
+///
+/// A failed capture is retried with exponentially growing backoff (the
+/// coordinator waiting out a busy safepoint), charged to the simulated clock
+/// so recovery costs real — simulated — time. When the retry budget runs
+/// out the snapshot is *skipped and counted*: profiling is best-effort by
+/// design, and a missing snapshot only makes objects look shorter-lived
+/// (the safe direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries after the first failed capture attempt.
+    pub max_snapshot_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub retry_backoff: SimDuration,
+    /// Abort the session with [`PipelineError::Snapshot`] instead of
+    /// skipping when the retry budget is exhausted.
+    pub fail_on_snapshot_loss: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_snapshot_retries: 2,
+            retry_backoff: SimDuration::from_millis(10),
+            fail_on_snapshot_loss: false,
+        }
+    }
+}
+
+/// Everything the profiling phase produced: the analysis, the snapshots it
+/// was based on, and the fault/recovery ledger.
+#[derive(Debug, Clone)]
+pub struct ProfilingReport {
+    /// The Analyzer's output (profile, lifetimes, conflicts).
+    pub outcome: AnalysisOutcome,
+    /// The snapshot series the analysis consumed (including the final one).
+    pub snapshots: SnapshotSeries,
+    /// Faults absorbed and recovery actions taken during the run.
+    pub counters: FaultCounters,
+}
+
 /// Drives the profiling phase: Recorder + Dumper + Analyzer.
 ///
 /// The workload driver calls [`after_op`](ProfilingSession::after_op) after
@@ -36,6 +84,9 @@ pub struct ProfilingSession {
     dumper: Box<dyn HeapDumper>,
     snapshots: SnapshotSeries,
     policy: SnapshotPolicy,
+    recovery: RecoveryPolicy,
+    counters: FaultCounters,
+    injector: Option<Rc<RefCell<FaultInjector>>>,
     cycles_at_last_snapshot: usize,
 }
 
@@ -45,6 +96,7 @@ impl std::fmt::Debug for ProfilingSession {
             .field("dumper", &self.dumper.name())
             .field("snapshots", &self.snapshots.len())
             .field("policy", &self.policy)
+            .field("recovery", &self.recovery)
             .finish_non_exhaustive()
     }
 }
@@ -62,8 +114,28 @@ impl ProfilingSession {
             dumper,
             snapshots: SnapshotSeries::new(),
             policy,
+            recovery: RecoveryPolicy::default(),
+            counters: FaultCounters::new(),
+            injector: None,
             cycles_at_last_snapshot: 0,
         }
+    }
+
+    /// Creates a session whose Dumper and Recorder streams suffer the
+    /// seeded faults of `faults` (chaos testing). With an inert config this
+    /// is behaviorally identical to [`new`](ProfilingSession::new).
+    pub fn with_faults(policy: SnapshotPolicy, faults: FaultConfig) -> Self {
+        let injector = Rc::new(RefCell::new(FaultInjector::new(faults)));
+        let dumper = FaultyDumper::new(Box::new(CriuDumper::new()), Rc::clone(&injector));
+        let mut session = ProfilingSession::with_dumper(policy, Box::new(dumper));
+        session.injector = Some(injector);
+        session
+    }
+
+    /// Replaces the recovery policy (chainable).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// The Recorder's load-time agent; install it in the profiling JVM.
@@ -78,20 +150,66 @@ impl ProfilingSession {
 
     /// Called after each workload operation: drains allocation events and
     /// takes a snapshot if a GC cycle completed since the last one.
-    pub fn after_op(&mut self, jvm: &mut Jvm) {
-        self.recorder.ingest(jvm.drain_alloc_events());
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Snapshot`] only when the recovery policy demands
+    /// aborting on snapshot loss; with the default policy faults are
+    /// absorbed into [`fault_counters`](ProfilingSession::fault_counters).
+    pub fn after_op(&mut self, jvm: &mut Jvm) -> Result<(), PipelineError> {
+        let mut events = jvm.drain_alloc_events();
+        if let Some(injector) = &self.injector {
+            injector.borrow_mut().mutate_events(&mut events);
+        }
+        self.counters.records_dropped_corrupt +=
+            self.recorder.ingest_checked(events, jvm.program());
         let cycles = jvm.gc_log().cycle_count();
         if cycles >= self.cycles_at_last_snapshot + self.policy.every_n_cycles as usize {
-            self.take_snapshot(jvm);
+            self.take_snapshot(jvm)?;
         }
+        Ok(())
     }
 
-    /// Takes a snapshot unconditionally (the end-of-run snapshot, or tests).
-    pub fn take_snapshot(&mut self, jvm: &mut Jvm) {
-        let now = jvm.now();
-        let snap = self.dumper.snapshot(jvm.heap_mut(), now);
-        self.snapshots.push(snap);
-        self.cycles_at_last_snapshot = jvm.gc_log().cycle_count();
+    /// Takes a snapshot unconditionally (the end-of-run snapshot, or tests),
+    /// retrying per the recovery policy. After the retry budget is spent the
+    /// snapshot is skipped and counted (or, with
+    /// [`RecoveryPolicy::fail_on_snapshot_loss`], the error is returned).
+    ///
+    /// # Errors
+    ///
+    /// See [`after_op`](ProfilingSession::after_op).
+    pub fn take_snapshot(&mut self, jvm: &mut Jvm) -> Result<(), PipelineError> {
+        let mut backoff = self.recovery.retry_backoff;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let now = jvm.now();
+            match self.dumper.snapshot(jvm.heap_mut(), now) {
+                Ok(snap) => {
+                    self.snapshots.push(snap);
+                    self.cycles_at_last_snapshot = jvm.gc_log().cycle_count();
+                    return Ok(());
+                }
+                Err(source) => {
+                    self.counters.snapshots_failed += 1;
+                    if attempts > self.recovery.max_snapshot_retries {
+                        self.counters.snapshots_lost += 1;
+                        // Move the watermark anyway: one lost snapshot must
+                        // not make every subsequent operation retry.
+                        self.cycles_at_last_snapshot = jvm.gc_log().cycle_count();
+                        if self.recovery.fail_on_snapshot_loss {
+                            return Err(PipelineError::Snapshot { attempts, source });
+                        }
+                        return Ok(());
+                    }
+                    self.counters.snapshot_retries += 1;
+                    // Wait out the failure on the simulated clock before
+                    // retrying; the budget doubles per attempt.
+                    jvm.advance_mutator(backoff);
+                    backoff = backoff * 2;
+                }
+            }
+        }
     }
 
     /// The snapshots taken so far.
@@ -104,12 +222,54 @@ impl ProfilingSession {
         self.recorder.records().total_records()
     }
 
-    /// Ends the profiling phase: final drain, final snapshot, analysis.
-    pub fn finish(mut self, jvm: &mut Jvm, config: &AnalyzerConfig) -> AnalysisOutcome {
-        self.recorder.ingest(jvm.drain_alloc_events());
-        self.take_snapshot(jvm);
-        let records = self.recorder.into_records();
-        Analyzer::new(*config).analyze(&records, &self.snapshots, jvm.program())
+    /// Faults absorbed and recovery actions taken so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Ground-truth injection tallies, if this session was built with
+    /// [`with_faults`](ProfilingSession::with_faults).
+    pub fn injected_faults(&self) -> Option<InjectedFaults> {
+        self.injector.as_ref().map(|i| i.borrow().injected())
+    }
+
+    /// Ends the profiling phase: final drain, final snapshot (unless the
+    /// last scheduled snapshot already covers the current GC cycle), then
+    /// analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Snapshot`] per the recovery policy (see
+    /// [`after_op`](ProfilingSession::after_op));
+    /// [`PipelineError::RecorderBusy`] if the profiling JVM still holding
+    /// the Recorder's agent is alive.
+    pub fn finish(
+        mut self,
+        jvm: &mut Jvm,
+        config: &AnalyzerConfig,
+    ) -> Result<ProfilingReport, PipelineError> {
+        let mut events = jvm.drain_alloc_events();
+        if let Some(injector) = &self.injector {
+            injector.borrow_mut().mutate_events(&mut events);
+        }
+        self.counters.records_dropped_corrupt +=
+            self.recorder.ingest_checked(events, jvm.program());
+        // End-of-run snapshot — but only if it adds information. When the
+        // last per-cycle snapshot already covered the current GC cycle, a
+        // second capture of the identical heap would double-count every
+        // live object's survival.
+        if self.snapshots.is_empty() || jvm.gc_log().cycle_count() > self.cycles_at_last_snapshot {
+            self.take_snapshot(jvm)?;
+        }
+        let records = self.recorder.into_records()?;
+        let outcome = Analyzer::new(*config).analyze(&records, &self.snapshots, jvm.program());
+        let mut counters = self.counters;
+        counters.traces_demoted += outcome.demoted_traces;
+        Ok(ProfilingReport {
+            outcome,
+            snapshots: self.snapshots,
+            counters,
+        })
     }
 }
 
@@ -127,7 +287,36 @@ pub struct ProductionSetup {
 impl ProductionSetup {
     /// Creates the production setup for a profile.
     pub fn new(profile: AllocationProfile) -> Self {
-        ProductionSetup { instrumenter: Instrumenter::new(profile) }
+        ProductionSetup {
+            instrumenter: Instrumenter::new(profile),
+        }
+    }
+
+    /// Creates a production setup that validates `profile` against the
+    /// program first: entries whose locations no longer exist (the
+    /// application changed since profiling, or the file was edited) are
+    /// skipped and reported via [`stale`](ProductionSetup::stale) instead of
+    /// being silently ignored at rewrite time.
+    pub fn checked(profile: &AllocationProfile, program: &Program) -> Self {
+        ProductionSetup {
+            instrumenter: Instrumenter::checked(profile, program),
+        }
+    }
+
+    /// Profile entries dropped as stale (empty for
+    /// [`new`](ProductionSetup::new)).
+    pub fn stale(&self) -> &ProfileValidation {
+        self.instrumenter.stale()
+    }
+
+    /// The stale skips as fault counters (for merging into a run's ledger).
+    pub fn fault_counters(&self) -> FaultCounters {
+        let stale = self.instrumenter.stale();
+        FaultCounters {
+            stale_sites_skipped: stale.stale_sites.len() as u64,
+            stale_gen_calls_skipped: stale.stale_gen_calls.len() as u64,
+            ..FaultCounters::new()
+        }
     }
 
     /// The Instrumenter's load-time agent; install it in the production JVM.
@@ -177,9 +366,11 @@ mod tests {
                         .push(Instr::call("Cell", "create", 10))
                         .push(Instr::native("insert", 11)),
                 )
-                .with_method(
-                    MethodDef::new("scratch").push(Instr::alloc("Tmp", SizeSpec::Fixed(512), 20)),
-                )
+                .with_method(MethodDef::new("scratch").push(Instr::alloc(
+                    "Tmp",
+                    SizeSpec::Fixed(512),
+                    20,
+                )))
                 .with_method(MethodDef::new("flush").push(Instr::native("flush", 30))),
         );
         p.add_class(ClassDef::new("Cell").with_method(
@@ -218,7 +409,7 @@ mod tests {
                     jvm.invoke(t, "Store", "scratch").unwrap();
                 }
                 if let Some(s) = session.as_deref_mut() {
-                    s.after_op(jvm);
+                    s.after_op(jvm).expect("after_op");
                 }
             }
             if batch % 3 == 2 {
@@ -238,9 +429,20 @@ mod tests {
         assert_eq!(session.instrumented_sites(), 2);
         drive(&mut jvm, Some(&mut session), 9);
         assert!(session.recorded_allocations() > 0);
-        assert!(session.snapshots().len() > 1, "GC cycles must trigger snapshots");
+        assert!(
+            session.snapshots().len() > 1,
+            "GC cycles must trigger snapshots"
+        );
 
-        let outcome = session.finish(&mut jvm, &AnalyzerConfig::default());
+        let report = session
+            .finish(&mut jvm, &AnalyzerConfig::default())
+            .unwrap();
+        assert!(
+            report.counters.is_clean(),
+            "fault-free run: {}",
+            report.counters
+        );
+        let outcome = report.outcome;
         // The cell site is pretenured; the scratch site is not.
         let cell = outcome
             .profile
@@ -263,7 +465,10 @@ mod tests {
             .build(workload_program())
             .unwrap();
         drive(&mut jvm, Some(&mut session), 9);
-        let outcome = session.finish(&mut jvm, &AnalyzerConfig::default());
+        let outcome = session
+            .finish(&mut jvm, &AnalyzerConfig::default())
+            .unwrap()
+            .outcome;
         assert!(!outcome.profile.is_empty());
 
         // Phase 2: production under NG2C + Instrumenter.
@@ -334,6 +539,150 @@ mod tests {
         drive(&mut jvm, Some(&mut s4), 3);
         let every_fourth = s4.snapshots().len();
 
-        assert!(every_fourth < every_cycle, "{every_fourth} !< {every_cycle}");
+        assert!(
+            every_fourth < every_cycle,
+            "{every_fourth} !< {every_cycle}"
+        );
+    }
+
+    /// A dumper whose first `fail_next` capture attempts fail.
+    struct FlakyDumper {
+        inner: CriuDumper,
+        fail_next: u32,
+    }
+
+    impl HeapDumper for FlakyDumper {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+
+        fn snapshot(
+            &mut self,
+            heap: &mut polm2_heap::Heap,
+            now: polm2_metrics::SimTime,
+        ) -> Result<polm2_snapshot::Snapshot, polm2_snapshot::SnapshotError> {
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                return Err(polm2_snapshot::SnapshotError {
+                    seq: self.inner.snapshots_taken(),
+                    reason: "dump coordinator down".to_string(),
+                });
+            }
+            self.inner.snapshot(heap, now)
+        }
+    }
+
+    fn boot(session: &ProfilingSession) -> Jvm {
+        Jvm::builder(RuntimeConfig::small())
+            .hooks(workload_hooks())
+            .transformer(session.recorder_agent())
+            .build(workload_program())
+            .unwrap()
+    }
+
+    #[test]
+    fn transient_snapshot_failures_are_retried_on_the_simulated_clock() {
+        let dumper = FlakyDumper {
+            inner: CriuDumper::new(),
+            fail_next: 2,
+        };
+        let mut session =
+            ProfilingSession::with_dumper(SnapshotPolicy::default(), Box::new(dumper));
+        let mut jvm = boot(&session);
+        let before = jvm.now();
+        session.take_snapshot(&mut jvm).unwrap();
+        assert_eq!(session.snapshots().len(), 1, "third attempt succeeds");
+        let counters = session.fault_counters();
+        assert_eq!(counters.snapshots_failed, 2);
+        assert_eq!(counters.snapshot_retries, 2);
+        assert_eq!(counters.snapshots_lost, 0);
+        // 10ms + 20ms of backoff were charged to the simulated clock.
+        assert!(jvm.now().saturating_since(before) >= SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn exhausted_retries_skip_and_count_by_default() {
+        let dumper = FlakyDumper {
+            inner: CriuDumper::new(),
+            fail_next: u32::MAX,
+        };
+        let mut session =
+            ProfilingSession::with_dumper(SnapshotPolicy::default(), Box::new(dumper));
+        let mut jvm = boot(&session);
+        session.take_snapshot(&mut jvm).unwrap();
+        assert_eq!(session.snapshots().len(), 0);
+        let counters = session.fault_counters();
+        assert_eq!(counters.snapshots_failed, 3, "initial attempt + 2 retries");
+        assert_eq!(counters.snapshots_lost, 1);
+    }
+
+    #[test]
+    fn strict_recovery_policy_surfaces_snapshot_loss_as_an_error() {
+        let dumper = FlakyDumper {
+            inner: CriuDumper::new(),
+            fail_next: u32::MAX,
+        };
+        let session = ProfilingSession::with_dumper(SnapshotPolicy::default(), Box::new(dumper))
+            .with_recovery(RecoveryPolicy {
+                fail_on_snapshot_loss: true,
+                ..RecoveryPolicy::default()
+            });
+        let mut session = session;
+        let mut jvm = boot(&session);
+        let err = session.take_snapshot(&mut jvm).unwrap_err();
+        match err {
+            PipelineError::Snapshot { attempts, source } => {
+                assert_eq!(attempts, 3);
+                assert!(source.reason.contains("down"));
+            }
+            other => panic!("expected Snapshot error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn finish_skips_redundant_end_of_run_snapshot() {
+        let mut session = ProfilingSession::new(SnapshotPolicy::default());
+        let mut jvm = boot(&session);
+        drive(&mut jvm, Some(&mut session), 9);
+        // Force a snapshot at the current cycle: finish must not add a
+        // second capture of the identical heap.
+        session.take_snapshot(&mut jvm).unwrap();
+        let taken = session.snapshots().len();
+        let report = session
+            .finish(&mut jvm, &AnalyzerConfig::default())
+            .unwrap();
+        assert_eq!(
+            report.snapshots.len(),
+            taken,
+            "no duplicate end-of-run snapshot"
+        );
+
+        // But a session that never snapshotted still gets its final one.
+        let session = ProfilingSession::new(SnapshotPolicy::default());
+        let mut jvm = boot(&session);
+        let report = session
+            .finish(&mut jvm, &AnalyzerConfig::default())
+            .unwrap();
+        assert_eq!(report.snapshots.len(), 1);
+    }
+
+    #[test]
+    fn checked_setup_reports_stale_profile_entries() {
+        let mut profile = AllocationProfile::new();
+        profile.add_site(crate::PretenuredSite {
+            loc: polm2_runtime::CodeLoc::new("Cell", "create", 5),
+            gen: GenId::new(2),
+            local: false,
+        });
+        profile.add_site(crate::PretenuredSite {
+            loc: polm2_runtime::CodeLoc::new("Deleted", "method", 1),
+            gen: GenId::new(2),
+            local: true,
+        });
+        let setup = ProductionSetup::checked(&profile, &workload_program());
+        assert_eq!(setup.stale().stale_sites.len(), 1);
+        assert_eq!(setup.fault_counters().stale_sites_skipped, 1);
+        assert_eq!(setup.profile().sites().len(), 1, "valid entry survives");
+        assert!(ProductionSetup::new(profile).stale().is_clean());
     }
 }

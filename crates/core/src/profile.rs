@@ -14,13 +14,27 @@
 //! * `site` — `@Gen`-annotate this allocation site; with `local`, also set
 //!   the target generation right at the site (non-conflicted, unhoisted).
 //! * `call` — wrap this call site in `setGeneration(g)` / restore.
+//!
+//! Lines starting with `#` are comments and are ignored (the CLI appends
+//! fault-counter footers this way). Generation numbers must lie in
+//! `1..=`[`MAX_PROFILE_GEN`]: 0 is the young default (a profile entry for it
+//! is meaningless) and an absurdly large number is a corruption tell — a
+//! production launch must not create thousands of generations because one
+//! byte flipped on disk.
 
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
 
 use polm2_heap::GenId;
-use polm2_runtime::CodeLoc;
+use polm2_runtime::{CodeLoc, Instr, Program};
+
+/// The largest generation number a serialized profile may reference.
+///
+/// Launch time creates every generation up to the profile's maximum
+/// ([`crate::ProductionSetup::prepare_generations`]), so this bounds the
+/// damage a corrupted profile file can do.
+pub const MAX_PROFILE_GEN: u32 = 64;
 
 /// An allocation site the Instrumenter must `@Gen`-annotate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,11 +69,78 @@ pub struct ProfileParseError {
 
 impl fmt::Display for ProfileParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "profile parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "profile parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl Error for ProfileParseError {}
+
+/// Failure to load a profile: either the file could not be read or its
+/// contents did not parse.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The contents were not a valid profile.
+    Parse(ProfileParseError),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Io(e) => write!(f, "cannot read profile: {e}"),
+            ProfileError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for ProfileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProfileError::Io(e) => Some(e),
+            ProfileError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ProfileError {
+    fn from(e: std::io::Error) -> Self {
+        ProfileError::Io(e)
+    }
+}
+
+impl From<ProfileParseError> for ProfileError {
+    fn from(e: ProfileParseError) -> Self {
+        ProfileError::Parse(e)
+    }
+}
+
+/// The stale entries [`AllocationProfile::validate`] found: profile entries
+/// whose locations no longer exist in the program (the application changed
+/// between profiling and production, or the file was hand-edited).
+///
+/// Stale entries are harmless to skip — the affected allocations simply fall
+/// back to the young generation, POLM2's safe default — but silently applying
+/// a half-matching profile hides that the profile needs regenerating, so the
+/// Instrumenter reports them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileValidation {
+    /// `site` entries with no matching allocation instruction.
+    pub stale_sites: Vec<PretenuredSite>,
+    /// `call` entries with no matching call instruction.
+    pub stale_gen_calls: Vec<GenCall>,
+}
+
+impl ProfileValidation {
+    /// True if every profile entry matched the program.
+    pub fn is_clean(&self) -> bool {
+        self.stale_sites.is_empty() && self.stale_gen_calls.is_empty()
+    }
+}
 
 /// A complete application allocation profile for one workload.
 ///
@@ -143,7 +224,10 @@ impl AllocationProfile {
 
     /// The highest generation number used (0 when empty).
     pub fn max_gen(&self) -> GenId {
-        self.generations_used().last().copied().unwrap_or(GenId::YOUNG)
+        self.generations_used()
+            .last()
+            .copied()
+            .unwrap_or(GenId::YOUNG)
     }
 
     /// True if the profile changes nothing.
@@ -164,12 +248,68 @@ impl AllocationProfile {
     ///
     /// # Errors
     ///
-    /// I/O errors and parse failures (reported with their line number).
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+    /// [`ProfileError::Io`] if the file cannot be read,
+    /// [`ProfileError::Parse`] (with the line number) if its contents are not
+    /// a valid profile.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ProfileError> {
         let text = std::fs::read_to_string(path)?;
-        text.parse().map_err(|e: ProfileParseError| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, e)
-        })
+        Ok(text.parse::<AllocationProfile>()?)
+    }
+
+    /// Checks every entry against `program`: a `site` entry must name an
+    /// allocation instruction and a `call` entry a call instruction that
+    /// actually exist at that location.
+    pub fn validate(&self, program: &Program) -> ProfileValidation {
+        let mut alloc_locs = std::collections::HashSet::new();
+        let mut call_locs = std::collections::HashSet::new();
+        program.visit_instrs(|class, method, instr| match instr {
+            Instr::Alloc { line, .. } => {
+                alloc_locs.insert(CodeLoc::new(&class.name, &method.name, *line));
+            }
+            Instr::Call { line, .. } => {
+                call_locs.insert(CodeLoc::new(&class.name, &method.name, *line));
+            }
+            _ => {}
+        });
+        ProfileValidation {
+            stale_sites: self
+                .sites
+                .iter()
+                .filter(|s| !alloc_locs.contains(&s.loc))
+                .cloned()
+                .collect(),
+            stale_gen_calls: self
+                .gen_calls
+                .iter()
+                .filter(|c| !call_locs.contains(&c.at))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Splits the profile into the part that matches `program` and the stale
+    /// remainder, so the Instrumenter can apply only entries that resolve
+    /// (see [`crate::Instrumenter::checked`]).
+    pub fn split_valid(&self, program: &Program) -> (AllocationProfile, ProfileValidation) {
+        let stale = self.validate(program);
+        if stale.is_clean() {
+            return (self.clone(), stale);
+        }
+        let valid = AllocationProfile {
+            sites: self
+                .sites
+                .iter()
+                .filter(|s| !stale.stale_sites.contains(s))
+                .cloned()
+                .collect(),
+            gen_calls: self
+                .gen_calls
+                .iter()
+                .filter(|c| !stale.stale_gen_calls.contains(c))
+                .cloned()
+                .collect(),
+        };
+        (valid, stale)
     }
 
     /// Looks up the pretenured-site entry at `loc`.
@@ -229,7 +369,10 @@ impl FromStr for AllocationProfile {
                 })
             }
             None => {
-                return Err(ProfileParseError { line: 1, message: "empty profile".to_string() })
+                return Err(ProfileParseError {
+                    line: 1,
+                    message: "empty profile".to_string(),
+                })
             }
         }
         let mut profile = AllocationProfile::new();
@@ -239,17 +382,29 @@ impl FromStr for AllocationProfile {
                 continue;
             }
             let parts: Vec<&str> = line.split_whitespace().collect();
-            let err = |message: String| ProfileParseError { line: i + 1, message };
+            let err = |message: String| ProfileParseError {
+                line: i + 1,
+                message,
+            };
+            let parse_gen = |g: &str| -> Result<GenId, ProfileParseError> {
+                let raw: u32 = g.parse().map_err(|_| err(format!("bad generation {g}")))?;
+                if raw == 0 || raw > MAX_PROFILE_GEN {
+                    return Err(err(format!(
+                        "generation {raw} out of range (must be 1..={MAX_PROFILE_GEN})"
+                    )));
+                }
+                Ok(GenId::new(raw))
+            };
             match parts.as_slice() {
                 ["site", class, method, line_no, "gen", g, rest @ ..] => {
                     let loc = CodeLoc::new(
                         *class,
                         *method,
-                        line_no.parse().map_err(|_| err(format!("bad line number {line_no}")))?,
+                        line_no
+                            .parse()
+                            .map_err(|_| err(format!("bad line number {line_no}")))?,
                     );
-                    let gen = GenId::new(
-                        g.parse().map_err(|_| err(format!("bad generation {g}")))?,
-                    );
+                    let gen = parse_gen(g)?;
                     let local = match rest {
                         [] => false,
                         ["local"] => true,
@@ -261,11 +416,11 @@ impl FromStr for AllocationProfile {
                     let at = CodeLoc::new(
                         *class,
                         *method,
-                        line_no.parse().map_err(|_| err(format!("bad line number {line_no}")))?,
+                        line_no
+                            .parse()
+                            .map_err(|_| err(format!("bad line number {line_no}")))?,
                     );
-                    let gen = GenId::new(
-                        g.parse().map_err(|_| err(format!("bad generation {g}")))?,
-                    );
+                    let gen = parse_gen(g)?;
                     profile.add_gen_call(GenCall { at, gen });
                 }
                 _ => return Err(err(format!("unrecognized directive: {line}"))),
@@ -291,7 +446,10 @@ mod tests {
             gen: GenId::new(3),
             local: true,
         });
-        p.add_gen_call(GenCall { at: CodeLoc::new("Store", "put", 10), gen: GenId::new(2) });
+        p.add_gen_call(GenCall {
+            at: CodeLoc::new("Store", "put", 10),
+            gen: GenId::new(2),
+        });
         p
     }
 
@@ -333,11 +491,21 @@ mod tests {
     fn parse_rejects_bad_input() {
         assert!("".parse::<AllocationProfile>().is_err());
         assert!("wrong header".parse::<AllocationProfile>().is_err());
-        assert!("polm2-profile v1\nsite A b x gen 2".parse::<AllocationProfile>().is_err());
-        assert!("polm2-profile v1\nsite A b 1 gen x".parse::<AllocationProfile>().is_err());
-        assert!("polm2-profile v1\nfrob A b 1".parse::<AllocationProfile>().is_err());
-        assert!("polm2-profile v1\nsite A b 1 gen 2 weird".parse::<AllocationProfile>().is_err());
-        let err = "polm2-profile v1\nfrob".parse::<AllocationProfile>().unwrap_err();
+        assert!("polm2-profile v1\nsite A b x gen 2"
+            .parse::<AllocationProfile>()
+            .is_err());
+        assert!("polm2-profile v1\nsite A b 1 gen x"
+            .parse::<AllocationProfile>()
+            .is_err());
+        assert!("polm2-profile v1\nfrob A b 1"
+            .parse::<AllocationProfile>()
+            .is_err());
+        assert!("polm2-profile v1\nsite A b 1 gen 2 weird"
+            .parse::<AllocationProfile>()
+            .is_err());
+        let err = "polm2-profile v1\nfrob"
+            .parse::<AllocationProfile>()
+            .unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.to_string().contains("line 2"));
     }
@@ -358,5 +526,124 @@ mod tests {
         let text = "polm2-profile v1\n\n# a comment\nsite A b 1 gen 2\n";
         let p: AllocationProfile = text.parse().unwrap();
         assert_eq!(p.sites().len(), 1);
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error_not_a_panic() {
+        // A partially-written file: the last line was cut mid-directive.
+        let text = "polm2-profile v1\nsite A b 1 gen 2\nsite A b 2 ge";
+        let err = text.parse::<AllocationProfile>().unwrap_err();
+        assert_eq!(err.line, 3);
+        // Truncation inside the header is also typed.
+        assert!("polm2-prof".parse::<AllocationProfile>().is_err());
+    }
+
+    #[test]
+    fn garbage_lines_are_typed_errors() {
+        for garbage in [
+            "polm2-profile v1\n\u{0}\u{1}\u{2}",
+            "polm2-profile v1\nsite A b 1 gen 2\n!!! not a directive",
+            "polm2-profile v1\ncall A b one gen 2",
+            "polm2-profile v1\nsite A b 18446744073709551616 gen 2",
+        ] {
+            assert!(
+                garbage.parse::<AllocationProfile>().is_err(),
+                "{garbage:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_lines_collapse_to_one_entry() {
+        let text = "polm2-profile v1\nsite A b 1 gen 2\nsite A b 1 gen 2\ncall C d 3 gen 2\ncall C d 3 gen 2\n";
+        let p: AllocationProfile = text.parse().unwrap();
+        assert_eq!(p.sites().len(), 1);
+        assert_eq!(p.gen_calls().len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_generations_are_rejected() {
+        assert!("polm2-profile v1\nsite A b 1 gen 0"
+            .parse::<AllocationProfile>()
+            .is_err());
+        assert!("polm2-profile v1\nsite A b 1 gen 65"
+            .parse::<AllocationProfile>()
+            .is_err());
+        assert!("polm2-profile v1\ncall A b 1 gen 4000000000"
+            .parse::<AllocationProfile>()
+            .is_err());
+        let err = "polm2-profile v1\nsite A b 1 gen 9999"
+            .parse::<AllocationProfile>()
+            .unwrap_err();
+        assert!(err.message.contains("out of range"), "{}", err.message);
+        // The boundary itself is fine.
+        let p: AllocationProfile = format!("polm2-profile v1\nsite A b 1 gen {MAX_PROFILE_GEN}")
+            .parse()
+            .unwrap();
+        assert_eq!(p.max_gen(), GenId::new(MAX_PROFILE_GEN));
+    }
+
+    #[test]
+    fn validate_reports_stale_entries_and_split_strips_them() {
+        use polm2_runtime::{ClassDef, Instr, MethodDef, SizeSpec};
+        let mut program = Program::new();
+        program.add_class(ClassDef::new("Cell").with_method(
+            MethodDef::new("create").push(Instr::alloc("Cell", SizeSpec::Fixed(64), 5)),
+        ));
+        program.add_class(
+            ClassDef::new("Store")
+                .with_method(MethodDef::new("put").push(Instr::call("Cell", "create", 10))),
+        );
+
+        let mut p = AllocationProfile::new();
+        p.add_site(PretenuredSite {
+            loc: CodeLoc::new("Cell", "create", 5),
+            gen: GenId::new(2),
+            local: false,
+        });
+        p.add_site(PretenuredSite {
+            loc: CodeLoc::new("Gone", "away", 1),
+            gen: GenId::new(2),
+            local: true,
+        });
+        p.add_gen_call(GenCall {
+            at: CodeLoc::new("Store", "put", 10),
+            gen: GenId::new(2),
+        });
+        p.add_gen_call(GenCall {
+            at: CodeLoc::new("Store", "put", 99),
+            gen: GenId::new(2),
+        });
+
+        let stale = p.validate(&program);
+        assert_eq!(stale.stale_sites.len(), 1);
+        assert_eq!(stale.stale_sites[0].loc, CodeLoc::new("Gone", "away", 1));
+        assert_eq!(stale.stale_gen_calls.len(), 1);
+        assert_eq!(
+            stale.stale_gen_calls[0].at,
+            CodeLoc::new("Store", "put", 99)
+        );
+        assert!(!stale.is_clean());
+
+        let (valid, stale2) = p.split_valid(&program);
+        assert_eq!(stale2, stale);
+        assert_eq!(valid.sites().len(), 1);
+        assert_eq!(valid.gen_calls().len(), 1);
+        assert!(valid.validate(&program).is_clean());
+    }
+
+    #[test]
+    fn load_distinguishes_io_from_parse_failures() {
+        assert!(matches!(
+            AllocationProfile::load("/nonexistent/path.profile"),
+            Err(ProfileError::Io(_))
+        ));
+        let path = std::env::temp_dir().join("polm2_profile_corrupt.profile");
+        std::fs::write(&path, "polm2-profile v1\nsite A b 1 gen 9999\n").unwrap();
+        assert!(matches!(
+            AllocationProfile::load(&path),
+            Err(ProfileError::Parse(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -6,6 +6,8 @@ use std::rc::Rc;
 use polm2_heap::IdentityHash;
 use polm2_runtime::{ClassDef, ClassTransformer, CodeLoc, Instr, LoadedProgram, TraceFrame};
 
+use crate::error::PipelineError;
+
 /// Identifies one unique allocation stack trace.
 ///
 /// The paper's Recorder keeps a table of stack traces in memory and streams
@@ -82,7 +84,10 @@ impl AllocationRecords {
     /// Resolves a trace to human-readable locations ("flushing the stack
     /// traces to disk", done once per trace at the end of profiling).
     pub fn resolve_trace(&self, id: TraceId, program: &LoadedProgram) -> Vec<CodeLoc> {
-        self.trace(id).iter().map(|&f| program.code_loc(f)).collect()
+        self.trace(id)
+            .iter()
+            .map(|&f| program.code_loc(f))
+            .collect()
     }
 }
 
@@ -107,15 +112,44 @@ impl Recorder {
     /// allocation instruction, exactly as the paper's Recorder rewrites
     /// bytecode with ASM (§4.1).
     pub fn agent(&self) -> Box<dyn ClassTransformer> {
-        Box::new(RecorderAgent { instrumented_sites: Rc::clone(&self.instrumented_sites) })
+        Box::new(RecorderAgent {
+            instrumented_sites: Rc::clone(&self.instrumented_sites),
+        })
     }
 
     /// Ingests allocation events drained from the runtime.
+    ///
+    /// Trusts the events structurally — use
+    /// [`ingest_checked`](Recorder::ingest_checked) for events that may have
+    /// crossed a lossy boundary.
     pub fn ingest(&mut self, events: Vec<polm2_runtime::AllocEvent>) {
         let mut records = self.records.borrow_mut();
         for event in events {
             records.record(event.trace, event.hash);
         }
+    }
+
+    /// Ingests events, dropping structurally corrupt ones: an event with an
+    /// empty trace or a frame that does not resolve in `program` cannot be
+    /// attributed to any allocation path, so recording it would poison the
+    /// trace table. Returns the number of events dropped.
+    pub fn ingest_checked(
+        &mut self,
+        events: Vec<polm2_runtime::AllocEvent>,
+        program: &LoadedProgram,
+    ) -> u64 {
+        let mut records = self.records.borrow_mut();
+        let mut dropped = 0;
+        for event in events {
+            let corrupt =
+                event.trace.is_empty() || event.trace.iter().any(|&f| !program.frame_is_valid(f));
+            if corrupt {
+                dropped += 1;
+                continue;
+            }
+            records.record(event.trace, event.hash);
+        }
+        dropped
     }
 
     /// Number of allocation sites the agent instrumented at load time.
@@ -131,12 +165,14 @@ impl Recorder {
     /// Extracts the records, consuming the recorder ("flush at the end of
     /// the profiling run", §3.2).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the recorder's agent is still installed in a live runtime
-    /// holding a second reference.
-    pub fn into_records(self) -> AllocationRecords {
-        Rc::try_unwrap(self.records).expect("recorder agent still installed").into_inner()
+    /// [`PipelineError::RecorderBusy`] if the recorder's agent is still
+    /// installed in a live runtime holding a second reference.
+    pub fn into_records(self) -> Result<AllocationRecords, PipelineError> {
+        Rc::try_unwrap(self.records)
+            .map(RefCell::into_inner)
+            .map_err(|_| PipelineError::RecorderBusy)
     }
 }
 
@@ -162,7 +198,11 @@ fn instrument_block(block: &mut Vec<Instr>, count: &mut u64) {
     let mut out = Vec::with_capacity(block.len());
     for mut instr in block.drain(..) {
         match &mut instr {
-            Instr::Branch { then_block, else_block, .. } => {
+            Instr::Branch {
+                then_block,
+                else_block,
+                ..
+            } => {
                 instrument_block(then_block, count);
                 instrument_block(else_block, count);
                 out.push(instr);
@@ -190,7 +230,11 @@ mod tests {
     use polm2_runtime::{MethodDef, Program, SizeSpec};
 
     fn frame(line: u32) -> TraceFrame {
-        TraceFrame { class_idx: 0, method_idx: 0, line }
+        TraceFrame {
+            class_idx: 0,
+            method_idx: 0,
+            line,
+        }
     }
 
     #[test]
@@ -258,8 +302,76 @@ mod tests {
             site: polm2_heap::SiteId::new(0),
             at: polm2_metrics::SimTime::ZERO,
         }]);
-        let records = recorder.into_records();
+        let records = recorder.into_records().unwrap();
         assert_eq!(records.total_records(), 1);
         assert_eq!(records.trace_count(), 1);
+    }
+
+    #[test]
+    fn into_records_reports_busy_instead_of_panicking() {
+        let recorder = Recorder::new();
+        let second_ref = Rc::clone(&recorder.records);
+        assert!(matches!(
+            recorder.into_records(),
+            Err(PipelineError::RecorderBusy)
+        ));
+        drop(second_ref);
+    }
+
+    #[test]
+    fn ingest_checked_drops_corrupt_events_and_counts_them() {
+        use polm2_heap::{Heap, HeapConfig};
+        use polm2_runtime::Loader;
+        let mut program = Program::new();
+        program.add_class(
+            ClassDef::new("A").with_method(MethodDef::new("m").push(Instr::alloc(
+                "X",
+                SizeSpec::Fixed(8),
+                1,
+            ))),
+        );
+        let mut heap = Heap::new(HeapConfig::small());
+        let loaded = Loader::load(program, &mut [], &mut heap).unwrap();
+
+        let ev = |trace: Vec<TraceFrame>, i: u64| polm2_runtime::AllocEvent {
+            trace,
+            object: ObjectId::new(i),
+            hash: IdentityHash::of(ObjectId::new(i)),
+            site: polm2_heap::SiteId::new(0),
+            at: polm2_metrics::SimTime::ZERO,
+        };
+        let mut recorder = Recorder::new();
+        let dropped = recorder.ingest_checked(
+            vec![
+                ev(
+                    vec![TraceFrame {
+                        class_idx: 0,
+                        method_idx: 0,
+                        line: 1,
+                    }],
+                    1,
+                ),
+                ev(vec![], 2),
+                ev(
+                    vec![TraceFrame {
+                        class_idx: u16::MAX,
+                        method_idx: 0,
+                        line: 1,
+                    }],
+                    3,
+                ),
+                ev(
+                    vec![TraceFrame {
+                        class_idx: 0,
+                        method_idx: u16::MAX,
+                        line: 1,
+                    }],
+                    4,
+                ),
+            ],
+            &loaded,
+        );
+        assert_eq!(dropped, 3);
+        assert_eq!(recorder.records().total_records(), 1);
     }
 }

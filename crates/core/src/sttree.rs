@@ -151,7 +151,12 @@ impl SttTree {
 
     fn push_node(&mut self, loc: CodeLoc, parent: Option<usize>) -> usize {
         let idx = self.nodes.len();
-        self.nodes.push(Node { loc, parent, children: Vec::new(), leaf_gen: None });
+        self.nodes.push(Node {
+            loc,
+            parent,
+            children: Vec::new(),
+            leaf_gen: None,
+        });
         idx
     }
 
@@ -171,7 +176,11 @@ impl SttTree {
             .iter()
             .enumerate()
             .filter_map(|(idx, n)| {
-                n.leaf_gen.map(|gen| LeafView { idx, loc: n.loc.clone(), gen })
+                n.leaf_gen.map(|gen| LeafView {
+                    idx,
+                    loc: n.loc.clone(),
+                    gen,
+                })
             })
             .collect()
     }
@@ -188,13 +197,18 @@ impl SttTree {
         let mut conflicts: Vec<Conflict> = groups
             .into_iter()
             .filter(|(_, members)| {
-                let mut gens: Vec<GenId> =
-                    members.iter().map(|&m| self.nodes[m].leaf_gen.expect("leaf")).collect();
+                let mut gens: Vec<GenId> = members
+                    .iter()
+                    .map(|&m| self.nodes[m].leaf_gen.expect("leaf"))
+                    .collect();
                 gens.sort_unstable();
                 gens.dedup();
                 members.len() > 1 && gens.len() > 1
             })
-            .map(|(loc, members)| Conflict { loc: loc.clone(), members })
+            .map(|(loc, members)| Conflict {
+                loc: loc.clone(),
+                members,
+            })
             .collect();
         conflicts.sort_by(|a, b| a.loc.cmp(&b.loc));
         conflicts
@@ -232,7 +246,9 @@ impl SttTree {
             for (member, cursor) in conflict.members.iter().zip(cursors) {
                 out.push(Resolution {
                     leaf: conflict.loc.clone(),
-                    gen: self.nodes[*member].leaf_gen.expect("conflict member is a leaf"),
+                    gen: self.nodes[*member]
+                        .leaf_gen
+                        .expect("conflict member is a leaf"),
                     at: self.nodes[cursor].loc.clone(),
                 });
             }
@@ -259,7 +275,9 @@ impl SttTree {
         leaf_idx: usize,
         blocking_locs: &std::collections::HashSet<CodeLoc>,
     ) -> (CodeLoc, bool) {
-        let gen = self.nodes[leaf_idx].leaf_gen.expect("hoist_point needs a leaf");
+        let gen = self.nodes[leaf_idx]
+            .leaf_gen
+            .expect("hoist_point needs a leaf");
         let mut best = leaf_idx;
         let mut cursor = leaf_idx;
         while let Some(parent) = self.nodes[cursor].parent {
@@ -313,11 +331,35 @@ mod tests {
         let mut t = SttTree::new();
         let d = loc("methodD", 4);
         // methodB line 21 path (gen 2).
-        t.insert_path(&[loc("methodA", 34), loc("methodB", 21), loc("methodC", 8), d.clone()], GenId::new(2));
+        t.insert_path(
+            &[
+                loc("methodA", 34),
+                loc("methodB", 21),
+                loc("methodC", 8),
+                d.clone(),
+            ],
+            GenId::new(2),
+        );
         // methodB line 26 path (gen 3).
-        t.insert_path(&[loc("methodA", 34), loc("methodB", 26), loc("methodC", 8), d.clone()], GenId::new(3));
+        t.insert_path(
+            &[
+                loc("methodA", 34),
+                loc("methodB", 26),
+                loc("methodC", 8),
+                d.clone(),
+            ],
+            GenId::new(3),
+        );
         // The tmp allocation inside methodC's if (gen 1), via line 21 only.
-        t.insert_path(&[loc("methodA", 34), loc("methodB", 21), loc("methodC", 10), d.clone()], GenId::new(1));
+        t.insert_path(
+            &[
+                loc("methodA", 34),
+                loc("methodB", 21),
+                loc("methodC", 10),
+                d.clone(),
+            ],
+            GenId::new(1),
+        );
         t
     }
 

@@ -13,12 +13,18 @@ fn arb_loc() -> impl Strategy<Value = CodeLoc> {
 }
 
 fn arb_site() -> impl Strategy<Value = PretenuredSite> {
-    (arb_loc(), 1u32..6, any::<bool>())
-        .prop_map(|(loc, gen, local)| PretenuredSite { loc, gen: GenId::new(gen), local })
+    (arb_loc(), 1u32..6, any::<bool>()).prop_map(|(loc, gen, local)| PretenuredSite {
+        loc,
+        gen: GenId::new(gen),
+        local,
+    })
 }
 
 fn arb_call() -> impl Strategy<Value = GenCall> {
-    (arb_loc(), 1u32..6).prop_map(|(at, gen)| GenCall { at, gen: GenId::new(gen) })
+    (arb_loc(), 1u32..6).prop_map(|(at, gen)| GenCall {
+        at,
+        gen: GenId::new(gen),
+    })
 }
 
 proptest! {

@@ -44,7 +44,12 @@ impl C4Collector {
     /// Panics if `config` fails [`GcConfig::validate`].
     pub fn new(config: GcConfig) -> Self {
         config.validate().expect("invalid GC configuration");
-        C4Collector { config, old: None, barrier_permille: 280, max_phase_pause_us: 8_000 }
+        C4Collector {
+            config,
+            old: None,
+            barrier_permille: 280,
+            max_phase_pause_us: 8_000,
+        }
     }
 
     /// Overrides the barrier tax (for ablation benches).
@@ -86,7 +91,11 @@ impl C4Collector {
         full: bool,
     ) -> Result<Vec<PauseEvent>, GcError> {
         let reclaim = full || over_mixed_trigger(heap, self.config.mixed_trigger_fraction);
-        let threshold = if full { 0 } else { self.config.tenure_threshold };
+        let threshold = if full {
+            0
+        } else {
+            self.config.tenure_threshold
+        };
         let (young, olds) = if reclaim {
             let cycle = MarkCycle::run(heap, roots);
             let young = evacuate_young(
@@ -132,7 +141,10 @@ impl Collector for C4Collector {
         let mut pauses = Vec::new();
         // Collect pre-emptively under pool pressure (see G1Collector::alloc).
         if pool_pressure(heap) {
-            pauses.extend(self.cycle(heap, roots, true).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+            pauses.extend(
+                self.cycle(heap, roots, true)
+                    .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+            );
         }
         match heap.allocate(req.class, req.size, req.site, Heap::YOUNG_SPACE) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
@@ -140,16 +152,24 @@ impl Collector for C4Collector {
             Err(e) => return Err(e.into()),
         }
         let full = pool_pressure(heap);
-        pauses.extend(self.cycle(heap, roots, full).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+        pauses.extend(
+            self.cycle(heap, roots, full)
+                .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+        );
         match heap.allocate(req.class, req.size, req.site, Heap::YOUNG_SPACE) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
             Err(HeapError::SpaceFull { .. }) | Err(HeapError::OutOfRegions { .. }) => {}
             Err(e) => return Err(e.into()),
         }
-        pauses.extend(self.cycle(heap, roots, true).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+        pauses.extend(
+            self.cycle(heap, roots, true)
+                .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+        );
         match heap.allocate(req.class, req.size, req.site, Heap::YOUNG_SPACE) {
             Ok(object) => Ok(AllocOutcome { object, pauses }),
-            Err(_) => Err(GcError::OutOfMemory { requested: u64::from(req.size) }),
+            Err(_) => Err(GcError::OutOfMemory {
+                requested: u64::from(req.size),
+            }),
         }
     }
 
@@ -220,7 +240,10 @@ mod tests {
     fn barrier_tax_and_memory_reservation() {
         let (heap, gc) = setup();
         assert_eq!(gc.mutator_overhead_permille(), 280);
-        assert_eq!(gc.reported_committed_bytes(&heap), heap.config().total_bytes);
+        assert_eq!(
+            gc.reported_committed_bytes(&heap),
+            heap.config().total_bytes
+        );
         let tuned = C4Collector::new(GcConfig::default()).with_barrier_permille(100);
         assert_eq!(tuned.mutator_overhead_permille(), 100);
     }

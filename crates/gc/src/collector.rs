@@ -206,8 +206,10 @@ pub(crate) fn evacuate_young(
     // the write barrier never saw; remember them now (the promotion buffer
     // of a real generational collector).
     for obj in promoted {
-        let children: Vec<ObjectId> =
-            heap.object(obj).map(|r| r.refs().to_vec()).unwrap_or_default();
+        let children: Vec<ObjectId> = heap
+            .object(obj)
+            .map(|r| r.refs().to_vec())
+            .unwrap_or_default();
         for child in children {
             heap.remember_if_young(child);
         }
@@ -237,7 +239,11 @@ impl MarkCycle {
     pub(crate) fn run(heap: &mut Heap, roots: &SafepointRoots<'_>) -> MarkCycle {
         let watermark = heap.stats().allocated_objects;
         let live = heap.mark_live(roots.stack_roots());
-        MarkCycle { live, watermark, uses: 0 }
+        MarkCycle {
+            live,
+            watermark,
+            uses: 0,
+        }
     }
 
     /// Liveness answer for sweep/compact decisions: objects born after the
@@ -395,8 +401,12 @@ mod tests {
         let mut heap = Heap::new(HeapConfig::small());
         let old = heap.create_space(GenId::new(1), None);
         let class = heap.classes_mut().intern("T");
-        let keep = heap.allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
-        let dead = heap.allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+        let keep = heap
+            .allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE)
+            .unwrap();
+        let dead = heap
+            .allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE)
+            .unwrap();
         let slot = heap.roots_mut().create_slot("r");
         heap.roots_mut().push(slot, keep);
         let live = heap.mark_live(&[]);
@@ -414,7 +424,9 @@ mod tests {
         let mut heap = Heap::new(HeapConfig::small());
         let old = heap.create_space(GenId::new(1), None);
         let class = heap.classes_mut().intern("T");
-        let obj = heap.allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+        let obj = heap
+            .allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE)
+            .unwrap();
         let slot = heap.roots_mut().create_slot("r");
         heap.roots_mut().push(slot, obj);
         // Age out over repeated young collections.
@@ -443,7 +455,10 @@ mod tests {
         let work = reclaim_spaces(&mut heap, &cycle, &[old], 0.75, u32::MAX).unwrap();
         assert_eq!(work.swept_objects, 32);
         assert!(work.freed_regions >= 1);
-        assert_eq!(work.compacted_bytes, 0, "whole-region death needs no copying");
+        assert_eq!(
+            work.compacted_bytes, 0,
+            "whole-region death needs no copying"
+        );
         heap.check_invariants();
     }
 
@@ -493,8 +508,12 @@ mod tests {
         let mut heap = Heap::new(HeapConfig::small());
         let old = heap.create_space(GenId::new(1), None);
         let class = heap.classes_mut().intern("T");
-        let parent = heap.allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
-        let child = heap.allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+        let parent = heap
+            .allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE)
+            .unwrap();
+        let child = heap
+            .allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE)
+            .unwrap();
         heap.add_ref(parent, child).unwrap();
         let slot = heap.roots_mut().create_slot("r");
         heap.roots_mut().push(slot, parent);
@@ -509,7 +528,10 @@ mod tests {
         let live = heap.mark_live_young(&[]);
         evacuate_young(&mut heap, &live, 3, old, 64).unwrap();
         assert!(heap.object(parent).is_some());
-        assert!(heap.object(child).is_some(), "child lost: promotion buffer broken");
+        assert!(
+            heap.object(child).is_some(),
+            "child lost: promotion buffer broken"
+        );
         heap.check_invariants();
     }
 
@@ -523,7 +545,9 @@ mod tests {
         // of the cohort must be promoted even though it is far below the
         // tenuring threshold.
         for _ in 0..128 {
-            let obj = heap.allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+            let obj = heap
+                .allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE)
+                .unwrap();
             heap.roots_mut().push(slot, obj);
         }
         let live = heap.mark_live(&[]);
@@ -531,7 +555,10 @@ mod tests {
         let work = evacuate_young(&mut heap, &live, 15, old, cap).unwrap();
         assert!(work.copied_bytes <= cap, "survivor space respected");
         assert_eq!(work.copied_bytes + work.promoted_bytes, 512 << 10);
-        assert!(work.promoted_bytes >= (384 << 10), "overflow promoted en masse");
+        assert!(
+            work.promoted_bytes >= (384 << 10),
+            "overflow promoted en masse"
+        );
         heap.check_invariants();
     }
 

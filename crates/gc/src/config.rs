@@ -86,15 +86,30 @@ mod tests {
 
     #[test]
     fn invalid_fractions_rejected() {
-        let c = GcConfig { mixed_trigger_fraction: 1.5, ..GcConfig::default() };
+        let c = GcConfig {
+            mixed_trigger_fraction: 1.5,
+            ..GcConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = GcConfig { compact_live_fraction: -0.1, ..GcConfig::default() };
+        let c = GcConfig {
+            compact_live_fraction: -0.1,
+            ..GcConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = GcConfig { max_compact_regions_per_pause: 0, ..GcConfig::default() };
+        let c = GcConfig {
+            max_compact_regions_per_pause: 0,
+            ..GcConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = GcConfig { survivor_ratio: 0, ..GcConfig::default() };
+        let c = GcConfig {
+            survivor_ratio: 0,
+            ..GcConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = GcConfig { mark_cycle_uses: 0, ..GcConfig::default() };
+        let c = GcConfig {
+            mark_cycle_uses: 0,
+            ..GcConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

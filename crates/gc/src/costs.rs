@@ -138,8 +138,14 @@ mod tests {
     #[test]
     fn costs_scale_linearly_with_bytes() {
         let model = CostModel::default();
-        let one = model.pause(&GcWork { copied_bytes: 1 << 20, ..GcWork::default() });
-        let two = model.pause(&GcWork { copied_bytes: 2 << 20, ..GcWork::default() });
+        let one = model.pause(&GcWork {
+            copied_bytes: 1 << 20,
+            ..GcWork::default()
+        });
+        let two = model.pause(&GcWork {
+            copied_bytes: 2 << 20,
+            ..GcWork::default()
+        });
         let base = SimDuration::from_micros(model.safepoint_us);
         assert_eq!((two - base).as_micros(), 2 * (one - base).as_micros());
     }
@@ -147,8 +153,14 @@ mod tests {
     #[test]
     fn promotion_costs_more_than_copy() {
         let model = CostModel::default();
-        let copy = model.pause(&GcWork { copied_bytes: 8 << 20, ..GcWork::default() });
-        let promote = model.pause(&GcWork { promoted_bytes: 8 << 20, ..GcWork::default() });
+        let copy = model.pause(&GcWork {
+            copied_bytes: 8 << 20,
+            ..GcWork::default()
+        });
+        let promote = model.pause(&GcWork {
+            promoted_bytes: 8 << 20,
+            ..GcWork::default()
+        });
         assert!(promote > copy);
     }
 
@@ -157,8 +169,14 @@ mod tests {
         let model = CostModel::default();
         // Releasing 100 dead regions must be far cheaper than compacting
         // the same 100 MiB.
-        let free = model.pause(&GcWork { freed_regions: 100, ..GcWork::default() });
-        let compact = model.pause(&GcWork { compacted_bytes: 100 << 20, ..GcWork::default() });
+        let free = model.pause(&GcWork {
+            freed_regions: 100,
+            ..GcWork::default()
+        });
+        let compact = model.pause(&GcWork {
+            compacted_bytes: 100 << 20,
+            ..GcWork::default()
+        });
         assert!(free.as_micros() * 50 < compact.as_micros());
     }
 

@@ -28,7 +28,10 @@ impl fmt::Display for GcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GcError::OutOfMemory { requested } => {
-                write!(f, "out of memory allocating {requested} bytes after full collection")
+                write!(
+                    f,
+                    "out of memory allocating {requested} bytes after full collection"
+                )
             }
             GcError::Heap(e) => write!(f, "heap operation failed: {e}"),
             GcError::UnknownGeneration { gen } => write!(f, "generation {gen} was never created"),
@@ -60,7 +63,9 @@ mod tests {
     fn display_and_source() {
         let e = GcError::OutOfMemory { requested: 64 };
         assert!(e.to_string().contains("64 bytes"));
-        let e = GcError::from(HeapError::NoSuchSpace { space: SpaceId::new(3) });
+        let e = GcError::from(HeapError::NoSuchSpace {
+            space: SpaceId::new(3),
+        });
         assert!(e.to_string().contains("space#3"));
         assert!(Error::source(&e).is_some());
         let e = GcError::UnknownGeneration { gen: 9 };

@@ -112,14 +112,23 @@ impl GcLog {
     /// Pause histogram over events at or after `since` (the paper ignores
     /// the first five minutes of every run).
     pub fn pause_histogram(&self, since: SimTime) -> PauseHistogram {
-        self.events.iter().filter(|e| e.at >= since).map(|e| e.pause).collect()
+        self.events
+            .iter()
+            .filter(|e| e.at >= since)
+            .map(|e| e.pause)
+            .collect()
     }
 
     /// Duration-interval histogram over events at or after `since`
     /// (Figure 6).
     pub fn interval_histogram(&self, since: SimTime) -> IntervalHistogram {
         let mut h = IntervalHistogram::paper_default();
-        h.extend(self.events.iter().filter(|e| e.at >= since).map(|e| e.pause));
+        h.extend(
+            self.events
+                .iter()
+                .filter(|e| e.at >= since)
+                .map(|e| e.pause),
+        );
         h
     }
 
@@ -130,7 +139,9 @@ impl GcLog {
 
     /// Aggregate work across all events.
     pub fn total_work(&self) -> GcWork {
-        self.events.iter().fold(GcWork::default(), |acc, e| acc.merged(e.work))
+        self.events
+            .iter()
+            .fold(GcWork::default(), |acc, e| acc.merged(e.work))
     }
 }
 
@@ -143,7 +154,10 @@ mod tests {
             at: SimTime::from_secs(at_s),
             kind,
             pause: SimDuration::from_millis(ms),
-            work: GcWork { copied_bytes: ms, ..GcWork::default() },
+            work: GcWork {
+                copied_bytes: ms,
+                ..GcWork::default()
+            },
         }
     }
 

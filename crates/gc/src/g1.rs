@@ -4,8 +4,7 @@ use polm2_heap::{GenId, Heap, HeapError, SpaceId};
 
 use crate::collector::{
     ensure_mark, evacuate_young, oom_if_exhausted, over_mixed_trigger, pool_pressure,
-    reclaim_spaces, survivor_cap, AllocOutcome, AllocRequest, Collector, MarkCycle,
-    SafepointRoots,
+    reclaim_spaces, survivor_cap, AllocOutcome, AllocRequest, Collector, MarkCycle, SafepointRoots,
 };
 use crate::{GcConfig, GcError, GcKind, GcWork, PauseEvent};
 
@@ -36,7 +35,11 @@ impl G1Collector {
     /// Panics if `config` fails [`GcConfig::validate`].
     pub fn new(config: GcConfig) -> Self {
         config.validate().expect("invalid GC configuration");
-        G1Collector { config, old: None, mark: None }
+        G1Collector {
+            config,
+            old: None,
+            mark: None,
+        }
     }
 
     /// The collector's tuning parameters.
@@ -48,15 +51,33 @@ impl G1Collector {
         self.old.expect("collector not attached")
     }
 
-    fn minor(&mut self, heap: &mut Heap, roots: &SafepointRoots<'_>) -> Result<PauseEvent, GcError> {
+    fn minor(
+        &mut self,
+        heap: &mut Heap,
+        roots: &SafepointRoots<'_>,
+    ) -> Result<PauseEvent, GcError> {
         // Minor collections trace only the young generation (remembered set
         // + roots); the old spaces are assumed live.
         let live = heap.mark_live_young(roots.stack_roots());
-        let work = evacuate_young(heap, &live, self.config.tenure_threshold, self.old_space(), survivor_cap(heap, self.config.survivor_ratio))?;
-        Ok(PauseEvent { kind: GcKind::Minor, pause: self.config.cost.pause(&work), work })
+        let work = evacuate_young(
+            heap,
+            &live,
+            self.config.tenure_threshold,
+            self.old_space(),
+            survivor_cap(heap, self.config.survivor_ratio),
+        )?;
+        Ok(PauseEvent {
+            kind: GcKind::Minor,
+            pause: self.config.cost.pause(&work),
+            work,
+        })
     }
 
-    fn mixed(&mut self, heap: &mut Heap, roots: &SafepointRoots<'_>) -> Result<PauseEvent, GcError> {
+    fn mixed(
+        &mut self,
+        heap: &mut Heap,
+        roots: &SafepointRoots<'_>,
+    ) -> Result<PauseEvent, GcError> {
         let young_live = heap.mark_live_young(roots.stack_roots());
         let young = evacuate_young(
             heap,
@@ -75,7 +96,11 @@ impl G1Collector {
             self.config.max_compact_regions_per_pause,
         )?;
         let work = young.merged(old);
-        Ok(PauseEvent { kind: GcKind::Mixed, pause: self.config.cost.pause(&work), work })
+        Ok(PauseEvent {
+            kind: GcKind::Mixed,
+            pause: self.config.cost.pause(&work),
+            work,
+        })
     }
 
     fn full(&mut self, heap: &mut Heap, roots: &SafepointRoots<'_>) -> Result<PauseEvent, GcError> {
@@ -92,7 +117,11 @@ impl G1Collector {
         let old = reclaim_spaces(heap, &cycle, &[self.old_space()], 1.0, u32::MAX)?;
         self.mark = None; // the heap changed wholesale; next mixed re-marks
         let work = young.merged(old);
-        Ok(PauseEvent { kind: GcKind::Full, pause: self.config.cost.pause(&work), work })
+        Ok(PauseEvent {
+            kind: GcKind::Full,
+            pause: self.config.cost.pause(&work),
+            work,
+        })
     }
 }
 
@@ -121,9 +150,15 @@ impl Collector for G1Collector {
             // cycle is what is squeezing us: refresh the mark, then reclaim
             // incrementally; a full collection is the last resort.
             self.mark = None;
-            pauses.push(self.mixed(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+            pauses.push(
+                self.mixed(heap, roots)
+                    .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+            );
             if pool_pressure(heap) {
-                pauses.push(self.full(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+                pauses.push(
+                    self.full(heap, roots)
+                        .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+                );
             }
         }
         // Fast path.
@@ -135,11 +170,20 @@ impl Collector for G1Collector {
         // Young full: make sure old space pressure will not sink the
         // evacuation, then run the young collection.
         if pool_pressure(heap) {
-            pauses.push(self.full(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+            pauses.push(
+                self.full(heap, roots)
+                    .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+            );
         } else if over_mixed_trigger(heap, self.config.mixed_trigger_fraction) {
-            pauses.push(self.mixed(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+            pauses.push(
+                self.mixed(heap, roots)
+                    .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+            );
         } else {
-            pauses.push(self.minor(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+            pauses.push(
+                self.minor(heap, roots)
+                    .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+            );
         }
         match heap.allocate(req.class, req.size, req.site, Heap::YOUNG_SPACE) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
@@ -147,10 +191,15 @@ impl Collector for G1Collector {
             Err(e) => return Err(e.into()),
         }
         // Last resort.
-        pauses.push(self.full(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+        pauses.push(
+            self.full(heap, roots)
+                .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+        );
         match heap.allocate(req.class, req.size, req.site, Heap::YOUNG_SPACE) {
             Ok(object) => Ok(AllocOutcome { object, pauses }),
-            Err(_) => Err(GcError::OutOfMemory { requested: u64::from(req.size) }),
+            Err(_) => Err(GcError::OutOfMemory {
+                requested: u64::from(req.size),
+            }),
         }
     }
 
@@ -285,13 +334,19 @@ mod tests {
     fn stack_roots_survive_collections() {
         let (mut heap, mut gc) = setup();
         let r = req(&mut heap, 4096);
-        let pinned = gc.alloc(&mut heap, r, &SafepointRoots::none()).unwrap().object;
+        let pinned = gc
+            .alloc(&mut heap, r, &SafepointRoots::none())
+            .unwrap()
+            .object;
         let stack = [pinned];
         let roots = SafepointRoots::new(&stack);
         for _ in 0..500 {
             gc.alloc(&mut heap, r, &roots).unwrap();
         }
-        assert!(heap.object(pinned).is_some(), "stack-rooted object must survive");
+        assert!(
+            heap.object(pinned).is_some(),
+            "stack-rooted object must survive"
+        );
     }
 
     #[test]

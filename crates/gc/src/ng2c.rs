@@ -6,8 +6,8 @@ use polm2_heap::{GenId, Heap, HeapError, SpaceId};
 
 use crate::collector::{
     ensure_mark, evacuate_young, oom_if_exhausted, over_mixed_trigger, pool_pressure,
-    reclaim_spaces, survivor_cap, AllocOutcome, AllocRequest, Collector, MarkCycle,
-    SafepointRoots, ThreadId,
+    reclaim_spaces, survivor_cap, AllocOutcome, AllocRequest, Collector, MarkCycle, SafepointRoots,
+    ThreadId,
 };
 use crate::{GcConfig, GcError, GcKind, GcWork, PauseEvent};
 
@@ -47,7 +47,12 @@ impl Ng2cCollector {
     /// Panics if `config` fails [`GcConfig::validate`].
     pub fn new(config: GcConfig) -> Self {
         config.validate().expect("invalid GC configuration");
-        Ng2cCollector { config, gen_spaces: Vec::new(), targets: HashMap::new(), mark: None }
+        Ng2cCollector {
+            config,
+            gen_spaces: Vec::new(),
+            targets: HashMap::new(),
+            mark: None,
+        }
     }
 
     /// The collector's tuning parameters.
@@ -80,15 +85,33 @@ impl Ng2cCollector {
         self.gen_spaces[1..].to_vec()
     }
 
-    fn minor(&mut self, heap: &mut Heap, roots: &SafepointRoots<'_>) -> Result<PauseEvent, GcError> {
+    fn minor(
+        &mut self,
+        heap: &mut Heap,
+        roots: &SafepointRoots<'_>,
+    ) -> Result<PauseEvent, GcError> {
         // Minor collections trace only the young generation (remembered set
         // + roots); the old spaces are assumed live.
         let live = heap.mark_live_young(roots.stack_roots());
-        let work = evacuate_young(heap, &live, self.config.tenure_threshold, self.old_space(), survivor_cap(heap, self.config.survivor_ratio))?;
-        Ok(PauseEvent { kind: GcKind::Minor, pause: self.config.cost.pause(&work), work })
+        let work = evacuate_young(
+            heap,
+            &live,
+            self.config.tenure_threshold,
+            self.old_space(),
+            survivor_cap(heap, self.config.survivor_ratio),
+        )?;
+        Ok(PauseEvent {
+            kind: GcKind::Minor,
+            pause: self.config.cost.pause(&work),
+            work,
+        })
     }
 
-    fn mixed(&mut self, heap: &mut Heap, roots: &SafepointRoots<'_>) -> Result<PauseEvent, GcError> {
+    fn mixed(
+        &mut self,
+        heap: &mut Heap,
+        roots: &SafepointRoots<'_>,
+    ) -> Result<PauseEvent, GcError> {
         let young_live = heap.mark_live_young(roots.stack_roots());
         let young = evacuate_young(
             heap,
@@ -107,7 +130,11 @@ impl Ng2cCollector {
             self.config.max_compact_regions_per_pause,
         )?;
         let work = young.merged(olds);
-        Ok(PauseEvent { kind: GcKind::Mixed, pause: self.config.cost.pause(&work), work })
+        Ok(PauseEvent {
+            kind: GcKind::Mixed,
+            pause: self.config.cost.pause(&work),
+            work,
+        })
     }
 
     fn full(&mut self, heap: &mut Heap, roots: &SafepointRoots<'_>) -> Result<PauseEvent, GcError> {
@@ -122,7 +149,11 @@ impl Ng2cCollector {
         let olds = reclaim_spaces(heap, &cycle, &self.old_spaces(), 1.0, u32::MAX)?;
         self.mark = None;
         let work = young.merged(olds);
-        Ok(PauseEvent { kind: GcKind::Full, pause: self.config.cost.pause(&work), work })
+        Ok(PauseEvent {
+            kind: GcKind::Full,
+            pause: self.config.cost.pause(&work),
+            work,
+        })
     }
 
     fn alloc_space(&self, req: &AllocRequest) -> Result<SpaceId, GcError> {
@@ -161,9 +192,15 @@ impl Collector for Ng2cCollector {
             // cycle is what is squeezing us: refresh the mark, then reclaim
             // incrementally; a full collection is the last resort.
             self.mark = None;
-            pauses.push(self.mixed(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+            pauses.push(
+                self.mixed(heap, roots)
+                    .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+            );
             if pool_pressure(heap) {
-                pauses.push(self.full(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+                pauses.push(
+                    self.full(heap, roots)
+                        .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+                );
             }
         }
         let space = self.alloc_space(&req)?;
@@ -173,21 +210,35 @@ impl Collector for Ng2cCollector {
             Err(e) => return Err(e.into()),
         }
         if pool_pressure(heap) {
-            pauses.push(self.full(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+            pauses.push(
+                self.full(heap, roots)
+                    .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+            );
         } else if over_mixed_trigger(heap, self.config.mixed_trigger_fraction) {
-            pauses.push(self.mixed(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+            pauses.push(
+                self.mixed(heap, roots)
+                    .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+            );
         } else {
-            pauses.push(self.minor(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+            pauses.push(
+                self.minor(heap, roots)
+                    .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+            );
         }
         match heap.allocate(req.class, req.size, req.site, space) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
             Err(HeapError::SpaceFull { .. }) | Err(HeapError::OutOfRegions { .. }) => {}
             Err(e) => return Err(e.into()),
         }
-        pauses.push(self.full(heap, roots).map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?);
+        pauses.push(
+            self.full(heap, roots)
+                .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
+        );
         match heap.allocate(req.class, req.size, req.site, space) {
             Ok(object) => Ok(AllocOutcome { object, pauses }),
-            Err(_) => Err(GcError::OutOfMemory { requested: u64::from(req.size) }),
+            Err(_) => Err(GcError::OutOfMemory {
+                requested: u64::from(req.size),
+            }),
         }
     }
 
@@ -274,7 +325,10 @@ mod tests {
         gc.set_target_gen(t, gen).unwrap();
         let r = req(&mut heap, 256, true);
         let out = gc.alloc(&mut heap, r, &SafepointRoots::none()).unwrap();
-        assert_eq!(heap.object(out.object).unwrap().space(), gc.space_of(gen).unwrap());
+        assert_eq!(
+            heap.object(out.object).unwrap().space(),
+            gc.space_of(gen).unwrap()
+        );
         assert_eq!(heap.object(out.object).unwrap().allocated_gen(), gen);
         // Non-pretenured allocation still goes young.
         let r = req(&mut heap, 256, false);
@@ -348,7 +402,11 @@ mod tests {
         assert!(heap.used_bytes(space).unwrap() > 0);
         heap.roots_mut().clear_slot(slot);
         gc.collect(&mut heap, &SafepointRoots::none());
-        assert_eq!(heap.used_bytes(space).unwrap(), 0, "dead cohort space must drain");
+        assert_eq!(
+            heap.used_bytes(space).unwrap(),
+            0,
+            "dead cohort space must drain"
+        );
         heap.check_invariants();
     }
 

@@ -45,14 +45,22 @@ fn floating_garbage_is_reclaimed_within_a_mark_cycle_refresh() {
     let mut heap = Heap::new(HeapConfig::paper_scaled());
     // A lower mixed trigger keeps reclamation active at this test's modest
     // occupancy.
-    let mut gc = G1Collector::new(GcConfig { mixed_trigger_fraction: 0.25, ..GcConfig::default() });
+    let mut gc = G1Collector::new(GcConfig {
+        mixed_trigger_fraction: 0.25,
+        ..GcConfig::default()
+    });
     gc.attach(&mut heap);
     // Promote a large rooted cohort into old space.
     // Enough rooted mass (~120 MiB promoted) that old-space occupancy keeps
     // the mixed trigger armed after the cohort dies.
     let kept = churn(&mut heap, &mut gc, 120_000, 2, "cohort");
     let missing = kept.iter().filter(|&&o| heap.object(o).is_none()).count();
-    assert_eq!(missing, 0, "rooted objects vanished during churn: {missing} of {}", kept.len());
+    assert_eq!(
+        missing,
+        0,
+        "rooted objects vanished during churn: {missing} of {}",
+        kept.len()
+    );
     let live_before = heap.object_count();
     // Kill the cohort: it is now floating garbage w.r.t. any cached mark.
     let slot = heap.roots_mut().find_slot("cohort").unwrap();
@@ -84,7 +92,9 @@ fn mixed_pauses_respect_the_collection_set_bound() {
     let mut events = Vec::new();
     for i in 0..200_000 {
         let r = req(&mut heap, 2048, false);
-        let out = gc.alloc(&mut heap, r, &SafepointRoots::none()).expect("alloc");
+        let out = gc
+            .alloc(&mut heap, r, &SafepointRoots::none())
+            .expect("alloc");
         if i % 3 == 0 {
             heap.roots_mut().push(slot, out.object);
         }
@@ -118,12 +128,16 @@ fn ng2c_cohort_death_is_mostly_region_frees_not_compaction() {
         // A pretenured cohort lives while young garbage churns, then dies.
         for _ in 0..8_192 {
             let r = req(&mut heap, 2048, true);
-            let out = gc.alloc(&mut heap, r, &SafepointRoots::none()).expect("alloc");
+            let out = gc
+                .alloc(&mut heap, r, &SafepointRoots::none())
+                .expect("alloc");
             heap.roots_mut().push(slot, out.object);
         }
         for _ in 0..16_384 {
             let r = req(&mut heap, 2048, false);
-            let out = gc.alloc(&mut heap, r, &SafepointRoots::none()).expect("alloc");
+            let out = gc
+                .alloc(&mut heap, r, &SafepointRoots::none())
+                .expect("alloc");
             for p in out.pauses {
                 freed_whole += p.work.freed_regions;
                 compacted += p.work.compacted_bytes;
@@ -132,7 +146,10 @@ fn ng2c_cohort_death_is_mostly_region_frees_not_compaction() {
         let _ = round;
         heap.roots_mut().clear_slot(slot);
     }
-    assert!(freed_whole > 50, "cohort regions must be freed whole: {freed_whole}");
+    assert!(
+        freed_whole > 50,
+        "cohort regions must be freed whole: {freed_whole}"
+    );
     assert!(
         compacted < freed_whole * HeapConfig::paper_scaled().region_bytes / 4,
         "segregated cohorts should rarely need compaction: {compacted} bytes vs {freed_whole} regions"
@@ -161,7 +178,10 @@ fn collectors_agree_on_what_is_garbage() {
             "{collector}: survivors must equal the rooted set"
         );
         for obj in kept {
-            assert!(heap.object(obj).is_some(), "{collector}: rooted object lost");
+            assert!(
+                heap.object(obj).is_some(),
+                "{collector}: rooted object lost"
+            );
         }
         heap.check_invariants();
     }
@@ -178,10 +198,16 @@ fn target_generation_survives_across_collections() {
     for i in 0..60_000 {
         let pretenure = i % 7 == 0;
         let r = req(&mut heap, 2048, pretenure);
-        let out = gc.alloc(&mut heap, r, &SafepointRoots::none()).expect("alloc");
+        let out = gc
+            .alloc(&mut heap, r, &SafepointRoots::none())
+            .expect("alloc");
         if pretenure {
             let rec = heap.object(out.object).unwrap();
-            assert_eq!(rec.allocated_gen(), gen, "target generation drifted at op {i}");
+            assert_eq!(
+                rec.allocated_gen(),
+                gen,
+                "target generation drifted at op {i}"
+            );
         }
     }
     assert_eq!(gc.target_gen(ThreadId::new(0)), gen);

@@ -42,7 +42,9 @@ impl ClassRegistry {
             return id;
         }
         let id = ClassId::new(self.classes.len() as u32);
-        self.classes.push(ClassInfo { name: name.to_string() });
+        self.classes.push(ClassInfo {
+            name: name.to_string(),
+        });
         self.by_name.insert(name.to_string(), id);
         id
     }
@@ -69,7 +71,10 @@ impl ClassRegistry {
 
     /// Iterates over `(id, info)` pairs in intern order.
     pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassInfo)> {
-        self.classes.iter().enumerate().map(|(i, c)| (ClassId::new(i as u32), c))
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId::new(i as u32), c))
     }
 }
 

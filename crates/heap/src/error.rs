@@ -51,7 +51,10 @@ impl fmt::Display for HeapError {
             HeapError::NoSuchObject { object } => write!(f, "{object} is not a live object"),
             HeapError::NoSuchSpace { space } => write!(f, "{space} does not exist"),
             HeapError::ObjectTooLarge { size, max } => {
-                write!(f, "object of {size} bytes exceeds the maximum of {max} bytes")
+                write!(
+                    f,
+                    "object of {size} bytes exceeds the maximum of {max} bytes"
+                )
             }
         }
     }
@@ -65,9 +68,13 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = HeapError::OutOfRegions { space: SpaceId::new(0) };
+        let e = HeapError::OutOfRegions {
+            space: SpaceId::new(0),
+        };
         assert!(e.to_string().contains("space#0"));
-        let e = HeapError::NoSuchObject { object: ObjectId::new(5) };
+        let e = HeapError::NoSuchObject {
+            object: ObjectId::new(5),
+        };
         assert!(e.to_string().contains("obj#5"));
         let e = HeapError::ObjectTooLarge { size: 10, max: 5 };
         assert!(e.to_string().contains("10 bytes"));

@@ -26,7 +26,9 @@ impl Hasher for IdHasher {
     }
 
     fn write_u64(&mut self, i: u64) {
-        self.state = (self.state ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(26);
+        self.state = (self.state ^ i)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(26);
     }
 
     fn write_u32(&mut self, i: u32) {

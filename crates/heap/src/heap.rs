@@ -100,21 +100,23 @@ impl Heap {
         let region_count = config.region_count();
         let pages_per_region = config.pages_per_region();
         let regions: Vec<Region> = (0..region_count)
-            .map(|i| {
-                Region::new(
-                    RegionId::new(i),
-                    crate::PageId::new(i * pages_per_region),
-                )
-            })
+            .map(|i| Region::new(RegionId::new(i), crate::PageId::new(i * pages_per_region)))
             .collect();
         let free_regions: Vec<RegionId> = (0..region_count).rev().map(RegionId::new).collect();
-        let mut page_table =
-            PageTable::new(config.page_count(), pages_per_region, config.page_bytes as u32);
+        let mut page_table = PageTable::new(
+            config.page_count(),
+            pages_per_region,
+            config.page_bytes as u32,
+        );
         // Unassigned regions hold no live data.
         for p in 0..config.page_count() {
             page_table.set_no_need(p, true);
         }
-        let young = Space::new(Heap::YOUNG_SPACE, GenId::YOUNG, Some(config.young_region_budget()));
+        let young = Space::new(
+            Heap::YOUNG_SPACE,
+            GenId::YOUNG,
+            Some(config.young_region_budget()),
+        );
         Heap {
             config,
             classes: ClassRegistry::new(),
@@ -198,7 +200,9 @@ impl Heap {
     ///
     /// Returns [`HeapError::NoSuchSpace`] for an unknown id.
     pub fn space(&self, id: SpaceId) -> Result<&Space, HeapError> {
-        self.spaces.get(id.index()).ok_or(HeapError::NoSuchSpace { space: id })
+        self.spaces
+            .get(id.index())
+            .ok_or(HeapError::NoSuchSpace { space: id })
     }
 
     /// One region.
@@ -263,7 +267,10 @@ impl Heap {
     fn bump_into(&mut self, space: SpaceId, size: u32) -> Result<Addr, HeapError> {
         let capacity = self.config.region_bytes as u32;
         if size > capacity {
-            return Err(HeapError::ObjectTooLarge { size: u64::from(size), max: u64::from(capacity) });
+            return Err(HeapError::ObjectTooLarge {
+                size: u64::from(size),
+                max: u64::from(capacity),
+            });
         }
         if space.index() >= self.spaces.len() {
             return Err(HeapError::NoSuchSpace { space });
@@ -278,7 +285,10 @@ impl Heap {
         if self.spaces[space.index()].at_budget() {
             return Err(HeapError::SpaceFull { space });
         }
-        let region = self.free_regions.pop().ok_or(HeapError::OutOfRegions { space })?;
+        let region = self
+            .free_regions
+            .pop()
+            .ok_or(HeapError::OutOfRegions { space })?;
         self.regions[region.index()].assign(space);
         self.spaces[space.index()].push_region(region);
         let offset = self.regions[region.index()]
@@ -307,8 +317,10 @@ impl Heap {
         if !self.objects.contains_key(&child) {
             return Err(HeapError::NoSuchObject { object: child });
         }
-        let record =
-            self.objects.get_mut(&parent).ok_or(HeapError::NoSuchObject { object: parent })?;
+        let record = self
+            .objects
+            .get_mut(&parent)
+            .ok_or(HeapError::NoSuchObject { object: parent })?;
         record.refs_mut().push(child);
         let (addr, size, parent_space) = (record.addr(), record.size(), record.space());
         self.page_table.mark_dirty_range(addr, size);
@@ -331,8 +343,10 @@ impl Heap {
     ///
     /// Returns [`HeapError::NoSuchObject`] if `parent` is not live.
     pub fn remove_ref(&mut self, parent: ObjectId, child: ObjectId) -> Result<bool, HeapError> {
-        let record =
-            self.objects.get_mut(&parent).ok_or(HeapError::NoSuchObject { object: parent })?;
+        let record = self
+            .objects
+            .get_mut(&parent)
+            .ok_or(HeapError::NoSuchObject { object: parent })?;
         let refs = record.refs_mut();
         let removed = if let Some(pos) = refs.iter().position(|&o| o == child) {
             refs.swap_remove(pos);
@@ -355,8 +369,12 @@ impl Heap {
     ///
     /// Returns [`HeapError::NoSuchObject`] if `obj` is not live.
     pub fn write_field(&mut self, obj: ObjectId) -> Result<(), HeapError> {
-        let record = self.objects.get(&obj).ok_or(HeapError::NoSuchObject { object: obj })?;
-        self.page_table.mark_dirty_range(record.addr(), record.size());
+        let record = self
+            .objects
+            .get(&obj)
+            .ok_or(HeapError::NoSuchObject { object: obj })?;
+        self.page_table
+            .mark_dirty_range(record.addr(), record.size());
         Ok(())
     }
 
@@ -414,7 +432,12 @@ impl Heap {
         }
 
         let traced = order.len() as u64;
-        LiveSet { live, order, live_bytes, traced_objects: traced }
+        LiveSet {
+            live,
+            order,
+            live_bytes,
+            traced_objects: traced,
+        }
     }
 
     /// Marks only the *young* generation: everything outside young is
@@ -474,7 +497,12 @@ impl Heap {
         }
 
         let traced = order.len() as u64;
-        LiveSet { live, order, live_bytes, traced_objects: traced }
+        LiveSet {
+            live,
+            order,
+            live_bytes,
+            traced_objects: traced,
+        }
     }
 
     /// Prunes the remembered set after a young collection: entries whose
@@ -526,7 +554,10 @@ impl Heap {
     /// * Any allocation error from the destination space.
     pub fn relocate(&mut self, obj: ObjectId, dest: SpaceId) -> Result<u32, HeapError> {
         let (size, old_addr) = {
-            let rec = self.objects.get(&obj).ok_or(HeapError::NoSuchObject { object: obj })?;
+            let rec = self
+                .objects
+                .get(&obj)
+                .ok_or(HeapError::NoSuchObject { object: obj })?;
             (rec.size(), rec.addr())
         };
         let new_addr = self.bump_into(dest, size)?;
@@ -569,7 +600,10 @@ impl Heap {
     ///
     /// Returns [`HeapError::NoSuchObject`] if `obj` is not live.
     pub fn drop_object(&mut self, obj: ObjectId) -> Result<u32, HeapError> {
-        let rec = self.objects.remove(&obj).ok_or(HeapError::NoSuchObject { object: obj })?;
+        let rec = self
+            .objects
+            .remove(&obj)
+            .ok_or(HeapError::NoSuchObject { object: obj })?;
         // The region's object list keeps a stale entry; collectors purge
         // stale entries in bulk ([`purge_region_objects`]) or release the
         // region outright. Per-object list surgery would make sweeps
@@ -743,7 +777,10 @@ impl Heap {
     /// Returns [`HeapError::NoSuchSpace`] for an unknown id.
     pub fn used_bytes(&self, space: SpaceId) -> Result<u64, HeapError> {
         let s = self.space(space)?;
-        Ok(s.regions().iter().map(|&r| u64::from(self.regions[r.index()].used_bytes())).sum())
+        Ok(s.regions()
+            .iter()
+            .map(|&r| u64::from(self.regions[r.index()].used_bytes()))
+            .sum())
     }
 
     /// Marks the no-need bit on every page of every assigned region that
@@ -810,7 +847,10 @@ impl Heap {
         for &r in &self.free_regions {
             let region = &self.regions[r.index()];
             assert!(region.space().is_none(), "free region {r} is assigned");
-            assert!(region.objects().is_empty(), "free region {r} holds stale objects");
+            assert!(
+                region.objects().is_empty(),
+                "free region {r} holds stale objects"
+            );
         }
         // Region partition: every region is free, owned by exactly one
         // space, or detached for evacuation.
@@ -833,7 +873,8 @@ mod tests {
 
     fn alloc(h: &mut Heap, size: u32) -> ObjectId {
         let class = h.classes_mut().intern("T");
-        h.allocate(class, size, SiteId::new(0), Heap::YOUNG_SPACE).expect("alloc")
+        h.allocate(class, size, SiteId::new(0), Heap::YOUNG_SPACE)
+            .expect("alloc")
     }
 
     #[test]
@@ -864,7 +905,12 @@ mod tests {
                 }
             }
         }
-        assert_eq!(err, Some(HeapError::SpaceFull { space: Heap::YOUNG_SPACE }));
+        assert_eq!(
+            err,
+            Some(HeapError::SpaceFull {
+                space: Heap::YOUNG_SPACE
+            })
+        );
         h.check_invariants();
     }
 
@@ -975,7 +1021,10 @@ mod tests {
         h.roots_mut().push(slot, keep);
         let live = h.mark_live(&[]);
         let marked = h.mark_no_need_pages(&live);
-        assert!(marked >= 16, "dead pages should be marked no-need, got {marked}");
+        assert!(
+            marked >= 16,
+            "dead pages should be marked no-need, got {marked}"
+        );
         // The page holding `keep` must not be no-need.
         let rec = h.object(keep).unwrap();
         let (first, _) = h.page_table().pages_of(rec.addr(), rec.size());
@@ -1016,7 +1065,10 @@ mod tests {
         assert_eq!(h.remembered_len(), 1);
         let live = h.mark_live_young(&[]);
         assert!(live.contains(child), "remembered edge keeps the child");
-        assert!(!live.contains(parent), "old objects are outside the young live set");
+        assert!(
+            !live.contains(parent),
+            "old objects are outside the young live set"
+        );
         // A young object with no remembered edge and no root dies.
         let orphan = alloc(&mut h, 64);
         let live = h.mark_live_young(&[]);

@@ -208,9 +208,14 @@ mod tests {
     fn identity_hash_spreads() {
         // 10k sequential ids should produce (nearly) 10k distinct hashes;
         // a tiny number of collisions is acceptable, as in the JVM.
-        let hashes: HashSet<u32> =
-            (0..10_000).map(|i| IdentityHash::of(ObjectId::new(i)).raw()).collect();
-        assert!(hashes.len() > 9_990, "too many collisions: {}", 10_000 - hashes.len());
+        let hashes: HashSet<u32> = (0..10_000)
+            .map(|i| IdentityHash::of(ObjectId::new(i)).raw())
+            .collect();
+        assert!(
+            hashes.len() > 9_990,
+            "too many collisions: {}",
+            10_000 - hashes.len()
+        );
     }
 
     #[test]

@@ -120,7 +120,6 @@ impl ObjectRecord {
     pub fn reset_age(&mut self) {
         self.age = 0;
     }
-
 }
 
 #[cfg(test)]
@@ -136,7 +135,10 @@ mod tests {
             128,
             SpaceId::new(0),
             GenId::YOUNG,
-            Addr { region: RegionId::new(0), offset: 0 },
+            Addr {
+                region: RegionId::new(0),
+                offset: 0,
+            },
         )
     }
 
@@ -167,7 +169,13 @@ mod tests {
     fn relocation_updates_placement_only() {
         let mut r = record();
         let hash = r.identity_hash();
-        r.relocate(SpaceId::new(2), Addr { region: RegionId::new(7), offset: 512 });
+        r.relocate(
+            SpaceId::new(2),
+            Addr {
+                region: RegionId::new(7),
+                offset: 512,
+            },
+        );
         assert_eq!(r.space(), SpaceId::new(2));
         assert_eq!(r.addr().region, RegionId::new(7));
         assert_eq!(r.identity_hash(), hash, "identity hash survives relocation");

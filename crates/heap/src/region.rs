@@ -37,7 +37,14 @@ pub struct Region {
 
 impl Region {
     pub(crate) fn new(id: RegionId, first_page: PageId) -> Self {
-        Region { id, first_page, space: None, cursor: 0, live_bytes: 0, objects: Vec::new() }
+        Region {
+            id,
+            first_page,
+            space: None,
+            cursor: 0,
+            live_bytes: 0,
+            objects: Vec::new(),
+        }
     }
 
     /// This region's id.
@@ -243,7 +250,10 @@ mod tests {
     use super::*;
 
     fn addr(region: u32, offset: u32) -> Addr {
-        Addr { region: RegionId::new(region), offset }
+        Addr {
+            region: RegionId::new(region),
+            offset,
+        }
     }
 
     #[test]

@@ -23,7 +23,12 @@ pub struct Space {
 
 impl Space {
     pub(crate) fn new(id: SpaceId, gen: GenId, region_budget: Option<u32>) -> Self {
-        Space { id, gen, regions: Vec::new(), region_budget }
+        Space {
+            id,
+            gen,
+            regions: Vec::new(),
+            region_budget,
+        }
     }
 
     /// This space's id.

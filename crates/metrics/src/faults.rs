@@ -1,0 +1,182 @@
+//! Fault and recovery counters: how much a profiling or production run
+//! degraded, and how the pipeline recovered.
+//!
+//! POLM2's contract is that profiling may be lossy but production must stay
+//! correct: a bad or incomplete profile only ever costs performance (objects
+//! fall back to the young generation) — never correctness. These counters
+//! make that degradation observable: every snapshot the Dumper failed to
+//! deliver, every allocation record dropped as corrupt, every profile entry
+//! skipped as stale is counted here instead of being silently swallowed.
+
+use std::fmt;
+
+/// Counts every fault the pipeline absorbed and every recovery action it
+/// took. All-zero means the run was fault-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Snapshot capture attempts that returned an error (includes retried
+    /// attempts).
+    pub snapshots_failed: u64,
+    /// Retry attempts issued after a failed capture.
+    pub snapshot_retries: u64,
+    /// Snapshots abandoned after exhausting the retry budget.
+    pub snapshots_lost: u64,
+    /// Allocation records dropped at ingest because they failed validation
+    /// (empty trace, frames that do not resolve in the loaded program).
+    pub records_dropped_corrupt: u64,
+    /// Allocation paths the Analyzer demoted to the young generation because
+    /// the run was under-observed (fewer snapshots than the minimum).
+    pub traces_demoted: u64,
+    /// Profile `site` entries skipped because their location no longer
+    /// exists in the program.
+    pub stale_sites_skipped: u64,
+    /// Profile `call` entries skipped because their location no longer
+    /// exists in the program.
+    pub stale_gen_calls_skipped: u64,
+}
+
+/// Stable per-counter names, used by the profile-file footer and the CLI.
+const NAMES: [&str; 7] = [
+    "snapshots-failed",
+    "snapshot-retries",
+    "snapshots-lost",
+    "records-dropped-corrupt",
+    "traces-demoted",
+    "stale-sites-skipped",
+    "stale-gen-calls-skipped",
+];
+
+impl FaultCounters {
+    /// Creates an all-zero counter set.
+    pub fn new() -> Self {
+        FaultCounters::default()
+    }
+
+    /// True if no fault was observed and no recovery action was taken.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+
+    /// Adds another counter set into this one (e.g. profiling-phase counters
+    /// plus production-phase stale skips).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.snapshots_failed += other.snapshots_failed;
+        self.snapshot_retries += other.snapshot_retries;
+        self.snapshots_lost += other.snapshots_lost;
+        self.records_dropped_corrupt += other.records_dropped_corrupt;
+        self.traces_demoted += other.traces_demoted;
+        self.stale_sites_skipped += other.stale_sites_skipped;
+        self.stale_gen_calls_skipped += other.stale_gen_calls_skipped;
+    }
+
+    /// All counters as stable `(name, value)` pairs, in declaration order.
+    pub fn entries(&self) -> [(&'static str, u64); 7] {
+        [
+            (NAMES[0], self.snapshots_failed),
+            (NAMES[1], self.snapshot_retries),
+            (NAMES[2], self.snapshots_lost),
+            (NAMES[3], self.records_dropped_corrupt),
+            (NAMES[4], self.traces_demoted),
+            (NAMES[5], self.stale_sites_skipped),
+            (NAMES[6], self.stale_gen_calls_skipped),
+        ]
+    }
+
+    /// Sets a counter by its stable name; returns false for unknown names
+    /// (used when reading counters back from a profile-file footer).
+    pub fn set_by_name(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "snapshots-failed" => &mut self.snapshots_failed,
+            "snapshot-retries" => &mut self.snapshot_retries,
+            "snapshots-lost" => &mut self.snapshots_lost,
+            "records-dropped-corrupt" => &mut self.records_dropped_corrupt,
+            "traces-demoted" => &mut self.traces_demoted,
+            "stale-sites-skipped" => &mut self.stale_sites_skipped,
+            "stale-gen-calls-skipped" => &mut self.stale_gen_calls_skipped,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
+}
+
+impl fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "no faults");
+        }
+        let mut first = true;
+        for (name, value) in self.entries() {
+            if value == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_by_default() {
+        let c = FaultCounters::new();
+        assert!(c.is_clean());
+        assert_eq!(c.to_string(), "no faults");
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = FaultCounters {
+            snapshots_failed: 1,
+            ..FaultCounters::default()
+        };
+        let b = FaultCounters {
+            snapshots_failed: 2,
+            records_dropped_corrupt: 5,
+            ..FaultCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.snapshots_failed, 3);
+        assert_eq!(a.records_dropped_corrupt, 5);
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn entries_round_trip_through_names() {
+        let src = FaultCounters {
+            snapshots_failed: 1,
+            snapshot_retries: 2,
+            snapshots_lost: 3,
+            records_dropped_corrupt: 4,
+            traces_demoted: 5,
+            stale_sites_skipped: 6,
+            stale_gen_calls_skipped: 7,
+        };
+        let mut back = FaultCounters::new();
+        for (name, value) in src.entries() {
+            assert!(back.set_by_name(name, value), "{name} must be settable");
+        }
+        assert_eq!(back, src);
+        assert!(!back.set_by_name("no-such-counter", 1));
+    }
+
+    #[test]
+    fn display_lists_nonzero_counters_only() {
+        let c = FaultCounters {
+            snapshots_failed: 2,
+            snapshots_lost: 1,
+            ..FaultCounters::default()
+        };
+        let s = c.to_string();
+        assert!(s.contains("snapshots-failed=2"));
+        assert!(s.contains("snapshots-lost=1"));
+        assert!(!s.contains("retries"));
+    }
+}

@@ -41,7 +41,10 @@ pub struct PauseHistogram {
 impl PauseHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        PauseHistogram { samples: Vec::new(), sorted: true }
+        PauseHistogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Records one pause.

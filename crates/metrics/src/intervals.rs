@@ -62,7 +62,10 @@ impl IntervalHistogram {
     ///
     /// Panics if `edges` is empty or not strictly increasing.
     pub fn new(edges: Vec<SimDuration>) -> Self {
-        assert!(!edges.is_empty(), "interval histogram needs at least one edge");
+        assert!(
+            !edges.is_empty(),
+            "interval histogram needs at least one edge"
+        );
         assert!(
             edges.windows(2).all(|w| w[0] < w[1]),
             "interval edges must be strictly increasing"
@@ -75,7 +78,9 @@ impl IntervalHistogram {
     /// 16, 32, 64, 128, 256, 512, 1024 ms plus an unbounded tail.
     pub fn paper_default() -> Self {
         IntervalHistogram::new(
-            [16, 32, 64, 128, 256, 512, 1024].map(SimDuration::from_millis).to_vec(),
+            [16, 32, 64, 128, 256, 512, 1024]
+                .map(SimDuration::from_millis)
+                .to_vec(),
         )
     }
 
@@ -96,7 +101,11 @@ impl IntervalHistogram {
         let mut out = Vec::with_capacity(self.counts.len());
         for (i, &count) in self.counts.iter().enumerate() {
             let upper = self.edges.get(i).copied();
-            out.push(IntervalBin { lower, upper, count });
+            out.push(IntervalBin {
+                lower,
+                upper,
+                count,
+            });
             if let Some(u) = upper {
                 lower = u;
             }
@@ -174,7 +183,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_edges_panic() {
-        IntervalHistogram::new(vec![SimDuration::from_millis(10), SimDuration::from_millis(5)]);
+        IntervalHistogram::new(vec![
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(5),
+        ]);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! * [`IntervalHistogram`] — pause counts per duration interval (Figure 6).
 //! * [`ThroughputTracker`] — operations/second time series (Figures 7–8).
 //! * [`MemoryTracker`] — heap-usage high-water marks (Figure 9).
+//! * [`FaultCounters`] — fault/recovery tallies for degraded pipeline runs.
 //! * [`report`] — plain-text table rendering shared by the figure binaries.
 //!
 //! # Examples
@@ -29,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
+mod faults;
 mod histogram;
 mod intervals;
 mod memory;
@@ -36,6 +38,7 @@ pub mod report;
 mod throughput;
 mod time;
 
+pub use faults::FaultCounters;
 pub use histogram::{PauseHistogram, PercentileRow, STANDARD_PERCENTILES};
 pub use intervals::{IntervalBin, IntervalHistogram};
 pub use memory::{MemorySample, MemoryTracker};

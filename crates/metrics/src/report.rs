@@ -25,7 +25,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given header.
     pub fn new(header: Vec<String>) -> Self {
-        TextTable { header, rows: Vec::new() }
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

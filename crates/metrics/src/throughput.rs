@@ -78,12 +78,7 @@ impl ThroughputTracker {
         if e <= s {
             return 0.0;
         }
-        let ops: u64 = self
-            .windows
-            .iter()
-            .skip(s)
-            .take(e - s)
-            .sum();
+        let ops: u64 = self.windows.iter().skip(s).take(e - s).sum();
         ops as f64 / (e - s) as f64
     }
 
@@ -92,7 +87,10 @@ impl ThroughputTracker {
         self.windows
             .iter()
             .enumerate()
-            .map(|(i, &ops)| ThroughputSample { window_start: SimTime::from_secs(i as u64), ops })
+            .map(|(i, &ops)| ThroughputSample {
+                window_start: SimTime::from_secs(i as u64),
+                ops,
+            })
             .collect()
     }
 
@@ -106,7 +104,10 @@ impl ThroughputTracker {
             .enumerate()
             .skip(s)
             .take(n)
-            .map(|(i, &ops)| ThroughputSample { window_start: SimTime::from_secs(i as u64), ops })
+            .map(|(i, &ops)| ThroughputSample {
+                window_start: SimTime::from_secs(i as u64),
+                ops,
+            })
             .collect()
     }
 }
@@ -133,10 +134,19 @@ mod tests {
         for sec in 0..10 {
             t.record_ops(SimTime::from_secs(sec), 100);
         }
-        assert_eq!(t.mean_ops_per_sec(SimTime::ZERO, SimTime::from_secs(10)), 100.0);
+        assert_eq!(
+            t.mean_ops_per_sec(SimTime::ZERO, SimTime::from_secs(10)),
+            100.0
+        );
         // Ignoring the first five seconds (paper warm-up rule).
-        assert_eq!(t.mean_ops_per_sec(SimTime::from_secs(5), SimTime::from_secs(10)), 100.0);
-        assert_eq!(t.mean_ops_per_sec(SimTime::from_secs(10), SimTime::from_secs(10)), 0.0);
+        assert_eq!(
+            t.mean_ops_per_sec(SimTime::from_secs(5), SimTime::from_secs(10)),
+            100.0
+        );
+        assert_eq!(
+            t.mean_ops_per_sec(SimTime::from_secs(10), SimTime::from_secs(10)),
+            0.0
+        );
     }
 
     #[test]

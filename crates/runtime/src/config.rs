@@ -32,7 +32,10 @@ impl RuntimeConfig {
 
     /// A small configuration for unit tests.
     pub fn small() -> Self {
-        RuntimeConfig { heap: HeapConfig::small(), ..RuntimeConfig::paper_scaled() }
+        RuntimeConfig {
+            heap: HeapConfig::small(),
+            ..RuntimeConfig::paper_scaled()
+        }
     }
 }
 

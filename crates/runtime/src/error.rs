@@ -94,14 +94,21 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(RuntimeError::UnknownClass { class: "C".into() }.to_string().contains("C"));
-        assert!(
-            RuntimeError::UnknownMethod { class: "C".into(), method: "m".into() }
-                .to_string()
-                .contains("C.m")
-        );
-        assert!(RuntimeError::UnknownHook { hook: "h".into() }.to_string().contains("h"));
-        assert!(RuntimeError::StackOverflow { limit: 64 }.to_string().contains("64"));
+        assert!(RuntimeError::UnknownClass { class: "C".into() }
+            .to_string()
+            .contains("C"));
+        assert!(RuntimeError::UnknownMethod {
+            class: "C".into(),
+            method: "m".into()
+        }
+        .to_string()
+        .contains("C.m"));
+        assert!(RuntimeError::UnknownHook { hook: "h".into() }
+            .to_string()
+            .contains("h"));
+        assert!(RuntimeError::StackOverflow { limit: 64 }
+            .to_string()
+            .contains("64"));
         assert!(!RuntimeError::UnbalancedRestoreGen.to_string().is_empty());
         assert!(!RuntimeError::NothingToRecord.to_string().is_empty());
     }
@@ -110,8 +117,10 @@ mod tests {
     fn conversions_preserve_sources() {
         let e: RuntimeError = GcError::OutOfMemory { requested: 1 }.into();
         assert!(Error::source(&e).is_some());
-        let e: RuntimeError =
-            HeapError::NoSuchObject { object: polm2_heap::ObjectId::new(1) }.into();
+        let e: RuntimeError = HeapError::NoSuchObject {
+            object: polm2_heap::ObjectId::new(1),
+        }
+        .into();
         assert!(Error::source(&e).is_some());
     }
 }

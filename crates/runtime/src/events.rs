@@ -46,8 +46,16 @@ mod tests {
 
     #[test]
     fn trace_frames_order_and_compare() {
-        let a = TraceFrame { class_idx: 0, method_idx: 0, line: 1 };
-        let b = TraceFrame { class_idx: 0, method_idx: 0, line: 2 };
+        let a = TraceFrame {
+            class_idx: 0,
+            method_idx: 0,
+            line: 1,
+        };
+        let b = TraceFrame {
+            class_idx: 0,
+            method_idx: 0,
+            line: 2,
+        };
         assert!(a < b);
         assert_ne!(a, b);
     }
@@ -55,7 +63,11 @@ mod tests {
     #[test]
     fn event_is_cloneable_and_comparable() {
         let e = AllocEvent {
-            trace: vec![TraceFrame { class_idx: 1, method_idx: 2, line: 3 }],
+            trace: vec![TraceFrame {
+                class_idx: 1,
+                method_idx: 2,
+                line: 3,
+            }],
             object: ObjectId::new(9),
             hash: IdentityHash::of(ObjectId::new(9)),
             site: SiteId::new(4),

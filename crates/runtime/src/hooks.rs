@@ -51,7 +51,9 @@ impl HookCtx<'_> {
     /// Panics if the state is not a `S` — a wiring bug, not a runtime
     /// condition.
     pub fn state<S: 'static>(&mut self) -> &mut S {
-        self.raw_state.downcast_mut::<S>().expect("workload state has unexpected type")
+        self.raw_state
+            .downcast_mut::<S>()
+            .expect("workload state has unexpected type")
     }
 }
 
@@ -146,10 +148,16 @@ impl HookRegistry {
     /// # Errors
     ///
     /// [`RuntimeError::UnknownHook`] if no action hook has that name.
-    pub fn run_action(&mut self, name: &str, ctx: &mut HookCtx<'_>) -> Result<HookAction, RuntimeError> {
+    pub fn run_action(
+        &mut self,
+        name: &str,
+        ctx: &mut HookCtx<'_>,
+    ) -> Result<HookAction, RuntimeError> {
         match self.actions.get_mut(name) {
             Some(h) => Ok(h(ctx)),
-            None => Err(RuntimeError::UnknownHook { hook: name.to_string() }),
+            None => Err(RuntimeError::UnknownHook {
+                hook: name.to_string(),
+            }),
         }
     }
 
@@ -161,7 +169,9 @@ impl HookRegistry {
     pub fn eval_cond(&mut self, name: &str, ctx: &mut HookCtx<'_>) -> Result<bool, RuntimeError> {
         match self.conds.get_mut(name) {
             Some(h) => Ok(h(ctx)),
-            None => Err(RuntimeError::UnknownHook { hook: name.to_string() }),
+            None => Err(RuntimeError::UnknownHook {
+                hook: name.to_string(),
+            }),
         }
     }
 
@@ -173,7 +183,9 @@ impl HookRegistry {
     pub fn eval_size(&mut self, name: &str, ctx: &mut HookCtx<'_>) -> Result<u32, RuntimeError> {
         match self.sizes.get_mut(name) {
             Some(h) => Ok(h(ctx)),
-            None => Err(RuntimeError::UnknownHook { hook: name.to_string() }),
+            None => Err(RuntimeError::UnknownHook {
+                hook: name.to_string(),
+            }),
         }
     }
 
@@ -185,7 +197,9 @@ impl HookRegistry {
     pub fn eval_count(&mut self, name: &str, ctx: &mut HookCtx<'_>) -> Result<u32, RuntimeError> {
         match self.counts.get_mut(name) {
             Some(h) => Ok(h(ctx)),
-            None => Err(RuntimeError::UnknownHook { hook: name.to_string() }),
+            None => Err(RuntimeError::UnknownHook {
+                hook: name.to_string(),
+            }),
         }
     }
 }

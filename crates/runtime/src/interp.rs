@@ -48,7 +48,9 @@ impl Jvm {
     ) -> Result<Option<ObjectId>, RuntimeError> {
         let t = &mut self.threads[thread.raw() as usize];
         if t.frames.len() >= self.config.max_stack_depth {
-            return Err(RuntimeError::StackOverflow { limit: self.config.max_stack_depth });
+            return Err(RuntimeError::StackOverflow {
+                limit: self.config.max_stack_depth,
+            });
         }
         t.frames.push(Frame::new(class_idx, method_idx));
 
@@ -79,7 +81,13 @@ impl Jvm {
     fn exec_instr(&mut self, thread: ThreadId, instr: &RInstr) -> Result<(), RuntimeError> {
         self.charge_ns(self.config.instr_cost_ns);
         match instr {
-            RInstr::Alloc { class, size, site, pretenure, line } => {
+            RInstr::Alloc {
+                class,
+                size,
+                site,
+                pretenure,
+                line,
+            } => {
                 self.charge_ns(self.config.alloc_cost_ns);
                 self.frame_mut(thread).line = *line;
                 let size = match size {
@@ -98,14 +106,19 @@ impl Jvm {
                     thread,
                 };
                 let outcome =
-                    self.collector.alloc(&mut self.heap, req, &SafepointRoots::new(&roots))?;
+                    self.collector
+                        .alloc(&mut self.heap, req, &SafepointRoots::new(&roots))?;
                 self.log_pauses(outcome.pauses);
                 let frame = self.frame_mut(thread);
                 frame.acc = Some(outcome.object);
                 frame.roots.push(outcome.object);
                 frame.last_site = Some(*site);
             }
-            RInstr::Call { class_idx, method_idx, line } => {
+            RInstr::Call {
+                class_idx,
+                method_idx,
+                line,
+            } => {
                 self.frame_mut(thread).line = *line;
                 let result = self.call_method(thread, *class_idx, *method_idx)?;
                 if let Some(obj) = result {
@@ -114,10 +127,14 @@ impl Jvm {
                     frame.roots.push(obj);
                 }
             }
-            RInstr::Branch { cond, then_block, else_block, line } => {
+            RInstr::Branch {
+                cond,
+                then_block,
+                else_block,
+                line,
+            } => {
                 self.frame_mut(thread).line = *line;
-                let taken =
-                    self.with_hook_ctx(thread, |hooks, ctx| hooks.eval_cond(cond, ctx))?;
+                let taken = self.with_hook_ctx(thread, |hooks, ctx| hooks.eval_cond(cond, ctx))?;
                 if taken {
                     self.exec_block(thread, then_block)?;
                 } else {

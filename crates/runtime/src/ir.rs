@@ -24,7 +24,11 @@ pub struct CodeLoc {
 impl CodeLoc {
     /// Creates a location.
     pub fn new(class: impl Into<String>, method: impl Into<String>, line: u32) -> Self {
-        CodeLoc { class: class.into(), method: method.into(), line }
+        CodeLoc {
+            class: class.into(),
+            method: method.into(),
+            line,
+        }
     }
 }
 
@@ -135,17 +139,29 @@ pub enum Instr {
 impl Instr {
     /// Shorthand for a fixed-size, non-pretenured allocation.
     pub fn alloc(class_name: impl Into<String>, size: SizeSpec, line: u32) -> Instr {
-        Instr::Alloc { class_name: class_name.into(), size, line, pretenure: false }
+        Instr::Alloc {
+            class_name: class_name.into(),
+            size,
+            line,
+            pretenure: false,
+        }
     }
 
     /// Shorthand for a call.
     pub fn call(class: impl Into<String>, method: impl Into<String>, line: u32) -> Instr {
-        Instr::Call { class: class.into(), method: method.into(), line }
+        Instr::Call {
+            class: class.into(),
+            method: method.into(),
+            line,
+        }
     }
 
     /// Shorthand for a native hook invocation.
     pub fn native(hook: impl Into<String>, line: u32) -> Instr {
-        Instr::Native { hook: hook.into(), line }
+        Instr::Native {
+            hook: hook.into(),
+            line,
+        }
     }
 
     /// The instruction's source line.
@@ -175,7 +191,10 @@ pub struct MethodDef {
 impl MethodDef {
     /// Creates an empty method.
     pub fn new(name: impl Into<String>) -> Self {
-        MethodDef { name: name.into(), body: Vec::new() }
+        MethodDef {
+            name: name.into(),
+            body: Vec::new(),
+        }
     }
 
     /// Appends an instruction (builder style).
@@ -203,7 +222,10 @@ pub struct ClassDef {
 impl ClassDef {
     /// Creates an empty class.
     pub fn new(name: impl Into<String>) -> Self {
-        ClassDef { name: name.into(), methods: Vec::new() }
+        ClassDef {
+            name: name.into(),
+            methods: Vec::new(),
+        }
     }
 
     /// Adds a method (builder style).
@@ -275,7 +297,11 @@ impl Program {
             for instr in block {
                 f(class, method, instr);
                 match instr {
-                    Instr::Branch { then_block, else_block, .. } => {
+                    Instr::Branch {
+                        then_block,
+                        else_block,
+                        ..
+                    } => {
                         walk(class, method, then_block, f);
                         walk(class, method, else_block, f);
                     }
@@ -368,6 +394,13 @@ mod tests {
         assert_eq!(Instr::native("h", 9).line(), 9);
         assert_eq!(Instr::RecordAlloc { line: 3 }.line(), 3);
         assert_eq!(Instr::RestoreGen { line: 4 }.line(), 4);
-        assert_eq!(Instr::SetGen { gen: GenId::new(1), line: 5 }.line(), 5);
+        assert_eq!(
+            Instr::SetGen {
+                gen: GenId::new(1),
+                line: 5
+            }
+            .line(),
+            5
+        );
     }
 }

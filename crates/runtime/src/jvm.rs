@@ -71,8 +71,11 @@ impl JvmBuilder {
     pub fn build(mut self, program: Program) -> Result<Jvm, RuntimeError> {
         let mut heap = Heap::new(self.config.heap);
         self.collector.attach(&mut heap);
-        let mut refs: Vec<&mut dyn ClassTransformer> =
-            self.transformers.iter_mut().map(|b| b.as_mut() as &mut dyn ClassTransformer).collect();
+        let mut refs: Vec<&mut dyn ClassTransformer> = self
+            .transformers
+            .iter_mut()
+            .map(|b| b.as_mut() as &mut dyn ClassTransformer)
+            .collect();
         let loaded = Loader::load(program, &mut refs, &mut heap)?;
         Ok(Jvm {
             config: self.config,
@@ -189,7 +192,9 @@ impl Jvm {
     ///
     /// Panics if the state is not an `S`.
     pub fn state_mut<S: 'static>(&mut self) -> &mut S {
-        self.state.downcast_mut::<S>().expect("workload state has unexpected type")
+        self.state
+            .downcast_mut::<S>()
+            .expect("workload state has unexpected type")
     }
 
     /// Creates a mutator thread.
@@ -220,9 +225,14 @@ impl Jvm {
     /// Forces a full collection cycle and logs its pauses (workload phase
     /// boundaries; also what `System.gc()` would do).
     pub fn force_collect(&mut self) {
-        let roots: Vec<_> = self.threads.iter().flat_map(MutatorThread::stack_roots).collect();
-        let pauses =
-            self.collector.collect(&mut self.heap, &polm2_gc::SafepointRoots::new(&roots));
+        let roots: Vec<_> = self
+            .threads
+            .iter()
+            .flat_map(MutatorThread::stack_roots)
+            .collect();
+        let pauses = self
+            .collector
+            .collect(&mut self.heap, &polm2_gc::SafepointRoots::new(&roots));
         self.log_pauses(pauses);
     }
 
@@ -235,7 +245,12 @@ impl Jvm {
         for p in pauses {
             let at = self.clock.now();
             self.clock.advance_paused(p.pause);
-            self.gc_log.push(GcEvent { at, kind: p.kind, pause: p.pause, work: p.work });
+            self.gc_log.push(GcEvent {
+                at,
+                kind: p.kind,
+                pause: p.pause,
+                work: p.work,
+            });
         }
     }
 

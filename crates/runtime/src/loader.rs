@@ -46,7 +46,11 @@ impl SiteTable {
             return id;
         }
         let id = SiteId::new(self.sites.len() as u32);
-        self.sites.push(SiteInfo { id, alloc_class: alloc_class.to_string(), location: location.clone() });
+        self.sites.push(SiteInfo {
+            id,
+            alloc_class: alloc_class.to_string(),
+            location: location.clone(),
+        });
         self.by_location.insert(location, id);
         id
     }
@@ -80,14 +84,43 @@ impl SiteTable {
 /// A resolved instruction (names replaced by indices/ids).
 #[derive(Debug, Clone)]
 pub(crate) enum RInstr {
-    Alloc { class: ClassId, size: RSize, site: SiteId, pretenure: bool, line: u32 },
-    Call { class_idx: u16, method_idx: u16, line: u32 },
-    Branch { cond: String, then_block: Vec<RInstr>, else_block: Vec<RInstr>, line: u32 },
-    Repeat { count: RCount, body: Vec<RInstr>, line: u32 },
-    Native { hook: String, line: u32 },
-    SetGen { gen: GenId, line: u32 },
-    RestoreGen { line: u32 },
-    RecordAlloc { line: u32 },
+    Alloc {
+        class: ClassId,
+        size: RSize,
+        site: SiteId,
+        pretenure: bool,
+        line: u32,
+    },
+    Call {
+        class_idx: u16,
+        method_idx: u16,
+        line: u32,
+    },
+    Branch {
+        cond: String,
+        then_block: Vec<RInstr>,
+        else_block: Vec<RInstr>,
+        line: u32,
+    },
+    Repeat {
+        count: RCount,
+        body: Vec<RInstr>,
+        line: u32,
+    },
+    Native {
+        hook: String,
+        line: u32,
+    },
+    SetGen {
+        gen: GenId,
+        line: u32,
+    },
+    RestoreGen {
+        line: u32,
+    },
+    RecordAlloc {
+        line: u32,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -133,10 +166,16 @@ impl LoadedProgram {
         let ci = *self
             .by_name
             .get(class)
-            .ok_or_else(|| RuntimeError::UnknownClass { class: class.to_string() })?;
-        let mi = *self.method_index.get(&(ci, method.to_string())).ok_or_else(|| {
-            RuntimeError::UnknownMethod { class: class.to_string(), method: method.to_string() }
-        })?;
+            .ok_or_else(|| RuntimeError::UnknownClass {
+                class: class.to_string(),
+            })?;
+        let mi = *self
+            .method_index
+            .get(&(ci, method.to_string()))
+            .ok_or_else(|| RuntimeError::UnknownMethod {
+                class: class.to_string(),
+                method: method.to_string(),
+            })?;
         Ok((ci, mi))
     }
 
@@ -149,11 +188,31 @@ impl LoadedProgram {
     ///
     /// # Panics
     ///
-    /// Panics if the indices do not belong to this program.
+    /// Panics if the indices do not belong to this program. For frames of
+    /// untrusted provenance (e.g. records read back from disk), use
+    /// [`try_code_loc`](Self::try_code_loc) instead.
     pub fn code_loc(&self, frame: TraceFrame) -> CodeLoc {
-        let class = &self.classes[frame.class_idx as usize];
-        let method = &class.methods[frame.method_idx as usize];
-        CodeLoc { class: class.name.clone(), method: method.name.clone(), line: frame.line }
+        self.try_code_loc(frame)
+            .expect("trace frame belongs to this program")
+    }
+
+    /// Like [`code_loc`](Self::code_loc), but returns `None` for frames whose
+    /// indices do not resolve in this program instead of panicking.
+    pub fn try_code_loc(&self, frame: TraceFrame) -> Option<CodeLoc> {
+        let class = self.classes.get(frame.class_idx as usize)?;
+        let method = class.methods.get(frame.method_idx as usize)?;
+        Some(CodeLoc {
+            class: class.name.clone(),
+            method: method.name.clone(),
+            line: frame.line,
+        })
+    }
+
+    /// True if the frame's class and method indices resolve in this program.
+    pub fn frame_is_valid(&self, frame: TraceFrame) -> bool {
+        self.classes
+            .get(frame.class_idx as usize)
+            .is_some_and(|c| c.methods.get(frame.method_idx as usize).is_some())
     }
 
     /// Number of loaded classes.
@@ -216,12 +275,23 @@ impl Loader {
                     &mut sites,
                     heap,
                 )?;
-                methods.push(LoadedMethod { name: method.name.clone(), body });
+                methods.push(LoadedMethod {
+                    name: method.name.clone(),
+                    body,
+                });
             }
-            classes.push(LoadedClass { name: class.name.clone(), methods });
+            classes.push(LoadedClass {
+                name: class.name.clone(),
+                methods,
+            });
         }
 
-        Ok(LoadedProgram { classes, by_name, method_index, sites })
+        Ok(LoadedProgram {
+            classes,
+            by_name,
+            method_index,
+            sites,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -237,10 +307,15 @@ impl Loader {
         let mut out = Vec::with_capacity(block.len());
         for instr in block {
             out.push(match instr {
-                Instr::Alloc { class_name: alloc_class, size, line, pretenure } => {
+                Instr::Alloc {
+                    class_name: alloc_class,
+                    size,
+                    line,
+                    pretenure,
+                } => {
                     let class = heap.classes_mut().intern(alloc_class);
-                    let site = sites
-                        .intern(alloc_class, CodeLoc::new(class_name, method_name, *line));
+                    let site =
+                        sites.intern(alloc_class, CodeLoc::new(class_name, method_name, *line));
                     RInstr::Alloc {
                         class,
                         size: match size {
@@ -252,26 +327,52 @@ impl Loader {
                         line: *line,
                     }
                 }
-                Instr::Call { class, method, line } => {
+                Instr::Call {
+                    class,
+                    method,
+                    line,
+                } => {
                     let ci = *by_name
                         .get(class)
-                        .ok_or_else(|| RuntimeError::UnknownClass { class: class.clone() })?;
-                    let mi =
-                        *method_index.get(&(ci, method.clone())).ok_or_else(|| {
-                            RuntimeError::UnknownMethod {
-                                class: class.clone(),
-                                method: method.clone(),
-                            }
+                        .ok_or_else(|| RuntimeError::UnknownClass {
+                            class: class.clone(),
                         })?;
-                    RInstr::Call { class_idx: ci, method_idx: mi, line: *line }
+                    let mi = *method_index.get(&(ci, method.clone())).ok_or_else(|| {
+                        RuntimeError::UnknownMethod {
+                            class: class.clone(),
+                            method: method.clone(),
+                        }
+                    })?;
+                    RInstr::Call {
+                        class_idx: ci,
+                        method_idx: mi,
+                        line: *line,
+                    }
                 }
-                Instr::Branch { cond, then_block, else_block, line } => RInstr::Branch {
+                Instr::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                    line,
+                } => RInstr::Branch {
                     cond: cond.clone(),
                     then_block: Self::resolve_block(
-                        then_block, class_name, method_name, by_name, method_index, sites, heap,
+                        then_block,
+                        class_name,
+                        method_name,
+                        by_name,
+                        method_index,
+                        sites,
+                        heap,
                     )?,
                     else_block: Self::resolve_block(
-                        else_block, class_name, method_name, by_name, method_index, sites, heap,
+                        else_block,
+                        class_name,
+                        method_name,
+                        by_name,
+                        method_index,
+                        sites,
+                        heap,
                     )?,
                     line: *line,
                 },
@@ -281,14 +382,24 @@ impl Loader {
                         CountSpec::Hook(h) => RCount::Hook(h.clone()),
                     },
                     body: Self::resolve_block(
-                        body, class_name, method_name, by_name, method_index, sites, heap,
+                        body,
+                        class_name,
+                        method_name,
+                        by_name,
+                        method_index,
+                        sites,
+                        heap,
                     )?,
                     line: *line,
                 },
-                Instr::Native { hook, line } => {
-                    RInstr::Native { hook: hook.clone(), line: *line }
-                }
-                Instr::SetGen { gen, line } => RInstr::SetGen { gen: *gen, line: *line },
+                Instr::Native { hook, line } => RInstr::Native {
+                    hook: hook.clone(),
+                    line: *line,
+                },
+                Instr::SetGen { gen, line } => RInstr::SetGen {
+                    gen: *gen,
+                    line: *line,
+                },
                 Instr::RestoreGen { line } => RInstr::RestoreGen { line: *line },
                 Instr::RecordAlloc { line } => RInstr::RecordAlloc { line: *line },
             });
@@ -308,9 +419,11 @@ mod tests {
         p.add_class(
             ClassDef::new("A")
                 .with_method(MethodDef::new("main").push(Instr::call("A", "make", 2)))
-                .with_method(
-                    MethodDef::new("make").push(Instr::alloc("Buf", SizeSpec::Fixed(64), 5)),
-                ),
+                .with_method(MethodDef::new("make").push(Instr::alloc(
+                    "Buf",
+                    SizeSpec::Fixed(64),
+                    5,
+                ))),
         );
         p
     }
@@ -361,10 +474,16 @@ mod tests {
         }
         let mut heap = Heap::new(HeapConfig::small());
         let mut t = AddAlloc;
-        let loaded =
-            Loader::load(sample(), &mut [&mut t], &mut heap).unwrap();
-        assert_eq!(loaded.sites().len(), 2, "transformer-inserted site must be registered");
-        assert!(loaded.sites().find(&CodeLoc::new("A", "main", 99)).is_some());
+        let loaded = Loader::load(sample(), &mut [&mut t], &mut heap).unwrap();
+        assert_eq!(
+            loaded.sites().len(),
+            2,
+            "transformer-inserted site must be registered"
+        );
+        assert!(loaded
+            .sites()
+            .find(&CodeLoc::new("A", "main", 99))
+            .is_some());
     }
 
     #[test]
@@ -386,7 +505,38 @@ mod tests {
     fn code_loc_resolution() {
         let mut heap = Heap::new(HeapConfig::small());
         let loaded = Loader::load(sample(), &mut [], &mut heap).unwrap();
-        let loc = loaded.code_loc(TraceFrame { class_idx: 0, method_idx: 1, line: 5 });
+        let loc = loaded.code_loc(TraceFrame {
+            class_idx: 0,
+            method_idx: 1,
+            line: 5,
+        });
         assert_eq!(loc, CodeLoc::new("A", "make", 5));
+    }
+
+    #[test]
+    fn out_of_range_frames_are_rejected_not_resolved() {
+        let mut heap = Heap::new(HeapConfig::small());
+        let loaded = Loader::load(sample(), &mut [], &mut heap).unwrap();
+        let good = TraceFrame {
+            class_idx: 0,
+            method_idx: 0,
+            line: 1,
+        };
+        let bad_class = TraceFrame {
+            class_idx: u16::MAX,
+            method_idx: 0,
+            line: 1,
+        };
+        let bad_method = TraceFrame {
+            class_idx: 0,
+            method_idx: u16::MAX,
+            line: 1,
+        };
+        assert!(loaded.frame_is_valid(good));
+        assert!(!loaded.frame_is_valid(bad_class));
+        assert!(!loaded.frame_is_valid(bad_method));
+        assert!(loaded.try_code_loc(good).is_some());
+        assert!(loaded.try_code_loc(bad_class).is_none());
+        assert!(loaded.try_code_loc(bad_method).is_none());
     }
 }

@@ -55,7 +55,10 @@ pub struct MutatorThread {
 
 impl MutatorThread {
     pub(crate) fn new(id: ThreadId) -> Self {
-        MutatorThread { id, frames: Vec::new() }
+        MutatorThread {
+            id,
+            frames: Vec::new(),
+        }
     }
 
     /// The thread id.
@@ -72,7 +75,11 @@ impl MutatorThread {
     pub fn trace(&self) -> Vec<TraceFrame> {
         self.frames
             .iter()
-            .map(|f| TraceFrame { class_idx: f.class_idx, method_idx: f.method_idx, line: f.line })
+            .map(|f| TraceFrame {
+                class_idx: f.class_idx,
+                method_idx: f.method_idx,
+                line: f.line,
+            })
             .collect()
     }
 

@@ -20,15 +20,27 @@ fn program_with(hook_names: &[(&str, u32)]) -> Program {
 #[test]
 fn missing_hook_fails_cleanly_and_jvm_survives() {
     let mut p = program_with(&[("exists", 1), ("missing", 2)]);
-    p.add_class(ClassDef::new("Other").with_method(
-        MethodDef::new("ok").push(Instr::alloc("X", SizeSpec::Fixed(16), 1)),
-    ));
+    p.add_class(
+        ClassDef::new("Other").with_method(MethodDef::new("ok").push(Instr::alloc(
+            "X",
+            SizeSpec::Fixed(16),
+            1,
+        ))),
+    );
     let mut hooks = HookRegistry::new();
     hooks.register_action("exists", |_| HookAction::default());
-    let mut jvm = Jvm::builder(RuntimeConfig::small()).hooks(hooks).build(p).unwrap();
+    let mut jvm = Jvm::builder(RuntimeConfig::small())
+        .hooks(hooks)
+        .build(p)
+        .unwrap();
     let t = jvm.spawn_thread();
     let err = jvm.invoke(t, "App", "main").unwrap_err();
-    assert_eq!(err, RuntimeError::UnknownHook { hook: "missing".into() });
+    assert_eq!(
+        err,
+        RuntimeError::UnknownHook {
+            hook: "missing".into()
+        }
+    );
     // The failed invocation unwound its frames; the runtime keeps working.
     assert_eq!(jvm.threads()[t.raw() as usize].depth(), 0);
     jvm.invoke(t, "Other", "ok").unwrap();
@@ -40,11 +52,13 @@ fn missing_hook_fails_cleanly_and_jvm_survives() {
 fn heap_exhaustion_surfaces_as_out_of_memory() {
     // Root everything: the collector eventually cannot free a single byte.
     let mut p = Program::new();
-    p.add_class(ClassDef::new("App").with_method(
-        MethodDef::new("hoard")
-            .push(Instr::alloc("Blob", SizeSpec::Fixed(65_536), 1))
-            .push(Instr::native("root_it", 2)),
-    ));
+    p.add_class(
+        ClassDef::new("App").with_method(
+            MethodDef::new("hoard")
+                .push(Instr::alloc("Blob", SizeSpec::Fixed(65_536), 1))
+                .push(Instr::native("root_it", 2)),
+        ),
+    );
     let mut hooks = HookRegistry::new();
     hooks.register_action("root_it", |ctx| {
         let obj = ctx.acc.expect("blob allocated");
@@ -52,7 +66,10 @@ fn heap_exhaustion_surfaces_as_out_of_memory() {
         ctx.heap.roots_mut().push(slot, obj);
         HookAction::default()
     });
-    let mut jvm = Jvm::builder(RuntimeConfig::small()).hooks(hooks).build(p).unwrap();
+    let mut jvm = Jvm::builder(RuntimeConfig::small())
+        .hooks(hooks)
+        .build(p)
+        .unwrap();
     let t = jvm.spawn_thread();
     let mut saw_oom = false;
     for _ in 0..200 {
@@ -74,12 +91,19 @@ fn panicking_size_hook_is_contained_by_the_test_harness() {
     // header byte? no — zero is allowed by the heap: it consumes no space
     // but still exists). Verify the runtime tolerates degenerate sizes.
     let mut p = Program::new();
-    p.add_class(ClassDef::new("App").with_method(
-        MethodDef::new("tiny").push(Instr::alloc("Z", SizeSpec::Hook("zero".into()), 1)),
-    ));
+    p.add_class(
+        ClassDef::new("App").with_method(MethodDef::new("tiny").push(Instr::alloc(
+            "Z",
+            SizeSpec::Hook("zero".into()),
+            1,
+        ))),
+    );
     let mut hooks = HookRegistry::new();
     hooks.register_size("zero", |_| 0);
-    let mut jvm = Jvm::builder(RuntimeConfig::small()).hooks(hooks).build(p).unwrap();
+    let mut jvm = Jvm::builder(RuntimeConfig::small())
+        .hooks(hooks)
+        .build(p)
+        .unwrap();
     let t = jvm.spawn_thread();
     jvm.invoke(t, "App", "tiny").unwrap();
     assert_eq!(jvm.heap().stats().allocated_objects, 1);
@@ -90,18 +114,22 @@ fn panicking_size_hook_is_contained_by_the_test_harness() {
 #[test]
 fn oversized_allocation_is_rejected_not_looped() {
     let mut p = Program::new();
-    p.add_class(ClassDef::new("App").with_method(
-        MethodDef::new("huge").push(Instr::alloc("Mega", SizeSpec::Fixed(10 << 20), 1)),
-    ));
+    p.add_class(
+        ClassDef::new("App").with_method(MethodDef::new("huge").push(Instr::alloc(
+            "Mega",
+            SizeSpec::Fixed(10 << 20),
+            1,
+        ))),
+    );
     let mut jvm = Jvm::builder(RuntimeConfig::small()).build(p).unwrap();
     let t = jvm.spawn_thread();
     let err = jvm.invoke(t, "App", "huge").unwrap_err();
     assert!(
         matches!(
             err,
-            RuntimeError::Gc(polm2_gc::GcError::Heap(polm2_heap::HeapError::ObjectTooLarge {
-                ..
-            }))
+            RuntimeError::Gc(polm2_gc::GcError::Heap(
+                polm2_heap::HeapError::ObjectTooLarge { .. }
+            ))
         ),
         "got {err}"
     );

@@ -27,32 +27,29 @@ fn kv_program() -> Program {
                     .push(Instr::call("Cell", "create", 10))
                     .push(Instr::native("insert", 11)),
             )
-            .with_method(
-                MethodDef::new("scratch")
-                    .push(Instr::alloc("Temp", SizeSpec::Fixed(512), 20)),
-            )
-            .with_method(
-                MethodDef::new("mixed")
-                    .push(Instr::Branch {
-                        cond: "flag".into(),
-                        then_block: vec![Instr::call("Store", "put", 31)],
-                        else_block: vec![Instr::call("Store", "scratch", 33)],
-                        line: 30,
-                    }),
-            )
-            .with_method(
-                MethodDef::new("batch")
-                    .push(Instr::Repeat {
-                        count: CountSpec::Fixed(10),
-                        body: vec![Instr::call("Store", "scratch", 41)],
-                        line: 40,
-                    }),
-            ),
+            .with_method(MethodDef::new("scratch").push(Instr::alloc(
+                "Temp",
+                SizeSpec::Fixed(512),
+                20,
+            )))
+            .with_method(MethodDef::new("mixed").push(Instr::Branch {
+                cond: "flag".into(),
+                then_block: vec![Instr::call("Store", "put", 31)],
+                else_block: vec![Instr::call("Store", "scratch", 33)],
+                line: 30,
+            }))
+            .with_method(MethodDef::new("batch").push(Instr::Repeat {
+                count: CountSpec::Fixed(10),
+                body: vec![Instr::call("Store", "scratch", 41)],
+                line: 40,
+            })),
     );
     p.add_class(
-        ClassDef::new("Cell").with_method(
-            MethodDef::new("create").push(Instr::alloc("Cell", SizeSpec::Hook("cell_size".into()), 5)),
-        ),
+        ClassDef::new("Cell").with_method(MethodDef::new("create").push(Instr::alloc(
+            "Cell",
+            SizeSpec::Hook("cell_size".into()),
+            5,
+        ))),
     );
     p
 }
@@ -64,7 +61,9 @@ fn hooks() -> HookRegistry {
         let slot = ctx.heap.roots_mut().create_slot("store");
         ctx.heap.roots_mut().push(slot, obj);
         ctx.state::<TestState>().inserts += 1;
-        HookAction { cost: Some(SimDuration::from_micros(2)) }
+        HookAction {
+            cost: Some(SimDuration::from_micros(2)),
+        }
     });
     h.register_cond("flag", |ctx| ctx.state::<TestState>().flag);
     h.register_size("cell_size", |_| 256);
@@ -101,7 +100,11 @@ fn branch_follows_condition_hook() {
     assert_eq!(vm.state_mut::<TestState>().inserts, 1);
     vm.state_mut::<TestState>().flag = false;
     vm.invoke(t, "Store", "mixed").unwrap();
-    assert_eq!(vm.state_mut::<TestState>().inserts, 1, "else branch allocates scratch only");
+    assert_eq!(
+        vm.state_mut::<TestState>().inserts,
+        1,
+        "else branch allocates scratch only"
+    );
     assert_eq!(vm.heap().stats().allocated_objects, 2);
 }
 
@@ -136,7 +139,10 @@ fn gc_cycles_are_logged_under_churn() {
     for _ in 0..5_000 {
         vm.invoke(t, "Store", "scratch").unwrap();
     }
-    assert!(vm.gc_log().cycle_count() > 0, "churn must trigger collections");
+    assert!(
+        vm.gc_log().cycle_count() > 0,
+        "churn must trigger collections"
+    );
     assert!(vm.clock().pause_time() > SimDuration::ZERO);
     vm.heap().check_invariants();
 }
@@ -155,7 +161,11 @@ fn in_flight_objects_survive_collection_via_stack_roots() {
     let inserts = vm.state_mut::<TestState>().inserts;
     assert_eq!(inserts, 3_000);
     vm.force_collect();
-    assert_eq!(vm.heap().object_count() as u64, inserts, "all inserted cells live");
+    assert_eq!(
+        vm.heap().object_count() as u64,
+        inserts,
+        "all inserted cells live"
+    );
 }
 
 #[test]
@@ -192,8 +202,11 @@ fn recorder_style_transformer_sees_allocation_events() {
     let events = vm.drain_alloc_events();
     assert_eq!(events.len(), 2);
     // The put's trace is Store.put -> Cell.create with the alloc line last.
-    let trace: Vec<CodeLoc> =
-        events[0].trace.iter().map(|&f| vm.program().code_loc(f)).collect();
+    let trace: Vec<CodeLoc> = events[0]
+        .trace
+        .iter()
+        .map(|&f| vm.program().code_loc(f))
+        .collect();
     assert_eq!(trace.len(), 2);
     assert_eq!(trace[0], CodeLoc::new("Store", "put", 10));
     assert_eq!(trace[1], CodeLoc::new("Cell", "create", 5));
@@ -213,7 +226,10 @@ fn set_gen_instructions_drive_ng2c_pretenuring() {
         ClassDef::new("App")
             .with_method(
                 MethodDef::new("main")
-                    .push(Instr::SetGen { gen: polm2_heap::GenId::new(2), line: 1 })
+                    .push(Instr::SetGen {
+                        gen: polm2_heap::GenId::new(2),
+                        line: 1,
+                    })
                     .push(Instr::call("App", "make", 2))
                     .push(Instr::RestoreGen { line: 3 }),
             )
@@ -234,7 +250,11 @@ fn set_gen_instructions_drive_ng2c_pretenuring() {
     vm.invoke(t, "App", "main").unwrap();
     let obj = ObjectId::new(0);
     let rec = vm.heap().object(obj).expect("allocated");
-    assert_eq!(rec.allocated_gen(), gen, "@Gen allocation must land in the target generation");
+    assert_eq!(
+        rec.allocated_gen(),
+        gen,
+        "@Gen allocation must land in the target generation"
+    );
 }
 
 #[test]
@@ -246,7 +266,10 @@ fn unbalanced_restore_gen_errors() {
     );
     let mut vm = Jvm::builder(RuntimeConfig::small()).build(p).unwrap();
     let t = vm.spawn_thread();
-    assert_eq!(vm.invoke(t, "App", "main"), Err(RuntimeError::UnbalancedRestoreGen));
+    assert_eq!(
+        vm.invoke(t, "App", "main"),
+        Err(RuntimeError::UnbalancedRestoreGen)
+    );
 }
 
 #[test]

@@ -11,8 +11,11 @@ use polm2_runtime::{ClassDef, Instr, Loader, MethodDef, Program, SizeSpec};
 /// fixed method `Lib.helper` so resolution always succeeds.
 fn arb_instr(depth: u32) -> BoxedStrategy<Instr> {
     let leaf = prop_oneof![
-        ("[A-Z][a-z]{1,6}", 1u32..500)
-            .prop_map(|(class, line)| Instr::alloc(class, SizeSpec::Fixed(16), line)),
+        ("[A-Z][a-z]{1,6}", 1u32..500).prop_map(|(class, line)| Instr::alloc(
+            class,
+            SizeSpec::Fixed(16),
+            line
+        )),
         (1u32..500).prop_map(|line| Instr::call("Lib", "helper", line)),
         (1u32..500).prop_map(|line| Instr::native("noop", line)),
     ];

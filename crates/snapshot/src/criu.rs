@@ -3,7 +3,7 @@
 use polm2_heap::{Heap, IdHashSet, IdentityHash};
 use polm2_metrics::{SimDuration, SimTime};
 
-use crate::{HeapDumper, Snapshot};
+use crate::{HeapDumper, Snapshot, SnapshotError};
 
 /// Which of the Dumper's two optimizations are enabled (the paper's §3.2;
 /// toggles exist for the ablation benches).
@@ -25,7 +25,12 @@ impl Default for DumperOptions {
     fn default() -> Self {
         // ~12 ms/MiB of captured pages at 4 KiB pages: raw page copies are
         // orders of magnitude cheaper than jmap's object-graph serialization.
-        DumperOptions { use_no_need: true, use_incremental: true, base_us: 3_000, us_per_page: 45 }
+        DumperOptions {
+            use_no_need: true,
+            use_incremental: true,
+            base_us: 3_000,
+            us_per_page: 45,
+        }
     }
 }
 
@@ -41,7 +46,10 @@ pub struct CriuDumper {
 impl CriuDumper {
     /// Creates a dumper with both optimizations enabled.
     pub fn new() -> Self {
-        CriuDumper { options: DumperOptions::default(), seq: 0 }
+        CriuDumper {
+            options: DumperOptions::default(),
+            seq: 0,
+        }
     }
 
     /// Creates a dumper with explicit options (ablation benches).
@@ -71,7 +79,7 @@ impl HeapDumper for CriuDumper {
         "criu-dumper"
     }
 
-    fn snapshot(&mut self, heap: &mut Heap, now: SimTime) -> Snapshot {
+    fn snapshot(&mut self, heap: &mut Heap, now: SimTime) -> Result<Snapshot, SnapshotError> {
         // Content: live-object identity hashes (snapshots run right after a
         // GC cycle; no mutator stacks are live).
         let live = heap.mark_live(&[]);
@@ -101,12 +109,11 @@ impl HeapDumper for CriuDumper {
         }
 
         let size_bytes = captured * page_bytes;
-        let capture_time = SimDuration::from_micros(
-            self.options.base_us + captured * self.options.us_per_page,
-        );
+        let capture_time =
+            SimDuration::from_micros(self.options.base_us + captured * self.options.us_per_page);
         let snap = Snapshot::new(self.seq, now, hashes, size_bytes, capture_time);
         self.seq += 1;
-        snap
+        Ok(snap)
     }
 }
 
@@ -121,7 +128,9 @@ mod tests {
         let slot = heap.roots_mut().create_slot("keep");
         let mut ids = Vec::new();
         for _ in 0..n {
-            let id = heap.allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+            let id = heap
+                .allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE)
+                .unwrap();
             heap.roots_mut().push(slot, id);
             ids.push(id);
         }
@@ -132,14 +141,19 @@ mod tests {
     fn snapshot_contains_live_objects_only() {
         let (mut heap, ids) = heap_with_live(4);
         let class = heap.classes_mut().intern("T");
-        let dead = heap.allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+        let dead = heap
+            .allocate(class, 64, SiteId::new(0), Heap::YOUNG_SPACE)
+            .unwrap();
         let dead_hash = heap.object(dead).unwrap().identity_hash();
         let mut dumper = CriuDumper::new();
-        let snap = dumper.snapshot(&mut heap, SimTime::ZERO);
+        let snap = dumper.snapshot(&mut heap, SimTime::ZERO).unwrap();
         for id in &ids {
             assert!(snap.contains(heap.object(*id).unwrap().identity_hash()));
         }
-        assert!(!snap.contains(dead_hash), "unreachable objects are excluded");
+        assert!(
+            !snap.contains(dead_hash),
+            "unreachable objects are excluded"
+        );
         assert_eq!(snap.live_objects, 4);
     }
 
@@ -147,8 +161,8 @@ mod tests {
     fn incremental_snapshots_shrink_when_nothing_changes() {
         let (mut heap, _ids) = heap_with_live(64);
         let mut dumper = CriuDumper::new();
-        let first = dumper.snapshot(&mut heap, SimTime::ZERO);
-        let second = dumper.snapshot(&mut heap, SimTime::from_secs(1));
+        let first = dumper.snapshot(&mut heap, SimTime::ZERO).unwrap();
+        let second = dumper.snapshot(&mut heap, SimTime::from_secs(1)).unwrap();
         assert!(first.size_bytes > 0);
         assert!(
             second.size_bytes < first.size_bytes / 4,
@@ -164,10 +178,10 @@ mod tests {
     fn dirty_pages_reappear_in_next_snapshot() {
         let (mut heap, ids) = heap_with_live(8);
         let mut dumper = CriuDumper::new();
-        dumper.snapshot(&mut heap, SimTime::ZERO);
+        dumper.snapshot(&mut heap, SimTime::ZERO).unwrap();
         // Touch one object: its page gets dirty again.
         heap.write_field(ids[0]).unwrap();
-        let third = dumper.snapshot(&mut heap, SimTime::from_secs(1));
+        let third = dumper.snapshot(&mut heap, SimTime::from_secs(1)).unwrap();
         assert!(third.size_bytes >= u64::from(heap.page_table().page_bytes()));
         assert!(third.size_bytes <= 4 * u64::from(heap.page_table().page_bytes()));
     }
@@ -178,27 +192,38 @@ mod tests {
         let mut heap = Heap::new(HeapConfig::small());
         let class = heap.classes_mut().intern("T");
         let slot = heap.roots_mut().create_slot("keep");
-        let keep = heap.allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+        let keep = heap
+            .allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE)
+            .unwrap();
         heap.roots_mut().push(slot, keep);
         for _ in 0..100 {
-            heap.allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+            heap.allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE)
+                .unwrap();
         }
-        let with = CriuDumper::new().snapshot(&mut heap, SimTime::ZERO).size_bytes;
+        let with = CriuDumper::new()
+            .snapshot(&mut heap, SimTime::ZERO)
+            .unwrap()
+            .size_bytes;
 
         // Same heap state, dumper without the no-need walk.
         let mut heap2 = Heap::new(HeapConfig::small());
         let class = heap2.classes_mut().intern("T");
         let slot = heap2.roots_mut().create_slot("keep");
-        let keep = heap2.allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+        let keep = heap2
+            .allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE)
+            .unwrap();
         heap2.roots_mut().push(slot, keep);
         for _ in 0..100 {
-            heap2.allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+            heap2
+                .allocate(class, 4096, SiteId::new(0), Heap::YOUNG_SPACE)
+                .unwrap();
         }
         let without = CriuDumper::with_options(DumperOptions {
             use_no_need: false,
             ..DumperOptions::default()
         })
         .snapshot(&mut heap2, SimTime::ZERO)
+        .unwrap()
         .size_bytes;
 
         assert!(
@@ -214,16 +239,16 @@ mod tests {
         // exactly why the paper's Figure 3 series does not collapse to zero.
         let (mut heap, ids) = heap_with_live(64);
         let mut dumper = CriuDumper::new();
-        dumper.snapshot(&mut heap, SimTime::ZERO);
+        dumper.snapshot(&mut heap, SimTime::ZERO).unwrap();
         // Touch 8 objects -> ~8 pages; touch 32 -> ~32 pages.
         for &id in ids.iter().take(8) {
             heap.write_field(id).unwrap();
         }
-        let small = dumper.snapshot(&mut heap, SimTime::from_secs(1));
+        let small = dumper.snapshot(&mut heap, SimTime::from_secs(1)).unwrap();
         for &id in ids.iter().take(32) {
             heap.write_field(id).unwrap();
         }
-        let large = dumper.snapshot(&mut heap, SimTime::from_secs(2));
+        let large = dumper.snapshot(&mut heap, SimTime::from_secs(2)).unwrap();
         assert!(
             large.size_bytes >= 3 * small.size_bytes,
             "4x the dirtied pages must grow the snapshot: {} vs {}",
@@ -236,8 +261,12 @@ mod tests {
     fn cost_scales_with_captured_bytes() {
         let (mut heap1, _) = heap_with_live(8);
         let (mut heap2, _) = heap_with_live(128);
-        let a = CriuDumper::new().snapshot(&mut heap1, SimTime::ZERO);
-        let b = CriuDumper::new().snapshot(&mut heap2, SimTime::ZERO);
+        let a = CriuDumper::new()
+            .snapshot(&mut heap1, SimTime::ZERO)
+            .unwrap();
+        let b = CriuDumper::new()
+            .snapshot(&mut heap2, SimTime::ZERO)
+            .unwrap();
         assert!(b.size_bytes > a.size_bytes);
         assert!(b.capture_time > a.capture_time);
     }

@@ -3,7 +3,7 @@
 use polm2_heap::{Heap, IdHashSet, IdentityHash};
 use polm2_metrics::{SimDuration, SimTime};
 
-use crate::{HeapDumper, Snapshot};
+use crate::{HeapDumper, Snapshot, SnapshotError};
 
 /// A `jmap -dump:live`-style baseline: every snapshot serializes the entire
 /// live object graph into an HPROF-like dump.
@@ -56,7 +56,7 @@ impl HeapDumper for JmapDumper {
         "jmap"
     }
 
-    fn snapshot(&mut self, heap: &mut Heap, now: SimTime) -> Snapshot {
+    fn snapshot(&mut self, heap: &mut Heap, now: SimTime) -> Result<Snapshot, SnapshotError> {
         let live = heap.mark_live(&[]);
         let mut hashes: IdHashSet<IdentityHash> = IdHashSet::default();
         let mut live_bytes: u64 = 0;
@@ -73,7 +73,7 @@ impl HeapDumper for JmapDumper {
         );
         let snap = Snapshot::new(self.seq, now, hashes, size_bytes, capture_time);
         self.seq += 1;
-        snap
+        Ok(snap)
     }
 }
 
@@ -88,7 +88,9 @@ mod tests {
         let class = heap.classes_mut().intern("T");
         let slot = heap.roots_mut().create_slot("keep");
         for i in 0..200 {
-            let id = heap.allocate(class, 2048, SiteId::new(0), Heap::YOUNG_SPACE).unwrap();
+            let id = heap
+                .allocate(class, 2048, SiteId::new(0), Heap::YOUNG_SPACE)
+                .unwrap();
             if i % 2 == 0 {
                 heap.roots_mut().push(slot, id);
             }
@@ -99,7 +101,9 @@ mod tests {
     #[test]
     fn jmap_dumps_live_objects_with_overhead() {
         let mut heap = populated_heap();
-        let snap = JmapDumper::new().snapshot(&mut heap, SimTime::ZERO);
+        let snap = JmapDumper::new()
+            .snapshot(&mut heap, SimTime::ZERO)
+            .unwrap();
         assert_eq!(snap.live_objects, 100);
         assert!(snap.size_bytes > 100 * 2048, "dump carries record overhead");
     }
@@ -108,9 +112,12 @@ mod tests {
     fn jmap_is_never_incremental() {
         let mut heap = populated_heap();
         let mut dumper = JmapDumper::new();
-        let first = dumper.snapshot(&mut heap, SimTime::ZERO);
-        let second = dumper.snapshot(&mut heap, SimTime::from_secs(1));
-        assert_eq!(first.size_bytes, second.size_bytes, "every jmap dump is full-size");
+        let first = dumper.snapshot(&mut heap, SimTime::ZERO).unwrap();
+        let second = dumper.snapshot(&mut heap, SimTime::from_secs(1)).unwrap();
+        assert_eq!(
+            first.size_bytes, second.size_bytes,
+            "every jmap dump is full-size"
+        );
         assert_eq!(dumper.snapshots_taken(), 2);
     }
 
@@ -118,10 +125,17 @@ mod tests {
     fn dumper_beats_jmap_on_time_by_an_order_of_magnitude() {
         // The paper's headline Dumper result: >90% time reduction.
         let mut heap = populated_heap();
-        let jmap = JmapDumper::new().snapshot(&mut heap, SimTime::ZERO);
+        let jmap = JmapDumper::new()
+            .snapshot(&mut heap, SimTime::ZERO)
+            .unwrap();
         let mut heap = populated_heap();
-        let criu = CriuDumper::new().snapshot(&mut heap, SimTime::ZERO);
+        let criu = CriuDumper::new()
+            .snapshot(&mut heap, SimTime::ZERO)
+            .unwrap();
         let ratio = criu.capture_time.as_micros() as f64 / jmap.capture_time.as_micros() as f64;
-        assert!(ratio < 0.10, "criu/jmap time ratio {ratio} must be below 0.10");
+        assert!(
+            ratio < 0.10,
+            "criu/jmap time ratio {ratio} must be below 0.10"
+        );
     }
 }

@@ -30,9 +30,9 @@
 //! heap.roots_mut().push(slot, obj);
 //!
 //! let mut dumper = CriuDumper::new();
-//! let snap = dumper.snapshot(&mut heap, SimTime::ZERO);
+//! let snap = dumper.snapshot(&mut heap, SimTime::ZERO)?;
 //! assert!(snap.contains(heap.object(obj).unwrap().identity_hash()));
-//! # Ok::<(), polm2_heap::HeapError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -46,8 +46,34 @@ pub use criu::{CriuDumper, DumperOptions};
 pub use jmap::JmapDumper;
 pub use record::{Snapshot, SnapshotSeries};
 
+use std::error::Error;
+use std::fmt;
+
 use polm2_heap::Heap;
 use polm2_metrics::SimTime;
+
+/// A snapshot capture attempt failed.
+///
+/// The paper's Dumper is an external process (CRIU) driven over RPC (§3.2):
+/// a dump can fail outright — the target process was busy at the safepoint,
+/// the image directory filled up, the coordinator timed out. The profiling
+/// pipeline must treat every capture as fallible and recover (retry, or skip
+/// and count) rather than assume snapshots always arrive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// Sequence number the failed capture would have had.
+    pub seq: u32,
+    /// Human-readable description of the failure.
+    pub reason: String,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot {} failed: {}", self.seq, self.reason)
+    }
+}
+
+impl Error for SnapshotError {}
 
 /// Anything that can capture a heap snapshot.
 ///
@@ -63,5 +89,11 @@ pub trait HeapDumper {
     /// Marks the heap (snapshots run right after a GC cycle, between
     /// operations, so no mutator stack roots exist) and accounts the capture
     /// cost.
-    fn snapshot(&mut self, heap: &mut Heap, now: SimTime) -> Snapshot;
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the capture could not be completed. A failed
+    /// attempt must leave the heap's page-table bookkeeping untouched so a
+    /// retry can still capture everything the failed attempt would have.
+    fn snapshot(&mut self, heap: &mut Heap, now: SimTime) -> Result<Snapshot, SnapshotError>;
 }

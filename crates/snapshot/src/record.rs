@@ -34,7 +34,14 @@ impl Snapshot {
         capture_time: SimDuration,
     ) -> Self {
         let live_objects = hashes.len() as u64;
-        Snapshot { seq, at, hashes, live_objects, size_bytes, capture_time }
+        Snapshot {
+            seq,
+            at,
+            hashes,
+            live_objects,
+            size_bytes,
+            capture_time,
+        }
     }
 
     /// True if an object with this identity hash was live at capture time.
@@ -111,7 +118,9 @@ impl SnapshotSeries {
 
 impl FromIterator<Snapshot> for SnapshotSeries {
     fn from_iter<T: IntoIterator<Item = Snapshot>>(iter: T) -> Self {
-        SnapshotSeries { snapshots: iter.into_iter().collect() }
+        SnapshotSeries {
+            snapshots: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -124,7 +133,9 @@ mod tests {
         Snapshot::new(
             seq,
             SimTime::from_secs(seq as u64),
-            ids.iter().map(|&i| IdentityHash::of(ObjectId::new(i))).collect(),
+            ids.iter()
+                .map(|&i| IdentityHash::of(ObjectId::new(i)))
+                .collect(),
             size,
             SimDuration::from_millis(ms),
         )
@@ -140,8 +151,9 @@ mod tests {
 
     #[test]
     fn series_accumulates_costs() {
-        let series: SnapshotSeries =
-            vec![snap(0, &[1], 100, 5), snap(1, &[1, 2], 300, 10)].into_iter().collect();
+        let series: SnapshotSeries = vec![snap(0, &[1], 100, 5), snap(1, &[1, 2], 300, 10)]
+            .into_iter()
+            .collect();
         assert_eq!(series.len(), 2);
         assert_eq!(series.total_size_bytes(), 400);
         assert_eq!(series.mean_size_bytes(), 200);

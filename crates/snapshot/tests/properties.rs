@@ -15,7 +15,12 @@ fn build_heap(sizes: &[u32], keep_mask: u64) -> (Heap, Vec<ObjectId>) {
     let mut kept = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
         let id = heap
-            .allocate(class, size.clamp(16, 64 << 10), SiteId::new(0), Heap::YOUNG_SPACE)
+            .allocate(
+                class,
+                size.clamp(16, 64 << 10),
+                SiteId::new(0),
+                Heap::YOUNG_SPACE,
+            )
             .expect("alloc");
         if keep_mask & (1 << (i % 64)) != 0 {
             heap.roots_mut().push(slot, id);
@@ -35,9 +40,9 @@ proptest! {
         keep_mask in any::<u64>(),
     ) {
         let (mut heap, kept) = build_heap(&sizes, keep_mask);
-        let criu = CriuDumper::new().snapshot(&mut heap, SimTime::ZERO);
+        let criu = CriuDumper::new().snapshot(&mut heap, SimTime::ZERO).unwrap();
         let (mut heap2, _) = build_heap(&sizes, keep_mask);
-        let jmap = JmapDumper::new().snapshot(&mut heap2, SimTime::ZERO);
+        let jmap = JmapDumper::new().snapshot(&mut heap2, SimTime::ZERO).unwrap();
         prop_assert_eq!(criu.live_objects, kept.len() as u64);
         prop_assert_eq!(jmap.live_objects, kept.len() as u64);
         for id in kept {
@@ -65,8 +70,8 @@ proptest! {
         for o in options {
             let (mut heap, _) = build_heap(&sizes, keep_mask);
             let mut dumper = CriuDumper::with_options(o);
-            let first = dumper.snapshot(&mut heap, SimTime::ZERO);
-            let second = dumper.snapshot(&mut heap, SimTime::from_secs(1));
+            let first = dumper.snapshot(&mut heap, SimTime::ZERO).unwrap();
+            let second = dumper.snapshot(&mut heap, SimTime::from_secs(1)).unwrap();
             if o.use_incremental {
                 prop_assert!(second.size_bytes <= first.size_bytes);
             }
@@ -87,8 +92,8 @@ proptest! {
     ) {
         let (mut small_heap, _) = build_heap(&a, u64::MAX);
         let (mut big_heap, _) = build_heap(&b, u64::MAX);
-        let small = CriuDumper::new().snapshot(&mut small_heap, SimTime::ZERO);
-        let big = CriuDumper::new().snapshot(&mut big_heap, SimTime::ZERO);
+        let small = CriuDumper::new().snapshot(&mut small_heap, SimTime::ZERO).unwrap();
+        let big = CriuDumper::new().snapshot(&mut big_heap, SimTime::ZERO).unwrap();
         prop_assert!(small.size_bytes <= big.size_bytes);
         prop_assert!(small.capture_time <= big.capture_time);
     }

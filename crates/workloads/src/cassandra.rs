@@ -177,7 +177,10 @@ impl CassandraWorkload {
 
     /// Write-intensive: 2 500 reads / 7 500 writes per second.
     pub fn write_intensive() -> Self {
-        CassandraWorkload::new("cassandra-wi", CassandraConfig::paper(OpMix::WRITE_INTENSIVE))
+        CassandraWorkload::new(
+            "cassandra-wi",
+            CassandraConfig::paper(OpMix::WRITE_INTENSIVE),
+        )
     }
 
     /// Balanced: 5 000 / 5 000.
@@ -187,7 +190,10 @@ impl CassandraWorkload {
 
     /// Read-intensive: 7 500 reads / 2 500 writes.
     pub fn read_intensive() -> Self {
-        CassandraWorkload::new("cassandra-ri", CassandraConfig::paper(OpMix::READ_INTENSIVE))
+        CassandraWorkload::new(
+            "cassandra-ri",
+            CassandraConfig::paper(OpMix::READ_INTENSIVE),
+        )
     }
 
     /// The configuration.
@@ -201,49 +207,48 @@ impl CassandraWorkload {
 pub fn program() -> Program {
     let mut p = Program::new();
     p.add_class(
-        ClassDef::new("Cassandra").with_method(
-            MethodDef::new("handleOp").push(Instr::Branch {
+        ClassDef::new("Cassandra")
+            .with_method(MethodDef::new("handleOp").push(Instr::Branch {
                 cond: "is_write".into(),
                 then_block: vec![Instr::call("Cassandra", "handleWrite", 2)],
                 else_block: vec![Instr::call("Cassandra", "handleRead", 3)],
                 line: 1,
-            }),
-        )
-        .with_method(
-            MethodDef::new("handleWrite")
-                .push(Instr::call("CommitLog", "append", 10))
-                .push(Instr::call("Memtable", "put", 11))
-                .push(Instr::Branch {
-                    cond: "needs_flush".into(),
-                    then_block: vec![Instr::call("Memtable", "flush", 13)],
-                    else_block: vec![],
-                    line: 12,
-                })
-                .push(Instr::alloc("WriteResponse", SizeSpec::Fixed(1024), 14)),
-        )
-        .with_method(
-            MethodDef::new("handleRead")
-                .push(Instr::alloc("ReadCommand", SizeSpec::Fixed(768), 20))
-                .push(Instr::Branch {
-                    cond: "cache_hit".into(),
-                    then_block: vec![Instr::native("cache_touch", 22)],
-                    else_block: vec![
-                        Instr::Branch {
-                            cond: "cache_seg_needed".into(),
-                            then_block: vec![
-                                Instr::alloc("CacheSegment", SizeSpec::Fixed(256), 24),
-                                Instr::native("install_cache_seg", 25),
-                            ],
-                            else_block: vec![],
-                            line: 23,
-                        },
-                        Instr::call("ReadPath", "materialize", 26),
-                        Instr::native("cache_insert", 27),
-                    ],
-                    line: 21,
-                })
-                .push(Instr::call("Buffers", "alloc", 28)),
-        ),
+            }))
+            .with_method(
+                MethodDef::new("handleWrite")
+                    .push(Instr::call("CommitLog", "append", 10))
+                    .push(Instr::call("Memtable", "put", 11))
+                    .push(Instr::Branch {
+                        cond: "needs_flush".into(),
+                        then_block: vec![Instr::call("Memtable", "flush", 13)],
+                        else_block: vec![],
+                        line: 12,
+                    })
+                    .push(Instr::alloc("WriteResponse", SizeSpec::Fixed(1024), 14)),
+            )
+            .with_method(
+                MethodDef::new("handleRead")
+                    .push(Instr::alloc("ReadCommand", SizeSpec::Fixed(768), 20))
+                    .push(Instr::Branch {
+                        cond: "cache_hit".into(),
+                        then_block: vec![Instr::native("cache_touch", 22)],
+                        else_block: vec![
+                            Instr::Branch {
+                                cond: "cache_seg_needed".into(),
+                                then_block: vec![
+                                    Instr::alloc("CacheSegment", SizeSpec::Fixed(256), 24),
+                                    Instr::native("install_cache_seg", 25),
+                                ],
+                                else_block: vec![],
+                                line: 23,
+                            },
+                            Instr::call("ReadPath", "materialize", 26),
+                            Instr::native("cache_insert", 27),
+                        ],
+                        line: 21,
+                    })
+                    .push(Instr::call("Buffers", "alloc", 28)),
+            ),
     );
     p.add_class(
         ClassDef::new("CommitLog").with_method(
@@ -261,9 +266,13 @@ pub fn program() -> Program {
                 .push(Instr::native("log_append", 54)),
         ),
     );
-    p.add_class(ClassDef::new("Buffers").with_method(
-        MethodDef::new("alloc").push(Instr::alloc("ByteBuffer", SizeSpec::Hook("buf_size".into()), 60)),
-    ));
+    p.add_class(
+        ClassDef::new("Buffers").with_method(MethodDef::new("alloc").push(Instr::alloc(
+            "ByteBuffer",
+            SizeSpec::Hook("buf_size".into()),
+            60,
+        ))),
+    );
     p.add_class(
         ClassDef::new("Memtable")
             .with_method(
@@ -306,13 +315,21 @@ pub fn program() -> Program {
                 .push(Instr::native("attach_value", 83)),
         ),
     );
-    p.add_class(ClassDef::new("Arrays").with_method(
-        MethodDef::new("copy").push(Instr::alloc("ByteArray", SizeSpec::Hook("value_size".into()), 90)),
-    ));
+    p.add_class(
+        ClassDef::new("Arrays").with_method(MethodDef::new("copy").push(Instr::alloc(
+            "ByteArray",
+            SizeSpec::Hook("value_size".into()),
+            90,
+        ))),
+    );
     p.add_class(
         ClassDef::new("SSTable").with_method(
             MethodDef::new("build")
-                .push(Instr::alloc("SSTableSummary", SizeSpec::Hook("summary_size".into()), 40))
+                .push(Instr::alloc(
+                    "SSTableSummary",
+                    SizeSpec::Hook("summary_size".into()),
+                    40,
+                ))
                 .push(Instr::native("register_summary", 41))
                 .push(Instr::alloc("BloomFilter", SizeSpec::Fixed(4096), 42))
                 .push(Instr::native("attach_bloom", 43)),
@@ -322,7 +339,11 @@ pub fn program() -> Program {
         ClassDef::new("ReadPath").with_method(
             MethodDef::new("materialize")
                 .push(Instr::call("Arrays", "copy", 100))
-                .push(Instr::alloc("CachedRow", SizeSpec::Hook("row_size".into()), 101)),
+                .push(Instr::alloc(
+                    "CachedRow",
+                    SizeSpec::Hook("row_size".into()),
+                    101,
+                )),
         ),
     );
     p
@@ -346,7 +367,9 @@ pub fn hooks() -> HookRegistry {
         let s = ctx.state::<CassandraState>();
         s.log_segment.is_none() || s.log_segment_entries >= s.config.log_segment_entries
     });
-    h.register_cond("memtable_missing", |ctx| ctx.state::<CassandraState>().memtable_obj.is_none());
+    h.register_cond("memtable_missing", |ctx| {
+        ctx.state::<CassandraState>().memtable_obj.is_none()
+    });
     h.register_cond("new_partition", |ctx| {
         let s = ctx.state::<CassandraState>();
         let partition = s.current_key / s.config.keys_per_partition;
@@ -417,8 +440,12 @@ pub fn hooks() -> HookRegistry {
             s.log_segment_entries += 1;
             s.log_segment.expect("rotate_log ran first")
         };
-        ctx.heap.add_ref(seg, entry).expect("segment and entry are live");
-        HookAction { cost: Some(SimDuration::from_micros(3)) }
+        ctx.heap
+            .add_ref(seg, entry)
+            .expect("segment and entry are live");
+        HookAction {
+            cost: Some(SimDuration::from_micros(3)),
+        }
     });
 
     // ---- memtable ----
@@ -441,7 +468,9 @@ pub fn hooks() -> HookRegistry {
             (s.memtable_obj.expect("memtable installed"), partition)
         };
         let _ = partition;
-        ctx.heap.add_ref(memtable, header).expect("memtable and header are live");
+        ctx.heap
+            .add_ref(memtable, header)
+            .expect("memtable and header are live");
         HookAction::default()
     });
     h.register_action("stash_name", |ctx| {
@@ -456,26 +485,47 @@ pub fn hooks() -> HookRegistry {
     });
     h.register_action("attach_value", |ctx| {
         let cell = ctx.acc.expect("Cell allocated");
-        let value = ctx.state::<CassandraState>().pending_value.take().expect("value stashed");
-        ctx.heap.add_ref(cell, value).expect("cell and value are live");
+        let value = ctx
+            .state::<CassandraState>()
+            .pending_value
+            .take()
+            .expect("value stashed");
+        ctx.heap
+            .add_ref(cell, value)
+            .expect("cell and value are live");
         HookAction::default()
     });
     h.register_action("memtable_insert", |ctx| {
         let cell = ctx.acc.expect("cell returned by Cell.create");
         let (memtable, name) = {
             let s = ctx.state::<CassandraState>();
-            (s.memtable_obj.expect("memtable installed"), s.pending_name.take().expect("name stashed"))
+            (
+                s.memtable_obj.expect("memtable installed"),
+                s.pending_name.take().expect("name stashed"),
+            )
         };
-        ctx.heap.add_ref(cell, name).expect("cell and name are live");
-        ctx.heap.add_ref(memtable, cell).expect("memtable and cell are live");
+        ctx.heap
+            .add_ref(cell, name)
+            .expect("cell and name are live");
+        ctx.heap
+            .add_ref(memtable, cell)
+            .expect("memtable and cell are live");
         let cell_bytes = 48
             + 64
-            + u64::from(ctx.heap.object(cell).expect("live cell").refs().iter().map(|&r| {
-                ctx.heap.object(r).map(|o| o.size()).unwrap_or(0)
-            }).sum::<u32>());
+            + u64::from(
+                ctx.heap
+                    .object(cell)
+                    .expect("live cell")
+                    .refs()
+                    .iter()
+                    .map(|&r| ctx.heap.object(r).map(|o| o.size()).unwrap_or(0))
+                    .sum::<u32>(),
+            );
         let s = ctx.state::<CassandraState>();
         s.memtable_bytes += cell_bytes;
-        HookAction { cost: Some(SimDuration::from_micros(4)) }
+        HookAction {
+            cost: Some(SimDuration::from_micros(4)),
+        }
     });
     h.register_action("flush_memtable", |ctx| {
         let slot = ctx.heap.roots_mut().create_slot("cassandra.memtable");
@@ -491,7 +541,9 @@ pub fn hooks() -> HookRegistry {
             ctx.heap.roots_mut().remove(slot, obj);
         }
         // Flushing writes the cohort out; the I/O cost is charged here.
-        HookAction { cost: Some(SimDuration::from_millis(2)) }
+        HookAction {
+            cost: Some(SimDuration::from_millis(2)),
+        }
     });
 
     // ---- sstables ----
@@ -516,13 +568,21 @@ pub fn hooks() -> HookRegistry {
     });
     h.register_action("attach_bloom", |ctx| {
         let bloom = ctx.acc.expect("BloomFilter allocated");
-        let summary = ctx.state::<CassandraState>().pending_summary.take().expect("summary stashed");
-        ctx.heap.add_ref(summary, bloom).expect("summary and bloom are live");
+        let summary = ctx
+            .state::<CassandraState>()
+            .pending_summary
+            .take()
+            .expect("summary stashed");
+        ctx.heap
+            .add_ref(summary, bloom)
+            .expect("summary and bloom are live");
         HookAction::default()
     });
 
     // ---- row cache ----
-    h.register_action("cache_touch", |_ctx| HookAction { cost: Some(SimDuration::from_micros(1)) });
+    h.register_action("cache_touch", |_ctx| HookAction {
+        cost: Some(SimDuration::from_micros(1)),
+    });
     h.register_action("install_cache_seg", |ctx| {
         let seg_obj = ctx.acc.expect("CacheSegment allocated");
         let slot = ctx.heap.roots_mut().create_slot("cassandra.rowcache");
@@ -553,10 +613,14 @@ pub fn hooks() -> HookRegistry {
             s.cache_segment_rows += 1;
             (seg_obj, s.current_key, s.cache_seg_counter)
         };
-        ctx.heap.add_ref(seg_obj, row).expect("segment and row are live");
+        ctx.heap
+            .add_ref(seg_obj, row)
+            .expect("segment and row are live");
         let s = ctx.state::<CassandraState>();
         s.cache_map.insert(key, seg_id);
-        HookAction { cost: Some(SimDuration::from_micros(5)) }
+        HookAction {
+            cost: Some(SimDuration::from_micros(5)),
+        }
     });
 
     h
@@ -570,18 +634,18 @@ pub mod sites {
     /// All candidate allocation sites an expert would review.
     pub fn candidates() -> Vec<CodeLoc> {
         vec![
-            CodeLoc::new("Cassandra", "handleRead", 20),  // ReadCommand (short)
+            CodeLoc::new("Cassandra", "handleRead", 20), // ReadCommand (short)
             CodeLoc::new("Cassandra", "handleWrite", 14), // WriteResponse (short)
-            CodeLoc::new("Cassandra", "handleRead", 24),  // CacheSegment
-            CodeLoc::new("CommitLog", "append", 51),      // LogSegment
-            CodeLoc::new("Buffers", "alloc", 60),         // ByteBuffer (conflict)
-            CodeLoc::new("Memtable", "put", 66),          // Memtable
-            CodeLoc::new("Memtable", "put", 71),          // PartitionHeader
-            CodeLoc::new("Memtable", "put", 73),          // CellName
-            CodeLoc::new("Cell", "create", 82),           // Cell
-            CodeLoc::new("Arrays", "copy", 90),           // ByteArray (conflict)
-            CodeLoc::new("SSTable", "build", 40),         // SSTableSummary
-            CodeLoc::new("SSTable", "build", 42),         // BloomFilter
+            CodeLoc::new("Cassandra", "handleRead", 24), // CacheSegment
+            CodeLoc::new("CommitLog", "append", 51),     // LogSegment
+            CodeLoc::new("Buffers", "alloc", 60),        // ByteBuffer (conflict)
+            CodeLoc::new("Memtable", "put", 66),         // Memtable
+            CodeLoc::new("Memtable", "put", 71),         // PartitionHeader
+            CodeLoc::new("Memtable", "put", 73),         // CellName
+            CodeLoc::new("Cell", "create", 82),          // Cell
+            CodeLoc::new("Arrays", "copy", 90),          // ByteArray (conflict)
+            CodeLoc::new("SSTable", "build", 40),        // SSTableSummary
+            CodeLoc::new("SSTable", "build", 42),        // BloomFilter
             CodeLoc::new("ReadPath", "materialize", 101), // CachedRow
         ]
     }
@@ -616,8 +680,14 @@ fn manual_profile_base() -> AllocationProfile {
     }
     // Path-aware setGeneration wrappers for the shared helpers: the
     // commit-log append and the cell-value copy are the middle-lived users.
-    p.add_gen_call(GenCall { at: CodeLoc::new("CommitLog", "append", 53), gen: g2 });
-    p.add_gen_call(GenCall { at: CodeLoc::new("Cell", "create", 80), gen: g2 });
+    p.add_gen_call(GenCall {
+        at: CodeLoc::new("CommitLog", "append", 53),
+        gen: g2,
+    });
+    p.add_gen_call(GenCall {
+        at: CodeLoc::new("Cell", "create", 80),
+        gen: g2,
+    });
     p
 }
 
@@ -630,8 +700,14 @@ fn manual_profile_ri() -> AllocationProfile {
     let g2 = GenId::new(2);
     // Misplacement: the read paths into the shared helpers get the
     // write-path generation.
-    p.add_gen_call(GenCall { at: CodeLoc::new("Cassandra", "handleRead", 28), gen: g2 });
-    p.add_gen_call(GenCall { at: CodeLoc::new("ReadPath", "materialize", 100), gen: g2 });
+    p.add_gen_call(GenCall {
+        at: CodeLoc::new("Cassandra", "handleRead", 28),
+        gen: g2,
+    });
+    p.add_gen_call(GenCall {
+        at: CodeLoc::new("ReadPath", "materialize", 100),
+        gen: g2,
+    });
     p
 }
 
@@ -703,7 +779,10 @@ mod tests {
             jvm.invoke(t, "Cassandra", "handleOp").unwrap();
         }
         let flushes = jvm.state_mut::<CassandraState>().flushes;
-        assert!(flushes >= 1, "1 MiB flush threshold must trigger: {flushes}");
+        assert!(
+            flushes >= 1,
+            "1 MiB flush threshold must trigger: {flushes}"
+        );
         // SSTable summaries exist and are rooted.
         assert!(jvm.heap().roots().find_slot("cassandra.sstables").is_some());
         jvm.heap().check_invariants();
@@ -741,7 +820,9 @@ mod tests {
 
     #[test]
     fn reads_hit_the_cache_for_hot_keys() {
-        let mut jvm = boot(OpMix { read_permille: 1000 });
+        let mut jvm = boot(OpMix {
+            read_permille: 1000,
+        });
         let t = jvm.spawn_thread();
         for _ in 0..5_000 {
             jvm.invoke(t, "Cassandra", "handleOp").unwrap();
@@ -768,7 +849,10 @@ mod tests {
     fn manual_profiles_differ_for_ri() {
         let wi = CassandraWorkload::write_intensive().manual_profile();
         let ri = CassandraWorkload::read_intensive().manual_profile();
-        assert!(ri.gen_calls().len() > wi.gen_calls().len(), "RI adds the misplaced wrappers");
+        assert!(
+            ri.gen_calls().len() > wi.gen_calls().len(),
+            "RI adds the misplaced wrappers"
+        );
         assert_eq!(wi.sites().len(), 11);
     }
 
@@ -777,6 +861,9 @@ mod tests {
         assert_eq!(CassandraWorkload::write_intensive().name(), "cassandra-wi");
         assert_eq!(CassandraWorkload::write_read().name(), "cassandra-wr");
         assert_eq!(CassandraWorkload::read_intensive().name(), "cassandra-ri");
-        assert_eq!(CassandraWorkload::write_intensive().entry(), ("Cassandra", "handleOp"));
+        assert_eq!(
+            CassandraWorkload::write_intensive().entry(),
+            ("Cassandra", "handleOp")
+        );
     }
 }

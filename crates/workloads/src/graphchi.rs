@@ -148,7 +148,10 @@ pub struct GraphchiWorkload {
 impl GraphchiWorkload {
     /// PageRank on the scaled Twitter-like graph.
     pub fn pagerank() -> Self {
-        GraphchiWorkload { name: "graphchi-pr", config: GraphchiConfig::paper(Algorithm::PageRank) }
+        GraphchiWorkload {
+            name: "graphchi-pr",
+            config: GraphchiConfig::paper(Algorithm::PageRank),
+        }
     }
 
     /// Connected Components on the scaled Twitter-like graph.
@@ -198,23 +201,25 @@ pub fn program() -> Program {
                     .push(Instr::alloc("CommitBuf", SizeSpec::Fixed(8192), 9))
                     .push(Instr::native("end_batch", 10)),
             )
-            .with_method(
-                MethodDef::new("init").push(Instr::Repeat {
-                    count: CountSpec::Hook("degree_blocks".into()),
-                    body: vec![
-                        Instr::alloc("DegreeTable", SizeSpec::Fixed(4096), 16),
-                        Instr::native("register_degrees", 17),
-                        Instr::call("Codec", "decode", 18),
-                        Instr::native("attach_degree_codec", 19),
-                    ],
-                    line: 15,
-                }),
-            ),
+            .with_method(MethodDef::new("init").push(Instr::Repeat {
+                count: CountSpec::Hook("degree_blocks".into()),
+                body: vec![
+                    Instr::alloc("DegreeTable", SizeSpec::Fixed(4096), 16),
+                    Instr::native("register_degrees", 17),
+                    Instr::call("Codec", "decode", 18),
+                    Instr::native("attach_degree_codec", 19),
+                ],
+                line: 15,
+            })),
     );
     p.add_class(
         ClassDef::new("Shard").with_method(
             MethodDef::new("loadBlock")
-                .push(Instr::alloc("EdgeBlock", SizeSpec::Hook("edge_block_size".into()), 20))
+                .push(Instr::alloc(
+                    "EdgeBlock",
+                    SizeSpec::Hook("edge_block_size".into()),
+                    20,
+                ))
                 .push(Instr::native("register_block", 21))
                 .push(Instr::call("Codec", "decode", 22))
                 .push(Instr::native("attach_block_codec", 23))
@@ -229,9 +234,13 @@ pub fn program() -> Program {
                 }),
         ),
     );
-    p.add_class(ClassDef::new("Codec").with_method(
-        MethodDef::new("decode").push(Instr::alloc("DecodeBuf", SizeSpec::Hook("decode_size".into()), 30)),
-    ));
+    p.add_class(
+        ClassDef::new("Codec").with_method(MethodDef::new("decode").push(Instr::alloc(
+            "DecodeBuf",
+            SizeSpec::Hook("decode_size".into()),
+            30,
+        ))),
+    );
     p.add_class(
         ClassDef::new("Engine").with_method(
             MethodDef::new("updateVertex")
@@ -265,7 +274,9 @@ pub fn program() -> Program {
 pub fn hooks() -> HookRegistry {
     let mut h = HookRegistry::new();
 
-    h.register_cond("needs_init", |ctx| !ctx.state::<GraphchiState>().initialized);
+    h.register_cond("needs_init", |ctx| {
+        !ctx.state::<GraphchiState>().initialized
+    });
     h.register_cond("shard_index_needed", |ctx| {
         let s = ctx.state::<GraphchiState>();
         s.blocks_loaded_in_batch % s.config.blocks_per_shard_index == 0
@@ -280,11 +291,15 @@ pub fn hooks() -> HookRegistry {
         s.vertices_created % s.config.vertices_per_value_block == 1
     });
 
-    h.register_count("blocks_in_batch", |ctx| ctx.state::<GraphchiState>().config.blocks_per_batch);
+    h.register_count("blocks_in_batch", |ctx| {
+        ctx.state::<GraphchiState>().config.blocks_per_batch
+    });
     h.register_count("vertices_in_batch", |ctx| {
         ctx.state::<GraphchiState>().config.vertices_per_batch
     });
-    h.register_count("degree_blocks", |ctx| ctx.state::<GraphchiState>().config.degree_blocks);
+    h.register_count("degree_blocks", |ctx| {
+        ctx.state::<GraphchiState>().config.degree_blocks
+    });
 
     h.register_size("edge_block_size", |ctx| {
         let s = ctx.state::<GraphchiState>();
@@ -312,19 +327,32 @@ pub fn hooks() -> HookRegistry {
             s.pending_block = Some(block);
             s.batch_holder.expect("install_batch ran")
         };
-        ctx.heap.add_ref(holder, block).expect("holder and block are live");
+        ctx.heap
+            .add_ref(holder, block)
+            .expect("holder and block are live");
         HookAction::default()
     });
     h.register_action("attach_block_codec", |ctx| {
         let buf = ctx.acc.expect("DecodeBuf allocated");
-        let block = ctx.state::<GraphchiState>().pending_block.take().expect("block stashed");
-        ctx.heap.add_ref(block, buf).expect("block and buf are live");
+        let block = ctx
+            .state::<GraphchiState>()
+            .pending_block
+            .take()
+            .expect("block stashed");
+        ctx.heap
+            .add_ref(block, buf)
+            .expect("block and buf are live");
         HookAction::default()
     });
     h.register_action("register_shard_index", |ctx| {
         let index = ctx.acc.expect("ShardIndex allocated");
-        let holder = ctx.state::<GraphchiState>().batch_holder.expect("install_batch ran");
-        ctx.heap.add_ref(holder, index).expect("holder and index are live");
+        let holder = ctx
+            .state::<GraphchiState>()
+            .batch_holder
+            .expect("install_batch ran");
+        ctx.heap
+            .add_ref(holder, index)
+            .expect("holder and index are live");
         HookAction::default()
     });
     h.register_action("register_degrees", |ctx| {
@@ -336,9 +364,14 @@ pub fn hooks() -> HookRegistry {
     });
     h.register_action("attach_degree_codec", |ctx| {
         let buf = ctx.acc.expect("DecodeBuf allocated");
-        let table =
-            ctx.state::<GraphchiState>().pending_degree_table.take().expect("table stashed");
-        ctx.heap.add_ref(table, buf).expect("table and buf are live");
+        let table = ctx
+            .state::<GraphchiState>()
+            .pending_degree_table
+            .take()
+            .expect("table stashed");
+        ctx.heap
+            .add_ref(table, buf)
+            .expect("table and buf are live");
         HookAction::default()
     });
     h.register_action("register_vertex", |ctx| {
@@ -399,13 +432,17 @@ pub fn hooks() -> HookRegistry {
         let slot = ctx.heap.roots_mut().create_slot("graphchi.batch");
         if let Some(h_obj) = holder {
             // The commit buffer rides along with the batch it commits.
-            ctx.heap.add_ref(h_obj, commit).expect("holder and commit are live");
+            ctx.heap
+                .add_ref(h_obj, commit)
+                .expect("holder and commit are live");
         }
         // The oldest batch leaves the shard window; its blocks die together.
         if let Some(old) = retired {
             ctx.heap.roots_mut().remove(slot, old);
         }
-        HookAction { cost: Some(SimDuration::from_millis(5)) }
+        HookAction {
+            cost: Some(SimDuration::from_millis(5)),
+        }
     });
 
     h
@@ -418,12 +455,12 @@ pub mod sites {
     /// All candidate allocation sites.
     pub fn candidates() -> Vec<CodeLoc> {
         vec![
-            CodeLoc::new("GraphChi", "runBatch", 3),   // BatchHolder
-            CodeLoc::new("GraphChi", "runBatch", 9),   // CommitBuf
-            CodeLoc::new("GraphChi", "init", 16),      // DegreeTable
-            CodeLoc::new("Shard", "loadBlock", 20),    // EdgeBlock
-            CodeLoc::new("Shard", "loadBlock", 25),    // ShardIndex
-            CodeLoc::new("Codec", "decode", 30),       // DecodeBuf (conflict)
+            CodeLoc::new("GraphChi", "runBatch", 3),    // BatchHolder
+            CodeLoc::new("GraphChi", "runBatch", 9),    // CommitBuf
+            CodeLoc::new("GraphChi", "init", 16),       // DegreeTable
+            CodeLoc::new("Shard", "loadBlock", 20),     // EdgeBlock
+            CodeLoc::new("Shard", "loadBlock", 25),     // ShardIndex
+            CodeLoc::new("Codec", "decode", 30),        // DecodeBuf (conflict)
             CodeLoc::new("Engine", "updateVertex", 41), // VertexState
             CodeLoc::new("Engine", "updateVertex", 44), // ValueBlock
             CodeLoc::new("Engine", "updateVertex", 47), // MsgScratch
@@ -449,10 +486,17 @@ fn manual_profile() -> AllocationProfile {
         (CodeLoc::new("Engine", "updateVertex", 41), g3),
         (CodeLoc::new("Engine", "updateVertex", 44), g3),
     ] {
-        p.add_site(PretenuredSite { loc, gen, local: true });
+        p.add_site(PretenuredSite {
+            loc,
+            gen,
+            local: true,
+        });
     }
     // One wrapper the expert did place: the whole load loop runs in gen 2.
-    p.add_gen_call(GenCall { at: CodeLoc::new("GraphChi", "runBatch", 6), gen: g2 });
+    p.add_gen_call(GenCall {
+        at: CodeLoc::new("GraphChi", "runBatch", 6),
+        gen: g2,
+    });
     p
 }
 

@@ -141,7 +141,9 @@ pub struct LuceneWorkload {
 impl LuceneWorkload {
     /// The paper's Lucene workload.
     pub fn paper() -> Self {
-        LuceneWorkload { config: LuceneConfig::paper() }
+        LuceneWorkload {
+            config: LuceneConfig::paper(),
+        }
     }
 
     /// With a custom configuration.
@@ -159,14 +161,12 @@ impl LuceneWorkload {
 pub fn program() -> Program {
     let mut p = Program::new();
     p.add_class(
-        ClassDef::new("Lucene").with_method(
-            MethodDef::new("handleOp").push(Instr::Branch {
-                cond: "is_update".into(),
-                then_block: vec![Instr::call("IndexWriter", "updateDocument", 2)],
-                else_block: vec![Instr::call("Searcher", "search", 3)],
-                line: 1,
-            }),
-        ),
+        ClassDef::new("Lucene").with_method(MethodDef::new("handleOp").push(Instr::Branch {
+            cond: "is_update".into(),
+            then_block: vec![Instr::call("IndexWriter", "updateDocument", 2)],
+            else_block: vec![Instr::call("Searcher", "search", 3)],
+            line: 1,
+        })),
     );
     p.add_class(
         ClassDef::new("IndexWriter").with_method(
@@ -192,17 +192,15 @@ pub fn program() -> Program {
         ),
     );
     p.add_class(
-        ClassDef::new("TermDict").with_method(
-            MethodDef::new("lookup").push(Instr::Branch {
-                cond: "term_is_new".into(),
-                then_block: vec![
-                    Instr::alloc("TermEntry", SizeSpec::Fixed(96), 21),
-                    Instr::native("register_term", 22),
-                ],
-                else_block: vec![],
-                line: 20,
-            }),
-        ),
+        ClassDef::new("TermDict").with_method(MethodDef::new("lookup").push(Instr::Branch {
+            cond: "term_is_new".into(),
+            then_block: vec![
+                Instr::alloc("TermEntry", SizeSpec::Fixed(96), 21),
+                Instr::native("register_term", 22),
+            ],
+            else_block: vec![],
+            line: 20,
+        })),
     );
     p.add_class(
         ClassDef::new("Postings").with_method(
@@ -213,9 +211,13 @@ pub fn program() -> Program {
                 .push(Instr::native("link_posting", 33)),
         ),
     );
-    p.add_class(ClassDef::new("Buffers").with_method(
-        MethodDef::new("grow").push(Instr::alloc("ByteBlock", SizeSpec::Hook("block_size".into()), 40)),
-    ));
+    p.add_class(
+        ClassDef::new("Buffers").with_method(MethodDef::new("grow").push(Instr::alloc(
+            "ByteBlock",
+            SizeSpec::Hook("block_size".into()),
+            40,
+        ))),
+    );
     p.add_class(
         ClassDef::new("Segments").with_method(
             MethodDef::new("seal")
@@ -227,9 +229,13 @@ pub fn program() -> Program {
                 .push(Instr::native("attach_index_block", 55)),
         ),
     );
-    p.add_class(ClassDef::new("Pool").with_method(
-        MethodDef::new("get").push(Instr::alloc("PooledBuf", SizeSpec::Hook("pool_size".into()), 60)),
-    ));
+    p.add_class(
+        ClassDef::new("Pool").with_method(MethodDef::new("get").push(Instr::alloc(
+            "PooledBuf",
+            SizeSpec::Hook("pool_size".into()),
+            60,
+        ))),
+    );
     p.add_class(
         ClassDef::new("Searcher").with_method(
             MethodDef::new("search")
@@ -271,8 +277,12 @@ pub fn hooks() -> HookRegistry {
         s.updates_in_segment >= s.config.updates_per_segment
     });
 
-    h.register_count("terms_per_doc", |ctx| ctx.state::<LuceneState>().config.terms_per_doc);
-    h.register_count("terms_per_search", |ctx| ctx.state::<LuceneState>().config.terms_per_search);
+    h.register_count("terms_per_doc", |ctx| {
+        ctx.state::<LuceneState>().config.terms_per_doc
+    });
+    h.register_count("terms_per_search", |ctx| {
+        ctx.state::<LuceneState>().config.terms_per_search
+    });
 
     h.register_size("block_size", |ctx| {
         let s = ctx.state::<LuceneState>();
@@ -315,15 +325,21 @@ pub fn hooks() -> HookRegistry {
                 s.pending_payload.take().expect("payload stashed"),
             )
         };
-        ctx.heap.add_ref(posting, payload).expect("posting and payload are live");
-        ctx.heap.add_ref(holder, posting).expect("holder and posting are live");
+        ctx.heap
+            .add_ref(posting, payload)
+            .expect("posting and payload are live");
+        ctx.heap
+            .add_ref(holder, posting)
+            .expect("holder and posting are live");
         HookAction::default()
     });
     h.register_action("finish_update", |ctx| {
         let s = ctx.state::<LuceneState>();
         s.updates += 1;
         s.updates_in_segment += 1;
-        HookAction { cost: Some(SimDuration::from_micros(6)) }
+        HookAction {
+            cost: Some(SimDuration::from_micros(6)),
+        }
     });
     h.register_action("register_segment", |ctx| {
         let segment = ctx.acc.expect("SegmentMeta allocated");
@@ -348,19 +364,32 @@ pub fn hooks() -> HookRegistry {
     });
     h.register_action("attach_norms", |ctx| {
         let norms = ctx.acc.expect("PooledBuf allocated");
-        let segment = ctx.state::<LuceneState>().pending_segment.expect("segment stashed");
-        ctx.heap.add_ref(segment, norms).expect("segment and norms are live");
+        let segment = ctx
+            .state::<LuceneState>()
+            .pending_segment
+            .expect("segment stashed");
+        ctx.heap
+            .add_ref(segment, norms)
+            .expect("segment and norms are live");
         HookAction::default()
     });
     h.register_action("attach_index_block", |ctx| {
         let block = ctx.acc.expect("ByteBlock allocated");
-        let segment = ctx.state::<LuceneState>().pending_segment.take().expect("segment stashed");
-        ctx.heap.add_ref(segment, block).expect("segment and block are live");
+        let segment = ctx
+            .state::<LuceneState>()
+            .pending_segment
+            .take()
+            .expect("segment stashed");
+        ctx.heap
+            .add_ref(segment, block)
+            .expect("segment and block are live");
         HookAction::default()
     });
     h.register_action("finish_search", |ctx| {
         ctx.state::<LuceneState>().searches += 1;
-        HookAction { cost: Some(SimDuration::from_micros(10)) }
+        HookAction {
+            cost: Some(SimDuration::from_micros(10)),
+        }
     });
 
     h
@@ -402,7 +431,11 @@ fn manual_profile() -> AllocationProfile {
         (CodeLoc::new("Buffers", "grow", 40), true),
         (CodeLoc::new("Pool", "get", 60), true),
     ] {
-        p.add_site(PretenuredSite { loc, gen: g2, local });
+        p.add_site(PretenuredSite {
+            loc,
+            gen: g2,
+            local,
+        });
     }
     p
 }
@@ -511,7 +544,11 @@ mod tests {
             jvm.invoke(t, "Lucene", "handleOp").unwrap();
         }
         let s = jvm.state_mut::<LuceneState>();
-        assert!(s.segments_sealed >= 2, "segments must seal: {}", s.segments_sealed);
+        assert!(
+            s.segments_sealed >= 2,
+            "segments must seal: {}",
+            s.segments_sealed
+        );
         assert!(s.segments.len() <= s.config.segment_cap);
         assert!(s.searches > 0, "search path exercised");
         jvm.heap().check_invariants();
@@ -522,7 +559,11 @@ mod tests {
         let p = manual_profile();
         // The misplacement: helper sites are local (no call-site wrappers),
         // so search scratch gets pretenured too.
-        assert!(p.site_at(&CodeLoc::new("Buffers", "grow", 40)).unwrap().local);
+        assert!(
+            p.site_at(&CodeLoc::new("Buffers", "grow", 40))
+                .unwrap()
+                .local
+        );
         assert!(p.gen_calls().is_empty());
     }
 }

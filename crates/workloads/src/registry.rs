@@ -33,7 +33,14 @@ mod tests {
         let names: Vec<&str> = paper_workloads().iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
-            ["cassandra-wi", "cassandra-wr", "cassandra-ri", "lucene", "graphchi-cc", "graphchi-pr"]
+            [
+                "cassandra-wi",
+                "cassandra-wr",
+                "cassandra-ri",
+                "lucene",
+                "graphchi-cc",
+                "graphchi-pr"
+            ]
         );
     }
 

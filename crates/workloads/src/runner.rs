@@ -1,10 +1,15 @@
 //! The closed-loop workload driver: runs a workload under a collector setup
 //! and gathers every metric the paper's figures need.
 
-use polm2_core::{AnalysisOutcome, AnalyzerConfig, ProductionSetup, ProfilingSession, SnapshotPolicy};
+use polm2_core::{
+    AnalysisOutcome, AnalyzerConfig, FaultConfig, PipelineError, ProductionSetup, ProfilingSession,
+    RecoveryPolicy, SnapshotPolicy,
+};
 use polm2_gc::{C4Collector, GcLog, Ng2cCollector};
-use polm2_metrics::{MemoryTracker, PauseHistogram, SimDuration, SimTime, ThroughputTracker};
-use polm2_runtime::{Jvm, RuntimeConfig, RuntimeError};
+use polm2_metrics::{
+    FaultCounters, MemoryTracker, PauseHistogram, SimDuration, SimTime, ThroughputTracker,
+};
+use polm2_runtime::{Jvm, RuntimeConfig};
 use polm2_snapshot::SnapshotSeries;
 
 use crate::workload::{CollectorSetup, Workload};
@@ -67,6 +72,9 @@ pub struct RunResult {
     pub warmup_end: SimTime,
     /// Total simulated run length.
     pub duration: SimDuration,
+    /// Faults absorbed while setting up the run (stale profile entries the
+    /// Instrumenter skipped); all-zero for profile-free setups.
+    pub fault_counters: FaultCounters,
 }
 
 impl RunResult {
@@ -84,7 +92,8 @@ impl RunResult {
     /// Mean throughput over the measured window, operations/second
     /// (Figure 7).
     pub fn mean_throughput(&self) -> f64 {
-        self.throughput.mean_ops_per_sec(self.warmup_end, SimTime::ZERO + self.duration)
+        self.throughput
+            .mean_ops_per_sec(self.warmup_end, SimTime::ZERO + self.duration)
     }
 
     /// Maximum committed memory over the measured window (Figure 9).
@@ -103,12 +112,15 @@ impl RunResult {
 /// # Errors
 ///
 /// Propagates runtime failures (the heap is sized so none occur with the
-/// paper configurations).
+/// paper configurations). Stale profile entries are *not* errors: the
+/// Instrumenter skips them and they are reported via
+/// [`RunResult::fault_counters`].
 pub fn run_workload(
     workload: &dyn Workload,
     setup: &CollectorSetup,
     config: &RunConfig,
-) -> Result<RunResult, RuntimeError> {
+) -> Result<RunResult, PipelineError> {
+    let program = workload.program();
     let mut builder = Jvm::builder(config.runtime)
         .hooks(workload.hooks())
         .state(workload.new_state(config.seed));
@@ -120,17 +132,24 @@ pub fn run_workload(
         }
         CollectorSetup::Ng2cManual => {
             builder = builder.collector(Box::new(Ng2cCollector::new(config.runtime.gc)));
-            Some(ProductionSetup::new(workload.manual_profile()))
+            Some(ProductionSetup::checked(
+                &workload.manual_profile(),
+                &program,
+            ))
         }
         CollectorSetup::Polm2(profile) => {
             builder = builder.collector(Box::new(Ng2cCollector::new(config.runtime.gc)));
-            Some(ProductionSetup::new(profile.clone()))
+            Some(ProductionSetup::checked(profile, &program))
         }
     };
     if let Some(setup) = &production {
         builder = builder.transformer(setup.agent());
     }
-    let mut jvm = builder.build(workload.program())?;
+    let fault_counters = production
+        .as_ref()
+        .map(ProductionSetup::fault_counters)
+        .unwrap_or_default();
+    let mut jvm = builder.build(program)?;
     if let Some(setup) = &production {
         setup.prepare_generations(&mut jvm);
     }
@@ -174,6 +193,7 @@ pub fn run_workload(
         measured_ops,
         warmup_end,
         duration: config.duration,
+        fault_counters,
     })
 }
 
@@ -192,6 +212,10 @@ pub struct ProfilePhaseConfig {
     pub policy: SnapshotPolicy,
     /// Analyzer tuning.
     pub analyzer: AnalyzerConfig,
+    /// Seeded fault injection (chaos testing); inert by default.
+    pub faults: FaultConfig,
+    /// Snapshot-failure recovery policy.
+    pub recovery: RecoveryPolicy,
 }
 
 impl ProfilePhaseConfig {
@@ -204,12 +228,17 @@ impl ProfilePhaseConfig {
             runtime: RuntimeConfig::paper_scaled(),
             policy: SnapshotPolicy::default(),
             analyzer: AnalyzerConfig::default(),
+            faults: FaultConfig::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
     /// A short configuration for tests.
     pub fn short() -> Self {
-        ProfilePhaseConfig { duration: SimDuration::from_secs(90), ..ProfilePhaseConfig::paper() }
+        ProfilePhaseConfig {
+            duration: SimDuration::from_secs(90),
+            ..ProfilePhaseConfig::paper()
+        }
     }
 }
 
@@ -223,21 +252,35 @@ pub struct ProfilePhaseResult {
     pub recorder_sites: u64,
     /// Allocations recorded.
     pub recorded_allocations: u64,
-    /// The snapshot series (sizes and capture times for Figures 3–4).
+    /// The snapshot series (sizes and capture times for Figures 3–4),
+    /// including the end-of-run snapshot.
     pub snapshots: SnapshotSeries,
+    /// Faults absorbed and recovery actions taken during profiling;
+    /// all-zero for a fault-free run.
+    pub counters: FaultCounters,
 }
 
 /// Runs the POLM2 profiling phase on `workload` (under G1 — profiling needs
 /// no pretenuring support) and returns the analysis.
 ///
+/// When [`ProfilePhaseConfig::faults`] is not inert, the session runs under
+/// seeded fault injection and recovers per [`ProfilePhaseConfig::recovery`];
+/// absorbed faults appear in [`ProfilePhaseResult::counters`].
+///
 /// # Errors
 ///
-/// Propagates runtime failures.
+/// Propagates runtime failures, and snapshot loss when the recovery policy
+/// demands aborting on it.
 pub fn profile_workload(
     workload: &dyn Workload,
     config: &ProfilePhaseConfig,
-) -> Result<ProfilePhaseResult, RuntimeError> {
-    let mut session = ProfilingSession::new(config.policy);
+) -> Result<ProfilePhaseResult, PipelineError> {
+    let mut session = if config.faults.is_inert() {
+        ProfilingSession::new(config.policy)
+    } else {
+        ProfilingSession::with_faults(config.policy, config.faults)
+    }
+    .with_recovery(config.recovery);
     let mut jvm = Jvm::builder(config.runtime)
         .hooks(workload.hooks())
         .state(workload.new_state(config.seed))
@@ -250,13 +293,18 @@ pub fn profile_workload(
     while jvm.now() < end {
         jvm.invoke(thread, class, method)?;
         jvm.advance_mutator(op_cost);
-        session.after_op(&mut jvm);
+        session.after_op(&mut jvm)?;
     }
     let recorder_sites = session.instrumented_sites();
     let recorded_allocations = session.recorded_allocations();
-    let snapshots = session.snapshots().clone();
-    let outcome = session.finish(&mut jvm, &config.analyzer);
-    Ok(ProfilePhaseResult { outcome, recorder_sites, recorded_allocations, snapshots })
+    let report = session.finish(&mut jvm, &config.analyzer)?;
+    Ok(ProfilePhaseResult {
+        outcome: report.outcome,
+        recorder_sites,
+        recorded_allocations,
+        snapshots: report.snapshots,
+        counters: report.counters,
+    })
 }
 
 #[cfg(test)]

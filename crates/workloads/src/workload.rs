@@ -73,7 +73,10 @@ mod tests {
     fn labels_match_paper_names() {
         assert_eq!(CollectorSetup::G1.label(), "G1");
         assert_eq!(CollectorSetup::Ng2cManual.label(), "NG2C");
-        assert_eq!(CollectorSetup::Polm2(AllocationProfile::new()).label(), "POLM2");
+        assert_eq!(
+            CollectorSetup::Polm2(AllocationProfile::new()).label(),
+            "POLM2"
+        );
         assert_eq!(CollectorSetup::C4.label(), "C4");
     }
 }

@@ -63,12 +63,22 @@ impl ZipfGenerator {
     /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "key space must be non-empty");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0, 1)"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        ZipfGenerator { n, theta, alpha, zetan, eta, zeta2 }
+        ZipfGenerator {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -116,7 +126,10 @@ mod tests {
         let mix = OpMix::READ_INTENSIVE;
         let reads = (0..100_000).filter(|_| mix.next_is_read(&mut rng)).count();
         let ratio = reads as f64 / 100_000.0;
-        assert!((ratio - 0.75).abs() < 0.01, "read ratio {ratio} should be ~0.75");
+        assert!(
+            (ratio - 0.75).abs() < 0.01,
+            "read ratio {ratio} should be ~0.75"
+        );
     }
 
     #[test]

@@ -74,7 +74,8 @@ fn every_paper_workload_sustains_extended_execution() {
         let end = polm2_metrics::SimTime::ZERO + SimDuration::from_secs(60);
         let mut ops = 0u64;
         while jvm.now() < end {
-            jvm.invoke(t, class, method).unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+            jvm.invoke(t, class, method)
+                .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
             jvm.advance_mutator(workload.op_cost());
             ops += 1;
         }

@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     eprintln!("profiling {} ...", workload.name());
-    let profile = profile_workload(&workload, &profile_config)?.outcome.profile;
+    let profile = profile_workload(&workload, &profile_config)?
+        .outcome
+        .profile;
 
     let setups = [
         CollectorSetup::G1,
@@ -45,18 +47,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "C4".into(),
     ]);
     for &p in &STANDARD_PERCENTILES {
-        let label =
-            if p >= 100.0 { "worst pause (ms)".to_string() } else { format!("p{p} pause (ms)") };
+        let label = if p >= 100.0 {
+            "worst pause (ms)".to_string()
+        } else {
+            format!("p{p} pause (ms)")
+        };
         let row: Vec<String> = results
             .iter()
-            .map(|r| r.pause_histogram().percentile(p).unwrap_or_default().as_millis().to_string())
+            .map(|r| {
+                r.pause_histogram()
+                    .percentile(p)
+                    .unwrap_or_default()
+                    .as_millis()
+                    .to_string()
+            })
             .collect();
         table.add_row([vec![label], row].concat());
     }
     table.add_row(
         [
             vec!["throughput (ops/s)".to_string()],
-            results.iter().map(|r| format!("{:.0}", r.mean_throughput())).collect(),
+            results
+                .iter()
+                .map(|r| format!("{:.0}", r.mean_throughput()))
+                .collect(),
         ]
         .concat(),
     );

@@ -11,7 +11,9 @@ use polm2::workloads::registry::workload_by_name;
 use polm2::workloads::{profile_workload, ProfilePhaseConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "lucene".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "lucene".to_string());
     let workload = workload_by_name(&name)
         .unwrap_or_else(|| panic!("unknown workload {name}; see registry::paper_workloads"));
     let config = ProfilePhaseConfig {
@@ -25,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{name}: {} allocations recorded, {} distinct allocation paths, {} snapshots\n",
         result.recorded_allocations,
         result.outcome.lifetimes.traces().len(),
-        result.snapshots.len() + 1,
+        result.snapshots.len(),
     );
 
     let mut table = TextTable::new(vec![
@@ -59,10 +61,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  (none)");
     }
     for c in &result.outcome.conflicts {
-        println!("  {} reached through {} call paths with different lifetimes", c.loc, c.path_count());
+        println!(
+            "  {} reached through {} call paths with different lifetimes",
+            c.loc,
+            c.path_count()
+        );
     }
     for r in &result.outcome.resolutions {
-        println!("    -> {} resolved at call site {} (gen {})", r.leaf, r.at, r.gen.raw());
+        println!(
+            "    -> {} resolved at call site {} (gen {})",
+            r.leaf,
+            r.at,
+            r.gen.raw()
+        );
     }
     Ok(())
 }

@@ -8,22 +8,24 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use polm2::core::{AnalyzerConfig, ProductionSetup, ProfilingSession, SnapshotPolicy};
+use polm2::core::{
+    AnalyzerConfig, PipelineError, ProductionSetup, ProfilingSession, SnapshotPolicy,
+};
 use polm2::gc::{GcConfig, Ng2cCollector};
 use polm2::metrics::SimTime;
-use polm2::runtime::{Jvm, RuntimeConfig, RuntimeError};
+use polm2::runtime::{Jvm, RuntimeConfig};
 use polm2::workloads::cassandra::{self, CassandraConfig, CassandraState};
 use polm2::workloads::OpMix;
 
 const OPS: usize = 60_000;
 
-fn drive(jvm: &mut Jvm, mut session: Option<&mut ProfilingSession>) -> Result<(), RuntimeError> {
+fn drive(jvm: &mut Jvm, mut session: Option<&mut ProfilingSession>) -> Result<(), PipelineError> {
     let thread = jvm.spawn_thread();
     for _ in 0..OPS {
         jvm.invoke(thread, "Cassandra", "handleOp")?;
         jvm.advance_mutator(polm2::metrics::SimDuration::from_micros(100));
         if let Some(s) = session.as_deref_mut() {
-            s.after_op(jvm);
+            s.after_op(jvm)?;
         }
     }
     Ok(())
@@ -46,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.recorded_allocations(),
         session.snapshots().len()
     );
-    let outcome = session.finish(&mut jvm, &AnalyzerConfig::default());
+    let outcome = session
+        .finish(&mut jvm, &AnalyzerConfig::default())?
+        .outcome;
     println!(
         "profile: {} pretenured sites, {} setGeneration call sites, {} conflicts detected",
         outcome.profile.sites().len(),

@@ -23,10 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warmup: SimDuration::from_secs(60),
         ..RunConfig::paper()
     };
-    eprintln!("profiling {} ...", polm2::workloads::Workload::name(&workload));
+    eprintln!(
+        "profiling {} ...",
+        polm2::workloads::Workload::name(&workload)
+    );
     let profile = profile_workload(
         &workload,
-        &ProfilePhaseConfig { duration: SimDuration::from_secs(3 * 60), ..ProfilePhaseConfig::paper() },
+        &ProfilePhaseConfig {
+            duration: SimDuration::from_secs(3 * 60),
+            ..ProfilePhaseConfig::paper()
+        },
     )?
     .outcome
     .profile;
@@ -41,11 +47,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "G1".into(),
         "POLM2".into(),
     ]);
-    for (label, p) in [("p50", 50.0), ("p99", 99.0), ("p99.9", 99.9), ("p99.99", 99.99)] {
+    for (label, p) in [
+        ("p50", 50.0),
+        ("p99", 99.0),
+        ("p99.9", 99.9),
+        ("p99.99", 99.99),
+    ] {
         table.add_row(vec![
             label.into(),
-            g1.op_latency.clone().percentile(p).unwrap_or_default().to_string(),
-            polm2.op_latency.clone().percentile(p).unwrap_or_default().to_string(),
+            g1.op_latency
+                .clone()
+                .percentile(p)
+                .unwrap_or_default()
+                .to_string(),
+            polm2
+                .op_latency
+                .clone()
+                .percentile(p)
+                .unwrap_or_default()
+                .to_string(),
         ]);
     }
     table.add_row(vec![

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate, exactly as CI runs it: formatting, lints, tests.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "all checks passed"

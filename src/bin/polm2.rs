@@ -12,9 +12,9 @@
 
 use std::process::ExitCode;
 
-use polm2::core::AllocationProfile;
+use polm2::core::{AllocationProfile, FaultConfig};
 use polm2::metrics::report::TextTable;
-use polm2::metrics::{SimDuration, STANDARD_PERCENTILES};
+use polm2::metrics::{FaultCounters, SimDuration, STANDARD_PERCENTILES};
 use polm2::workloads::registry::{paper_workloads, workload_by_name};
 use polm2::workloads::{
     profile_workload, run_workload, CollectorSetup, ProfilePhaseConfig, RunConfig,
@@ -51,6 +51,8 @@ fn print_usage() {
          \x20     --out <file>       write the allocation profile (default: <workload>.profile)\n\
          \x20     --minutes <n>      profiling length in simulated minutes (default 6)\n\
          \x20     --seed <n>         workload seed (default 7)\n\
+         \x20     --chaos <rate>     inject faults at this rate, 0.0-1.0 (default 0)\n\
+         \x20     --chaos-seed <n>   fault-injection seed (default 1)\n\
          \x20 polm2 run <workload> [options]           run the production phase\n\
          \x20     --collector <c>    g1 | ng2c | c4 | polm2 (default g1)\n\
          \x20     --profile <file>   allocation profile (required for --collector polm2)\n\
@@ -62,12 +64,26 @@ fn print_usage() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn parse_u64(args: &[String], name: &str, default: u64) -> Result<u64, String> {
     match flag(args, name) {
-        Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} expects a number, got {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn parse_f64(args: &[String], name: &str, default: f64) -> Result<f64, String> {
+    match flag(args, name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} expects a number, got {v:?}")),
         None => Ok(default),
     }
 }
@@ -97,24 +113,47 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let workload = workload_by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let minutes = parse_u64(args, "--minutes", 6)?;
     let seed = parse_u64(args, "--seed", 7)?;
+    let chaos = parse_f64(args, "--chaos", 0.0)?;
+    if !(0.0..=1.0).contains(&chaos) {
+        return Err(format!("--chaos expects a rate in 0.0..=1.0, got {chaos}"));
+    }
+    let chaos_seed = parse_u64(args, "--chaos-seed", 1)?;
     let out = flag(args, "--out").unwrap_or_else(|| format!("{name}.profile"));
 
     let config = ProfilePhaseConfig {
         duration: SimDuration::from_secs(minutes * 60),
         seed,
+        faults: FaultConfig::all_at(chaos, chaos_seed),
         ..ProfilePhaseConfig::paper()
     };
-    eprintln!("profiling {name} for {minutes} simulated minutes (seed {seed}) ...");
+    if chaos > 0.0 {
+        eprintln!(
+            "profiling {name} for {minutes} simulated minutes \
+             (seed {seed}, chaos {chaos} seed {chaos_seed}) ..."
+        );
+    } else {
+        eprintln!("profiling {name} for {minutes} simulated minutes (seed {seed}) ...");
+    }
     let result = profile_workload(workload.as_ref(), &config).map_err(|e| e.to_string())?;
     eprintln!(
         "recorded {} allocations over {} snapshots; {} sites pretenured, {} conflicts",
         result.recorded_allocations,
-        result.snapshots.len() + 1,
+        result.snapshots.len(),
         result.outcome.profile.sites().len(),
         result.outcome.conflicts.len(),
     );
-    std::fs::write(&out, result.outcome.profile.to_string())
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    if !result.counters.is_clean() {
+        eprintln!("degraded: {}", result.counters);
+    }
+    let mut text = result.outcome.profile.to_string();
+    // Record the degradation ledger in the file itself: `#` lines are
+    // comments to the profile parser, so the round trip is unaffected.
+    for (name, value) in result.counters.entries() {
+        if value > 0 {
+            text.push_str(&format!("# polm2-faults {name} {value}\n"));
+        }
+    }
+    std::fs::write(&out, text).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
 }
@@ -131,8 +170,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "ng2c" => CollectorSetup::Ng2cManual,
         "c4" => CollectorSetup::C4,
         "polm2" => {
-            let path = flag(args, "--profile")
-                .ok_or("--collector polm2 needs --profile <file>")?;
+            let path = flag(args, "--profile").ok_or("--collector polm2 needs --profile <file>")?;
             let text =
                 std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
             let profile: AllocationProfile = text.parse().map_err(|e| format!("{path}: {e}"))?;
@@ -152,28 +190,46 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         setup.label()
     );
     let result = run_workload(workload.as_ref(), &setup, &config).map_err(|e| e.to_string())?;
+    if !result.fault_counters.is_clean() {
+        eprintln!("stale profile entries skipped: {}", result.fault_counters);
+    }
 
     let mut table = TextTable::new(vec!["metric".into(), "value".into()]);
     let mut pauses = result.pause_histogram();
     for &p in &STANDARD_PERCENTILES {
-        let label =
-            if p >= 100.0 { "worst pause".to_string() } else { format!("p{p} pause") };
+        let label = if p >= 100.0 {
+            "worst pause".to_string()
+        } else {
+            format!("p{p} pause")
+        };
         table.add_row(vec![
             label,
-            pauses.percentile(p).map(|d| d.to_string()).unwrap_or_else(|| "n/a".into()),
+            pauses
+                .percentile(p)
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "n/a".into()),
         ]);
     }
     table.add_row(vec!["pauses".into(), pauses.len().to_string()]);
     let mut latency = result.op_latency.clone();
     table.add_row(vec![
         "p99 op latency".into(),
-        latency.percentile(99.0).map(|d| d.to_string()).unwrap_or_else(|| "n/a".into()),
+        latency
+            .percentile(99.0)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "n/a".into()),
     ]);
     table.add_row(vec![
         "worst op latency".into(),
-        latency.max().map(|d| d.to_string()).unwrap_or_else(|| "n/a".into()),
+        latency
+            .max()
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "n/a".into()),
     ]);
-    table.add_row(vec!["total stop".into(), result.gc_log.total_pause().to_string()]);
+    table.add_row(vec![
+        "total stop".into(),
+        result.gc_log.total_pause().to_string(),
+    ]);
     table.add_row(vec![
         "throughput".into(),
         format!("{:.1} ops/s", result.mean_throughput()),
@@ -194,7 +250,11 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         "{path}: {} pretenured sites, {} setGeneration call sites, generations {:?}",
         profile.sites().len(),
         profile.gen_calls().len(),
-        profile.generations_used().iter().map(|g| g.raw()).collect::<Vec<_>>(),
+        profile
+            .generations_used()
+            .iter()
+            .map(|g| g.raw())
+            .collect::<Vec<_>>(),
     );
     let mut table = TextTable::new(vec![
         "kind".into(),
@@ -207,7 +267,12 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
             "site (@Gen)".into(),
             s.loc.to_string(),
             s.gen.to_string(),
-            if s.local { "site-local setGeneration" } else { "generation set by caller" }.into(),
+            if s.local {
+                "site-local setGeneration"
+            } else {
+                "generation set by caller"
+            }
+            .into(),
         ]);
     }
     for c in profile.gen_calls() {
@@ -219,5 +284,29 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
+
+    // A `# polm2-faults <name> <value>` footer records how degraded the
+    // profiling run that produced this file was.
+    let mut counters = FaultCounters::new();
+    let mut footer_seen = false;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# polm2-faults ") {
+            if let Some((counter, value)) = rest.trim().split_once(' ') {
+                if let Ok(value) = value.trim().parse::<u64>() {
+                    footer_seen |= counters.set_by_name(counter.trim(), value);
+                }
+            }
+        }
+    }
+    if footer_seen {
+        println!("profiling-run degradation: {counters}");
+        let mut table = TextTable::new(vec!["fault counter".into(), "count".into()]);
+        for (counter, value) in counters.entries() {
+            if value > 0 {
+                table.add_row(vec![counter.into(), value.to_string()]);
+            }
+        }
+        println!("{}", table.render());
+    }
     Ok(())
 }

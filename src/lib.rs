@@ -45,12 +45,13 @@
 //! let t = jvm.spawn_thread();
 //! for _ in 0..3_000 {
 //!     jvm.invoke(t, "Cassandra", "handleOp")?;
-//!     session.after_op(&mut jvm);
+//!     session.after_op(&mut jvm)?;
 //! }
-//! let outcome = session.finish(&mut jvm, &AnalyzerConfig::default());
+//! let report = session.finish(&mut jvm, &AnalyzerConfig::default())?;
+//! assert!(report.counters.is_clean(), "no faults injected, none absorbed");
 //!
 //! // --- production phase ---
-//! let setup = ProductionSetup::new(outcome.profile);
+//! let setup = ProductionSetup::new(report.outcome.profile);
 //! let mut jvm = Jvm::builder(RuntimeConfig::small())
 //!     .collector(Box::new(Ng2cCollector::new(GcConfig::default())))
 //!     .hooks(cassandra::hooks())
@@ -62,7 +63,7 @@
 //! for _ in 0..1_000 {
 //!     jvm.invoke(t, "Cassandra", "handleOp")?;
 //! }
-//! # Ok::<(), polm2::runtime::RuntimeError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! The runnable entry points live in `examples/` and the figure harness in

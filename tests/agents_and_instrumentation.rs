@@ -81,7 +81,10 @@ fn stacked_agents_compose_like_stacked_java_agents() {
         jvm.invoke(t, "Cassandra", "handleOp").expect("op");
     }
     let events = jvm.drain_alloc_events();
-    assert!(!events.is_empty(), "recorder still sees allocations under instrumentation");
+    assert!(
+        !events.is_empty(),
+        "recorder still sees allocations under instrumentation"
+    );
     jvm.heap().check_invariants();
 }
 
@@ -106,10 +109,7 @@ fn lucene_misplaced_manual_annotations_pretenure_search_scratch() {
     // Find a live ByteBlock allocated via the search path: under the
     // misplaced profile, ALL ByteBlocks are pretenured, including scratch.
     let block_class = jvm.heap().classes().lookup("ByteBlock").unwrap();
-    let pretenured_blocks = jvm
-        .heap()
-        .stats()
-        .allocated_objects;
+    let pretenured_blocks = jvm.heap().stats().allocated_objects;
     assert!(pretenured_blocks > 0);
     // Check via allocation accounting on a fresh sample object.
     jvm.invoke(t, "Lucene", "handleOp").expect("op");
@@ -118,7 +118,10 @@ fn lucene_misplaced_manual_annotations_pretenure_search_scratch() {
         .take(200)
         .filter_map(|i| jvm.heap().object(polm2::heap::ObjectId::new(i)))
         .any(|rec| rec.class() == block_class && !rec.allocated_gen().is_young());
-    assert!(any_pretenured, "misplaced manual profile pretenures byte blocks");
+    assert!(
+        any_pretenured,
+        "misplaced manual profile pretenures byte blocks"
+    );
 }
 
 #[test]

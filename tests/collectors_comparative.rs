@@ -9,7 +9,10 @@ use polm2::workloads::{
 };
 
 fn quick_profile() -> ProfilePhaseConfig {
-    ProfilePhaseConfig { duration: SimDuration::from_secs(60), ..ProfilePhaseConfig::paper() }
+    ProfilePhaseConfig {
+        duration: SimDuration::from_secs(60),
+        ..ProfilePhaseConfig::paper()
+    }
 }
 
 fn quick_run() -> RunConfig {
@@ -23,7 +26,10 @@ fn quick_run() -> RunConfig {
 #[test]
 fn graphchi_batch_blocks_hurt_g1_but_not_polm2() {
     let workload = GraphchiWorkload::pagerank();
-    let profile = profile_workload(&workload, &quick_profile()).expect("profile").outcome.profile;
+    let profile = profile_workload(&workload, &quick_profile())
+        .expect("profile")
+        .outcome
+        .profile;
     let run = quick_run();
     let g1 = run_workload(&workload, &CollectorSetup::G1, &run).expect("g1");
     let polm2 = run_workload(&workload, &CollectorSetup::Polm2(profile), &run).expect("polm2");
@@ -43,7 +49,10 @@ fn c4_pauses_stay_under_ten_ms_at_a_throughput_cost() {
     let c4 = run_workload(&workload, &CollectorSetup::C4, &run).expect("c4");
     // Paper §5: "the duration of all pauses fall below 10 ms" for C4.
     let worst = c4.pause_histogram().max().expect("c4 pauses");
-    assert!(worst < SimDuration::from_millis(10), "C4 worst pause {worst}");
+    assert!(
+        worst < SimDuration::from_millis(10),
+        "C4 worst pause {worst}"
+    );
     // And the barrier tax costs throughput (Figure 7: C4 worst).
     assert!(
         c4.mean_throughput() < 0.90 * g1.mean_throughput(),
@@ -59,7 +68,10 @@ fn c4_pauses_stay_under_ten_ms_at_a_throughput_cost() {
 #[test]
 fn manual_ng2c_and_polm2_are_comparable_on_graphchi() {
     let workload = GraphchiWorkload::connected_components();
-    let profile = profile_workload(&workload, &quick_profile()).expect("profile").outcome.profile;
+    let profile = profile_workload(&workload, &quick_profile())
+        .expect("profile")
+        .outcome
+        .profile;
     let run = quick_run();
     let ng2c = run_workload(&workload, &CollectorSetup::Ng2cManual, &run).expect("ng2c");
     let polm2 = run_workload(&workload, &CollectorSetup::Polm2(profile), &run).expect("polm2");
@@ -81,7 +93,10 @@ fn all_collectors_preserve_heap_health_on_lucene() {
         warmup: SimDuration::from_secs(10),
         ..RunConfig::paper()
     };
-    let profile = profile_workload(&workload, &quick_profile()).expect("profile").outcome.profile;
+    let profile = profile_workload(&workload, &quick_profile())
+        .expect("profile")
+        .outcome
+        .profile;
     for setup in [
         CollectorSetup::G1,
         CollectorSetup::Ng2cManual,

@@ -1,7 +1,7 @@
 //! End-to-end integration: the full POLM2 pipeline (profile → analyze →
 //! instrument → run) on the real workloads, spanning every crate.
 
-use polm2::core::{AllocationProfile, AnalyzerConfig};
+use polm2::core::{AllocationProfile, AnalyzerConfig, FaultConfig};
 use polm2::metrics::SimDuration;
 use polm2::workloads::cassandra::CassandraWorkload;
 use polm2::workloads::lucene::{LuceneConfig, LuceneWorkload};
@@ -30,19 +30,33 @@ fn cassandra_profile_identifies_memtable_sites() {
     let workload = CassandraWorkload::write_intensive();
     let result = profile_workload(&workload, &quick_profile()).expect("profiling");
     let profile = &result.outcome.profile;
-    assert!(!profile.is_empty(), "cassandra must yield a non-trivial profile");
+    assert!(
+        !profile.is_empty(),
+        "cassandra must yield a non-trivial profile"
+    );
     // The cell allocation site (the paper's canonical middle-lived site)
     // must be pretenured.
     assert!(
-        profile.site_at(&polm2::runtime::CodeLoc::new("Cell", "create", 82)).is_some(),
+        profile
+            .site_at(&polm2::runtime::CodeLoc::new("Cell", "create", 82))
+            .is_some(),
         "cell site missing from profile: {profile}"
     );
     // The obviously short-lived write response must not be.
     assert!(profile
-        .site_at(&polm2::runtime::CodeLoc::new("Cassandra", "handleWrite", 14))
+        .site_at(&polm2::runtime::CodeLoc::new(
+            "Cassandra",
+            "handleWrite",
+            14
+        ))
         .is_none());
     // The two shared-helper conflicts are detected.
-    assert_eq!(result.outcome.conflicts.len(), 2, "{:?}", result.outcome.conflicts);
+    assert_eq!(
+        result.outcome.conflicts.len(),
+        2,
+        "{:?}",
+        result.outcome.conflicts
+    );
     // Recorder economics: every allocation recorded, sites interned once.
     assert!(result.recorded_allocations > 10_000);
     assert!(result.snapshots.len() > 3, "one snapshot per GC cycle");
@@ -51,11 +65,13 @@ fn cassandra_profile_identifies_memtable_sites() {
 #[test]
 fn polm2_reduces_cassandra_pauses_vs_g1() {
     let workload = CassandraWorkload::write_intensive();
-    let profile = profile_workload(&workload, &quick_profile()).expect("profiling").outcome.profile;
+    let profile = profile_workload(&workload, &quick_profile())
+        .expect("profiling")
+        .outcome
+        .profile;
     let run = quick_run();
     let g1 = run_workload(&workload, &CollectorSetup::G1, &run).expect("g1");
-    let polm2 =
-        run_workload(&workload, &CollectorSetup::Polm2(profile), &run).expect("polm2");
+    let polm2 = run_workload(&workload, &CollectorSetup::Polm2(profile), &run).expect("polm2");
 
     let g1_worst = g1.pause_histogram().max().expect("g1 pauses exist");
     let polm2_worst = polm2.pause_histogram().max().expect("polm2 pauses exist");
@@ -79,9 +95,12 @@ fn polm2_reduces_cassandra_pauses_vs_g1() {
 fn empty_profile_behaves_like_plain_ng2c() {
     let workload = CassandraWorkload::write_read();
     let run = quick_run();
-    let ng2c_empty =
-        run_workload(&workload, &CollectorSetup::Polm2(AllocationProfile::new()), &run)
-            .expect("ng2c");
+    let ng2c_empty = run_workload(
+        &workload,
+        &CollectorSetup::Polm2(AllocationProfile::new()),
+        &run,
+    )
+    .expect("ng2c");
     // With nothing pretenured, NG2C degenerates to a 2-generation collector;
     // the run completes and pauses exist.
     assert!(!ng2c_empty.pause_histogram().is_empty());
@@ -96,9 +115,46 @@ fn lucene_profile_round_trips_through_text() {
     assert_eq!(parsed, result.outcome.profile);
     // The term dictionary (immortal) must be pretenured.
     assert!(
-        parsed.site_at(&polm2::runtime::CodeLoc::new("TermDict", "lookup", 21)).is_some(),
+        parsed
+            .site_at(&polm2::runtime::CodeLoc::new("TermDict", "lookup", 21))
+            .is_some(),
         "term dictionary missing: {text}"
     );
+}
+
+#[test]
+fn chaotic_profiling_still_yields_a_safe_profile() {
+    let workload = CassandraWorkload::write_intensive();
+    let clean = profile_workload(&workload, &quick_profile()).expect("clean profiling");
+    assert!(
+        clean.counters.is_clean(),
+        "no faults configured: {}",
+        clean.counters
+    );
+
+    // Same phase, 10% fault injection on every boundary (duplication
+    // excluded so degradation stays monotone).
+    let chaos_config = ProfilePhaseConfig {
+        faults: FaultConfig {
+            record_duplicate_rate: 0.0,
+            ..FaultConfig::all_at(0.10, 23)
+        },
+        ..quick_profile()
+    };
+    let chaos = profile_workload(&workload, &chaos_config).expect("chaos run completes");
+    assert!(
+        !chaos.counters.is_clean(),
+        "10% chaos must be visible in the ledger"
+    );
+    // Degradation is monotone: the chaotic run may pretenure fewer sites,
+    // never ones the fault-free run did not.
+    for site in chaos.outcome.profile.sites() {
+        assert!(
+            clean.outcome.profile.site_at(&site.loc).is_some(),
+            "chaos invented pretenured site {}",
+            site.loc
+        );
+    }
 }
 
 #[test]
@@ -122,5 +178,8 @@ fn different_seeds_still_converge_in_shape() {
     let b = run_workload(&workload, &CollectorSetup::G1, &run_b).expect("run b");
     // Throughput within 10% across seeds: the workload model is stable.
     let ratio = a.mean_throughput() / b.mean_throughput();
-    assert!((0.9..1.1).contains(&ratio), "throughput unstable across seeds: {ratio}");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "throughput unstable across seeds: {ratio}"
+    );
 }
