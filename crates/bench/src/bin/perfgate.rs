@@ -1,0 +1,271 @@
+//! Perf gate for the Analyzer's replay path.
+//!
+//! Times the seed implementation (sequential hash-probe replay) against the
+//! columnar merge replay, sequential and parallel, on three synthetic
+//! workload sizes, verifies all variants produce identical
+//! [`AnalysisOutcome`]s, and writes the medians to `BENCH_analyzer.json`.
+//!
+//! ```text
+//! perfgate [--quick] [--min-speedup <x>] [--out <path>]
+//! ```
+//!
+//! * `--quick` — fewer timed runs (CI smoke; the equality gate still runs).
+//! * `--min-speedup <x>` — exit non-zero unless the parallel merge path is
+//!   at least `x` times faster than the sequential hash-probe baseline on
+//!   the largest workload.
+//! * `--out <path>` — where to write the JSON (default `BENCH_analyzer.json`).
+//!
+//! Exits non-zero if any variant's outcome differs from the baseline.
+
+use std::time::Instant;
+
+use polm2_core::{AllocationRecords, AnalysisOutcome, Analyzer, AnalyzerConfig, ReplayStrategy};
+use polm2_heap::{Heap, HeapConfig, IdentityHash, ObjectId};
+use polm2_metrics::{SimDuration, SimTime};
+use polm2_runtime::{
+    ClassDef, Instr, LoadedProgram, Loader, MethodDef, Program, SizeSpec, TraceFrame,
+};
+use polm2_snapshot::{Snapshot, SnapshotSeries};
+
+struct Workload {
+    name: &'static str,
+    records: u64,
+    snapshots: u32,
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "small",
+        records: 10_000,
+        snapshots: 8,
+    },
+    Workload {
+        name: "medium",
+        records: 50_000,
+        snapshots: 16,
+    },
+    Workload {
+        name: "large",
+        records: 120_000,
+        snapshots: 32,
+    },
+];
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Builds a deterministic synthetic profiling run: `records` allocations
+/// spread over a few hundred distinct traces, `snapshots` heap snapshots
+/// with per-trace lifespan bias so survival histograms are non-trivial.
+fn build_inputs(w: &Workload) -> (AllocationRecords, SnapshotSeries, LoadedProgram) {
+    let mut rng = 0x5eed_0000_0000_0001u64 ^ (w.records << 8) ^ u64::from(w.snapshots);
+    const CLASSES: usize = 32;
+    const METHODS: usize = 8;
+    let mut program = Program::new();
+    for c in 0..CLASSES {
+        let mut class = ClassDef::new(format!("Class{c}"));
+        for m in 0..METHODS {
+            class = class.with_method(MethodDef::new(format!("method{m}")).push(Instr::alloc(
+                "Obj",
+                SizeSpec::Fixed(32),
+                1,
+            )));
+        }
+        program.add_class(class);
+    }
+    let mut heap = Heap::new(HeapConfig::small());
+    let loaded = Loader::load(program, &mut [], &mut heap).expect("load");
+
+    let traces: Vec<Vec<TraceFrame>> = (0..512)
+        .map(|_| {
+            let depth = 1 + (xorshift(&mut rng) % 5) as usize;
+            (0..depth)
+                .map(|_| TraceFrame {
+                    class_idx: (xorshift(&mut rng) % CLASSES as u64) as u16,
+                    method_idx: (xorshift(&mut rng) % METHODS as u64) as u16,
+                    line: 1 + (xorshift(&mut rng) % 60) as u32,
+                })
+                .collect()
+        })
+        .collect();
+    let biases: Vec<u64> = (0..traces.len())
+        .map(|_| xorshift(&mut rng) % (u64::from(w.snapshots) + 1))
+        .collect();
+
+    let mut records = AllocationRecords::default();
+    let mut live: Vec<Vec<IdentityHash>> = vec![Vec::new(); w.snapshots as usize];
+    for object in 0..w.records {
+        let t = (xorshift(&mut rng) % traces.len() as u64) as usize;
+        let hash = IdentityHash::of(ObjectId::new(object + 1));
+        records.record(&traces[t], hash);
+        let jitter = xorshift(&mut rng) % 4;
+        let lifespan = (biases[t] + jitter).min(u64::from(w.snapshots));
+        for snap in live.iter_mut().take(lifespan as usize) {
+            snap.push(hash);
+        }
+    }
+    let series: SnapshotSeries = live
+        .into_iter()
+        .enumerate()
+        .map(|(seq, hashes)| {
+            Snapshot::new(
+                seq as u32,
+                SimTime::from_secs(seq as u64),
+                hashes.iter().copied().collect(),
+                4096,
+                SimDuration::from_millis(1),
+            )
+        })
+        .collect();
+    (records, series, loaded)
+}
+
+fn config(replay: ReplayStrategy, parallelism: usize) -> AnalyzerConfig {
+    AnalyzerConfig {
+        replay,
+        parallelism,
+        min_survivals: 1,
+        ..AnalyzerConfig::default()
+    }
+}
+
+/// Median ns/record over `runs` timed runs (after one warmup), plus the
+/// outcome of the last run for the equality gate.
+fn measure(
+    inputs: &(AllocationRecords, SnapshotSeries, LoadedProgram),
+    cfg: &AnalyzerConfig,
+    records: u64,
+    runs: usize,
+) -> (u64, AnalysisOutcome) {
+    let analyzer = Analyzer::new(*cfg);
+    let mut outcome = analyzer.analyze(&inputs.0, &inputs.1, &inputs.2); // warmup
+    let mut samples: Vec<u64> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        outcome = analyzer.analyze(&inputs.0, &inputs.1, &inputs.2);
+        samples.push(start.elapsed().as_nanos() as u64 / records.max(1));
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], outcome)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mut quick = false;
+    let mut min_speedup: Option<f64> = None;
+    let mut out_path = String::from("BENCH_analyzer.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--min-speedup" => {
+                let v = args.next().expect("--min-speedup needs a value");
+                min_speedup = Some(v.parse().expect("--min-speedup needs a number"));
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let runs = if quick { 3 } else { 7 };
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+
+    println!("perfgate: analyzer replay, {runs} runs/variant, parallel workers = {parallelism}");
+    println!(
+        "{:<8} {:>9} {:>5} | {:>14} {:>14} {:>14} | {:>8}",
+        "size", "records", "snaps", "seq-probe", "seq-merge", "par-merge", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    let mut diverged = false;
+    let mut large_speedup = 0.0f64;
+    for w in WORKLOADS {
+        let inputs = build_inputs(w);
+        let (seq_ns, baseline) = measure(
+            &inputs,
+            &config(ReplayStrategy::HashProbe, 1),
+            w.records,
+            runs,
+        );
+        let (merge_ns, merge_out) = measure(
+            &inputs,
+            &config(ReplayStrategy::SortedMerge, 1),
+            w.records,
+            runs,
+        );
+        let (par_ns, par_out) = measure(
+            &inputs,
+            &config(ReplayStrategy::SortedMerge, parallelism),
+            w.records,
+            runs,
+        );
+        let identical = merge_out == baseline && par_out == baseline;
+        if !identical {
+            diverged = true;
+            eprintln!(
+                "FAIL: {} outputs diverge from the sequential baseline",
+                w.name
+            );
+        }
+        let speedup = seq_ns as f64 / par_ns.max(1) as f64;
+        if w.name == "large" {
+            large_speedup = speedup;
+        }
+        println!(
+            "{:<8} {:>9} {:>5} | {:>11} ns {:>11} ns {:>11} ns | {:>7.2}x",
+            w.name, w.records, w.snapshots, seq_ns, merge_ns, par_ns, speedup
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"records\": {}, \"snapshots\": {}, ",
+                "\"sequential_hashprobe_ns_per_record\": {}, ",
+                "\"sequential_merge_ns_per_record\": {}, ",
+                "\"parallel_merge_ns_per_record\": {}, ",
+                "\"parallel_workers\": {}, ",
+                "\"speedup_parallel_merge_vs_seed\": {:.2}, ",
+                "\"outputs_identical\": {}}}"
+            ),
+            json_escape(w.name),
+            w.records,
+            w.snapshots,
+            seq_ns,
+            merge_ns,
+            par_ns,
+            parallelism,
+            speedup,
+            identical
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"analyzer_replay\",\n  \"units\": \"median ns/record, {} runs\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        runs,
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if diverged {
+        std::process::exit(1);
+    }
+    if let Some(min) = min_speedup {
+        if large_speedup < min {
+            eprintln!("FAIL: large-workload speedup {large_speedup:.2}x below required {min:.2}x");
+            std::process::exit(1);
+        }
+        println!("speedup gate passed: {large_speedup:.2}x >= {min:.2}x");
+    }
+}

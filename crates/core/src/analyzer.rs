@@ -1,15 +1,49 @@
 //! The Analyzer: from allocation records + snapshots to an allocation
 //! profile (paper §3.3).
+//!
+//! Two independent performance knobs, both defaulting to the fast path and
+//! both guaranteed to produce output identical to the original sequential
+//! hash-probe implementation:
+//!
+//! * [`ReplayStrategy`] — how per-object survival counts are computed.
+//!   [`ReplayStrategy::SortedMerge`] folds the columnar
+//!   [`SnapshotIndex`](polm2_snapshot::SnapshotIndex) the series maintains at
+//!   capture time into one sorted survival table (a weighted merge over the
+//!   delta-encoded columns), replacing millions of hash-map probes with
+//!   linear merges and directory-indexed lookups.
+//!   [`ReplayStrategy::HashProbe`] keeps the original probe loop as the
+//!   baseline.
+//! * [`AnalyzerConfig::parallelism`] — the per-trace lifetime stage and the
+//!   STTree conflict-resolution stage shard across scoped worker threads.
+//!   Shards are contiguous trace-id (resp. conflict) ranges and results are
+//!   merged in shard order, so any parallelism level produces bit-identical
+//!   output; `1` runs the sequential path inline on the calling thread.
 
 use std::collections::{BTreeMap, HashMap};
 
-use polm2_heap::{GenId, IdentityHash};
+use polm2_heap::{GenId, IdHashMap, IdHashSet, IdentityHash};
 use polm2_runtime::{CodeLoc, LoadedProgram};
-use polm2_snapshot::SnapshotSeries;
+use polm2_snapshot::{SnapshotSeries, SurvivalCounts};
 
 use crate::recorder::{AllocationRecords, TraceId};
 use crate::sttree::{Conflict, Resolution, SttTree};
 use crate::{AllocationProfile, GenCall, PretenuredSite};
+
+/// How the Analyzer computes per-object survival counts (step 1 of §3.3).
+///
+/// Both strategies produce identical counts; they differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayStrategy {
+    /// The original implementation: one hash-map entry probe per (object,
+    /// snapshot) membership. Kept as the perf-gate baseline and as a
+    /// differential-testing oracle.
+    HashProbe,
+    /// Columnar replay: sorted per-snapshot hash columns (delta-encoded
+    /// against the previous snapshot where smaller) are merge-accumulated
+    /// into one sorted `(hash, count)` table; lookups are binary searches.
+    #[default]
+    SortedMerge,
+}
 
 /// Analyzer tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +62,12 @@ pub struct AnalyzerConfig {
     /// default. Traces demoted by this guard are counted in
     /// [`AnalysisOutcome::demoted_traces`].
     pub min_snapshots: u32,
+    /// How survival counts are computed; see [`ReplayStrategy`].
+    pub replay: ReplayStrategy,
+    /// Worker threads for the per-trace lifetime stage and conflict
+    /// resolution. `0` and `1` both mean sequential (run inline on the
+    /// calling thread); any value produces bit-identical output.
+    pub parallelism: usize,
 }
 
 impl Default for AnalyzerConfig {
@@ -36,12 +76,14 @@ impl Default for AnalyzerConfig {
             min_survivals: 2,
             min_objects: 4,
             min_snapshots: 2,
+            replay: ReplayStrategy::SortedMerge,
+            parallelism: 1,
         }
     }
 }
 
 /// Lifetime statistics for one allocation path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceLifetime {
     /// The trace.
     pub trace: TraceId,
@@ -66,7 +108,7 @@ pub struct TraceLifetime {
 
 /// Per-site lifetime distributions (the "application allocation profile"
 /// §3.3 derives generations from).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SiteLifetimes {
     traces: Vec<TraceLifetime>,
 }
@@ -86,7 +128,7 @@ impl SiteLifetimes {
 }
 
 /// Everything the analysis produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisOutcome {
     /// The profile to feed the Instrumenter.
     pub profile: AllocationProfile,
@@ -100,6 +142,126 @@ pub struct AnalysisOutcome {
     /// young generation because the run was under-observed (fewer than
     /// [`AnalyzerConfig::min_snapshots`] snapshots).
     pub demoted_traces: u64,
+}
+
+/// Survival counts behind either replay strategy, with one lookup API.
+enum Survivals {
+    Probe(IdHashMap<IdentityHash, u32>),
+    Merged(SurvivalCounts),
+}
+
+impl Survivals {
+    fn build(snapshots: &SnapshotSeries, strategy: ReplayStrategy) -> Survivals {
+        match strategy {
+            ReplayStrategy::HashProbe => {
+                let mut survivals: IdHashMap<IdentityHash, u32> = IdHashMap::default();
+                for snapshot in snapshots.snapshots() {
+                    for &hash in snapshot.hashes() {
+                        *survivals.entry(hash).or_insert(0) += 1;
+                    }
+                }
+                Survivals::Probe(survivals)
+            }
+            ReplayStrategy::SortedMerge => {
+                // The series maintains its columnar index at capture time;
+                // the replay only pays for the weighted-event fold.
+                Survivals::Merged(snapshots.index().survival_counts())
+            }
+        }
+    }
+
+    fn get(&self, hash: IdentityHash) -> u32 {
+        match self {
+            Survivals::Probe(map) => map.get(&hash).copied().unwrap_or(0),
+            Survivals::Merged(counts) => counts.get(u64::from(hash.raw())),
+        }
+    }
+}
+
+/// One trace's stats before generation assignment: (trace, path, histogram,
+/// typical survivals, objects, lifetime class, demoted-by-guard flag).
+type RawTrace = (
+    TraceId,
+    Vec<CodeLoc>,
+    BTreeMap<u32, u64>,
+    u32,
+    u64,
+    Option<u32>,
+    bool,
+);
+
+/// Computes per-trace lifetime stats for one contiguous shard of trace ids.
+///
+/// Pure function of its inputs and processes ids in order, so concatenating
+/// shard outputs in shard order reproduces the sequential pass exactly.
+fn shard_lifetimes(
+    ids: &[TraceId],
+    records: &AllocationRecords,
+    survivals: &Survivals,
+    locs: &[CodeLoc],
+    config: &AnalyzerConfig,
+    under_observed: bool,
+    snapshot_count: usize,
+) -> Vec<RawTrace> {
+    // Survival counts are bounded by the snapshot count, so a flat bucket
+    // array (reused across traces) replaces per-record BTreeMap inserts.
+    let mut buckets = vec![0u64; snapshot_count + 1];
+    let mut out = Vec::with_capacity(ids.len());
+    for &trace in ids {
+        let stream = records.stream(trace);
+        for &hash in stream {
+            buckets[survivals.get(hash) as usize] += 1;
+        }
+        let objects = stream.len() as u64;
+        let typical_survivals = {
+            let mut remaining = objects.div_ceil(2);
+            let mut median = 0;
+            for (s, &count) in buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                if count >= remaining {
+                    median = s as u32;
+                    break;
+                }
+                remaining -= count;
+            }
+            median
+        };
+        let histogram: BTreeMap<u32, u64> = buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(s, &count)| (s as u32, count))
+            .collect();
+        buckets.iter_mut().for_each(|c| *c = 0);
+        let path: Vec<CodeLoc> = records
+            .trace_symbols(trace)
+            .iter()
+            .map(|&s| locs[s.index()].clone())
+            .collect();
+        let (class, demoted) =
+            if objects < config.min_objects || typical_survivals < config.min_survivals {
+                (None, false)
+            } else if under_observed {
+                // Enough evidence to pretenure in a healthy run, but too few
+                // snapshots actually arrived (lost captures): fall back to
+                // the young default and count the demotion.
+                (None, true)
+            } else {
+                (Some(typical_survivals.ilog2()), false)
+            };
+        out.push((
+            trace,
+            path,
+            histogram,
+            typical_survivals,
+            objects,
+            class,
+            demoted,
+        ));
+    }
+    out
 }
 
 /// The offline analyzer.
@@ -117,12 +279,18 @@ impl Analyzer {
     /// Runs the full §3.3 pipeline:
     ///
     /// 1. count, per recorded object, the number of snapshots it appears in
-    ///    (the bucket walk);
-    /// 2. per allocation path, find the survivor-mass mode and map it to a
+    ///    (the bucket walk) — via hash probes or the columnar merge,
+    ///    per [`AnalyzerConfig::replay`];
+    /// 2. per allocation path, find the survivor-mass median and map it to a
     ///    target generation (log₂ quantization: lifetimes within 2× share a
-    ///    generation);
-    /// 3. build the STTree, detect conflicts, resolve them (Algorithm 1);
+    ///    generation) — sharded across [`AnalyzerConfig::parallelism`]
+    ///    workers;
+    /// 3. build the STTree, detect conflicts, resolve them (Algorithm 1) —
+    ///    resolution sharded per conflict;
     /// 4. assemble the profile with the §4.4 subtree-hoisting optimization.
+    ///
+    /// Output is a pure function of the inputs and `min_*` thresholds:
+    /// `replay` and `parallelism` never change the result, only the cost.
     pub fn analyze(
         &self,
         records: &AllocationRecords,
@@ -130,59 +298,67 @@ impl Analyzer {
         program: &LoadedProgram,
     ) -> AnalysisOutcome {
         // Step 1: survivals per object hash.
-        let mut survivals: polm2_heap::IdHashMap<IdentityHash, u32> =
-            polm2_heap::IdHashMap::default();
-        for snapshot in snapshots.snapshots() {
-            for &hash in snapshot.hashes() {
-                *survivals.entry(hash).or_insert(0) += 1;
-            }
-        }
+        let survivals = Survivals::build(snapshots, self.config.replay);
 
-        // Step 2: per-trace histograms, modes, and generation classes.
+        // Step 2: per-trace histograms, medians, and generation classes.
+        // Location strings are resolved once per interned frame symbol;
+        // the per-trace loop only clones from this table.
+        let locs: Vec<CodeLoc> = records.symbols().loc_table(program);
         let under_observed = (snapshots.len() as u32) < self.config.min_snapshots;
+        let ids: Vec<TraceId> = records.trace_ids().collect();
+        let workers = self.config.parallelism.max(1);
+        let raw: Vec<RawTrace> = if workers == 1 || ids.len() < 2 {
+            shard_lifetimes(
+                &ids,
+                records,
+                &survivals,
+                &locs,
+                &self.config,
+                under_observed,
+                snapshots.len(),
+            )
+        } else {
+            let chunk = ids.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = ids
+                    .chunks(chunk)
+                    .map(|shard| {
+                        let survivals = &survivals;
+                        let locs = &locs;
+                        let config = &self.config;
+                        s.spawn(move || {
+                            shard_lifetimes(
+                                shard,
+                                records,
+                                survivals,
+                                locs,
+                                config,
+                                under_observed,
+                                snapshots.len(),
+                            )
+                        })
+                    })
+                    .collect();
+                // Joining in spawn order concatenates shards in trace-id
+                // order: identical to the sequential pass.
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("lifetime shard panicked"))
+                    .collect()
+            })
+        };
+
         let mut demoted_traces = 0u64;
-        let mut lifetimes = Vec::new();
         let mut classes: Vec<u32> = Vec::new(); // distinct log2 lifetime classes
-        for trace in records.trace_ids() {
-            let stream = records.stream(trace);
-            let mut histogram: BTreeMap<u32, u64> = BTreeMap::new();
-            for hash in stream {
-                let s = survivals.get(hash).copied().unwrap_or(0);
-                *histogram.entry(s).or_insert(0) += 1;
-            }
-            let objects = stream.len() as u64;
-            let typical_survivals = {
-                let mut remaining = objects.div_ceil(2);
-                let mut median = 0;
-                for (&s, &count) in &histogram {
-                    if count >= remaining {
-                        median = s;
-                        break;
-                    }
-                    remaining -= count;
-                }
-                median
-            };
-            let path = records.resolve_trace(trace, program);
-            let class = if objects < self.config.min_objects
-                || typical_survivals < self.config.min_survivals
-            {
-                None
-            } else if under_observed {
-                // Enough evidence to pretenure in a healthy run, but too few
-                // snapshots actually arrived (lost captures): fall back to
-                // the young default and count the demotion.
+        for (_, _, _, _, _, class, demoted) in &raw {
+            if *demoted {
                 demoted_traces += 1;
-                None
-            } else {
-                Some(typical_survivals.ilog2())
-            };
+            }
             if let Some(c) = class {
-                if !classes.contains(&c) {
-                    classes.push(c);
+                if !classes.contains(c) {
+                    classes.push(*c);
                 }
             }
-            lifetimes.push((trace, path, histogram, typical_survivals, objects, class));
         }
         classes.sort_unstable();
 
@@ -195,10 +371,10 @@ impl Analyzer {
             .map(|(i, &c)| (c, GenId::new(2 + i as u32)))
             .collect();
 
-        let lifetimes: Vec<TraceLifetime> = lifetimes
+        let lifetimes: Vec<TraceLifetime> = raw
             .into_iter()
             .map(
-                |(trace, path, histogram, typical_survivals, objects, class)| TraceLifetime {
+                |(trace, path, histogram, typical_survivals, objects, class, _)| TraceLifetime {
                     trace,
                     path,
                     histogram,
@@ -215,9 +391,32 @@ impl Analyzer {
             tree.insert_path(&t.path, t.gen);
         }
         let conflicts = tree.detect_conflicts();
-        let resolutions = tree.solve_conflicts(&conflicts);
-        let conflicted: std::collections::HashSet<CodeLoc> =
-            conflicts.iter().map(|c| c.loc.clone()).collect();
+        let resolutions: Vec<Resolution> = if workers == 1 || conflicts.len() < 2 {
+            tree.solve_conflicts(&conflicts)
+        } else {
+            // Conflicts are independent; shard them and concatenate in
+            // shard order (see `SttTree::solve_conflicts`).
+            let chunk = conflicts.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = conflicts
+                    .chunks(chunk)
+                    .map(|shard| {
+                        let tree = &tree;
+                        s.spawn(move || tree.solve_conflicts(shard))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("conflict shard panicked"))
+                    .collect()
+            })
+        };
+        // Conflicted locations as interned tree ids: membership tests in the
+        // profile-assembly loop are integer set probes, no CodeLoc clones.
+        let conflicted: IdHashSet<u32> = conflicts
+            .iter()
+            .map(|c| tree.loc_id(&c.loc).expect("conflict loc is in the tree"))
+            .collect();
 
         // Step 4: profile assembly.
         let mut profile = AllocationProfile::new();
@@ -225,23 +424,26 @@ impl Analyzer {
             if leaf.gen.is_young() {
                 continue;
             }
-            if conflicted.contains(&leaf.loc) {
+            if conflicted.contains(&leaf.sym) {
                 // Conflicted site: @Gen annotation; generation arrives via
                 // the resolutions' call-site wrappers.
                 profile.add_site(PretenuredSite {
-                    loc: leaf.loc.clone(),
+                    loc: leaf.loc,
                     gen: leaf.gen,
                     local: false,
                 });
             } else {
-                let (at, is_local) = tree.hoist_point(leaf.idx, &conflicted);
+                let (at, is_local) = tree.hoist_point_sym(leaf.idx, &conflicted);
                 profile.add_site(PretenuredSite {
-                    loc: leaf.loc.clone(),
+                    loc: leaf.loc,
                     gen: leaf.gen,
                     local: is_local,
                 });
                 if !is_local {
-                    profile.add_gen_call(GenCall { at, gen: leaf.gen });
+                    profile.add_gen_call(GenCall {
+                        at: tree.loc_at(at).clone(),
+                        gen: leaf.gen,
+                    });
                 }
             }
         }
@@ -343,7 +545,7 @@ mod tests {
         // 8 objects through the long path, all surviving 4 snapshots.
         let long_hashes: Vec<_> = (0..8).map(hash).collect();
         for &h in &long_hashes {
-            records.record(long_trace(), h);
+            records.record(&long_trace(), h);
         }
         let series: SnapshotSeries = (0..4).map(|s| snapshot(s, &long_hashes)).collect();
         let outcome = Analyzer::default().analyze(&records, &series, &program);
@@ -365,7 +567,7 @@ mod tests {
         let (_, program) = loaded();
         let mut records = AllocationRecords::default();
         for i in 0..8 {
-            records.record(short_trace(), hash(i));
+            records.record(&short_trace(), hash(i));
         }
         // Objects never appear in any snapshot: they die before the first.
         let series: SnapshotSeries = (0..4).map(|s| snapshot(s, &[])).collect();
@@ -385,10 +587,10 @@ mod tests {
         let long_hashes: Vec<_> = (0..8).map(hash).collect();
         let short_hashes: Vec<_> = (100..108).map(hash).collect();
         for &h in &long_hashes {
-            records.record(long_trace(), h);
+            records.record(&long_trace(), h);
         }
         for &h in &short_hashes {
-            records.record(short_trace(), h);
+            records.record(&short_trace(), h);
         }
         let series: SnapshotSeries = (0..4).map(|s| snapshot(s, &long_hashes)).collect();
         let outcome = Analyzer::default().analyze(&records, &series, &program);
@@ -424,10 +626,10 @@ mod tests {
         let a: Vec<_> = (0..8).map(hash).collect();
         let b: Vec<_> = (100..108).map(hash).collect();
         for &h in &a {
-            records.record(long_trace(), h);
+            records.record(&long_trace(), h);
         }
         for &h in &b {
-            records.record(short_trace(), h);
+            records.record(&short_trace(), h);
         }
         let mut series = SnapshotSeries::new();
         for s in 0..16 {
@@ -452,7 +654,7 @@ mod tests {
         let mut records = AllocationRecords::default();
         // Only two objects — below min_objects.
         for i in 0..2 {
-            records.record(long_trace(), hash(i));
+            records.record(&long_trace(), hash(i));
         }
         let series: SnapshotSeries = (0..8).map(|s| snapshot(s, &[hash(0), hash(1)])).collect();
         let outcome = Analyzer::default().analyze(&records, &series, &program);
@@ -465,7 +667,7 @@ mod tests {
         let mut records = AllocationRecords::default();
         let hashes: Vec<_> = (0..8).map(hash).collect();
         for &h in &hashes {
-            records.record(long_trace(), h);
+            records.record(&long_trace(), h);
         }
         // One snapshot only (the rest were lost): the same evidence that
         // pretenures in `long_lived_sites_get_pretenured` must now demote.
@@ -496,7 +698,7 @@ mod tests {
         let (_, program) = loaded();
         let mut records = AllocationRecords::default();
         for i in 0..8 {
-            records.record(long_trace(), hash(i));
+            records.record(&long_trace(), hash(i));
         }
         let series: SnapshotSeries = (0..3)
             .map(|s| snapshot(s, &(0..8).map(hash).collect::<Vec<_>>()))
@@ -508,5 +710,69 @@ mod tests {
         assert_eq!(stats[0].objects, 8);
         assert_eq!(stats[0].typical_survivals, 3);
         assert_eq!(stats[0].histogram[&3], 8);
+    }
+
+    /// A mixed workload with conflicts, several lifetime classes, and traces
+    /// below every threshold — the shape that exercises every branch of the
+    /// determinism contract.
+    fn mixed_inputs() -> (AllocationRecords, SnapshotSeries, LoadedProgram) {
+        let (_, program) = loaded();
+        let mut records = AllocationRecords::default();
+        let long_hashes: Vec<_> = (0..64).map(hash).collect();
+        let short_hashes: Vec<_> = (1000..1064).map(hash).collect();
+        for &h in &long_hashes {
+            records.record(&long_trace(), h);
+        }
+        for &h in &short_hashes {
+            records.record(&short_trace(), h);
+        }
+        // A sparse trace below min_objects.
+        records.record(
+            &[TraceFrame {
+                class_idx: 0,
+                method_idx: 0,
+                line: 10,
+            }],
+            hash(5000),
+        );
+        let mut series = SnapshotSeries::new();
+        for s in 0..12 {
+            let mut live = long_hashes.clone();
+            if s < 2 {
+                live.extend(&short_hashes);
+            }
+            series.push(snapshot(s, &live));
+        }
+        (records, series, program)
+    }
+
+    #[test]
+    fn replay_strategies_agree() {
+        let (records, series, program) = mixed_inputs();
+        let probe = Analyzer::new(AnalyzerConfig {
+            replay: ReplayStrategy::HashProbe,
+            ..AnalyzerConfig::default()
+        })
+        .analyze(&records, &series, &program);
+        let merged = Analyzer::new(AnalyzerConfig {
+            replay: ReplayStrategy::SortedMerge,
+            ..AnalyzerConfig::default()
+        })
+        .analyze(&records, &series, &program);
+        assert_eq!(probe, merged);
+    }
+
+    #[test]
+    fn parallelism_is_invisible_in_the_output() {
+        let (records, series, program) = mixed_inputs();
+        let sequential = Analyzer::default().analyze(&records, &series, &program);
+        for parallelism in [2, 3, 8] {
+            let parallel = Analyzer::new(AnalyzerConfig {
+                parallelism,
+                ..AnalyzerConfig::default()
+            })
+            .analyze(&records, &series, &program);
+            assert_eq!(sequential, parallel, "parallelism={parallelism}");
+        }
     }
 }

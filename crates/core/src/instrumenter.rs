@@ -96,6 +96,13 @@ impl ClassTransformer for InstrumenterAgent {
     }
 
     fn transform(&mut self, class: &mut ClassDef) {
+        // Profile entries are keyed (class, method, line): a class the
+        // profile never mentions cannot match any lookup, so skip its
+        // method bodies entirely — most loaded classes in a big application
+        // have no profile entries at all.
+        if !self.profile.mentions_class(&class.name) {
+            return;
+        }
         let class_name = class.name.clone();
         let mut stats = self.stats.borrow_mut();
         for method in &mut class.methods {

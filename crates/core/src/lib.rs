@@ -68,8 +68,11 @@ mod pipeline;
 mod profile;
 mod recorder;
 mod sttree;
+mod symbols;
 
-pub use analyzer::{AnalysisOutcome, Analyzer, AnalyzerConfig, SiteLifetimes, TraceLifetime};
+pub use analyzer::{
+    AnalysisOutcome, Analyzer, AnalyzerConfig, ReplayStrategy, SiteLifetimes, TraceLifetime,
+};
 pub use error::PipelineError;
 pub use faults::{FaultConfig, FaultInjector, FaultyDumper, InjectedFaults};
 pub use instrumenter::{InstrumentationStats, Instrumenter};
@@ -81,4 +84,5 @@ pub use profile::{
     MAX_PROFILE_GEN,
 };
 pub use recorder::{AllocationRecords, Recorder, TraceId};
-pub use sttree::{Conflict, Resolution, SttTree};
+pub use sttree::{Conflict, LeafView, Resolution, SttTree};
+pub use symbols::{FrameInterner, SymbolId};

@@ -313,13 +313,38 @@ impl AllocationProfile {
     }
 
     /// Looks up the pretenured-site entry at `loc`.
+    ///
+    /// Entries are stored sorted by location (see
+    /// [`add_site`](AllocationProfile::add_site)), so this is a binary
+    /// search — the Instrumenter calls it once per allocation instruction.
     pub fn site_at(&self, loc: &CodeLoc) -> Option<&PretenuredSite> {
-        self.sites.iter().find(|s| s.loc == *loc)
+        let at = self.sites.partition_point(|s| s.loc < *loc);
+        self.sites.get(at).filter(|s| s.loc == *loc)
     }
 
-    /// Looks up the generation-call entry at `loc`.
+    /// Looks up the generation-call entry at `loc` (binary search, as with
+    /// [`site_at`](AllocationProfile::site_at)).
     pub fn gen_call_at(&self, loc: &CodeLoc) -> Option<&GenCall> {
-        self.gen_calls.iter().find(|c| c.at == *loc)
+        let at = self.gen_calls.partition_point(|c| c.at < *loc);
+        self.gen_calls.get(at).filter(|c| c.at == *loc)
+    }
+
+    /// True if any entry (site or call) lives in `class`.
+    ///
+    /// Locations sort by class first, so both lookups are binary searches;
+    /// the Instrumenter uses this to skip whole classes the profile never
+    /// mentions.
+    pub fn mentions_class(&self, class: &str) -> bool {
+        let site = self.sites.partition_point(|s| s.loc.class.as_str() < class);
+        if self.sites.get(site).is_some_and(|s| s.loc.class == class) {
+            return true;
+        }
+        let call = self
+            .gen_calls
+            .partition_point(|c| c.at.class.as_str() < class);
+        self.gen_calls
+            .get(call)
+            .is_some_and(|c| c.at.class == class)
     }
 }
 
@@ -477,6 +502,55 @@ mod tests {
         assert!(p.site_at(&CodeLoc::new("Cell", "create", 5)).is_some());
         assert!(p.site_at(&CodeLoc::new("Cell", "create", 6)).is_none());
         assert!(p.gen_call_at(&CodeLoc::new("Store", "put", 10)).is_some());
+    }
+
+    #[test]
+    fn mentions_class_matches_sites_and_calls() {
+        let p = sample();
+        assert!(p.mentions_class("Cell"));
+        assert!(p.mentions_class("Index"));
+        assert!(p.mentions_class("Store"), "call-only classes count too");
+        assert!(!p.mentions_class("Row"));
+        // Prefix of a mentioned class is not a mention.
+        assert!(!p.mentions_class("Cel"));
+        assert!(!p.mentions_class("Cella"));
+        assert!(!AllocationProfile::new().mentions_class("Cell"));
+    }
+
+    #[test]
+    fn lookups_agree_with_linear_scan() {
+        // Several entries per class, several classes — the binary searches
+        // must find exactly what the original linear scans found.
+        let mut p = AllocationProfile::new();
+        for class in ["A", "B", "C"] {
+            for line in [9, 3, 7, 1] {
+                p.add_site(PretenuredSite {
+                    loc: CodeLoc::new(class, "m", line),
+                    gen: GenId::new(2),
+                    local: false,
+                });
+                p.add_gen_call(GenCall {
+                    at: CodeLoc::new(class, "call", line),
+                    gen: GenId::new(2),
+                });
+            }
+        }
+        for class in ["A", "B", "C"] {
+            for line in 0..11 {
+                let loc = CodeLoc::new(class, "m", line);
+                assert_eq!(
+                    p.site_at(&loc),
+                    p.sites().iter().find(|s| s.loc == loc),
+                    "{loc:?}"
+                );
+                let at = CodeLoc::new(class, "call", line);
+                assert_eq!(
+                    p.gen_call_at(&at),
+                    p.gen_calls().iter().find(|c| c.at == at),
+                    "{at:?}"
+                );
+            }
+        }
     }
 
     #[test]

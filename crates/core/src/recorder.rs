@@ -7,6 +7,7 @@ use polm2_heap::IdentityHash;
 use polm2_runtime::{ClassDef, ClassTransformer, CodeLoc, Instr, LoadedProgram, TraceFrame};
 
 use crate::error::PipelineError;
+use crate::symbols::{FrameInterner, SymbolId};
 
 /// Identifies one unique allocation stack trace.
 ///
@@ -25,29 +26,41 @@ impl TraceId {
 
 /// The Recorder's output: interned stack traces plus, per trace, the stream
 /// of identity hashes of objects allocated through it.
+///
+/// Frames are interned into dense [`SymbolId`]s at record time, so traces are
+/// stored (and compared) as small integer vectors and everything downstream
+/// works on symbol ids; see [`crate::FrameInterner`].
 #[derive(Debug, Default)]
 pub struct AllocationRecords {
-    /// Interned traces (compact frame form).
-    traces: Vec<Vec<TraceFrame>>,
+    /// Per-frame symbol table, populated at record time.
+    symbols: FrameInterner,
+    /// Interned traces, as frame-symbol paths (outermost first).
+    traces: Vec<Vec<SymbolId>>,
     /// Trace intern map; hashed with the heap's fast id hasher — this map
     /// is hit once per recorded allocation.
-    by_trace: std::collections::HashMap<Vec<TraceFrame>, TraceId, polm2_heap::BuildIdHasher>,
+    by_trace: std::collections::HashMap<Vec<SymbolId>, TraceId, polm2_heap::BuildIdHasher>,
     /// Per-trace object-id streams (identity hashes, §4.3). The Recorder
     /// deliberately does NOT index by hash: the paper's Recorder streams ids
     /// to disk precisely to avoid per-object memory overhead (§3.2).
     streams: Vec<Vec<IdentityHash>>,
     total_records: u64,
+    /// Reused per record to avoid an allocation per event.
+    scratch: Vec<SymbolId>,
 }
 
 impl AllocationRecords {
     /// Records one allocation.
-    pub fn record(&mut self, trace: Vec<TraceFrame>, hash: IdentityHash) {
-        let id = match self.by_trace.get(&trace) {
+    pub fn record(&mut self, trace: &[TraceFrame], hash: IdentityHash) {
+        self.scratch.clear();
+        for &frame in trace {
+            self.scratch.push(self.symbols.intern(frame));
+        }
+        let id = match self.by_trace.get(&self.scratch) {
             Some(&id) => id,
             None => {
                 let id = TraceId(self.traces.len() as u32);
-                self.by_trace.insert(trace.clone(), id);
-                self.traces.push(trace);
+                self.by_trace.insert(self.scratch.clone(), id);
+                self.traces.push(self.scratch.clone());
                 self.streams.push(Vec::new());
                 id
             }
@@ -66,9 +79,23 @@ impl AllocationRecords {
         self.total_records
     }
 
-    /// The compact frames of a trace.
-    pub fn trace(&self, id: TraceId) -> &[TraceFrame] {
+    /// The compact frames of a trace (materialized from the symbol table).
+    pub fn trace(&self, id: TraceId) -> Vec<TraceFrame> {
+        self.traces[id.0 as usize]
+            .iter()
+            .map(|&s| self.symbols.resolve(s))
+            .collect()
+    }
+
+    /// The frame-symbol path of a trace (the hot-path view; resolve symbols
+    /// through [`symbols`](AllocationRecords::symbols)).
+    pub fn trace_symbols(&self, id: TraceId) -> &[SymbolId] {
         &self.traces[id.0 as usize]
+    }
+
+    /// The frame symbol table populated at record time.
+    pub fn symbols(&self) -> &FrameInterner {
+        &self.symbols
     }
 
     /// The identity-hash stream of a trace.
@@ -84,9 +111,9 @@ impl AllocationRecords {
     /// Resolves a trace to human-readable locations ("flushing the stack
     /// traces to disk", done once per trace at the end of profiling).
     pub fn resolve_trace(&self, id: TraceId, program: &LoadedProgram) -> Vec<CodeLoc> {
-        self.trace(id)
+        self.traces[id.0 as usize]
             .iter()
-            .map(|&f| program.code_loc(f))
+            .map(|&s| self.symbols.code_loc(s, program))
             .collect()
     }
 }
@@ -125,7 +152,7 @@ impl Recorder {
     pub fn ingest(&mut self, events: Vec<polm2_runtime::AllocEvent>) {
         let mut records = self.records.borrow_mut();
         for event in events {
-            records.record(event.trace, event.hash);
+            records.record(&event.trace, event.hash);
         }
     }
 
@@ -147,7 +174,7 @@ impl Recorder {
                 dropped += 1;
                 continue;
             }
-            records.record(event.trace, event.hash);
+            records.record(&event.trace, event.hash);
         }
         dropped
     }
@@ -242,9 +269,9 @@ mod tests {
         let mut r = AllocationRecords::default();
         let t1 = vec![frame(1), frame(5)];
         let t2 = vec![frame(2), frame(5)];
-        r.record(t1.clone(), IdentityHash::of(ObjectId::new(1)));
-        r.record(t1.clone(), IdentityHash::of(ObjectId::new(2)));
-        r.record(t2, IdentityHash::of(ObjectId::new(3)));
+        r.record(&t1, IdentityHash::of(ObjectId::new(1)));
+        r.record(&t1, IdentityHash::of(ObjectId::new(2)));
+        r.record(&t2, IdentityHash::of(ObjectId::new(3)));
         assert_eq!(r.trace_count(), 2);
         assert_eq!(r.total_records(), 3);
         let id = r.trace_ids().next().unwrap();
@@ -258,8 +285,8 @@ mod tests {
         // just streams both.
         let mut r = AllocationRecords::default();
         let h = IdentityHash::of(ObjectId::new(1));
-        r.record(vec![frame(1)], h);
-        r.record(vec![frame(2)], h);
+        r.record(&[frame(1)], h);
+        r.record(&[frame(2)], h);
         assert_eq!(r.total_records(), 2);
         assert_eq!(r.trace_count(), 2);
     }

@@ -6,17 +6,25 @@
 //! *different* estimated generations is a **conflict**; it is resolved by
 //! pushing each path's generation up to the first ancestor whose location
 //! distinguishes the paths — that call site gets a `setGeneration` wrapper.
+//!
+//! Locations are interned into dense `u32` ids on first sight, so every
+//! traversal (insertion, conflict detection, conflict resolution, hoisting)
+//! compares integers; [`CodeLoc`] strings are cloned only at the public
+//! output boundary ([`Conflict`], [`Resolution`], [`LeafView`]).
 
 use std::collections::HashMap;
 
-use polm2_heap::GenId;
+use polm2_heap::{GenId, IdHashMap, IdHashSet};
 use polm2_runtime::CodeLoc;
+
+/// Dense id of a location interned in one tree.
+type LocId = u32;
 
 #[derive(Debug)]
 struct Node {
-    loc: CodeLoc,
-    parent: Option<usize>,
-    children: Vec<usize>,
+    loc: LocId,
+    parent: Option<u32>,
+    children: Vec<u32>,
     /// `Some` for allocation-site leaves: the estimated target generation.
     leaf_gen: Option<GenId>,
 }
@@ -59,6 +67,8 @@ pub struct LeafView {
     pub loc: CodeLoc,
     /// The estimated target generation.
     pub gen: GenId,
+    /// The interned location id (crate-internal fast path).
+    pub(crate) sym: LocId,
 }
 
 /// The stack-trace tree.
@@ -92,14 +102,41 @@ pub struct LeafView {
 #[derive(Debug, Default)]
 pub struct SttTree {
     nodes: Vec<Node>,
-    /// Children of the synthetic root, by location.
-    roots: HashMap<CodeLoc, usize>,
+    /// Interned locations (id → location).
+    locs: Vec<CodeLoc>,
+    /// Location intern map (location → id).
+    by_loc: HashMap<CodeLoc, LocId>,
+    /// Children of the synthetic root, by interned location.
+    roots: IdHashMap<LocId, u32>,
 }
 
 impl SttTree {
     /// Creates an empty tree.
     pub fn new() -> Self {
         SttTree::default()
+    }
+
+    /// Interns `loc`, cloning it only on first sight.
+    fn intern_loc(&mut self, loc: &CodeLoc) -> LocId {
+        match self.by_loc.get(loc) {
+            Some(&id) => id,
+            None => {
+                let id = self.locs.len() as LocId;
+                self.locs.push(loc.clone());
+                self.by_loc.insert(loc.clone(), id);
+                id
+            }
+        }
+    }
+
+    /// The interned id of `loc`, if any path mentions it.
+    pub(crate) fn loc_id(&self, loc: &CodeLoc) -> Option<LocId> {
+        self.by_loc.get(loc).copied()
+    }
+
+    /// The location an interned id stands for.
+    pub(crate) fn loc_at(&self, id: LocId) -> &CodeLoc {
+        &self.locs[id as usize]
     }
 
     /// Inserts one allocation path (outermost frame first; the last element
@@ -112,28 +149,29 @@ impl SttTree {
     /// Panics if `path` is empty.
     pub fn insert_path(&mut self, path: &[CodeLoc], gen: GenId) {
         assert!(!path.is_empty(), "allocation path cannot be empty");
-        let mut current: Option<usize> = None;
+        let mut current: Option<u32> = None;
         for loc in path {
+            let loc = self.intern_loc(loc);
             let next = match current {
-                None => match self.roots.get(loc) {
+                None => match self.roots.get(&loc) {
                     Some(&idx) => idx,
                     None => {
-                        let idx = self.push_node(loc.clone(), None);
-                        self.roots.insert(loc.clone(), idx);
+                        let idx = self.push_node(loc, None);
+                        self.roots.insert(loc, idx);
                         idx
                     }
                 },
                 Some(parent) => {
-                    match self.nodes[parent]
+                    match self.nodes[parent as usize]
                         .children
                         .iter()
                         .copied()
-                        .find(|&c| self.nodes[c].loc == *loc)
+                        .find(|&c| self.nodes[c as usize].loc == loc)
                     {
                         Some(idx) => idx,
                         None => {
-                            let idx = self.push_node(loc.clone(), Some(parent));
-                            self.nodes[parent].children.push(idx);
+                            let idx = self.push_node(loc, Some(parent));
+                            self.nodes[parent as usize].children.push(idx);
                             idx
                         }
                     }
@@ -142,15 +180,15 @@ impl SttTree {
             current = Some(next);
         }
         let leaf = current.expect("non-empty path");
-        let slot = &mut self.nodes[leaf].leaf_gen;
+        let slot = &mut self.nodes[leaf as usize].leaf_gen;
         *slot = Some(match *slot {
             Some(existing) => existing.max(gen),
             None => gen,
         });
     }
 
-    fn push_node(&mut self, loc: CodeLoc, parent: Option<usize>) -> usize {
-        let idx = self.nodes.len();
+    fn push_node(&mut self, loc: LocId, parent: Option<u32>) -> u32 {
+        let idx = self.nodes.len() as u32;
         self.nodes.push(Node {
             loc,
             parent,
@@ -178,8 +216,9 @@ impl SttTree {
             .filter_map(|(idx, n)| {
                 n.leaf_gen.map(|gen| LeafView {
                     idx,
-                    loc: n.loc.clone(),
+                    loc: self.locs[n.loc as usize].clone(),
                     gen,
+                    sym: n.loc,
                 })
             })
             .collect()
@@ -188,10 +227,10 @@ impl SttTree {
     /// Algorithm 1, `Detect Conflicts`: leaves sharing a location but not a
     /// target generation.
     pub fn detect_conflicts(&self) -> Vec<Conflict> {
-        let mut groups: HashMap<&CodeLoc, Vec<usize>> = HashMap::new();
+        let mut groups: IdHashMap<LocId, Vec<usize>> = IdHashMap::default();
         for (idx, node) in self.nodes.iter().enumerate() {
             if node.leaf_gen.is_some() {
-                groups.entry(&node.loc).or_default().push(idx);
+                groups.entry(node.loc).or_default().push(idx);
             }
         }
         let mut conflicts: Vec<Conflict> = groups
@@ -206,7 +245,7 @@ impl SttTree {
                 members.len() > 1 && gens.len() > 1
             })
             .map(|(loc, members)| Conflict {
-                loc: loc.clone(),
+                loc: self.locs[loc as usize].clone(),
                 members,
             })
             .collect();
@@ -217,21 +256,25 @@ impl SttTree {
     /// Algorithm 1, `Solve Conflicts`: each conflicting leaf pushes its
     /// target generation up its allocation path until the paths' current
     /// nodes all point at distinct code locations.
+    ///
+    /// Conflicts are independent of each other, so a slice of conflicts can
+    /// be solved shard-by-shard and the outputs concatenated — the Analyzer's
+    /// worker pool relies on this.
     pub fn solve_conflicts(&self, conflicts: &[Conflict]) -> Vec<Resolution> {
         let mut out = Vec::new();
         for conflict in conflicts {
             // One cursor per conflicting path.
             let mut cursors: Vec<usize> = conflict.members.clone();
             loop {
-                let mut counts: HashMap<&CodeLoc, usize> = HashMap::new();
+                let mut counts: IdHashMap<LocId, usize> = IdHashMap::default();
                 for &c in &cursors {
-                    *counts.entry(&self.nodes[c].loc).or_insert(0) += 1;
+                    *counts.entry(self.nodes[c].loc).or_insert(0) += 1;
                 }
                 let mut moved = false;
                 for cursor in &mut cursors {
                     if counts[&self.nodes[*cursor].loc] > 1 {
                         if let Some(parent) = self.nodes[*cursor].parent {
-                            *cursor = parent;
+                            *cursor = parent as usize;
                             moved = true;
                         }
                         // A cursor at a top-level frame with a still-shared
@@ -249,7 +292,7 @@ impl SttTree {
                     gen: self.nodes[*member]
                         .leaf_gen
                         .expect("conflict member is a leaf"),
-                    at: self.nodes[cursor].loc.clone(),
+                    at: self.locs[self.nodes[cursor].loc as usize].clone(),
                 });
             }
         }
@@ -275,40 +318,51 @@ impl SttTree {
         leaf_idx: usize,
         blocking_locs: &std::collections::HashSet<CodeLoc>,
     ) -> (CodeLoc, bool) {
+        let blocking: IdHashSet<LocId> = blocking_locs
+            .iter()
+            .filter_map(|loc| self.loc_id(loc))
+            .collect();
+        let (at, is_leaf) = self.hoist_point_sym(leaf_idx, &blocking);
+        (self.locs[at as usize].clone(), is_leaf)
+    }
+
+    /// [`hoist_point`](SttTree::hoist_point) on interned ids (the Analyzer's
+    /// hot path): blocking locations and the result are dense loc ids.
+    pub(crate) fn hoist_point_sym(
+        &self,
+        leaf_idx: usize,
+        blocking: &IdHashSet<LocId>,
+    ) -> (LocId, bool) {
         let gen = self.nodes[leaf_idx]
             .leaf_gen
             .expect("hoist_point needs a leaf");
         let mut best = leaf_idx;
         let mut cursor = leaf_idx;
         while let Some(parent) = self.nodes[cursor].parent {
-            let gens = self.subtree_gens(parent, blocking_locs);
+            let gens = self.subtree_gens(parent as usize, blocking);
             if gens.len() == 1 && gens[0] == gen {
-                best = parent;
-                cursor = parent;
+                best = parent as usize;
+                cursor = parent as usize;
             } else {
                 break;
             }
         }
-        (self.nodes[best].loc.clone(), best == leaf_idx)
+        (self.nodes[best].loc, best == leaf_idx)
     }
 
     /// Distinct effective leaf generations under `node` (inclusive), sorted.
     /// Young leaves count only when their location is `@Gen`-annotated
-    /// elsewhere (`blocking_locs`).
-    fn subtree_gens(
-        &self,
-        node: usize,
-        blocking_locs: &std::collections::HashSet<CodeLoc>,
-    ) -> Vec<GenId> {
+    /// elsewhere (`blocking`).
+    fn subtree_gens(&self, node: usize, blocking: &IdHashSet<LocId>) -> Vec<GenId> {
         let mut gens = Vec::new();
         let mut stack = vec![node];
         while let Some(n) = stack.pop() {
             if let Some(g) = self.nodes[n].leaf_gen {
-                if !g.is_young() || blocking_locs.contains(&self.nodes[n].loc) {
+                if !g.is_young() || blocking.contains(&self.nodes[n].loc) {
                     gens.push(g);
                 }
             }
-            stack.extend(&self.nodes[n].children);
+            stack.extend(self.nodes[n].children.iter().map(|&c| c as usize));
         }
         gens.sort_unstable();
         gens.dedup();
@@ -374,6 +428,15 @@ mod tests {
     }
 
     #[test]
+    fn interning_is_shared_across_paths() {
+        let t = paper_tree();
+        // 9 nodes but only 6 distinct locations: A34, B21, B26, C8, C10, D4.
+        assert_eq!(t.locs.len(), 6);
+        assert!(t.loc_id(&loc("methodD", 4)).is_some());
+        assert!(t.loc_id(&loc("methodD", 99)).is_none());
+    }
+
+    #[test]
     fn detects_the_methodd_conflict() {
         let t = paper_tree();
         let conflicts = t.detect_conflicts();
@@ -395,6 +458,21 @@ mod tests {
         assert_eq!(find(1).at, loc("methodC", 10));
         assert_eq!(find(2).at, loc("methodB", 21));
         assert_eq!(find(3).at, loc("methodB", 26));
+    }
+
+    #[test]
+    fn sharded_solving_matches_whole_slice_solving() {
+        let mut t = paper_tree();
+        // A second, unrelated conflict.
+        let e = loc("methodE", 7);
+        t.insert_path(&[loc("methodX", 1), e.clone()], GenId::new(2));
+        t.insert_path(&[loc("methodY", 2), e.clone()], GenId::new(4));
+        let conflicts = t.detect_conflicts();
+        assert_eq!(conflicts.len(), 2);
+        let whole = t.solve_conflicts(&conflicts);
+        let mut sharded = t.solve_conflicts(&conflicts[..1]);
+        sharded.extend(t.solve_conflicts(&conflicts[1..]));
+        assert_eq!(whole, sharded);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Frame interning: dense `u32` symbol ids for stack-trace frames.
+//!
+//! The Recorder interns every [`TraceFrame`] it sees into a [`SymbolId`] at
+//! record time, so everything downstream — trace tables, the Analyzer's
+//! per-trace loops, the STTree — operates on dense integer ids instead of
+//! hashing frame structs or cloning [`CodeLoc`] strings in hot loops. A
+//! symbol resolves back to its frame (and, given the loaded program, to a
+//! human-readable [`CodeLoc`]) only at output boundaries.
+
+use polm2_heap::IdHashMap;
+use polm2_runtime::{CodeLoc, LoadedProgram, TraceFrame};
+
+/// Dense id of an interned stack-trace frame.
+///
+/// Within one [`FrameInterner`], two frames get the same symbol iff they are
+/// the same `(class_idx, method_idx, line)` triple — which, for frames of one
+/// loaded program, is iff they resolve to the same [`CodeLoc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index widened for table addressing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns [`TraceFrame`]s into dense [`SymbolId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct FrameInterner {
+    frames: Vec<TraceFrame>,
+    /// Keyed by the frame packed into a `u64`; hashed with the heap's fast
+    /// id hasher — this map is hit once per frame of every recorded
+    /// allocation.
+    by_key: IdHashMap<u64, SymbolId>,
+}
+
+/// A frame packed into one integer key (16 bits class, 16 bits method,
+/// 32 bits line) — lossless, so key equality is frame equality.
+fn pack(frame: TraceFrame) -> u64 {
+    (u64::from(frame.class_idx) << 48) | (u64::from(frame.method_idx) << 32) | u64::from(frame.line)
+}
+
+impl FrameInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        FrameInterner::default()
+    }
+
+    /// Interns a frame, returning its (stable) symbol.
+    pub fn intern(&mut self, frame: TraceFrame) -> SymbolId {
+        match self.by_key.get(&pack(frame)) {
+            Some(&sym) => sym,
+            None => {
+                let sym = SymbolId(self.frames.len() as u32);
+                self.by_key.insert(pack(frame), sym);
+                self.frames.push(frame);
+                sym
+            }
+        }
+    }
+
+    /// The frame a symbol stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: SymbolId) -> TraceFrame {
+        self.frames[sym.index()]
+    }
+
+    /// Resolves a symbol to a human-readable location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is foreign to this interner or its frame does not
+    /// belong to `program`.
+    pub fn code_loc(&self, sym: SymbolId, program: &LoadedProgram) -> CodeLoc {
+        program.code_loc(self.resolve(sym))
+    }
+
+    /// Resolves every interned frame at once: a table of locations indexed
+    /// by [`SymbolId::index`]. Built once per analysis so hot loops clone
+    /// from the table instead of re-resolving frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interned frame does not belong to `program`.
+    pub fn loc_table(&self, program: &LoadedProgram) -> Vec<CodeLoc> {
+        self.frames.iter().map(|&f| program.code_loc(f)).collect()
+    }
+
+    /// Number of distinct frames interned.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(class_idx: u16, method_idx: u16, line: u32) -> TraceFrame {
+        TraceFrame {
+            class_idx,
+            method_idx,
+            line,
+        }
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = FrameInterner::new();
+        let a = t.intern(frame(0, 0, 1));
+        let b = t.intern(frame(0, 0, 2));
+        let a2 = t.intern(frame(0, 0, 1));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(b), frame(0, 0, 2));
+    }
+
+    #[test]
+    fn packing_distinguishes_all_fields() {
+        let mut t = FrameInterner::new();
+        let syms = [
+            t.intern(frame(1, 0, 7)),
+            t.intern(frame(0, 1, 7)),
+            t.intern(frame(0, 0, 7)),
+            t.intern(frame(1, 1, 8)),
+        ];
+        let distinct: std::collections::HashSet<_> = syms.iter().collect();
+        assert_eq!(distinct.len(), syms.len());
+    }
+}

@@ -1,0 +1,274 @@
+//! Property suite for the Analyzer's determinism contract: replay strategy
+//! and parallelism level are pure performance knobs — for any input, every
+//! (strategy × parallelism) combination must produce an
+//! [`AnalysisOutcome`] identical to the sequential hash-probe baseline,
+//! including under seeded fault injection.
+//!
+//! `proptest` is not available offline, so the generator is a hand-rolled
+//! deterministic xorshift: each seed yields one reproducible random workload
+//! (program shape, trace depths, object counts, lifespans), and the property
+//! is checked across a spread of seeds.
+
+use polm2_core::{
+    AllocationRecords, AnalysisOutcome, Analyzer, AnalyzerConfig, FaultConfig, ProfilingSession,
+    ReplayStrategy, SnapshotPolicy,
+};
+use polm2_heap::{Heap, HeapConfig, IdentityHash, ObjectId};
+use polm2_metrics::{SimDuration, SimTime};
+use polm2_runtime::{
+    ClassDef, HookAction, HookRegistry, Instr, Jvm, LoadedProgram, Loader, MethodDef, Program,
+    RuntimeConfig, SizeSpec, TraceFrame,
+};
+use polm2_snapshot::{Snapshot, SnapshotSeries};
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// One seeded random workload: a loaded program plus records and snapshots
+/// generated directly (no JVM run needed — the Analyzer only sees these).
+fn random_workload(seed: u64) -> (AllocationRecords, SnapshotSeries, LoadedProgram) {
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let classes = 3 + (xorshift(&mut rng) % 4) as usize;
+    let methods = 2 + (xorshift(&mut rng) % 4) as usize;
+    let mut program = Program::new();
+    for c in 0..classes {
+        let mut class = ClassDef::new(format!("Class{c}"));
+        for m in 0..methods {
+            class = class.with_method(MethodDef::new(format!("method{m}")).push(Instr::alloc(
+                "Obj",
+                SizeSpec::Fixed(32),
+                1,
+            )));
+        }
+        program.add_class(class);
+    }
+    let mut heap = Heap::new(HeapConfig::small());
+    let loaded = Loader::load(program, &mut [], &mut heap).expect("load");
+
+    let snapshot_count = 2 + (xorshift(&mut rng) % 15) as u32;
+    let traces = 8 + (xorshift(&mut rng) % 40) as usize;
+    let mut records = AllocationRecords::default();
+    let mut live: Vec<Vec<IdentityHash>> = vec![Vec::new(); snapshot_count as usize];
+    let mut next_object = 0u64;
+    for _ in 0..traces {
+        let depth = 1 + (xorshift(&mut rng) % 4) as usize;
+        let trace: Vec<TraceFrame> = (0..depth)
+            .map(|_| TraceFrame {
+                class_idx: (xorshift(&mut rng) % classes as u64) as u16,
+                method_idx: (xorshift(&mut rng) % methods as u64) as u16,
+                line: 1 + (xorshift(&mut rng) % 50) as u32,
+            })
+            .collect();
+        let objects = 1 + (xorshift(&mut rng) % 48);
+        // A per-trace lifespan bias so traces differ in typical survivals;
+        // per-object jitter keeps histograms multi-bucket.
+        let bias = xorshift(&mut rng) % (u64::from(snapshot_count) + 1);
+        for _ in 0..objects {
+            next_object += 1;
+            let hash = IdentityHash::of(ObjectId::new(next_object));
+            records.record(&trace, hash);
+            let jitter = xorshift(&mut rng) % 3;
+            let lifespan = (bias + jitter).min(u64::from(snapshot_count));
+            for snap in live.iter_mut().take(lifespan as usize) {
+                snap.push(hash);
+            }
+        }
+    }
+    let series: SnapshotSeries = live
+        .into_iter()
+        .enumerate()
+        .map(|(seq, hashes)| {
+            Snapshot::new(
+                seq as u32,
+                SimTime::from_secs(seq as u64),
+                hashes.iter().copied().collect(),
+                4096,
+                SimDuration::from_millis(1),
+            )
+        })
+        .collect();
+    (records, series, loaded)
+}
+
+fn analyze_with(
+    records: &AllocationRecords,
+    series: &SnapshotSeries,
+    program: &LoadedProgram,
+    replay: ReplayStrategy,
+    parallelism: usize,
+) -> AnalysisOutcome {
+    Analyzer::new(AnalyzerConfig {
+        replay,
+        parallelism,
+        min_survivals: 1,
+        ..AnalyzerConfig::default()
+    })
+    .analyze(records, series, program)
+}
+
+#[test]
+fn every_strategy_and_parallelism_matches_the_sequential_baseline() {
+    for seed in [1u64, 7, 42, 1234, 0xdead_beef] {
+        let (records, series, program) = random_workload(seed);
+        let baseline = analyze_with(&records, &series, &program, ReplayStrategy::HashProbe, 1);
+        assert!(
+            !baseline.lifetimes.traces().is_empty(),
+            "seed {seed}: generator produced a trivial workload"
+        );
+        for replay in [ReplayStrategy::HashProbe, ReplayStrategy::SortedMerge] {
+            for parallelism in [1usize, 2, 4, 8] {
+                let outcome = analyze_with(&records, &series, &program, replay, parallelism);
+                assert_eq!(
+                    outcome, baseline,
+                    "seed {seed}: {replay:?} x parallelism={parallelism} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_are_handled_identically() {
+    let (records, _, program) = random_workload(3);
+    // Empty snapshot series.
+    let empty = SnapshotSeries::new();
+    let base = analyze_with(&records, &empty, &program, ReplayStrategy::HashProbe, 1);
+    for parallelism in [2, 8] {
+        assert_eq!(
+            analyze_with(
+                &records,
+                &empty,
+                &program,
+                ReplayStrategy::SortedMerge,
+                parallelism
+            ),
+            base
+        );
+    }
+    // Empty records.
+    let (_, series, program) = random_workload(4);
+    let none = AllocationRecords::default();
+    let base = analyze_with(&none, &series, &program, ReplayStrategy::HashProbe, 1);
+    assert_eq!(
+        analyze_with(&none, &series, &program, ReplayStrategy::SortedMerge, 8),
+        base
+    );
+    assert!(base.profile.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// The same contract end-to-end: a full profiling session under seeded fault
+// injection, analyzed with different knobs, must produce identical outcomes
+// (the faults are deterministic per seed, so the Analyzer sees identical
+// evidence — the knobs must not re-order or re-weigh it).
+// ---------------------------------------------------------------------------
+
+fn workload_program() -> Program {
+    let mut p = Program::new();
+    p.add_class(
+        ClassDef::new("Store")
+            .with_method(
+                MethodDef::new("put")
+                    .push(Instr::call("Cell", "create", 10))
+                    .push(Instr::native("insert", 11)),
+            )
+            .with_method(MethodDef::new("scratch").push(Instr::alloc(
+                "Tmp",
+                SizeSpec::Fixed(512),
+                20,
+            )))
+            .with_method(MethodDef::new("flush").push(Instr::native("flush", 30))),
+    );
+    p.add_class(
+        ClassDef::new("Cell").with_method(MethodDef::new("create").push(Instr::alloc(
+            "Cell",
+            SizeSpec::Fixed(1024),
+            5,
+        ))),
+    );
+    p
+}
+
+fn workload_hooks() -> HookRegistry {
+    let mut h = HookRegistry::new();
+    h.register_action("insert", |ctx| {
+        let obj = ctx.acc.expect("cell before insert");
+        let slot = ctx.heap.roots_mut().create_slot("memtable");
+        ctx.heap.roots_mut().push(slot, obj);
+        HookAction::default()
+    });
+    h.register_action("flush", |ctx| {
+        if let Some(slot) = ctx.heap.roots().find_slot("memtable") {
+            ctx.heap.roots_mut().clear_slot(slot);
+        }
+        HookAction::default()
+    });
+    h
+}
+
+fn run_chaos_profiling(fault_seed: u64, config: &AnalyzerConfig) -> AnalysisOutcome {
+    let mut session = ProfilingSession::with_faults(
+        SnapshotPolicy::default(),
+        FaultConfig {
+            record_duplicate_rate: 0.0,
+            ..FaultConfig::all_at(0.10, fault_seed)
+        },
+    );
+    let mut jvm = Jvm::builder(RuntimeConfig::small())
+        .hooks(workload_hooks())
+        .transformer(session.recorder_agent())
+        .build(workload_program())
+        .expect("boot");
+    let t = jvm.spawn_thread();
+    for batch in 0..6 {
+        for _ in 0..200 {
+            jvm.invoke(t, "Store", "put").expect("put");
+            for _ in 0..4 {
+                jvm.invoke(t, "Store", "scratch").expect("scratch");
+            }
+            session.after_op(&mut jvm).expect("after_op absorbs faults");
+        }
+        if batch % 3 == 2 {
+            jvm.invoke(t, "Store", "flush").expect("flush");
+        }
+    }
+    session.finish(&mut jvm, config).expect("finish").outcome
+}
+
+#[test]
+fn chaos_sessions_agree_across_strategies_and_parallelism() {
+    for fault_seed in [11u64, 23] {
+        let baseline = run_chaos_profiling(
+            fault_seed,
+            &AnalyzerConfig {
+                replay: ReplayStrategy::HashProbe,
+                parallelism: 1,
+                ..AnalyzerConfig::default()
+            },
+        );
+        for (replay, parallelism) in [
+            (ReplayStrategy::SortedMerge, 1),
+            (ReplayStrategy::SortedMerge, 4),
+            (ReplayStrategy::HashProbe, 8),
+        ] {
+            let outcome = run_chaos_profiling(
+                fault_seed,
+                &AnalyzerConfig {
+                    replay,
+                    parallelism,
+                    ..AnalyzerConfig::default()
+                },
+            );
+            assert_eq!(
+                outcome, baseline,
+                "fault seed {fault_seed}: {replay:?} x parallelism={parallelism} diverged under chaos"
+            );
+        }
+    }
+}

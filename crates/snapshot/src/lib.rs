@@ -39,10 +39,12 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 
 mod criu;
+mod index;
 mod jmap;
 mod record;
 
 pub use criu::{CriuDumper, DumperOptions};
+pub use index::{SnapshotIndex, SurvivalCounts};
 pub use jmap::JmapDumper;
 pub use record::{Snapshot, SnapshotSeries};
 

@@ -8,6 +8,11 @@ use polm2_metrics::{SimDuration, SimTime};
 /// Content is the set of live-object identity hashes (what the Analyzer
 /// consumes); cost is the number of bytes captured and the stop time the
 /// capture imposed (what Figures 3–4 compare).
+///
+/// The content is kept in two shapes: the hash set (point queries,
+/// compatibility) and a sorted column of raw hash values (the shape
+/// [`crate::SnapshotIndex`] merges). The column is built once at capture
+/// time, off the mutator's critical path.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Sequence number within its series (0-based).
@@ -16,6 +21,8 @@ pub struct Snapshot {
     pub at: SimTime,
     /// Identity hashes of the live objects included in the snapshot.
     hashes: IdHashSet<IdentityHash>,
+    /// The same hashes as a sorted column of raw values.
+    sorted: Vec<u64>,
     /// Number of live objects captured.
     pub live_objects: u64,
     /// Bytes written by the capture.
@@ -34,10 +41,13 @@ impl Snapshot {
         capture_time: SimDuration,
     ) -> Self {
         let live_objects = hashes.len() as u64;
+        let mut sorted: Vec<u64> = hashes.iter().map(|h| u64::from(h.raw())).collect();
+        sorted.sort_unstable();
         Snapshot {
             seq,
             at,
             hashes,
+            sorted,
             live_objects,
             size_bytes,
             capture_time,
@@ -49,16 +59,31 @@ impl Snapshot {
         self.hashes.contains(&hash)
     }
 
-    /// The captured identity hashes.
+    /// The captured identity hashes (hash-set compatibility view).
     pub fn hashes(&self) -> &IdHashSet<IdentityHash> {
         &self.hashes
+    }
+
+    /// The captured identity hashes as a sorted column of raw values — the
+    /// Analyzer-facing columnar view ([`crate::SnapshotIndex`] is built from
+    /// these without re-sorting).
+    pub fn sorted_hashes(&self) -> &[u64] {
+        &self.sorted
     }
 }
 
 /// A sequence of snapshots from one profiling run.
+///
+/// Alongside the snapshots themselves the series maintains a
+/// [`SnapshotIndex`](crate::SnapshotIndex) incrementally: each
+/// [`push`](SnapshotSeries::push) delta-encodes the new snapshot's sorted
+/// column against its predecessor, so by the time the Analyzer replays, the
+/// columnar index already exists — capture-time work, off the replay path,
+/// exactly where the Dumper already pays for sorting the column.
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotSeries {
     snapshots: Vec<Snapshot>,
+    index: crate::SnapshotIndex,
 }
 
 impl SnapshotSeries {
@@ -67,9 +92,22 @@ impl SnapshotSeries {
         SnapshotSeries::default()
     }
 
-    /// Appends a snapshot.
+    /// Appends a snapshot, extending the columnar index with its delta
+    /// against the previous snapshot.
     pub fn push(&mut self, snapshot: Snapshot) {
+        let prev: &[u64] = self
+            .snapshots
+            .last()
+            .map(|s| s.sorted_hashes())
+            .unwrap_or(&[]);
+        self.index.push_column(prev, snapshot.sorted_hashes());
         self.snapshots.push(snapshot);
+    }
+
+    /// The columnar index over the series, maintained incrementally by
+    /// [`push`](SnapshotSeries::push).
+    pub fn index(&self) -> &crate::SnapshotIndex {
+        &self.index
     }
 
     /// The snapshots, capture order.
@@ -118,9 +156,11 @@ impl SnapshotSeries {
 
 impl FromIterator<Snapshot> for SnapshotSeries {
     fn from_iter<T: IntoIterator<Item = Snapshot>>(iter: T) -> Self {
-        SnapshotSeries {
-            snapshots: iter.into_iter().collect(),
+        let mut series = SnapshotSeries::new();
+        for snapshot in iter {
+            series.push(snapshot);
         }
+        series
     }
 }
 
