@@ -1,31 +1,51 @@
-//! Perf gate for the Analyzer's replay path.
+//! Perf gates for the two optimized paths: Analyzer replay and the online
+//! GC+snapshot pipeline.
 //!
-//! Times the seed implementation (sequential hash-probe replay) against the
-//! columnar merge replay, sequential and parallel, on three synthetic
-//! workload sizes, verifies all variants produce identical
+//! **Analyzer gate** — times the seed implementation (sequential hash-probe
+//! replay) against the columnar merge replay, sequential and parallel, on
+//! three synthetic workload sizes, verifies all variants produce identical
 //! [`AnalysisOutcome`]s, and writes the medians to `BENCH_analyzer.json`.
 //!
+//! **Pipeline gate** — times full GC+snapshot cycles on a churn workload
+//! (a large stable old generation plus a young garbage wave per cycle)
+//! three ways: a seed-equivalent emulation (fresh hash-set trace plus
+//! hash-set no-need walk per snapshot, the pre-slab online path), the
+//! optimized path with snapshot live-set reuse disabled (fresh epoch-mark
+//! trace per snapshot), and the full zero-retrace path. All three runs
+//! drive bit-identical heap trajectories; the produced snapshot sequences
+//! are compared field by field. Medians land in `BENCH_pipeline.json`.
+//!
 //! ```text
-//! perfgate [--quick] [--min-speedup <x>] [--out <path>]
+//! perfgate [--quick] [--workers <n>] [--min-speedup <x>]
+//!          [--min-pipeline-speedup <x>] [--out <path>] [--pipeline-out <path>]
 //! ```
 //!
-//! * `--quick` — fewer timed runs (CI smoke; the equality gate still runs).
-//! * `--min-speedup <x>` — exit non-zero unless the parallel merge path is
-//!   at least `x` times faster than the sequential hash-probe baseline on
-//!   the largest workload.
-//! * `--out <path>` — where to write the JSON (default `BENCH_analyzer.json`).
+//! * `--quick` — fewer timed runs/cycles (CI smoke; equality gates still run).
+//! * `--workers <n>` — worker count for the parallel replay variant
+//!   (default: `available_parallelism` capped at 8).
+//! * `--min-speedup <x>` — exit non-zero unless parallel merge replay beats
+//!   the hash-probe baseline by `x` on the largest workload.
+//! * `--min-pipeline-speedup <x>` — exit non-zero unless the zero-retrace
+//!   cycle beats the seed-equivalent cycle by `x` on the largest workload.
+//! * `--out <path>` — analyzer JSON path (default `BENCH_analyzer.json`).
+//! * `--pipeline-out <path>` — pipeline JSON path (default
+//!   `BENCH_pipeline.json`).
 //!
-//! Exits non-zero if any variant's outcome differs from the baseline.
+//! Exits non-zero if any variant's outputs differ from its baseline.
 
+use std::collections::{HashSet, VecDeque};
 use std::time::Instant;
 
 use polm2_core::{AllocationRecords, AnalysisOutcome, Analyzer, AnalyzerConfig, ReplayStrategy};
-use polm2_heap::{Heap, HeapConfig, IdentityHash, ObjectId};
+use polm2_gc::{Collector, G1Collector, GcConfig, SafepointRoots};
+use polm2_heap::{
+    BuildIdHasher, Heap, HeapConfig, IdHashMap, IdHashSet, IdentityHash, ObjectId, RegionId, SiteId,
+};
 use polm2_metrics::{SimDuration, SimTime};
 use polm2_runtime::{
     ClassDef, Instr, LoadedProgram, Loader, MethodDef, Program, SizeSpec, TraceFrame,
 };
-use polm2_snapshot::{Snapshot, SnapshotSeries};
+use polm2_snapshot::{CriuDumper, DumperOptions, HeapDumper, Snapshot, SnapshotSeries};
 
 struct Workload {
     name: &'static str,
@@ -159,19 +179,307 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+// ---------------------------------------------------------------------------
+// Online pipeline gate
+// ---------------------------------------------------------------------------
+
+struct PipelineWorkload {
+    name: &'static str,
+    /// Rooted old-generation objects, all live for the whole run.
+    stable_objects: u32,
+    /// Unrooted young allocations per cycle, all dead by the next GC.
+    churn_per_cycle: u32,
+    /// Timed GC+snapshot cycles (one extra warmup cycle is untimed).
+    cycles: usize,
+}
+
+const PIPELINE_WORKLOADS: &[PipelineWorkload] = &[
+    PipelineWorkload {
+        name: "small",
+        stable_objects: 4_000,
+        churn_per_cycle: 500,
+        cycles: 6,
+    },
+    PipelineWorkload {
+        name: "large",
+        stable_objects: 30_000,
+        churn_per_cycle: 3_000,
+        cycles: 10,
+    },
+];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PipelineVariant {
+    /// Timed: GC + the seed's snapshot path, emulated (see
+    /// [`seed_snapshot_cost`]). The real dumper advances heap state untimed.
+    SeedEquivalent,
+    /// Timed: GC + real snapshot with live-set reuse disabled (fresh
+    /// epoch-mark trace per snapshot).
+    FreshTrace,
+    /// Timed: GC + real snapshot reusing the collector's published live set.
+    Reuse,
+}
+
+/// The seed's object table, mirrored: the pre-slab heap kept every record
+/// behind an `IdHashMap` probe. Rebuilt (untimed) after each GC so the timed
+/// emulation runs the seed's algorithms over the seed's data layout.
+struct SeedRecord {
+    size: u32,
+    region: RegionId,
+    first_page: u32,
+    last_page: u32,
+    hash: IdentityHash,
+    refs: Vec<ObjectId>,
+}
+
+fn build_seed_mirror(heap: &Heap) -> IdHashMap<ObjectId, SeedRecord> {
+    let mut mirror: IdHashMap<ObjectId, SeedRecord> = IdHashMap::default();
+    for space in heap.spaces() {
+        for id in heap.objects_in_space(space.id()).expect("space exists") {
+            let rec = heap.object(id).expect("listed object exists");
+            let (first_page, last_page) = heap.page_table().pages_of(rec.addr(), rec.size());
+            mirror.insert(
+                id,
+                SeedRecord {
+                    size: rec.size(),
+                    region: rec.addr().region,
+                    first_page,
+                    last_page,
+                    hash: rec.identity_hash(),
+                    refs: rec.refs().to_vec(),
+                },
+            );
+        }
+    }
+    mirror
+}
+
+/// The seed's per-snapshot work, transcribed from the pre-optimization
+/// sources: `mark_live` (BFS with a fresh visited hash-set, a hash-map probe
+/// per edge, and hash-map region accounting), the Dumper's hash collection
+/// (no pre-sizing), `mark_no_need_pages` (live pages accumulated into a
+/// `HashSet`, then a per-page `contains` sweep over every assigned region),
+/// the captured-page count, and `Snapshot::new`'s eager column sort.
+///
+/// Runs against the mirror, read-only; returns a checksum so the optimizer
+/// cannot discard the work.
+fn seed_snapshot_cost(heap: &Heap, mirror: &IdHashMap<ObjectId, SeedRecord>) -> u64 {
+    // -- seed mark_live --
+    let mut queue: VecDeque<ObjectId> = VecDeque::new();
+    let mut order: Vec<ObjectId> = Vec::new();
+    let mut live: IdHashSet<ObjectId> = IdHashSet::default();
+    let mut live_bytes: u64 = 0;
+    let mut region_live: IdHashMap<RegionId, u32> = IdHashMap::default();
+    for id in heap.roots().iter() {
+        if let Some(rec) = mirror.get(&id) {
+            if live.insert(id) {
+                order.push(id);
+                live_bytes += u64::from(rec.size);
+                *region_live.entry(rec.region).or_insert(0) += rec.size;
+                queue.push_back(id);
+            }
+        }
+    }
+    let mut scratch: Vec<ObjectId> = Vec::new();
+    while let Some(id) = queue.pop_front() {
+        let rec = mirror.get(&id).expect("queued objects are live");
+        scratch.clear();
+        scratch.extend_from_slice(&rec.refs);
+        for &child in &scratch {
+            if let Some(child_rec) = mirror.get(&child) {
+                if live.insert(child) {
+                    order.push(child);
+                    live_bytes += u64::from(child_rec.size);
+                    *region_live.entry(child_rec.region).or_insert(0) += child_rec.size;
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+    // -- seed Dumper hash collection --
+    let hashes: IdHashSet<IdentityHash> = live
+        .iter()
+        .filter_map(|id| mirror.get(id).map(|r| r.hash))
+        .collect();
+    // -- seed mark_no_need_pages --
+    let mut live_pages: HashSet<u32, BuildIdHasher> = Default::default();
+    for id in live.iter() {
+        if let Some(rec) = mirror.get(id) {
+            for p in rec.first_page..=rec.last_page {
+                live_pages.insert(p);
+            }
+        }
+    }
+    let mut no_need = vec![false; heap.page_table().page_count() as usize];
+    let mut marked = 0u64;
+    for region in heap.regions() {
+        if region.space().is_none() {
+            continue;
+        }
+        let first = region.first_page().raw();
+        for p in first..first + heap.config().pages_per_region() {
+            let should = !live_pages.contains(&p);
+            if should {
+                marked += 1;
+            }
+            no_need[p as usize] = should;
+        }
+    }
+    // -- seed captured-page count --
+    let mut captured = 0u64;
+    for (page, flags) in heap.page_table().iter().enumerate() {
+        if flags.dirty && !no_need[page] {
+            captured += 1;
+        }
+    }
+    // -- seed Snapshot::new: eager sorted column --
+    let mut sorted: Vec<u64> = hashes.iter().map(|h| u64::from(h.raw())).collect();
+    sorted.sort_unstable();
+    live_bytes.rotate_left(17)
+        ^ order.len() as u64
+        ^ region_live.len() as u64
+        ^ marked.rotate_left(7)
+        ^ captured
+        ^ sorted.last().copied().unwrap_or(0)
+}
+
+/// One full pipeline run: identical heap trajectory for every variant, so
+/// the snapshot sequences must come out bit-identical. Returns the per-cycle
+/// timings (warmup excluded) and the snapshots for the equality gate.
+fn run_pipeline(w: &PipelineWorkload, variant: PipelineVariant) -> (Vec<u64>, Vec<Snapshot>) {
+    let mut heap = Heap::new(HeapConfig::paper_scaled());
+    let mut gc = G1Collector::new(GcConfig::default());
+    gc.attach(&mut heap);
+    let old = heap
+        .spaces()
+        .iter()
+        .map(|s| s.id())
+        .find(|&id| id != Heap::YOUNG_SPACE)
+        .expect("collector old space");
+
+    // Stable old generation: star groups of 16 hanging off rooted hubs,
+    // hubs chained together — the trace does real pointer chasing.
+    let class = heap.classes_mut().intern("Stable");
+    let keep = heap.roots_mut().create_slot("stable");
+    let mut hub: Option<ObjectId> = None;
+    for i in 0..w.stable_objects {
+        let id = heap
+            .allocate(class, 2_048, SiteId::new(i % 7), old)
+            .expect("stable allocation");
+        if i % 16 == 0 {
+            heap.roots_mut().push(keep, id);
+            if let Some(prev) = hub {
+                heap.add_ref(prev, id).expect("hub chain");
+            }
+            hub = Some(id);
+        } else {
+            heap.add_ref(hub.expect("hub allocated first"), id)
+                .expect("star edge");
+        }
+    }
+
+    let churn_class = heap.classes_mut().intern("Churn");
+    let mut dumper = CriuDumper::with_options(DumperOptions {
+        reuse_live_set: variant == PipelineVariant::Reuse,
+        ..DumperOptions::default()
+    });
+    let mut samples = Vec::with_capacity(w.cycles);
+    let mut snaps = Vec::with_capacity(w.cycles);
+    let mut sink = 0u64;
+    for cycle in 0..w.cycles + 1 {
+        for i in 0..w.churn_per_cycle {
+            heap.allocate(
+                churn_class,
+                4_096,
+                SiteId::new(8 + i % 5),
+                Heap::YOUNG_SPACE,
+            )
+            .expect("churn allocation");
+        }
+        let (elapsed, snap) = match variant {
+            PipelineVariant::SeedEquivalent => {
+                let start = Instant::now();
+                gc.collect(&mut heap, &SafepointRoots::none());
+                let gc_time = start.elapsed();
+                // The mirror rebuild stands in for the bookkeeping the seed
+                // heap did throughout the cycle; it is not timed.
+                let mirror = build_seed_mirror(&heap);
+                let start = Instant::now();
+                sink ^= seed_snapshot_cost(&heap, &mirror);
+                let snap_time = start.elapsed();
+                // Advance dirty/no-need state exactly like the other runs,
+                // outside the timed window.
+                let snap = dumper
+                    .snapshot(&mut heap, SimTime::from_secs(cycle as u64))
+                    .expect("snapshot");
+                (gc_time + snap_time, snap)
+            }
+            PipelineVariant::FreshTrace | PipelineVariant::Reuse => {
+                let start = Instant::now();
+                gc.collect(&mut heap, &SafepointRoots::none());
+                if variant == PipelineVariant::Reuse {
+                    assert!(
+                        heap.has_current_published_live(),
+                        "the collector must have published a reusable live set"
+                    );
+                }
+                let snap = dumper
+                    .snapshot(&mut heap, SimTime::from_secs(cycle as u64))
+                    .expect("snapshot");
+                (start.elapsed(), snap)
+            }
+        };
+        if cycle > 0 {
+            samples.push(elapsed.as_nanos() as u64);
+            snaps.push(snap);
+        }
+    }
+    std::hint::black_box(sink);
+    (samples, snaps)
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn snapshots_equal(a: &Snapshot, b: &Snapshot) -> bool {
+    a.seq == b.seq
+        && a.at == b.at
+        && a.live_objects == b.live_objects
+        && a.size_bytes == b.size_bytes
+        && a.capture_time == b.capture_time
+        && a.sorted_hashes() == b.sorted_hashes()
+}
+
 fn main() {
     let mut quick = false;
     let mut min_speedup: Option<f64> = None;
+    let mut min_pipeline_speedup: Option<f64> = None;
     let mut out_path = String::from("BENCH_analyzer.json");
+    let mut pipeline_out_path = String::from("BENCH_pipeline.json");
+    let mut workers: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--workers" => {
+                let v = args.next().expect("--workers needs a value");
+                workers = Some(v.parse().expect("--workers needs a number"));
+            }
             "--min-speedup" => {
                 let v = args.next().expect("--min-speedup needs a value");
                 min_speedup = Some(v.parse().expect("--min-speedup needs a number"));
             }
+            "--min-pipeline-speedup" => {
+                let v = args.next().expect("--min-pipeline-speedup needs a value");
+                min_pipeline_speedup =
+                    Some(v.parse().expect("--min-pipeline-speedup needs a number"));
+            }
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--pipeline-out" => {
+                pipeline_out_path = args.next().expect("--pipeline-out needs a path");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -179,9 +487,11 @@ fn main() {
         }
     }
     let runs = if quick { 3 } else { 7 };
-    let parallelism = std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(4);
+    let parallelism = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4)
+    });
 
     println!("perfgate: analyzer replay, {runs} runs/variant, parallel workers = {parallelism}");
     println!(
@@ -258,6 +568,82 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path}");
 
+    // ---- online pipeline gate -------------------------------------------
+    println!();
+    println!("perfgate: online GC+snapshot pipeline, median over timed cycles");
+    println!(
+        "{:<8} {:>8} {:>7} {:>6} | {:>14} {:>14} {:>14} | {:>8}",
+        "size", "stable", "churn", "cycles", "seed-equiv", "fresh-trace", "reuse", "speedup"
+    );
+    let mut pipeline_rows = Vec::new();
+    let mut large_pipeline_speedup = 0.0f64;
+    for w in PIPELINE_WORKLOADS {
+        let cycles = if quick { w.cycles.min(4) } else { w.cycles };
+        let w = PipelineWorkload { cycles, ..*w };
+        let (seed_samples, seed_snaps) = run_pipeline(&w, PipelineVariant::SeedEquivalent);
+        let (fresh_samples, fresh_snaps) = run_pipeline(&w, PipelineVariant::FreshTrace);
+        let (reuse_samples, reuse_snaps) = run_pipeline(&w, PipelineVariant::Reuse);
+
+        let identical = seed_snaps.len() == reuse_snaps.len()
+            && fresh_snaps.len() == reuse_snaps.len()
+            && reuse_snaps.iter().enumerate().all(|(i, snap)| {
+                snapshots_equal(snap, &seed_snaps[i]) && snapshots_equal(snap, &fresh_snaps[i])
+            });
+        if !identical {
+            diverged = true;
+            eprintln!(
+                "FAIL: {} snapshot sequences diverge between pipeline variants",
+                w.name
+            );
+        }
+        let seed_ns = median(seed_samples);
+        let fresh_ns = median(fresh_samples);
+        let reuse_ns = median(reuse_samples);
+        let speedup = seed_ns as f64 / reuse_ns.max(1) as f64;
+        if w.name == "large" {
+            large_pipeline_speedup = speedup;
+        }
+        println!(
+            "{:<8} {:>8} {:>7} {:>6} | {:>11} ns {:>11} ns {:>11} ns | {:>7.2}x",
+            w.name,
+            w.stable_objects,
+            w.churn_per_cycle,
+            w.cycles,
+            seed_ns,
+            fresh_ns,
+            reuse_ns,
+            speedup
+        );
+        pipeline_rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"stable_objects\": {}, ",
+                "\"churn_per_cycle\": {}, \"cycles\": {}, ",
+                "\"seed_equivalent_ns_per_cycle\": {}, ",
+                "\"fresh_trace_ns_per_cycle\": {}, ",
+                "\"reuse_ns_per_cycle\": {}, ",
+                "\"speedup_reuse_vs_seed\": {:.2}, ",
+                "\"speedup_reuse_vs_fresh\": {:.2}, ",
+                "\"outputs_identical\": {}}}"
+            ),
+            json_escape(w.name),
+            w.stable_objects,
+            w.churn_per_cycle,
+            w.cycles,
+            seed_ns,
+            fresh_ns,
+            reuse_ns,
+            speedup,
+            fresh_ns as f64 / reuse_ns.max(1) as f64,
+            identical
+        ));
+    }
+    let pipeline_json = format!(
+        "{{\n  \"bench\": \"online_pipeline\",\n  \"units\": \"median ns per GC+snapshot cycle\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        pipeline_rows.join(",\n")
+    );
+    std::fs::write(&pipeline_out_path, &pipeline_json).expect("write pipeline bench json");
+    println!("wrote {pipeline_out_path}");
+
     if diverged {
         std::process::exit(1);
     }
@@ -267,5 +653,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("speedup gate passed: {large_speedup:.2}x >= {min:.2}x");
+    }
+    if let Some(min) = min_pipeline_speedup {
+        if large_pipeline_speedup < min {
+            eprintln!(
+                "FAIL: large-workload pipeline speedup {large_pipeline_speedup:.2}x below required {min:.2}x"
+            );
+            std::process::exit(1);
+        }
+        println!("pipeline speedup gate passed: {large_pipeline_speedup:.2}x >= {min:.2}x");
     }
 }

@@ -116,6 +116,13 @@ impl G1Collector {
         )?;
         let old = reclaim_spaces(heap, &cycle, &[self.old_space()], 1.0, u32::MAX)?;
         self.mark = None; // the heap changed wholesale; next mixed re-marks
+                          // A full cycle leaves the heap's live set exactly the mark's live
+                          // set (only unreachable objects were dropped, survivors merely
+                          // moved), so hand it to the heap for the profiling Dumper to reuse —
+                          // unless stack roots widened the trace beyond the root table.
+        if roots.stack_roots().is_empty() {
+            heap.publish_live(cycle.live);
+        }
         let work = young.merged(old);
         Ok(PauseEvent {
             kind: GcKind::Full,

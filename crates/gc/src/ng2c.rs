@@ -148,6 +148,11 @@ impl Ng2cCollector {
         )?;
         let olds = reclaim_spaces(heap, &cycle, &self.old_spaces(), 1.0, u32::MAX)?;
         self.mark = None;
+        // See `G1Collector::full`: after a full cycle the mark's live set is
+        // exact, so publish it for snapshot reuse (root-table-only traces).
+        if roots.stack_roots().is_empty() {
+            heap.publish_live(cycle.live);
+        }
         let work = young.merged(olds);
         Ok(PauseEvent {
             kind: GcKind::Full,

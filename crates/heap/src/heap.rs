@@ -1,34 +1,84 @@
 //! The heap façade: allocation, mutation, marking, relocation, reclamation.
 
-use std::collections::VecDeque;
-
-use crate::fasthash::{IdHashMap, IdHashSet};
+use crate::fasthash::IdHashSet;
 
 use crate::{
     Addr, ClassId, ClassRegistry, GenId, HeapConfig, HeapError, HeapStats, ObjectId, ObjectRecord,
     PageTable, Region, RegionId, RootTable, SiteId, Space, SpaceId,
 };
 
+/// Slot-table sentinel: the id has no record (dead, or not yet allocated).
+const DEAD_SLOT: u32 = u32::MAX;
+
+#[inline]
+fn bit_set(bits: &mut [u64], i: usize) {
+    bits[i >> 6] |= 1u64 << (i & 63);
+}
+
+#[inline]
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits.get(i >> 6)
+        .is_some_and(|w| w & (1u64 << (i & 63)) != 0)
+}
+
+/// Two-level slab lookup shared by `Heap::object` and the retain closures
+/// (free function so callers can hold disjoint field borrows).
+#[inline]
+fn slab_get<'a>(
+    slots: &[u32],
+    records: &'a [Option<ObjectRecord>],
+    id: ObjectId,
+) -> Option<&'a ObjectRecord> {
+    match slots.get(id.index()).copied() {
+        Some(slot) if slot != DEAD_SLOT => records[slot as usize].as_ref(),
+        _ => None,
+    }
+}
+
 /// The result of a marking pass: which objects are reachable and how much
 /// they weigh.
 ///
 /// Produced by [`Heap::mark_live`]; consumed by collectors (to decide what to
 /// copy or sweep), by the Dumper's no-need walk, and by the Analyzer's
-/// snapshot contents.
+/// snapshot contents. Membership is a dense bitmap over the ids allocated
+/// when the mark ran — ids issued later test not-live, exactly as they would
+/// have against the seed's hash set.
 #[derive(Debug, Clone)]
 pub struct LiveSet {
-    live: IdHashSet<ObjectId>,
+    /// Membership bitmap indexed by `ObjectId::index()`.
+    bits: Vec<u64>,
     /// Live objects in deterministic (discovery) order.
     order: Vec<ObjectId>,
     live_bytes: u64,
     /// Objects traced (== `order.len()`), kept separate for cost accounting.
     traced_objects: u64,
+    /// The mark epoch that produced this set.
+    epoch: u32,
+    /// True for whole-heap marks; false for young-only marks, which are
+    /// never valid inputs to snapshot reuse.
+    full: bool,
+    /// Heap mutation counter at the time the set was traced (restamped by
+    /// [`Heap::publish_live`], which asserts the set is still exact).
+    mutation_seq: u64,
+    /// Root-table membership version, same provenance as `mutation_seq`.
+    roots_version: u64,
 }
 
 impl LiveSet {
     /// True if `obj` was reachable at mark time.
     pub fn contains(&self, obj: ObjectId) -> bool {
-        self.live.contains(&obj)
+        bit_get(&self.bits, obj.index())
+    }
+
+    /// The mark epoch that produced this set.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// True if this set came from a whole-heap mark ([`Heap::mark_live`]);
+    /// young-only sets ([`Heap::mark_live_young`]) report false.
+    pub fn is_full(&self) -> bool {
+        self.full
     }
 
     /// Live objects in discovery order (roots first, then BFS).
@@ -59,6 +109,73 @@ impl LiveSet {
     }
 }
 
+/// Shared marking machinery over the slab table.
+///
+/// Holds disjoint borrows of the heap fields a trace mutates so root
+/// iteration can proceed from the (unborrowed) root table. Discovery order
+/// doubles as the BFS queue: `trace` scans `order` by index, which visits
+/// nodes in exactly the order the seed's explicit `VecDeque` did.
+struct MarkCtx<'a> {
+    epoch: u32,
+    slots: &'a [u32],
+    records: &'a mut [Option<ObjectRecord>],
+    page_table: &'a PageTable,
+    /// Live-page bitmap rebuilt during the trace (whole-heap marks only).
+    live_pages: Option<&'a mut [u64]>,
+    bits: Vec<u64>,
+    order: Vec<ObjectId>,
+    region_live: Vec<u32>,
+    live_bytes: u64,
+    young_only: bool,
+}
+
+impl MarkCtx<'_> {
+    fn visit(&mut self, id: ObjectId) {
+        let Some(&slot) = self.slots.get(id.index()) else {
+            return;
+        };
+        if slot == DEAD_SLOT {
+            return;
+        }
+        let rec = self.records[slot as usize]
+            .as_mut()
+            .expect("live slot has a record");
+        if rec.mark_epoch() == self.epoch {
+            return;
+        }
+        if self.young_only && rec.space() != Heap::YOUNG_SPACE {
+            return;
+        }
+        rec.set_mark_epoch(self.epoch);
+        bit_set(&mut self.bits, id.index());
+        self.order.push(id);
+        self.live_bytes += u64::from(rec.size());
+        self.region_live[rec.addr().region.index()] += rec.size();
+        if let Some(pages) = self.live_pages.as_deref_mut() {
+            let (first, last) = self.page_table.pages_of(rec.addr(), rec.size());
+            for p in first..=last {
+                bit_set(pages, p as usize);
+            }
+        }
+    }
+
+    fn trace(&mut self) {
+        let mut scratch: Vec<ObjectId> = Vec::new();
+        let mut i = 0;
+        while i < self.order.len() {
+            let id = self.order[i];
+            i += 1;
+            let slot = self.slots[id.index()] as usize;
+            // One reusable scratch buffer instead of a fresh clone per node.
+            scratch.clear();
+            scratch.extend_from_slice(self.records[slot].as_ref().expect("marked record").refs());
+            for &child in scratch.iter() {
+                self.visit(child);
+            }
+        }
+    }
+}
+
 /// The simulated managed heap.
 ///
 /// See the [crate documentation](crate) for the layout model and an example.
@@ -67,7 +184,15 @@ pub struct Heap {
     config: HeapConfig,
     classes: ClassRegistry,
     roots: RootTable,
-    objects: IdHashMap<ObjectId, ObjectRecord>,
+    /// Two-level slab object table. `slots[id.index()]` holds the record's
+    /// slot in `records` (or [`DEAD_SLOT`]). Object ids are never reused, so
+    /// `slots` grows one entry per allocation; record slots are recycled
+    /// through `free_slots`, keeping `records` proportional to the live
+    /// population. Lookups are two array loads — no hashing per edge.
+    slots: Vec<u32>,
+    records: Vec<Option<ObjectRecord>>,
+    free_slots: Vec<u32>,
+    live_records: usize,
     next_object: u64,
     regions: Vec<Region>,
     /// Free pool; regions are handed out lowest-id first.
@@ -78,6 +203,24 @@ pub struct Heap {
     evacuating: Vec<RegionId>,
     page_table: PageTable,
     mark_epoch: u32,
+    /// Incremental page occupancy: how many object records overlap each
+    /// page, adjusted at allocate/drop/relocate time. `> 0` means the page
+    /// holds object bytes (reachable or not-yet-swept).
+    page_object_counts: Vec<u32>,
+    /// Live-page bitmap: pages overlapped by an object of the most recent
+    /// whole-heap mark, rebuilt during the trace itself (and by
+    /// [`Heap::refresh_live_accounting`]). Valid for the no-need fast path
+    /// only while `live_pages_epoch`/`live_pages_seq` still match.
+    live_pages: Vec<u64>,
+    live_pages_epoch: u32,
+    live_pages_seq: u64,
+    /// Bumped by every mutation that can move object bytes or change
+    /// reachability: allocate, drop, relocate, region release, add_ref,
+    /// remove_ref. Plain field writes only dirty pages and do not count.
+    mutation_seq: u64,
+    /// Collector-published LiveSet awaiting reuse by the next snapshot; see
+    /// [`Heap::publish_live`].
+    published: Option<LiveSet>,
     /// Remembered set: young objects referenced from non-young objects
     /// (appended by the `add_ref` write barrier, pruned after each young
     /// collection). Lets minor collections avoid tracing the old spaces.
@@ -117,11 +260,15 @@ impl Heap {
             GenId::YOUNG,
             Some(config.young_region_budget()),
         );
+        let page_count = config.page_count() as usize;
         Heap {
             config,
             classes: ClassRegistry::new(),
             roots: RootTable::new(),
-            objects: IdHashMap::default(),
+            slots: Vec::new(),
+            records: Vec::new(),
+            free_slots: Vec::new(),
+            live_records: 0,
             next_object: 0,
             regions,
             free_regions,
@@ -129,6 +276,12 @@ impl Heap {
             evacuating: Vec::new(),
             page_table,
             mark_epoch: 0,
+            page_object_counts: vec![0; page_count],
+            live_pages: vec![0; page_count.div_ceil(64)],
+            live_pages_epoch: 0,
+            live_pages_seq: 0,
+            mutation_seq: 0,
+            published: None,
             remembered: Vec::new(),
             stats: HeapStats::default(),
         }
@@ -258,10 +411,36 @@ impl Heap {
         self.regions[addr.region.index()].set_live_bytes(live + size);
         self.page_table.mark_dirty_range(addr, size);
         self.page_table.clear_no_need_range(addr, size);
-        self.objects.insert(id, record);
+        self.adjust_page_counts(addr, size, 1);
+        debug_assert_eq!(self.slots.len(), id.index(), "slot table out of step");
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.records[slot as usize] = Some(record);
+                slot
+            }
+            None => {
+                self.records.push(Some(record));
+                (self.records.len() - 1) as u32
+            }
+        };
+        self.slots.push(slot);
+        self.live_records += 1;
+        self.mutation_seq += 1;
         self.stats.allocated_objects += 1;
         self.stats.allocated_bytes += u64::from(size);
         Ok(id)
+    }
+
+    /// Adjusts the incremental page-occupancy counters for `size` bytes at
+    /// `addr` (+1 on allocate/relocate-in, -1 on drop/relocate-out).
+    fn adjust_page_counts(&mut self, addr: Addr, size: u32, delta: i32) {
+        let (first, last) = self.page_table.pages_of(addr, size);
+        for p in first..=last {
+            let c = &mut self.page_object_counts[p as usize];
+            *c = c
+                .checked_add_signed(delta)
+                .expect("page occupancy count underflow");
+        }
     }
 
     fn bump_into(&mut self, space: SpaceId, size: u32) -> Result<Addr, HeapError> {
@@ -299,12 +478,26 @@ impl Heap {
 
     /// The record of a live object.
     pub fn object(&self, id: ObjectId) -> Option<&ObjectRecord> {
-        self.objects.get(&id)
+        slab_get(&self.slots, &self.records, id)
+    }
+
+    fn record_mut(&mut self, id: ObjectId) -> Option<&mut ObjectRecord> {
+        match self.slots.get(id.index()).copied() {
+            Some(slot) if slot != DEAD_SLOT => self.records[slot as usize].as_mut(),
+            _ => None,
+        }
     }
 
     /// Number of live object records.
     pub fn object_count(&self) -> usize {
-        self.objects.len()
+        self.live_records
+    }
+
+    /// Number of object records overlapping `page` (incremental occupancy
+    /// accounting; `0` means the page holds no object bytes). Counts every
+    /// undropped record, reachable or not.
+    pub fn page_object_count(&self, page: u32) -> u32 {
+        self.page_object_counts[page as usize]
     }
 
     /// Adds a reference edge `parent -> child` (a field write: the parent's
@@ -314,24 +507,21 @@ impl Heap {
     ///
     /// Returns [`HeapError::NoSuchObject`] if either end is not live.
     pub fn add_ref(&mut self, parent: ObjectId, child: ObjectId) -> Result<(), HeapError> {
-        if !self.objects.contains_key(&child) {
-            return Err(HeapError::NoSuchObject { object: child });
-        }
+        let child_space = self
+            .object(child)
+            .map(|r| r.space())
+            .ok_or(HeapError::NoSuchObject { object: child })?;
         let record = self
-            .objects
-            .get_mut(&parent)
+            .record_mut(parent)
             .ok_or(HeapError::NoSuchObject { object: parent })?;
         record.refs_mut().push(child);
         let (addr, size, parent_space) = (record.addr(), record.size(), record.space());
         self.page_table.mark_dirty_range(addr, size);
+        self.mutation_seq += 1;
         // Generational write barrier: remember old->young edges so minor
         // collections need not trace the old spaces.
-        if parent_space != Heap::YOUNG_SPACE {
-            if let Some(child_rec) = self.objects.get(&child) {
-                if child_rec.space() == Heap::YOUNG_SPACE {
-                    self.remembered.push(child);
-                }
-            }
+        if parent_space != Heap::YOUNG_SPACE && child_space == Heap::YOUNG_SPACE {
+            self.remembered.push(child);
         }
         Ok(())
     }
@@ -344,8 +534,7 @@ impl Heap {
     /// Returns [`HeapError::NoSuchObject`] if `parent` is not live.
     pub fn remove_ref(&mut self, parent: ObjectId, child: ObjectId) -> Result<bool, HeapError> {
         let record = self
-            .objects
-            .get_mut(&parent)
+            .record_mut(parent)
             .ok_or(HeapError::NoSuchObject { object: parent })?;
         let refs = record.refs_mut();
         let removed = if let Some(pos) = refs.iter().position(|&o| o == child) {
@@ -357,6 +546,7 @@ impl Heap {
         if removed {
             let (addr, size) = (record.addr(), record.size());
             self.page_table.mark_dirty_range(addr, size);
+            self.mutation_seq += 1;
         }
         Ok(removed)
     }
@@ -369,12 +559,11 @@ impl Heap {
     ///
     /// Returns [`HeapError::NoSuchObject`] if `obj` is not live.
     pub fn write_field(&mut self, obj: ObjectId) -> Result<(), HeapError> {
-        let record = self
-            .objects
-            .get(&obj)
+        let (addr, size) = self
+            .object(obj)
+            .map(|r| (r.addr(), r.size()))
             .ok_or(HeapError::NoSuchObject { object: obj })?;
-        self.page_table
-            .mark_dirty_range(record.addr(), record.size());
+        self.page_table.mark_dirty_range(addr, size);
         Ok(())
     }
 
@@ -386,57 +575,61 @@ impl Heap {
     /// (mutator stack roots supplied by the runtime).
     ///
     /// Updates each assigned region's `live_bytes` so collectors and the
-    /// no-need walk can reason about occupancy.
+    /// no-need walk can reason about occupancy, and rebuilds the live-page
+    /// bitmap consumed by the [`mark_no_need_pages`] fast path.
+    ///
+    /// Visited state is an epoch stamp in each record's header — no per-trace
+    /// hash set — and every edge dereference is a slab index.
+    ///
+    /// [`mark_no_need_pages`]: Heap::mark_no_need_pages
     pub fn mark_live(&mut self, extra_roots: &[ObjectId]) -> LiveSet {
         self.mark_epoch += 1;
-        let mut queue: VecDeque<ObjectId> = VecDeque::new();
-        let mut order: Vec<ObjectId> = Vec::new();
-        let mut live: IdHashSet<ObjectId> = IdHashSet::default();
-        let mut live_bytes: u64 = 0;
-        let mut region_live: IdHashMap<RegionId, u32> = IdHashMap::default();
-
+        for w in &mut self.live_pages {
+            *w = 0;
+        }
+        let mut ctx = MarkCtx {
+            epoch: self.mark_epoch,
+            slots: &self.slots,
+            records: &mut self.records,
+            page_table: &self.page_table,
+            live_pages: Some(&mut self.live_pages),
+            bits: vec![0u64; (self.next_object as usize).div_ceil(64)],
+            order: Vec::new(),
+            region_live: vec![0u32; self.regions.len()],
+            live_bytes: 0,
+            young_only: false,
+        };
         for id in self.roots.iter().chain(extra_roots.iter().copied()) {
-            if let Some(rec) = self.objects.get(&id) {
-                if live.insert(id) {
-                    order.push(id);
-                    live_bytes += u64::from(rec.size());
-                    *region_live.entry(rec.addr().region).or_insert(0) += rec.size();
-                    queue.push_back(id);
-                }
-            }
+            ctx.visit(id);
         }
-        let mut scratch: Vec<ObjectId> = Vec::new();
-        while let Some(id) = queue.pop_front() {
-            let rec = self.objects.get(&id).expect("queued objects are live");
-            // One reusable scratch buffer instead of a fresh clone per node.
-            scratch.clear();
-            scratch.extend_from_slice(rec.refs());
-            for &child in &scratch {
-                if let Some(child_rec) = self.objects.get(&child) {
-                    if live.insert(child) {
-                        order.push(child);
-                        live_bytes += u64::from(child_rec.size());
-                        *region_live.entry(child_rec.addr().region).or_insert(0) +=
-                            child_rec.size();
-                        queue.push_back(child);
-                    }
-                }
-            }
-        }
+        ctx.trace();
+        let MarkCtx {
+            bits,
+            order,
+            region_live,
+            live_bytes,
+            ..
+        } = ctx;
 
         // Refresh per-region live-byte accounting.
         for region in &mut self.regions {
             if region.space().is_some() {
-                region.set_live_bytes(region_live.get(&region.id()).copied().unwrap_or(0));
+                region.set_live_bytes(region_live[region.id().index()]);
             }
         }
+        self.live_pages_epoch = self.mark_epoch;
+        self.live_pages_seq = self.mutation_seq;
 
         let traced = order.len() as u64;
         LiveSet {
-            live,
+            bits,
             order,
             live_bytes,
             traced_objects: traced,
+            epoch: self.mark_epoch,
+            full: true,
+            mutation_seq: self.mutation_seq,
+            roots_version: self.roots.version(),
         }
     }
 
@@ -450,58 +643,53 @@ impl Heap {
     /// once the collection has relocated or dropped every young object.
     pub fn mark_live_young(&mut self, extra_roots: &[ObjectId]) -> LiveSet {
         self.mark_epoch += 1;
-        let mut queue: VecDeque<ObjectId> = VecDeque::new();
-        let mut order: Vec<ObjectId> = Vec::new();
-        let mut live: IdHashSet<ObjectId> = IdHashSet::default();
-        let mut live_bytes: u64 = 0;
-        let mut region_live: IdHashMap<RegionId, u32> = IdHashMap::default();
-
-        let remembered = std::mem::take(&mut self.remembered);
+        let mut ctx = MarkCtx {
+            epoch: self.mark_epoch,
+            slots: &self.slots,
+            records: &mut self.records,
+            page_table: &self.page_table,
+            // Young-only marks never feed the no-need walk; the live-page
+            // bitmap keeps describing the last whole-heap mark.
+            live_pages: None,
+            bits: vec![0u64; (self.next_object as usize).div_ceil(64)],
+            order: Vec::new(),
+            region_live: vec![0u32; self.regions.len()],
+            live_bytes: 0,
+            young_only: true,
+        };
+        for id in self
+            .roots
+            .iter()
+            .chain(extra_roots.iter().copied())
+            .chain(self.remembered.iter().copied())
         {
-            let mut push_young = |id: ObjectId,
-                                  objects: &IdHashMap<ObjectId, ObjectRecord>,
-                                  queue: &mut VecDeque<ObjectId>| {
-                if let Some(rec) = objects.get(&id) {
-                    if rec.space() == Heap::YOUNG_SPACE && live.insert(id) {
-                        order.push(id);
-                        live_bytes += u64::from(rec.size());
-                        *region_live.entry(rec.addr().region).or_insert(0) += rec.size();
-                        queue.push_back(id);
-                    }
-                }
-            };
-            for id in self
-                .roots
-                .iter()
-                .chain(extra_roots.iter().copied())
-                .chain(remembered.iter().copied())
-            {
-                push_young(id, &self.objects, &mut queue);
-            }
-            let mut scratch: Vec<ObjectId> = Vec::new();
-            while let Some(id) = queue.pop_front() {
-                let rec = self.objects.get(&id).expect("queued objects are live");
-                scratch.clear();
-                scratch.extend_from_slice(rec.refs());
-                for &child in &scratch {
-                    push_young(child, &self.objects, &mut queue);
-                }
-            }
+            ctx.visit(id);
         }
-        self.remembered = remembered;
+        ctx.trace();
+        let MarkCtx {
+            bits,
+            order,
+            region_live,
+            live_bytes,
+            ..
+        } = ctx;
 
         for region in &mut self.regions {
             if region.space() == Some(Heap::YOUNG_SPACE) {
-                region.set_live_bytes(region_live.get(&region.id()).copied().unwrap_or(0));
+                region.set_live_bytes(region_live[region.id().index()]);
             }
         }
 
         let traced = order.len() as u64;
         LiveSet {
-            live,
+            bits,
             order,
             live_bytes,
             traced_objects: traced,
+            epoch: self.mark_epoch,
+            full: false,
+            mutation_seq: self.mutation_seq,
+            roots_version: self.roots.version(),
         }
     }
 
@@ -509,10 +697,11 @@ impl Heap {
     /// object died or left the young generation are dropped, duplicates
     /// collapse.
     pub fn prune_remembered(&mut self) {
-        let objects = &self.objects;
+        let (slots, records) = (&self.slots, &self.records);
         let mut seen: IdHashSet<ObjectId> = IdHashSet::default();
         self.remembered.retain(|&id| {
-            objects.get(&id).map(|r| r.space()) == Some(Heap::YOUNG_SPACE) && seen.insert(id)
+            slab_get(slots, records, id).map(|r| r.space()) == Some(Heap::YOUNG_SPACE)
+                && seen.insert(id)
         });
     }
 
@@ -526,7 +715,7 @@ impl Heap {
     /// edges become old->young without passing through the `add_ref`
     /// barrier.
     pub fn remember_if_young(&mut self, obj: ObjectId) {
-        if self.objects.get(&obj).map(|r| r.space()) == Some(Heap::YOUNG_SPACE) {
+        if self.object(obj).map(|r| r.space()) == Some(Heap::YOUNG_SPACE) {
             self.remembered.push(obj);
         }
     }
@@ -555,8 +744,7 @@ impl Heap {
     pub fn relocate(&mut self, obj: ObjectId, dest: SpaceId) -> Result<u32, HeapError> {
         let (size, old_addr) = {
             let rec = self
-                .objects
-                .get(&obj)
+                .object(obj)
                 .ok_or(HeapError::NoSuchObject { object: obj })?;
             (rec.size(), rec.addr())
         };
@@ -572,8 +760,11 @@ impl Heap {
         self.regions[new_addr.region.index()].set_live_bytes(dst_live + size);
         self.page_table.mark_dirty_range(new_addr, size);
         self.page_table.clear_no_need_range(new_addr, size);
-        let rec = self.objects.get_mut(&obj).expect("checked above");
+        self.adjust_page_counts(old_addr, size, -1);
+        self.adjust_page_counts(new_addr, size, 1);
+        let rec = self.record_mut(obj).expect("checked above");
         rec.relocate(dest, new_addr);
+        self.mutation_seq += 1;
         self.stats.relocated_objects += 1;
         self.stats.relocated_bytes += u64::from(size);
         Ok(size)
@@ -585,8 +776,7 @@ impl Heap {
     ///
     /// Returns [`HeapError::NoSuchObject`] if `obj` is not live.
     pub fn bump_age(&mut self, obj: ObjectId) -> Result<u8, HeapError> {
-        self.objects
-            .get_mut(&obj)
+        self.record_mut(obj)
             .map(|r| r.bump_age())
             .ok_or(HeapError::NoSuchObject { object: obj })
     }
@@ -600,10 +790,18 @@ impl Heap {
     ///
     /// Returns [`HeapError::NoSuchObject`] if `obj` is not live.
     pub fn drop_object(&mut self, obj: ObjectId) -> Result<u32, HeapError> {
-        let rec = self
-            .objects
-            .remove(&obj)
-            .ok_or(HeapError::NoSuchObject { object: obj })?;
+        let slot = match self.slots.get(obj.index()).copied() {
+            Some(slot) if slot != DEAD_SLOT => slot,
+            _ => return Err(HeapError::NoSuchObject { object: obj }),
+        };
+        let rec = self.records[slot as usize]
+            .take()
+            .expect("live slot has a record");
+        self.slots[obj.index()] = DEAD_SLOT;
+        self.free_slots.push(slot);
+        self.live_records -= 1;
+        self.adjust_page_counts(rec.addr(), rec.size(), -1);
+        self.mutation_seq += 1;
         // The region's object list keeps a stale entry; collectors purge
         // stale entries in bulk ([`purge_region_objects`]) or release the
         // region outright. Per-object list surgery would make sweeps
@@ -623,22 +821,29 @@ impl Heap {
     /// Panics if the region still contains live object records; collectors
     /// must evacuate or drop them first. Stale list entries are fine.
     pub fn release_region(&mut self, region: RegionId) {
-        let live = self.live_objects_in_region(region);
-        assert!(
-            live.is_empty(),
-            "released region {region} still holds {} live objects",
-            live.len()
-        );
+        // The incremental page-occupancy counters make the emptiness check
+        // O(pages-per-region); the resident list is only materialized for
+        // the panic message.
+        let first = self.regions[region.index()].first_page().raw();
+        let occupied = (first..first + self.config.pages_per_region())
+            .any(|p| self.page_object_counts[p as usize] > 0);
+        if occupied {
+            let live = self.live_objects_in_region(region);
+            panic!(
+                "released region {region} still holds {} live objects",
+                live.len()
+            );
+        }
         let r = &mut self.regions[region.index()];
         if let Some(space) = r.space() {
             self.spaces[space.index()].remove_region(region);
         }
         r.release();
-        let first = self.regions[region.index()].first_page().raw();
         for p in first..first + self.config.pages_per_region() {
             self.page_table.set_no_need(p, true);
         }
         self.free_regions.push(region);
+        self.mutation_seq += 1;
     }
 
     /// Detaches every region of `space` for evacuation.
@@ -732,7 +937,7 @@ impl Heap {
         let mut out = Vec::new();
         for &region in s.regions() {
             for &obj in self.regions[region.index()].objects() {
-                if self.objects.get(&obj).map(|r| r.addr().region) == Some(region) {
+                if self.object(obj).map(|r| r.addr().region) == Some(region) {
                     out.push(obj);
                 }
             }
@@ -746,16 +951,17 @@ impl Heap {
             .objects()
             .iter()
             .copied()
-            .filter(|&obj| self.objects.get(&obj).map(|r| r.addr().region) == Some(region))
+            .filter(|&obj| self.object(obj).map(|r| r.addr().region) == Some(region))
             .collect()
     }
 
     /// Rebuilds `region`'s object list, dropping stale entries — O(list
     /// length), done once per region per sweep.
     pub fn purge_region_objects(&mut self, region: RegionId) {
-        let objects = &self.objects;
-        self.regions[region.index()]
-            .retain_objects(|obj| objects.get(&obj).map(|r| r.addr().region) == Some(region));
+        let (slots, records) = (&self.slots, &self.records);
+        self.regions[region.index()].retain_objects(|obj| {
+            slab_get(slots, records, obj).map(|r| r.addr().region) == Some(region)
+        });
     }
 
     // ------------------------------------------------------------------
@@ -791,17 +997,38 @@ impl Heap {
     ///
     /// [`mark_live`]: Heap::mark_live
     pub fn mark_no_need_pages(&mut self, live: &LiveSet) -> u32 {
-        // Compute, per page, whether any live object overlaps it.
-        let mut live_pages: std::collections::HashSet<u32, crate::BuildIdHasher> =
-            Default::default();
-        for id in live.iter() {
-            if let Some(rec) = self.objects.get(&id) {
-                let (first, last) = self.page_table.pages_of(rec.addr(), rec.size());
-                for p in first..=last {
-                    live_pages.insert(p);
+        if live.full
+            && live.epoch == self.live_pages_epoch
+            && live.mutation_seq == self.mutation_seq
+        {
+            // Fast path: the heap's live-page bitmap was rebuilt when `live`
+            // was traced (or adopted) and nothing has moved since — a pure
+            // O(pages) sweep, no per-object page-set rebuild.
+            let pages = std::mem::take(&mut self.live_pages);
+            let marked = self.sweep_no_need(&pages);
+            self.live_pages = pages;
+            marked
+        } else {
+            // Exact fallback for stale or partial sets: recompute the page
+            // set from `live` against current object addresses, bit for bit
+            // what the seed recomputed on every call.
+            let words = (self.page_table.page_count() as usize).div_ceil(64);
+            let mut pages = vec![0u64; words];
+            for id in live.iter() {
+                if let Some(rec) = slab_get(&self.slots, &self.records, id) {
+                    let (first, last) = self.page_table.pages_of(rec.addr(), rec.size());
+                    for p in first..=last {
+                        bit_set(&mut pages, p as usize);
+                    }
                 }
             }
+            self.sweep_no_need(&pages)
         }
+    }
+
+    /// Applies a live-page bitmap to the no-need bits of every assigned
+    /// region's pages; returns how many pages were newly marked.
+    fn sweep_no_need(&mut self, live_pages: &[u64]) -> u32 {
         let mut marked = 0;
         for region in &self.regions {
             if region.space().is_none() {
@@ -809,9 +1036,8 @@ impl Heap {
             }
             let first = region.first_page().raw();
             for p in first..first + self.config.pages_per_region() {
-                let flag = self.page_table.flags_of(p);
-                let should = !live_pages.contains(&p);
-                if should && !flag.no_need {
+                let should = !bit_get(live_pages, p as usize);
+                if should && !self.page_table.flags_of(p).no_need {
                     marked += 1;
                 }
                 self.page_table.set_no_need(p, should);
@@ -820,17 +1046,125 @@ impl Heap {
         marked
     }
 
+    // ------------------------------------------------------------------
+    // Snapshot reuse (the zero-retrace contract)
+    // ------------------------------------------------------------------
+
+    /// Publishes a whole-heap [`LiveSet`] for reuse by the next snapshot.
+    ///
+    /// Contract: at call time, `live` must describe *exactly* the objects
+    /// reachable from the root table with no extra roots. Collectors uphold
+    /// this at the end of a full collection — the cycle's mark is still
+    /// exact there, because the collection only dropped unreachable objects
+    /// and relocated live ones, and no mutator ran in between — provided the
+    /// mark itself used no stack roots. Young-only sets are ignored.
+    ///
+    /// The set is handed back by [`take_published_live`] only while no
+    /// mutation has intervened; any allocation, drop, relocation, region
+    /// release, reference edit, or root-table change invalidates it.
+    ///
+    /// [`take_published_live`]: Heap::take_published_live
+    pub fn publish_live(&mut self, mut live: LiveSet) {
+        if !live.full {
+            return;
+        }
+        live.mutation_seq = self.mutation_seq;
+        live.roots_version = self.roots.version();
+        self.published = Some(live);
+    }
+
+    /// Takes the published LiveSet if it is still current (see
+    /// [`publish_live`]); a stale set is discarded and `None` returned.
+    ///
+    /// [`publish_live`]: Heap::publish_live
+    pub fn take_published_live(&mut self) -> Option<LiveSet> {
+        if self.has_current_published_live() {
+            self.published.take()
+        } else {
+            self.published = None;
+            None
+        }
+    }
+
+    /// True if a published LiveSet is available and still current.
+    pub fn has_current_published_live(&self) -> bool {
+        self.published.as_ref().is_some_and(|l| {
+            l.mutation_seq == self.mutation_seq && l.roots_version == self.roots.version()
+        })
+    }
+
+    /// Replays the accounting side effects of a fresh [`mark_live`] from an
+    /// already-current `live` set: refreshes every assigned region's
+    /// `live_bytes` and rebuilds the live-page bitmap in one O(live) pass,
+    /// without re-tracing the graph or touching mark state. The Dumper calls
+    /// this when it reuses a published set, so collectors observe exactly
+    /// the accounting a retrace would have produced.
+    ///
+    /// [`mark_live`]: Heap::mark_live
+    pub fn refresh_live_accounting(&mut self, live: &LiveSet) {
+        debug_assert!(live.full, "only whole-heap sets refresh accounting");
+        // The common reuse flow hands back the set the most recent mark
+        // produced, with no mutation in between: that mark already left
+        // exactly this accounting, so there is nothing to replay.
+        if self.live_pages_epoch == live.epoch() && self.live_pages_seq == live.mutation_seq {
+            return;
+        }
+        let mut region_live = vec![0u32; self.regions.len()];
+        for w in &mut self.live_pages {
+            *w = 0;
+        }
+        for id in live.iter() {
+            if let Some(rec) = slab_get(&self.slots, &self.records, id) {
+                region_live[rec.addr().region.index()] += rec.size();
+                let (first, last) = self.page_table.pages_of(rec.addr(), rec.size());
+                for p in first..=last {
+                    bit_set(&mut self.live_pages, p as usize);
+                }
+            }
+        }
+        for region in &mut self.regions {
+            if region.space().is_some() {
+                region.set_live_bytes(region_live[region.id().index()]);
+            }
+        }
+        self.live_pages_epoch = live.epoch;
+        self.live_pages_seq = live.mutation_seq;
+    }
+
     /// Verifies internal invariants; used by tests and debug assertions.
     ///
     /// # Panics
     ///
     /// Panics with a description of the violated invariant.
     pub fn check_invariants(&self) {
+        // Slab consistency: the slot table and record slab are a bijection
+        // on live ids. Scanning `slots` visits ids in index order — no sort.
+        let mut live = 0usize;
+        for (index, &slot) in self.slots.iter().enumerate() {
+            if slot == DEAD_SLOT {
+                continue;
+            }
+            let rec = self
+                .records
+                .get(slot as usize)
+                .and_then(|r| r.as_ref())
+                .unwrap_or_else(|| panic!("slot table points id #{index} at an empty slot"));
+            assert_eq!(
+                rec.id().index(),
+                index,
+                "record id does not match its slot-table index"
+            );
+            live += 1;
+        }
+        assert_eq!(live, self.live_records, "live-record count drifted");
+        assert_eq!(
+            self.records.len(),
+            live + self.free_slots.len(),
+            "record slab leaked slots"
+        );
         // Every object's region must belong to the object's space and list it.
-        let mut ids: Vec<&ObjectId> = self.objects.keys().collect();
-        ids.sort_unstable();
-        for &id in ids {
-            let rec = &self.objects[&id];
+        for rec in self.records.iter().flatten() {
+            let id = rec.id();
             let region = &self.regions[rec.addr().region.index()];
             assert_eq!(
                 region.space(),
@@ -838,10 +1172,27 @@ impl Heap {
                 "object {id} resides in a region owned by a different space"
             );
             assert!(
-                region.objects().contains(&rec.id()),
+                region.objects().contains(&id),
                 "object {id} missing from its region's object list"
             );
             // (Stale entries — dead or moved-away ids — are permitted.)
+        }
+        // Incremental page-occupancy counters must equal a from-scratch
+        // recomputation over the record slab.
+        let mut counts = vec![0u32; self.page_object_counts.len()];
+        for rec in self.records.iter().flatten() {
+            let (first, last) = self.page_table.pages_of(rec.addr(), rec.size());
+            for p in first..=last {
+                counts[p as usize] += 1;
+            }
+        }
+        for (p, (&have, &want)) in self
+            .page_object_counts
+            .iter()
+            .zip(counts.iter())
+            .enumerate()
+        {
+            assert_eq!(have, want, "page {p} occupancy count drifted");
         }
         // Free regions must be unassigned and empty.
         for &r in &self.free_regions {
@@ -1138,6 +1489,152 @@ mod tests {
         alloc(&mut h, 64);
         h.begin_evacuation(Heap::YOUNG_SPACE).unwrap();
         let _ = h.begin_evacuation(Heap::YOUNG_SPACE);
+    }
+
+    #[test]
+    fn slab_reuses_slots_after_drop() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        h.drop_object(a).unwrap();
+        let c = alloc(&mut h, 64);
+        // The record slab recycled `a`'s slot for `c`; ids stay unique.
+        assert_eq!(h.object_count(), 2);
+        assert!(h.object(a).is_none());
+        assert!(h.object(b).is_some());
+        assert_eq!(h.object(c).unwrap().id(), c);
+        assert_ne!(a, c);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn marking_twice_yields_equal_sets() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        alloc(&mut h, 64);
+        h.add_ref(a, b).unwrap();
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let first = h.mark_live(&[]);
+        let second = h.mark_live(&[]);
+        assert_eq!(
+            first.iter().collect::<Vec<_>>(),
+            second.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(first.live_bytes(), second.live_bytes());
+        assert!(second.epoch() > first.epoch());
+        assert!(first.is_full());
+    }
+
+    #[test]
+    fn published_live_set_round_trip() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let live = h.mark_live(&[]);
+        h.publish_live(live);
+        assert!(h.has_current_published_live());
+        let taken = h.take_published_live().expect("still current");
+        assert!(taken.contains(a));
+        assert!(h.take_published_live().is_none(), "take consumes the set");
+    }
+
+    #[test]
+    fn published_live_set_invalidated_by_heap_mutation() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let live = h.mark_live(&[]);
+        h.publish_live(live);
+        alloc(&mut h, 64); // any allocation invalidates
+        assert!(!h.has_current_published_live());
+        assert!(h.take_published_live().is_none());
+    }
+
+    #[test]
+    fn published_live_set_invalidated_by_root_change() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let live = h.mark_live(&[]);
+        h.publish_live(live);
+        h.roots_mut().push(slot, b); // root change invalidates
+        assert!(h.take_published_live().is_none());
+    }
+
+    #[test]
+    fn young_sets_are_never_published() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let live = h.mark_live_young(&[]);
+        assert!(!live.is_full());
+        h.publish_live(live);
+        assert!(!h.has_current_published_live());
+    }
+
+    #[test]
+    fn no_need_fast_path_matches_fallback_recompute() {
+        let mut h = heap();
+        let keep = alloc(&mut h, 4096);
+        for _ in 0..16 {
+            alloc(&mut h, 4096);
+        }
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, keep);
+        let stale = h.mark_live(&[]);
+        let fresh = h.mark_live(&[]);
+        // `stale` no longer matches the bitmap epoch => exact fallback.
+        let marked_fallback = h.mark_no_need_pages(&stale);
+        let flags_fallback: Vec<_> = h.page_table().iter().collect();
+        // `fresh` matches => O(pages) bitmap sweep. Same object set, so the
+        // resulting page flags must be identical and nothing newly marked.
+        let marked_fast = h.mark_no_need_pages(&fresh);
+        let flags_fast: Vec<_> = h.page_table().iter().collect();
+        assert!(marked_fallback >= 16);
+        assert_eq!(marked_fast, 0);
+        assert_eq!(flags_fallback, flags_fast);
+    }
+
+    #[test]
+    fn refresh_live_accounting_matches_fresh_mark() {
+        let mut h = heap();
+        let a = alloc(&mut h, 4096);
+        let b = alloc(&mut h, 4096);
+        alloc(&mut h, 4096); // garbage
+        h.add_ref(a, b).unwrap();
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let live = h.mark_live(&[]);
+        h.refresh_live_accounting(&live);
+        let after_refresh: Vec<u32> = h.regions().iter().map(|r| r.live_bytes()).collect();
+        let _ = h.mark_live(&[]);
+        let after_mark: Vec<u32> = h.regions().iter().map(|r| r.live_bytes()).collect();
+        assert_eq!(after_refresh, after_mark);
+    }
+
+    #[test]
+    fn page_object_counts_track_alloc_drop_relocate() {
+        let mut h = heap();
+        let old = h.create_space(GenId::new(1), None);
+        let a = alloc(&mut h, 4096);
+        let rec = h.object(a).unwrap();
+        let (first, _) = h.page_table().pages_of(rec.addr(), rec.size());
+        assert_eq!(h.page_object_count(first), 1);
+        h.relocate(a, old).unwrap();
+        assert_eq!(h.page_object_count(first), 0, "source page emptied");
+        let rec = h.object(a).unwrap();
+        let (dst, _) = h.page_table().pages_of(rec.addr(), rec.size());
+        assert_eq!(h.page_object_count(dst), 1);
+        h.drop_object(a).unwrap();
+        assert_eq!(h.page_object_count(dst), 0);
+        h.check_invariants();
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct ObjectRecord {
     /// pretenured). Used for accounting, not placement.
     allocated_gen: GenId,
     addr: Addr,
+    /// The heap mark epoch that last reached this object. Epoch 0 is never
+    /// issued by a mark, so a fresh record is unmarked by construction.
+    mark_epoch: u32,
     refs: Vec<ObjectId>,
 }
 
@@ -46,6 +49,7 @@ impl ObjectRecord {
             space,
             allocated_gen,
             addr,
+            mark_epoch: 0,
             refs: Vec::new(),
         }
     }
@@ -103,6 +107,14 @@ impl ObjectRecord {
 
     pub(crate) fn refs_mut(&mut self) -> &mut Vec<ObjectId> {
         &mut self.refs
+    }
+
+    pub(crate) fn mark_epoch(&self) -> u32 {
+        self.mark_epoch
+    }
+
+    pub(crate) fn set_mark_epoch(&mut self, epoch: u32) {
+        self.mark_epoch = epoch;
     }
 
     pub(crate) fn bump_age(&mut self) -> u8 {

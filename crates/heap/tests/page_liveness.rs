@@ -1,0 +1,189 @@
+//! Incremental page-liveness bookkeeping vs from-scratch recomputation.
+//!
+//! The heap maintains two page-granularity structures incrementally: exact
+//! per-page object-overlap counts (updated at allocate/drop/relocate time)
+//! and a reachability bitmap refreshed by each full mark. These tests drive
+//! allocate/relocate/drop/evacuate/release sequences and compare both
+//! against recomputations from the object records.
+
+use polm2_heap::{GenId, Heap, HeapConfig, ObjectId, SiteId, SpaceId};
+
+/// Recomputes per-page object counts from every live record.
+fn recount_pages(heap: &Heap) -> Vec<u32> {
+    let mut counts = vec![0u32; heap.page_table().page_count() as usize];
+    for space in heap.spaces() {
+        let space_id = space.id();
+        for obj in heap.objects_in_space(space_id).unwrap() {
+            let rec = heap.object(obj).unwrap();
+            let (first, last) = heap.page_table().pages_of(rec.addr(), rec.size());
+            for page in first..=last {
+                counts[page as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+fn assert_counts_match(heap: &Heap, context: &str) {
+    let expected = recount_pages(heap);
+    for (page, &want) in expected.iter().enumerate() {
+        assert_eq!(
+            heap.page_object_count(page as u32),
+            want,
+            "page {page} occupancy diverged after {context}"
+        );
+    }
+}
+
+fn seeded_heap() -> (Heap, SpaceId, Vec<ObjectId>) {
+    let mut heap = Heap::new(HeapConfig::small());
+    let class = heap.classes_mut().intern("T");
+    let old = heap.create_space(GenId::new(1), None);
+    let slot = heap.roots_mut().create_slot("keep");
+    let mut ids = Vec::new();
+    // Mixed sizes: sub-page, page-straddling, and multi-page objects.
+    for i in 0..48u32 {
+        let size = match i % 3 {
+            0 => 1_024,
+            1 => 4_096,
+            _ => 9_000,
+        };
+        let id = heap
+            .allocate(class, size, SiteId::new(i % 5), Heap::YOUNG_SPACE)
+            .unwrap();
+        if i % 2 == 0 {
+            heap.roots_mut().push(slot, id);
+        }
+        ids.push(id);
+    }
+    (heap, old, ids)
+}
+
+#[test]
+fn counts_track_allocate_relocate_drop() {
+    let (mut heap, old, ids) = seeded_heap();
+    assert_counts_match(&heap, "allocation");
+
+    for &id in ids.iter().step_by(4) {
+        heap.relocate(id, old).unwrap();
+        assert_counts_match(&heap, "relocate");
+    }
+    for &id in ids.iter().skip(1).step_by(4) {
+        heap.drop_object(id).unwrap();
+        assert_counts_match(&heap, "drop");
+    }
+    heap.check_invariants();
+}
+
+#[test]
+fn counts_track_evacuation_and_region_release() {
+    let (mut heap, old, _ids) = seeded_heap();
+    // Evacuate young: drop the dead, move survivors out, then release the
+    // emptied regions — the full region lifecycle in one sweep.
+    let live = heap.mark_live(&[]);
+    let young = heap.objects_in_space(Heap::YOUNG_SPACE).unwrap();
+    let sources = heap.begin_evacuation(Heap::YOUNG_SPACE).unwrap();
+    for obj in young {
+        if live.contains(obj) {
+            heap.relocate(obj, old).unwrap();
+        } else {
+            heap.drop_object(obj).unwrap();
+        }
+    }
+    // finish_evacuation releases the emptied sources via `release_region`,
+    // which re-verifies emptiness with the incremental counters.
+    heap.finish_evacuation();
+    assert_counts_match(&heap, "evacuation + release");
+
+    for region in sources {
+        assert!(
+            heap.live_objects_in_region(region).is_empty(),
+            "evacuation must empty its source regions"
+        );
+        let first = heap.region(region).first_page().raw();
+        for page in first..first + heap.config().pages_per_region() {
+            assert_eq!(heap.page_object_count(page), 0, "freed page occupied");
+            assert!(
+                heap.page_table().flags_of(page).no_need,
+                "freed pages must be no-need until reallocated"
+            );
+        }
+    }
+    heap.check_invariants();
+}
+
+/// The no-need sweep must produce identical page flags whether it runs on
+/// the incremental live-page bitmap (fresh mark, fast path) or rebuilds
+/// page liveness from the LiveSet (stale mark, fallback path).
+#[test]
+fn no_need_fast_path_equals_fallback_after_identical_mutations() {
+    let drive = |stale: bool| -> (Vec<bool>, u32) {
+        let (mut heap, old, ids) = seeded_heap();
+        for &id in ids.iter().step_by(5) {
+            heap.relocate(id, old).unwrap();
+        }
+        for &id in ids.iter().skip(2).step_by(5) {
+            let _ = heap.drop_object(id);
+        }
+        let live = heap.mark_live(&[]);
+        if stale {
+            // Any mutation invalidates the incremental bitmap and forces
+            // the fallback recomputation; dropping an unreachable object
+            // does not change the reachable set, so flags must not change.
+            let dead = ids
+                .iter()
+                .copied()
+                .find(|&id| heap.object(id).is_some() && !live.contains(id))
+                .expect("some dead object survives to be dropped");
+            heap.drop_object(dead).unwrap();
+        }
+        let marked = heap.mark_no_need_pages(&live);
+        let flags = heap
+            .page_table()
+            .iter()
+            .map(|f| f.no_need)
+            .collect::<Vec<bool>>();
+        (flags, marked)
+    };
+
+    let (fast_flags, fast_marked) = drive(false);
+    let (fallback_flags, _) = drive(true);
+    assert_eq!(
+        fast_flags, fallback_flags,
+        "fast and fallback no-need sweeps disagree"
+    );
+    assert!(fast_marked > 0, "garbage-heavy heap must mark some pages");
+}
+
+#[test]
+fn relocation_moves_page_occupancy_not_liveness_semantics() {
+    let mut heap = Heap::new(HeapConfig::small());
+    let class = heap.classes_mut().intern("T");
+    let old = heap.create_space(GenId::new(1), None);
+    let slot = heap.roots_mut().create_slot("keep");
+    let obj = heap
+        .allocate(class, 4_096, SiteId::new(0), Heap::YOUNG_SPACE)
+        .unwrap();
+    heap.roots_mut().push(slot, obj);
+
+    let rec = heap.object(obj).unwrap();
+    let (src_first, src_last) = heap.page_table().pages_of(rec.addr(), rec.size());
+    heap.relocate(obj, old).unwrap();
+    let rec = heap.object(obj).unwrap();
+    let (dst_first, dst_last) = heap.page_table().pages_of(rec.addr(), rec.size());
+    assert_ne!(src_first, dst_first, "relocation must change pages");
+
+    for page in src_first..=src_last {
+        assert_eq!(heap.page_object_count(page), 0, "source page not vacated");
+    }
+    for page in dst_first..=dst_last {
+        assert_eq!(heap.page_object_count(page), 1, "dest page not occupied");
+    }
+
+    // A fresh mark sweeps the vacated source pages as no-need and keeps
+    // the destination pages.
+    let live = heap.mark_live(&[]);
+    heap.mark_no_need_pages(&live);
+    assert!(heap.page_table().flags_of(src_first).no_need);
+    assert!(!heap.page_table().flags_of(dst_first).no_need);
+}

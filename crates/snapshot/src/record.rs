@@ -11,8 +11,9 @@ use polm2_metrics::{SimDuration, SimTime};
 ///
 /// The content is kept in two shapes: the hash set (point queries,
 /// compatibility) and a sorted column of raw hash values (the shape
-/// [`crate::SnapshotIndex`] merges). The column is built once at capture
-/// time, off the mutator's critical path.
+/// [`crate::SnapshotIndex`] merges). The column is built once, lazily, on
+/// first access — the capture window itself (the application is stopped!)
+/// never pays for the Analyzer's sort.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Sequence number within its series (0-based).
@@ -21,8 +22,8 @@ pub struct Snapshot {
     pub at: SimTime,
     /// Identity hashes of the live objects included in the snapshot.
     hashes: IdHashSet<IdentityHash>,
-    /// The same hashes as a sorted column of raw values.
-    sorted: Vec<u64>,
+    /// The same hashes as a sorted column of raw values, built on first use.
+    sorted: std::sync::OnceLock<Vec<u64>>,
     /// Number of live objects captured.
     pub live_objects: u64,
     /// Bytes written by the capture.
@@ -41,13 +42,11 @@ impl Snapshot {
         capture_time: SimDuration,
     ) -> Self {
         let live_objects = hashes.len() as u64;
-        let mut sorted: Vec<u64> = hashes.iter().map(|h| u64::from(h.raw())).collect();
-        sorted.sort_unstable();
         Snapshot {
             seq,
             at,
             hashes,
-            sorted,
+            sorted: std::sync::OnceLock::new(),
             live_objects,
             size_bytes,
             capture_time,
@@ -66,9 +65,13 @@ impl Snapshot {
 
     /// The captured identity hashes as a sorted column of raw values — the
     /// Analyzer-facing columnar view ([`crate::SnapshotIndex`] is built from
-    /// these without re-sorting).
+    /// these without re-sorting). Sorted once on first call and cached.
     pub fn sorted_hashes(&self) -> &[u64] {
-        &self.sorted
+        self.sorted.get_or_init(|| {
+            let mut sorted: Vec<u64> = self.hashes.iter().map(|h| u64::from(h.raw())).collect();
+            sorted.sort_unstable();
+            sorted
+        })
     }
 }
 
@@ -77,9 +80,9 @@ impl Snapshot {
 /// Alongside the snapshots themselves the series maintains a
 /// [`SnapshotIndex`](crate::SnapshotIndex) incrementally: each
 /// [`push`](SnapshotSeries::push) delta-encodes the new snapshot's sorted
-/// column against its predecessor, so by the time the Analyzer replays, the
-/// columnar index already exists — capture-time work, off the replay path,
-/// exactly where the Dumper already pays for sorting the column.
+/// column against its predecessor (forcing the lazy sort), so by the time
+/// the Analyzer replays, the columnar index already exists — Recorder
+/// bookkeeping work, off both the replay path and the capture window.
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotSeries {
     snapshots: Vec<Snapshot>,

@@ -1,0 +1,194 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! A deterministic property-testing harness covering the surface this
+//! workspace uses:
+//!
+//! - [`proptest!`] blocks with an optional `#![proptest_config(..)]` header
+//! - [`strategy::Strategy`] for integer ranges, tuples, `prop_map`, `boxed`,
+//!   [`strategy::Just`], weighted [`prop_oneof!`] unions, and string
+//!   character-class patterns like `"[A-Z][a-z]{1,8}"`
+//! - [`collection::vec`] and [`collection::btree_set`]
+//! - [`arbitrary::any`] for primitives
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`]
+//!
+//! Differences from upstream: inputs are generated from a fixed per-test seed
+//! (derived from the test's module path and name) so runs are reproducible,
+//! and there is no shrinking — a failing case fails the test directly with
+//! the assertion message and the case index.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import module test files bring in with
+/// `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Accepts the upstream grammar used in this workspace: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// parameters are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategies = ( $($strat,)+ );
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let ( $($pat,)+ ) =
+                        $crate::strategy::generate_tuple(&strategies, &mut rng);
+                    let run = || $body;
+                    $crate::test_runner::run_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                        run,
+                    );
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted union of strategies: `prop_oneof![3 => a, b, 1 => c]`.
+/// Entries without a weight default to weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($entries:tt)+ ) => {
+        $crate::__prop_oneof_accum!([] $($entries)+)
+    };
+}
+
+/// Implementation detail of [`prop_oneof!`]: munches one `weight => strategy`
+/// or bare `strategy` entry at a time into the accumulator.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_oneof_accum {
+    ( [$(($w:expr, $s:expr))*] ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($w as u32, $crate::strategy::Strategy::boxed($s)) ),*
+        ])
+    };
+    ( [$($acc:tt)*] $w:literal => $s:expr, $($rest:tt)* ) => {
+        $crate::__prop_oneof_accum!([$($acc)* ($w, $s)] $($rest)*)
+    };
+    ( [$($acc:tt)*] $w:literal => $s:expr ) => {
+        $crate::__prop_oneof_accum!([$($acc)* ($w, $s)])
+    };
+    ( [$($acc:tt)*] $s:expr, $($rest:tt)* ) => {
+        $crate::__prop_oneof_accum!([$($acc)* (1, $s)] $($rest)*)
+    };
+    ( [$($acc:tt)*] $s:expr ) => {
+        $crate::__prop_oneof_accum!([$($acc)* (1, $s)])
+    };
+}
+
+/// Property-test assertion; forwards to [`assert!`] (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion; forwards to [`assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-test inequality assertion; forwards to [`assert_ne!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in 0usize..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u64..100, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[A-Z][a-z]{1,6}") {
+            let mut chars = s.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_uppercase());
+            let rest: Vec<char> = chars.collect();
+            prop_assert!((1..=6).contains(&rest.len()));
+            prop_assert!(rest.iter().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn oneof_honors_variants(v in prop_oneof![2 => Just(1u8), Just(2u8), 1 => Just(3u8)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(p in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p < 19);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let strat = crate::collection::vec(0u64..1_000_000, 1..50);
+        let mut a = crate::test_runner::TestRng::for_test("det");
+        let mut b = crate::test_runner::TestRng::for_test("det");
+        for _ in 0..20 {
+            assert_eq!(
+                crate::strategy::Strategy::generate(&strat, &mut a),
+                crate::strategy::Strategy::generate(&strat, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn btree_set_meets_minimum_size() {
+        let strat = crate::collection::btree_set(0u64..1_000, 5..8);
+        let mut rng = crate::test_runner::TestRng::for_test("btree");
+        for _ in 0..50 {
+            let s = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(s.len() >= 5 && s.len() < 8, "size {}", s.len());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Test configuration and the deterministic case generator.
+
+/// Per-block configuration, set via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generator feeding strategies: SplitMix64 seeded deterministically
+/// per test so failures reproduce across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from the test's fully qualified name.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs, platforms, and compilers.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n` (`n` must be non-zero).
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "pick from empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Runs one generated case, tagging any panic with the case index so a
+/// failure points at which iteration of the deterministic stream tripped.
+pub fn run_case<F: FnOnce()>(test: &str, case: u32, f: F) {
+    struct CaseGuard<'a> {
+        test: &'a str,
+        case: u32,
+        armed: bool,
+    }
+    impl Drop for CaseGuard<'_> {
+        fn drop(&mut self) {
+            if self.armed {
+                eprintln!(
+                    "proptest shim: {} failed on generated case #{} \
+                     (deterministic seed; rerun reproduces it)",
+                    self.test, self.case
+                );
+            }
+        }
+    }
+    let mut guard = CaseGuard {
+        test,
+        case,
+        armed: true,
+    };
+    f();
+    guard.armed = false;
+}
