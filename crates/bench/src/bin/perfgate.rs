@@ -1,10 +1,12 @@
-//! Perf gates for the two optimized paths: Analyzer replay and the online
-//! GC+snapshot pipeline.
+//! Perf gates for the three optimized paths: Analyzer replay, the online
+//! GC+snapshot pipeline, and the allocation recorder.
 //!
 //! **Analyzer gate** — times the seed implementation (sequential hash-probe
 //! replay) against the columnar merge replay, sequential and parallel, on
 //! three synthetic workload sizes, verifies all variants produce identical
 //! [`AnalysisOutcome`]s, and writes the medians to `BENCH_analyzer.json`.
+//! The parallel variant reports the execution mode the analyzer actually
+//! chose (small inputs auto-fall back to sequential).
 //!
 //! **Pipeline gate** — times full GC+snapshot cycles on a churn workload
 //! (a large stable old generation plus a young garbage wave per cycle)
@@ -15,9 +17,19 @@
 //! drive bit-identical heap trajectories; the produced snapshot sequences
 //! are compared field by field. Medians land in `BENCH_pipeline.json`.
 //!
+//! **Recorder gate** — replays one deterministic call/return/alloc tape
+//! through both recorder paths: the seed stack walk (clone the frame stack
+//! per allocation, ingest materialized events) and the incremental trace
+//! trie (context node maintained at push/pop, columnar buffers, memoized
+//! node ingest). Both variants share the frame-stack bookkeeping, drain on
+//! the same schedule, and must produce identical [`AllocationRecords`];
+//! medians land in `BENCH_recorder.json`. A small real-runtime session is
+//! also run both ways and folded into the equality gate.
+//!
 //! ```text
 //! perfgate [--quick] [--workers <n>] [--min-speedup <x>]
-//!          [--min-pipeline-speedup <x>] [--out <path>] [--pipeline-out <path>]
+//!          [--min-pipeline-speedup <x>] [--min-recorder-speedup <x>]
+//!          [--out <path>] [--pipeline-out <path>] [--recorder-out <path>]
 //! ```
 //!
 //! * `--quick` — fewer timed runs/cycles (CI smoke; equality gates still run).
@@ -27,25 +39,42 @@
 //!   the hash-probe baseline by `x` on the largest workload.
 //! * `--min-pipeline-speedup <x>` — exit non-zero unless the zero-retrace
 //!   cycle beats the seed-equivalent cycle by `x` on the largest workload.
+//! * `--min-recorder-speedup <x>` — exit non-zero unless the trie recorder
+//!   beats the stack walk by `x` ns/allocation on the largest workload
+//!   (default 3.0; this gate is always on).
 //! * `--out <path>` — analyzer JSON path (default `BENCH_analyzer.json`).
 //! * `--pipeline-out <path>` — pipeline JSON path (default
 //!   `BENCH_pipeline.json`).
+//! * `--recorder-out <path>` — recorder JSON path (default
+//!   `BENCH_recorder.json`).
 //!
-//! Exits non-zero if any variant's outputs differ from its baseline.
+//! Exits non-zero if any variant's outputs differ from its baseline, a
+//! speedup gate fails, or any committed default-path `BENCH_*.json` carries
+//! a schema version older than [`SCHEMA_VERSION`] (stale results must be
+//! regenerated in the same change that bumps the schema).
 
 use std::collections::{HashSet, VecDeque};
 use std::time::Instant;
 
-use polm2_core::{AllocationRecords, AnalysisOutcome, Analyzer, AnalyzerConfig, ReplayStrategy};
+use polm2_core::{
+    AllocationRecords, AnalysisOutcome, Analyzer, AnalyzerConfig, Recorder, ReplayStrategy,
+};
 use polm2_gc::{Collector, G1Collector, GcConfig, SafepointRoots};
 use polm2_heap::{
     BuildIdHasher, Heap, HeapConfig, IdHashMap, IdHashSet, IdentityHash, ObjectId, RegionId, SiteId,
 };
 use polm2_metrics::{SimDuration, SimTime};
 use polm2_runtime::{
-    ClassDef, Instr, LoadedProgram, Loader, MethodDef, Program, SizeSpec, TraceFrame,
+    AllocEvent, AllocEventBuffer, ClassDef, Instr, Jvm, LoadedProgram, Loader, MethodDef, Program,
+    RecorderPath, RuntimeConfig, SizeSpec, TraceFrame, TraceNodeId, TraceTrie,
 };
 use polm2_snapshot::{CriuDumper, DumperOptions, HeapDumper, Snapshot, SnapshotSeries};
+
+/// Version of the emitted JSON schema. Bump when fields are added, removed,
+/// or change meaning; the staleness check at the end of `main` fails the
+/// gate until every committed default-path `BENCH_*.json` is regenerated at
+/// this version.
+const SCHEMA_VERSION: u32 = 2;
 
 struct Workload {
     name: &'static str,
@@ -80,13 +109,12 @@ fn xorshift(state: &mut u64) -> u64 {
     x
 }
 
-/// Builds a deterministic synthetic profiling run: `records` allocations
-/// spread over a few hundred distinct traces, `snapshots` heap snapshots
-/// with per-trace lifespan bias so survival histograms are non-trivial.
-fn build_inputs(w: &Workload) -> (AllocationRecords, SnapshotSeries, LoadedProgram) {
-    let mut rng = 0x5eed_0000_0000_0001u64 ^ (w.records << 8) ^ u64::from(w.snapshots);
-    const CLASSES: usize = 32;
-    const METHODS: usize = 8;
+/// Class/method grid shared by the analyzer and recorder gates: every
+/// `TraceFrame` with `class_idx < CLASSES`, `method_idx < METHODS` resolves.
+const CLASSES: usize = 32;
+const METHODS: usize = 8;
+
+fn grid_loaded() -> LoadedProgram {
     let mut program = Program::new();
     for c in 0..CLASSES {
         let mut class = ClassDef::new(format!("Class{c}"));
@@ -100,7 +128,15 @@ fn build_inputs(w: &Workload) -> (AllocationRecords, SnapshotSeries, LoadedProgr
         program.add_class(class);
     }
     let mut heap = Heap::new(HeapConfig::small());
-    let loaded = Loader::load(program, &mut [], &mut heap).expect("load");
+    Loader::load(program, &mut [], &mut heap).expect("load")
+}
+
+/// Builds a deterministic synthetic profiling run: `records` allocations
+/// spread over a few hundred distinct traces, `snapshots` heap snapshots
+/// with per-trace lifespan bias so survival histograms are non-trivial.
+fn build_inputs(w: &Workload) -> (AllocationRecords, SnapshotSeries, LoadedProgram) {
+    let mut rng = 0x5eed_0000_0000_0001u64 ^ (w.records << 8) ^ u64::from(w.snapshots);
+    let loaded = grid_loaded();
 
     let traces: Vec<Vec<TraceFrame>> = (0..512)
         .map(|_| {
@@ -452,12 +488,281 @@ fn snapshots_equal(a: &Snapshot, b: &Snapshot) -> bool {
         && a.sorted_hashes() == b.sorted_hashes()
 }
 
+// ---------------------------------------------------------------------------
+// Recorder gate
+// ---------------------------------------------------------------------------
+
+struct RecorderWorkload {
+    name: &'static str,
+    /// Recorded allocations on the tape.
+    allocs: u64,
+    /// The stack depth the tape's push/pop walk hovers around.
+    mean_depth: usize,
+}
+
+const RECORDER_WORKLOADS: &[RecorderWorkload] = &[
+    RecorderWorkload {
+        name: "small",
+        allocs: 20_000,
+        mean_depth: 8,
+    },
+    RecorderWorkload {
+        name: "medium",
+        allocs: 80_000,
+        mean_depth: 16,
+    },
+    RecorderWorkload {
+        name: "large",
+        allocs: 200_000,
+        mean_depth: 32,
+    },
+];
+
+/// One step of a deterministic call/return/alloc tape. Both recorder
+/// variants replay the same tape, so they observe the same frame stacks in
+/// the same order and must produce identical records.
+enum TapeOp {
+    Push(TraceFrame),
+    Pop,
+    Alloc(IdentityHash),
+}
+
+/// Generates a tape that replays a *fixed pool* of call paths — the shape
+/// real hotspot applications have (ROLP's premise: a bounded set of
+/// allocation contexts visited over and over). Paths are grown from shared
+/// prefixes (a call tree), each visit walks from the current stack to the
+/// target path (popping to the common ancestor, pushing the rest) and
+/// records a small burst of allocations at the leaf, like an allocation
+/// loop in a method body. Frames resolve in [`grid_loaded`]'s program.
+fn build_tape(w: &RecorderWorkload) -> Vec<TapeOp> {
+    let mut rng = 0x7ec0_4dee_0000_0001u64 ^ (w.allocs << 8) ^ w.mean_depth as u64;
+    let frame = |rng: &mut u64| TraceFrame {
+        class_idx: (xorshift(rng) % CLASSES as u64) as u16,
+        method_idx: (xorshift(rng) % METHODS as u64) as u16,
+        line: 1 + (xorshift(rng) % 60) as u32,
+    };
+    // The path pool: each new path keeps a random-length prefix of an
+    // existing one and descends with fresh frames to ~mean_depth.
+    let mut paths: Vec<Vec<TraceFrame>> = vec![vec![frame(&mut rng)]];
+    while paths.len() < 512 {
+        let base = &paths[(xorshift(&mut rng) as usize) % paths.len()];
+        let keep = 1 + (xorshift(&mut rng) as usize) % base.len();
+        let mut path: Vec<TraceFrame> = base[..keep].to_vec();
+        let depth = 1 + w.mean_depth / 2 + (xorshift(&mut rng) as usize) % w.mean_depth;
+        while path.len() < depth {
+            path.push(frame(&mut rng));
+        }
+        paths.push(path);
+    }
+
+    let mut tape = Vec::new();
+    let mut current: Vec<TraceFrame> = Vec::new();
+    let mut recorded = 0u64;
+    let mut at = 0usize;
+    while recorded < w.allocs {
+        // Visit locality: drivers repeat an operation many times before
+        // moving on, so most bursts happen in an unchanged context.
+        if xorshift(&mut rng) % 10 >= 6 {
+            at = (xorshift(&mut rng) as usize) % paths.len();
+        }
+        let target = &paths[at];
+        let common = current
+            .iter()
+            .zip(target.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        for _ in common..current.len() {
+            tape.push(TapeOp::Pop);
+        }
+        current.truncate(common);
+        for &f in &target[common..] {
+            tape.push(TapeOp::Push(f));
+            current.push(f);
+        }
+        let burst = 1 + xorshift(&mut rng) % 8;
+        for _ in 0..burst {
+            if recorded >= w.allocs {
+                break;
+            }
+            recorded += 1;
+            tape.push(TapeOp::Alloc(IdentityHash::of(ObjectId::new(recorded))));
+        }
+    }
+    for _ in 0..current.len() {
+        tape.push(TapeOp::Pop);
+    }
+    tape
+}
+
+/// The seed recorder path, transcribed: maintain the frame stack, clone it
+/// into a fresh `Vec<TraceFrame>` per allocation, buffer owning
+/// `AllocEvent`s, and drain them through the materialized (per-frame
+/// validating, per-frame interning) ingest.
+fn run_recorder_stackwalk(
+    program: &LoadedProgram,
+    tape: &[TapeOp],
+    drain_every: usize,
+) -> (u64, AllocationRecords) {
+    let mut recorder = Recorder::new();
+    let mut stack: Vec<TraceFrame> = Vec::new();
+    let mut pending: Vec<AllocEvent> = Vec::new();
+    let mut object = 0u64;
+    let start = Instant::now();
+    for op in tape {
+        match op {
+            TapeOp::Push(f) => stack.push(*f),
+            TapeOp::Pop => {
+                stack.pop();
+            }
+            TapeOp::Alloc(hash) => {
+                object += 1;
+                pending.push(AllocEvent {
+                    trace: stack.clone(),
+                    object: ObjectId::new(object),
+                    hash: *hash,
+                    site: SiteId::new(0),
+                    at: SimTime::ZERO,
+                });
+                if pending.len() >= drain_every {
+                    recorder.ingest_checked(std::mem::take(&mut pending), program);
+                }
+            }
+        }
+    }
+    recorder.ingest_checked(std::mem::take(&mut pending), program);
+    let elapsed = start.elapsed().as_nanos() as u64;
+    (elapsed, recorder.into_records().expect("sole owner"))
+}
+
+/// The trie recorder path: the same frame-stack bookkeeping, plus the
+/// context node maintained at push/pop; each allocation is one child-edge
+/// lookup and a columnar push, drained through the memoized node ingest.
+fn run_recorder_trie(
+    program: &LoadedProgram,
+    tape: &[TapeOp],
+    drain_every: usize,
+) -> (u64, AllocationRecords) {
+    let mut recorder = Recorder::new();
+    let mut trie = TraceTrie::new();
+    let mut stack: Vec<TraceFrame> = Vec::new();
+    let mut context = TraceNodeId::ROOT;
+    let mut buffer = AllocEventBuffer::new();
+    let mut object = 0u64;
+    let start = Instant::now();
+    for op in tape {
+        match op {
+            TapeOp::Push(f) => {
+                if let Some(&caller) = stack.last() {
+                    context = trie.child(context, caller);
+                }
+                stack.push(*f);
+            }
+            TapeOp::Pop => {
+                stack.pop();
+                context = trie.parent(context);
+            }
+            TapeOp::Alloc(hash) => {
+                object += 1;
+                let top = *stack.last().expect("alloc executes in a frame");
+                let node = trie.child(context, top);
+                buffer.push(
+                    node,
+                    *hash,
+                    ObjectId::new(object),
+                    SiteId::new(0),
+                    SimTime::ZERO,
+                );
+                if buffer.len() >= drain_every {
+                    recorder.ingest_nodes_checked(&trie, program, &buffer);
+                    buffer.clear();
+                }
+            }
+        }
+    }
+    recorder.ingest_nodes_checked(&trie, program, &buffer);
+    let elapsed = start.elapsed().as_nanos() as u64;
+    (elapsed, recorder.into_records().expect("sole owner"))
+}
+
+/// Everything observable about an `AllocationRecords`, for the equality gate.
+type RecordsFingerprint = (u64, Vec<(Vec<TraceFrame>, Vec<IdentityHash>)>);
+
+fn records_fingerprint(r: &AllocationRecords) -> RecordsFingerprint {
+    let per_trace = r
+        .trace_ids()
+        .map(|id| (r.trace(id), r.stream(id).to_vec()))
+        .collect();
+    (r.total_records(), per_trace)
+}
+
+/// Runs a real interpreter session under `path` and returns its records: the
+/// end-to-end cross-check that the tape emulation cannot drift away from the
+/// actual runtime.
+fn run_real_session(path: RecorderPath) -> AllocationRecords {
+    let mut program = Program::new();
+    let mut chain = ClassDef::new("Deep");
+    const DEPTH: usize = 24;
+    for i in 0..DEPTH {
+        let mut method = MethodDef::new(format!("m{i}"));
+        if i + 1 < DEPTH {
+            method = method.push(Instr::call("Deep", format!("m{}", i + 1), i as u32 + 1));
+        }
+        method = method.push(Instr::alloc("Obj", SizeSpec::Fixed(32), 40 + i as u32));
+        chain = chain.with_method(method);
+    }
+    program.add_class(chain);
+    let mut recorder = Recorder::new();
+    let mut jvm = Jvm::builder(RuntimeConfig::small().with_recorder(path))
+        .transformer(recorder.agent())
+        .build(program)
+        .expect("boot");
+    let t = jvm.spawn_thread();
+    for _ in 0..200 {
+        jvm.invoke(t, "Deep", "m0").expect("invoke");
+        jvm.drain_alloc_batches(|trie, program, batch| {
+            recorder.ingest_nodes_checked(trie, program, batch);
+        });
+        if jvm.has_pending_alloc_events() {
+            let events = jvm.drain_alloc_events();
+            recorder.ingest_checked(events, jvm.program());
+        }
+    }
+    recorder.into_records().expect("sole owner")
+}
+
+/// Fails the gate when a committed default-path bench JSON is missing or
+/// carries an older schema version: stale numbers alongside new code are
+/// worse than no numbers.
+fn check_committed_bench(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{path}: not readable ({e}); regenerate with `perfgate`"))?;
+    let tail = text
+        .split("\"schema_version\":")
+        .nth(1)
+        .ok_or_else(|| format!("{path}: no schema_version field (pre-v{SCHEMA_VERSION} output)"))?;
+    let version: u32 = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .map_err(|_| format!("{path}: unparsable schema_version"))?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "{path}: schema_version {version} != gate version {SCHEMA_VERSION}; regenerate with `perfgate`"
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let mut quick = false;
     let mut min_speedup: Option<f64> = None;
     let mut min_pipeline_speedup: Option<f64> = None;
+    let mut min_recorder_speedup = 3.0f64;
     let mut out_path = String::from("BENCH_analyzer.json");
     let mut pipeline_out_path = String::from("BENCH_pipeline.json");
+    let mut recorder_out_path = String::from("BENCH_recorder.json");
     let mut workers: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -476,9 +781,16 @@ fn main() {
                 min_pipeline_speedup =
                     Some(v.parse().expect("--min-pipeline-speedup needs a number"));
             }
+            "--min-recorder-speedup" => {
+                let v = args.next().expect("--min-recorder-speedup needs a value");
+                min_recorder_speedup = v.parse().expect("--min-recorder-speedup needs a number");
+            }
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--pipeline-out" => {
                 pipeline_out_path = args.next().expect("--pipeline-out needs a path");
+            }
+            "--recorder-out" => {
+                recorder_out_path = args.next().expect("--recorder-out needs a path");
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -534,8 +846,16 @@ fn main() {
         if w.name == "large" {
             large_speedup = speedup;
         }
+        // The execution mode the "parallel" variant actually ran in: below
+        // the record threshold the analyzer falls back to sequential.
+        let parallel_mode =
+            if config(ReplayStrategy::SortedMerge, parallelism).effective_workers(w.records) > 1 {
+                "parallel"
+            } else {
+                "sequential-fallback"
+            };
         println!(
-            "{:<8} {:>9} {:>5} | {:>11} ns {:>11} ns {:>11} ns | {:>7.2}x",
+            "{:<8} {:>9} {:>5} | {:>11} ns {:>11} ns {:>11} ns | {:>7.2}x ({parallel_mode})",
             w.name, w.records, w.snapshots, seq_ns, merge_ns, par_ns, speedup
         );
         rows.push(format!(
@@ -545,6 +865,7 @@ fn main() {
                 "\"sequential_merge_ns_per_record\": {}, ",
                 "\"parallel_merge_ns_per_record\": {}, ",
                 "\"parallel_workers\": {}, ",
+                "\"parallel_mode\": \"{}\", ",
                 "\"speedup_parallel_merge_vs_seed\": {:.2}, ",
                 "\"outputs_identical\": {}}}"
             ),
@@ -555,13 +876,15 @@ fn main() {
             merge_ns,
             par_ns,
             parallelism,
+            parallel_mode,
             speedup,
             identical
         ));
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"analyzer_replay\",\n  \"units\": \"median ns/record, {} runs\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"analyzer_replay\",\n  \"schema_version\": {},\n  \"units\": \"median ns/record, {} runs\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        SCHEMA_VERSION,
         runs,
         rows.join(",\n")
     );
@@ -638,11 +961,101 @@ fn main() {
         ));
     }
     let pipeline_json = format!(
-        "{{\n  \"bench\": \"online_pipeline\",\n  \"units\": \"median ns per GC+snapshot cycle\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"online_pipeline\",\n  \"schema_version\": {},\n  \"units\": \"median ns per GC+snapshot cycle\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        SCHEMA_VERSION,
         pipeline_rows.join(",\n")
     );
     std::fs::write(&pipeline_out_path, &pipeline_json).expect("write pipeline bench json");
     println!("wrote {pipeline_out_path}");
+
+    // ---- recorder gate ---------------------------------------------------
+    println!();
+    println!("perfgate: allocation recorder, {runs} runs/variant, median ns/allocation");
+    println!(
+        "{:<8} {:>9} {:>6} | {:>14} {:>14} | {:>8}",
+        "size", "allocs", "depth", "stack-walk", "trace-trie", "speedup"
+    );
+    let program = grid_loaded();
+    let drain_every = AllocEventBuffer::DEFAULT_CAPACITY;
+    let mut recorder_rows = Vec::new();
+    let mut large_recorder_speedup = 0.0f64;
+    for w in RECORDER_WORKLOADS {
+        let tape = build_tape(w);
+        // Warmup + timed runs per variant; the cold trie/memos are rebuilt
+        // every run, so their construction cost is inside the measurement.
+        let mut walk_samples = Vec::with_capacity(runs);
+        let mut trie_samples = Vec::with_capacity(runs);
+        let (_, mut walk_records) = run_recorder_stackwalk(&program, &tape, drain_every);
+        let (_, mut trie_records) = run_recorder_trie(&program, &tape, drain_every);
+        for _ in 0..runs {
+            let (ns, r) = run_recorder_stackwalk(&program, &tape, drain_every);
+            walk_samples.push(ns / w.allocs.max(1));
+            walk_records = r;
+            let (ns, r) = run_recorder_trie(&program, &tape, drain_every);
+            trie_samples.push(ns / w.allocs.max(1));
+            trie_records = r;
+        }
+        let identical = records_fingerprint(&walk_records) == records_fingerprint(&trie_records);
+        if !identical {
+            diverged = true;
+            eprintln!("FAIL: {} recorder paths produced different records", w.name);
+        }
+        let walk_ns = median(walk_samples);
+        let trie_ns = median(trie_samples);
+        let speedup = walk_ns as f64 / trie_ns.max(1) as f64;
+        if w.name == "large" {
+            large_recorder_speedup = speedup;
+        }
+        println!(
+            "{:<8} {:>9} {:>6} | {:>11} ns {:>11} ns | {:>7.2}x",
+            w.name, w.allocs, w.mean_depth, walk_ns, trie_ns, speedup
+        );
+        recorder_rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"allocs\": {}, \"mean_depth\": {}, ",
+                "\"stackwalk_ns_per_alloc\": {}, ",
+                "\"trie_ns_per_alloc\": {}, ",
+                "\"speedup_trie_vs_stackwalk\": {:.2}, ",
+                "\"outputs_identical\": {}}}"
+            ),
+            json_escape(w.name),
+            w.allocs,
+            w.mean_depth,
+            walk_ns,
+            trie_ns,
+            speedup,
+            identical
+        ));
+    }
+    // End-to-end cross-check on the real interpreter, both paths.
+    let real_walk = run_real_session(RecorderPath::StackWalk);
+    let real_trie = run_real_session(RecorderPath::TraceTrie);
+    let real_identical = records_fingerprint(&real_walk) == records_fingerprint(&real_trie);
+    if !real_identical {
+        diverged = true;
+        eprintln!("FAIL: real-runtime recorder paths produced different records");
+    }
+    println!(
+        "real-runtime cross-check: {} records/path, identical = {real_identical}",
+        real_walk.total_records()
+    );
+    let recorder_json = format!(
+        concat!(
+            "{{\n  \"bench\": \"allocation_recorder\",\n",
+            "  \"schema_version\": {},\n",
+            "  \"units\": \"median ns/allocation, {} runs\",\n",
+            "  \"drain_every\": {},\n",
+            "  \"real_runtime_outputs_identical\": {},\n",
+            "  \"workloads\": [\n{}\n  ]\n}}\n"
+        ),
+        SCHEMA_VERSION,
+        runs,
+        drain_every,
+        real_identical,
+        recorder_rows.join(",\n")
+    );
+    std::fs::write(&recorder_out_path, &recorder_json).expect("write recorder bench json");
+    println!("wrote {recorder_out_path}");
 
     if diverged {
         std::process::exit(1);
@@ -663,4 +1076,33 @@ fn main() {
         }
         println!("pipeline speedup gate passed: {large_pipeline_speedup:.2}x >= {min:.2}x");
     }
+    if large_recorder_speedup < min_recorder_speedup {
+        eprintln!(
+            "FAIL: large-workload recorder speedup {large_recorder_speedup:.2}x below required {min_recorder_speedup:.2}x"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "recorder speedup gate passed: {large_recorder_speedup:.2}x >= {min_recorder_speedup:.2}x"
+    );
+
+    // ---- committed-results staleness check -------------------------------
+    // Checked at the default paths regardless of --out overrides: CI runs
+    // write throwaway files but the repo's committed numbers must match the
+    // gate's schema.
+    let mut stale = false;
+    for path in [
+        "BENCH_analyzer.json",
+        "BENCH_pipeline.json",
+        "BENCH_recorder.json",
+    ] {
+        if let Err(reason) = check_committed_bench(path) {
+            eprintln!("FAIL: stale committed bench results — {reason}");
+            stale = true;
+        }
+    }
+    if stale {
+        std::process::exit(1);
+    }
+    println!("committed bench results are at schema version {SCHEMA_VERSION}");
 }

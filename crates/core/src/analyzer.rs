@@ -68,6 +68,13 @@ pub struct AnalyzerConfig {
     /// resolution. `0` and `1` both mean sequential (run inline on the
     /// calling thread); any value produces bit-identical output.
     pub parallelism: usize,
+    /// Below this many recorded allocations the analyzer ignores
+    /// [`parallelism`](AnalyzerConfig::parallelism) and runs sequentially:
+    /// on small inputs thread spawn/join costs more than the sharded work
+    /// saves (the perf gate measured ~0.9× on a 10k-record workload).
+    /// Output is identical either way — this knob only picks the cheaper
+    /// execution mode.
+    pub min_parallel_records: u64,
 }
 
 impl Default for AnalyzerConfig {
@@ -78,6 +85,22 @@ impl Default for AnalyzerConfig {
             min_snapshots: 2,
             replay: ReplayStrategy::SortedMerge,
             parallelism: 1,
+            min_parallel_records: 16_384,
+        }
+    }
+}
+
+impl AnalyzerConfig {
+    /// The worker count [`Analyzer::analyze`] will actually use for
+    /// `record_count` recorded allocations: `parallelism`, unless the input
+    /// is below [`min_parallel_records`](AnalyzerConfig::min_parallel_records)
+    /// — then `1` (sequential). Exposed so harnesses can report the chosen
+    /// mode alongside their measurements.
+    pub fn effective_workers(&self, record_count: u64) -> usize {
+        if record_count < self.min_parallel_records {
+            1
+        } else {
+            self.parallelism.max(1)
         }
     }
 }
@@ -306,7 +329,7 @@ impl Analyzer {
         let locs: Vec<CodeLoc> = records.symbols().loc_table(program);
         let under_observed = (snapshots.len() as u32) < self.config.min_snapshots;
         let ids: Vec<TraceId> = records.trace_ids().collect();
-        let workers = self.config.parallelism.max(1);
+        let workers = self.config.effective_workers(records.total_records());
         let raw: Vec<RawTrace> = if workers == 1 || ids.len() < 2 {
             shard_lifetimes(
                 &ids,
@@ -769,10 +792,29 @@ mod tests {
         for parallelism in [2, 3, 8] {
             let parallel = Analyzer::new(AnalyzerConfig {
                 parallelism,
+                // Force the parallel path even on this small input.
+                min_parallel_records: 0,
                 ..AnalyzerConfig::default()
             })
             .analyze(&records, &series, &program);
             assert_eq!(sequential, parallel, "parallelism={parallelism}");
         }
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let config = AnalyzerConfig {
+            parallelism: 8,
+            ..AnalyzerConfig::default()
+        };
+        assert_eq!(config.effective_workers(0), 1);
+        assert_eq!(config.effective_workers(config.min_parallel_records - 1), 1);
+        assert_eq!(config.effective_workers(config.min_parallel_records), 8);
+        // Disabling the threshold restores unconditional parallelism.
+        let always = AnalyzerConfig {
+            min_parallel_records: 0,
+            ..config
+        };
+        assert_eq!(always.effective_workers(0), 8);
     }
 }

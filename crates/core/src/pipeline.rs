@@ -157,17 +157,44 @@ impl ProfilingSession {
     /// aborting on snapshot loss; with the default policy faults are
     /// absorbed into [`fault_counters`](ProfilingSession::fault_counters).
     pub fn after_op(&mut self, jvm: &mut Jvm) -> Result<(), PipelineError> {
+        self.drain_events(jvm);
+        let cycles = jvm.gc_log().cycle_count();
+        if cycles >= self.cycles_at_last_snapshot + self.policy.every_n_cycles as usize {
+            self.take_snapshot(jvm)?;
+        }
+        Ok(())
+    }
+
+    /// Drains the runtime's buffered allocation events into the Recorder.
+    ///
+    /// Without a fault injector, trie-form events take the columnar fast
+    /// path ([`Recorder::ingest_nodes_checked`]) — no trace materialization,
+    /// no per-event allocation. Chaos sessions (and the stack-walk recorder
+    /// path) materialize [`AllocEvent`](polm2_runtime::AllocEvent)s so the
+    /// injector can mutate them in flight; both routes feed the Recorder the
+    /// same events in the same order.
+    fn drain_events(&mut self, jvm: &mut Jvm) {
+        if self.injector.is_none() {
+            let recorder = &mut self.recorder;
+            let counters = &mut self.counters;
+            jvm.drain_alloc_batches(|trie, program, batch| {
+                counters.records_dropped_corrupt +=
+                    recorder.ingest_nodes_checked(trie, program, batch);
+            });
+            // Stack-walk events (if that path is configured) still arrive
+            // materialized.
+            if jvm.has_pending_alloc_events() {
+                let events = jvm.drain_alloc_events();
+                counters.records_dropped_corrupt += recorder.ingest_checked(events, jvm.program());
+            }
+            return;
+        }
         let mut events = jvm.drain_alloc_events();
         if let Some(injector) = &self.injector {
             injector.borrow_mut().mutate_events(&mut events);
         }
         self.counters.records_dropped_corrupt +=
             self.recorder.ingest_checked(events, jvm.program());
-        let cycles = jvm.gc_log().cycle_count();
-        if cycles >= self.cycles_at_last_snapshot + self.policy.every_n_cycles as usize {
-            self.take_snapshot(jvm)?;
-        }
-        Ok(())
     }
 
     /// Takes a snapshot unconditionally (the end-of-run snapshot, or tests),
@@ -248,12 +275,7 @@ impl ProfilingSession {
         jvm: &mut Jvm,
         config: &AnalyzerConfig,
     ) -> Result<ProfilingReport, PipelineError> {
-        let mut events = jvm.drain_alloc_events();
-        if let Some(injector) = &self.injector {
-            injector.borrow_mut().mutate_events(&mut events);
-        }
-        self.counters.records_dropped_corrupt +=
-            self.recorder.ingest_checked(events, jvm.program());
+        self.drain_events(jvm);
         // End-of-run snapshot — but only if it adds information. When the
         // last per-cycle snapshot already covered the current GC cycle, a
         // second capture of the identical heap would double-count every

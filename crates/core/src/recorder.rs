@@ -4,7 +4,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use polm2_heap::IdentityHash;
-use polm2_runtime::{ClassDef, ClassTransformer, CodeLoc, Instr, LoadedProgram, TraceFrame};
+use polm2_runtime::{
+    AllocEventBuffer, ClassDef, ClassTransformer, CodeLoc, Instr, LoadedProgram, TraceFrame,
+    TraceTrie,
+};
 
 use crate::error::PipelineError;
 use crate::symbols::{FrameInterner, SymbolId};
@@ -51,11 +54,20 @@ pub struct AllocationRecords {
 impl AllocationRecords {
     /// Records one allocation.
     pub fn record(&mut self, trace: &[TraceFrame], hash: IdentityHash) {
+        let id = self.trace_id_for(trace);
+        self.record_traced(id, hash);
+    }
+
+    /// Interns `trace` (outermost first), assigning the next dense
+    /// [`TraceId`] on first sight. Symbol and trace ids depend only on
+    /// first-seen order, so any path that feeds traces in event order — a
+    /// per-event stack walk or a trie-node memo — produces identical ids.
+    pub fn trace_id_for(&mut self, trace: &[TraceFrame]) -> TraceId {
         self.scratch.clear();
         for &frame in trace {
             self.scratch.push(self.symbols.intern(frame));
         }
-        let id = match self.by_trace.get(&self.scratch) {
+        match self.by_trace.get(&self.scratch) {
             Some(&id) => id,
             None => {
                 let id = TraceId(self.traces.len() as u32);
@@ -64,7 +76,13 @@ impl AllocationRecords {
                 self.streams.push(Vec::new());
                 id
             }
-        };
+        }
+    }
+
+    /// Records one allocation against an already-interned trace: one stream
+    /// push — the steady state of the trie recorder path.
+    #[inline]
+    pub fn record_traced(&mut self, id: TraceId, hash: IdentityHash) {
         self.streams[id.0 as usize].push(hash);
         self.total_records += 1;
     }
@@ -118,6 +136,11 @@ impl AllocationRecords {
     }
 }
 
+/// `node_trace` memo: node not yet seen by the Recorder.
+const NODE_UNSEEN: u32 = u32::MAX;
+/// `node_trace` memo: node failed validation; every event through it drops.
+const NODE_CORRUPT: u32 = u32::MAX - 1;
+
 /// The Recorder component.
 ///
 /// Owns the [`AllocationRecords`] store and hands out the load-time agent
@@ -127,6 +150,14 @@ impl AllocationRecords {
 pub struct Recorder {
     records: Rc<RefCell<AllocationRecords>>,
     instrumented_sites: Rc<RefCell<u64>>,
+    /// Memoized `trie node → TraceId` side table for
+    /// [`ingest_nodes_checked`](Recorder::ingest_nodes_checked): index is the
+    /// node id (valid because the runtime never renumbers trie nodes), value
+    /// is a raw [`TraceId`] or a [`NODE_UNSEEN`]/[`NODE_CORRUPT`] sentinel.
+    /// Steady-state ingest cost is one memo read plus one stream push.
+    node_trace: Vec<u32>,
+    /// Reused trace-materialization buffer for first-seen nodes.
+    path_scratch: Vec<TraceFrame>,
 }
 
 impl Recorder {
@@ -175,6 +206,61 @@ impl Recorder {
                 continue;
             }
             records.record(&event.trace, event.hash);
+        }
+        dropped
+    }
+
+    /// Ingests a columnar batch of `(trace node, identity hash)` pairs
+    /// straight from the runtime's per-thread buffers — the trie recorder
+    /// fast path, skipping trace materialization entirely.
+    ///
+    /// The first event through a node materializes its path from `trie`,
+    /// validates every frame against `program` (corrupt nodes are dropped
+    /// and counted, like [`ingest_checked`](Recorder::ingest_checked)), and
+    /// memoizes the resulting [`TraceId`]; every later event through that
+    /// node is a memo read plus a stream push. Returns the number of events
+    /// dropped.
+    ///
+    /// The memo is keyed by node id, so a `Recorder` must only ever see
+    /// batches from one runtime's trie (the pipeline pairs them 1:1).
+    pub fn ingest_nodes_checked(
+        &mut self,
+        trie: &TraceTrie,
+        program: &LoadedProgram,
+        batch: &AllocEventBuffer,
+    ) -> u64 {
+        if self.node_trace.len() < trie.len() {
+            self.node_trace.resize(trie.len(), NODE_UNSEEN);
+        }
+        let mut records = self.records.borrow_mut();
+        let mut dropped = 0;
+        for (&node, &hash) in batch.nodes().iter().zip(batch.hashes()) {
+            let memo = self.node_trace[node.index()];
+            let id = match memo {
+                NODE_CORRUPT => {
+                    dropped += 1;
+                    continue;
+                }
+                NODE_UNSEEN => {
+                    self.path_scratch.clear();
+                    trie.path_into(node, &mut self.path_scratch);
+                    let corrupt = self.path_scratch.is_empty()
+                        || self
+                            .path_scratch
+                            .iter()
+                            .any(|&f| !program.frame_is_valid(f));
+                    if corrupt {
+                        self.node_trace[node.index()] = NODE_CORRUPT;
+                        dropped += 1;
+                        continue;
+                    }
+                    let id = records.trace_id_for(&self.path_scratch);
+                    self.node_trace[node.index()] = id.raw();
+                    id
+                }
+                raw => TraceId(raw),
+            };
+            records.record_traced(id, hash);
         }
         dropped
     }

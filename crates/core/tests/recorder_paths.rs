@@ -1,0 +1,293 @@
+//! Determinism suite for the two recorder paths: `RecorderPath::StackWalk`
+//! (the seed behavior — walk the stack, materialize a `Vec<TraceFrame>` per
+//! allocation) and `RecorderPath::TraceTrie` (the O(1) incremental path)
+//! must produce **identical** `AllocationRecords` — same trace ids, same
+//! frames, same identity-hash streams in the same order — and identical
+//! final profiles, for any workload, drain schedule, and fault seed.
+//!
+//! The contract holds because both paths buffer events per thread and drain
+//! them in thread order, and trace/symbol interning depends only on
+//! first-seen event order.
+
+use polm2_core::{
+    AllocationRecords, AnalysisOutcome, AnalyzerConfig, FaultConfig, ProfilingSession, Recorder,
+    SnapshotPolicy,
+};
+use polm2_heap::IdentityHash;
+use polm2_runtime::{
+    ClassDef, HookAction, HookRegistry, Instr, Jvm, MethodDef, Program, RecorderPath,
+    RuntimeConfig, SizeSpec, TraceFrame,
+};
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Everything observable about an `AllocationRecords`: per trace id, the
+/// materialized frames and the identity-hash stream, in id order.
+type Fingerprint = (u64, Vec<(Vec<TraceFrame>, Vec<IdentityHash>)>);
+
+fn fingerprint(records: &AllocationRecords) -> Fingerprint {
+    let per_trace = records
+        .trace_ids()
+        .map(|id| (records.trace(id), records.stream(id).to_vec()))
+        .collect();
+    (records.total_records(), per_trace)
+}
+
+/// Drains the runtime into the recorder the way the pipeline does: columnar
+/// fast path for trie-form buffers, materialized path for stack-walk events.
+fn drain(recorder: &mut Recorder, jvm: &mut Jvm) -> u64 {
+    let mut dropped = 0;
+    jvm.drain_alloc_batches(|trie, program, batch| {
+        dropped += recorder.ingest_nodes_checked(trie, program, batch);
+    });
+    if jvm.has_pending_alloc_events() {
+        let events = jvm.drain_alloc_events();
+        dropped += recorder.ingest_checked(events, jvm.program());
+    }
+    dropped
+}
+
+/// A seeded random call graph: methods allocate and call strictly-later
+/// methods (a DAG, so depth is bounded), with lines drawn from the rng.
+fn random_program(seed: u64) -> Program {
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let classes = 2 + (xorshift(&mut rng) % 3) as usize;
+    let methods = 3 + (xorshift(&mut rng) % 3) as usize;
+    let total = classes * methods;
+    let mut program = Program::new();
+    for c in 0..classes {
+        let mut class = ClassDef::new(format!("Class{c}"));
+        for m in 0..methods {
+            let idx = c * methods + m;
+            let mut method = MethodDef::new(format!("method{m}"));
+            let allocs = 1 + (xorshift(&mut rng) % 2);
+            for _ in 0..allocs {
+                method = method.push(Instr::alloc(
+                    "Obj",
+                    SizeSpec::Fixed(16 + (xorshift(&mut rng) % 48) as u32),
+                    1 + (xorshift(&mut rng) % 30) as u32,
+                ));
+            }
+            // Up to two calls, each to a method strictly later in the
+            // flattened order — no recursion, bounded depth.
+            for _ in 0..(xorshift(&mut rng) % 3) {
+                if idx + 1 >= total {
+                    break;
+                }
+                let target = idx + 1 + (xorshift(&mut rng) as usize % (total - idx - 1));
+                method = method.push(Instr::call(
+                    format!("Class{}", target / methods),
+                    format!("method{}", target % methods),
+                    1 + (xorshift(&mut rng) % 30) as u32,
+                ));
+            }
+            class = class.with_method(method);
+        }
+        program.add_class(class);
+    }
+    program
+}
+
+/// A chain of `depth` methods, each calling the next; the innermost
+/// allocates. Exercises deep stacks near `max_stack_depth`.
+fn deep_program(depth: usize) -> Program {
+    let mut class = ClassDef::new("Deep");
+    for i in 0..depth {
+        let mut method = MethodDef::new(format!("m{i}"));
+        if i + 1 < depth {
+            method = method.push(Instr::call("Deep", format!("m{}", i + 1), i as u32 + 1));
+        } else {
+            method = method.push(Instr::alloc("Leaf", SizeSpec::Fixed(32), 999));
+        }
+        class = class.with_method(method);
+    }
+    let mut program = Program::new();
+    program.add_class(class);
+    program
+}
+
+/// Runs `program` on two threads under the given recorder path, draining
+/// every `stride` operations (and once at the end), and returns the
+/// resulting records. The op sequence is a pure function of `seed`.
+fn run_records(
+    path: RecorderPath,
+    program: Program,
+    entries: &[(String, String)],
+    seed: u64,
+    ops: usize,
+    stride: usize,
+) -> AllocationRecords {
+    let mut recorder = Recorder::new();
+    let mut jvm = Jvm::builder(RuntimeConfig::small().with_recorder(path))
+        .transformer(recorder.agent())
+        .build(program)
+        .expect("boot");
+    let threads = [jvm.spawn_thread(), jvm.spawn_thread()];
+    let mut rng = seed | 1;
+    for op in 0..ops {
+        let t = threads[(xorshift(&mut rng) % 2) as usize];
+        let (class, method) = &entries[xorshift(&mut rng) as usize % entries.len()];
+        jvm.invoke(t, class, method).expect("invoke");
+        if (op + 1) % stride == 0 {
+            assert_eq!(drain(&mut recorder, &mut jvm), 0, "no corrupt events");
+        }
+    }
+    assert_eq!(drain(&mut recorder, &mut jvm), 0);
+    assert!(!jvm.has_pending_alloc_events());
+    recorder.into_records().expect("sole owner")
+}
+
+#[test]
+fn seeded_random_sessions_agree_across_paths_and_drain_schedules() {
+    for seed in [1u64, 42, 0xdead_beef] {
+        let program = random_program(seed);
+        let entries: Vec<(String, String)> = program
+            .classes()
+            .iter()
+            .map(|c| (c.name.clone(), c.methods[0].name.clone()))
+            .collect();
+        // Finish-only (stride > ops), frequent, and ragged drains: each
+        // schedule must agree across paths (drains happen at the same
+        // points in both runs).
+        for stride in [1usize, 7, usize::MAX] {
+            let walk = run_records(
+                RecorderPath::StackWalk,
+                program.clone(),
+                &entries,
+                seed,
+                120,
+                stride,
+            );
+            let trie = run_records(
+                RecorderPath::TraceTrie,
+                program.clone(),
+                &entries,
+                seed,
+                120,
+                stride,
+            );
+            assert!(walk.total_records() > 0, "seed {seed}: trivial workload");
+            assert_eq!(
+                fingerprint(&walk),
+                fingerprint(&trie),
+                "seed {seed} stride {stride}: paths diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn deep_recursion_agrees_across_paths() {
+    // A 200-deep chain under the default max_stack_depth of 256.
+    let program = deep_program(200);
+    let entries = vec![("Deep".to_string(), "m0".to_string())];
+    let walk = run_records(RecorderPath::StackWalk, program.clone(), &entries, 9, 40, 3);
+    let trie = run_records(RecorderPath::TraceTrie, program, &entries, 9, 40, 3);
+    assert_eq!(walk.total_records(), 40);
+    assert_eq!(walk.trace_count(), 1, "one unique 200-frame trace");
+    assert_eq!(walk.trace(walk.trace_ids().next().unwrap()).len(), 200);
+    assert_eq!(fingerprint(&walk), fingerprint(&trie));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: full profiling sessions (drains inside `after_op`, snapshots,
+// analysis) must yield identical outcomes across recorder paths — including
+// chaos sessions, where the injector forces the materialized drain route.
+// ---------------------------------------------------------------------------
+
+fn workload_program() -> Program {
+    let mut p = Program::new();
+    p.add_class(
+        ClassDef::new("Store")
+            .with_method(
+                MethodDef::new("put")
+                    .push(Instr::call("Cell", "create", 10))
+                    .push(Instr::native("insert", 11)),
+            )
+            .with_method(MethodDef::new("scratch").push(Instr::alloc(
+                "Tmp",
+                SizeSpec::Fixed(512),
+                20,
+            )))
+            .with_method(MethodDef::new("flush").push(Instr::native("flush", 30))),
+    );
+    p.add_class(
+        ClassDef::new("Cell").with_method(MethodDef::new("create").push(Instr::alloc(
+            "Cell",
+            SizeSpec::Fixed(1024),
+            5,
+        ))),
+    );
+    p
+}
+
+fn workload_hooks() -> HookRegistry {
+    let mut h = HookRegistry::new();
+    h.register_action("insert", |ctx| {
+        let obj = ctx.acc.expect("cell before insert");
+        let slot = ctx.heap.roots_mut().create_slot("memtable");
+        ctx.heap.roots_mut().push(slot, obj);
+        HookAction::default()
+    });
+    h.register_action("flush", |ctx| {
+        if let Some(slot) = ctx.heap.roots().find_slot("memtable") {
+            ctx.heap.roots_mut().clear_slot(slot);
+        }
+        HookAction::default()
+    });
+    h
+}
+
+fn run_session(path: RecorderPath, faults: Option<FaultConfig>) -> AnalysisOutcome {
+    let mut session = match faults {
+        Some(f) => ProfilingSession::with_faults(SnapshotPolicy::default(), f),
+        None => ProfilingSession::new(SnapshotPolicy::default()),
+    };
+    let mut jvm = Jvm::builder(RuntimeConfig::small().with_recorder(path))
+        .hooks(workload_hooks())
+        .transformer(session.recorder_agent())
+        .build(workload_program())
+        .expect("boot");
+    let t = jvm.spawn_thread();
+    for batch in 0..9 {
+        for _ in 0..300 {
+            jvm.invoke(t, "Store", "put").expect("put");
+            for _ in 0..8 {
+                jvm.invoke(t, "Store", "scratch").expect("scratch");
+            }
+            session.after_op(&mut jvm).expect("after_op");
+        }
+        if batch % 3 == 2 {
+            jvm.invoke(t, "Store", "flush").expect("flush");
+        }
+    }
+    session
+        .finish(&mut jvm, &AnalyzerConfig::default())
+        .expect("finish")
+        .outcome
+}
+
+#[test]
+fn end_to_end_profiles_agree_across_paths() {
+    let walk = run_session(RecorderPath::StackWalk, None);
+    let trie = run_session(RecorderPath::TraceTrie, None);
+    assert!(!walk.profile.is_empty(), "workload produces a real profile");
+    assert_eq!(walk, trie);
+}
+
+#[test]
+fn chaos_sessions_agree_across_paths() {
+    for fault_seed in [11u64, 23] {
+        let faults = FaultConfig::all_at(0.10, fault_seed);
+        let walk = run_session(RecorderPath::StackWalk, Some(faults));
+        let trie = run_session(RecorderPath::TraceTrie, Some(faults));
+        assert_eq!(walk, trie, "fault seed {fault_seed}: chaos runs diverged");
+    }
+}

@@ -3,6 +3,8 @@
 use polm2_heap::{IdentityHash, ObjectId, SiteId};
 use polm2_metrics::SimTime;
 
+use crate::trie::TraceNodeId;
+
 /// One frame of a captured stack trace, in compact (index) form.
 ///
 /// Indices refer to the [`LoadedProgram`]; resolve to a human-readable
@@ -40,6 +42,107 @@ pub struct AllocEvent {
     pub at: SimTime,
 }
 
+/// Per-thread buffer of recorded allocations in trie form: parallel columns
+/// (structure-of-arrays) instead of a `Vec` of owning [`AllocEvent`]s.
+///
+/// The trie-path `RecordAlloc` pushes one entry per allocation — five
+/// integer stores, no heap allocation. The buffer is created with a fixed
+/// capacity ([`AllocEventBuffer::DEFAULT_CAPACITY`]) and keeps that storage
+/// across drains ([`clear`](AllocEventBuffer::clear) retains capacity), so
+/// the steady state allocates nothing; an operation that records more
+/// events than the capacity between drains grows it once and the larger
+/// buffer is then reused.
+#[derive(Debug, Default)]
+pub struct AllocEventBuffer {
+    nodes: Vec<TraceNodeId>,
+    hashes: Vec<IdentityHash>,
+    objects: Vec<ObjectId>,
+    sites: Vec<SiteId>,
+    ats: Vec<SimTime>,
+}
+
+impl AllocEventBuffer {
+    /// Events buffered per thread before the profiling session's next drain.
+    pub const DEFAULT_CAPACITY: usize = 4_096;
+
+    /// Creates a buffer with the default fixed capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a buffer with a given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AllocEventBuffer {
+            nodes: Vec::with_capacity(capacity),
+            hashes: Vec::with_capacity(capacity),
+            objects: Vec::with_capacity(capacity),
+            sites: Vec::with_capacity(capacity),
+            ats: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one recorded allocation.
+    #[inline]
+    pub fn push(
+        &mut self,
+        node: TraceNodeId,
+        hash: IdentityHash,
+        object: ObjectId,
+        site: SiteId,
+        at: SimTime,
+    ) {
+        self.nodes.push(node);
+        self.hashes.push(hash);
+        self.objects.push(object);
+        self.sites.push(site);
+        self.ats.push(at);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Clears the buffer, retaining its storage.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.hashes.clear();
+        self.objects.clear();
+        self.sites.clear();
+        self.ats.clear();
+    }
+
+    /// The trace-trie node column.
+    pub fn nodes(&self) -> &[TraceNodeId] {
+        &self.nodes
+    }
+
+    /// The identity-hash column.
+    pub fn hashes(&self) -> &[IdentityHash] {
+        &self.hashes
+    }
+
+    /// The object-id column.
+    pub fn objects(&self) -> &[ObjectId] {
+        &self.objects
+    }
+
+    /// The allocation-site column.
+    pub fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    /// The timestamp column.
+    pub fn ats(&self) -> &[SimTime] {
+        &self.ats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +177,26 @@ mod tests {
             at: SimTime::from_millis(5),
         };
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn event_buffer_columns_stay_parallel_and_capacity_survives_clear() {
+        let mut buf = AllocEventBuffer::with_capacity(2);
+        buf.push(
+            TraceNodeId::ROOT,
+            IdentityHash::of(ObjectId::new(1)),
+            ObjectId::new(1),
+            SiteId::new(3),
+            SimTime::from_micros(7),
+        );
+        assert_eq!(buf.len(), 1);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.nodes().len(), buf.hashes().len());
+        assert_eq!(buf.sites()[0], SiteId::new(3));
+        assert_eq!(buf.ats()[0], SimTime::from_micros(7));
+        let cap = buf.nodes.capacity();
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.nodes.capacity(), cap, "clear retains storage");
     }
 }

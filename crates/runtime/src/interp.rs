@@ -5,6 +5,7 @@ use std::rc::Rc;
 use polm2_gc::{AllocRequest, SafepointRoots, ThreadId};
 use polm2_heap::ObjectId;
 
+use crate::config::RecorderPath;
 use crate::events::AllocEvent;
 use crate::hooks::HookCtx;
 use crate::loader::{RCount, RInstr, RSize};
@@ -52,16 +53,29 @@ impl Jvm {
                 limit: self.config.max_stack_depth,
             });
         }
+        if self.config.recorder == RecorderPath::TraceTrie {
+            // The caller's line is already the call line here; freeze it as
+            // one more edge of the thread's context path. The root
+            // invocation has no caller, so its context stays the root.
+            if let Some(caller) = t.frames.last() {
+                t.context_node = self
+                    .trace_trie
+                    .child(t.context_node, caller.as_trace_frame());
+            }
+        }
         t.frames.push(Frame::new(class_idx, method_idx));
 
         let program = Rc::clone(&self.program);
         let body = &program.class_by_idx(class_idx).methods[method_idx as usize].body;
         let result = self.exec_block(thread, body);
 
-        let frame = self.threads[thread.raw() as usize]
-            .frames
-            .pop()
-            .expect("frame pushed above");
+        let t = &mut self.threads[thread.raw() as usize];
+        let frame = t.frames.pop().expect("frame pushed above");
+        if self.config.recorder == RecorderPath::TraceTrie {
+            // Drop the caller edge added above (the root is its own parent,
+            // covering the root-invocation pop).
+            t.context_node = self.trace_trie.parent(t.context_node);
+        }
         // A method that set target generations without restoring them gets
         // them unwound here, like NG2C's thread state on frame exit.
         for gen in frame.saved_gens.into_iter().rev() {
@@ -96,8 +110,11 @@ impl Jvm {
                         self.with_hook_ctx(thread, |hooks, ctx| hooks.eval_size(name, ctx))?
                     }
                 };
-                let roots: Vec<ObjectId> =
-                    self.threads.iter().flat_map(|t| t.stack_roots()).collect();
+                let mut roots = std::mem::take(&mut self.safepoint_scratch);
+                roots.clear();
+                for t in &self.threads {
+                    t.stack_roots_into(&mut roots);
+                }
                 let req = AllocRequest {
                     class: *class,
                     size,
@@ -107,7 +124,9 @@ impl Jvm {
                 };
                 let outcome =
                     self.collector
-                        .alloc(&mut self.heap, req, &SafepointRoots::new(&roots))?;
+                        .alloc(&mut self.heap, req, &SafepointRoots::new(&roots));
+                self.safepoint_scratch = roots;
+                let outcome = outcome?;
                 self.log_pauses(outcome.pauses);
                 let frame = self.frame_mut(thread);
                 frame.acc = Some(outcome.object);
@@ -193,14 +212,33 @@ impl Jvm {
                     .object(object)
                     .ok_or(RuntimeError::NothingToRecord)?
                     .identity_hash();
-                let trace = self.threads[thread.raw() as usize].trace();
-                self.alloc_events.push(AllocEvent {
-                    trace,
-                    object,
-                    hash,
-                    site,
-                    at: self.clock.now(),
-                });
+                let at = self.clock.now();
+                let t = &mut self.threads[thread.raw() as usize];
+                match self.config.recorder {
+                    RecorderPath::TraceTrie => {
+                        // The topmost frame's line is the allocation line
+                        // (set by the preceding `Alloc`); one child-edge
+                        // lookup appends it to the thread's context path —
+                        // no stack walk, no per-event allocation.
+                        let top = t
+                            .frames
+                            .last()
+                            .expect("RecordAlloc executes in a frame")
+                            .as_trace_frame();
+                        let node = self.trace_trie.child(t.context_node, top);
+                        t.events.push(node, hash, object, site, at);
+                    }
+                    RecorderPath::StackWalk => {
+                        let trace = t.trace();
+                        t.pending_events.push(AllocEvent {
+                            trace,
+                            object,
+                            hash,
+                            site,
+                            at,
+                        });
+                    }
+                }
             }
         }
         Ok(())

@@ -5,13 +5,15 @@ use std::fmt;
 use std::rc::Rc;
 
 use polm2_gc::{Collector, G1Collector, GcEvent, GcLog, PauseEvent, ThreadId};
-use polm2_heap::Heap;
+use polm2_heap::{Heap, ObjectId};
 use polm2_metrics::{SimDuration, SimTime};
 
-use crate::events::AllocEvent;
+use crate::config::RecorderPath;
+use crate::events::{AllocEvent, AllocEventBuffer};
 use crate::ir::Program;
 use crate::loader::{ClassTransformer, LoadedProgram, Loader};
 use crate::thread::MutatorThread;
+use crate::trie::TraceTrie;
 use crate::{HookRegistry, RuntimeConfig, RuntimeError, SimClock};
 
 /// Builder for a [`Jvm`].
@@ -87,7 +89,8 @@ impl JvmBuilder {
             clock: SimClock::new(),
             gc_log: GcLog::new(),
             threads: Vec::new(),
-            alloc_events: Vec::new(),
+            trace_trie: TraceTrie::new(),
+            safepoint_scratch: Vec::new(),
             ns_debt: 0,
         })
     }
@@ -106,7 +109,10 @@ pub struct Jvm {
     pub(crate) clock: SimClock,
     pub(crate) gc_log: GcLog,
     pub(crate) threads: Vec<MutatorThread>,
-    pub(crate) alloc_events: Vec<AllocEvent>,
+    /// The shared trie of call edges (trie recorder path).
+    pub(crate) trace_trie: TraceTrie,
+    /// Reused safepoint-root collection buffer (allocation + force_collect).
+    pub(crate) safepoint_scratch: Vec<ObjectId>,
     /// Sub-microsecond mutator cost not yet charged to the clock.
     pub(crate) ns_debt: u64,
 }
@@ -209,9 +215,68 @@ impl Jvm {
         &self.threads
     }
 
-    /// Drains buffered allocation events (the Recorder's input stream).
+    /// The recorder path this runtime was configured with.
+    pub fn recorder_path(&self) -> RecorderPath {
+        self.config.recorder
+    }
+
+    /// The shared trace trie (read access; the interpreter maintains it).
+    pub fn trace_trie(&self) -> &TraceTrie {
+        &self.trace_trie
+    }
+
+    /// True if any thread holds undrained allocation events.
+    pub fn has_pending_alloc_events(&self) -> bool {
+        self.threads
+            .iter()
+            .any(|t| !t.events.is_empty() || !t.pending_events.is_empty())
+    }
+
+    /// Drains buffered allocation events (the Recorder's input stream) as
+    /// materialized [`AllocEvent`]s, per-thread batches concatenated in
+    /// thread order.
+    ///
+    /// On the trie recorder path this *materializes* every trace from the
+    /// trie — the compatibility/chaos route. The fast route is
+    /// [`drain_alloc_batches`](Jvm::drain_alloc_batches), which hands the
+    /// Recorder the columnar buffers directly.
     pub fn drain_alloc_events(&mut self) -> Vec<AllocEvent> {
-        std::mem::take(&mut self.alloc_events)
+        let mut out = Vec::new();
+        for t in &mut self.threads {
+            out.append(&mut t.pending_events);
+            for i in 0..t.events.len() {
+                out.push(AllocEvent {
+                    trace: self.trace_trie.path(t.events.nodes()[i]),
+                    object: t.events.objects()[i],
+                    hash: t.events.hashes()[i],
+                    site: t.events.sites()[i],
+                    at: t.events.ats()[i],
+                });
+            }
+            t.events.clear();
+        }
+        out
+    }
+
+    /// Drains buffered trie-form allocation events in place: `f` is called
+    /// once per non-empty per-thread buffer, in thread order, with the
+    /// shared trie, the loaded program, and the columnar batch. Buffers are
+    /// cleared (retaining capacity) after their callback — the steady state
+    /// allocates nothing.
+    ///
+    /// Only the trie recorder path fills these buffers; on
+    /// [`RecorderPath::StackWalk`] this is a no-op and events must be
+    /// drained via [`drain_alloc_events`](Jvm::drain_alloc_events).
+    pub fn drain_alloc_batches(
+        &mut self,
+        mut f: impl FnMut(&TraceTrie, &LoadedProgram, &AllocEventBuffer),
+    ) {
+        for t in &mut self.threads {
+            if !t.events.is_empty() {
+                f(&self.trace_trie, &self.program, &t.events);
+                t.events.clear();
+            }
+        }
     }
 
     /// Advances the clock by mutator "think time" (per-operation work beyond
@@ -225,14 +290,15 @@ impl Jvm {
     /// Forces a full collection cycle and logs its pauses (workload phase
     /// boundaries; also what `System.gc()` would do).
     pub fn force_collect(&mut self) {
-        let roots: Vec<_> = self
-            .threads
-            .iter()
-            .flat_map(MutatorThread::stack_roots)
-            .collect();
+        let mut roots = std::mem::take(&mut self.safepoint_scratch);
+        roots.clear();
+        for t in &self.threads {
+            t.stack_roots_into(&mut roots);
+        }
         let pauses = self
             .collector
             .collect(&mut self.heap, &polm2_gc::SafepointRoots::new(&roots));
+        self.safepoint_scratch = roots;
         self.log_pauses(pauses);
     }
 

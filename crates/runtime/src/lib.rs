@@ -57,13 +57,15 @@ mod ir;
 mod jvm;
 mod loader;
 mod thread;
+mod trie;
 
 pub use clock::SimClock;
-pub use config::RuntimeConfig;
+pub use config::{RecorderPath, RuntimeConfig};
 pub use error::RuntimeError;
-pub use events::{AllocEvent, TraceFrame};
+pub use events::{AllocEvent, AllocEventBuffer, TraceFrame};
 pub use hooks::{HookAction, HookCtx, HookRegistry};
 pub use ir::{ClassDef, CodeLoc, CountSpec, Instr, MethodDef, Program, SizeSpec};
 pub use jvm::{Jvm, JvmBuilder};
 pub use loader::{ClassTransformer, LoadedProgram, Loader, SiteInfo, SiteTable};
 pub use thread::MutatorThread;
+pub use trie::{TraceNodeId, TraceTrie};

@@ -3,7 +3,8 @@
 use polm2_gc::ThreadId;
 use polm2_heap::{GenId, ObjectId, SiteId};
 
-use crate::events::TraceFrame;
+use crate::events::{AllocEvent, AllocEventBuffer, TraceFrame};
+use crate::trie::TraceNodeId;
 
 /// One call frame.
 #[derive(Debug, Clone)]
@@ -39,6 +40,15 @@ impl Frame {
             saved_gens: Vec::new(),
         }
     }
+
+    /// The frame as the Recorder sees it right now.
+    pub(crate) fn as_trace_frame(&self) -> TraceFrame {
+        TraceFrame {
+            class_idx: self.class_idx,
+            method_idx: self.method_idx,
+            line: self.line,
+        }
+    }
 }
 
 /// One mutator thread: an id and a call stack.
@@ -51,6 +61,20 @@ impl Frame {
 pub struct MutatorThread {
     id: ThreadId,
     pub(crate) frames: Vec<Frame>,
+    /// Trie node encoding the frames *below* the topmost one, each frozen at
+    /// its call line; maintained on frame push/pop by the interpreter when
+    /// the trie recorder path is active (see [`crate::TraceTrie`]).
+    pub(crate) context_node: TraceNodeId,
+    /// Buffered allocation events, trie form (the fast recorder path).
+    pub(crate) events: AllocEventBuffer,
+    /// Buffered allocation events, materialized form (the seed-equivalent
+    /// stack-walk recorder path).
+    pub(crate) pending_events: Vec<AllocEvent>,
+    /// Scratch for [`stack_roots`](MutatorThread::stack_roots), reused
+    /// across GC safepoints.
+    roots_scratch: Vec<ObjectId>,
+    /// Root count of the previous safepoint; pre-sizes the next collection.
+    last_root_count: usize,
 }
 
 impl MutatorThread {
@@ -58,6 +82,11 @@ impl MutatorThread {
         MutatorThread {
             id,
             frames: Vec::new(),
+            context_node: TraceNodeId::ROOT,
+            events: AllocEventBuffer::new(),
+            pending_events: Vec::new(),
+            roots_scratch: Vec::new(),
+            last_root_count: 0,
         }
     }
 
@@ -73,24 +102,31 @@ impl MutatorThread {
 
     /// The current stack trace, outermost frame first.
     pub fn trace(&self) -> Vec<TraceFrame> {
-        self.frames
-            .iter()
-            .map(|f| TraceFrame {
-                class_idx: f.class_idx,
-                method_idx: f.method_idx,
-                line: f.line,
-            })
-            .collect()
+        self.frames.iter().map(Frame::as_trace_frame).collect()
     }
 
     /// All objects rooted by this thread's stack (locals + accumulators).
-    pub fn stack_roots(&self) -> Vec<ObjectId> {
-        let mut roots = Vec::new();
+    ///
+    /// The returned slice borrows a per-thread scratch buffer that is reused
+    /// (and pre-sized from the previous safepoint's root count) instead of
+    /// allocating a fresh `Vec` at every GC safepoint.
+    pub fn stack_roots(&mut self) -> &[ObjectId] {
+        let mut scratch = std::mem::take(&mut self.roots_scratch);
+        scratch.clear();
+        scratch.reserve(self.last_root_count);
+        self.stack_roots_into(&mut scratch);
+        self.last_root_count = scratch.len();
+        self.roots_scratch = scratch;
+        &self.roots_scratch
+    }
+
+    /// Appends this thread's stack roots to `out` (shared safepoint-root
+    /// collection; the buffer is the caller's to reuse).
+    pub fn stack_roots_into(&self, out: &mut Vec<ObjectId>) {
         for f in &self.frames {
-            roots.extend_from_slice(&f.roots);
-            roots.extend(f.acc);
+            out.extend_from_slice(&f.roots);
+            out.extend(f.acc);
         }
-        roots
     }
 }
 
@@ -124,5 +160,19 @@ mod tests {
         let roots = t.stack_roots();
         assert!(roots.contains(&ObjectId::new(10)));
         assert!(roots.contains(&ObjectId::new(20)));
+    }
+
+    #[test]
+    fn stack_roots_reuses_its_scratch_buffer() {
+        let mut t = MutatorThread::new(ThreadId::new(1));
+        let mut f = Frame::new(0, 0);
+        f.roots.extend((0..64).map(ObjectId::new));
+        t.frames.push(f);
+        assert_eq!(t.stack_roots().len(), 64);
+        let cap = t.roots_scratch.capacity();
+        let ptr = t.stack_roots().as_ptr();
+        assert_eq!(t.stack_roots().len(), 64);
+        assert_eq!(t.roots_scratch.capacity(), cap, "no reallocation");
+        assert_eq!(t.stack_roots().as_ptr(), ptr, "same storage reused");
     }
 }
