@@ -10,7 +10,7 @@ use std::error::Error;
 use std::fmt;
 
 use polm2_runtime::RuntimeError;
-use polm2_snapshot::SnapshotError;
+use polm2_snapshot::{JournalError, SnapshotError};
 
 use crate::profile::{ProfileError, ProfileParseError};
 
@@ -32,6 +32,8 @@ pub enum PipelineError {
     /// The Recorder's records could not be extracted because its load-time
     /// agent still holds a reference (a JVM using it is still alive).
     RecorderBusy,
+    /// The session journal could not be created, recovered, or replayed.
+    Journal(JournalError),
 }
 
 impl fmt::Display for PipelineError {
@@ -48,6 +50,7 @@ impl fmt::Display for PipelineError {
             PipelineError::RecorderBusy => {
                 write!(f, "recorder agent still installed in a live runtime")
             }
+            PipelineError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -59,7 +62,14 @@ impl Error for PipelineError {
             PipelineError::Profile(e) => Some(e),
             PipelineError::Runtime(e) => Some(e),
             PipelineError::RecorderBusy => None,
+            PipelineError::Journal(e) => Some(e),
         }
+    }
+}
+
+impl From<JournalError> for PipelineError {
+    fn from(e: JournalError) -> Self {
+        PipelineError::Journal(e)
     }
 }
 

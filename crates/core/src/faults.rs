@@ -20,18 +20,25 @@
 //!   frames (caught at ingest and dropped with a counter).
 //! * **Profile-text corruption** — bytes of a serialized profile are
 //!   clobbered before parsing (surfaces as a typed parse error downstream).
+//! * **Disk faults** — the session journal's I/O surface misbehaves
+//!   ([`FaultyMedia`]): transient `EIO` (retried with backoff on the
+//!   simulated clock), silent short writes (torn frames), single bit flips
+//!   (caught by the per-frame CRC), and torn renames (a segment vanishes
+//!   mid-rotation, exactly the crash-between-unlink-and-link window).
 //!
 //! Every fault only ever *removes or garbles evidence*; none fabricates a
 //! plausible long-lived object. That is what makes degradation graceful: the
 //! Analyzer can only lose pretenuring opportunities, never invent them.
 
 use std::cell::RefCell;
+use std::io;
+use std::path::Path;
 use std::rc::Rc;
 
 use polm2_heap::{Heap, IdHashSet, IdentityHash};
 use polm2_metrics::SimTime;
 use polm2_runtime::{AllocEvent, TraceFrame};
-use polm2_snapshot::{HeapDumper, Snapshot, SnapshotError};
+use polm2_snapshot::{HeapDumper, JournalMedia, Snapshot, SnapshotError};
 
 /// Which faults to inject, and how often. All rates are probabilities in
 /// `[0, 1]`; the default is all-zero (no faults).
@@ -55,6 +62,19 @@ pub struct FaultConfig {
     /// Per-character probability that profile text is clobbered by
     /// [`FaultInjector::corrupt_profile_text`].
     pub profile_corrupt_rate: f64,
+    /// Per-operation probability that a journal write/sync/rename fails with
+    /// a transient `EIO` *before touching the disk* (so a retry is safe and
+    /// complete).
+    pub io_error_rate: f64,
+    /// Per-append probability that only a prefix of the bytes reaches the
+    /// disk, silently — the torn-frame crash signature.
+    pub io_short_write_rate: f64,
+    /// Per-append probability that one bit of the written bytes flips —
+    /// caught by the per-frame CRC at recovery.
+    pub io_bit_flip_rate: f64,
+    /// Per-rename probability that the file vanishes instead of arriving at
+    /// its destination (crash between unlink and link).
+    pub io_torn_rename_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -68,6 +88,10 @@ impl Default for FaultConfig {
             record_duplicate_rate: 0.0,
             record_corrupt_rate: 0.0,
             profile_corrupt_rate: 0.0,
+            io_error_rate: 0.0,
+            io_short_write_rate: 0.0,
+            io_bit_flip_rate: 0.0,
+            io_torn_rename_rate: 0.0,
         }
     }
 }
@@ -84,6 +108,23 @@ impl FaultConfig {
             record_duplicate_rate: rate,
             record_corrupt_rate: rate,
             profile_corrupt_rate: rate,
+            io_error_rate: rate,
+            io_short_write_rate: rate,
+            io_bit_flip_rate: rate,
+            io_torn_rename_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A config that injects only disk faults, each at `rate` (the journal
+    /// chaos suite: the pipeline itself stays healthy, the disk does not).
+    pub fn disk_only_at(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            io_error_rate: rate,
+            io_short_write_rate: rate,
+            io_bit_flip_rate: rate,
+            io_torn_rename_rate: rate,
             ..FaultConfig::default()
         }
     }
@@ -96,6 +137,10 @@ impl FaultConfig {
             && self.record_duplicate_rate == 0.0
             && self.record_corrupt_rate == 0.0
             && self.profile_corrupt_rate == 0.0
+            && self.io_error_rate == 0.0
+            && self.io_short_write_rate == 0.0
+            && self.io_bit_flip_rate == 0.0
+            && self.io_torn_rename_rate == 0.0
     }
 }
 
@@ -118,6 +163,14 @@ pub struct InjectedFaults {
     pub records_corrupted: u64,
     /// Characters clobbered in profile text.
     pub profile_chars_corrupted: u64,
+    /// Transient I/O errors returned to the journal writer.
+    pub io_errors: u64,
+    /// Journal appends silently cut short.
+    pub io_short_writes: u64,
+    /// Journal appends with one bit flipped.
+    pub io_bit_flips: u64,
+    /// Journal renames that lost the file.
+    pub io_torn_renames: u64,
 }
 
 /// The seeded fault source. Deterministic: a splitmix64 stream drives every
@@ -328,6 +381,121 @@ impl HeapDumper for FaultyDumper {
     }
 }
 
+/// A [`JournalMedia`] wrapper that injects disk faults between the session
+/// journal and the real storage — the `DiskFaultInjector` arm of the chaos
+/// suite.
+///
+/// Fault semantics, chosen so every fault class maps to a *detectable*
+/// journal defect:
+///
+/// * **Transient `EIO`** ([`FaultConfig::io_error_rate`], on append, sync,
+///   and rename) fires *before* any bytes move, so the writer's retry is
+///   safe and complete. Detected immediately (the error is returned).
+/// * **Short write** ([`FaultConfig::io_short_write_rate`]) silently writes
+///   a strict prefix of an append → a torn frame, detected by length/CRC at
+///   recovery.
+/// * **Bit flip** ([`FaultConfig::io_bit_flip_rate`]) flips one bit of an
+///   append → detected by the per-frame CRC (CRC-32 catches all single-bit
+///   errors).
+/// * **Torn rename** ([`FaultConfig::io_torn_rename_rate`]) removes the
+///   source instead of renaming it — the crash window between unlink and
+///   link — leaving a missing segment, detected as a numbering gap (or an
+///   absent commit, when the last segment is lost).
+pub struct FaultyMedia {
+    inner: Box<dyn JournalMedia>,
+    injector: Rc<RefCell<FaultInjector>>,
+}
+
+impl FaultyMedia {
+    /// Wraps `inner`, drawing faults from `injector`.
+    pub fn new(inner: Box<dyn JournalMedia>, injector: Rc<RefCell<FaultInjector>>) -> Self {
+        FaultyMedia { inner, injector }
+    }
+
+    fn transient(&mut self, op: &'static str) -> io::Result<()> {
+        let mut inj = self.injector.borrow_mut();
+        let rate = inj.config.io_error_rate;
+        if inj.roll(rate) {
+            inj.injected.io_errors += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient I/O error during {op}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for FaultyMedia {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyMedia").finish_non_exhaustive()
+    }
+}
+
+impl JournalMedia for FaultyMedia {
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.transient("append")?;
+        let mut inj = self.injector.borrow_mut();
+        let short_rate = inj.config.io_short_write_rate;
+        if bytes.len() > 1 && inj.roll(short_rate) {
+            inj.injected.io_short_writes += 1;
+            let keep = 1 + (inj.next_u64() as usize % (bytes.len() - 1));
+            drop(inj);
+            return self.inner.append(path, &bytes[..keep]);
+        }
+        let flip_rate = inj.config.io_bit_flip_rate;
+        if !bytes.is_empty() && inj.roll(flip_rate) {
+            inj.injected.io_bit_flips += 1;
+            let bit = inj.next_u64() as usize % (bytes.len() * 8);
+            drop(inj);
+            let mut garbled = bytes.to_vec();
+            garbled[bit / 8] ^= 1 << (bit % 8);
+            return self.inner.append(path, &garbled);
+        }
+        drop(inj);
+        self.inner.append(path, bytes)
+    }
+
+    fn sync(&mut self, path: &Path) -> io::Result<()> {
+        self.transient("sync")?;
+        self.inner.sync(path)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        self.transient("rename")?;
+        let mut inj = self.injector.borrow_mut();
+        let torn_rate = inj.config.io_torn_rename_rate;
+        if inj.roll(torn_rate) {
+            inj.injected.io_torn_renames += 1;
+            drop(inj);
+            // The crash landed between unlink and link: the file is gone.
+            return self.inner.remove(from);
+        }
+        drop(inj);
+        self.inner.rename(from, to)
+    }
+
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn list(&mut self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+
+    fn truncate(&mut self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&mut self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +589,97 @@ mod tests {
                 e.trace
             );
         }
+    }
+
+    /// In-memory [`JournalMedia`] for exercising [`FaultyMedia`] without
+    /// touching the real filesystem.
+    #[derive(Default)]
+    struct MemMedia {
+        files: std::collections::BTreeMap<std::path::PathBuf, Vec<u8>>,
+    }
+
+    impl JournalMedia for MemMedia {
+        fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+            self.files
+                .entry(path.to_path_buf())
+                .or_default()
+                .extend_from_slice(bytes);
+            Ok(())
+        }
+        fn sync(&mut self, _path: &Path) -> io::Result<()> {
+            Ok(())
+        }
+        fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+            let bytes = self
+                .files
+                .remove(from)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+            self.files.insert(to.to_path_buf(), bytes);
+            Ok(())
+        }
+        fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+            self.files
+                .get(path)
+                .cloned()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+        }
+        fn list(&mut self, dir: &Path) -> io::Result<Vec<String>> {
+            Ok(self
+                .files
+                .keys()
+                .filter(|p| p.parent() == Some(dir))
+                .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(String::from))
+                .collect())
+        }
+        fn truncate(&mut self, path: &Path, len: u64) -> io::Result<()> {
+            match self.files.get_mut(path) {
+                Some(bytes) => {
+                    bytes.truncate(len as usize);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+            }
+        }
+        fn remove(&mut self, path: &Path) -> io::Result<()> {
+            self.files
+                .remove(path)
+                .map(|_| ())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+        }
+        fn create_dir_all(&mut self, _dir: &Path) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn faulty_media_injects_every_disk_fault_class_deterministically() {
+        let run = |seed: u64| {
+            let injector = Rc::new(RefCell::new(FaultInjector::new(FaultConfig::disk_only_at(
+                0.3, seed,
+            ))));
+            let mut media = FaultyMedia::new(Box::<MemMedia>::default(), Rc::clone(&injector));
+            let dir = Path::new("/mem");
+            let mut errors = 0u64;
+            for i in 0..200u32 {
+                let from = dir.join(format!("f{i}.tmp"));
+                if media.append(&from, &[0xAB; 64]).is_err() {
+                    errors += 1;
+                    continue;
+                }
+                let _ = media.sync(&from);
+                let _ = media.rename(&from, &dir.join(format!("f{i}")));
+            }
+            let injected = injector.borrow().injected();
+            (errors, injected)
+        };
+        let (errors, injected) = run(11);
+        assert!(errors > 0, "append-time EIOs must fire");
+        assert!(injected.io_errors >= errors, "sync/rename EIOs also count");
+        assert!(injected.io_short_writes > 0);
+        assert!(injected.io_bit_flips > 0);
+        assert!(injected.io_torn_renames > 0);
+        assert_eq!(run(11), (errors, injected), "same seed, same disk faults");
+        assert_ne!(run(12).1, injected, "different seed, different faults");
     }
 
     #[test]

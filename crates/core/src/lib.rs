@@ -64,6 +64,7 @@ mod analyzer;
 mod error;
 mod faults;
 mod instrumenter;
+pub mod journal;
 mod pipeline;
 mod profile;
 mod recorder;
@@ -74,14 +75,17 @@ pub use analyzer::{
     AnalysisOutcome, Analyzer, AnalyzerConfig, ReplayStrategy, SiteLifetimes, TraceLifetime,
 };
 pub use error::PipelineError;
-pub use faults::{FaultConfig, FaultInjector, FaultyDumper, InjectedFaults};
+pub use faults::{FaultConfig, FaultInjector, FaultyDumper, FaultyMedia, InjectedFaults};
 pub use instrumenter::{InstrumentationStats, Instrumenter};
+pub use journal::{
+    CommitSummary, JournalRetryPolicy, ReplayedSession, SessionJournal, SessionMeta,
+};
 pub use pipeline::{
     ProductionSetup, ProfilingReport, ProfilingSession, RecoveryPolicy, SnapshotPolicy,
 };
 pub use profile::{
-    AllocationProfile, GenCall, PretenuredSite, ProfileError, ProfileParseError, ProfileValidation,
-    MAX_PROFILE_GEN,
+    seal_profile_text, AllocationProfile, GenCall, PretenuredSite, ProfileError, ProfileParseError,
+    ProfileValidation, CRC_FOOTER_PREFIX, MAX_PROFILE_GEN,
 };
 pub use recorder::{AllocationRecords, Recorder, TraceId};
 pub use sttree::{Conflict, LeafView, Resolution, SttTree};

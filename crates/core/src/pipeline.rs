@@ -11,6 +11,7 @@ use crate::analyzer::{AnalysisOutcome, Analyzer, AnalyzerConfig};
 use crate::error::PipelineError;
 use crate::faults::{FaultConfig, FaultInjector, FaultyDumper, InjectedFaults};
 use crate::instrumenter::{InstrumentationStats, Instrumenter};
+use crate::journal::SessionJournal;
 use crate::profile::ProfileValidation;
 use crate::recorder::Recorder;
 use crate::AllocationProfile;
@@ -87,6 +88,7 @@ pub struct ProfilingSession {
     recovery: RecoveryPolicy,
     counters: FaultCounters,
     injector: Option<Rc<RefCell<FaultInjector>>>,
+    journal: Option<SessionJournal>,
     cycles_at_last_snapshot: usize,
 }
 
@@ -117,6 +119,7 @@ impl ProfilingSession {
             recovery: RecoveryPolicy::default(),
             counters: FaultCounters::new(),
             injector: None,
+            journal: None,
             cycles_at_last_snapshot: 0,
         }
     }
@@ -136,6 +139,29 @@ impl ProfilingSession {
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
         self
+    }
+
+    /// Attaches a durable session journal: from now on every drained
+    /// allocation batch, every snapshot, and the final commit record stream
+    /// into it, so a crash loses at most the unflushed tail instead of the
+    /// whole run. To also inject disk faults, build the journal's writer
+    /// over [`FaultyMedia`](crate::FaultyMedia) sharing
+    /// [`fault_injector`](ProfilingSession::fault_injector).
+    pub fn attach_journal(&mut self, journal: SessionJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&SessionJournal> {
+        self.journal.as_ref()
+    }
+
+    /// The session's shared fault injector, when built with
+    /// [`with_faults`](ProfilingSession::with_faults) — lets callers hang
+    /// more fault surfaces (e.g. [`FaultyMedia`](crate::FaultyMedia)) off
+    /// the same seeded stream.
+    pub fn fault_injector(&self) -> Option<Rc<RefCell<FaultInjector>>> {
+        self.injector.clone()
     }
 
     /// The Recorder's load-time agent; install it in the profiling JVM.
@@ -158,6 +184,12 @@ impl ProfilingSession {
     /// absorbed into [`fault_counters`](ProfilingSession::fault_counters).
     pub fn after_op(&mut self, jvm: &mut Jvm) -> Result<(), PipelineError> {
         self.drain_events(jvm);
+        if let Some(journal) = self.journal.as_mut() {
+            let records = self.recorder.records();
+            journal.sync_records(&records, &mut self.counters, &mut |d| {
+                jvm.advance_mutator(d)
+            });
+        }
         let cycles = jvm.gc_log().cycle_count();
         if cycles >= self.cycles_at_last_snapshot + self.policy.every_n_cycles as usize {
             self.take_snapshot(jvm)?;
@@ -215,6 +247,18 @@ impl ProfilingSession {
                 Ok(snap) => {
                     self.snapshots.push(snap);
                     self.cycles_at_last_snapshot = jvm.gc_log().cycle_count();
+                    if let Some(journal) = self.journal.as_mut() {
+                        // Flush pending records first so the journal's frame
+                        // order mirrors the session, then stream the delta
+                        // the push just computed.
+                        let records = self.recorder.records();
+                        journal.flush_records(&records, &mut self.counters, &mut |d| {
+                            jvm.advance_mutator(d)
+                        });
+                        journal.sync_snapshots(&self.snapshots, &mut self.counters, &mut |d| {
+                            jvm.advance_mutator(d)
+                        });
+                    }
                     return Ok(());
                 }
                 Err(source) => {
@@ -282,6 +326,12 @@ impl ProfilingSession {
         // live object's survival.
         if self.snapshots.is_empty() || jvm.gc_log().cycle_count() > self.cycles_at_last_snapshot {
             self.take_snapshot(jvm)?;
+        }
+        if let Some(journal) = self.journal.as_mut() {
+            let records = self.recorder.records();
+            journal.commit(&records, &self.snapshots, &mut self.counters, &mut |d| {
+                jvm.advance_mutator(d)
+            });
         }
         let records = self.recorder.into_records()?;
         let outcome = Analyzer::new(*config).analyze(&records, &self.snapshots, jvm.program());

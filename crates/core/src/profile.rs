@@ -28,6 +28,7 @@ use std::str::FromStr;
 
 use polm2_heap::GenId;
 use polm2_runtime::{CodeLoc, Instr, Program};
+use polm2_snapshot::crc32;
 
 /// The largest generation number a serialized profile may reference.
 ///
@@ -35,6 +36,49 @@ use polm2_runtime::{CodeLoc, Instr, Program};
 /// ([`crate::ProductionSetup::prepare_generations`]), so this bounds the
 /// damage a corrupted profile file can do.
 pub const MAX_PROFILE_GEN: u32 = 64;
+
+/// The comment prefix of the integrity footer [`seal_profile_text`] appends.
+pub const CRC_FOOTER_PREFIX: &str = "# polm2-crc ";
+
+/// Appends an integrity footer to serialized profile text: a CRC-32 (as
+/// eight hex digits) over every byte preceding the footer line. The footer
+/// is a `#` comment, so pre-footer readers still parse sealed files; the
+/// parser validates it when present, turning silent on-disk corruption
+/// (truncation, bit rot, partial writes) into a typed
+/// [`ProfileParseError`].
+pub fn seal_profile_text(text: &mut String) {
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    let crc = crc32(text.as_bytes());
+    text.push_str(&format!("{CRC_FOOTER_PREFIX}{crc:08x}\n"));
+}
+
+/// Validates every `# polm2-crc` footer in `s`: each must equal the CRC-32
+/// of all bytes before it. Footers are found by byte offset, not by line
+/// structure — corruption that mangles the newline in front of a footer
+/// would otherwise hide the footer inside a comment and bypass the check.
+fn verify_crc_footers(s: &str) -> Result<(), ProfileParseError> {
+    for (offset, _) in s.match_indices(CRC_FOOTER_PREFIX) {
+        let lineno = s[..offset].matches('\n').count() + 1;
+        let err = |message: String| ProfileParseError {
+            line: lineno,
+            message,
+        };
+        let rest = &s[offset + CRC_FOOTER_PREFIX.len()..];
+        let hex = rest.lines().next().unwrap_or("").trim();
+        let claimed = u32::from_str_radix(hex, 16)
+            .map_err(|_| err(format!("bad checksum footer {hex:?}")))?;
+        let actual = crc32(&s.as_bytes()[..offset]);
+        if claimed != actual {
+            return Err(err(format!(
+                "checksum mismatch: footer says {claimed:08x}, contents hash to \
+                 {actual:08x} — the profile is corrupt or was edited without resealing"
+            )));
+        }
+    }
+    Ok(())
+}
 
 /// An allocation site the Instrumenter must `@Gen`-annotate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -384,6 +428,9 @@ impl FromStr for AllocationProfile {
     type Err = ProfileParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Integrity first: a flipped byte is reported as a checksum
+        // mismatch, not as whatever directive the flip happened to mangle.
+        verify_crc_footers(s)?;
         let mut lines = s.lines().enumerate();
         match lines.next() {
             Some((_, header)) if header.trim() == "polm2-profile v1" => {}
@@ -704,6 +751,42 @@ mod tests {
         assert_eq!(valid.sites().len(), 1);
         assert_eq!(valid.gen_calls().len(), 1);
         assert!(valid.validate(&program).is_clean());
+    }
+
+    #[test]
+    fn crc_footer_round_trips_and_catches_every_bit_flip() {
+        let mut text = sample().to_string();
+        text.push_str("# polm2-faults snapshots-failed 2\n");
+        seal_profile_text(&mut text);
+        assert!(text.lines().last().unwrap().starts_with(CRC_FOOTER_PREFIX));
+        let parsed: AllocationProfile = text.parse().expect("sealed text parses");
+        assert_eq!(parsed, sample());
+
+        // Any single flipped bit before the footer is a parse error.
+        let bytes = text.as_bytes();
+        let footer_at = text.rfind(CRC_FOOTER_PREFIX).unwrap();
+        for bit in (0..footer_at * 8).step_by(7) {
+            let mut mangled = bytes.to_vec();
+            mangled[bit / 8] ^= 1 << (bit % 8);
+            let Ok(mangled) = String::from_utf8(mangled) else {
+                continue;
+            };
+            assert!(
+                mangled.parse::<AllocationProfile>().is_err(),
+                "flip of bit {bit} went undetected"
+            );
+        }
+
+        // Tampering with the footer itself is also an error.
+        let mut bad = text.clone();
+        bad.truncate(footer_at);
+        bad.push_str("# polm2-crc 00000000\n");
+        let err = bad.parse::<AllocationProfile>().unwrap_err();
+        assert!(err.message.contains("checksum mismatch"), "{}", err.message);
+
+        // Unsealed text still parses (the footer is opt-in).
+        let plain = sample().to_string();
+        assert!(plain.parse::<AllocationProfile>().is_ok());
     }
 
     #[test]

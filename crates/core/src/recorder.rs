@@ -25,6 +25,12 @@ impl TraceId {
     pub const fn raw(self) -> u32 {
         self.0
     }
+
+    /// Rewraps a raw index (journal replay; ids are only meaningful against
+    /// the [`AllocationRecords`] that assigned them).
+    pub(crate) const fn from_raw(raw: u32) -> Self {
+        TraceId(raw)
+    }
 }
 
 /// The Recorder's output: interned stack traces plus, per trace, the stream

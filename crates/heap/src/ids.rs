@@ -158,6 +158,12 @@ impl IdentityHash {
     pub const fn raw(self) -> u32 {
         self.0
     }
+
+    /// Rewraps a raw hash value, e.g. when decoding a persisted snapshot
+    /// column whose hashes were stored via [`raw`](IdentityHash::raw).
+    pub const fn from_raw(raw: u32) -> Self {
+        IdentityHash(raw)
+    }
 }
 
 impl fmt::Display for IdentityHash {

@@ -33,10 +33,24 @@ pub struct FaultCounters {
     /// Profile `call` entries skipped because their location no longer
     /// exists in the program.
     pub stale_gen_calls_skipped: u64,
+    /// Transient I/O errors the session journal absorbed (each one either
+    /// retried or, after the budget, abandoned).
+    pub journal_write_errors: u64,
+    /// Journal write retries issued after a transient I/O error.
+    pub journal_retries: u64,
+    /// Journal frames abandoned after exhausting the retry budget (the
+    /// journal stops growing; the in-memory session continues).
+    pub journal_frames_lost: u64,
+    /// Valid-but-unreachable or torn frames discarded while recovering a
+    /// journal (fsck/repair/resume).
+    pub journal_frames_truncated: u64,
+    /// Journal segments missing at recovery time (a gap in the numbering;
+    /// everything past it is unreachable).
+    pub journal_segments_missing: u64,
 }
 
 /// Stable per-counter names, used by the profile-file footer and the CLI.
-const NAMES: [&str; 7] = [
+const NAMES: [&str; 12] = [
     "snapshots-failed",
     "snapshot-retries",
     "snapshots-lost",
@@ -44,6 +58,11 @@ const NAMES: [&str; 7] = [
     "traces-demoted",
     "stale-sites-skipped",
     "stale-gen-calls-skipped",
+    "journal-write-errors",
+    "journal-retries",
+    "journal-frames-lost",
+    "journal-frames-truncated",
+    "journal-segments-missing",
 ];
 
 impl FaultCounters {
@@ -67,10 +86,15 @@ impl FaultCounters {
         self.traces_demoted += other.traces_demoted;
         self.stale_sites_skipped += other.stale_sites_skipped;
         self.stale_gen_calls_skipped += other.stale_gen_calls_skipped;
+        self.journal_write_errors += other.journal_write_errors;
+        self.journal_retries += other.journal_retries;
+        self.journal_frames_lost += other.journal_frames_lost;
+        self.journal_frames_truncated += other.journal_frames_truncated;
+        self.journal_segments_missing += other.journal_segments_missing;
     }
 
     /// All counters as stable `(name, value)` pairs, in declaration order.
-    pub fn entries(&self) -> [(&'static str, u64); 7] {
+    pub fn entries(&self) -> [(&'static str, u64); 12] {
         [
             (NAMES[0], self.snapshots_failed),
             (NAMES[1], self.snapshot_retries),
@@ -79,6 +103,11 @@ impl FaultCounters {
             (NAMES[4], self.traces_demoted),
             (NAMES[5], self.stale_sites_skipped),
             (NAMES[6], self.stale_gen_calls_skipped),
+            (NAMES[7], self.journal_write_errors),
+            (NAMES[8], self.journal_retries),
+            (NAMES[9], self.journal_frames_lost),
+            (NAMES[10], self.journal_frames_truncated),
+            (NAMES[11], self.journal_segments_missing),
         ]
     }
 
@@ -93,6 +122,11 @@ impl FaultCounters {
             "traces-demoted" => &mut self.traces_demoted,
             "stale-sites-skipped" => &mut self.stale_sites_skipped,
             "stale-gen-calls-skipped" => &mut self.stale_gen_calls_skipped,
+            "journal-write-errors" => &mut self.journal_write_errors,
+            "journal-retries" => &mut self.journal_retries,
+            "journal-frames-lost" => &mut self.journal_frames_lost,
+            "journal-frames-truncated" => &mut self.journal_frames_truncated,
+            "journal-segments-missing" => &mut self.journal_segments_missing,
             _ => return false,
         };
         *slot = value;
@@ -158,6 +192,11 @@ mod tests {
             traces_demoted: 5,
             stale_sites_skipped: 6,
             stale_gen_calls_skipped: 7,
+            journal_write_errors: 8,
+            journal_retries: 9,
+            journal_frames_lost: 10,
+            journal_frames_truncated: 11,
+            journal_segments_missing: 12,
         };
         let mut back = FaultCounters::new();
         for (name, value) in src.entries() {

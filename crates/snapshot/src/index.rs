@@ -141,6 +141,17 @@ impl SnapshotIndex {
             .sum()
     }
 
+    /// The most recently pushed column's delta (`added`, `removed` vs. the
+    /// previous column), or `None` before any push. The journal's streaming
+    /// serializer encodes snapshots straight from this — the diff already
+    /// computed at [`SnapshotSeries::push`] time — instead of re-diffing
+    /// full columns.
+    pub fn last_delta(&self) -> Option<(&[u64], &[u64])> {
+        self.columns
+            .last()
+            .map(|c| (c.added.as_slice(), c.removed.as_slice()))
+    }
+
     /// The merged survival-count table. The accumulator is already merged —
     /// this snapshots it and builds the lookup directory, O(distinct hashes),
     /// independent of the number of snapshots.

@@ -1,0 +1,1183 @@
+//! The durable profiling-session journal (`polm2-journal v1`).
+//!
+//! The paper's Dumper persists incremental snapshots to disk as it runs
+//! (CRIU images, §3.2); everything else — the Recorder's trace table and
+//! object-id streams — lives in memory until the end of the run. A crash at
+//! minute 14 of 15 therefore loses the whole profile. This module is the
+//! disk format that closes that gap: an append-only, checksummed journal the
+//! profiling session streams into as it runs, built so that *any* crash
+//! leaves a journal whose valid prefix is unambiguous.
+//!
+//! # Format
+//!
+//! A journal is a directory of numbered segment files:
+//!
+//! ```text
+//! <dir>/seg-000001.polm2j        sealed (fsynced, atomically renamed)
+//! <dir>/seg-000002.polm2j.tmp    active (append-only; may have a torn tail)
+//! ```
+//!
+//! Each segment starts with a 16-byte header — the 8-byte magic
+//! `b"polm2j1\n"`, a `u32` format version (1), and the `u32` segment
+//! sequence number — followed by frames:
+//!
+//! ```text
+//! +----------+----------+------+------------------+
+//! | len: u32 | crc: u32 | kind | payload (len-1 B)|
+//! +----------+----------+------+------------------+
+//! ```
+//!
+//! `len` counts the kind byte plus the payload; `crc` is the CRC-32 (IEEE)
+//! of exactly those `len` bytes. All integers are little-endian. Frame
+//! *kinds* are opaque to this module — the session layer in `polm2-core`
+//! defines them (trace definitions, allocation batches, snapshots, commit).
+//!
+//! # Durability rules
+//!
+//! * Frames are appended to the active segment in a single write each, so a
+//!   crash tears at most the final frame.
+//! * Rotation is atomic: the active file is fsynced, then renamed to its
+//!   sealed name. A sealed segment is therefore always complete.
+//! * Clean shutdown appends a commit frame (a kind the session layer
+//!   reserves), fsyncs, and seals the active segment.
+//!
+//! # Recovery invariants
+//!
+//! [`recover`] (and [`fsck`], its read-only report) walk segments in
+//! sequence order and accept frames until the first defect — a torn tail, a
+//! CRC mismatch, a bad header, or a gap in the segment numbering. Everything
+//! before that point is trusted (CRC-verified); everything after is
+//! unreachable, because frame alignment and replay order cannot be trusted
+//! past a defect. [`repair`] truncates the journal to exactly that valid
+//! prefix and never invents bytes past the last valid frame.
+//!
+//! All I/O goes through the [`JournalMedia`] trait so tests (and the chaos
+//! suite in `polm2-core`) can inject short writes, torn renames, bit flips,
+//! and transient errors between the journal and the disk.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Segment-file magic: the first 8 bytes of every segment.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"polm2j1\n";
+/// Journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+/// Bytes of segment header preceding the first frame.
+pub const SEGMENT_HEADER_LEN: usize = 16;
+/// Bytes of frame header preceding the kind byte (`len` + `crc`).
+pub const FRAME_HEADER_LEN: usize = 8;
+/// Upper bound on a single frame's `len` field; anything larger is treated
+/// as corruption (a garbage length must not drive a multi-gigabyte read).
+pub const MAX_FRAME_LEN: u32 = 1 << 28;
+/// Default active-segment size at which the writer rotates.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes` — the checksum every frame
+/// carries and the `# polm2-crc` profile footer uses.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+/// Continues a CRC-32 computation (`crc` from a previous [`crc32`] /
+/// [`crc32_update`] call).
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    // Tiny table-free bitwise variant: 8 conditional xors per byte. The
+    // journal checksums kilobyte frames, not gigabyte streams, and staying
+    // table-free keeps the implementation obviously correct.
+    let mut c = !crc;
+    for &b in bytes {
+        c ^= u32::from(b);
+        for _ in 0..8 {
+            c = (c >> 1) ^ (0xEDB8_8320 & (0u32.wrapping_sub(c & 1)));
+        }
+    }
+    !c
+}
+
+/// Why a journal operation failed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An I/O operation failed (possibly transient; the session layer
+    /// retries these with backoff).
+    Io {
+        /// The operation that failed ("append", "rename", ...).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The on-disk bytes are not a valid journal (CRC mismatch, bad header,
+    /// impossible length). Not retryable; `fsck --repair` truncates it away.
+    Corrupt {
+        /// Segment sequence number (0 if unknown).
+        segment: u32,
+        /// Byte offset within the segment where the defect was found.
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The frames are individually valid but do not replay into a
+    /// consistent session (wrong ordering, id mismatch, unknown kind).
+    Replay {
+        /// Index of the offending frame in recovery order.
+        frame: u64,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { op, path, source } => {
+                write!(f, "journal {op} failed on {}: {source}", path.display())
+            }
+            JournalError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "journal corrupt in segment {segment} at offset {offset}: {reason}"
+            ),
+            JournalError::Replay { frame, reason } => {
+                write!(f, "journal replay failed at frame {frame}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for JournalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl JournalError {
+    /// True for failures worth retrying (transient I/O); false for
+    /// corruption, which no retry will fix.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JournalError::Io { .. })
+    }
+
+    fn io(op: &'static str, path: &Path, source: io::Error) -> Self {
+        JournalError::Io {
+            op,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+/// The I/O surface the journal needs. [`FsMedia`] is the real filesystem;
+/// the chaos suite wraps it to inject disk faults between journal and disk.
+pub trait JournalMedia {
+    /// Appends `bytes` to `path`, creating the file if needed.
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes `path`'s data to stable storage (fsync).
+    fn sync(&mut self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to`.
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Reads the entire contents of `path`.
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Lists the file names (not full paths) inside `dir`.
+    fn list(&mut self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Truncates `path` to `len` bytes.
+    fn truncate(&mut self, path: &Path, len: u64) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove(&mut self, path: &Path) -> io::Result<()>;
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&mut self, dir: &Path) -> io::Result<()>;
+}
+
+/// [`JournalMedia`] backed by `std::fs` — the production implementation.
+#[derive(Debug, Default)]
+pub struct FsMedia;
+
+impl JournalMedia for FsMedia {
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn sync(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn list(&mut self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+
+    fn truncate(&mut self, path: &Path, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&mut self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+}
+
+fn sealed_name(seq: u32) -> String {
+    format!("seg-{seq:06}.polm2j")
+}
+
+fn active_name(seq: u32) -> String {
+    format!("seg-{seq:06}.polm2j.tmp")
+}
+
+/// Parses a segment file name into `(sequence, sealed?)`.
+fn parse_segment_name(name: &str) -> Option<(u32, bool)> {
+    let (stem, sealed) = match name.strip_suffix(".tmp") {
+        Some(stem) => (stem, false),
+        None => (name, true),
+    };
+    let digits = stem.strip_prefix("seg-")?.strip_suffix(".polm2j")?;
+    if digits.len() != 6 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok().map(|seq| (seq, sealed))
+}
+
+fn segment_header(seq: u32) -> [u8; SEGMENT_HEADER_LEN] {
+    let mut h = [0u8; SEGMENT_HEADER_LEN];
+    h[..8].copy_from_slice(&SEGMENT_MAGIC);
+    h[8..12].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    h[12..16].copy_from_slice(&seq.to_le_bytes());
+    h
+}
+
+/// Encodes one frame (header + kind + payload) into a contiguous buffer.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = 1 + payload.len();
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    let crc = crc32_update(crc32(&[kind]), payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One recovered frame: its kind byte and payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame kind (defined by the session layer).
+    pub kind: u8,
+    /// The frame payload.
+    pub payload: Vec<u8>,
+}
+
+/// Where and why scanning a segment stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentDefect {
+    /// The segment header is missing or wrong (magic, version, sequence).
+    BadHeader {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The file ends mid-frame: fewer bytes remain than the frame header or
+    /// its declared length requires (the classic crash signature).
+    TornTail {
+        /// Offset of the first byte that cannot be part of a valid frame.
+        offset: u64,
+        /// Bytes the torn tail holds beyond the valid prefix.
+        torn_bytes: u64,
+    },
+    /// A structurally complete frame whose CRC does not match its bytes
+    /// (bit rot, a flipped bit, an overwritten block).
+    CrcMismatch {
+        /// Offset of the offending frame.
+        offset: u64,
+        /// CRC stored in the frame header.
+        stored: u32,
+        /// CRC computed over the frame bytes.
+        computed: u32,
+    },
+    /// A frame with an impossible length field.
+    BadLength {
+        /// Offset of the offending frame.
+        offset: u64,
+        /// The length it claimed.
+        len: u32,
+    },
+}
+
+impl fmt::Display for SegmentDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentDefect::BadHeader { reason } => write!(f, "bad segment header: {reason}"),
+            SegmentDefect::TornTail { offset, torn_bytes } => {
+                write!(f, "torn tail at offset {offset} ({torn_bytes} bytes)")
+            }
+            SegmentDefect::CrcMismatch {
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "crc mismatch at offset {offset}: stored {stored:08x}, computed {computed:08x}"
+            ),
+            SegmentDefect::BadLength { offset, len } => {
+                write!(f, "impossible frame length {len} at offset {offset}")
+            }
+        }
+    }
+}
+
+/// What [`fsck`] found in one segment file.
+#[derive(Debug, Clone)]
+pub struct SegmentReport {
+    /// Segment sequence number (from the file name).
+    pub seq: u32,
+    /// File name within the journal directory.
+    pub name: String,
+    /// True for sealed segments (no `.tmp` suffix).
+    pub sealed: bool,
+    /// Valid frames scanned before any defect.
+    pub frames: u64,
+    /// Byte length of the valid prefix (header + valid frames).
+    pub valid_bytes: u64,
+    /// Total file length.
+    pub total_bytes: u64,
+    /// The defect that stopped the scan, if any.
+    pub defect: Option<SegmentDefect>,
+    /// True if this segment is past an earlier defect or gap and was
+    /// therefore not replayed (its frames are unreachable).
+    pub unreachable: bool,
+}
+
+/// The full [`fsck`] verdict over a journal directory.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Per-segment findings, sequence order.
+    pub segments: Vec<SegmentReport>,
+    /// Segment sequence numbers missing from the directory (gaps between
+    /// the first and last present segment).
+    pub missing_segments: Vec<u32>,
+    /// Total valid frames reachable by recovery.
+    pub frames_valid: u64,
+    /// True if the reachable frames end in a commit frame of kind
+    /// `commit_kind` as passed to [`fsck`]/[`recover`].
+    pub committed: bool,
+}
+
+impl FsckReport {
+    /// True if every byte of every segment is valid, no segment is missing,
+    /// and nothing is unreachable. (A missing commit frame is *not* dirt —
+    /// an in-progress journal is clean.)
+    pub fn is_clean(&self) -> bool {
+        self.missing_segments.is_empty()
+            && self
+                .segments
+                .iter()
+                .all(|s| s.defect.is_none() && !s.unreachable)
+    }
+
+    /// Count of segments whose scan hit a defect.
+    pub fn defective_segments(&self) -> usize {
+        self.segments.iter().filter(|s| s.defect.is_some()).count()
+    }
+
+    /// Bytes that would survive [`repair`]: the valid prefix of every
+    /// reachable segment.
+    pub fn valid_bytes(&self) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| !s.unreachable)
+            .map(|s| s.valid_bytes)
+            .sum()
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} segment(s), {} valid frame(s), committed: {}",
+            self.segments.len(),
+            self.frames_valid,
+            if self.committed { "yes" } else { "no" }
+        )?;
+        for s in &self.segments {
+            write!(
+                f,
+                "  {}: {} frame(s), {}/{} bytes valid",
+                s.name, s.frames, s.valid_bytes, s.total_bytes
+            )?;
+            if let Some(d) = &s.defect {
+                write!(f, " — {d}")?;
+            }
+            if s.unreachable {
+                write!(f, " — UNREACHABLE (past an earlier defect or gap)")?;
+            }
+            writeln!(f)?;
+        }
+        for seq in &self.missing_segments {
+            writeln!(f, "  segment {seq} MISSING")?;
+        }
+        Ok(())
+    }
+}
+
+/// Scans one segment's bytes: returns the valid frames, the valid byte
+/// length, and the defect that stopped the scan (if any).
+fn scan_segment(seq: u32, bytes: &[u8]) -> (Vec<Frame>, u64, Option<SegmentDefect>) {
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        return (
+            Vec::new(),
+            0,
+            Some(SegmentDefect::BadHeader {
+                reason: format!("file is {} bytes, header needs 16", bytes.len()),
+            }),
+        );
+    }
+    if bytes[..8] != SEGMENT_MAGIC {
+        return (
+            Vec::new(),
+            0,
+            Some(SegmentDefect::BadHeader {
+                reason: "wrong magic".to_string(),
+            }),
+        );
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != JOURNAL_VERSION {
+        return (
+            Vec::new(),
+            0,
+            Some(SegmentDefect::BadHeader {
+                reason: format!("unsupported version {version}"),
+            }),
+        );
+    }
+    let header_seq = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if header_seq != seq {
+        return (
+            Vec::new(),
+            0,
+            Some(SegmentDefect::BadHeader {
+                reason: format!("header says segment {header_seq}, file name says {seq}"),
+            }),
+        );
+    }
+
+    let mut frames = Vec::new();
+    let mut at = SEGMENT_HEADER_LEN;
+    loop {
+        if at == bytes.len() {
+            return (frames, at as u64, None);
+        }
+        if bytes.len() - at < FRAME_HEADER_LEN {
+            let defect = SegmentDefect::TornTail {
+                offset: at as u64,
+                torn_bytes: (bytes.len() - at) as u64,
+            };
+            return (frames, at as u64, Some(defect));
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let stored = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if len == 0 || len > MAX_FRAME_LEN {
+            return (
+                frames,
+                at as u64,
+                Some(SegmentDefect::BadLength {
+                    offset: at as u64,
+                    len,
+                }),
+            );
+        }
+        let body_start = at + FRAME_HEADER_LEN;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            let defect = SegmentDefect::TornTail {
+                offset: at as u64,
+                torn_bytes: (bytes.len() - at) as u64,
+            };
+            return (frames, at as u64, Some(defect));
+        }
+        let body = &bytes[body_start..body_end];
+        let computed = crc32(body);
+        if computed != stored {
+            return (
+                frames,
+                at as u64,
+                Some(SegmentDefect::CrcMismatch {
+                    offset: at as u64,
+                    stored,
+                    computed,
+                }),
+            );
+        }
+        frames.push(Frame {
+            kind: body[0],
+            payload: body[1..].to_vec(),
+        });
+        at = body_end;
+    }
+}
+
+/// Lists and orders the segment files of `dir`. A sequence number present
+/// both sealed and as `.tmp` keeps the sealed file (the rename happened; the
+/// leftover tmp is garbage from a crash immediately after rotation).
+fn segment_files(
+    media: &mut dyn JournalMedia,
+    dir: &Path,
+) -> Result<Vec<(u32, String, bool)>, JournalError> {
+    let names = media
+        .list(dir)
+        .map_err(|e| JournalError::io("list", dir, e))?;
+    let mut by_seq: std::collections::BTreeMap<u32, (String, bool)> = Default::default();
+    for name in names {
+        if let Some((seq, sealed)) = parse_segment_name(&name) {
+            match by_seq.get(&seq) {
+                Some((_, true)) => {}
+                _ => {
+                    by_seq.insert(seq, (name, sealed));
+                }
+            }
+        }
+    }
+    Ok(by_seq
+        .into_iter()
+        .map(|(seq, (name, sealed))| (seq, name, sealed))
+        .collect())
+}
+
+/// Everything [`recover`] salvaged from a journal directory.
+#[derive(Debug)]
+pub struct RecoveredJournal {
+    /// The reachable, CRC-verified frames, in write order.
+    pub frames: Vec<Frame>,
+    /// The fsck findings made along the way.
+    pub report: FsckReport,
+}
+
+/// Reads the journal's valid prefix: every CRC-verified frame up to the
+/// first defect or gap, in write order. `commit_kind` identifies the
+/// session layer's commit frame so the report can say whether the journal
+/// ends in a clean shutdown.
+///
+/// # Errors
+///
+/// Only hard I/O failures; defects (torn tails, CRC mismatches, missing
+/// segments) are *findings*, reported in [`RecoveredJournal::report`], not
+/// errors. An empty or missing directory recovers zero frames.
+pub fn recover(
+    media: &mut dyn JournalMedia,
+    dir: &Path,
+    commit_kind: u8,
+) -> Result<RecoveredJournal, JournalError> {
+    let mut report = FsckReport::default();
+    let mut frames = Vec::new();
+    if media.list(dir).is_err() {
+        // A journal that was never created is an empty journal.
+        return Ok(RecoveredJournal { frames, report });
+    }
+    let files = segment_files(media, dir)?;
+    let mut expected_seq = files.first().map(|(seq, _, _)| *seq);
+    let mut broken = false;
+    for (seq, name, sealed) in files {
+        // Gap in the numbering: everything from here on is unreachable.
+        if let Some(expected) = expected_seq {
+            for missing in expected..seq {
+                report.missing_segments.push(missing);
+                broken = true;
+            }
+        }
+        expected_seq = Some(seq + 1);
+        let path = dir.join(&name);
+        let bytes = media
+            .read(&path)
+            .map_err(|e| JournalError::io("read", &path, e))?;
+        let (seg_frames, valid_bytes, defect) = scan_segment(seq, &bytes);
+        let unreachable = broken;
+        if !broken {
+            report.frames_valid += seg_frames.len() as u64;
+            frames.extend(seg_frames);
+        }
+        if defect.is_some() {
+            broken = true;
+        }
+        report.segments.push(SegmentReport {
+            seq,
+            name,
+            sealed,
+            frames: if unreachable { 0 } else { report.frames_valid },
+            valid_bytes,
+            total_bytes: bytes.len() as u64,
+            defect,
+            unreachable,
+        });
+    }
+    // Per-segment frame counts, not cumulative.
+    let mut prior = 0;
+    for s in report.segments.iter_mut().filter(|s| !s.unreachable) {
+        let cumulative = s.frames;
+        s.frames = cumulative - prior;
+        prior = cumulative;
+    }
+    report.committed = frames.last().is_some_and(|f| f.kind == commit_kind);
+    Ok(RecoveredJournal { frames, report })
+}
+
+/// Read-only integrity check: [`recover`] without keeping the frames.
+///
+/// # Errors
+///
+/// Only hard I/O failures (see [`recover`]).
+pub fn fsck(
+    media: &mut dyn JournalMedia,
+    dir: &Path,
+    commit_kind: u8,
+) -> Result<FsckReport, JournalError> {
+    recover(media, dir, commit_kind).map(|r| r.report)
+}
+
+/// Repairs a journal in place: truncates the first defective segment to its
+/// valid prefix and removes every later (unreachable) segment and any
+/// leftover `.tmp` duplicates. Never writes new frame bytes — the repaired
+/// journal is exactly the valid prefix [`recover`] would read, so repair can
+/// never extend the journal past the last valid frame.
+///
+/// Returns the post-repair report (which is clean by construction).
+///
+/// # Errors
+///
+/// Hard I/O failures while truncating or removing.
+pub fn repair(
+    media: &mut dyn JournalMedia,
+    dir: &Path,
+    commit_kind: u8,
+) -> Result<FsckReport, JournalError> {
+    let before = fsck(media, dir, commit_kind)?;
+    for seg in &before.segments {
+        let path = dir.join(&seg.name);
+        if seg.unreachable {
+            media
+                .remove(&path)
+                .map_err(|e| JournalError::io("remove", &path, e))?;
+            continue;
+        }
+        match &seg.defect {
+            None => {}
+            Some(SegmentDefect::BadHeader { .. }) => {
+                // Nothing salvageable in this file.
+                media
+                    .remove(&path)
+                    .map_err(|e| JournalError::io("remove", &path, e))?;
+            }
+            Some(_) => {
+                media
+                    .truncate(&path, seg.valid_bytes)
+                    .map_err(|e| JournalError::io("truncate", &path, e))?;
+            }
+        }
+    }
+    // Drop tmp files shadowed by a sealed twin (crash right after rotation).
+    let names = media
+        .list(dir)
+        .map_err(|e| JournalError::io("list", dir, e))?;
+    let sealed: std::collections::HashSet<u32> = names
+        .iter()
+        .filter_map(|n| parse_segment_name(n))
+        .filter(|(_, sealed)| *sealed)
+        .map(|(seq, _)| seq)
+        .collect();
+    for name in names {
+        if let Some((seq, false)) = parse_segment_name(&name) {
+            if sealed.contains(&seq) {
+                let path = dir.join(&name);
+                media
+                    .remove(&path)
+                    .map_err(|e| JournalError::io("remove", &path, e))?;
+            }
+        }
+    }
+    fsck(media, dir, commit_kind)
+}
+
+/// Appends frames to a journal directory with atomic segment rotation.
+pub struct JournalWriter {
+    media: Box<dyn JournalMedia>,
+    dir: PathBuf,
+    active_seq: u32,
+    active_bytes: u64,
+    segment_bytes: u64,
+    sealed: bool,
+}
+
+impl fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("dir", &self.dir)
+            .field("active_seq", &self.active_seq)
+            .field("active_bytes", &self.active_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal in `dir`, removing any segment files a
+    /// previous run left behind (callers recover those *first*).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory or the first segment.
+    pub fn create_clean(
+        mut media: Box<dyn JournalMedia>,
+        dir: &Path,
+        segment_bytes: u64,
+    ) -> Result<Self, JournalError> {
+        media
+            .create_dir_all(dir)
+            .map_err(|e| JournalError::io("create-dir", dir, e))?;
+        if let Ok(names) = media.list(dir) {
+            for name in names {
+                if parse_segment_name(&name).is_some() {
+                    let path = dir.join(&name);
+                    media
+                        .remove(&path)
+                        .map_err(|e| JournalError::io("remove", &path, e))?;
+                }
+            }
+        }
+        let mut writer = JournalWriter {
+            media,
+            dir: dir.to_path_buf(),
+            active_seq: 1,
+            active_bytes: 0,
+            segment_bytes: segment_bytes.max(SEGMENT_HEADER_LEN as u64 + 1),
+            sealed: false,
+        };
+        writer.start_segment()?;
+        Ok(writer)
+    }
+
+    fn active_path(&self) -> PathBuf {
+        self.dir.join(active_name(self.active_seq))
+    }
+
+    fn start_segment(&mut self) -> Result<(), JournalError> {
+        let path = self.active_path();
+        let header = segment_header(self.active_seq);
+        self.media
+            .append(&path, &header)
+            .map_err(|e| JournalError::io("append", &path, e))?;
+        self.active_bytes = header.len() as u64;
+        Ok(())
+    }
+
+    /// Seals the active segment: fsync, then atomic rename to its final
+    /// name.
+    fn seal_active(&mut self) -> Result<(), JournalError> {
+        let tmp = self.active_path();
+        self.media
+            .sync(&tmp)
+            .map_err(|e| JournalError::io("sync", &tmp, e))?;
+        let sealed = self.dir.join(sealed_name(self.active_seq));
+        self.media
+            .rename(&tmp, &sealed)
+            .map_err(|e| JournalError::io("rename", &tmp, e))?;
+        Ok(())
+    }
+
+    /// Appends one frame. Rotates to a new segment afterwards if the active
+    /// one crossed the size threshold.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures. A failed append may leave a torn frame at the tail of
+    /// the active segment; recovery truncates it, and a *retry after a
+    /// transient error re-appends the whole frame* — recovery also has to
+    /// discard the torn prefix copy, which it does because the torn copy
+    /// fails its CRC. (The session layer's retry therefore must re-call
+    /// this method, never hand-stitch bytes.)
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), JournalError> {
+        assert!(!self.sealed, "journal already committed");
+        let frame = encode_frame(kind, payload);
+        let path = self.active_path();
+        self.media
+            .append(&path, &frame)
+            .map_err(|e| JournalError::io("append", &path, e))?;
+        self.active_bytes += frame.len() as u64;
+        if self.active_bytes >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment and opens the next one.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures sealing or starting a segment.
+    pub fn rotate(&mut self) -> Result<(), JournalError> {
+        self.seal_active()?;
+        self.active_seq += 1;
+        self.start_segment()
+    }
+
+    /// Writes the commit frame, fsyncs, and seals the journal. After this
+    /// the writer is closed; further appends panic.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing or sealing.
+    pub fn commit(&mut self, commit_kind: u8, payload: &[u8]) -> Result<(), JournalError> {
+        assert!(!self.sealed, "journal already committed");
+        let frame = encode_frame(commit_kind, payload);
+        let path = self.active_path();
+        self.media
+            .append(&path, &frame)
+            .map_err(|e| JournalError::io("append", &path, e))?;
+        self.seal_active()?;
+        self.sealed = true;
+        Ok(())
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True once [`commit`](JournalWriter::commit) succeeded.
+    pub fn is_committed(&self) -> bool {
+        self.sealed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire helpers: the little-endian primitives session-layer codecs share.
+// ---------------------------------------------------------------------------
+
+/// Appends a `u16` (little-endian) to a payload buffer.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` (little-endian) to a payload buffer.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` (little-endian) to a payload buffer.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed string (`u16` length + UTF-8 bytes).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Sequentially decodes the primitives the `put_*` helpers wrote, with typed
+/// errors instead of panics on truncated or garbled payloads.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JournalError> {
+        if self.bytes.len() - self.at < n {
+            return Err(JournalError::Replay {
+                frame: 0,
+                reason: format!(
+                    "payload truncated: needed {n} bytes at offset {}, have {}",
+                    self.at,
+                    self.bytes.len() - self.at
+                ),
+            });
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    /// Reads a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Replay`] if the payload is exhausted.
+    pub fn u16(&mut self) -> Result<u16, JournalError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Replay`] if the payload is exhausted.
+    pub fn u32(&mut self) -> Result<u32, JournalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Replay`] if the payload is exhausted.
+    pub fn u64(&mut self) -> Result<u64, JournalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed string.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Replay`] on truncation or invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, JournalError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| JournalError::Replay {
+            frame: 0,
+            reason: "invalid UTF-8 in journal string".to_string(),
+        })
+    }
+
+    /// True if every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+
+    /// Fails unless the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Replay`] if trailing bytes remain.
+    pub fn expect_exhausted(&self) -> Result<(), JournalError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(JournalError::Replay {
+                frame: 0,
+                reason: format!("{} trailing bytes in payload", self.bytes.len() - self.at),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("polm2-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const COMMIT: u8 = 9;
+
+    fn write_frames(dir: &Path, frames: &[(u8, Vec<u8>)], commit: bool) {
+        let mut w =
+            JournalWriter::create_clean(Box::new(FsMedia), dir, DEFAULT_SEGMENT_BYTES).unwrap();
+        for (kind, payload) in frames {
+            w.append(*kind, payload).unwrap();
+        }
+        if commit {
+            w.commit(COMMIT, &[]).unwrap();
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental == one-shot.
+        let split = crc32_update(crc32(b"1234"), b"56789");
+        assert_eq!(split, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_directory() {
+        let dir = tempdir("roundtrip");
+        let frames: Vec<(u8, Vec<u8>)> = (0u8..20)
+            .map(|i| (i % 4 + 1, vec![i; usize::from(i) * 3]))
+            .collect();
+        write_frames(&dir, &frames, true);
+        let mut media = FsMedia;
+        let rec = recover(&mut media, &dir, COMMIT).unwrap();
+        assert!(rec.report.is_clean());
+        assert!(rec.report.committed);
+        assert_eq!(rec.frames.len(), frames.len() + 1);
+        for (got, (kind, payload)) in rec.frames.iter().zip(&frames) {
+            assert_eq!(got.kind, *kind);
+            assert_eq!(&got.payload, payload);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_seals_segments_atomically() {
+        let dir = tempdir("rotate");
+        let mut w = JournalWriter::create_clean(Box::new(FsMedia), &dir, 64).unwrap();
+        for i in 0..10u8 {
+            w.append(1, &[i; 40]).unwrap();
+        }
+        w.commit(COMMIT, &[]).unwrap();
+        let mut media = FsMedia;
+        let files = segment_files(&mut media, &dir).unwrap();
+        assert!(files.len() > 1, "tiny threshold must rotate");
+        assert!(files.iter().all(|(_, _, sealed)| *sealed));
+        let rec = recover(&mut media, &dir, COMMIT).unwrap();
+        assert!(rec.report.is_clean());
+        assert_eq!(rec.frames.len(), 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated_by_repair() {
+        let dir = tempdir("torn");
+        write_frames(&dir, &[(1, vec![1; 100]), (2, vec![2; 100])], false);
+        let mut media = FsMedia;
+        let name = segment_files(&mut media, &dir).unwrap()[0].1.clone();
+        let path = dir.join(&name);
+        let full = std::fs::read(&path).unwrap();
+        // Cut the last frame in half.
+        std::fs::write(&path, &full[..full.len() - 50]).unwrap();
+
+        let report = fsck(&mut media, &dir, COMMIT).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.frames_valid, 1);
+        assert!(matches!(
+            report.segments[0].defect,
+            Some(SegmentDefect::TornTail { .. })
+        ));
+
+        let valid = report.valid_bytes();
+        let repaired = repair(&mut media, &dir, COMMIT).unwrap();
+        assert!(repaired.is_clean());
+        assert_eq!(repaired.frames_valid, 1);
+        let after = std::fs::read(&path).unwrap();
+        assert_eq!(after.len() as u64, valid, "repair never extends");
+        assert_eq!(&after[..], &full[..valid as usize]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let dir = tempdir("bitflip");
+        write_frames(&dir, &[(1, b"hello journal".to_vec())], true);
+        let mut media = FsMedia;
+        let name = segment_files(&mut media, &dir).unwrap()[0].1.clone();
+        let path = dir.join(&name);
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit at every byte position past the header.
+        for byte in SEGMENT_HEADER_LEN..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[byte] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            let report = fsck(&mut media, &dir, COMMIT).unwrap();
+            assert!(!report.is_clean(), "flip at byte {byte} must be detected");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_segment_makes_later_ones_unreachable() {
+        let dir = tempdir("gap");
+        let mut w = JournalWriter::create_clean(Box::new(FsMedia), &dir, 64).unwrap();
+        for i in 0..10u8 {
+            w.append(1, &[i; 40]).unwrap();
+        }
+        w.commit(COMMIT, &[]).unwrap();
+        let mut media = FsMedia;
+        let files = segment_files(&mut media, &dir).unwrap();
+        assert!(files.len() >= 3);
+        // Delete the middle segment.
+        let (gone_seq, gone_name, _) = files[1].clone();
+        std::fs::remove_file(dir.join(&gone_name)).unwrap();
+
+        let report = fsck(&mut media, &dir, COMMIT).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.missing_segments, vec![gone_seq]);
+        assert!(!report.committed, "commit frame is past the gap");
+        assert!(report.segments.iter().any(|s| s.unreachable));
+
+        let repaired = repair(&mut media, &dir, COMMIT).unwrap();
+        assert!(repaired.is_clean());
+        assert_eq!(repaired.segments.len(), 1, "only the prefix survives");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_missing_directory_recovers_nothing() {
+        let dir = tempdir("absent");
+        let mut media = FsMedia;
+        let rec = recover(&mut media, &dir, COMMIT).unwrap();
+        assert!(rec.frames.is_empty());
+        assert!(rec.report.is_clean());
+        assert!(!rec.report.committed);
+    }
+
+    #[test]
+    fn wire_helpers_round_trip_and_reject_truncation() {
+        let mut out = Vec::new();
+        put_u16(&mut out, 7);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 3);
+        put_str(&mut out, "cassandra-wi");
+        let mut r = WireReader::new(&out);
+        assert_eq!(r.u16().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.str().unwrap(), "cassandra-wi");
+        r.expect_exhausted().unwrap();
+
+        let mut r = WireReader::new(&out[..out.len() - 1]);
+        assert!(r.u16().is_ok());
+        assert!(r.u32().is_ok());
+        assert!(r.u64().is_ok());
+        assert!(r.str().is_err(), "truncated string is a typed error");
+    }
+
+    #[test]
+    fn segment_names_parse_and_order() {
+        assert_eq!(parse_segment_name("seg-000001.polm2j"), Some((1, true)));
+        assert_eq!(
+            parse_segment_name("seg-000042.polm2j.tmp"),
+            Some((42, false))
+        );
+        assert_eq!(parse_segment_name("seg-1.polm2j"), None);
+        assert_eq!(parse_segment_name("profile.txt"), None);
+    }
+}

@@ -41,11 +41,16 @@
 mod criu;
 mod index;
 mod jmap;
+pub mod journal;
 mod record;
 
 pub use criu::{CriuDumper, DumperOptions};
 pub use index::{SnapshotIndex, SurvivalCounts};
 pub use jmap::JmapDumper;
+pub use journal::{
+    crc32, Frame, FsMedia, FsckReport, JournalError, JournalMedia, JournalWriter, RecoveredJournal,
+    SegmentDefect,
+};
 pub use record::{Snapshot, SnapshotSeries};
 
 use std::error::Error;

@@ -1,0 +1,262 @@
+//! Property-based tests for the durable journal: frame round trips, and
+//! recovery from a journal truncated at *every* byte offset — the
+//! kill-at-any-moment contract (fsck and repair must never panic, never
+//! mis-read a frame, and repair must never extend the journal past the last
+//! valid frame).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use polm2_snapshot::journal::{fsck, recover, repair};
+use polm2_snapshot::{Frame, JournalMedia, JournalWriter};
+
+/// The commit frame kind the session layer uses (`polm2_core::journal`);
+/// the byte layer only needs *a* distinguished value.
+const COMMIT: u8 = 5;
+
+/// An in-memory [`JournalMedia`]: a path → bytes map.
+#[derive(Debug, Default)]
+struct MemMedia {
+    files: BTreeMap<PathBuf, Vec<u8>>,
+}
+
+/// Shared handle so tests can inspect the files after the writer consumed
+/// the media.
+#[derive(Debug, Clone, Default)]
+struct SharedMem(Rc<RefCell<MemMedia>>);
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display()))
+}
+
+impl JournalMedia for SharedMem {
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.0
+            .borrow_mut()
+            .files
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut mem = self.0.borrow_mut();
+        let bytes = mem.files.remove(from).ok_or_else(|| not_found(from))?;
+        mem.files.insert(to.to_path_buf(), bytes);
+        Ok(())
+    }
+
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        self.0
+            .borrow()
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn list(&mut self, dir: &Path) -> io::Result<Vec<String>> {
+        Ok(self
+            .0
+            .borrow()
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name()?.to_str().map(String::from))
+            .collect())
+    }
+
+    fn truncate(&mut self, path: &Path, len: u64) -> io::Result<()> {
+        let mut mem = self.0.borrow_mut();
+        let bytes = mem.files.get_mut(path).ok_or_else(|| not_found(path))?;
+        bytes.truncate(len as usize);
+        Ok(())
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        self.0
+            .borrow_mut()
+            .files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn create_dir_all(&mut self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn dir() -> PathBuf {
+    PathBuf::from("/journal")
+}
+
+/// Writes `frames` (the last one as the commit when `commit` is set) and
+/// returns the shared media.
+fn build_journal(frames: &[(u8, Vec<u8>)], segment_bytes: u64, commit: bool) -> SharedMem {
+    let mem = SharedMem::default();
+    let mut writer =
+        JournalWriter::create_clean(Box::new(mem.clone()), &dir(), segment_bytes).expect("create");
+    for (i, (kind, payload)) in frames.iter().enumerate() {
+        if commit && i == frames.len() - 1 {
+            writer.commit(*kind, payload).expect("commit");
+        } else {
+            writer.append(*kind, payload).expect("append");
+        }
+    }
+    mem
+}
+
+/// The journal's segment files in write order, as `(name, bytes)`.
+fn segments(mem: &SharedMem) -> Vec<(String, Vec<u8>)> {
+    let mem = mem.0.borrow();
+    mem.files
+        .iter()
+        .map(|(p, b)| {
+            (
+                p.file_name().unwrap().to_str().unwrap().to_string(),
+                b.clone(),
+            )
+        })
+        .collect()
+}
+
+/// Rebuilds the media as a crash at byte `offset` of the concatenated
+/// append stream would leave it: earlier segments whole, the segment
+/// containing the offset truncated (and demoted to its unsealed `.tmp`
+/// name — the crash beat the rename), later segments never written.
+fn truncated_at(segs: &[(String, Vec<u8>)], offset: usize) -> SharedMem {
+    let mem = SharedMem::default();
+    let mut consumed = 0usize;
+    for (name, bytes) in segs {
+        let mem_ref = mem.0.clone();
+        let remaining = offset.saturating_sub(consumed);
+        if remaining >= bytes.len() {
+            mem_ref
+                .borrow_mut()
+                .files
+                .insert(dir().join(name), bytes.clone());
+        } else {
+            let tmp = if name.ends_with(".tmp") {
+                name.clone()
+            } else {
+                format!("{name}.tmp")
+            };
+            mem_ref
+                .borrow_mut()
+                .files
+                .insert(dir().join(tmp), bytes[..remaining].to_vec());
+            break;
+        }
+        consumed += bytes.len();
+    }
+    mem
+}
+
+/// A strategy for frame payloads: mostly small, occasionally crossing the
+/// (tiny, for test) segment-rotation threshold.
+fn frames_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    proptest::collection::vec(
+        (1u8..251, proptest::collection::vec(any::<u8>(), 0..200)),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever is appended comes back: kinds, payload bytes, order —
+    /// across segment rotations.
+    #[test]
+    fn frames_round_trip_across_rotations(
+        frames in frames_strategy(),
+        segment_bytes in 64u64..4096,
+    ) {
+        let mem = build_journal(&frames, segment_bytes, true);
+        // The last appended kind *is* this journal's commit kind.
+        let commit_kind = frames.last().unwrap().0;
+        let recovered = recover(&mut mem.clone(), &dir(), commit_kind).expect("recover");
+        prop_assert!(recovered.report.is_clean(), "{}", recovered.report);
+        let expect: Vec<Frame> = frames
+            .iter()
+            .map(|(kind, payload)| Frame { kind: *kind, payload: payload.clone() })
+            .collect();
+        prop_assert_eq!(recovered.frames, expect);
+        prop_assert!(recovered.report.committed);
+    }
+
+    /// Killing the writer at every byte offset: recovery never panics, the
+    /// recovered frames are a strict prefix of what was written, repair is
+    /// clean afterwards and never extends past the last valid frame.
+    #[test]
+    fn truncation_at_every_byte_offset_recovers_a_prefix(
+        frames in frames_strategy(),
+        segment_bytes in 128u64..1024,
+    ) {
+        let mem = build_journal(&frames, segment_bytes, true);
+        let segs = segments(&mem);
+        let total: usize = segs.iter().map(|(_, b)| b.len()).sum();
+        let expect: Vec<Frame> = frames
+            .iter()
+            .map(|(kind, payload)| Frame { kind: *kind, payload: payload.clone() })
+            .collect();
+        for offset in 0..=total {
+            let crashed = truncated_at(&segs, offset);
+            let recovered = recover(&mut crashed.clone(), &dir(), COMMIT).expect("recover");
+            prop_assert!(
+                recovered.frames.len() <= expect.len(),
+                "offset {offset}: recovered more frames than were written"
+            );
+            prop_assert_eq!(
+                &recovered.frames[..],
+                &expect[..recovered.frames.len()],
+                "offset {} does not recover a prefix", offset
+            );
+            // Repair truncates to the valid prefix — and never invents data.
+            let before = recovered.report.frames_valid;
+            let after = repair(&mut crashed.clone(), &dir(), COMMIT).expect("repair");
+            prop_assert!(after.is_clean(), "offset {offset}: repair left defects: {after}");
+            prop_assert!(
+                after.frames_valid <= before,
+                "offset {offset}: repair extended the journal ({} -> {})",
+                before,
+                after.frames_valid
+            );
+            // Repair is idempotent: a second pass changes nothing.
+            let again = repair(&mut crashed.clone(), &dir(), COMMIT).expect("repair twice");
+            prop_assert_eq!(again.frames_valid, after.frames_valid);
+        }
+    }
+
+    /// Arbitrary byte soup in segment files: fsck and repair classify, they
+    /// never panic, and what repair leaves behind passes fsck.
+    #[test]
+    fn garbage_segments_never_panic(
+        soup in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300),
+            1..4,
+        ),
+    ) {
+        let mem = SharedMem::default();
+        for (i, bytes) in soup.iter().enumerate() {
+            mem.0
+                .borrow_mut()
+                .files
+                .insert(dir().join(format!("seg-{:06}.polm2j", i as u32 + 1)), bytes.clone());
+        }
+        let report = fsck(&mut mem.clone(), &dir(), COMMIT).expect("fsck");
+        prop_assert_eq!(report.segments.len(), soup.len());
+        let repaired = repair(&mut mem.clone(), &dir(), COMMIT).expect("repair");
+        prop_assert!(repaired.is_clean(), "{}", repaired);
+    }
+}

@@ -32,6 +32,9 @@ pub mod workload;
 pub mod ycsb;
 
 pub use registry::paper_workloads;
-pub use runner::{profile_workload, run_workload, ProfilePhaseConfig, RunConfig, RunResult};
+pub use runner::{
+    profile_workload, profile_workload_journaled, resume_profile, run_workload, ProfilePhaseConfig,
+    ProfilePhaseResult, ResumeMode, ResumedProfile, RunConfig, RunResult,
+};
 pub use workload::{CollectorSetup, Workload};
 pub use ycsb::{OpMix, ZipfGenerator};

@@ -1,16 +1,23 @@
 //! The closed-loop workload driver: runs a workload under a collector setup
 //! and gathers every metric the paper's figures need.
 
+use std::path::Path;
+
+use polm2_core::journal::{replay, ReplayedSession, KIND_COMMIT};
 use polm2_core::{
-    AnalysisOutcome, AnalyzerConfig, FaultConfig, PipelineError, ProductionSetup, ProfilingSession,
-    RecoveryPolicy, SnapshotPolicy,
+    AnalysisOutcome, Analyzer, AnalyzerConfig, FaultConfig, FaultyMedia, JournalRetryPolicy,
+    PipelineError, ProductionSetup, ProfilingSession, Recorder, RecoveryPolicy, SessionJournal,
+    SessionMeta, SnapshotPolicy,
 };
 use polm2_gc::{C4Collector, GcLog, Ng2cCollector};
 use polm2_metrics::{
     FaultCounters, MemoryTracker, PauseHistogram, SimDuration, SimTime, ThroughputTracker,
 };
 use polm2_runtime::{Jvm, RuntimeConfig};
-use polm2_snapshot::SnapshotSeries;
+use polm2_snapshot::journal::{recover, DEFAULT_SEGMENT_BYTES};
+use polm2_snapshot::{
+    FsMedia, FsckReport, JournalError, JournalMedia, JournalWriter, SnapshotSeries,
+};
 
 use crate::workload::{CollectorSetup, Workload};
 
@@ -275,12 +282,24 @@ pub fn profile_workload(
     workload: &dyn Workload,
     config: &ProfilePhaseConfig,
 ) -> Result<ProfilePhaseResult, PipelineError> {
-    let mut session = if config.faults.is_inert() {
+    let session = build_profiling_session(config);
+    drive_profiling_session(session, workload, config)
+}
+
+fn build_profiling_session(config: &ProfilePhaseConfig) -> ProfilingSession {
+    if config.faults.is_inert() {
         ProfilingSession::new(config.policy)
     } else {
         ProfilingSession::with_faults(config.policy, config.faults)
     }
-    .with_recovery(config.recovery);
+    .with_recovery(config.recovery)
+}
+
+fn drive_profiling_session(
+    mut session: ProfilingSession,
+    workload: &dyn Workload,
+    config: &ProfilePhaseConfig,
+) -> Result<ProfilePhaseResult, PipelineError> {
     let mut jvm = Jvm::builder(config.runtime)
         .hooks(workload.hooks())
         .state(workload.new_state(config.seed))
@@ -304,6 +323,208 @@ pub fn profile_workload(
         recorded_allocations,
         snapshots: report.snapshots,
         counters: report.counters,
+    })
+}
+
+/// Runs the profiling phase like [`profile_workload`], streaming the session
+/// into a durable journal in `journal_dir` as it goes: trace definitions,
+/// allocation batches, snapshot deltas, and (at clean shutdown) a commit
+/// record. A run killed at any point leaves a journal whose valid prefix
+/// [`resume_profile`] turns back into the exact profile an uninterrupted run
+/// would have produced.
+///
+/// When [`ProfilePhaseConfig::faults`] carries disk-fault rates, the journal
+/// writes go through [`FaultyMedia`] over the same seeded injector, so
+/// chaos runs exercise torn writes, bit flips, and transient I/O errors
+/// end to end. Journaling is best-effort past creation: I/O faults degrade
+/// the journal (retry, then go dead without a commit) but never fail the
+/// session.
+///
+/// # Errors
+///
+/// Everything [`profile_workload`] returns, plus [`PipelineError::Journal`]
+/// when the journal cannot even be created (directory or header write).
+pub fn profile_workload_journaled(
+    workload: &dyn Workload,
+    config: &ProfilePhaseConfig,
+    journal_dir: &Path,
+) -> Result<ProfilePhaseResult, PipelineError> {
+    let mut session = build_profiling_session(config);
+    let media: Box<dyn JournalMedia> = match session.fault_injector() {
+        Some(injector) => Box::new(FaultyMedia::new(Box::new(FsMedia), injector)),
+        None => Box::new(FsMedia),
+    };
+    let writer = JournalWriter::create_clean(media, journal_dir, DEFAULT_SEGMENT_BYTES)?;
+    let meta = SessionMeta {
+        workload: workload.name().to_string(),
+        seed: config.seed,
+        duration: config.duration,
+        every_n_cycles: config.policy.every_n_cycles,
+    };
+    // Nothing to charge the header write to: the simulated clock has not
+    // started (the JVM does not exist yet).
+    let journal =
+        SessionJournal::create(writer, &meta, JournalRetryPolicy::default(), &mut |_| {})?;
+    session.attach_journal(journal);
+    drive_profiling_session(session, workload, config)
+}
+
+/// How [`resume_profile`] finalized a journaled session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeMode {
+    /// The journal ended in a validated commit: the profile was finalized
+    /// purely from the replayed records and snapshots — no re-execution.
+    Replayed,
+    /// The journal was a torn prefix (crash) or inconsistent: the session
+    /// was re-executed deterministically from the journaled header's
+    /// workload/seed/duration, writing a fresh journal into the same
+    /// directory.
+    ReExecuted,
+}
+
+/// Output of [`resume_profile`]: the profiling result plus how it was
+/// obtained and what the crashed journal looked like.
+#[derive(Debug)]
+pub struct ResumedProfile {
+    /// The profiling-phase result — bit-identical to an uninterrupted run's.
+    pub result: ProfilePhaseResult,
+    /// Replayed from a committed journal, or re-executed.
+    pub mode: ResumeMode,
+    /// The fsck findings for the journal as found (pre-resume).
+    pub report: FsckReport,
+}
+
+/// Resumes a journaled profiling run after a crash (or completes one that
+/// already committed).
+///
+/// Recovery reads the journal's valid prefix (every CRC-verified frame up to
+/// the first torn tail, checksum mismatch, or segment gap) and replays it:
+///
+/// * **committed** — the journal is proven complete (totals cross-check), so
+///   the profile is finalized from the replayed state alone;
+/// * **torn or inconsistent** — the journaled session header names the
+///   workload, seed, and duration, so the session is re-executed
+///   deterministically; the simulation guarantees the rerun is bit-identical
+///   to what the crashed run would have produced.
+///
+/// Either way the caller gets the same [`ProfilePhaseResult`] an
+/// uninterrupted [`profile_workload_journaled`] run yields, with the
+/// crash's cost recorded in the `journal-frames-truncated` /
+/// `journal-segments-missing` counters.
+///
+/// # Errors
+///
+/// [`PipelineError::Journal`] when the journal belongs to a different
+/// workload than `workload` (a committed journal is never silently
+/// re-executed under the wrong name), plus everything
+/// [`profile_workload_journaled`] returns on the re-execution path.
+pub fn resume_profile(
+    workload: &dyn Workload,
+    config: &ProfilePhaseConfig,
+    journal_dir: &Path,
+) -> Result<ResumedProfile, PipelineError> {
+    let mut media = FsMedia;
+    let recovered = recover(&mut media, journal_dir, KIND_COMMIT)?;
+    let report = recovered.report;
+    match replay(&recovered.frames) {
+        Ok(replayed) if replayed.committed() => {
+            let meta = replayed
+                .meta
+                .clone()
+                .expect("a committed journal starts with a session header");
+            check_workload(&meta, workload)?;
+            finalize_replayed(workload, config, replayed, report)
+        }
+        Ok(replayed) => {
+            // A valid but uncommitted prefix: the run crashed. Re-execute it
+            // exactly as the header describes.
+            let mut rerun = *config;
+            if let Some(meta) = &replayed.meta {
+                check_workload(meta, workload)?;
+                rerun.seed = meta.seed;
+                rerun.duration = meta.duration;
+                rerun.policy = SnapshotPolicy {
+                    every_n_cycles: meta.every_n_cycles,
+                };
+            }
+            reexecute(workload, &rerun, journal_dir, report)
+        }
+        // CRC-valid but not a faithful session prefix (foreign or mangled
+        // journal): nothing salvageable, re-execute from the caller's config.
+        Err(_) => reexecute(workload, config, journal_dir, report),
+    }
+}
+
+fn check_workload(meta: &SessionMeta, workload: &dyn Workload) -> Result<(), PipelineError> {
+    if meta.workload != workload.name() {
+        return Err(PipelineError::Journal(JournalError::Replay {
+            frame: 0,
+            reason: format!(
+                "journal belongs to workload {:?}, not {:?}",
+                meta.workload,
+                workload.name()
+            ),
+        }));
+    }
+    Ok(())
+}
+
+/// Finalizes a committed journal without re-running the workload: the
+/// Analyzer resolves interned frame symbols against the loaded program, so
+/// rebuild the same load-time view the profiling JVM had (same program,
+/// same Recorder instrumentation pass) and analyze the replayed state.
+fn finalize_replayed(
+    workload: &dyn Workload,
+    config: &ProfilePhaseConfig,
+    replayed: ReplayedSession,
+    report: FsckReport,
+) -> Result<ResumedProfile, PipelineError> {
+    let seed = replayed.meta.as_ref().map_or(config.seed, |m| m.seed);
+    let recorder = Recorder::new();
+    let jvm = Jvm::builder(config.runtime)
+        .hooks(workload.hooks())
+        .state(workload.new_state(seed))
+        .transformer(recorder.agent())
+        .build(workload.program())?;
+    let recorder_sites = recorder.instrumented_sites();
+    let outcome = Analyzer::new(config.analyzer).analyze(
+        &replayed.records,
+        &replayed.snapshots,
+        jvm.program(),
+    );
+    let commit = replayed.commit.expect("caller checked committed()");
+    // Mirror `ProfilingSession::finish`: the committed ledger predates the
+    // analysis, so the Analyzer's demotions are added here.
+    let mut counters = commit.counters;
+    counters.traces_demoted += outcome.demoted_traces;
+    Ok(ResumedProfile {
+        result: ProfilePhaseResult {
+            outcome,
+            recorder_sites,
+            recorded_allocations: replayed.records.total_records(),
+            snapshots: replayed.snapshots,
+            counters,
+        },
+        mode: ResumeMode::Replayed,
+        report,
+    })
+}
+
+fn reexecute(
+    workload: &dyn Workload,
+    config: &ProfilePhaseConfig,
+    journal_dir: &Path,
+    report: FsckReport,
+) -> Result<ResumedProfile, PipelineError> {
+    let mut result = profile_workload_journaled(workload, config, journal_dir)?;
+    // The crash's cost shows up in the ledger: one truncated frame per
+    // defective segment, plus the segments the crash made unreachable.
+    result.counters.journal_frames_truncated += report.defective_segments() as u64;
+    result.counters.journal_segments_missing += report.missing_segments.len() as u64;
+    Ok(ResumedProfile {
+        result,
+        mode: ResumeMode::ReExecuted,
+        report,
     })
 }
 

@@ -10,15 +10,60 @@
 //! polm2 inspect wi.profile
 //! ```
 
+use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
 
-use polm2::core::{AllocationProfile, FaultConfig};
+use polm2::core::journal::KIND_COMMIT;
+use polm2::core::{seal_profile_text, AllocationProfile, FaultConfig};
 use polm2::metrics::report::TextTable;
 use polm2::metrics::{FaultCounters, SimDuration, STANDARD_PERCENTILES};
+use polm2::snapshot::{journal, FsMedia};
 use polm2::workloads::registry::{paper_workloads, workload_by_name};
 use polm2::workloads::{
-    profile_workload, run_workload, CollectorSetup, ProfilePhaseConfig, RunConfig,
+    profile_workload, profile_workload_journaled, resume_profile, run_workload, CollectorSetup,
+    ProfilePhaseConfig, ResumeMode, RunConfig,
 };
+
+/// Exit code: generic failure.
+const EXIT_FAILURE: u8 = 1;
+/// Exit code: a required profile file does not exist.
+const EXIT_PROFILE_MISSING: u8 = 2;
+/// Exit code: a profile or journal exists but is corrupt (parse or
+/// checksum failure, journal defects).
+const EXIT_CORRUPT: u8 = 3;
+/// Exit code: the profile parses but no longer matches the program (the
+/// application changed since profiling; regenerate the profile).
+const EXIT_PROFILE_STALE: u8 = 4;
+
+/// A CLI failure with a distinct exit code, so scripts can tell a missing
+/// profile from a corrupt one from a stale one.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError {
+            code: EXIT_FAILURE,
+            message,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::from(message.to_string())
+    }
+}
+
+fn fail(code: u8, message: impl Into<String>) -> CliError {
+    CliError {
+        code,
+        message: message.into(),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,17 +72,20 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}; try --help")),
+        Some(other) => Err(CliError::from(format!(
+            "unknown command {other:?}; try --help"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -53,9 +101,16 @@ fn print_usage() {
          \x20     --seed <n>         workload seed (default 7)\n\
          \x20     --chaos <rate>     inject faults at this rate, 0.0-1.0 (default 0)\n\
          \x20     --chaos-seed <n>   fault-injection seed (default 1)\n\
+         \x20     --journal <dir>    stream the session into a crash-safe journal\n\
+         \x20     --resume           finish from the journal in <dir>: replay a committed\n\
+         \x20                        run, or re-execute a crashed one deterministically\n\
+         \x20 polm2 fsck <dir> [--repair]              check (and repair) a session journal\n\
+         \x20     exit 0 = clean, 3 = defects found; --repair truncates to the\n\
+         \x20     last valid frame and drops unreachable segments — it never invents data\n\
          \x20 polm2 run <workload> [options]           run the production phase\n\
          \x20     --collector <c>    g1 | ng2c | c4 | polm2 (default g1)\n\
          \x20     --profile <file>   allocation profile (required for --collector polm2)\n\
+         \x20                        exit 2 = missing, 3 = corrupt, 4 = stale profile\n\
          \x20     --minutes <n>      run length in simulated minutes (default 15)\n\
          \x20     --warmup <n>       ignored prefix in simulated minutes (default 3)\n\
          \x20     --seed <n>         workload seed (default 42)\n\
@@ -88,7 +143,7 @@ fn parse_f64(args: &[String], name: &str, default: f64) -> Result<f64, String> {
     }
 }
 
-fn cmd_workloads() -> Result<(), String> {
+fn cmd_workloads() -> Result<(), CliError> {
     let mut table = TextTable::new(vec![
         "name".into(),
         "entry".into(),
@@ -108,17 +163,24 @@ fn cmd_workloads() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let name = args.first().ok_or("profile needs a workload name")?;
     let workload = workload_by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let minutes = parse_u64(args, "--minutes", 6)?;
     let seed = parse_u64(args, "--seed", 7)?;
     let chaos = parse_f64(args, "--chaos", 0.0)?;
     if !(0.0..=1.0).contains(&chaos) {
-        return Err(format!("--chaos expects a rate in 0.0..=1.0, got {chaos}"));
+        return Err(CliError::from(format!(
+            "--chaos expects a rate in 0.0..=1.0, got {chaos}"
+        )));
     }
     let chaos_seed = parse_u64(args, "--chaos-seed", 1)?;
     let out = flag(args, "--out").unwrap_or_else(|| format!("{name}.profile"));
+    let journal_dir = flag(args, "--journal");
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && journal_dir.is_none() {
+        return Err(CliError::from("--resume needs --journal <dir>"));
+    }
 
     let config = ProfilePhaseConfig {
         duration: SimDuration::from_secs(minutes * 60),
@@ -134,7 +196,29 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     } else {
         eprintln!("profiling {name} for {minutes} simulated minutes (seed {seed}) ...");
     }
-    let result = profile_workload(workload.as_ref(), &config).map_err(|e| e.to_string())?;
+    let result = match &journal_dir {
+        Some(dir) if resume => {
+            let resumed = resume_profile(workload.as_ref(), &config, Path::new(dir))
+                .map_err(|e| e.to_string())?;
+            match resumed.mode {
+                ResumeMode::Replayed => eprintln!(
+                    "journal {dir} is committed ({} frames): profile finalized from \
+                     replay, no re-execution",
+                    resumed.report.frames_valid
+                ),
+                ResumeMode::ReExecuted => eprintln!(
+                    "journal {dir} is incomplete ({} valid frames, {} defective \
+                     segments): re-executed the session deterministically",
+                    resumed.report.frames_valid,
+                    resumed.report.defective_segments()
+                ),
+            }
+            resumed.result
+        }
+        Some(dir) => profile_workload_journaled(workload.as_ref(), &config, Path::new(dir))
+            .map_err(|e| e.to_string())?,
+        None => profile_workload(workload.as_ref(), &config).map_err(|e| e.to_string())?,
+    };
     eprintln!(
         "recorded {} allocations over {} snapshots; {} sites pretenured, {} conflicts",
         result.recorded_allocations,
@@ -153,12 +237,62 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             text.push_str(&format!("# polm2-faults {name} {value}\n"));
         }
     }
-    std::fs::write(&out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    // Seal and write atomically: readers never see a torn profile, and the
+    // checksum footer turns later on-disk corruption into a typed error.
+    seal_profile_text(&mut text);
+    write_atomic(&out, &text)?;
     println!("wrote {out}");
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+/// Writes via a temp file + fsync + rename, so a crash mid-write leaves
+/// either the old file or the new one — never a torn mix.
+fn write_atomic(path: &str, text: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    let write = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    write.map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("writing {path}: {e}")
+    })
+}
+
+fn cmd_fsck(args: &[String]) -> Result<(), CliError> {
+    let dir = args.first().ok_or("fsck needs a journal directory")?;
+    let repair = args.iter().any(|a| a == "--repair");
+    if !Path::new(dir).is_dir() {
+        return Err(fail(
+            EXIT_PROFILE_MISSING,
+            format!("{dir}: no such journal directory"),
+        ));
+    }
+    let mut media = FsMedia;
+    let report = if repair {
+        journal::repair(&mut media, Path::new(dir), KIND_COMMIT)
+    } else {
+        journal::fsck(&mut media, Path::new(dir), KIND_COMMIT)
+    }
+    .map_err(|e| e.to_string())?;
+    println!("{report}");
+    if !report.is_clean() {
+        return Err(fail(
+            EXIT_CORRUPT,
+            format!(
+                "{dir}: {} defective segment(s), {} missing; run `polm2 fsck {dir} --repair` \
+                 to truncate to the last valid frame",
+                report.defective_segments(),
+                report.missing_segments.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let name = args.first().ok_or("run needs a workload name")?;
     let workload = workload_by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let minutes = parse_u64(args, "--minutes", 15)?;
@@ -171,12 +305,39 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "c4" => CollectorSetup::C4,
         "polm2" => {
             let path = flag(args, "--profile").ok_or("--collector polm2 needs --profile <file>")?;
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-            let profile: AllocationProfile = text.parse().map_err(|e| format!("{path}: {e}"))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                let code = if e.kind() == std::io::ErrorKind::NotFound {
+                    EXIT_PROFILE_MISSING
+                } else {
+                    EXIT_FAILURE
+                };
+                fail(code, format!("reading {path}: {e}"))
+            })?;
+            let profile: AllocationProfile = text
+                .parse()
+                .map_err(|e| fail(EXIT_CORRUPT, format!("{path}: {e}")))?;
+            // A profile whose entries no longer match the program means the
+            // application changed since profiling: refuse to launch on it
+            // rather than silently pretenure nothing.
+            let stale = profile.validate(&workload.program());
+            if !stale.is_clean() {
+                return Err(fail(
+                    EXIT_PROFILE_STALE,
+                    format!(
+                        "{path}: profile is stale — {} site(s) and {} call(s) no longer \
+                         exist in {name}; re-run `polm2 profile {name}`",
+                        stale.stale_sites.len(),
+                        stale.stale_gen_calls.len()
+                    ),
+                ));
+            }
             CollectorSetup::Polm2(profile)
         }
-        other => return Err(format!("unknown collector {other:?} (g1|ng2c|c4|polm2)")),
+        other => {
+            return Err(CliError::from(format!(
+                "unknown collector {other:?} (g1|ng2c|c4|polm2)"
+            )))
+        }
     };
 
     let config = RunConfig {
@@ -242,10 +403,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_inspect(args: &[String]) -> Result<(), String> {
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or("inspect needs a profile file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let profile: AllocationProfile = text.parse().map_err(|e| format!("{path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        let code = if e.kind() == std::io::ErrorKind::NotFound {
+            EXIT_PROFILE_MISSING
+        } else {
+            EXIT_FAILURE
+        };
+        fail(code, format!("reading {path}: {e}"))
+    })?;
+    let profile: AllocationProfile = text
+        .parse()
+        .map_err(|e| fail(EXIT_CORRUPT, format!("{path}: {e}")))?;
     println!(
         "{path}: {} pretenured sites, {} setGeneration call sites, generations {:?}",
         profile.sites().len(),

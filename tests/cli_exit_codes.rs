@@ -1,0 +1,149 @@
+//! The CLI's distinct exit codes: 2 for a missing profile or journal,
+//! 3 for corruption (unparseable profile, bad checksum footer, defective
+//! journal), 4 for a stale profile the runner refuses to launch on.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use polm2::snapshot::journal::{encode_frame, JOURNAL_VERSION, SEGMENT_MAGIC};
+
+fn polm2(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_polm2"))
+        .args(args)
+        .output()
+        .expect("spawn polm2")
+}
+
+fn exit_code(args: &[&str]) -> i32 {
+    polm2(args).status.code().expect("exit code")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("polm2-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn run_distinguishes_missing_corrupt_and_stale_profiles() {
+    let dir = tempdir("run");
+    let missing = dir.join("nope.profile");
+    assert_eq!(
+        exit_code(&[
+            "run",
+            "cassandra-wi",
+            "--collector",
+            "polm2",
+            "--profile",
+            missing.to_str().unwrap(),
+        ]),
+        2,
+        "missing profile"
+    );
+
+    let garbage = dir.join("garbage.profile");
+    std::fs::write(&garbage, "this is not a profile\n").unwrap();
+    assert_eq!(
+        exit_code(&[
+            "run",
+            "cassandra-wi",
+            "--collector",
+            "polm2",
+            "--profile",
+            garbage.to_str().unwrap(),
+        ]),
+        3,
+        "corrupt profile"
+    );
+
+    // Parses fine, but names an allocation site the workload does not have:
+    // the runner must refuse to launch rather than silently pretenure nothing.
+    let stale = dir.join("stale.profile");
+    std::fs::write(&stale, "polm2-profile v1\nsite Nowhere missing 1 gen 2\n").unwrap();
+    assert_eq!(
+        exit_code(&[
+            "run",
+            "cassandra-wi",
+            "--collector",
+            "polm2",
+            "--profile",
+            stale.to_str().unwrap(),
+        ]),
+        4,
+        "stale profile"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tampering_with_a_sealed_profile_breaks_its_checksum_footer() {
+    let dir = tempdir("crc");
+    let tampered = dir.join("tampered.profile");
+    // A sealed profile whose footer no longer matches its contents (the
+    // generation was edited after sealing): the byte-level CRC must catch it
+    // even though every line still parses.
+    let mut text = String::from("polm2-profile v1\n");
+    text.push_str("# polm2-crc deadbeef\n");
+    std::fs::write(&tampered, &text).unwrap();
+    let out = polm2(&[
+        "run",
+        "cassandra-wi",
+        "--collector",
+        "polm2",
+        "--profile",
+        tampered.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "checksum mismatch is corruption"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checksum"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fsck_classifies_missing_torn_and_repaired_journals() {
+    let missing = std::env::temp_dir().join(format!("polm2-cli-nodir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&missing);
+    assert_eq!(
+        exit_code(&["fsck", missing.to_str().unwrap()]),
+        2,
+        "missing dir"
+    );
+
+    // Hand-craft a torn segment: a good frame followed by a truncated one.
+    let dir = tempdir("fsck");
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&SEGMENT_MAGIC);
+    bytes.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    let frame = encode_frame(7, b"hello");
+    bytes.extend_from_slice(&frame);
+    bytes.extend_from_slice(&frame[..frame.len() - 3]);
+    std::fs::write(dir.join("seg-000001.polm2j"), &bytes).unwrap();
+
+    let seg = dir.to_str().unwrap();
+    assert_eq!(exit_code(&["fsck", seg]), 3, "torn journal");
+    assert_eq!(exit_code(&["fsck", seg, "--repair"]), 0, "repair truncates");
+    assert_eq!(exit_code(&["fsck", seg]), 0, "clean after repair");
+    // Repair kept the valid frame, dropped only the torn tail.
+    let repaired = std::fs::read(dir.join("seg-000001.polm2j")).unwrap();
+    assert_eq!(repaired.len(), 16 + frame.len());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_reports_missing_and_corrupt_profiles() {
+    let dir = tempdir("inspect");
+    let missing = dir.join("nope.profile");
+    assert_eq!(exit_code(&["inspect", missing.to_str().unwrap()]), 2);
+    let garbage = dir.join("garbage.profile");
+    std::fs::write(&garbage, "polm2-profile v1\nsite A b x gen 2\n").unwrap();
+    assert_eq!(exit_code(&["inspect", garbage.to_str().unwrap()]), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,340 @@
+//! Crash-safe profiling end to end: a journaled session killed at any
+//! moment must resume to the exact profile an uninterrupted run produces,
+//! fsck must flag every injected torn write and bit flip, and repair must
+//! never extend a journal past its last valid frame.
+
+use std::path::{Path, PathBuf};
+
+use polm2::core::journal::KIND_COMMIT;
+use polm2::core::{
+    FaultConfig, FaultyMedia, JournalRetryPolicy, PipelineError, ProfilingSession, SessionJournal,
+    SessionMeta,
+};
+use polm2::metrics::{SimDuration, SimTime};
+use polm2::runtime::{Jvm, RuntimeConfig};
+use polm2::snapshot::journal::{fsck, recover, repair, SEGMENT_HEADER_LEN};
+use polm2::snapshot::{FsMedia, JournalWriter};
+use polm2::workloads::cassandra::{CassandraConfig, CassandraWorkload};
+use polm2::workloads::{
+    profile_workload, profile_workload_journaled, resume_profile, OpMix, ProfilePhaseConfig,
+    ProfilePhaseResult, ResumeMode, Workload,
+};
+
+/// A deliberately tiny profiling setup (~15 ms real time, ~150 KiB journal)
+/// so kill-at-many-offsets loops stay fast.
+fn tiny_workload() -> CassandraWorkload {
+    CassandraWorkload::new(
+        "cassandra-tiny",
+        CassandraConfig::small(OpMix::WRITE_INTENSIVE),
+    )
+}
+
+fn tiny_config() -> ProfilePhaseConfig {
+    ProfilePhaseConfig {
+        duration: SimDuration::from_secs(1),
+        runtime: RuntimeConfig::small(),
+        ..ProfilePhaseConfig::short()
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("polm2-jrec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The journal's segment files in write order, as `(name, bytes)`.
+fn segments(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut segs: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("journal dir")
+        .map(|e| {
+            let e = e.expect("entry");
+            let name = e.file_name().to_str().expect("utf8 name").to_string();
+            let bytes = std::fs::read(e.path()).expect("read segment");
+            (name, bytes)
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
+/// Byte offsets (into the concatenated append stream) of every frame
+/// boundary, segment headers included.
+fn frame_boundaries(segs: &[(String, Vec<u8>)]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut base = 0usize;
+    for (_, bytes) in segs {
+        let mut off = SEGMENT_HEADER_LEN;
+        out.push(base + off);
+        while off + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            if off + 8 + len > bytes.len() {
+                break;
+            }
+            off += 8 + len;
+            out.push(base + off);
+        }
+        base += bytes.len();
+    }
+    out
+}
+
+/// Writes the journal state a crash at byte `offset` of the append stream
+/// leaves behind: earlier segments whole and sealed, the segment containing
+/// the offset truncated under its unsealed `.tmp` name (the crash beat the
+/// rename), later segments never written.
+fn crashed_copy(segs: &[(String, Vec<u8>)], offset: usize, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).expect("create crash dir");
+    let mut consumed = 0usize;
+    for (name, bytes) in segs {
+        let remaining = offset.saturating_sub(consumed);
+        if remaining >= bytes.len() {
+            std::fs::write(dst.join(name), bytes).expect("write segment");
+        } else {
+            let tmp = if name.ends_with(".tmp") {
+                name.clone()
+            } else {
+                format!("{name}.tmp")
+            };
+            std::fs::write(dst.join(tmp), &bytes[..remaining]).expect("write torn segment");
+            return;
+        }
+        consumed += bytes.len();
+    }
+}
+
+fn assert_same_result(a: &ProfilePhaseResult, b: &ProfilePhaseResult, what: &str) {
+    assert_eq!(
+        a.outcome.profile, b.outcome.profile,
+        "{what}: profiles differ"
+    );
+    assert_eq!(
+        a.recorded_allocations, b.recorded_allocations,
+        "{what}: allocation counts differ"
+    );
+    assert_eq!(
+        a.snapshots.len(),
+        b.snapshots.len(),
+        "{what}: snapshot counts differ"
+    );
+    assert_eq!(
+        a.recorder_sites, b.recorder_sites,
+        "{what}: instrumented-site counts differ"
+    );
+}
+
+#[test]
+fn journaled_run_commits_and_replay_resume_matches_exactly() {
+    let workload = tiny_workload();
+    let config = tiny_config();
+    let dir = tempdir("replay");
+
+    let plain = profile_workload(&workload, &config).expect("plain run");
+    let journaled = profile_workload_journaled(&workload, &config, &dir).expect("journaled run");
+    // Journaling on healthy media is invisible: same profile, clean ledger.
+    assert_same_result(&plain, &journaled, "journaled vs plain");
+    assert!(journaled.counters.is_clean(), "{}", journaled.counters);
+
+    let report = fsck(&mut FsMedia, &dir, KIND_COMMIT).expect("fsck");
+    assert!(report.is_clean(), "{report}");
+    assert!(report.committed, "clean shutdown must commit: {report}");
+
+    // Resume on a committed journal replays; it must not re-execute.
+    let resumed = resume_profile(&workload, &config, &dir).expect("resume");
+    assert_eq!(resumed.mode, ResumeMode::Replayed);
+    assert_same_result(&plain, &resumed.result, "replayed vs plain");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_at_any_frame_resume_reproduces_the_profile() {
+    let workload = tiny_workload();
+    let config = tiny_config();
+    let dir = tempdir("kill-ref");
+    let reference = profile_workload_journaled(&workload, &config, &dir).expect("reference run");
+    let segs = segments(&dir);
+    let total: usize = segs.iter().map(|(_, b)| b.len()).sum();
+
+    // Every frame boundary, plus offsets tearing the frame after it.
+    let boundaries = frame_boundaries(&segs);
+    assert!(boundaries.len() > 10, "journal too small to be interesting");
+    let mut offsets: Vec<usize> = vec![0, 1, SEGMENT_HEADER_LEN - 1, total];
+    for &b in &boundaries {
+        offsets.push(b);
+        offsets.push((b + 3).min(total));
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+
+    let crash_dir = tempdir("kill-crash");
+    for offset in offsets {
+        crashed_copy(&segs, offset, &crash_dir);
+        let resumed = resume_profile(&workload, &config, &crash_dir).expect("resume after kill");
+        if offset < total {
+            assert_eq!(
+                resumed.mode,
+                ResumeMode::ReExecuted,
+                "offset {offset}: a torn journal must re-execute"
+            );
+        }
+        assert_same_result(
+            &reference,
+            &resumed.result,
+            &format!("kill at byte {offset}"),
+        );
+        // The re-executed run leaves a fresh, committed journal behind:
+        // resuming again replays without a third execution.
+        let second = resume_profile(&workload, &config, &crash_dir).expect("second resume");
+        assert_eq!(second.mode, ResumeMode::Replayed, "offset {offset}");
+        assert_same_result(&reference, &second.result, "second resume");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+}
+
+#[test]
+fn truncation_at_byte_offsets_never_panics_and_repair_never_extends() {
+    let workload = tiny_workload();
+    let config = tiny_config();
+    let dir = tempdir("sweep-ref");
+    profile_workload_journaled(&workload, &config, &dir).expect("reference run");
+    let segs = segments(&dir);
+    let total: usize = segs.iter().map(|(_, b)| b.len()).sum();
+
+    let crash_dir = tempdir("sweep-crash");
+    // A dense sweep: every 97th byte, plus the fragile first bytes. (The
+    // snapshot crate's property tests cover literally every offset against
+    // an in-memory media; this exercises the same contract on the real
+    // filesystem.)
+    let offsets = (0..64).chain((64..=total).step_by(97)).chain([total]);
+    for offset in offsets {
+        crashed_copy(&segs, offset, &crash_dir);
+        let recovered =
+            recover(&mut FsMedia, &crash_dir, KIND_COMMIT).expect("recover never errors");
+        // The valid prefix must replay cleanly — a recovered journal is
+        // always a faithful session prefix, never a wrong profile.
+        polm2::core::journal::replay(&recovered.frames).expect("prefix replays");
+        let before = recovered.report.frames_valid;
+        let after = repair(&mut FsMedia, &crash_dir, KIND_COMMIT).expect("repair");
+        assert!(after.is_clean(), "offset {offset}: {after}");
+        assert!(
+            after.frames_valid <= before,
+            "offset {offset}: repair extended the journal ({before} -> {})",
+            after.frames_valid
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+}
+
+/// Drives one journaled profiling session under seeded disk-fault injection,
+/// returning the injected ground truth alongside the journal directory.
+fn chaos_session(seed: u64, dir: &Path) -> Option<polm2::core::InjectedFaults> {
+    let workload = tiny_workload();
+    let config = ProfilePhaseConfig {
+        faults: FaultConfig::disk_only_at(0.02, seed),
+        ..tiny_config()
+    };
+    let mut session =
+        ProfilingSession::with_faults(config.policy, config.faults).with_recovery(config.recovery);
+    let injector = session.fault_injector().expect("faulted session");
+    let media = Box::new(FaultyMedia::new(Box::new(FsMedia), injector.clone()));
+    // Small segments force rotations, so torn renames get a chance to fire.
+    let writer = JournalWriter::create_clean(media, dir, 16 * 1024).ok()?;
+    let meta = SessionMeta {
+        workload: workload.name().to_string(),
+        seed: config.seed,
+        duration: config.duration,
+        every_n_cycles: config.policy.every_n_cycles,
+    };
+    let journal =
+        SessionJournal::create(writer, &meta, JournalRetryPolicy::default(), &mut |_| {}).ok()?;
+    session.attach_journal(journal);
+
+    let mut jvm = Jvm::builder(config.runtime)
+        .hooks(workload.hooks())
+        .state(workload.new_state(config.seed))
+        .transformer(session.recorder_agent())
+        .build(workload.program())
+        .expect("build jvm");
+    let thread = jvm.spawn_thread();
+    let (class, method) = workload.entry();
+    let op_cost = workload.op_cost();
+    let end = SimTime::ZERO + config.duration;
+    while jvm.now() < end {
+        jvm.invoke(thread, class, method).expect("invoke");
+        jvm.advance_mutator(op_cost);
+        session.after_op(&mut jvm).expect("after_op");
+    }
+    session
+        .finish(&mut jvm, &config.analyzer)
+        .expect("disk faults never fail the session");
+    let injected = injector.borrow().injected();
+    Some(injected)
+}
+
+#[test]
+fn disk_chaos_corruption_is_always_detected() {
+    let dir = tempdir("chaos");
+    let mut corrupting_runs = 0u32;
+    let mut any_faults = false;
+    for seed in 1..=16u64 {
+        let Some(injected) = chaos_session(seed, &dir) else {
+            // Creation itself was hit: there is no journal to certify.
+            continue;
+        };
+        any_faults |= injected.io_errors
+            + injected.io_short_writes
+            + injected.io_bit_flips
+            + injected.io_torn_renames
+            > 0;
+        let report = fsck(&mut FsMedia, &dir, KIND_COMMIT).expect("fsck");
+        if injected.io_short_writes + injected.io_bit_flips > 0 {
+            corrupting_runs += 1;
+            // The invariant: a journal whose bytes were corrupted is never
+            // both defect-free and committed — resume always notices.
+            assert!(
+                !(report.is_clean() && report.committed),
+                "seed {seed}: {} short writes, {} bit flips went undetected: {report}",
+                injected.io_short_writes,
+                injected.io_bit_flips
+            );
+        }
+        // Repair never extends past the last valid frame, whatever happened.
+        let before = report.frames_valid;
+        let after = repair(&mut FsMedia, &dir, KIND_COMMIT).expect("repair");
+        assert!(after.is_clean(), "seed {seed}: {after}");
+        assert!(after.frames_valid <= before, "seed {seed}: repair extended");
+    }
+    assert!(
+        any_faults,
+        "chaos rate too low: no disk faults injected at all"
+    );
+    assert!(
+        corrupting_runs >= 3,
+        "chaos suite exercised only {corrupting_runs} corrupting runs; raise the rate"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_refuses_a_journal_from_another_workload() {
+    let workload = tiny_workload();
+    let config = tiny_config();
+    let dir = tempdir("wrong-workload");
+    profile_workload_journaled(&workload, &config, &dir).expect("journaled run");
+
+    let other = CassandraWorkload::new(
+        "cassandra-other",
+        CassandraConfig::small(OpMix::READ_INTENSIVE),
+    );
+    let err = resume_profile(&other, &config, &dir).expect_err("wrong workload must be refused");
+    assert!(matches!(err, PipelineError::Journal(_)), "{err}");
+    assert!(err.to_string().contains("cassandra-tiny"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
