@@ -168,13 +168,20 @@ pub struct AnalysisOutcome {
 }
 
 /// Survival counts behind either replay strategy, with one lookup API.
-enum Survivals {
+enum Survivals<'a> {
     Probe(IdHashMap<IdentityHash, u32>),
     Merged(SurvivalCounts),
+    /// The fused single-pass path for small profiles: lookups binary-search
+    /// the index's running accumulator in place. No table clone, no 64 Ki
+    /// directory build — the whole replay is one pass over the record
+    /// streams, which a sub-16k-record session cannot amortize the directory
+    /// for. Counts agree with [`Survivals::Merged`] on every input (both
+    /// read the same packed accumulator).
+    Fused(&'a polm2_snapshot::SnapshotIndex),
 }
 
-impl Survivals {
-    fn build(snapshots: &SnapshotSeries, strategy: ReplayStrategy) -> Survivals {
+impl<'a> Survivals<'a> {
+    fn build(snapshots: &'a SnapshotSeries, strategy: ReplayStrategy, fused: bool) -> Self {
         match strategy {
             ReplayStrategy::HashProbe => {
                 let mut survivals: IdHashMap<IdentityHash, u32> = IdHashMap::default();
@@ -185,6 +192,7 @@ impl Survivals {
                 }
                 Survivals::Probe(survivals)
             }
+            ReplayStrategy::SortedMerge if fused => Survivals::Fused(snapshots.index()),
             ReplayStrategy::SortedMerge => {
                 // The series maintains its columnar index at capture time;
                 // the replay only pays for the weighted-event fold.
@@ -197,6 +205,7 @@ impl Survivals {
         match self {
             Survivals::Probe(map) => map.get(&hash).copied().unwrap_or(0),
             Survivals::Merged(counts) => counts.get(u64::from(hash.raw())),
+            Survivals::Fused(index) => index.survivals_of(u64::from(hash.raw())),
         }
     }
 }
@@ -220,7 +229,7 @@ type RawTrace = (
 fn shard_lifetimes(
     ids: &[TraceId],
     records: &AllocationRecords,
-    survivals: &Survivals,
+    survivals: &Survivals<'_>,
     locs: &[CodeLoc],
     config: &AnalyzerConfig,
     under_observed: bool,
@@ -320,8 +329,13 @@ impl Analyzer {
         snapshots: &SnapshotSeries,
         program: &LoadedProgram,
     ) -> AnalysisOutcome {
-        // Step 1: survivals per object hash.
-        let survivals = Survivals::build(snapshots, self.config.replay);
+        // Step 1: survivals per object hash. Small profiles (the common
+        // per-tenant case in fleet merges) take the fused single-pass path:
+        // below the same threshold that disables sharding, lookups go
+        // straight to the index's accumulator and the directory build is
+        // skipped entirely. Identical counts either way.
+        let fused = records.total_records() < self.config.min_parallel_records;
+        let survivals = Survivals::build(snapshots, self.config.replay, fused);
 
         // Step 2: per-trace histograms, medians, and generation classes.
         // Location strings are resolved once per interned frame symbol;
@@ -366,7 +380,7 @@ impl Analyzer {
                 // order: identical to the sequential pass.
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("lifetime shard panicked"))
+                    .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                     .collect()
             })
         };
@@ -408,10 +422,15 @@ impl Analyzer {
             )
             .collect();
 
-        // Step 3: STTree.
+        // Step 3: STTree. A trace with no resolvable frames (possible only
+        // for records of untrusted provenance, e.g. a replayed journal) has
+        // no place in the tree; skipping it beats tripping `insert_path`'s
+        // non-empty assertion.
         let mut tree = SttTree::new();
         for t in &lifetimes {
-            tree.insert_path(&t.path, t.gen);
+            if !t.path.is_empty() {
+                tree.insert_path(&t.path, t.gen);
+            }
         }
         let conflicts = tree.detect_conflicts();
         let resolutions: Vec<Resolution> = if workers == 1 || conflicts.len() < 2 {
@@ -430,15 +449,17 @@ impl Analyzer {
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("conflict shard panicked"))
+                    .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                     .collect()
             })
         };
         // Conflicted locations as interned tree ids: membership tests in the
         // profile-assembly loop are integer set probes, no CodeLoc clones.
+        // Conflicts come from the tree, so every location interns; the
+        // filter keeps this typed rather than asserting it.
         let conflicted: IdHashSet<u32> = conflicts
             .iter()
-            .map(|c| tree.loc_id(&c.loc).expect("conflict loc is in the tree"))
+            .filter_map(|c| tree.loc_id(&c.loc))
             .collect();
 
         // Step 4: profile assembly.
@@ -799,6 +820,26 @@ mod tests {
             .analyze(&records, &series, &program);
             assert_eq!(sequential, parallel, "parallelism={parallelism}");
         }
+    }
+
+    #[test]
+    fn fused_replay_matches_the_directory_table() {
+        let (records, series, program) = mixed_inputs();
+        // Below the threshold the sorted-merge strategy reads survivals
+        // straight out of the snapshot index (no directory table is built).
+        let fused = Analyzer::new(AnalyzerConfig {
+            replay: ReplayStrategy::SortedMerge,
+            ..AnalyzerConfig::default()
+        })
+        .analyze(&records, &series, &program);
+        // Forcing the threshold to zero materialises the directory table.
+        let tabled = Analyzer::new(AnalyzerConfig {
+            replay: ReplayStrategy::SortedMerge,
+            min_parallel_records: 0,
+            ..AnalyzerConfig::default()
+        })
+        .analyze(&records, &series, &program);
+        assert_eq!(fused, tabled);
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub enum PipelineError {
     RecorderBusy,
     /// The session journal could not be created, recovered, or replayed.
     Journal(JournalError),
+    /// A supervised run exceeded its watchdog deadline: the driver observed
+    /// this many consecutive operations with no simulated-clock progress.
+    /// The fleet supervisor quarantines the tenant instead of waiting
+    /// forever on a stalled runtime.
+    Deadline {
+        /// Consecutive operations without progress when the watchdog fired.
+        silent_ops: u64,
+    },
+    /// An internal invariant the pipeline relies on was violated. These used
+    /// to be panics; surfacing them as a typed error keeps a poisoned tenant
+    /// inside the fleet supervisor instead of unwinding through it.
+    Internal(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -51,6 +63,14 @@ impl fmt::Display for PipelineError {
                 write!(f, "recorder agent still installed in a live runtime")
             }
             PipelineError::Journal(e) => write!(f, "journal error: {e}"),
+            PipelineError::Deadline { silent_ops } => write!(
+                f,
+                "watchdog deadline exceeded: {silent_ops} consecutive operations \
+                 made no simulated-clock progress"
+            ),
+            PipelineError::Internal(reason) => {
+                write!(f, "internal invariant violated: {reason}")
+            }
         }
     }
 }
@@ -63,6 +83,8 @@ impl Error for PipelineError {
             PipelineError::Runtime(e) => Some(e),
             PipelineError::RecorderBusy => None,
             PipelineError::Journal(e) => Some(e),
+            PipelineError::Deadline { .. } => None,
+            PipelineError::Internal(_) => None,
         }
     }
 }

@@ -449,13 +449,17 @@ impl SessionJournal {
         while self.snapshot_cursor < series.len() {
             let i = self.snapshot_cursor;
             let snap = &series.snapshots()[i];
-            let payload = if i + 1 == series.len() {
-                // The common case: the snapshot just pushed. Its delta is
-                // sitting in the index — no re-diff.
-                let (added, removed) = series
-                    .index()
-                    .last_delta()
-                    .expect("non-empty series has a last delta");
+            // The common case: the snapshot just pushed, and its delta is
+            // sitting in the index — no re-diff. A series whose index has
+            // fewer columns than snapshots (possible only through a foreign
+            // constructor) falls through to the catch-up re-diff below
+            // rather than asserting the invariant.
+            let fresh_delta = if i + 1 == series.len() && series.index().len() == series.len() {
+                series.index().last_delta()
+            } else {
+                None
+            };
+            let payload = if let Some((added, removed)) = fresh_delta {
                 encode_snapshot(snap, added, removed)
             } else {
                 // Catch-up: re-derive the delta for an older snapshot.

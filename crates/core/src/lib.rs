@@ -65,6 +65,7 @@ mod error;
 mod faults;
 mod instrumenter;
 pub mod journal;
+pub mod merge;
 mod pipeline;
 mod profile;
 mod recorder;
@@ -79,6 +80,10 @@ pub use faults::{FaultConfig, FaultInjector, FaultyDumper, FaultyMedia, Injected
 pub use instrumenter::{InstrumentationStats, Instrumenter};
 pub use journal::{
     CommitSummary, JournalRetryPolicy, ReplayedSession, SessionJournal, SessionMeta,
+};
+pub use merge::{
+    merge_tenants, recover_tenants, MergedProfile, RecoveredTenant, TenantInput, TenantProfile,
+    TenantStatus,
 };
 pub use pipeline::{
     ProductionSetup, ProfilingReport, ProfilingSession, RecoveryPolicy, SnapshotPolicy,

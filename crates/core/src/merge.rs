@@ -1,0 +1,505 @@
+//! Degraded merge: union a fleet of per-tenant session journals into one
+//! combined profile, tolerating the journals a supervised fleet actually
+//! leaves behind.
+//!
+//! A multi-tenant profiling run ends with one journal directory per tenant,
+//! and not all of them are pristine: a tenant may have been killed before
+//! its commit frame (torn journal), had its directory lost wholesale
+//! (missing journal), suffered bit rot (corrupt journal), or been
+//! quarantined by the supervisor for reasons the journal alone cannot show
+//! (watchdog deadline, retry budget). The merge never lets one bad tenant
+//! poison the rest:
+//!
+//! * every journal is recovered independently ([`recover_tenants`]) — the
+//!   valid prefix is replayed even when the tail is torn, so the ledger can
+//!   say exactly what was salvaged and what was dropped;
+//! * only tenants whose journal **committed** and whose supervisor did not
+//!   exclude them contribute to the merged payload; everything else is
+//!   quarantined with a typed [`TenantStatus`] and shows up only in the
+//!   comment ledger of the rendered profile;
+//! * each surviving tenant is analyzed in its own scoped thread with its
+//!   own [`SttTree`] — a panic during one tenant's analysis demotes that
+//!   tenant to [`TenantStatus::AnalysisFailed`] instead of unwinding
+//!   through the merge.
+//!
+//! The rendered output ([`MergedProfile::render`]) is deterministic: the
+//! payload (non-`#` lines) is a function of the healthy tenants alone, so
+//! a chaos run that poisons tenant *k* must produce a payload bit-identical
+//! to a run that never started tenant *k*. Tests hold the merge to exactly
+//! that invariant.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use polm2_metrics::FaultCounters;
+use polm2_runtime::LoadedProgram;
+use polm2_snapshot::journal::recover;
+use polm2_snapshot::{FsMedia, FsckReport};
+
+use crate::analyzer::{AnalysisOutcome, Analyzer, AnalyzerConfig};
+use crate::journal::{replay, ReplayedSession, SessionMeta, KIND_COMMIT};
+use crate::profile::seal_profile_text;
+use crate::sttree::SttTree;
+
+/// One tenant's journal directory, as handed to [`recover_tenants`].
+#[derive(Debug, Clone)]
+pub struct TenantInput {
+    /// Tenant name (stable across the run; used in the rendered output).
+    pub tenant: String,
+    /// The tenant's `polm2-journal v1` segment directory.
+    pub dir: PathBuf,
+    /// `Some(reason)` when the supervisor quarantined this tenant: its
+    /// journal is still recovered for the ledger, but it is excluded from
+    /// the merged payload even if the journal looks committed (a tenant
+    /// killed *after* its commit frame still did not finish cleanly).
+    pub exclude: Option<String>,
+}
+
+/// One tenant's journal after independent recovery: the fsck findings plus
+/// the replayed valid prefix, with failures captured instead of propagated.
+#[derive(Debug)]
+pub struct RecoveredTenant {
+    /// Tenant name, copied from the input.
+    pub tenant: String,
+    /// Supervisor exclusion, copied from the input.
+    pub exclude: Option<String>,
+    /// The journaled session header, when the prefix got that far.
+    pub meta: Option<SessionMeta>,
+    /// Fsck findings for the journal as found.
+    pub report: FsckReport,
+    /// The replayed valid prefix; `None` when the directory is missing or
+    /// the frames do not replay as a session prefix.
+    pub replayed: Option<ReplayedSession>,
+    /// Why replay failed, when it did.
+    pub replay_error: Option<String>,
+    /// True when the journal directory did not exist at all.
+    pub missing: bool,
+}
+
+impl RecoveredTenant {
+    /// True when the replayed prefix ends in a validated commit.
+    pub fn committed(&self) -> bool {
+        self.replayed.as_ref().is_some_and(|r| r.committed())
+    }
+}
+
+/// Recovers every tenant journal independently. Never fails: a missing
+/// directory, torn tail, or unreplayable frame sequence becomes state on
+/// that tenant's [`RecoveredTenant`], leaving the others untouched.
+pub fn recover_tenants(inputs: &[TenantInput]) -> Vec<RecoveredTenant> {
+    inputs
+        .iter()
+        .map(|input| {
+            // `recover` treats a missing directory as an empty journal;
+            // the merge must tell "never wrote anything" apart from
+            // "wrote and lost everything", so probe the directory first.
+            if !input.dir.is_dir() {
+                return RecoveredTenant {
+                    tenant: input.tenant.clone(),
+                    exclude: input.exclude.clone(),
+                    meta: None,
+                    report: FsckReport::default(),
+                    replayed: None,
+                    replay_error: None,
+                    missing: true,
+                };
+            }
+            let mut media = FsMedia;
+            let (report, replayed, replay_error) =
+                match recover(&mut media, &input.dir, KIND_COMMIT) {
+                    Ok(recovered) => match replay(&recovered.frames) {
+                        Ok(session) => (recovered.report, Some(session), None),
+                        Err(e) => (recovered.report, None, Some(e.to_string())),
+                    },
+                    Err(e) => (FsckReport::default(), None, Some(e.to_string())),
+                };
+            RecoveredTenant {
+                tenant: input.tenant.clone(),
+                exclude: input.exclude.clone(),
+                meta: replayed.as_ref().and_then(|r| r.meta.clone()),
+                report,
+                replayed,
+                replay_error,
+                missing: false,
+            }
+        })
+        .collect()
+}
+
+/// Why a tenant did or did not contribute to the merged payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TenantStatus {
+    /// Committed journal, clean analysis: in the payload.
+    Merged,
+    /// The supervisor quarantined the tenant; the journal (whatever its
+    /// state) is ledger-only.
+    ExcludedBySupervisor {
+        /// The supervisor's quarantine reason.
+        reason: String,
+    },
+    /// The journal directory does not exist.
+    MissingJournal,
+    /// The journal is a valid but uncommitted prefix (crash / kill / torn
+    /// tail). The prefix was replayed for the ledger only.
+    TornJournal {
+        /// CRC-valid frames salvaged from the prefix.
+        frames_salvaged: u64,
+    },
+    /// The journal's frames do not replay as a session prefix, or recovery
+    /// itself failed (foreign or mangled journal).
+    CorruptJournal {
+        /// The replay or recovery error.
+        reason: String,
+    },
+    /// The journal committed but this tenant's analysis panicked or its
+    /// workload program could not be rebuilt.
+    AnalysisFailed {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl TenantStatus {
+    /// True for every variant except [`TenantStatus::Merged`].
+    pub fn is_quarantined(&self) -> bool {
+        !matches!(self, TenantStatus::Merged)
+    }
+
+    /// Stable one-word label for tables and ledger lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TenantStatus::Merged => "merged",
+            TenantStatus::ExcludedBySupervisor { .. } => "quarantined",
+            TenantStatus::MissingJournal => "missing-journal",
+            TenantStatus::TornJournal { .. } => "torn-journal",
+            TenantStatus::CorruptJournal { .. } => "corrupt-journal",
+            TenantStatus::AnalysisFailed { .. } => "analysis-failed",
+        }
+    }
+
+    /// Human-readable detail for tables and ledger lines.
+    pub fn detail(&self) -> String {
+        match self {
+            TenantStatus::Merged => String::new(),
+            TenantStatus::ExcludedBySupervisor { reason } => reason.clone(),
+            TenantStatus::MissingJournal => "journal directory not found".into(),
+            TenantStatus::TornJournal { frames_salvaged } => {
+                format!("uncommitted prefix, {frames_salvaged} frame(s) salvaged")
+            }
+            TenantStatus::CorruptJournal { reason } => reason.clone(),
+            TenantStatus::AnalysisFailed { reason } => reason.clone(),
+        }
+    }
+}
+
+/// One tenant's contribution to (or exclusion from) the merged profile.
+#[derive(Debug)]
+pub struct TenantProfile {
+    /// Tenant name.
+    pub tenant: String,
+    /// Workload name from the journaled session header, `"?"` when the
+    /// journal never got that far.
+    pub workload: String,
+    /// Seed from the session header.
+    pub seed: u64,
+    /// Merged, or why not.
+    pub status: TenantStatus,
+    /// The per-tenant analysis; `Some` only for merged tenants.
+    pub outcome: Option<AnalysisOutcome>,
+    /// The tenant's own stack-trace tree, rebuilt from the analyzed
+    /// lifetimes; `Some` only for merged tenants.
+    pub tree: Option<SttTree>,
+    /// Allocation records salvaged (full count for merged tenants, the
+    /// valid prefix for torn ones).
+    pub records: u64,
+    /// Snapshots salvaged.
+    pub snapshots: u64,
+    /// Faults: the committed ledger plus analysis demotions for merged
+    /// tenants; the salvage ledger (truncated frames, missing segments)
+    /// for torn, corrupt, or missing journals.
+    pub counters: FaultCounters,
+}
+
+/// The fleet-wide merge result: every tenant, in input order.
+#[derive(Debug)]
+pub struct MergedProfile {
+    /// Per-tenant results, in the order the inputs were given.
+    pub tenants: Vec<TenantProfile>,
+}
+
+impl MergedProfile {
+    /// Tenants that contributed to the payload.
+    pub fn merged_count(&self) -> usize {
+        self.tenants
+            .iter()
+            .filter(|t| !t.status.is_quarantined())
+            .count()
+    }
+
+    /// Tenants that were quarantined (any reason).
+    pub fn quarantined_count(&self) -> usize {
+        self.tenants.len() - self.merged_count()
+    }
+
+    /// True when at least one tenant was quarantined but the merge still
+    /// produced a payload.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined_count() > 0 && !self.all_quarantined()
+    }
+
+    /// True when no tenant survived to contribute.
+    pub fn all_quarantined(&self) -> bool {
+        self.merged_count() == 0
+    }
+
+    /// Fleet-wide fault ledger: every tenant's counters merged.
+    pub fn aggregate_counters(&self) -> FaultCounters {
+        let mut total = FaultCounters::new();
+        for t in &self.tenants {
+            total.merge(&t.counters);
+        }
+        total
+    }
+
+    /// Renders the merged profile as `polm2-fleet v1` text.
+    ///
+    /// The payload (non-`#` lines) is built from merged tenants alone:
+    /// per tenant, a `tenant …` header line, its allocation profile body
+    /// (the `site`/`call` lines of the standard profile format), and an
+    /// `end …` line. Quarantined tenants appear only as `# polm2-…`
+    /// comment ledger lines, so stripping comments yields a payload that
+    /// is bit-identical whether a poisoned tenant was quarantined or never
+    /// ran at all. The text ends with the standard CRC footer.
+    pub fn render(&self) -> String {
+        let mut out = String::from("polm2-fleet v1\n");
+        for t in &self.tenants {
+            let Some(outcome) = &t.outcome else { continue };
+            out.push_str(&format!(
+                "tenant {} workload {} seed {} records {} snapshots {} sites {} conflicts {}\n",
+                t.tenant,
+                t.workload,
+                t.seed,
+                t.records,
+                t.snapshots,
+                outcome.profile.sites().len(),
+                outcome.conflicts.len(),
+            ));
+            let body = outcome.profile.to_string();
+            for line in body.lines().skip(1) {
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str(&format!("end {}\n", t.tenant));
+        }
+        for t in &self.tenants {
+            if !t.status.is_quarantined() {
+                continue;
+            }
+            out.push_str(&format!(
+                "# polm2-quarantined {} {} {}\n",
+                t.tenant,
+                t.status.label(),
+                t.status.detail(),
+            ));
+            for (name, value) in t.counters.entries() {
+                if value != 0 {
+                    out.push_str(&format!(
+                        "# polm2-tenant-faults {} {name} {value}\n",
+                        t.tenant
+                    ));
+                }
+            }
+        }
+        for (name, value) in self.aggregate_counters().entries() {
+            out.push_str(&format!("# polm2-faults {name} {value}\n"));
+        }
+        seal_profile_text(&mut out);
+        out
+    }
+}
+
+/// Analyzes every surviving tenant and assembles the merged profile.
+///
+/// `programs` pairs with `recovered` index-for-index: the caller resolves
+/// each tenant's workload name (from [`RecoveredTenant::meta`]) to a loaded
+/// program on its side of the crate boundary — this crate knows nothing
+/// about the workload registry. `None` for tenants that cannot contribute
+/// anyway (quarantined) or whose workload is unknown.
+///
+/// Merged tenants are analyzed concurrently, one scoped thread per tenant,
+/// joined in input order so the output is deterministic. A panic inside one
+/// tenant's analysis is caught at the thread boundary and demotes exactly
+/// that tenant to [`TenantStatus::AnalysisFailed`].
+pub fn merge_tenants(
+    recovered: Vec<RecoveredTenant>,
+    programs: Vec<Option<LoadedProgram>>,
+    analyzer: &AnalyzerConfig,
+) -> MergedProfile {
+    assert_eq!(
+        recovered.len(),
+        programs.len(),
+        "one program slot per recovered tenant"
+    );
+    let analyzed: Vec<Option<Result<AnalysisOutcome, String>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = recovered
+            .iter()
+            .zip(&programs)
+            .map(|(tenant, program)| {
+                // Only committed, non-excluded tenants are analyzed.
+                if tenant.exclude.is_some() || !tenant.committed() {
+                    return None;
+                }
+                let Some(program) = program else {
+                    let workload = tenant.meta.as_ref().map_or("?", |m| m.workload.as_str());
+                    return Some(Err(format!("unknown workload {workload:?}")));
+                };
+                let replayed = tenant.replayed.as_ref().expect("committed() checked");
+                let config = *analyzer;
+                Some(Ok(scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        Analyzer::new(config).analyze(
+                            &replayed.records,
+                            &replayed.snapshots,
+                            program,
+                        )
+                    }))
+                    .map_err(|panic| {
+                        let reason = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "analysis panicked".into());
+                        format!("analysis panicked: {reason}")
+                    })
+                })))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|slot| {
+                slot.map(|entry| match entry {
+                    Ok(handle) => handle
+                        .join()
+                        .unwrap_or_else(|p| std::panic::resume_unwind(p)),
+                    Err(reason) => Err(reason),
+                })
+            })
+            .collect()
+    });
+
+    let tenants = recovered
+        .into_iter()
+        .zip(analyzed)
+        .map(|(tenant, analysis)| finish_tenant(tenant, analysis))
+        .collect();
+    MergedProfile { tenants }
+}
+
+/// Folds one tenant's recovery state and (optional) analysis into its final
+/// [`TenantProfile`].
+fn finish_tenant(
+    tenant: RecoveredTenant,
+    analysis: Option<Result<AnalysisOutcome, String>>,
+) -> TenantProfile {
+    let workload = tenant
+        .meta
+        .as_ref()
+        .map_or_else(|| "?".to_string(), |m| m.workload.clone());
+    let seed = tenant.meta.as_ref().map_or(0, |m| m.seed);
+    let (records, snapshots) = tenant.replayed.as_ref().map_or((0, 0), |r| {
+        (r.records.total_records(), r.snapshots.len() as u64)
+    });
+
+    // The salvage ledger for anything that did not merge cleanly: what the
+    // journal lost, in the same counters a crashed single run reports.
+    let salvage_counters = |tenant: &RecoveredTenant| {
+        let mut c = FaultCounters::new();
+        c.journal_frames_truncated += tenant.report.defective_segments() as u64;
+        c.journal_segments_missing += tenant.report.missing_segments.len() as u64;
+        c
+    };
+
+    let (status, outcome, counters) = if let Some(reason) = &tenant.exclude {
+        (
+            TenantStatus::ExcludedBySupervisor {
+                reason: reason.clone(),
+            },
+            None,
+            salvage_counters(&tenant),
+        )
+    } else if tenant.missing {
+        (
+            TenantStatus::MissingJournal,
+            None,
+            salvage_counters(&tenant),
+        )
+    } else if let Some(reason) = &tenant.replay_error {
+        (
+            TenantStatus::CorruptJournal {
+                reason: reason.clone(),
+            },
+            None,
+            salvage_counters(&tenant),
+        )
+    } else if !tenant.committed() {
+        (
+            TenantStatus::TornJournal {
+                frames_salvaged: tenant.replayed.as_ref().map_or(0, |r| r.frames),
+            },
+            None,
+            salvage_counters(&tenant),
+        )
+    } else {
+        match analysis {
+            Some(Ok(outcome)) => {
+                // Mirror the single-run resume path: the committed ledger
+                // predates the analysis, so demotions are added here.
+                let commit = tenant
+                    .replayed
+                    .as_ref()
+                    .and_then(|r| r.commit.as_ref())
+                    .expect("committed() checked");
+                let mut counters = commit.counters;
+                counters.traces_demoted += outcome.demoted_traces;
+                (TenantStatus::Merged, Some(outcome), counters)
+            }
+            Some(Err(reason)) => (
+                TenantStatus::AnalysisFailed { reason },
+                None,
+                salvage_counters(&tenant),
+            ),
+            None => (
+                TenantStatus::AnalysisFailed {
+                    reason: "no analysis slot for a committed tenant".into(),
+                },
+                None,
+                salvage_counters(&tenant),
+            ),
+        }
+    };
+
+    // Rebuild the tenant's own stack-trace tree from the analyzed
+    // lifetimes: the merge keeps per-tenant trees, never a cross-tenant
+    // union (tenants may run different programs entirely).
+    let tree = outcome.as_ref().map(|o| {
+        let mut tree = SttTree::new();
+        for t in o.lifetimes.traces() {
+            if !t.path.is_empty() {
+                tree.insert_path(&t.path, t.gen);
+            }
+        }
+        tree
+    });
+
+    TenantProfile {
+        tenant: tenant.tenant,
+        workload,
+        seed,
+        status,
+        outcome,
+        tree,
+        records,
+        snapshots,
+        counters,
+    }
+}

@@ -1,0 +1,140 @@
+//! Fleet-level instruments: per-tenant statistics and the aggregate ledger
+//! a supervised multi-tenant profiling run reports.
+//!
+//! One [`TenantStats`] row per tenant (healthy or quarantined), collected
+//! into a [`FleetLedger`] for the aggregate views the fleet CLI and the
+//! chaos tests read: total faults absorbed, quarantine counts, and mean
+//! per-tenant throughput. Everything is measured on the simulated clock,
+//! so two runs with the same seeds produce identical ledgers.
+
+use crate::faults::FaultCounters;
+use crate::time::SimDuration;
+
+/// Per-tenant bookkeeping from one supervised fleet run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// Tenant name (stable across the run).
+    pub tenant: String,
+    /// Workload the tenant ran.
+    pub workload: String,
+    /// Allocations the tenant's Recorder logged (0 when it never got
+    /// that far).
+    pub records: u64,
+    /// Heap snapshots captured.
+    pub snapshots: u64,
+    /// Simulated time the tenant's runtime advanced, including retried
+    /// attempts and backoff penalties.
+    pub sim_duration: SimDuration,
+    /// Transient-failure retries the supervisor granted.
+    pub retries: u32,
+    /// True when the supervisor quarantined the tenant.
+    pub quarantined: bool,
+    /// Faults absorbed by this tenant's pipeline.
+    pub counters: FaultCounters,
+}
+
+impl TenantStats {
+    /// Records per simulated second, `None` when no time was simulated.
+    pub fn throughput(&self) -> Option<f64> {
+        let secs = self.sim_duration.as_secs_f64();
+        (secs > 0.0).then(|| self.records as f64 / secs)
+    }
+}
+
+/// The fleet-wide ledger: one row per tenant, in launch order.
+#[derive(Debug, Clone, Default)]
+pub struct FleetLedger {
+    /// Per-tenant rows.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl FleetLedger {
+    /// Tenants that finished cleanly.
+    pub fn healthy_count(&self) -> usize {
+        self.tenants.iter().filter(|t| !t.quarantined).count()
+    }
+
+    /// Tenants the supervisor quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.tenants.len() - self.healthy_count()
+    }
+
+    /// Every tenant's fault counters merged into one ledger.
+    pub fn aggregate_counters(&self) -> FaultCounters {
+        let mut total = FaultCounters::new();
+        for t in &self.tenants {
+            total.merge(&t.counters);
+        }
+        total
+    }
+
+    /// Total allocations recorded across healthy tenants.
+    pub fn total_records(&self) -> u64 {
+        self.tenants
+            .iter()
+            .filter(|t| !t.quarantined)
+            .map(|t| t.records)
+            .sum()
+    }
+
+    /// Total retries granted across all tenants.
+    pub fn total_retries(&self) -> u32 {
+        self.tenants.iter().map(|t| t.retries).sum()
+    }
+
+    /// Mean per-tenant throughput over healthy tenants, `None` when no
+    /// healthy tenant simulated any time.
+    pub fn mean_throughput(&self) -> Option<f64> {
+        let rates: Vec<f64> = self
+            .tenants
+            .iter()
+            .filter(|t| !t.quarantined)
+            .filter_map(TenantStats::throughput)
+            .collect();
+        (!rates.is_empty()).then(|| rates.iter().sum::<f64>() / rates.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(tenant: &str, records: u64, secs: u64, quarantined: bool) -> TenantStats {
+        TenantStats {
+            tenant: tenant.into(),
+            workload: "w".into(),
+            records,
+            snapshots: 2,
+            sim_duration: SimDuration::from_secs(secs),
+            retries: 1,
+            quarantined,
+            counters: FaultCounters::new(),
+        }
+    }
+
+    #[test]
+    fn ledger_aggregates_over_healthy_tenants_only() {
+        let ledger = FleetLedger {
+            tenants: vec![
+                row("a", 100, 10, false),
+                row("b", 300, 10, false),
+                row("c", 999, 10, true),
+            ],
+        };
+        assert_eq!(ledger.healthy_count(), 2);
+        assert_eq!(ledger.quarantined_count(), 1);
+        assert_eq!(ledger.total_records(), 400);
+        assert_eq!(ledger.total_retries(), 3);
+        // Mean of 10 and 30 records/s; the quarantined tenant is excluded.
+        assert_eq!(ledger.mean_throughput(), Some(20.0));
+    }
+
+    #[test]
+    fn empty_and_zero_time_fleets_have_no_throughput() {
+        assert_eq!(FleetLedger::default().mean_throughput(), None);
+        let ledger = FleetLedger {
+            tenants: vec![row("a", 5, 0, false)],
+        };
+        assert_eq!(ledger.mean_throughput(), None);
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`ThroughputTracker`] — operations/second time series (Figures 7–8).
 //! * [`MemoryTracker`] — heap-usage high-water marks (Figure 9).
 //! * [`FaultCounters`] — fault/recovery tallies for degraded pipeline runs.
+//! * [`FleetLedger`] / [`TenantStats`] — per-tenant and aggregate fleet
+//!   statistics for supervised multi-tenant runs.
 //! * [`report`] — plain-text table rendering shared by the figure binaries.
 //!
 //! # Examples
@@ -31,6 +33,7 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 
 mod faults;
+mod fleet;
 mod histogram;
 mod intervals;
 mod memory;
@@ -39,6 +42,7 @@ mod throughput;
 mod time;
 
 pub use faults::FaultCounters;
+pub use fleet::{FleetLedger, TenantStats};
 pub use histogram::{PauseHistogram, PercentileRow, STANDARD_PERCENTILES};
 pub use intervals::{IntervalBin, IntervalHistogram};
 pub use memory::{MemorySample, MemoryTracker};

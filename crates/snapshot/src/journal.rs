@@ -470,7 +470,7 @@ fn scan_segment(seq: u32, bytes: &[u8]) -> (Vec<Frame>, u64, Option<SegmentDefec
             }),
         );
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes(le_array(&bytes[8..12]));
     if version != JOURNAL_VERSION {
         return (
             Vec::new(),
@@ -480,7 +480,7 @@ fn scan_segment(seq: u32, bytes: &[u8]) -> (Vec<Frame>, u64, Option<SegmentDefec
             }),
         );
     }
-    let header_seq = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let header_seq = u32::from_le_bytes(le_array(&bytes[12..16]));
     if header_seq != seq {
         return (
             Vec::new(),
@@ -504,8 +504,8 @@ fn scan_segment(seq: u32, bytes: &[u8]) -> (Vec<Frame>, u64, Option<SegmentDefec
             };
             return (frames, at as u64, Some(defect));
         }
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-        let stored = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(le_array(&bytes[at..at + 4]));
+        let stored = u32::from_le_bytes(le_array(&bytes[at + 4..at + 8]));
         if len == 0 || len > MAX_FRAME_LEN {
             return (
                 frames,
@@ -902,6 +902,19 @@ pub fn put_str(out: &mut Vec<u8>, s: &str) {
 }
 
 /// Sequentially decodes the primitives the `put_*` helpers wrote, with typed
+/// Widens a length-checked byte slice into a fixed array without the
+/// `try_into().unwrap()` a slice conversion needs: every caller has already
+/// bounds-checked, but these paths read untrusted journal bytes and the
+/// fleet audit keeps them unwrap-free. A short slice (impossible today)
+/// zero-pads instead of panicking.
+fn le_array<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (dst, src) in out.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    out
+}
+
 /// errors instead of panics on truncated or garbled payloads.
 #[derive(Debug)]
 pub struct WireReader<'a> {
@@ -937,7 +950,7 @@ impl<'a> WireReader<'a> {
     ///
     /// [`JournalError::Replay`] if the payload is exhausted.
     pub fn u16(&mut self) -> Result<u16, JournalError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(le_array(self.take(2)?)))
     }
 
     /// Reads a `u32`.
@@ -946,7 +959,7 @@ impl<'a> WireReader<'a> {
     ///
     /// [`JournalError::Replay`] if the payload is exhausted.
     pub fn u32(&mut self) -> Result<u32, JournalError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(le_array(self.take(4)?)))
     }
 
     /// Reads a `u64`.
@@ -955,7 +968,7 @@ impl<'a> WireReader<'a> {
     ///
     /// [`JournalError::Replay`] if the payload is exhausted.
     pub fn u64(&mut self) -> Result<u64, JournalError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(le_array(self.take(8)?)))
     }
 
     /// Reads a length-prefixed string.

@@ -1,0 +1,666 @@
+//! Supervised multi-tenant profiling fleet with per-tenant fault isolation.
+//!
+//! [`run_fleet`] runs N tenant profiling sessions concurrently — each tenant
+//! a full [`ProfilingSession`](polm2_core::ProfilingSession) with its own
+//! Recorder and its own `polm2-journal v1` segment directory — under a
+//! supervisor that keeps one tenant's failure from touching any other:
+//!
+//! * a **watchdog** quarantines a tenant whose runtime stops making
+//!   simulated-clock progress ([`WatchdogPolicy`]);
+//! * **transient start failures** are retried with exponential backoff
+//!   charged to the simulated clock ([`TenantRetryPolicy`]); once the
+//!   budget is exhausted the tenant is quarantined, never the run;
+//! * a tenant that **dies** (panics) is caught at its thread boundary and
+//!   quarantined; its torn journal stays on disk for the degraded merge;
+//! * after a clean run the tenant's journal is **fscked**; a corrupt
+//!   journal quarantines the tenant even though its runtime finished.
+//!
+//! Chaos is first-class: a [`ChaosPlan`] injects kills, stalls, journal
+//! corruption, and flaky starts per tenant — seeded and deterministic, with
+//! each tenant drawing from an independent stream so one tenant's fault
+//! never shifts another's. The plan is also the **ground truth** the chaos
+//! tests check quarantine decisions against.
+//!
+//! [`merge_fleet`] then unions the surviving journals into one degraded
+//! [`MergedProfile`] (see [`polm2_core::merge`]): quarantined tenants are
+//! ledgered, healthy tenants are analyzed — and the merged payload is
+//! bit-identical to a fleet that never launched the poisoned tenants.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use polm2_core::journal::KIND_COMMIT;
+use polm2_core::merge::{merge_tenants, recover_tenants, MergedProfile, TenantInput};
+use polm2_core::{AnalyzerConfig, PipelineError, Recorder};
+use polm2_heap::{Heap, HeapConfig};
+use polm2_metrics::{FaultCounters, FleetLedger, SimDuration, SimTime, TenantStats};
+use polm2_runtime::{Jvm, Loader};
+use polm2_snapshot::journal::{fsck, SEGMENT_HEADER_LEN};
+use polm2_snapshot::FsMedia;
+
+use crate::runner::{attach_session_journal, build_profiling_session, ProfilePhaseConfig};
+use crate::workload::Workload;
+
+/// Resolves a workload name to a fresh workload instance. A plain function
+/// pointer so tenant threads can call it; tests wrap
+/// [`workload_by_name`](crate::registry::workload_by_name) to add their own
+/// tiny workloads.
+pub type WorkloadResolver = fn(&str) -> Option<Box<dyn Workload>>;
+
+/// One tenant of the fleet: a name, a workload, and its own profiling
+/// configuration (duration, seed, snapshot policy, fault injection).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name; also the journal subdirectory name.
+    pub tenant: String,
+    /// Workload name, resolved through the fleet's [`WorkloadResolver`].
+    pub workload: String,
+    /// The tenant's profiling-phase configuration.
+    pub config: ProfilePhaseConfig,
+}
+
+/// Sentinel for [`TenantFault::Kill`]: die *after* the journal commit
+/// frame is written. The journal looks committed, but the supervisor still
+/// quarantines the tenant — a run that did not exit cleanly is never
+/// trusted, and the merge must exclude it.
+pub const KILL_AFTER_COMMIT: u64 = u64::MAX;
+
+/// A fault the chaos plan injects into one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantFault {
+    /// Panic the tenant thread at operation `at_op` (0 = before the first
+    /// operation; [`KILL_AFTER_COMMIT`] = after the commit frame).
+    Kill {
+        /// Operation index at which the tenant dies.
+        at_op: u64,
+    },
+    /// From operation `at_op` on, the tenant's runtime stops advancing the
+    /// simulated clock — the watchdog must catch it.
+    Stall {
+        /// First stalled operation index.
+        at_op: u64,
+    },
+    /// Flip one seeded byte in the tenant's journal after a clean run; the
+    /// post-run fsck must detect it.
+    CorruptJournal,
+    /// The tenant's first `failures` start attempts fail transiently; the
+    /// supervisor retries with backoff.
+    FlakyStart {
+        /// Start attempts that fail before one succeeds.
+        failures: u32,
+    },
+}
+
+/// Per-fleet chaos: what (if anything) to inject into each tenant.
+#[derive(Debug, Clone, Default)]
+pub enum ChaosPlan {
+    /// No injected faults.
+    #[default]
+    None,
+    /// Exactly these faults, by tenant index.
+    Scripted(Vec<Option<TenantFault>>),
+    /// Seeded faults: tenant *i* draws from its own `splitmix64` stream
+    /// derived from `seed` and *i*, suffering a fault with probability
+    /// `rate`. Independent streams keep tenants decoupled: rerunning with
+    /// the same seed injects the same faults regardless of how the other
+    /// tenants behave.
+    Seeded {
+        /// Chaos seed.
+        seed: u64,
+        /// Per-tenant fault probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+impl ChaosPlan {
+    /// The fault (ground truth) injected into tenant `index`.
+    pub fn fault_for(&self, index: usize) -> Option<TenantFault> {
+        match self {
+            ChaosPlan::None => None,
+            ChaosPlan::Scripted(faults) => faults.get(index).copied().flatten(),
+            ChaosPlan::Seeded { seed, rate } => {
+                let mut stream = seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let roll = splitmix64(&mut stream) as f64 / u64::MAX as f64;
+                if roll >= *rate {
+                    return None;
+                }
+                let kind = splitmix64(&mut stream) % 5;
+                let param = splitmix64(&mut stream);
+                Some(match kind {
+                    0 => TenantFault::Kill { at_op: param % 64 },
+                    1 => TenantFault::Kill {
+                        at_op: KILL_AFTER_COMMIT,
+                    },
+                    2 => TenantFault::Stall { at_op: param % 64 },
+                    3 => TenantFault::CorruptJournal,
+                    _ => TenantFault::FlakyStart {
+                        failures: 1 + (param % 3) as u32,
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// Watchdog deadline: how long a tenant may spin without advancing the
+/// simulated clock before it is declared stalled.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogPolicy {
+    /// Consecutive operations with zero clock progress before quarantine.
+    pub max_silent_ops: u64,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        WatchdogPolicy {
+            max_silent_ops: 4096,
+        }
+    }
+}
+
+/// Retry budget for transient tenant start failures.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantRetryPolicy {
+    /// Retries granted after the first failure (2 ⇒ three attempts total).
+    pub max_retries: u32,
+    /// Base backoff, doubled per retry and charged to the tenant's
+    /// simulated clock.
+    pub backoff: SimDuration,
+}
+
+impl Default for TenantRetryPolicy {
+    fn default() -> Self {
+        TenantRetryPolicy {
+            max_retries: 2,
+            backoff: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// The supervisor's knobs.
+#[derive(Debug, Clone, Default)]
+pub struct FleetConfig {
+    /// Watchdog deadline per tenant.
+    pub watchdog: WatchdogPolicy,
+    /// Transient-failure retry budget per tenant.
+    pub retry: TenantRetryPolicy,
+    /// Fault injection plan.
+    pub chaos: ChaosPlan,
+}
+
+/// Why the supervisor quarantined a tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The tenant thread died (panicked).
+    Killed {
+        /// Operation index at which it died ([`KILL_AFTER_COMMIT`] when it
+        /// died after its commit frame).
+        at_op: u64,
+    },
+    /// The watchdog saw too many operations without clock progress.
+    DeadlineExceeded {
+        /// Consecutive silent operations observed.
+        silent_ops: u64,
+    },
+    /// The post-run fsck found the journal dirty or uncommitted.
+    JournalCorrupt {
+        /// Segments whose scan hit a defect.
+        defective_segments: usize,
+    },
+    /// Transient start failures exhausted the retry budget.
+    RetryBudgetExhausted {
+        /// Total attempts made.
+        attempts: u32,
+        /// The last transient failure.
+        last_error: String,
+    },
+    /// The tenant's pipeline returned a non-transient error.
+    Failed {
+        /// The error, stringified at the thread boundary.
+        error: String,
+    },
+}
+
+impl QuarantineReason {
+    /// Stable one-word label for tables and ledgers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuarantineReason::Killed { .. } => "killed",
+            QuarantineReason::DeadlineExceeded { .. } => "deadline",
+            QuarantineReason::JournalCorrupt { .. } => "journal-corrupt",
+            QuarantineReason::RetryBudgetExhausted { .. } => "retry-exhausted",
+            QuarantineReason::Failed { .. } => "failed",
+        }
+    }
+
+    /// Human-readable detail.
+    pub fn detail(&self) -> String {
+        match self {
+            QuarantineReason::Killed { at_op } if *at_op == KILL_AFTER_COMMIT => {
+                "died after commit".into()
+            }
+            QuarantineReason::Killed { at_op } => format!("died at operation {at_op}"),
+            QuarantineReason::DeadlineExceeded { silent_ops } => {
+                format!("{silent_ops} operations without progress")
+            }
+            QuarantineReason::JournalCorrupt { defective_segments } => {
+                format!("{defective_segments} defective segment(s)")
+            }
+            QuarantineReason::RetryBudgetExhausted {
+                attempts,
+                last_error,
+            } => format!("{attempts} failed attempts; last: {last_error}"),
+            QuarantineReason::Failed { error } => error.clone(),
+        }
+    }
+}
+
+/// One tenant's supervised run, as the fleet reports it.
+#[derive(Debug)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub tenant: String,
+    /// Workload name.
+    pub workload: String,
+    /// The tenant's journal directory.
+    pub journal_dir: PathBuf,
+    /// `Some` when the supervisor quarantined the tenant.
+    pub quarantine: Option<QuarantineReason>,
+    /// Retries granted for transient failures.
+    pub retries: u32,
+    /// The chaos plan's injected fault — ground truth for the tests.
+    pub injected: Option<TenantFault>,
+    /// Allocations recorded (0 when the tenant never finished an attempt).
+    pub records: u64,
+    /// Snapshots captured.
+    pub snapshots: u64,
+    /// Simulated time charged to the tenant: the run itself plus backoff
+    /// penalties; quarantined tenants are charged only their penalties
+    /// (the partial attempt's clock died with its thread).
+    pub sim_duration: SimDuration,
+    /// Faults absorbed by the tenant's own pipeline during the run.
+    pub counters: FaultCounters,
+}
+
+impl TenantOutcome {
+    /// True when the tenant finished cleanly.
+    pub fn healthy(&self) -> bool {
+        self.quarantine.is_none()
+    }
+}
+
+/// Result of [`run_fleet`]: every tenant, launch order.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Per-tenant outcomes.
+    pub tenants: Vec<TenantOutcome>,
+}
+
+impl FleetOutcome {
+    /// Tenants that finished cleanly.
+    pub fn healthy_count(&self) -> usize {
+        self.tenants.iter().filter(|t| t.healthy()).count()
+    }
+
+    /// Tenants the supervisor quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.tenants.len() - self.healthy_count()
+    }
+
+    /// The fleet's metric ledger.
+    pub fn ledger(&self) -> FleetLedger {
+        FleetLedger {
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantStats {
+                    tenant: t.tenant.clone(),
+                    workload: t.workload.clone(),
+                    records: t.records,
+                    snapshots: t.snapshots,
+                    sim_duration: t.sim_duration,
+                    retries: t.retries,
+                    quarantined: !t.healthy(),
+                    counters: t.counters,
+                })
+                .collect(),
+        }
+    }
+
+    /// The merge inputs this fleet run leaves behind: one per tenant, with
+    /// quarantined tenants marked excluded (their journals are ledger-only
+    /// even if they look committed).
+    pub fn tenant_inputs(&self) -> Vec<TenantInput> {
+        self.tenants
+            .iter()
+            .map(|t| TenantInput {
+                tenant: t.tenant.clone(),
+                dir: t.journal_dir.clone(),
+                exclude: t
+                    .quarantine
+                    .as_ref()
+                    .map(|q| format!("{} ({})", q.label(), q.detail())),
+            })
+            .collect()
+    }
+}
+
+/// Runs the fleet: one supervised thread per tenant, each journaling into
+/// `journal_root/<tenant>`. Never fails — every failure mode becomes a
+/// quarantine on the affected tenant alone.
+pub fn run_fleet(
+    specs: &[TenantSpec],
+    journal_root: &Path,
+    config: &FleetConfig,
+    resolver: WorkloadResolver,
+) -> FleetOutcome {
+    silence_injected_kill_panics();
+    let tenants = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(index, spec)| {
+                let fault = config.chaos.fault_for(index);
+                let dir = journal_root.join(&spec.tenant);
+                scope.spawn(move || supervise_tenant(spec, dir, fault, config, resolver))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
+            .collect()
+    });
+    FleetOutcome { tenants }
+}
+
+/// Recovers and merges a fleet's journals into one degraded profile. The
+/// heavy lifting lives in [`polm2_core::merge`]; this wrapper resolves each
+/// committed tenant's workload name (from its journaled session header) to
+/// a loaded program — rebuilt under a fresh Recorder agent, exactly the
+/// load-time view the tenant's own JVM had.
+pub fn merge_fleet(
+    inputs: &[TenantInput],
+    analyzer: &AnalyzerConfig,
+    resolver: WorkloadResolver,
+) -> MergedProfile {
+    let recovered = recover_tenants(inputs);
+    let programs = recovered
+        .iter()
+        .map(|tenant| {
+            if tenant.exclude.is_some() || !tenant.committed() {
+                return None;
+            }
+            let meta = tenant.meta.as_ref()?;
+            let workload = resolver(&meta.workload)?;
+            let recorder = Recorder::new();
+            let mut agent = recorder.agent();
+            let mut heap = Heap::new(HeapConfig::small());
+            Loader::load(workload.program(), &mut [agent.as_mut()], &mut heap).ok()
+        })
+        .collect();
+    merge_tenants(recovered, programs, analyzer)
+}
+
+/// Panic payload for injected kills: lets the supervisor tell a chaos kill
+/// from a genuine bug, and the silencing hook keep injected kills off
+/// stderr.
+struct InjectedKill {
+    at_op: u64,
+}
+
+/// Installs (once per process) a panic hook that swallows [`InjectedKill`]
+/// panics — they are simulated crashes, not errors worth a backtrace — and
+/// delegates everything else to the previous hook.
+fn silence_injected_kill_panics() {
+    static SILENCE: Once = Once::new();
+    SILENCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedKill>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one attempt of one tenant produced.
+struct AttemptSuccess {
+    records: u64,
+    snapshots: u64,
+    counters: FaultCounters,
+}
+
+/// How one attempt of one tenant failed.
+enum AttemptError {
+    /// Worth retrying (flaky start).
+    Transient(String),
+    /// Not worth retrying.
+    Fatal(PipelineError),
+}
+
+/// Supervises one tenant: retry loop around [`run_tenant_attempt`], panic
+/// containment at this boundary, post-run journal fsck.
+fn supervise_tenant(
+    spec: &TenantSpec,
+    journal_dir: PathBuf,
+    fault: Option<TenantFault>,
+    config: &FleetConfig,
+    resolver: WorkloadResolver,
+) -> TenantOutcome {
+    let mut retries = 0u32;
+    let mut penalty = SimDuration::ZERO;
+    let outcome = |quarantine, retries, penalty, records, snapshots, counters| TenantOutcome {
+        tenant: spec.tenant.clone(),
+        workload: spec.workload.clone(),
+        journal_dir: journal_dir.clone(),
+        quarantine,
+        retries,
+        injected: fault,
+        records,
+        snapshots,
+        sim_duration: penalty,
+        counters,
+    };
+    loop {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            run_tenant_attempt(spec, &journal_dir, fault, retries, config, resolver)
+        }));
+        match attempt {
+            Err(panic) => {
+                // A dead thread tells no throughput: records and counters
+                // are zero; the torn journal carries the salvage ledger.
+                let reason = match panic.downcast_ref::<InjectedKill>() {
+                    Some(kill) => QuarantineReason::Killed { at_op: kill.at_op },
+                    None => QuarantineReason::Failed {
+                        error: panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "tenant panicked".into()),
+                    },
+                };
+                return outcome(Some(reason), retries, penalty, 0, 0, FaultCounters::new());
+            }
+            Ok(Err(AttemptError::Transient(error))) => {
+                if retries < config.retry.max_retries {
+                    // Exponential backoff on the simulated clock: the fleet
+                    // is deterministic, so the penalty is bookkeeping, not
+                    // a real sleep.
+                    penalty += config.retry.backoff * (1u64 << retries);
+                    retries += 1;
+                    continue;
+                }
+                return outcome(
+                    Some(QuarantineReason::RetryBudgetExhausted {
+                        attempts: retries + 1,
+                        last_error: error,
+                    }),
+                    retries,
+                    penalty,
+                    0,
+                    0,
+                    FaultCounters::new(),
+                );
+            }
+            Ok(Err(AttemptError::Fatal(e))) => {
+                let reason = match e {
+                    PipelineError::Deadline { silent_ops } => {
+                        QuarantineReason::DeadlineExceeded { silent_ops }
+                    }
+                    other => QuarantineReason::Failed {
+                        error: other.to_string(),
+                    },
+                };
+                return outcome(Some(reason), retries, penalty, 0, 0, FaultCounters::new());
+            }
+            Ok(Ok(success)) => {
+                // Chaos arm: rot the journal *after* the clean run, then
+                // let the same fsck gate that guards real runs catch it.
+                if fault == Some(TenantFault::CorruptJournal) {
+                    corrupt_one_byte(&journal_dir, spec.config.seed);
+                }
+                let mut media = FsMedia;
+                let report = fsck(&mut media, &journal_dir, KIND_COMMIT);
+                let quarantine = match report {
+                    Ok(report) if report.is_clean() && report.committed => None,
+                    Ok(report) => Some(QuarantineReason::JournalCorrupt {
+                        defective_segments: report.defective_segments().max(1),
+                    }),
+                    Err(e) => Some(QuarantineReason::Failed {
+                        error: e.to_string(),
+                    }),
+                };
+                return outcome(
+                    quarantine,
+                    retries,
+                    penalty + spec.config.duration,
+                    success.records,
+                    success.snapshots,
+                    success.counters,
+                );
+            }
+        }
+    }
+}
+
+/// One attempt: build the tenant's session + journal + JVM and drive it to
+/// the configured duration, with the chaos fault (if any) and the watchdog
+/// wired into the loop.
+fn run_tenant_attempt(
+    spec: &TenantSpec,
+    journal_dir: &Path,
+    fault: Option<TenantFault>,
+    attempt: u32,
+    config: &FleetConfig,
+    resolver: WorkloadResolver,
+) -> Result<AttemptSuccess, AttemptError> {
+    if let Some(TenantFault::FlakyStart { failures }) = fault {
+        if attempt < failures {
+            return Err(AttemptError::Transient(format!(
+                "injected start failure {} of {failures}",
+                attempt + 1
+            )));
+        }
+    }
+    let workload = resolver(&spec.workload).ok_or_else(|| {
+        AttemptError::Fatal(PipelineError::Internal(format!(
+            "unknown workload {:?}",
+            spec.workload
+        )))
+    })?;
+    let workload = workload.as_ref();
+
+    let mut session = build_profiling_session(&spec.config);
+    attach_session_journal(&mut session, workload.name(), &spec.config, journal_dir)
+        .map_err(AttemptError::Fatal)?;
+
+    let mut jvm = Jvm::builder(spec.config.runtime)
+        .hooks(workload.hooks())
+        .state(workload.new_state(spec.config.seed))
+        .transformer(session.recorder_agent())
+        .build(workload.program())
+        .map_err(|e| AttemptError::Fatal(e.into()))?;
+    let thread = jvm.spawn_thread();
+    let (class, method) = workload.entry();
+    let op_cost = workload.op_cost();
+    let end = SimTime::ZERO + spec.config.duration;
+
+    let mut op = 0u64;
+    let mut silent = 0u64;
+    while jvm.now() < end {
+        if let Some(TenantFault::Kill { at_op }) = fault {
+            if op == at_op {
+                std::panic::panic_any(InjectedKill { at_op });
+            }
+        }
+        let stalled = matches!(fault, Some(TenantFault::Stall { at_op }) if op >= at_op);
+        let before = jvm.now();
+        if !stalled {
+            jvm.invoke(thread, class, method)
+                .map_err(|e| AttemptError::Fatal(e.into()))?;
+            jvm.advance_mutator(op_cost);
+            session.after_op(&mut jvm).map_err(AttemptError::Fatal)?;
+        }
+        if jvm.now() == before {
+            silent += 1;
+            if silent > config.watchdog.max_silent_ops {
+                return Err(AttemptError::Fatal(PipelineError::Deadline {
+                    silent_ops: silent,
+                }));
+            }
+        } else {
+            silent = 0;
+        }
+        op += 1;
+    }
+
+    let records = session.recorded_allocations();
+    let report = session
+        .finish(&mut jvm, &spec.config.analyzer)
+        .map_err(AttemptError::Fatal)?;
+    if let Some(TenantFault::Kill { at_op }) = fault {
+        if at_op == KILL_AFTER_COMMIT {
+            std::panic::panic_any(InjectedKill { at_op });
+        }
+    }
+    Ok(AttemptSuccess {
+        records,
+        snapshots: report.snapshots.len() as u64,
+        counters: report.counters,
+    })
+}
+
+/// Flips one seeded byte inside the frame region of the tenant's last
+/// journal segment — guaranteed to land inside a CRC-protected frame, so
+/// fsck must flag the segment.
+fn corrupt_one_byte(dir: &Path, seed: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut names: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_file())
+        .collect();
+    names.sort();
+    let Some(path) = names.last() else { return };
+    let Ok(mut bytes) = std::fs::read(path) else {
+        return;
+    };
+    if bytes.len() <= SEGMENT_HEADER_LEN + 1 {
+        return;
+    }
+    let window = bytes.len() - SEGMENT_HEADER_LEN;
+    let mut stream = seed ^ 0xC0FF_EE00_D15E_A5E5;
+    let offset = SEGMENT_HEADER_LEN + (splitmix64(&mut stream) as usize % window);
+    bytes[offset] ^= 0x40;
+    let _ = std::fs::write(path, bytes);
+}

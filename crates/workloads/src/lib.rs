@@ -24,6 +24,7 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 
 pub mod cassandra;
+pub mod fleet;
 pub mod graphchi;
 pub mod lucene;
 pub mod registry;
@@ -31,6 +32,11 @@ pub mod runner;
 pub mod workload;
 pub mod ycsb;
 
+pub use fleet::{
+    merge_fleet, run_fleet, ChaosPlan, FleetConfig, FleetOutcome, QuarantineReason, TenantFault,
+    TenantOutcome, TenantRetryPolicy, TenantSpec, WatchdogPolicy, WorkloadResolver,
+    KILL_AFTER_COMMIT,
+};
 pub use registry::paper_workloads;
 pub use runner::{
     profile_workload, profile_workload_journaled, resume_profile, run_workload, ProfilePhaseConfig,

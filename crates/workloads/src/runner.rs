@@ -286,7 +286,7 @@ pub fn profile_workload(
     drive_profiling_session(session, workload, config)
 }
 
-fn build_profiling_session(config: &ProfilePhaseConfig) -> ProfilingSession {
+pub(crate) fn build_profiling_session(config: &ProfilePhaseConfig) -> ProfilingSession {
     if config.faults.is_inert() {
         ProfilingSession::new(config.policy)
     } else {
@@ -350,13 +350,27 @@ pub fn profile_workload_journaled(
     journal_dir: &Path,
 ) -> Result<ProfilePhaseResult, PipelineError> {
     let mut session = build_profiling_session(config);
+    attach_session_journal(&mut session, workload.name(), config, journal_dir)?;
+    drive_profiling_session(session, workload, config)
+}
+
+/// Creates a clean journal in `journal_dir` (through [`FaultyMedia`] when
+/// the session injects disk faults) and attaches it to `session`. Shared by
+/// [`profile_workload_journaled`] and the fleet supervisor's per-tenant
+/// runs.
+pub(crate) fn attach_session_journal(
+    session: &mut ProfilingSession,
+    workload_name: &str,
+    config: &ProfilePhaseConfig,
+    journal_dir: &Path,
+) -> Result<(), PipelineError> {
     let media: Box<dyn JournalMedia> = match session.fault_injector() {
         Some(injector) => Box::new(FaultyMedia::new(Box::new(FsMedia), injector)),
         None => Box::new(FsMedia),
     };
     let writer = JournalWriter::create_clean(media, journal_dir, DEFAULT_SEGMENT_BYTES)?;
     let meta = SessionMeta {
-        workload: workload.name().to_string(),
+        workload: workload_name.to_string(),
         seed: config.seed,
         duration: config.duration,
         every_n_cycles: config.policy.every_n_cycles,
@@ -366,7 +380,7 @@ pub fn profile_workload_journaled(
     let journal =
         SessionJournal::create(writer, &meta, JournalRetryPolicy::default(), &mut |_| {})?;
     session.attach_journal(journal);
-    drive_profiling_session(session, workload, config)
+    Ok(())
 }
 
 /// How [`resume_profile`] finalized a journaled session.
@@ -428,10 +442,12 @@ pub fn resume_profile(
     let report = recovered.report;
     match replay(&recovered.frames) {
         Ok(replayed) if replayed.committed() => {
-            let meta = replayed
-                .meta
-                .clone()
-                .expect("a committed journal starts with a session header");
+            let meta = replayed.meta.clone().ok_or_else(|| {
+                PipelineError::Journal(JournalError::Replay {
+                    frame: 0,
+                    reason: "committed journal lacks a session header".into(),
+                })
+            })?;
             check_workload(&meta, workload)?;
             finalize_replayed(workload, config, replayed, report)
         }
@@ -492,7 +508,11 @@ fn finalize_replayed(
         &replayed.snapshots,
         jvm.program(),
     );
-    let commit = replayed.commit.expect("caller checked committed()");
+    let Some(commit) = replayed.commit else {
+        return Err(PipelineError::Internal(
+            "finalize_replayed called on an uncommitted session".into(),
+        ));
+    };
     // Mirror `ProfilingSession::finish`: the committed ledger predates the
     // analysis, so the Analyzer's demotions are added here.
     let mut counters = commit.counters;

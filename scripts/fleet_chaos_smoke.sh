@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Fleet-chaos smoke: run three tenant profiling sessions as independent
+# processes journaling into one fleet root, SIGKILL the middle tenant
+# mid-run, then require:
+#
+#   1. fsck flags the killed tenant's journal as defective or uncommitted;
+#   2. `polm2 fleet --merge` completes DEGRADED (exit 5) with the killed
+#      tenant quarantined in the ledger;
+#   3. isolation: the degraded merge's payload is bit-identical to a merge
+#      of the two healthy tenants alone — the poisoned tenant changed
+#      nothing the survivors produced.
+#
+# Usage: scripts/fleet_chaos_smoke.sh
+# Env:   POLM2 (binary, default target/release/polm2), MINUTES,
+#        KILL_AFTER (seconds before the SIGKILL, default 0.7)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+POLM2=${POLM2:-target/release/polm2}
+MINUTES=${MINUTES:-2}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+tenants=(cassandra-wi cassandra-wr cassandra-ri)
+root="$work/fleet"
+
+echo "== launch 3 tenant runs (independent processes, one journal each)"
+pids=()
+for i in 0 1 2; do
+  "$POLM2" profile "${tenants[$i]}" --minutes "$MINUTES" --seed $((7 + i)) \
+    --journal "$root/tenant-0$i" --out "$work/tenant-0$i.profile" &
+  pids+=($!)
+done
+
+sleep "${KILL_AFTER:-0.7}"
+if kill -KILL "${pids[1]}" 2>/dev/null; then
+  echo "killed tenant-01 (pid ${pids[1]}) mid-run"
+else
+  echo "WARNING: tenant-01 finished before the kill; tearing its journal instead"
+fi
+wait "${pids[0]}"
+wait "${pids[1]}" || true
+wait "${pids[2]}"
+
+# If the kill raced the run to completion, tear the journal by hand so the
+# degraded path is still exercised.
+if "$POLM2" fsck "$root/tenant-01" >/dev/null 2>&1; then
+  last=$(ls "$root/tenant-01" | sort | tail -1)
+  size=$(stat -c %s "$root/tenant-01/$last" 2>/dev/null || stat -f %z "$root/tenant-01/$last")
+  truncate -s $((size - 10)) "$root/tenant-01/$last"
+  echo "tore tenant-01's last segment by hand"
+fi
+
+echo "== fsck the killed tenant's journal as found"
+if "$POLM2" fsck "$root/tenant-01"; then
+  # fsck exit 0 means every byte is CRC-valid — a kill between appends can
+  # leave that — but the journal must at least be uncommitted.
+  echo "(clean-but-uncommitted torn journal)"
+fi
+
+echo "== degraded merge must exit 5 and quarantine tenant-01"
+set +e
+"$POLM2" fleet --merge "$root" --out "$work/merged.profile"
+code=$?
+set -e
+if [ "$code" -ne 5 ]; then
+  echo "FAIL: expected exit 5 (completed degraded), got $code"
+  exit 1
+fi
+grep "# polm2-quarantined tenant-01" "$work/merged.profile"
+
+echo "== reference: merge of the two healthy tenants alone (exit 0)"
+ref="$work/healthy"
+mkdir -p "$ref"
+cp -r "$root/tenant-00" "$root/tenant-02" "$ref/"
+"$POLM2" fleet --merge "$ref" --out "$work/reference.profile"
+
+echo "== isolation: degraded payload == healthy-only payload"
+diff <(grep -v '^#' "$work/merged.profile") <(grep -v '^#' "$work/reference.profile")
+
+echo "fleet-chaos smoke passed: one killed tenant, survivors merged bit-identically"

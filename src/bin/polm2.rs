@@ -15,14 +15,16 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use polm2::core::journal::KIND_COMMIT;
+use polm2::core::merge::TenantInput;
 use polm2::core::{seal_profile_text, AllocationProfile, FaultConfig};
 use polm2::metrics::report::TextTable;
 use polm2::metrics::{FaultCounters, SimDuration, STANDARD_PERCENTILES};
 use polm2::snapshot::{journal, FsMedia};
 use polm2::workloads::registry::{paper_workloads, workload_by_name};
 use polm2::workloads::{
-    profile_workload, profile_workload_journaled, resume_profile, run_workload, CollectorSetup,
-    ProfilePhaseConfig, ResumeMode, RunConfig,
+    merge_fleet, profile_workload, profile_workload_journaled, resume_profile, run_fleet,
+    run_workload, ChaosPlan, CollectorSetup, FleetConfig, ProfilePhaseConfig, ResumeMode,
+    RunConfig, TenantSpec,
 };
 
 /// Exit code: generic failure.
@@ -35,6 +37,11 @@ const EXIT_CORRUPT: u8 = 3;
 /// Exit code: the profile parses but no longer matches the program (the
 /// application changed since profiling; regenerate the profile).
 const EXIT_PROFILE_STALE: u8 = 4;
+/// Exit code: a fleet run (or merge) completed, but degraded — at least one
+/// tenant was quarantined; the merged profile covers the survivors only.
+const EXIT_FLEET_DEGRADED: u8 = 5;
+/// Exit code: every tenant of a fleet was quarantined; no merged payload.
+const EXIT_FLEET_ALL_QUARANTINED: u8 = 6;
 
 /// A CLI failure with a distinct exit code, so scripts can tell a missing
 /// profile from a corrupt one from a stale one.
@@ -73,6 +80,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -107,6 +115,18 @@ fn print_usage() {
          \x20 polm2 fsck <dir> [--repair]              check (and repair) a session journal\n\
          \x20     exit 0 = clean, 3 = defects found; --repair truncates to the\n\
          \x20     last valid frame and drops unreachable segments — it never invents data\n\
+         \x20 polm2 fleet [options]                    run a supervised multi-tenant fleet\n\
+         \x20     --tenants <n>      concurrent tenant runtimes (default 4)\n\
+         \x20     --minutes <n>      per-tenant profiling length in simulated minutes (default 2)\n\
+         \x20     --seed <n>         base workload seed; tenant i uses seed+i (default 7)\n\
+         \x20     --chaos <rate>     per-tenant fault probability, 0.0-1.0 (default 0)\n\
+         \x20     --chaos-seed <n>   chaos plan seed (default 1)\n\
+         \x20     --journal-root <d> per-tenant journal directories (default polm2-fleet)\n\
+         \x20     --out <file>       write the merged fleet profile (default fleet.profile)\n\
+         \x20     --merge <root>     merge-only: recover and merge existing tenant journals\n\
+         \x20                        under <root> (no tenants are run)\n\
+         \x20     exit 0 = all tenants healthy, 5 = completed degraded (quarantines;\n\
+         \x20     merged profile covers survivors only), 6 = every tenant quarantined\n\
          \x20 polm2 run <workload> [options]           run the production phase\n\
          \x20     --collector <c>    g1 | ng2c | c4 | polm2 (default g1)\n\
          \x20     --profile <file>   allocation profile (required for --collector polm2)\n\
@@ -290,6 +310,161 @@ fn cmd_fsck(args: &[String]) -> Result<(), CliError> {
         ));
     }
     Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
+    let out = flag(args, "--out").unwrap_or_else(|| "fleet.profile".into());
+    let analyzer = polm2::core::AnalyzerConfig::default();
+
+    let merged = if let Some(root) = flag(args, "--merge") {
+        // Merge-only mode: every subdirectory of <root> is one tenant's
+        // journal; the workload is resolved from the journaled session
+        // header, so the journals are self-describing.
+        if !Path::new(&root).is_dir() {
+            return Err(fail(
+                EXIT_PROFILE_MISSING,
+                format!("{root}: no such fleet journal root"),
+            ));
+        }
+        let mut inputs: Vec<TenantInput> = std::fs::read_dir(&root)
+            .map_err(|e| format!("reading {root}: {e}"))?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .map(|e| TenantInput {
+                tenant: e.file_name().to_string_lossy().into_owned(),
+                dir: e.path(),
+                exclude: None,
+            })
+            .collect();
+        inputs.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        if inputs.is_empty() {
+            return Err(fail(
+                EXIT_PROFILE_MISSING,
+                format!("{root}: no tenant journal directories found"),
+            ));
+        }
+        eprintln!(
+            "merging {} tenant journal(s) under {root} ...",
+            inputs.len()
+        );
+        merge_fleet(&inputs, &analyzer, workload_by_name)
+    } else {
+        let tenants = parse_u64(args, "--tenants", 4)?;
+        if tenants == 0 {
+            return Err(CliError::from("--tenants expects at least 1"));
+        }
+        let minutes = parse_u64(args, "--minutes", 2)?;
+        let seed = parse_u64(args, "--seed", 7)?;
+        let chaos = parse_f64(args, "--chaos", 0.0)?;
+        if !(0.0..=1.0).contains(&chaos) {
+            return Err(CliError::from(format!(
+                "--chaos expects a rate in 0.0..=1.0, got {chaos}"
+            )));
+        }
+        let chaos_seed = parse_u64(args, "--chaos-seed", 1)?;
+        let root = flag(args, "--journal-root").unwrap_or_else(|| "polm2-fleet".into());
+
+        let workloads = paper_workloads();
+        let specs: Vec<TenantSpec> = (0..tenants)
+            .map(|i| {
+                let workload = &workloads[i as usize % workloads.len()];
+                TenantSpec {
+                    tenant: format!("tenant-{i:02}"),
+                    workload: workload.name().to_string(),
+                    config: ProfilePhaseConfig {
+                        duration: SimDuration::from_secs(minutes * 60),
+                        seed: seed + i,
+                        ..ProfilePhaseConfig::paper()
+                    },
+                }
+            })
+            .collect();
+        let config = FleetConfig {
+            chaos: if chaos > 0.0 {
+                ChaosPlan::Seeded {
+                    seed: chaos_seed,
+                    rate: chaos,
+                }
+            } else {
+                ChaosPlan::None
+            },
+            ..FleetConfig::default()
+        };
+        if chaos > 0.0 {
+            eprintln!(
+                "running {tenants} supervised tenants for {minutes} simulated minutes each \
+                 (seed {seed}, chaos {chaos} seed {chaos_seed}) ..."
+            );
+        } else {
+            eprintln!(
+                "running {tenants} supervised tenants for {minutes} simulated minutes each \
+                 (seed {seed}) ..."
+            );
+        }
+        let outcome = run_fleet(&specs, Path::new(&root), &config, workload_by_name);
+        let ledger = outcome.ledger();
+        eprintln!(
+            "fleet done: {} healthy, {} quarantined, {} retries granted{}",
+            outcome.healthy_count(),
+            outcome.quarantined_count(),
+            ledger.total_retries(),
+            ledger
+                .mean_throughput()
+                .map(|t| format!(", {t:.0} records/sim-s mean per tenant"))
+                .unwrap_or_default(),
+        );
+        merge_fleet(&outcome.tenant_inputs(), &analyzer, workload_by_name)
+    };
+
+    // The quarantine summary: one row per tenant, healthy or not.
+    let mut table = TextTable::new(vec![
+        "tenant".into(),
+        "workload".into(),
+        "status".into(),
+        "records".into(),
+        "snapshots".into(),
+        "detail".into(),
+    ]);
+    for t in &merged.tenants {
+        table.add_row(vec![
+            t.tenant.clone(),
+            t.workload.clone(),
+            t.status.label().into(),
+            t.records.to_string(),
+            t.snapshots.to_string(),
+            t.status.detail(),
+        ]);
+    }
+    println!("{}", table.render());
+    let aggregate = merged.aggregate_counters();
+    if !aggregate.is_clean() {
+        eprintln!("fleet degradation: {aggregate}");
+    }
+
+    write_atomic(&out, &merged.render())?;
+    println!(
+        "wrote {out} ({} tenant(s) merged, {} quarantined)",
+        merged.merged_count(),
+        merged.quarantined_count()
+    );
+    if merged.all_quarantined() {
+        Err(fail(
+            EXIT_FLEET_ALL_QUARANTINED,
+            "every tenant was quarantined; the merged profile has no payload",
+        ))
+    } else if merged.is_degraded() {
+        Err(fail(
+            EXIT_FLEET_DEGRADED,
+            format!(
+                "fleet completed degraded: {} of {} tenant(s) quarantined; \
+                 merged profile covers the survivors only",
+                merged.quarantined_count(),
+                merged.tenants.len()
+            ),
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), CliError> {

@@ -1,11 +1,16 @@
 //! The CLI's distinct exit codes: 2 for a missing profile or journal,
 //! 3 for corruption (unparseable profile, bad checksum footer, defective
-//! journal), 4 for a stale profile the runner refuses to launch on.
+//! journal), 4 for a stale profile the runner refuses to launch on, 5 for
+//! a fleet that completed degraded, 6 for a fleet with no survivors.
 
 use std::path::PathBuf;
 use std::process::Command;
 
+use polm2::metrics::SimDuration;
+use polm2::runtime::RuntimeConfig;
 use polm2::snapshot::journal::{encode_frame, JOURNAL_VERSION, SEGMENT_MAGIC};
+use polm2::workloads::registry::workload_by_name;
+use polm2::workloads::{profile_workload_journaled, ProfilePhaseConfig};
 
 fn polm2(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_polm2"))
@@ -135,6 +140,103 @@ fn fsck_classifies_missing_torn_and_repaired_journals() {
     assert_eq!(repaired.len(), 16 + frame.len());
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Builds a committed tenant journal under `dir` with a real (but tiny)
+/// profiling run of a registry workload, so `fleet --merge` can resolve the
+/// workload from the journaled session header.
+fn committed_tenant_journal(dir: &std::path::Path, seed: u64) {
+    let workload = workload_by_name("cassandra-wi").expect("registry workload");
+    let config = ProfilePhaseConfig {
+        duration: SimDuration::from_secs(1),
+        seed,
+        runtime: RuntimeConfig::small(),
+        ..ProfilePhaseConfig::short()
+    };
+    profile_workload_journaled(workload.as_ref(), &config, dir).expect("journaled run");
+}
+
+/// Chops the tail off a tenant's last journal segment, leaving an
+/// uncommitted (torn) prefix the merge must quarantine.
+fn tear_tenant_journal(dir: &std::path::Path) {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("journal dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    segs.sort();
+    let last = segs.last().expect("at least one segment");
+    let bytes = std::fs::read(last).expect("read segment");
+    std::fs::write(last, &bytes[..bytes.len() - 10]).expect("truncate segment");
+}
+
+#[test]
+fn fleet_merge_distinguishes_healthy_degraded_and_dead_fleets() {
+    let missing = std::env::temp_dir().join(format!("polm2-cli-nofleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&missing);
+    assert_eq!(
+        exit_code(&["fleet", "--merge", missing.to_str().unwrap()]),
+        2,
+        "missing fleet root"
+    );
+
+    let root = tempdir("fleet");
+    committed_tenant_journal(&root.join("tenant-00"), 7);
+    committed_tenant_journal(&root.join("tenant-01"), 8);
+    let out = root.join("fleet.profile");
+    let merge_args = |root: &std::path::Path, out: &std::path::Path| {
+        [
+            "fleet".to_string(),
+            "--merge".into(),
+            root.to_str().unwrap().into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ]
+    };
+    let args = merge_args(&root, &out);
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    assert_eq!(exit_code(&args), 0, "two committed tenants merge cleanly");
+    let clean = std::fs::read_to_string(&out).expect("merged profile");
+    assert!(clean.starts_with("polm2-fleet v1"));
+    assert!(clean.contains("tenant tenant-00 "));
+    assert!(clean.contains("tenant tenant-01 "));
+
+    // One torn tenant: completed degraded, survivors unchanged.
+    tear_tenant_journal(&root.join("tenant-01"));
+    assert_eq!(exit_code(&args), 5, "fleet completed degraded");
+    let degraded = std::fs::read_to_string(&out).expect("merged profile");
+    assert!(degraded.contains("# polm2-quarantined tenant-01 torn-journal"));
+    let survivors = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(String::from)
+            .collect()
+    };
+    let healthy_only: Vec<String> = survivors(&clean)
+        .into_iter()
+        .scan(false, |in_t1, line| {
+            // Drop tenant-01's block from the clean payload.
+            if line.starts_with("tenant tenant-01 ") {
+                *in_t1 = true;
+            }
+            let keep = !*in_t1;
+            if line == "end tenant-01" {
+                *in_t1 = false;
+            }
+            Some((keep, line))
+        })
+        .filter_map(|(keep, line)| keep.then_some(line))
+        .collect();
+    assert_eq!(
+        survivors(&degraded),
+        healthy_only,
+        "degraded payload is the clean payload minus the torn tenant"
+    );
+
+    // Both torn: every tenant quarantined.
+    tear_tenant_journal(&root.join("tenant-00"));
+    assert_eq!(exit_code(&args), 6, "no survivors");
+
+    std::fs::remove_dir_all(&root).ok();
 }
 
 #[test]

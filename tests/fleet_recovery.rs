@@ -1,0 +1,337 @@
+//! Fleet supervision end to end: per-tenant fault isolation, quarantine
+//! decisions matching the injected ground truth, and the degraded merge's
+//! core invariant — a poisoned tenant never changes the merged payload
+//! derived from healthy tenants.
+
+use std::path::{Path, PathBuf};
+
+use polm2::core::merge::{TenantInput, TenantStatus};
+use polm2::core::AnalyzerConfig;
+use polm2::metrics::SimDuration;
+use polm2::runtime::RuntimeConfig;
+use polm2::workloads::cassandra::{CassandraConfig, CassandraWorkload};
+use polm2::workloads::registry::workload_by_name;
+use polm2::workloads::{
+    merge_fleet, profile_workload_journaled, run_fleet, ChaosPlan, FleetConfig, OpMix,
+    ProfilePhaseConfig, QuarantineReason, TenantFault, TenantSpec, Workload, KILL_AFTER_COMMIT,
+};
+
+/// Resolver for the fleet: the tiny test workload plus the paper registry.
+fn resolve(name: &str) -> Option<Box<dyn Workload>> {
+    if name == "cassandra-tiny" {
+        Some(Box::new(CassandraWorkload::new(
+            "cassandra-tiny",
+            CassandraConfig::small(OpMix::WRITE_INTENSIVE),
+        )))
+    } else {
+        workload_by_name(name)
+    }
+}
+
+/// A deliberately tiny profiling setup (~15 ms real time per tenant) so the
+/// kill-at-every-stage and 16-seed sweeps stay fast.
+fn tiny_config(seed: u64) -> ProfilePhaseConfig {
+    ProfilePhaseConfig {
+        duration: SimDuration::from_secs(1),
+        seed,
+        runtime: RuntimeConfig::small(),
+        ..ProfilePhaseConfig::short()
+    }
+}
+
+fn tiny_spec(tenant: &str, seed: u64) -> TenantSpec {
+    TenantSpec {
+        tenant: tenant.to_string(),
+        workload: "cassandra-tiny".to_string(),
+        config: tiny_config(seed),
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("polm2-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The merged profile's payload: every non-comment line. The isolation
+/// invariant is stated over exactly these lines.
+fn payload(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
+/// Runs a fleet and merges its journals in one step.
+fn run_and_merge(specs: &[TenantSpec], root: &Path, config: &FleetConfig) -> (usize, String) {
+    let outcome = run_fleet(specs, root, config, resolve);
+    let merged = merge_fleet(
+        &outcome.tenant_inputs(),
+        &AnalyzerConfig::default(),
+        resolve,
+    );
+    let text = merged.render();
+    std::fs::remove_dir_all(root).ok();
+    (outcome.quarantined_count(), text)
+}
+
+/// One poisoned tenant — killed before, during, or after its journal
+/// commits; stalled; or bit-rotted — must never change the merged payload
+/// the healthy tenant produces. Bit-identical, at every stage.
+#[test]
+fn kill_at_every_stage_never_poisons_the_merge() {
+    let specs = [tiny_spec("t-healthy", 11), tiny_spec("t-poison", 12)];
+
+    // Reference: a fleet that never launched the poisoned tenant.
+    let (quarantined, reference) =
+        run_and_merge(&specs[..1], &tempdir("kill-ref"), &FleetConfig::default());
+    assert_eq!(quarantined, 0, "reference fleet is healthy");
+    let reference = payload(&reference);
+    assert!(
+        reference.iter().any(|l| l.starts_with("tenant t-healthy ")),
+        "reference has the healthy tenant's block"
+    );
+
+    let stages: [(&str, TenantFault); 6] = [
+        ("kill-before-first-op", TenantFault::Kill { at_op: 0 }),
+        ("kill-mid-run", TenantFault::Kill { at_op: 7 }),
+        ("kill-late", TenantFault::Kill { at_op: 64 }),
+        (
+            "kill-after-commit",
+            TenantFault::Kill {
+                at_op: KILL_AFTER_COMMIT,
+            },
+        ),
+        ("stall", TenantFault::Stall { at_op: 5 }),
+        ("bitrot", TenantFault::CorruptJournal),
+    ];
+    for (stage, fault) in stages {
+        let config = FleetConfig {
+            chaos: ChaosPlan::Scripted(vec![None, Some(fault)]),
+            ..FleetConfig::default()
+        };
+        let (quarantined, merged) = run_and_merge(&specs, &tempdir(stage), &config);
+        assert_eq!(quarantined, 1, "{stage}: exactly the poisoned tenant");
+        assert_eq!(
+            payload(&merged),
+            reference,
+            "{stage}: merged payload must be bit-identical to the healthy-only fleet"
+        );
+    }
+}
+
+/// The supervisor's quarantine decisions across 16 seeded chaos plans must
+/// match the injected ground truth exactly: every corruption detected,
+/// every kill and stall quarantined with the right reason, flaky starts
+/// recovered iff they fit the retry budget.
+#[test]
+fn sixteen_seed_chaos_sweep_matches_injected_ground_truth() {
+    for chaos_seed in 0..16u64 {
+        let specs: Vec<TenantSpec> = (0..4)
+            .map(|i| tiny_spec(&format!("t{i}"), 20 + i as u64))
+            .collect();
+        let config = FleetConfig {
+            chaos: ChaosPlan::Seeded {
+                seed: chaos_seed,
+                rate: 0.6,
+            },
+            ..FleetConfig::default()
+        };
+        let root = tempdir(&format!("sweep-{chaos_seed}"));
+        let outcome = run_fleet(&specs, &root, &config, resolve);
+
+        let mut expected_quarantines = 0usize;
+        for (i, tenant) in outcome.tenants.iter().enumerate() {
+            let truth = config.chaos.fault_for(i);
+            assert_eq!(
+                tenant.injected, truth,
+                "seed {chaos_seed} tenant {i}: outcome records the ground truth"
+            );
+            match truth {
+                None => {
+                    assert!(
+                        tenant.healthy(),
+                        "seed {chaos_seed} tenant {i}: no fault, no quarantine \
+                         (got {:?})",
+                        tenant.quarantine
+                    );
+                    assert!(tenant.records > 0);
+                }
+                Some(TenantFault::Kill { at_op }) => {
+                    expected_quarantines += 1;
+                    assert_eq!(
+                        tenant.quarantine,
+                        Some(QuarantineReason::Killed { at_op }),
+                        "seed {chaos_seed} tenant {i}"
+                    );
+                }
+                Some(TenantFault::Stall { .. }) => {
+                    expected_quarantines += 1;
+                    assert!(
+                        matches!(
+                            tenant.quarantine,
+                            Some(QuarantineReason::DeadlineExceeded { .. })
+                        ),
+                        "seed {chaos_seed} tenant {i}: stall trips the watchdog \
+                         (got {:?})",
+                        tenant.quarantine
+                    );
+                }
+                Some(TenantFault::CorruptJournal) => {
+                    expected_quarantines += 1;
+                    assert!(
+                        matches!(
+                            tenant.quarantine,
+                            Some(QuarantineReason::JournalCorrupt { .. })
+                        ),
+                        "seed {chaos_seed} tenant {i}: corruption must always be \
+                         detected (got {:?})",
+                        tenant.quarantine
+                    );
+                }
+                Some(TenantFault::FlakyStart { failures }) => {
+                    if failures <= 2 {
+                        assert!(
+                            tenant.healthy(),
+                            "seed {chaos_seed} tenant {i}: {failures} transient \
+                             failures fit the retry budget (got {:?})",
+                            tenant.quarantine
+                        );
+                        assert_eq!(tenant.retries, failures);
+                    } else {
+                        expected_quarantines += 1;
+                        assert!(
+                            matches!(
+                                tenant.quarantine,
+                                Some(QuarantineReason::RetryBudgetExhausted { attempts: 3, .. })
+                            ),
+                            "seed {chaos_seed} tenant {i} (got {:?})",
+                            tenant.quarantine
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            outcome.quarantined_count(),
+            expected_quarantines,
+            "seed {chaos_seed}: quarantine count matches injected ground truth"
+        );
+
+        // The merge must exclude exactly the quarantined tenants.
+        let merged = merge_fleet(
+            &outcome.tenant_inputs(),
+            &AnalyzerConfig::default(),
+            resolve,
+        );
+        assert_eq!(merged.quarantined_count(), expected_quarantines);
+        let text = merged.render();
+        for tenant in &outcome.tenants {
+            let in_payload = payload(&text)
+                .iter()
+                .any(|l| l.starts_with(&format!("tenant {} ", tenant.tenant)));
+            assert_eq!(
+                in_payload,
+                tenant.healthy(),
+                "seed {chaos_seed}: tenant {} in payload iff healthy",
+                tenant.tenant
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+/// The degraded merge tolerates what a real crashed fleet leaves behind:
+/// committed journals merge, missing directories and torn tails are
+/// quarantined with typed statuses and a salvage ledger — and the payload
+/// still equals the healthy journal alone.
+#[test]
+fn merge_tolerates_missing_and_torn_journals() {
+    let root = tempdir("tolerate");
+    let workload = resolve("cassandra-tiny").unwrap();
+
+    // Tenant a: committed journal.
+    let dir_a = root.join("a");
+    profile_workload_journaled(workload.as_ref(), &tiny_config(31), &dir_a).expect("journaled run");
+    // Tenant b: never wrote a journal (directory missing).
+    let dir_b = root.join("b");
+    // Tenant c: committed, then its last segment lost its tail (torn).
+    let dir_c = root.join("c");
+    profile_workload_journaled(workload.as_ref(), &tiny_config(32), &dir_c).expect("journaled run");
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir_c)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segs.sort();
+    let last = segs.last().expect("at least one segment");
+    let bytes = std::fs::read(last).unwrap();
+    std::fs::write(last, &bytes[..bytes.len() - 10]).unwrap();
+
+    let inputs: Vec<TenantInput> = [("a", &dir_a), ("b", &dir_b), ("c", &dir_c)]
+        .into_iter()
+        .map(|(tenant, dir)| TenantInput {
+            tenant: tenant.to_string(),
+            dir: dir.clone(),
+            exclude: None,
+        })
+        .collect();
+    let merged = merge_fleet(&inputs, &AnalyzerConfig::default(), resolve);
+
+    assert_eq!(merged.tenants.len(), 3);
+    assert_eq!(merged.tenants[0].status, TenantStatus::Merged);
+    assert_eq!(merged.tenants[1].status, TenantStatus::MissingJournal);
+    assert!(
+        matches!(
+            merged.tenants[2].status,
+            TenantStatus::TornJournal { frames_salvaged } if frames_salvaged > 0
+        ),
+        "torn journal keeps its salvaged prefix in the ledger: {:?}",
+        merged.tenants[2].status
+    );
+    assert!(merged.is_degraded());
+    assert_eq!(merged.merged_count(), 1);
+    // The torn tenant's loss shows up in the fleet ledger.
+    assert!(merged.aggregate_counters().journal_frames_truncated > 0);
+
+    // Isolation: the payload equals a merge of the healthy journal alone.
+    let healthy_only = merge_fleet(&inputs[..1], &AnalyzerConfig::default(), resolve);
+    assert_eq!(payload(&merged.render()), payload(&healthy_only.render()));
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A quarantined tenant whose journal is pristine — killed after its commit
+/// frame — must still be excluded: the supervisor's verdict, not the
+/// journal's, decides membership.
+#[test]
+fn supervisor_verdict_overrides_a_committed_journal() {
+    let specs = [tiny_spec("t-a", 41), tiny_spec("t-b", 42)];
+    let config = FleetConfig {
+        chaos: ChaosPlan::Scripted(vec![
+            None,
+            Some(TenantFault::Kill {
+                at_op: KILL_AFTER_COMMIT,
+            }),
+        ]),
+        ..FleetConfig::default()
+    };
+    let root = tempdir("verdict");
+    let outcome = run_fleet(&specs, &root, &config, resolve);
+    assert_eq!(outcome.quarantined_count(), 1);
+
+    // The dead tenant's journal actually committed...
+    let inputs = outcome.tenant_inputs();
+    assert!(inputs[1].exclude.is_some());
+    let merged = merge_fleet(&inputs, &AnalyzerConfig::default(), resolve);
+    // ...but the supervisor's exclusion wins.
+    assert_eq!(
+        merged.tenants[1].status,
+        TenantStatus::ExcludedBySupervisor {
+            reason: inputs[1].exclude.clone().unwrap()
+        }
+    );
+    assert!(!payload(&merged.render())
+        .iter()
+        .any(|l| l.starts_with("tenant t-b ")));
+    std::fs::remove_dir_all(&root).ok();
+}
