@@ -26,10 +26,25 @@
 //! medians land in `BENCH_recorder.json`. A small real-runtime session is
 //! also run both ways and folded into the equality gate.
 //!
+//! **GC gate** — drives identical collection trajectories (stable old
+//! generation, churn waves with rotating survivor roots) through full
+//! mark+evacuate cycles four ways: a seed-equivalent emulation (hash-set
+//! BFS mark plus the per-object evacuation bookkeeping of the pre-slab
+//! layout, timed against a mirrored table) and the real engine at 1, 2,
+//! and 4 GC workers. Per-cycle heap fingerprints and `GcWork` accounting
+//! must be bit-identical across all variants (the hard equality gate).
+//! Wall-clock medians gate single-worker throughput against the serial
+//! baseline; the 4-vs-1-worker pause speedup comes from the cost model's
+//! Amdahl split over the measured work (per-byte and per-object charges
+//! divide across workers; safepoint and region frees stay serial), since
+//! wall-clock parallel speedups are not measurable on a single-CPU CI
+//! host. Medians land in `BENCH_gc.json`.
+//!
 //! ```text
 //! perfgate [--quick] [--workers <n>] [--min-speedup <x>]
 //!          [--min-pipeline-speedup <x>] [--min-recorder-speedup <x>]
-//!          [--out <path>] [--pipeline-out <path>] [--recorder-out <path>]
+//!          [--min-gc-speedup <x>] [--out <path>] [--pipeline-out <path>]
+//!          [--recorder-out <path>] [--gc-out <path>]
 //! ```
 //!
 //! * `--quick` — fewer timed runs/cycles (CI smoke; equality gates still run).
@@ -42,11 +57,16 @@
 //! * `--min-recorder-speedup <x>` — exit non-zero unless the trie recorder
 //!   beats the stack walk by `x` ns/allocation on the largest workload
 //!   (default 3.0; this gate is always on).
+//! * `--min-gc-speedup <x>` — exit non-zero unless the modeled 4-worker
+//!   pause beats the 1-worker pause by `x` on the largest workload
+//!   (default 2.0; this gate is always on, as is the single-worker
+//!   throughput floor at 95% of the serial baseline).
 //! * `--out <path>` — analyzer JSON path (default `BENCH_analyzer.json`).
 //! * `--pipeline-out <path>` — pipeline JSON path (default
 //!   `BENCH_pipeline.json`).
 //! * `--recorder-out <path>` — recorder JSON path (default
 //!   `BENCH_recorder.json`).
+//! * `--gc-out <path>` — GC JSON path (default `BENCH_gc.json`).
 //!
 //! Exits non-zero if any variant's outputs differ from its baseline, a
 //! speedup gate fails, or any committed default-path `BENCH_*.json` carries
@@ -59,7 +79,7 @@ use std::time::Instant;
 use polm2_core::{
     AllocationRecords, AnalysisOutcome, Analyzer, AnalyzerConfig, Recorder, ReplayStrategy,
 };
-use polm2_gc::{Collector, G1Collector, GcConfig, SafepointRoots};
+use polm2_gc::{Collector, G1Collector, GcConfig, GcWork, SafepointRoots};
 use polm2_heap::{
     BuildIdHasher, Heap, HeapConfig, IdHashMap, IdHashSet, IdentityHash, ObjectId, RegionId, SiteId,
 };
@@ -730,6 +750,233 @@ fn run_real_session(path: RecorderPath) -> AllocationRecords {
     recorder.into_records().expect("sole owner")
 }
 
+// ---------------------------------------------------------------------------
+// GC mark+evacuate gate
+// ---------------------------------------------------------------------------
+
+struct GcGateWorkload {
+    name: &'static str,
+    /// Rooted old-generation objects, live for the whole run.
+    stable_objects: u32,
+    /// Young allocations per cycle; every 8th is rooted for roughly two
+    /// cycles by a rotating slot, so each collection copies survivors,
+    /// promotes, and later compacts the regions the dead wave leaves behind.
+    churn_per_cycle: u32,
+    /// Timed collection cycles (one extra warmup cycle is untimed).
+    cycles: usize,
+}
+
+const GC_GATE_WORKLOADS: &[GcGateWorkload] = &[
+    GcGateWorkload {
+        name: "small",
+        stable_objects: 4_000,
+        churn_per_cycle: 1_500,
+        cycles: 6,
+    },
+    GcGateWorkload {
+        name: "large",
+        stable_objects: 30_000,
+        churn_per_cycle: 3_000,
+        cycles: 10,
+    },
+];
+
+/// One timed collection cycle's observables.
+struct GcCycle {
+    wall_ns: u64,
+    work: GcWork,
+    fingerprint: u64,
+}
+
+fn fnv_mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Everything observable about the heap after a cycle, folded to one hash:
+/// per-space object placement (id, region, offset, size, age), every page's
+/// dirty/no-need bits, and the free pool size. Bit-identical trajectories
+/// across worker counts must produce identical fingerprints.
+fn gc_heap_fingerprint(heap: &Heap) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for space in heap.spaces() {
+        for id in heap.objects_in_space(space.id()).expect("space exists") {
+            let rec = heap.object(id).expect("listed object exists");
+            h = fnv_mix(h, id.raw());
+            h = fnv_mix(h, u64::from(rec.addr().region.raw()));
+            h = fnv_mix(h, u64::from(rec.addr().offset));
+            h = fnv_mix(h, u64::from(rec.size()));
+            h = fnv_mix(h, u64::from(rec.age()));
+        }
+    }
+    for flags in heap.page_table().iter() {
+        h = fnv_mix(h, u64::from(flags.dirty) | u64::from(flags.no_need) << 1);
+    }
+    fnv_mix(h, u64::from(heap.free_region_count()))
+}
+
+/// The seed's per-pause mark+evacuate work, transcribed from the
+/// pre-optimization sources: `mark_live` as a hash-set BFS (a map probe per
+/// edge, hash-map region accounting — the pre-slab layout), then the young
+/// evacuation loop's per-object bookkeeping: a map probe, a liveness probe,
+/// survivor accounting, the vacated/destination page walks, and the
+/// promotion buffer's ref clone. Runs against the mirror, read-only;
+/// returns a checksum so the optimizer cannot discard the work.
+fn seed_mark_evacuate_cost(heap: &Heap, mirror: &IdHashMap<ObjectId, SeedRecord>) -> u64 {
+    // -- seed mark_live --
+    let mut queue: VecDeque<ObjectId> = VecDeque::new();
+    let mut live: IdHashSet<ObjectId> = IdHashSet::default();
+    let mut live_bytes: u64 = 0;
+    let mut region_live: IdHashMap<RegionId, u32> = IdHashMap::default();
+    for id in heap.roots().iter() {
+        if let Some(rec) = mirror.get(&id) {
+            if live.insert(id) {
+                live_bytes += u64::from(rec.size);
+                *region_live.entry(rec.region).or_insert(0) += rec.size;
+                queue.push_back(id);
+            }
+        }
+    }
+    let mut scratch: Vec<ObjectId> = Vec::new();
+    while let Some(id) = queue.pop_front() {
+        let rec = mirror.get(&id).expect("queued objects are live");
+        scratch.clear();
+        scratch.extend_from_slice(&rec.refs);
+        for &child in &scratch {
+            if let Some(child_rec) = mirror.get(&child) {
+                if live.insert(child) {
+                    live_bytes += u64::from(child_rec.size);
+                    *region_live.entry(child_rec.region).or_insert(0) += child_rec.size;
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+    // -- seed evacuate_young --
+    let mut checksum = live_bytes ^ live.len() as u64;
+    let mut survivor_bytes = 0u64;
+    let mut promoted: Vec<ObjectId> = Vec::new();
+    for id in heap
+        .objects_in_space(Heap::YOUNG_SPACE)
+        .expect("young space")
+    {
+        let rec = mirror.get(&id).expect("young object mirrored");
+        if !live.contains(&id) {
+            // Dead: the vacated page range is walked for occupancy updates.
+            for p in rec.first_page..=rec.last_page {
+                checksum = checksum.rotate_left(1) ^ u64::from(p);
+            }
+            continue;
+        }
+        survivor_bytes += u64::from(rec.size);
+        // Survivor: destination page walk (dirty, no-need, occupancy) plus
+        // the vacated range.
+        for p in rec.first_page..=rec.last_page {
+            checksum = checksum.rotate_left(3) ^ u64::from(p);
+        }
+        checksum ^= u64::from(region_live.get(&rec.region).copied().unwrap_or(0));
+        promoted.push(id);
+    }
+    // The promotion buffer: the seed cloned each promoted object's refs to
+    // rebuild the remembered set after the move.
+    let mut remembered: Vec<ObjectId> = Vec::new();
+    for id in &promoted {
+        remembered.extend_from_slice(&mirror.get(id).expect("promoted object").refs);
+    }
+    checksum ^ survivor_bytes.rotate_left(13) ^ remembered.len() as u64
+}
+
+/// One full GC-gate run: the heap trajectory is a pure function of the
+/// workload, so every worker count (and the seed emulation, which advances
+/// state with the real collector untimed) must produce identical per-cycle
+/// fingerprints and work accounting.
+fn run_gc_gate(w: &GcGateWorkload, workers: usize, seed_equivalent: bool) -> Vec<GcCycle> {
+    let mut heap = Heap::new(HeapConfig::paper_scaled());
+    let mut gc = G1Collector::new(GcConfig {
+        gc_workers: workers,
+        ..GcConfig::default()
+    });
+    gc.attach(&mut heap);
+    let old = heap
+        .spaces()
+        .iter()
+        .map(|s| s.id())
+        .find(|&id| id != Heap::YOUNG_SPACE)
+        .expect("collector old space");
+
+    // Stable old generation: star groups of 16 hanging off rooted hubs,
+    // hubs chained together — the mark does real pointer chasing.
+    let class = heap.classes_mut().intern("Stable");
+    let keep = heap.roots_mut().create_slot("stable");
+    let mut hub: Option<ObjectId> = None;
+    for i in 0..w.stable_objects {
+        let id = heap
+            .allocate(class, 2_048, SiteId::new(i % 7), old)
+            .expect("stable allocation");
+        if i % 16 == 0 {
+            heap.roots_mut().push(keep, id);
+            if let Some(prev) = hub {
+                heap.add_ref(prev, id).expect("hub chain");
+            }
+            hub = Some(id);
+        } else {
+            heap.add_ref(hub.expect("hub allocated first"), id)
+                .expect("star edge");
+        }
+    }
+
+    let churn_class = heap.classes_mut().intern("Churn");
+    let waves = [
+        heap.roots_mut().create_slot("wave-a"),
+        heap.roots_mut().create_slot("wave-b"),
+    ];
+    let mut out = Vec::with_capacity(w.cycles);
+    let mut sink = 0u64;
+    for cycle in 0..w.cycles + 1 {
+        // Rotate the survivor roots: last cycle's wave dies, this cycle's
+        // survives the collection and is promoted.
+        heap.roots_mut().clear_slot(waves[cycle % 2]);
+        for i in 0..w.churn_per_cycle {
+            let id = heap
+                .allocate(
+                    churn_class,
+                    4_096,
+                    SiteId::new(8 + i % 5),
+                    Heap::YOUNG_SPACE,
+                )
+                .expect("churn allocation");
+            if i % 8 == 0 {
+                heap.roots_mut().push(waves[cycle % 2], id);
+            }
+        }
+        let (wall_ns, pauses) = if seed_equivalent {
+            // The mirror rebuild stands in for the bookkeeping the seed heap
+            // did throughout the cycle; it is not timed. The real collector
+            // advances the trajectory outside the timed window.
+            let mirror = build_seed_mirror(&heap);
+            let start = Instant::now();
+            sink ^= seed_mark_evacuate_cost(&heap, &mirror);
+            let ns = start.elapsed().as_nanos() as u64;
+            (ns, gc.collect(&mut heap, &SafepointRoots::none()))
+        } else {
+            let start = Instant::now();
+            let pauses = gc.collect(&mut heap, &SafepointRoots::none());
+            (start.elapsed().as_nanos() as u64, pauses)
+        };
+        if cycle > 0 {
+            let work = pauses
+                .iter()
+                .fold(GcWork::default(), |acc, p| acc.merged(p.work));
+            out.push(GcCycle {
+                wall_ns,
+                work,
+                fingerprint: gc_heap_fingerprint(&heap),
+            });
+        }
+    }
+    std::hint::black_box(sink);
+    out
+}
+
 /// Fails the gate when a committed default-path bench JSON is missing or
 /// carries an older schema version: stale numbers alongside new code are
 /// worse than no numbers.
@@ -760,9 +1007,11 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut min_pipeline_speedup: Option<f64> = None;
     let mut min_recorder_speedup = 3.0f64;
+    let mut min_gc_speedup = 2.0f64;
     let mut out_path = String::from("BENCH_analyzer.json");
     let mut pipeline_out_path = String::from("BENCH_pipeline.json");
     let mut recorder_out_path = String::from("BENCH_recorder.json");
+    let mut gc_out_path = String::from("BENCH_gc.json");
     let mut workers: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -785,6 +1034,10 @@ fn main() {
                 let v = args.next().expect("--min-recorder-speedup needs a value");
                 min_recorder_speedup = v.parse().expect("--min-recorder-speedup needs a number");
             }
+            "--min-gc-speedup" => {
+                let v = args.next().expect("--min-gc-speedup needs a value");
+                min_gc_speedup = v.parse().expect("--min-gc-speedup needs a number");
+            }
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--pipeline-out" => {
                 pipeline_out_path = args.next().expect("--pipeline-out needs a path");
@@ -792,6 +1045,7 @@ fn main() {
             "--recorder-out" => {
                 recorder_out_path = args.next().expect("--recorder-out needs a path");
             }
+            "--gc-out" => gc_out_path = args.next().expect("--gc-out needs a path"),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -1057,6 +1311,123 @@ fn main() {
     std::fs::write(&recorder_out_path, &recorder_json).expect("write recorder bench json");
     println!("wrote {recorder_out_path}");
 
+    // ---- GC mark+evacuate gate -------------------------------------------
+    println!();
+    println!("perfgate: GC mark+evacuate, median over timed cycles");
+    println!(
+        "{:<8} {:>8} {:>7} {:>6} | {:>13} {:>13} | {:>8} {:>9}",
+        "size", "stable", "churn", "cycles", "seed-equiv", "engine-1w", "vs-seed", "4w/1w-mod"
+    );
+    let cost = GcConfig::default().cost;
+    let mut gc_rows = Vec::new();
+    let mut large_gc_speedup = 0.0f64;
+    let mut gc_single_worker_ok = true;
+    for w in GC_GATE_WORKLOADS {
+        let cycles = if quick { w.cycles.min(4) } else { w.cycles };
+        let w = GcGateWorkload { cycles, ..*w };
+        let seed = run_gc_gate(&w, 1, true);
+        let engine1 = run_gc_gate(&w, 1, false);
+        let engine2 = run_gc_gate(&w, 2, false);
+        let engine4 = run_gc_gate(&w, 4, false);
+
+        let identical = [&engine1, &engine2, &engine4].iter().all(|run| {
+            run.len() == seed.len()
+                && run
+                    .iter()
+                    .zip(seed.iter())
+                    .all(|(a, b)| a.fingerprint == b.fingerprint && a.work == b.work)
+        });
+        if !identical {
+            diverged = true;
+            eprintln!(
+                "FAIL: {} heap trajectories diverge across GC worker counts",
+                w.name
+            );
+        }
+
+        let seed_ns = median(seed.iter().map(|c| c.wall_ns).collect());
+        let engine1_ns = median(engine1.iter().map(|c| c.wall_ns).collect());
+        let engine2_ns = median(engine2.iter().map(|c| c.wall_ns).collect());
+        let engine4_ns = median(engine4.iter().map(|c| c.wall_ns).collect());
+        let vs_seed = seed_ns as f64 / engine1_ns.max(1) as f64;
+        // The single-CPU host cannot show wall-clock parallel gains; the
+        // 4-vs-1 number is the cost model's Amdahl split over measured work.
+        let pause1_us = median(
+            engine1
+                .iter()
+                .map(|c| cost.pause_with_workers(&c.work, 1).as_micros())
+                .collect(),
+        );
+        let pause4_us = median(
+            engine1
+                .iter()
+                .map(|c| cost.pause_with_workers(&c.work, 4).as_micros())
+                .collect(),
+        );
+        let modeled = pause1_us as f64 / pause4_us.max(1) as f64;
+        if w.name == "large" {
+            large_gc_speedup = modeled;
+        }
+        // The parallel claim/steal machinery must not tax the 1-worker path:
+        // the engine must stay within 5% of the seed-equivalent serial cost.
+        let single_ok = vs_seed >= 0.95;
+        if !single_ok {
+            gc_single_worker_ok = false;
+            eprintln!(
+                "FAIL: {} single-worker engine at {:.2}x of the serial baseline (floor 0.95x)",
+                w.name, vs_seed
+            );
+        }
+        println!(
+            "{:<8} {:>8} {:>7} {:>6} | {:>10} ns {:>10} ns | {:>7.2}x {:>8.2}x",
+            w.name,
+            w.stable_objects,
+            w.churn_per_cycle,
+            w.cycles,
+            seed_ns,
+            engine1_ns,
+            vs_seed,
+            modeled
+        );
+        gc_rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"stable_objects\": {}, ",
+                "\"churn_per_cycle\": {}, \"cycles\": {}, ",
+                "\"seed_equivalent_ns_per_cycle\": {}, ",
+                "\"engine_1w_ns_per_cycle\": {}, ",
+                "\"engine_2w_ns_per_cycle\": {}, ",
+                "\"engine_4w_ns_per_cycle\": {}, ",
+                "\"speedup_engine_vs_seed\": {:.2}, ",
+                "\"modeled_pause_1w_us\": {}, ",
+                "\"modeled_pause_4w_us\": {}, ",
+                "\"speedup_modeled_4w_vs_1w\": {:.2}, ",
+                "\"single_worker_within_5pct_of_serial\": {}, ",
+                "\"outputs_identical\": {}}}"
+            ),
+            json_escape(w.name),
+            w.stable_objects,
+            w.churn_per_cycle,
+            w.cycles,
+            seed_ns,
+            engine1_ns,
+            engine2_ns,
+            engine4_ns,
+            vs_seed,
+            pause1_us,
+            pause4_us,
+            modeled,
+            single_ok,
+            identical
+        ));
+    }
+    let gc_json = format!(
+        "{{\n  \"bench\": \"gc_mark_evacuate\",\n  \"schema_version\": {},\n  \"units\": \"median ns per collection cycle; pauses in modeled us\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        SCHEMA_VERSION,
+        gc_rows.join(",\n")
+    );
+    std::fs::write(&gc_out_path, &gc_json).expect("write gc bench json");
+    println!("wrote {gc_out_path}");
+
     if diverged {
         std::process::exit(1);
     }
@@ -1085,6 +1456,18 @@ fn main() {
     println!(
         "recorder speedup gate passed: {large_recorder_speedup:.2}x >= {min_recorder_speedup:.2}x"
     );
+    if large_gc_speedup < min_gc_speedup {
+        eprintln!(
+            "FAIL: large-workload modeled 4-worker GC speedup {large_gc_speedup:.2}x below required {min_gc_speedup:.2}x"
+        );
+        std::process::exit(1);
+    }
+    println!("gc speedup gate passed: {large_gc_speedup:.2}x >= {min_gc_speedup:.2}x");
+    if !gc_single_worker_ok {
+        eprintln!("FAIL: single-worker GC throughput fell below 95% of the serial baseline");
+        std::process::exit(1);
+    }
+    println!("gc single-worker throughput gate passed");
 
     // ---- committed-results staleness check -------------------------------
     // Checked at the default paths regardless of --out overrides: CI runs
@@ -1095,6 +1478,7 @@ fn main() {
         "BENCH_analyzer.json",
         "BENCH_pipeline.json",
         "BENCH_recorder.json",
+        "BENCH_gc.json",
     ] {
         if let Err(reason) = check_committed_bench(path) {
             eprintln!("FAIL: stale committed bench results — {reason}");

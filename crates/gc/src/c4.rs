@@ -110,6 +110,8 @@ impl C4Collector {
             // live set is exact, so publish it for snapshot reuse.
             if roots.stack_roots().is_empty() {
                 heap.publish_live(cycle.live);
+            } else {
+                heap.retire_live_set(cycle.live);
             }
             (young, olds)
         } else {
@@ -121,6 +123,7 @@ impl C4Collector {
                 self.old_space(),
                 survivor_cap(heap, self.config.survivor_ratio),
             )?;
+            heap.retire_live_set(live);
             (young, GcWork::default())
         };
         Ok(self.phase_pauses(&young.merged(olds)))
@@ -135,6 +138,7 @@ impl Collector for C4Collector {
     fn attach(&mut self, heap: &mut Heap) {
         assert!(self.old.is_none(), "collector already attached");
         self.old = Some(heap.create_space(GenId::new(1), None));
+        heap.set_gc_workers(self.config.gc_workers);
     }
 
     fn alloc(

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use polm2_heap::{GenId, Heap, HeapError, LiveSet, ObjectId, SpaceId};
+use polm2_heap::{EvacDecision, GenId, Heap, HeapError, LiveSet, ObjectId, SpaceId};
 
 use crate::{GcError, GcWork, PauseEvent};
 
@@ -180,26 +180,46 @@ pub(crate) fn evacuate_young(
     let sources = heap.begin_evacuation(Heap::YOUNG_SPACE)?;
     let mut survivor_bytes: u64 = 0;
     let mut promoted: Vec<ObjectId> = Vec::new();
+    // Read-only decision pass in allocation order, then one batched
+    // evacuation: planning stays deterministic while the fix-up phase may
+    // run on the heap's configured `gc_workers`.
+    let mut ops: Vec<(ObjectId, EvacDecision)> = Vec::with_capacity(young_objects.len());
     for obj in young_objects {
         work.traced_objects += 1;
         if !live.contains(obj) {
-            heap.drop_object(obj)?;
+            ops.push((obj, EvacDecision::Drop));
             work.swept_objects += 1;
             continue;
         }
-        let size = u64::from(heap.object(obj).expect("live object").size());
+        let rec = heap.object(obj).expect("live object");
+        let size = u64::from(rec.size());
         work.traced_bytes += size;
-        let age = heap.bump_age(obj)?;
+        // The move bumps the age; decide on the post-bump value, matching
+        // the old bump-then-test sequence.
+        let age = rec.age().saturating_add(1);
         if age >= tenure_threshold || survivor_bytes + size > survivor_cap_bytes {
-            heap.relocate(obj, promote_to)?;
+            ops.push((
+                obj,
+                EvacDecision::Move {
+                    dest: promote_to,
+                    bump_age: true,
+                },
+            ));
             work.promoted_bytes += size;
             promoted.push(obj);
         } else {
-            heap.relocate(obj, Heap::YOUNG_SPACE)?;
+            ops.push((
+                obj,
+                EvacDecision::Move {
+                    dest: Heap::YOUNG_SPACE,
+                    bump_age: true,
+                },
+            ));
             work.copied_bytes += size;
             survivor_bytes += size;
         }
     }
+    heap.evacuate_batch(&ops)?;
     work.freed_regions += sources.len() as u64;
     heap.finish_evacuation();
     // Promotion turns edges to still-young children into old->young edges
@@ -266,6 +286,9 @@ pub(crate) fn ensure_mark(
         None => true,
     };
     if stale {
+        if let Some(old) = cache.take() {
+            heap.retire_live_set(old.live);
+        }
         *cache = Some(MarkCycle::run(heap, roots));
     }
     if let Some(c) = cache.as_mut() {
@@ -319,11 +342,13 @@ pub(crate) fn reclaim_spaces(
         if residents.iter().any(|&obj| mark.is_live(obj)) {
             continue;
         }
-        for obj in residents {
-            heap.drop_object(obj)?;
-            work.swept_objects += 1;
-            work.traced_objects += 1;
-        }
+        work.swept_objects += residents.len() as u64;
+        work.traced_objects += residents.len() as u64;
+        let ops: Vec<(ObjectId, EvacDecision)> = residents
+            .into_iter()
+            .map(|obj| (obj, EvacDecision::Drop))
+            .collect();
+        heap.evacuate_batch(&ops)?;
         heap.purge_region_objects(region);
         heap.release_region(region);
         work.freed_regions += 1;
@@ -332,19 +357,32 @@ pub(crate) fn reclaim_spaces(
     // Pass 3 — sweep + compact the collection set, sparsest regions first.
     victims.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
     victims.truncate(max_regions as usize);
+    // Each victim keeps its own begin/finish pair: the freed region returns
+    // to the pool before the next victim is evacuated, preserving the pool's
+    // LIFO region-reuse order. Parallelism lives inside the batch.
     for (_, space, victim) in victims {
         heap.begin_evacuation_of(space, &[victim])?;
-        for obj in heap.live_objects_in_region(victim) {
+        let residents = heap.live_objects_in_region(victim);
+        let mut ops: Vec<(ObjectId, EvacDecision)> = Vec::with_capacity(residents.len());
+        for obj in residents {
             work.traced_objects += 1;
             if !mark.is_live(obj) {
-                heap.drop_object(obj)?;
+                ops.push((obj, EvacDecision::Drop));
                 work.swept_objects += 1;
             } else {
-                let size = heap.relocate(obj, space)?;
-                work.compacted_bytes += u64::from(size);
-                work.traced_bytes += u64::from(size);
+                let size = u64::from(heap.object(obj).expect("resident record").size());
+                ops.push((
+                    obj,
+                    EvacDecision::Move {
+                        dest: space,
+                        bump_age: false,
+                    },
+                ));
+                work.compacted_bytes += size;
+                work.traced_bytes += size;
             }
         }
+        heap.evacuate_batch(&ops)?;
         heap.finish_evacuation();
         work.freed_regions += 1;
     }

@@ -30,6 +30,11 @@ pub struct GcConfig {
     /// Mixed pauses served by one (conceptually concurrent) marking cycle
     /// before the next cycle runs.
     pub mark_cycle_uses: u32,
+    /// Worker threads for the stop-the-world mark and evacuation phases.
+    /// Results are bit-identical at any worker count (see DESIGN.md §15);
+    /// workers shorten the wall-clock mark/evacuate, never the simulated
+    /// trajectory. `1` keeps the serial path.
+    pub gc_workers: usize,
     /// The pause-pricing coefficients.
     pub cost: CostModel,
 }
@@ -43,6 +48,7 @@ impl Default for GcConfig {
             compact_live_fraction: 0.75,
             max_compact_regions_per_pause: 48,
             mark_cycle_uses: 2,
+            gc_workers: 1,
             cost: CostModel::default(),
         }
     }
@@ -70,6 +76,9 @@ impl GcConfig {
         }
         if self.mark_cycle_uses == 0 {
             return Err("mark_cycle_uses must be positive".into());
+        }
+        if self.gc_workers == 0 {
+            return Err("gc_workers must be positive".into());
         }
         Ok(())
     }
@@ -108,6 +117,11 @@ mod tests {
         assert!(c.validate().is_err());
         let c = GcConfig {
             mark_cycle_uses: 0,
+            ..GcConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = GcConfig {
+            gc_workers: 0,
             ..GcConfig::default()
         };
         assert!(c.validate().is_err());

@@ -66,6 +66,7 @@ impl G1Collector {
             self.old_space(),
             survivor_cap(heap, self.config.survivor_ratio),
         )?;
+        heap.retire_live_set(live);
         Ok(PauseEvent {
             kind: GcKind::Minor,
             pause: self.config.cost.pause(&work),
@@ -86,6 +87,7 @@ impl G1Collector {
             self.old_space(),
             survivor_cap(heap, self.config.survivor_ratio),
         )?;
+        heap.retire_live_set(young_live);
         ensure_mark(&mut self.mark, heap, roots, self.config.mark_cycle_uses);
         let mark = self.mark.as_ref().expect("ensured above");
         let old = reclaim_spaces(
@@ -115,13 +117,18 @@ impl G1Collector {
             survivor_cap(heap, self.config.survivor_ratio),
         )?;
         let old = reclaim_spaces(heap, &cycle, &[self.old_space()], 1.0, u32::MAX)?;
-        self.mark = None; // the heap changed wholesale; next mixed re-marks
-                          // A full cycle leaves the heap's live set exactly the mark's live
-                          // set (only unreachable objects were dropped, survivors merely
-                          // moved), so hand it to the heap for the profiling Dumper to reuse —
-                          // unless stack roots widened the trace beyond the root table.
+        // The heap changed wholesale; the next mixed pause re-marks.
+        if let Some(stale) = self.mark.take() {
+            heap.retire_live_set(stale.live);
+        }
+        // A full cycle leaves the heap's live set exactly the mark's live
+        // set (only unreachable objects were dropped, survivors merely
+        // moved), so hand it to the heap for the profiling Dumper to reuse —
+        // unless stack roots widened the trace beyond the root table.
         if roots.stack_roots().is_empty() {
             heap.publish_live(cycle.live);
+        } else {
+            heap.retire_live_set(cycle.live);
         }
         let work = young.merged(old);
         Ok(PauseEvent {
@@ -140,6 +147,7 @@ impl Collector for G1Collector {
     fn attach(&mut self, heap: &mut Heap) {
         assert!(self.old.is_none(), "collector already attached");
         self.old = Some(heap.create_space(GenId::new(1), None));
+        heap.set_gc_workers(self.config.gc_workers);
     }
 
     fn alloc(
@@ -156,7 +164,9 @@ impl Collector for G1Collector {
             // Under pool pressure the floating garbage of the current mark
             // cycle is what is squeezing us: refresh the mark, then reclaim
             // incrementally; a full collection is the last resort.
-            self.mark = None;
+            if let Some(stale) = self.mark.take() {
+                heap.retire_live_set(stale.live);
+            }
             pauses.push(
                 self.mixed(heap, roots)
                     .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,

@@ -100,6 +100,7 @@ impl Ng2cCollector {
             self.old_space(),
             survivor_cap(heap, self.config.survivor_ratio),
         )?;
+        heap.retire_live_set(live);
         Ok(PauseEvent {
             kind: GcKind::Minor,
             pause: self.config.cost.pause(&work),
@@ -120,6 +121,7 @@ impl Ng2cCollector {
             self.old_space(),
             survivor_cap(heap, self.config.survivor_ratio),
         )?;
+        heap.retire_live_set(young_live);
         ensure_mark(&mut self.mark, heap, roots, self.config.mark_cycle_uses);
         let mark = self.mark.as_ref().expect("ensured above");
         let olds = reclaim_spaces(
@@ -147,11 +149,15 @@ impl Ng2cCollector {
             survivor_cap(heap, self.config.survivor_ratio),
         )?;
         let olds = reclaim_spaces(heap, &cycle, &self.old_spaces(), 1.0, u32::MAX)?;
-        self.mark = None;
+        if let Some(stale) = self.mark.take() {
+            heap.retire_live_set(stale.live);
+        }
         // See `G1Collector::full`: after a full cycle the mark's live set is
         // exact, so publish it for snapshot reuse (root-table-only traces).
         if roots.stack_roots().is_empty() {
             heap.publish_live(cycle.live);
+        } else {
+            heap.retire_live_set(cycle.live);
         }
         let work = young.merged(olds);
         Ok(PauseEvent {
@@ -180,6 +186,7 @@ impl Collector for Ng2cCollector {
         self.gen_spaces.push(Heap::YOUNG_SPACE);
         // Generation 1 is the classic old generation (age-out target).
         self.gen_spaces.push(heap.create_space(GenId::new(1), None));
+        heap.set_gc_workers(self.config.gc_workers);
     }
 
     fn alloc(
@@ -196,7 +203,9 @@ impl Collector for Ng2cCollector {
             // Under pool pressure the floating garbage of the current mark
             // cycle is what is squeezing us: refresh the mark, then reclaim
             // incrementally; a full collection is the last resort.
-            self.mark = None;
+            if let Some(stale) = self.mark.take() {
+                heap.retire_live_set(stale.live);
+            }
             pauses.push(
                 self.mixed(heap, roots)
                     .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,

@@ -1,0 +1,142 @@
+//! Batched evacuation: plan/apply split and the parallel fix-up phase.
+//!
+//! [`Heap::evacuate_batch`] runs in two phases. The *planning* phase is
+//! serial and deterministic: it walks the ops in order, takes dead records,
+//! bump-allocates every destination address, and updates region lists and
+//! live-byte accounting — everything whose outcome depends on order. What
+//! remains for the *fix-up* phase is strictly commutative: rewriting each
+//! moved record's address/age (disjoint slots), adjusting per-page occupancy
+//! counters (atomic add/sub), and ORing/ANDNOT-ing page dirty/no-need bits.
+//! Commutativity is what makes the fix-up safe to shard across workers with
+//! no coordination and bit-identical at any worker count.
+//!
+//! [`Heap::evacuate_batch`]: crate::Heap::evacuate_batch
+
+use std::sync::atomic::Ordering;
+
+use crate::region::as_atomic_words;
+use crate::{Addr, ObjectRecord, PageTable, SpaceId};
+
+/// What a collector decided to do with one object during an evacuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvacDecision {
+    /// The object is dead: take its record and free its pages.
+    Drop,
+    /// The object survives: copy it into `dest`.
+    Move {
+        /// Destination space (same space for survivor copying, an older
+        /// space for promotion or compaction).
+        dest: SpaceId,
+        /// Bump the object's young-generation age as part of the move
+        /// (survivor copying and promotion do; compaction does not).
+        bump_age: bool,
+    },
+}
+
+/// A planned move, carrying everything the fix-up phase needs without
+/// touching shared heap state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MoveEntry {
+    /// Record slot of the moved object (unique within one batch).
+    pub slot: u32,
+    pub dest: SpaceId,
+    pub new_addr: Addr,
+    pub size: u32,
+    pub bump_age: bool,
+    /// Global page range the object vacated.
+    pub old_first: u32,
+    pub old_last: u32,
+    /// Global page range the object now occupies.
+    pub new_first: u32,
+    pub new_last: u32,
+}
+
+/// A planned drop: only the vacated page range remains to account.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DropEntry {
+    pub first: u32,
+    pub last: u32,
+}
+
+/// Shares the record slab across fix-up workers.
+///
+/// Safety rests on the batch contract: every [`MoveEntry::slot`] is unique
+/// within the batch, so no two workers ever touch the same record, and the
+/// exclusive `&mut` borrow held by the caller guarantees nothing else reads
+/// the slab while workers write disjoint slots.
+struct RecordsCell {
+    ptr: *mut Option<ObjectRecord>,
+    len: usize,
+}
+
+unsafe impl Sync for RecordsCell {}
+
+impl RecordsCell {
+    /// Returns the slot's address; the caller may form a `&mut` from it only
+    /// while no other worker holds the same slot (guaranteed by slot
+    /// uniqueness within the batch).
+    fn record(&self, slot: u32) -> *mut Option<ObjectRecord> {
+        assert!((slot as usize) < self.len, "record slot out of range");
+        unsafe { self.ptr.add(slot as usize) }
+    }
+}
+
+/// Applies the fix-up phase across `workers` scoped threads. Every effect is
+/// commutative, so chunk boundaries and interleaving cannot change the final
+/// state.
+pub(crate) fn apply_parallel(
+    workers: usize,
+    records: &mut [Option<ObjectRecord>],
+    page_object_counts: &mut [u32],
+    page_table: &mut PageTable,
+    moves: &[MoveEntry],
+    drops: &[DropEntry],
+) {
+    let workers = workers.max(1);
+    let cell = RecordsCell {
+        ptr: records.as_mut_ptr(),
+        len: records.len(),
+    };
+    let counts = as_atomic_words(page_object_counts);
+    let (dirty, no_need) = page_table.atomic_views();
+    let move_chunk = moves.len().div_ceil(workers).max(1);
+    let drop_chunk = drops.len().div_ceil(workers).max(1);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let cell = &cell;
+            let counts = &counts;
+            let dirty = &dirty;
+            let no_need = &no_need;
+            s.spawn(move || {
+                let mstart = (w * move_chunk).min(moves.len());
+                let mend = ((w + 1) * move_chunk).min(moves.len());
+                for m in &moves[mstart..mend] {
+                    // SAFETY: slots are unique within the batch; this worker
+                    // is the only one holding this slot.
+                    let rec = unsafe { &mut *cell.record(m.slot) }
+                        .as_mut()
+                        .expect("planned move has a record");
+                    rec.relocate(m.dest, m.new_addr);
+                    if m.bump_age {
+                        rec.bump_age();
+                    }
+                    for p in m.new_first..=m.new_last {
+                        dirty.set(p);
+                        no_need.clear(p);
+                        counts[p as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                    for p in m.old_first..=m.old_last {
+                        counts[p as usize].fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                let dstart = (w * drop_chunk).min(drops.len());
+                let dend = ((w + 1) * drop_chunk).min(drops.len());
+                for d in &drops[dstart..dend] {
+                    for p in d.first..=d.last {
+                        counts[p as usize].fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+}

@@ -1,24 +1,56 @@
 //! The heap façade: allocation, mutation, marking, relocation, reclamation.
 
+use std::sync::atomic::AtomicU32;
+
+use polm2_metrics::RememberedSetChurn;
+
+use crate::evac::{self, DropEntry, EvacDecision, MoveEntry};
 use crate::fasthash::IdHashSet;
+use crate::mark;
 
 use crate::{
     Addr, ClassId, ClassRegistry, GenId, HeapConfig, HeapError, HeapStats, ObjectId, ObjectRecord,
     PageTable, Region, RegionId, RootTable, SiteId, Space, SpaceId,
 };
 
+/// Below this many live records a sharded mark is not worth the thread
+/// scaffolding; `mark_live*` falls back to the serial tracer (whose output is
+/// bit-identical by construction).
+const MIN_PARALLEL_MARK_RECORDS: usize = 1024;
+
+/// Below this many batched evacuation ops the fix-up phase applies serially.
+const MIN_PARALLEL_EVAC_OPS: usize = 1024;
+
+/// Retired `(bits, order)` buffer pairs kept for reuse by later marks.
+const MAX_RETIRED_LIVE_BUFFERS: usize = 4;
+
 /// Slot-table sentinel: the id has no record (dead, or not yet allocated).
-const DEAD_SLOT: u32 = u32::MAX;
+pub(crate) const DEAD_SLOT: u32 = u32::MAX;
 
 #[inline]
-fn bit_set(bits: &mut [u64], i: usize) {
+pub(crate) fn bit_set(bits: &mut [u64], i: usize) {
     bits[i >> 6] |= 1u64 << (i & 63);
 }
 
 #[inline]
-fn bit_get(bits: &[u64], i: usize) -> bool {
+pub(crate) fn bit_get(bits: &[u64], i: usize) -> bool {
     bits.get(i >> 6)
         .is_some_and(|w| w & (1u64 << (i & 63)) != 0)
+}
+
+/// Rebuilds `order` as the ascending-id enumeration of the set bits — the
+/// canonical [`LiveSet::order`]. Sort-free: one pass over the bitmap with
+/// zero-word skips, so serial and sharded marks publish identical orders.
+pub(crate) fn order_from_bits(bits: &[u64], order: &mut Vec<ObjectId>) {
+    order.clear();
+    for (w, &word) in bits.iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            let b = word.trailing_zeros() as usize;
+            order.push(ObjectId::new(((w << 6) + b) as u64));
+            word &= word - 1;
+        }
+    }
 }
 
 /// Two-level slab lookup shared by `Heap::object` and the retain closures
@@ -47,7 +79,9 @@ fn slab_get<'a>(
 pub struct LiveSet {
     /// Membership bitmap indexed by `ObjectId::index()`.
     bits: Vec<u64>,
-    /// Live objects in deterministic (discovery) order.
+    /// Live objects in canonical ascending object-id order. The canonical
+    /// order (rather than BFS discovery order) makes the published set
+    /// independent of how the mark was sharded across workers.
     order: Vec<ObjectId>,
     live_bytes: u64,
     /// Objects traced (== `order.len()`), kept separate for cost accounting.
@@ -81,7 +115,8 @@ impl LiveSet {
         self.full
     }
 
-    /// Live objects in discovery order (roots first, then BFS).
+    /// Live objects in canonical ascending object-id order (identical at any
+    /// `gc_workers` count).
     pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
         self.order.iter().copied()
     }
@@ -225,6 +260,23 @@ pub struct Heap {
     /// (appended by the `add_ref` write barrier, pruned after each young
     /// collection). Lets minor collections avoid tracing the old spaces.
     remembered: Vec<ObjectId>,
+    /// Retained dedup scratch for [`Heap::prune_remembered`] — cleared in
+    /// place each prune instead of rebuilding the table.
+    remembered_scratch: IdHashSet<ObjectId>,
+    /// Remembered-set traffic counters (bench- and CLI-visible).
+    remembered_churn: RememberedSetChurn,
+    /// Worker threads used inside GC safepoints (mark + evacuate fix-up).
+    /// `1` keeps every path serial; any value yields bit-identical output.
+    gc_workers: usize,
+    /// Per-record claim stamps for the sharded mark, indexed by record slot.
+    /// A slot is claimed for the current epoch by an atomic swap; stale
+    /// stamps never equal a fresh epoch because epochs strictly increase.
+    mark_stamps: Vec<AtomicU32>,
+    /// Retained per-mark region live-byte accumulator (cleared in place).
+    region_live_scratch: Vec<u32>,
+    /// Bounded pool of retired `(bits, order)` buffers from consumed
+    /// [`LiveSet`]s, reused by later marks (see [`Heap::retire_live_set`]).
+    retired_live_buffers: Vec<(Vec<u64>, Vec<ObjectId>)>,
     stats: HeapStats,
 }
 
@@ -283,8 +335,29 @@ impl Heap {
             mutation_seq: 0,
             published: None,
             remembered: Vec::new(),
+            remembered_scratch: IdHashSet::default(),
+            remembered_churn: RememberedSetChurn::default(),
+            gc_workers: 1,
+            mark_stamps: Vec::new(),
+            region_live_scratch: Vec::new(),
+            retired_live_buffers: Vec::new(),
             stats: HeapStats::default(),
         }
+    }
+
+    /// Worker threads used inside GC safepoints (see [`set_gc_workers`]).
+    ///
+    /// [`set_gc_workers`]: Heap::set_gc_workers
+    pub fn gc_workers(&self) -> usize {
+        self.gc_workers
+    }
+
+    /// Sets the number of worker threads the mark and evacuation fix-up
+    /// phases may use behind a safepoint. Values below 1 clamp to 1. Output
+    /// is bit-identical at any worker count; this only trades wall-clock
+    /// time inside the pause.
+    pub fn set_gc_workers(&mut self, workers: usize) {
+        self.gc_workers = workers.max(1);
     }
 
     /// The heap geometry.
@@ -522,6 +595,7 @@ impl Heap {
         // collections need not trace the old spaces.
         if parent_space != Heap::YOUNG_SPACE && child_space == Heap::YOUNG_SPACE {
             self.remembered.push(child);
+            self.remembered_churn.recorded += 1;
         }
         Ok(())
     }
@@ -587,29 +661,66 @@ impl Heap {
         for w in &mut self.live_pages {
             *w = 0;
         }
-        let mut ctx = MarkCtx {
-            epoch: self.mark_epoch,
-            slots: &self.slots,
-            records: &mut self.records,
-            page_table: &self.page_table,
-            live_pages: Some(&mut self.live_pages),
-            bits: vec![0u64; (self.next_object as usize).div_ceil(64)],
-            order: Vec::new(),
-            region_live: vec![0u32; self.regions.len()],
-            live_bytes: 0,
-            young_only: false,
+        let (mut bits, mut order) = self.take_mark_buffers();
+        let mut region_live = std::mem::take(&mut self.region_live_scratch);
+        region_live.clear();
+        region_live.resize(self.regions.len(), 0);
+
+        let live_bytes = if self.use_parallel_mark() {
+            let roots: Vec<ObjectId> = self
+                .roots
+                .iter()
+                .chain(extra_roots.iter().copied())
+                .collect();
+            self.mark_stamps
+                .resize_with(self.records.len(), || AtomicU32::new(0));
+            mark::parallel_mark(
+                &mark::MarkShards {
+                    workers: self.gc_workers,
+                    epoch: self.mark_epoch,
+                    slots: &self.slots,
+                    records: &self.records,
+                    stamps: &self.mark_stamps,
+                    page_table: &self.page_table,
+                    young_only: false,
+                },
+                &roots,
+                &mut bits,
+                &mut region_live,
+                Some(&mut self.live_pages),
+            )
+        } else {
+            let mut ctx = MarkCtx {
+                epoch: self.mark_epoch,
+                slots: &self.slots,
+                records: &mut self.records,
+                page_table: &self.page_table,
+                live_pages: Some(&mut self.live_pages),
+                bits,
+                order,
+                region_live,
+                live_bytes: 0,
+                young_only: false,
+            };
+            for id in self.roots.iter().chain(extra_roots.iter().copied()) {
+                ctx.visit(id);
+            }
+            ctx.trace();
+            let MarkCtx {
+                bits: b,
+                order: o,
+                region_live: rl,
+                live_bytes,
+                ..
+            } = ctx;
+            bits = b;
+            order = o;
+            region_live = rl;
+            live_bytes
         };
-        for id in self.roots.iter().chain(extra_roots.iter().copied()) {
-            ctx.visit(id);
-        }
-        ctx.trace();
-        let MarkCtx {
-            bits,
-            order,
-            region_live,
-            live_bytes,
-            ..
-        } = ctx;
+        // Canonicalize the published order (ascending object id) so serial
+        // and sharded marks are indistinguishable to every consumer.
+        order_from_bits(&bits, &mut order);
 
         // Refresh per-region live-byte accounting.
         for region in &mut self.regions {
@@ -617,6 +728,7 @@ impl Heap {
                 region.set_live_bytes(region_live[region.id().index()]);
             }
         }
+        self.region_live_scratch = region_live;
         self.live_pages_epoch = self.mark_epoch;
         self.live_pages_seq = self.mutation_seq;
 
@@ -643,42 +755,79 @@ impl Heap {
     /// once the collection has relocated or dropped every young object.
     pub fn mark_live_young(&mut self, extra_roots: &[ObjectId]) -> LiveSet {
         self.mark_epoch += 1;
-        let mut ctx = MarkCtx {
-            epoch: self.mark_epoch,
-            slots: &self.slots,
-            records: &mut self.records,
-            page_table: &self.page_table,
-            // Young-only marks never feed the no-need walk; the live-page
-            // bitmap keeps describing the last whole-heap mark.
-            live_pages: None,
-            bits: vec![0u64; (self.next_object as usize).div_ceil(64)],
-            order: Vec::new(),
-            region_live: vec![0u32; self.regions.len()],
-            live_bytes: 0,
-            young_only: true,
+        let (mut bits, mut order) = self.take_mark_buffers();
+        let mut region_live = std::mem::take(&mut self.region_live_scratch);
+        region_live.clear();
+        region_live.resize(self.regions.len(), 0);
+
+        let live_bytes = if self.use_parallel_mark() {
+            let roots: Vec<ObjectId> = self
+                .roots
+                .iter()
+                .chain(extra_roots.iter().copied())
+                .chain(self.remembered.iter().copied())
+                .collect();
+            self.mark_stamps
+                .resize_with(self.records.len(), || AtomicU32::new(0));
+            mark::parallel_mark(
+                &mark::MarkShards {
+                    workers: self.gc_workers,
+                    epoch: self.mark_epoch,
+                    slots: &self.slots,
+                    records: &self.records,
+                    stamps: &self.mark_stamps,
+                    page_table: &self.page_table,
+                    young_only: true,
+                },
+                &roots,
+                &mut bits,
+                &mut region_live,
+                // Young-only marks never feed the no-need walk; the
+                // live-page bitmap keeps describing the last whole-heap mark.
+                None,
+            )
+        } else {
+            let mut ctx = MarkCtx {
+                epoch: self.mark_epoch,
+                slots: &self.slots,
+                records: &mut self.records,
+                page_table: &self.page_table,
+                live_pages: None,
+                bits,
+                order,
+                region_live,
+                live_bytes: 0,
+                young_only: true,
+            };
+            for id in self
+                .roots
+                .iter()
+                .chain(extra_roots.iter().copied())
+                .chain(self.remembered.iter().copied())
+            {
+                ctx.visit(id);
+            }
+            ctx.trace();
+            let MarkCtx {
+                bits: b,
+                order: o,
+                region_live: rl,
+                live_bytes,
+                ..
+            } = ctx;
+            bits = b;
+            order = o;
+            region_live = rl;
+            live_bytes
         };
-        for id in self
-            .roots
-            .iter()
-            .chain(extra_roots.iter().copied())
-            .chain(self.remembered.iter().copied())
-        {
-            ctx.visit(id);
-        }
-        ctx.trace();
-        let MarkCtx {
-            bits,
-            order,
-            region_live,
-            live_bytes,
-            ..
-        } = ctx;
+        order_from_bits(&bits, &mut order);
 
         for region in &mut self.regions {
             if region.space() == Some(Heap::YOUNG_SPACE) {
                 region.set_live_bytes(region_live[region.id().index()]);
             }
         }
+        self.region_live_scratch = region_live;
 
         let traced = order.len() as u64;
         LiveSet {
@@ -693,16 +842,55 @@ impl Heap {
         }
     }
 
+    /// True when the next mark should shard across workers: more than one
+    /// worker is configured and the live population is large enough to pay
+    /// for the thread scaffolding.
+    fn use_parallel_mark(&self) -> bool {
+        self.gc_workers > 1 && self.live_records >= MIN_PARALLEL_MARK_RECORDS
+    }
+
+    /// Pops a retired `(bits, order)` buffer pair (or allocates fresh ones)
+    /// and prepares them for the next mark: bits zeroed to the current id
+    /// range, order emptied.
+    fn take_mark_buffers(&mut self) -> (Vec<u64>, Vec<ObjectId>) {
+        let words = (self.next_object as usize).div_ceil(64);
+        let (mut bits, mut order) = self.retired_live_buffers.pop().unwrap_or_default();
+        bits.clear();
+        bits.resize(words, 0);
+        order.clear();
+        (bits, order)
+    }
+
+    /// Returns a consumed [`LiveSet`]'s buffers to the retained pool so the
+    /// next mark can reuse them instead of allocating. Collectors call this
+    /// for young sets once a collection no longer needs them; the heap calls
+    /// it for published sets it discards. Dropping a set instead of retiring
+    /// it is always correct — just slower.
+    pub fn retire_live_set(&mut self, live: LiveSet) {
+        if self.retired_live_buffers.len() < MAX_RETIRED_LIVE_BUFFERS {
+            self.retired_live_buffers.push((live.bits, live.order));
+        }
+    }
+
     /// Prunes the remembered set after a young collection: entries whose
     /// object died or left the young generation are dropped, duplicates
     /// collapse.
     pub fn prune_remembered(&mut self) {
+        let before = self.remembered.len();
         let (slots, records) = (&self.slots, &self.records);
-        let mut seen: IdHashSet<ObjectId> = IdHashSet::default();
+        let seen = &mut self.remembered_scratch;
+        seen.clear();
         self.remembered.retain(|&id| {
             slab_get(slots, records, id).map(|r| r.space()) == Some(Heap::YOUNG_SPACE)
                 && seen.insert(id)
         });
+        let after = self.remembered.len();
+        self.remembered_churn.note_prune(before, after);
+    }
+
+    /// Remembered-set traffic counters accumulated over the heap's life.
+    pub fn remembered_churn(&self) -> RememberedSetChurn {
+        self.remembered_churn
     }
 
     /// Current remembered-set length (diagnostics).
@@ -717,6 +905,7 @@ impl Heap {
     pub fn remember_if_young(&mut self, obj: ObjectId) {
         if self.object(obj).map(|r| r.space()) == Some(Heap::YOUNG_SPACE) {
             self.remembered.push(obj);
+            self.remembered_churn.recorded += 1;
         }
     }
 
@@ -768,6 +957,129 @@ impl Heap {
         self.stats.relocated_objects += 1;
         self.stats.relocated_bytes += u64::from(size);
         Ok(size)
+    }
+
+    /// Applies one batch of evacuation decisions — drops and moves — as a
+    /// deterministic serial *planning* phase followed by a *fix-up* phase
+    /// that may run on [`gc_workers`](Heap::gc_workers) threads.
+    ///
+    /// Planning walks `ops` in order and performs every order-dependent
+    /// mutation exactly as the equivalent sequence of
+    /// [`relocate`](Heap::relocate) / [`drop_object`](Heap::drop_object)
+    /// calls would: destination addresses bump-allocate in op order, region
+    /// object lists and live-byte accounting update in op order, and
+    /// `mutation_seq` advances once per op. The fix-up phase then applies
+    /// only commutative effects (record address/age rewrites on disjoint
+    /// slots, atomic page count and dirty/no-need flag updates), so the
+    /// final heap state is bit-identical at any worker count.
+    ///
+    /// Each object id must appear at most once per batch.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeapError::NoSuchObject`] if an op names a dead object.
+    /// * Any allocation error from a move's destination space. On error the
+    ///   heap is left mid-evacuation (ops before the failing one applied,
+    ///   later fix-ups dropped) — collectors treat such errors as fatal,
+    ///   matching the documented out-of-memory contract.
+    pub fn evacuate_batch(&mut self, ops: &[(ObjectId, EvacDecision)]) -> Result<(), HeapError> {
+        #[cfg(debug_assertions)]
+        {
+            let mut seen: IdHashSet<ObjectId> = IdHashSet::default();
+            for &(obj, _) in ops {
+                debug_assert!(seen.insert(obj), "object {obj} appears twice in one batch");
+            }
+        }
+        let mut moves: Vec<MoveEntry> = Vec::with_capacity(ops.len());
+        let mut drops: Vec<DropEntry> = Vec::new();
+        for &(obj, decision) in ops {
+            let slot = match self.slots.get(obj.index()).copied() {
+                Some(slot) if slot != DEAD_SLOT => slot,
+                _ => return Err(HeapError::NoSuchObject { object: obj }),
+            };
+            match decision {
+                EvacDecision::Drop => {
+                    let rec = self.records[slot as usize]
+                        .take()
+                        .expect("live slot has a record");
+                    self.slots[obj.index()] = DEAD_SLOT;
+                    self.free_slots.push(slot);
+                    self.live_records -= 1;
+                    let (first, last) = self.page_table.pages_of(rec.addr(), rec.size());
+                    drops.push(DropEntry { first, last });
+                    self.mutation_seq += 1;
+                    self.stats.freed_objects += 1;
+                    self.stats.freed_bytes += u64::from(rec.size());
+                }
+                EvacDecision::Move { dest, bump_age } => {
+                    let (size, old_addr) = {
+                        let rec = self.records[slot as usize]
+                            .as_ref()
+                            .expect("live slot has a record");
+                        (rec.size(), rec.addr())
+                    };
+                    let new_addr = self.bump_into(dest, size)?;
+                    self.regions[new_addr.region.index()].push_object(obj);
+                    let src_live = self.regions[old_addr.region.index()].live_bytes();
+                    self.regions[old_addr.region.index()]
+                        .set_live_bytes(src_live.saturating_sub(size));
+                    let dst_live = self.regions[new_addr.region.index()].live_bytes();
+                    self.regions[new_addr.region.index()].set_live_bytes(dst_live + size);
+                    let (old_first, old_last) = self.page_table.pages_of(old_addr, size);
+                    let (new_first, new_last) = self.page_table.pages_of(new_addr, size);
+                    moves.push(MoveEntry {
+                        slot,
+                        dest,
+                        new_addr,
+                        size,
+                        bump_age,
+                        old_first,
+                        old_last,
+                        new_first,
+                        new_last,
+                    });
+                    self.mutation_seq += 1;
+                    self.stats.relocated_objects += 1;
+                    self.stats.relocated_bytes += u64::from(size);
+                }
+            }
+        }
+        if self.gc_workers > 1 && moves.len() + drops.len() >= MIN_PARALLEL_EVAC_OPS {
+            evac::apply_parallel(
+                self.gc_workers,
+                &mut self.records,
+                &mut self.page_object_counts,
+                &mut self.page_table,
+                &moves,
+                &drops,
+            );
+        } else {
+            for m in &moves {
+                let rec = self.records[m.slot as usize]
+                    .as_mut()
+                    .expect("planned move has a record");
+                rec.relocate(m.dest, m.new_addr);
+                if m.bump_age {
+                    rec.bump_age();
+                }
+                self.page_table.mark_dirty_range(m.new_addr, m.size);
+                self.page_table.clear_no_need_range(m.new_addr, m.size);
+                for p in m.new_first..=m.new_last {
+                    self.page_object_counts[p as usize] += 1;
+                }
+                for p in m.old_first..=m.old_last {
+                    let c = &mut self.page_object_counts[p as usize];
+                    *c = c.checked_sub(1).expect("page occupancy count underflow");
+                }
+            }
+            for d in &drops {
+                for p in d.first..=d.last {
+                    let c = &mut self.page_object_counts[p as usize];
+                    *c = c.checked_sub(1).expect("page occupancy count underflow");
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Increments the young-generation age of `obj` and returns the new age.
@@ -1066,11 +1378,14 @@ impl Heap {
     /// [`take_published_live`]: Heap::take_published_live
     pub fn publish_live(&mut self, mut live: LiveSet) {
         if !live.full {
+            self.retire_live_set(live);
             return;
         }
         live.mutation_seq = self.mutation_seq;
         live.roots_version = self.roots.version();
-        self.published = Some(live);
+        if let Some(old) = self.published.replace(live) {
+            self.retire_live_set(old);
+        }
     }
 
     /// Takes the published LiveSet if it is still current (see
@@ -1081,7 +1396,9 @@ impl Heap {
         if self.has_current_published_live() {
             self.published.take()
         } else {
-            self.published = None;
+            if let Some(stale) = self.published.take() {
+                self.retire_live_set(stale);
+            }
             None
         }
     }
@@ -1635,6 +1952,285 @@ mod tests {
         h.drop_object(a).unwrap();
         assert_eq!(h.page_object_count(dst), 0);
         h.check_invariants();
+    }
+
+    /// Deterministic xorshift for test graph construction.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Allocates `n` small objects with seeded random edges and roots the
+    /// first `rooted` of them. Big enough to cross the parallel-mark gate.
+    fn seeded_graph(h: &mut Heap, n: usize, rooted: usize, seed: u64) -> Vec<ObjectId> {
+        let class = h.classes_mut().intern("T");
+        let ids: Vec<ObjectId> = (0..n)
+            .map(|_| {
+                h.allocate(class, 32, SiteId::new(0), Heap::YOUNG_SPACE)
+                    .expect("alloc")
+            })
+            .collect();
+        let mut s = seed | 1;
+        for &a in &ids {
+            for _ in 0..2 {
+                let b = ids[(xorshift(&mut s) % n as u64) as usize];
+                h.add_ref(a, b).unwrap();
+            }
+        }
+        let slot = h.roots_mut().create_slot("r");
+        for &id in &ids[..rooted] {
+            h.roots_mut().push(slot, id);
+        }
+        ids
+    }
+
+    fn live_fingerprint(h: &Heap, live: &LiveSet) -> (Vec<ObjectId>, u64, u64, Vec<u32>) {
+        (
+            live.iter().collect(),
+            live.live_bytes(),
+            live.traced_objects(),
+            h.regions().iter().map(|r| r.live_bytes()).collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_mark_matches_serial_at_any_worker_count() {
+        let mut h = heap();
+        seeded_graph(&mut h, 2000, 40, 0xDEADBEEF);
+        assert!(h.object_count() >= MIN_PARALLEL_MARK_RECORDS);
+        h.set_gc_workers(1);
+        let reference = {
+            let live = h.mark_live(&[]);
+            let fp = live_fingerprint(&h, &live);
+            h.retire_live_set(live);
+            fp
+        };
+        assert!(!reference.0.is_empty());
+        for workers in [2usize, 4, 8] {
+            h.set_gc_workers(workers);
+            let live = h.mark_live(&[]);
+            assert!(live.is_full());
+            let fp = live_fingerprint(&h, &live);
+            h.retire_live_set(live);
+            assert_eq!(fp, reference, "{workers}-worker mark diverged");
+        }
+        h.check_invariants();
+    }
+
+    #[test]
+    fn parallel_young_mark_matches_serial_with_remembered_set() {
+        let mut h = heap();
+        let old = h.create_space(GenId::new(1), None);
+        let class = h.classes_mut().intern("Old");
+        let parent = h.allocate(class, 64, SiteId::new(0), old).unwrap();
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, parent);
+        let ids = seeded_graph(&mut h, 1600, 10, 0xFEEDFACE);
+        // Old->young edges flow through the write barrier into the
+        // remembered set.
+        for &child in &ids[1500..1520.min(ids.len())] {
+            h.add_ref(parent, child).unwrap();
+        }
+        h.set_gc_workers(1);
+        let reference = {
+            let live = h.mark_live_young(&[]);
+            let fp = live_fingerprint(&h, &live);
+            h.retire_live_set(live);
+            fp
+        };
+        for workers in [2usize, 4, 8] {
+            h.set_gc_workers(workers);
+            let live = h.mark_live_young(&[]);
+            assert!(!live.is_full());
+            let fp = live_fingerprint(&h, &live);
+            h.retire_live_set(live);
+            assert_eq!(fp, reference, "{workers}-worker young mark diverged");
+        }
+    }
+
+    /// Full observable heap state, for serial-vs-parallel evacuation
+    /// equality: object placements, stats, dirty/no-need/free-region
+    /// counts, and per-page object counts.
+    type HeapFingerprint = (
+        Vec<(ObjectId, Addr, SpaceId, u8)>,
+        HeapStats,
+        u32,
+        u32,
+        u32,
+        Vec<u32>,
+    );
+
+    fn heap_fingerprint(h: &Heap) -> HeapFingerprint {
+        let mut objects = Vec::new();
+        for space in h.spaces() {
+            for id in h.objects_in_space(space.id()).unwrap() {
+                let rec = h.object(id).unwrap();
+                (objects).push((id, rec.addr(), rec.space(), rec.age()));
+            }
+        }
+        let counts = (0..h.page_table().page_count())
+            .map(|p| h.page_object_count(p))
+            .collect();
+        (
+            objects,
+            h.stats(),
+            h.page_table().dirty_count(),
+            h.page_table().no_need_count(),
+            h.free_region_count(),
+            counts,
+        )
+    }
+
+    fn evacuation_workload(workers: usize) -> Heap {
+        let mut h = heap();
+        h.set_gc_workers(workers);
+        let ids = seeded_graph(&mut h, 1500, 30, 0xABCD);
+        let old = h.create_space(GenId::new(1), None);
+        let sources = h.begin_evacuation(Heap::YOUNG_SPACE).unwrap();
+        assert!(!sources.is_empty());
+        let mut ops = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let op = match i % 3 {
+                0 => EvacDecision::Drop,
+                1 => EvacDecision::Move {
+                    dest: Heap::YOUNG_SPACE,
+                    bump_age: true,
+                },
+                _ => EvacDecision::Move {
+                    dest: old,
+                    bump_age: false,
+                },
+            };
+            ops.push((id, op));
+        }
+        assert!(ops.len() >= MIN_PARALLEL_EVAC_OPS);
+        h.evacuate_batch(&ops).unwrap();
+        h.finish_evacuation();
+        h.check_invariants();
+        h
+    }
+
+    #[test]
+    fn evacuate_batch_is_identical_serial_and_parallel() {
+        let reference = heap_fingerprint(&evacuation_workload(1));
+        for workers in [2usize, 4, 8] {
+            let fp = heap_fingerprint(&evacuation_workload(workers));
+            assert_eq!(fp, reference, "{workers}-worker evacuation diverged");
+        }
+    }
+
+    #[test]
+    fn evacuate_batch_matches_relocate_and_drop_sequence() {
+        let build = || {
+            let mut h = heap();
+            let ids: Vec<ObjectId> = (0..8).map(|_| alloc(&mut h, 4096)).collect();
+            (h, ids)
+        };
+        let (mut batch, ids) = build();
+        let old = batch.create_space(GenId::new(1), None);
+        batch.begin_evacuation(Heap::YOUNG_SPACE).unwrap();
+        let ops: Vec<(ObjectId, EvacDecision)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let op = if i % 2 == 0 {
+                    EvacDecision::Drop
+                } else {
+                    EvacDecision::Move {
+                        dest: old,
+                        bump_age: true,
+                    }
+                };
+                (id, op)
+            })
+            .collect();
+        batch.evacuate_batch(&ops).unwrap();
+        batch.finish_evacuation();
+
+        let (mut serial, ids) = build();
+        let old = serial.create_space(GenId::new(1), None);
+        serial.begin_evacuation(Heap::YOUNG_SPACE).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                serial.drop_object(id).unwrap();
+            } else {
+                serial.bump_age(id).unwrap();
+                serial.relocate(id, old).unwrap();
+            }
+        }
+        serial.finish_evacuation();
+
+        assert_eq!(heap_fingerprint(&batch), heap_fingerprint(&serial));
+        batch.check_invariants();
+        serial.check_invariants();
+    }
+
+    #[test]
+    fn evacuate_batch_errors_on_dead_object() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        h.drop_object(a).unwrap();
+        let err = h.evacuate_batch(&[(a, EvacDecision::Drop)]);
+        assert!(matches!(err, Err(HeapError::NoSuchObject { .. })));
+    }
+
+    #[test]
+    fn remembered_churn_counters_track_barrier_and_prune() {
+        let mut h = heap();
+        let old = h.create_space(GenId::new(1), None);
+        let class = h.classes_mut().intern("T");
+        let parent = h.allocate(class, 64, SiteId::new(0), old).unwrap();
+        let child = alloc(&mut h, 64);
+        h.add_ref(parent, child).unwrap();
+        h.add_ref(parent, child).unwrap(); // duplicate entry
+        assert_eq!(h.remembered_churn().recorded, 2);
+        h.prune_remembered();
+        let churn = h.remembered_churn();
+        assert_eq!(churn.prune_calls, 1);
+        assert_eq!(churn.peak_len, 2);
+        assert_eq!(churn.pruned, 1, "duplicate collapses");
+        assert_eq!(churn.retained(), 1);
+        h.remember_if_young(child);
+        assert_eq!(h.remembered_churn().recorded, 3);
+    }
+
+    #[test]
+    fn retired_mark_buffers_are_reused_without_corruption() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        h.add_ref(a, b).unwrap();
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, a);
+        let first = h.mark_live(&[]);
+        let reference: Vec<ObjectId> = first.iter().collect();
+        h.retire_live_set(first);
+        // The next marks draw from the retained pool; results must be
+        // unaffected by whatever the buffers previously held.
+        for _ in 0..3 {
+            let live = h.mark_live(&[]);
+            assert_eq!(live.iter().collect::<Vec<_>>(), reference);
+            assert_eq!(live.live_bytes(), 128);
+            h.retire_live_set(live);
+        }
+    }
+
+    #[test]
+    fn live_set_order_is_ascending_object_id() {
+        let mut h = heap();
+        let a = alloc(&mut h, 64);
+        let b = alloc(&mut h, 64);
+        let c = alloc(&mut h, 64);
+        // Root c first and wire edges so BFS discovery order (c, a, b)
+        // differs from id order (a, b, c).
+        h.add_ref(c, a).unwrap();
+        h.add_ref(a, b).unwrap();
+        let slot = h.roots_mut().create_slot("r");
+        h.roots_mut().push(slot, c);
+        let live = h.mark_live(&[]);
+        assert_eq!(live.iter().collect::<Vec<_>>(), vec![a, b, c]);
     }
 
     #[test]

@@ -47,9 +47,11 @@
 mod class;
 mod config;
 mod error;
+mod evac;
 mod fasthash;
 mod heap;
 mod ids;
+mod mark;
 mod object;
 mod region;
 mod roots;
@@ -59,6 +61,7 @@ mod stats;
 pub use class::{ClassInfo, ClassRegistry};
 pub use config::HeapConfig;
 pub use error::HeapError;
+pub use evac::EvacDecision;
 pub use fasthash::{BuildIdHasher, IdHashMap, IdHashSet, IdHasher};
 pub use heap::{Heap, LiveSet};
 pub use ids::{ClassId, GenId, IdentityHash, ObjectId, PageId, RegionId, SiteId, SpaceId};

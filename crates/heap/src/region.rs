@@ -155,16 +155,58 @@ pub struct PageFlags {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PageTable {
-    flags: Vec<PageFlags>,
+    /// Bit-packed dirty flags, one bit per page, 32 pages per word.
+    dirty: Vec<u32>,
+    /// Bit-packed no-need flags, same layout as `dirty`.
+    no_need: Vec<u32>,
+    page_count: u32,
     pages_per_region: u32,
     page_bytes: u32,
+}
+
+/// Atomic view over one of the page-flag bitmaps, handed to evacuation
+/// workers so flag updates (dirty-OR, no-need-ANDNOT) can race safely.
+/// All updates exposed through it are commutative, so the final word values
+/// are independent of worker interleaving.
+pub(crate) struct AtomicPageBits<'a> {
+    words: &'a [std::sync::atomic::AtomicU32],
+}
+
+impl AtomicPageBits<'_> {
+    /// ORs the page's bit into the bitmap.
+    pub(crate) fn set(&self, page: u32) {
+        let (word, bit) = (page as usize / 32, page % 32);
+        self.words[word].fetch_or(1 << bit, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// ANDNOTs the page's bit out of the bitmap.
+    pub(crate) fn clear(&self, page: u32) {
+        let (word, bit) = (page as usize / 32, page % 32);
+        self.words[word].fetch_and(!(1 << bit), std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Reinterprets a `&mut [u32]` as a shared slice of `AtomicU32`.
+///
+/// Sound because `AtomicU32` has the same size and alignment as `u32` on
+/// every supported platform, every bit pattern is valid for both, and the
+/// exclusive borrow guarantees no non-atomic access can overlap the
+/// atomic view's lifetime.
+pub(crate) fn as_atomic_words(words: &mut [u32]) -> &[std::sync::atomic::AtomicU32] {
+    unsafe { &*(words as *mut [u32] as *const [std::sync::atomic::AtomicU32]) }
+}
+
+fn bit_words(page_count: u32) -> Vec<u32> {
+    vec![0u32; (page_count as usize).div_ceil(32)]
 }
 
 impl PageTable {
     /// Creates a page table for `page_count` pages with the given geometry.
     pub fn new(page_count: u32, pages_per_region: u32, page_bytes: u32) -> Self {
         PageTable {
-            flags: vec![PageFlags::default(); page_count as usize],
+            dirty: bit_words(page_count),
+            no_need: bit_words(page_count),
+            page_count,
             pages_per_region,
             page_bytes,
         }
@@ -172,12 +214,25 @@ impl PageTable {
 
     /// Number of pages tracked.
     pub fn page_count(&self) -> u32 {
-        self.flags.len() as u32
+        self.page_count
     }
 
     /// Page size in bytes.
     pub fn page_bytes(&self) -> u32 {
         self.page_bytes
+    }
+
+    fn bit_get(words: &[u32], page: u32) -> bool {
+        words[page as usize / 32] >> (page % 32) & 1 == 1
+    }
+
+    fn bit_put(words: &mut [u32], page: u32, value: bool) {
+        let (word, bit) = (page as usize / 32, page % 32);
+        if value {
+            words[word] |= 1 << bit;
+        } else {
+            words[word] &= !(1 << bit);
+        }
     }
 
     /// The flags of a page by global index.
@@ -186,7 +241,11 @@ impl PageTable {
     ///
     /// Panics if `page` is out of range.
     pub fn flags_of(&self, page: u32) -> PageFlags {
-        self.flags[page as usize]
+        assert!(page < self.page_count, "page {page} out of range");
+        PageFlags {
+            dirty: Self::bit_get(&self.dirty, page),
+            no_need: Self::bit_get(&self.no_need, page),
+        }
     }
 
     /// The global page range `[first, last]` covered by `size` bytes at
@@ -204,20 +263,19 @@ impl PageTable {
     pub fn mark_dirty_range(&mut self, addr: Addr, size: u32) {
         let (first, last) = self.pages_of(addr, size);
         for p in first..=last {
-            self.flags[p as usize].dirty = true;
+            Self::bit_put(&mut self.dirty, p, true);
         }
     }
 
     /// Clears every dirty bit (CRIU does this when completing a snapshot).
     pub fn clear_dirty(&mut self) {
-        for f in &mut self.flags {
-            f.dirty = false;
-        }
+        self.dirty.fill(0);
     }
 
     /// Sets or clears the no-need bit of one page.
     pub fn set_no_need(&mut self, page: u32, no_need: bool) {
-        self.flags[page as usize].no_need = no_need;
+        assert!(page < self.page_count, "page {page} out of range");
+        Self::bit_put(&mut self.no_need, page, no_need);
     }
 
     /// Clears the no-need bit of every page covered by `size` bytes at
@@ -225,23 +283,38 @@ impl PageTable {
     pub fn clear_no_need_range(&mut self, addr: Addr, size: u32) {
         let (first, last) = self.pages_of(addr, size);
         for p in first..=last {
-            self.flags[p as usize].no_need = false;
+            Self::bit_put(&mut self.no_need, p, false);
         }
     }
 
     /// Iterates over all page flags in global page order.
     pub fn iter(&self) -> impl Iterator<Item = PageFlags> + '_ {
-        self.flags.iter().copied()
+        (0..self.page_count).map(|p| PageFlags {
+            dirty: Self::bit_get(&self.dirty, p),
+            no_need: Self::bit_get(&self.no_need, p),
+        })
     }
 
     /// Number of pages currently marked dirty.
     pub fn dirty_count(&self) -> u32 {
-        self.flags.iter().filter(|f| f.dirty).count() as u32
+        self.dirty.iter().map(|w| w.count_ones()).sum()
     }
 
     /// Number of pages currently marked no-need.
     pub fn no_need_count(&self) -> u32 {
-        self.flags.iter().filter(|f| f.no_need).count() as u32
+        self.no_need.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Atomic views over the dirty and no-need bitmaps, in that order, for
+    /// racing commutative updates from evacuation workers.
+    pub(crate) fn atomic_views(&mut self) -> (AtomicPageBits<'_>, AtomicPageBits<'_>) {
+        let dirty = AtomicPageBits {
+            words: as_atomic_words(&mut self.dirty),
+        };
+        let no_need = AtomicPageBits {
+            words: as_atomic_words(&mut self.no_need),
+        };
+        (dirty, no_need)
     }
 }
 
@@ -324,5 +397,33 @@ mod tests {
     fn zero_sized_write_touches_one_page() {
         let pt = PageTable::new(16, 16, 4096);
         assert_eq!(pt.pages_of(addr(0, 100), 0), (0, 0));
+    }
+
+    #[test]
+    fn bit_packing_crosses_word_boundaries() {
+        let mut pt = PageTable::new(70, 16, 4096);
+        pt.set_no_need(31, true);
+        pt.set_no_need(32, true);
+        pt.set_no_need(69, true);
+        assert_eq!(pt.no_need_count(), 3);
+        assert!(pt.flags_of(32).no_need);
+        assert!(!pt.flags_of(33).no_need);
+        assert_eq!(pt.iter().filter(|f| f.no_need).count(), 3);
+    }
+
+    #[test]
+    fn atomic_views_match_serial_updates() {
+        let mut pt = PageTable::new(70, 16, 4096);
+        pt.set_no_need(32, true);
+        {
+            let (dirty, no_need) = pt.atomic_views();
+            dirty.set(33);
+            dirty.set(0);
+            no_need.clear(32);
+        }
+        assert!(pt.flags_of(33).dirty);
+        assert!(pt.flags_of(0).dirty);
+        assert_eq!(pt.dirty_count(), 2);
+        assert_eq!(pt.no_need_count(), 0);
     }
 }

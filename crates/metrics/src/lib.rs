@@ -12,6 +12,7 @@
 //! * [`ThroughputTracker`] — operations/second time series (Figures 7–8).
 //! * [`MemoryTracker`] — heap-usage high-water marks (Figure 9).
 //! * [`FaultCounters`] — fault/recovery tallies for degraded pipeline runs.
+//! * [`RememberedSetChurn`] — remembered-set write-barrier churn tallies.
 //! * [`FleetLedger`] / [`TenantStats`] — per-tenant and aggregate fleet
 //!   statistics for supervised multi-tenant runs.
 //! * [`report`] — plain-text table rendering shared by the figure binaries.
@@ -37,6 +38,7 @@ mod fleet;
 mod histogram;
 mod intervals;
 mod memory;
+mod rememberedset;
 pub mod report;
 mod throughput;
 mod time;
@@ -46,5 +48,6 @@ pub use fleet::{FleetLedger, TenantStats};
 pub use histogram::{PauseHistogram, PercentileRow, STANDARD_PERCENTILES};
 pub use intervals::{IntervalBin, IntervalHistogram};
 pub use memory::{MemorySample, MemoryTracker};
+pub use rememberedset::RememberedSetChurn;
 pub use throughput::{ThroughputSample, ThroughputTracker};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,87 @@
+//! Remembered-set churn counters.
+//!
+//! Generational collectors keep a remembered set of young objects reachable
+//! from older spaces. The heap appends to it on every old→young reference
+//! store and promotion, and prunes it after every young collection. These
+//! counters make that churn observable: how many entries were ever recorded,
+//! how many were discarded as dead or duplicate at prune time, and how large
+//! the set got — the inputs a tuner needs to judge write-barrier pressure.
+
+/// Counts remembered-set traffic over the life of a heap.
+///
+/// All-zero means no old→young references were ever recorded.
+///
+/// # Examples
+///
+/// ```
+/// use polm2_metrics::RememberedSetChurn;
+///
+/// let mut churn = RememberedSetChurn::new();
+/// churn.recorded += 3;
+/// churn.note_prune(3, 1);
+/// assert_eq!(churn.pruned, 2);
+/// assert_eq!(churn.peak_len, 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RememberedSetChurn {
+    /// Entries appended to the remembered set (write barrier + promotion).
+    pub recorded: u64,
+    /// Entries discarded at prune time (dead, promoted, or duplicate).
+    pub pruned: u64,
+    /// Prune passes executed (one per young collection).
+    pub prune_calls: u64,
+    /// Largest set length observed entering a prune pass.
+    pub peak_len: u64,
+}
+
+impl RememberedSetChurn {
+    /// Creates an all-zero counter set.
+    pub fn new() -> Self {
+        RememberedSetChurn::default()
+    }
+
+    /// Records one prune pass that entered with `before` entries and kept
+    /// `after` of them.
+    pub fn note_prune(&mut self, before: usize, after: usize) {
+        self.prune_calls += 1;
+        self.peak_len = self.peak_len.max(before as u64);
+        self.pruned += before.saturating_sub(after) as u64;
+    }
+
+    /// Entries that survived every prune so far (recorded minus pruned).
+    pub fn retained(&self) -> u64 {
+        self.recorded.saturating_sub(self.pruned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let churn = RememberedSetChurn::new();
+        assert_eq!(churn, RememberedSetChurn::default());
+        assert_eq!(churn.retained(), 0);
+    }
+
+    #[test]
+    fn note_prune_tracks_peak_and_discards() {
+        let mut churn = RememberedSetChurn::new();
+        churn.recorded += 10;
+        churn.note_prune(10, 4);
+        churn.recorded += 2;
+        churn.note_prune(6, 6);
+        assert_eq!(churn.prune_calls, 2);
+        assert_eq!(churn.peak_len, 10);
+        assert_eq!(churn.pruned, 6);
+        assert_eq!(churn.retained(), 6);
+    }
+
+    #[test]
+    fn retained_saturates() {
+        let mut churn = RememberedSetChurn::new();
+        churn.pruned = 5;
+        assert_eq!(churn.retained(), 0);
+    }
+}

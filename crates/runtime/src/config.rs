@@ -56,6 +56,15 @@ impl RuntimeConfig {
         self
     }
 
+    /// This configuration with the given GC worker count (chainable).
+    /// Profiles are bit-identical at any worker count; workers shorten the
+    /// collector's wall-clock work, never the simulated trajectory. Zero is
+    /// clamped to one.
+    pub fn with_gc_workers(mut self, workers: usize) -> Self {
+        self.gc.gc_workers = workers.max(1);
+        self
+    }
+
     /// A small configuration for unit tests.
     pub fn small() -> Self {
         RuntimeConfig {
@@ -81,5 +90,16 @@ mod tests {
         assert!(RuntimeConfig::small().heap.validate().is_ok());
         assert!(RuntimeConfig::default().gc.validate().is_ok());
         assert!(RuntimeConfig::default().max_stack_depth > 0);
+    }
+
+    #[test]
+    fn with_gc_workers_sets_and_clamps() {
+        assert_eq!(RuntimeConfig::small().with_gc_workers(4).gc.gc_workers, 4);
+        assert_eq!(RuntimeConfig::small().with_gc_workers(0).gc.gc_workers, 1);
+        assert!(RuntimeConfig::small()
+            .with_gc_workers(0)
+            .gc
+            .validate()
+            .is_ok());
     }
 }

@@ -27,7 +27,11 @@ root="$work/fleet"
 echo "== launch 3 tenant runs (independent processes, one journal each)"
 pids=()
 for i in 0 1 2; do
+  # Staggered --gc-workers: tenant-00 serial, the rest parallel. The merge
+  # isolation diff below only holds because profiles are bit-identical at
+  # any worker count — this keeps the SIGKILL chaos path pinning that too.
   "$POLM2" profile "${tenants[$i]}" --minutes "$MINUTES" --seed $((7 + i)) \
+    --gc-workers $((1 + i)) \
     --journal "$root/tenant-0$i" --out "$work/tenant-0$i.profile" &
   pids+=($!)
 done

@@ -109,6 +109,8 @@ fn print_usage() {
          \x20     --seed <n>         workload seed (default 7)\n\
          \x20     --chaos <rate>     inject faults at this rate, 0.0-1.0 (default 0)\n\
          \x20     --chaos-seed <n>   fault-injection seed (default 1)\n\
+         \x20     --gc-workers <n>   GC mark/evacuate worker threads (default 1; the\n\
+         \x20                        profile is bit-identical at any worker count)\n\
          \x20     --journal <dir>    stream the session into a crash-safe journal\n\
          \x20     --resume           finish from the journal in <dir>: replay a committed\n\
          \x20                        run, or re-execute a crashed one deterministically\n\
@@ -121,6 +123,7 @@ fn print_usage() {
          \x20     --seed <n>         base workload seed; tenant i uses seed+i (default 7)\n\
          \x20     --chaos <rate>     per-tenant fault probability, 0.0-1.0 (default 0)\n\
          \x20     --chaos-seed <n>   chaos plan seed (default 1)\n\
+         \x20     --gc-workers <n>   GC worker threads per tenant runtime (default 1)\n\
          \x20     --journal-root <d> per-tenant journal directories (default polm2-fleet)\n\
          \x20     --out <file>       write the merged fleet profile (default fleet.profile)\n\
          \x20     --merge <root>     merge-only: recover and merge existing tenant journals\n\
@@ -134,6 +137,7 @@ fn print_usage() {
          \x20     --minutes <n>      run length in simulated minutes (default 15)\n\
          \x20     --warmup <n>       ignored prefix in simulated minutes (default 3)\n\
          \x20     --seed <n>         workload seed (default 42)\n\
+         \x20     --gc-workers <n>   GC mark/evacuate worker threads (default 1)\n\
          \x20 polm2 inspect <file>                     pretty-print a profile"
     );
 }
@@ -195,6 +199,7 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
         )));
     }
     let chaos_seed = parse_u64(args, "--chaos-seed", 1)?;
+    let gc_workers = parse_u64(args, "--gc-workers", 1)?;
     let out = flag(args, "--out").unwrap_or_else(|| format!("{name}.profile"));
     let journal_dir = flag(args, "--journal");
     let resume = args.iter().any(|a| a == "--resume");
@@ -202,12 +207,13 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::from("--resume needs --journal <dir>"));
     }
 
-    let config = ProfilePhaseConfig {
+    let mut config = ProfilePhaseConfig {
         duration: SimDuration::from_secs(minutes * 60),
         seed,
         faults: FaultConfig::all_at(chaos, chaos_seed),
         ..ProfilePhaseConfig::paper()
     };
+    config.runtime = config.runtime.with_gc_workers(gc_workers as usize);
     if chaos > 0.0 {
         eprintln!(
             "profiling {name} for {minutes} simulated minutes \
@@ -362,20 +368,23 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
             )));
         }
         let chaos_seed = parse_u64(args, "--chaos-seed", 1)?;
+        let gc_workers = parse_u64(args, "--gc-workers", 1)?;
         let root = flag(args, "--journal-root").unwrap_or_else(|| "polm2-fleet".into());
 
         let workloads = paper_workloads();
         let specs: Vec<TenantSpec> = (0..tenants)
             .map(|i| {
                 let workload = &workloads[i as usize % workloads.len()];
+                let mut config = ProfilePhaseConfig {
+                    duration: SimDuration::from_secs(minutes * 60),
+                    seed: seed + i,
+                    ..ProfilePhaseConfig::paper()
+                };
+                config.runtime = config.runtime.with_gc_workers(gc_workers as usize);
                 TenantSpec {
                     tenant: format!("tenant-{i:02}"),
                     workload: workload.name().to_string(),
-                    config: ProfilePhaseConfig {
-                        duration: SimDuration::from_secs(minutes * 60),
-                        seed: seed + i,
-                        ..ProfilePhaseConfig::paper()
-                    },
+                    config,
                 }
             })
             .collect();
@@ -515,12 +524,14 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         }
     };
 
-    let config = RunConfig {
+    let gc_workers = parse_u64(args, "--gc-workers", 1)?;
+    let mut config = RunConfig {
         duration: SimDuration::from_secs(minutes * 60),
         warmup: SimDuration::from_secs(warmup * 60),
         seed,
         ..RunConfig::paper()
     };
+    config.runtime = config.runtime.with_gc_workers(gc_workers as usize);
     eprintln!(
         "running {name} under {} for {minutes} simulated minutes (warmup {warmup}, seed {seed}) ...",
         setup.label()
