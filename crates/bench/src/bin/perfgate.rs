@@ -40,11 +40,23 @@
 //! wall-clock parallel speedups are not measurable on a single-CPU CI
 //! host. Medians land in `BENCH_gc.json`.
 //!
+//! **Heap gate** — drives the GC-gate churn workload on the real-memory
+//! heap backend (page-aligned regions, bump-allocated young, free-list
+//! tenured, payloads actually written and memcpy'd) and on the simulated
+//! backend. Measures real allocation cost (ns/object, header + payload
+//! stores included) and copy/compact bandwidth (payload bytes memcpy'd per
+//! collection wall-clock second) at 1, 2, and 4 GC workers with the
+//! break-even tuning forced so multi-worker copies genuinely run. The hard
+//! gate: per-cycle heap fingerprints, `GcWork` accounting, and streamed
+//! snapshot sequences must be bit-identical between sim and real at every
+//! worker count. Medians land in `BENCH_heap.json`.
+//!
 //! ```text
 //! perfgate [--quick] [--workers <n>] [--min-speedup <x>]
 //!          [--min-pipeline-speedup <x>] [--min-recorder-speedup <x>]
-//!          [--min-gc-speedup <x>] [--out <path>] [--pipeline-out <path>]
-//!          [--recorder-out <path>] [--gc-out <path>]
+//!          [--min-gc-speedup <x>] [--min-heap-gbps <x>] [--out <path>]
+//!          [--pipeline-out <path>] [--recorder-out <path>] [--gc-out <path>]
+//!          [--heap-out <path>]
 //! ```
 //!
 //! * `--quick` — fewer timed runs/cycles (CI smoke; equality gates still run).
@@ -61,12 +73,18 @@
 //!   pause beats the 1-worker pause by `x` on the largest workload
 //!   (default 2.0; this gate is always on, as is the single-worker
 //!   throughput floor at 95% of the serial baseline).
+//! * `--min-heap-gbps <x>` — exit non-zero unless the real backend's best
+//!   copy/compact bandwidth on the largest workload reaches `x` GB/s
+//!   (default 0.05; this gate is always on, as is the sim/real equality
+//!   hard gate).
 //! * `--out <path>` — analyzer JSON path (default `BENCH_analyzer.json`).
 //! * `--pipeline-out <path>` — pipeline JSON path (default
 //!   `BENCH_pipeline.json`).
 //! * `--recorder-out <path>` — recorder JSON path (default
 //!   `BENCH_recorder.json`).
 //! * `--gc-out <path>` — GC JSON path (default `BENCH_gc.json`).
+//! * `--heap-out <path>` — heap-backend JSON path (default
+//!   `BENCH_heap.json`).
 //!
 //! Exits non-zero if any variant's outputs differ from its baseline, a
 //! speedup gate fails, or any committed default-path `BENCH_*.json` carries
@@ -81,7 +99,8 @@ use polm2_core::{
 };
 use polm2_gc::{Collector, G1Collector, GcConfig, GcWork, SafepointRoots};
 use polm2_heap::{
-    BuildIdHasher, Heap, HeapConfig, IdHashMap, IdHashSet, IdentityHash, ObjectId, RegionId, SiteId,
+    BackendKind, BuildIdHasher, Heap, HeapConfig, IdHashMap, IdHashSet, IdentityHash, ObjectId,
+    ParallelTuning, RegionId, SiteId,
 };
 use polm2_metrics::{SimDuration, SimTime};
 use polm2_runtime::{
@@ -977,6 +996,131 @@ fn run_gc_gate(w: &GcGateWorkload, workers: usize, seed_equivalent: bool) -> Vec
     out
 }
 
+// ---------------------------------------------------------------------------
+// Real-memory heap backend gate
+// ---------------------------------------------------------------------------
+
+/// One heap-gate run's observables: the per-cycle trajectory (heap
+/// fingerprint + merged `GcWork`), the streamed snapshot sequence, and the
+/// raw material for the allocation-cost and copy-bandwidth figures.
+struct HeapGateRun {
+    /// Per timed cycle: heap fingerprint and merged collection work.
+    cycles: Vec<(u64, GcWork)>,
+    /// Streamed snapshots, one per timed cycle.
+    snaps: Vec<Snapshot>,
+    /// Wall-clock spent inside `Heap::allocate` calls, and how many.
+    alloc_ns: u64,
+    allocs: u64,
+    /// Payload bytes the backend memcpy'd across the run (0 on sim).
+    copied_bytes: u64,
+    /// Wall-clock of the collections that did the copying.
+    collect_ns: u64,
+}
+
+/// Drives the GC-gate churn workload on the given backend and worker count,
+/// with the parallel break-even tuning forced so multi-worker copies run
+/// even on a single-CPU host. Each cycle also streams a snapshot off the
+/// heap — on the real backend the hash column comes out of the object
+/// headers the backend wrote, so snapshot equality checks the payload
+/// stores end to end.
+fn run_heap_gate(w: &GcGateWorkload, workers: usize, backend: BackendKind) -> HeapGateRun {
+    let mut heap = Heap::new(HeapConfig::paper_scaled().with_backend(backend));
+    heap.set_parallel_tuning(ParallelTuning::force());
+    let mut gc = G1Collector::new(GcConfig {
+        gc_workers: workers,
+        ..GcConfig::default()
+    });
+    gc.attach(&mut heap);
+    let old = heap
+        .spaces()
+        .iter()
+        .map(|s| s.id())
+        .find(|&id| id != Heap::YOUNG_SPACE)
+        .expect("collector old space");
+
+    let mut alloc_ns = 0u64;
+    let mut allocs = 0u64;
+
+    // Stable old generation, identical to the GC gate's; the allocation
+    // loop is timed (header + payload stores are the real backend's cost).
+    let class = heap.classes_mut().intern("Stable");
+    let keep = heap.roots_mut().create_slot("stable");
+    let mut hub: Option<ObjectId> = None;
+    for i in 0..w.stable_objects {
+        let start = Instant::now();
+        let id = heap
+            .allocate(class, 2_048, SiteId::new(i % 7), old)
+            .expect("stable allocation");
+        alloc_ns += start.elapsed().as_nanos() as u64;
+        allocs += 1;
+        if i % 16 == 0 {
+            heap.roots_mut().push(keep, id);
+            if let Some(prev) = hub {
+                heap.add_ref(prev, id).expect("hub chain");
+            }
+            hub = Some(id);
+        } else {
+            heap.add_ref(hub.expect("hub allocated first"), id)
+                .expect("star edge");
+        }
+    }
+
+    let churn_class = heap.classes_mut().intern("Churn");
+    let waves = [
+        heap.roots_mut().create_slot("wave-a"),
+        heap.roots_mut().create_slot("wave-b"),
+    ];
+    let mut dumper = CriuDumper::new();
+    let mut cycles = Vec::with_capacity(w.cycles);
+    let mut snaps = Vec::with_capacity(w.cycles);
+    let mut copied_bytes = 0u64;
+    let mut collect_ns = 0u64;
+    for cycle in 0..w.cycles + 1 {
+        heap.roots_mut().clear_slot(waves[cycle % 2]);
+        for i in 0..w.churn_per_cycle {
+            let start = Instant::now();
+            let id = heap
+                .allocate(
+                    churn_class,
+                    4_096,
+                    SiteId::new(8 + i % 5),
+                    Heap::YOUNG_SPACE,
+                )
+                .expect("churn allocation");
+            alloc_ns += start.elapsed().as_nanos() as u64;
+            allocs += 1;
+            if i % 8 == 0 {
+                heap.roots_mut().push(waves[cycle % 2], id);
+            }
+        }
+        let copied_before = heap.backend_stats().bytes_copied;
+        let start = Instant::now();
+        let pauses = gc.collect(&mut heap, &SafepointRoots::none());
+        let ns = start.elapsed().as_nanos() as u64;
+        let copied = heap.backend_stats().bytes_copied - copied_before;
+        let snap = dumper
+            .snapshot(&mut heap, SimTime::from_secs(cycle as u64))
+            .expect("snapshot");
+        if cycle > 0 {
+            let work = pauses
+                .iter()
+                .fold(GcWork::default(), |acc, p| acc.merged(p.work));
+            cycles.push((gc_heap_fingerprint(&heap), work));
+            snaps.push(snap);
+            copied_bytes += copied;
+            collect_ns += ns;
+        }
+    }
+    HeapGateRun {
+        cycles,
+        snaps,
+        alloc_ns,
+        allocs,
+        copied_bytes,
+        collect_ns,
+    }
+}
+
 /// Fails the gate when a committed default-path bench JSON is missing or
 /// carries an older schema version: stale numbers alongside new code are
 /// worse than no numbers.
@@ -1008,10 +1152,12 @@ fn main() {
     let mut min_pipeline_speedup: Option<f64> = None;
     let mut min_recorder_speedup = 3.0f64;
     let mut min_gc_speedup = 2.0f64;
+    let mut min_heap_gbps = 0.05f64;
     let mut out_path = String::from("BENCH_analyzer.json");
     let mut pipeline_out_path = String::from("BENCH_pipeline.json");
     let mut recorder_out_path = String::from("BENCH_recorder.json");
     let mut gc_out_path = String::from("BENCH_gc.json");
+    let mut heap_out_path = String::from("BENCH_heap.json");
     let mut workers: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -1046,6 +1192,11 @@ fn main() {
                 recorder_out_path = args.next().expect("--recorder-out needs a path");
             }
             "--gc-out" => gc_out_path = args.next().expect("--gc-out needs a path"),
+            "--heap-out" => heap_out_path = args.next().expect("--heap-out needs a path"),
+            "--min-heap-gbps" => {
+                let v = args.next().expect("--min-heap-gbps needs a value");
+                min_heap_gbps = v.parse().expect("--min-heap-gbps needs a number");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -1428,6 +1579,95 @@ fn main() {
     std::fs::write(&gc_out_path, &gc_json).expect("write gc bench json");
     println!("wrote {gc_out_path}");
 
+    // ---- real-memory heap backend gate -----------------------------------
+    println!();
+    println!("perfgate: heap backend, real alloc + copy bandwidth, sim/real equality");
+    println!(
+        "{:<8} {:>6} | {:>11} {:>11} | {:>9} {:>9} {:>9} | {:>9}",
+        "size", "cycles", "alloc-sim", "alloc-real", "copy-1w", "copy-2w", "copy-4w", "identical"
+    );
+    let mut heap_rows = Vec::new();
+    let mut large_heap_gbps = 0.0f64;
+    for w in GC_GATE_WORKLOADS {
+        let cycles = if quick { w.cycles.min(4) } else { w.cycles };
+        let w = GcGateWorkload { cycles, ..*w };
+        let sim = run_heap_gate(&w, 1, BackendKind::Sim);
+        let real1 = run_heap_gate(&w, 1, BackendKind::Real);
+        let real2 = run_heap_gate(&w, 2, BackendKind::Real);
+        let real4 = run_heap_gate(&w, 4, BackendKind::Real);
+
+        // The hard gate: identical trajectories (placement fingerprints +
+        // GcWork) and identical streamed snapshot sequences, sim vs real at
+        // every worker count. On the real backend the snapshot columns are
+        // read back out of object headers, so this also proves every payload
+        // store and memcpy landed where the logical layout says it did.
+        let identical = [&real1, &real2, &real4].iter().all(|r| {
+            r.cycles == sim.cycles
+                && r.snaps.len() == sim.snaps.len()
+                && r.snaps
+                    .iter()
+                    .zip(sim.snaps.iter())
+                    .all(|(a, b)| snapshots_equal(a, b))
+        });
+        if !identical {
+            diverged = true;
+            eprintln!("FAIL: {} sim and real backends diverged", w.name);
+        }
+        if real1.copied_bytes == 0 || sim.copied_bytes != 0 {
+            diverged = true;
+            eprintln!(
+                "FAIL: {} backend byte accounting wrong (real copied {} bytes, sim {})",
+                w.name, real1.copied_bytes, sim.copied_bytes
+            );
+        }
+
+        let alloc_sim_ns = sim.alloc_ns / sim.allocs.max(1);
+        let alloc_real_ns = real1.alloc_ns / real1.allocs.max(1);
+        // bytes/ns == GB/s: payload bytes memcpy'd per collection wall-clock.
+        let gbps = |r: &HeapGateRun| r.copied_bytes as f64 / r.collect_ns.max(1) as f64;
+        let (g1, g2, g4) = (gbps(&real1), gbps(&real2), gbps(&real4));
+        if w.name == "large" {
+            large_heap_gbps = g1.max(g2).max(g4);
+        }
+        println!(
+            "{:<8} {:>6} | {:>8} ns {:>8} ns | {:>9.2} {:>9.2} {:>9.2} | {:>9}",
+            w.name, w.cycles, alloc_sim_ns, alloc_real_ns, g1, g2, g4, identical
+        );
+        heap_rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"cycles\": {}, ",
+                "\"alloc_ns_per_object_sim\": {}, ",
+                "\"alloc_ns_per_object_real\": {}, ",
+                "\"real_copied_bytes_per_run\": {}, ",
+                "\"copy_gbps_1w\": {:.3}, ",
+                "\"copy_gbps_2w\": {:.3}, ",
+                "\"copy_gbps_4w\": {:.3}, ",
+                "\"outputs_identical\": {}}}"
+            ),
+            json_escape(w.name),
+            w.cycles,
+            alloc_sim_ns,
+            alloc_real_ns,
+            real1.copied_bytes,
+            g1,
+            g2,
+            g4,
+            identical
+        ));
+    }
+    let heap_json = format!(
+        concat!(
+            "{{\n  \"bench\": \"heap_backend\",\n",
+            "  \"schema_version\": {},\n",
+            "  \"units\": \"alloc in ns/object; copy bandwidth in GB/s of payload memcpy per collection wall-clock\",\n",
+            "  \"workloads\": [\n{}\n  ]\n}}\n"
+        ),
+        SCHEMA_VERSION,
+        heap_rows.join(",\n")
+    );
+    std::fs::write(&heap_out_path, &heap_json).expect("write heap bench json");
+    println!("wrote {heap_out_path}");
+
     if diverged {
         std::process::exit(1);
     }
@@ -1468,6 +1708,15 @@ fn main() {
         std::process::exit(1);
     }
     println!("gc single-worker throughput gate passed");
+    if large_heap_gbps < min_heap_gbps {
+        eprintln!(
+            "FAIL: large-workload real copy bandwidth {large_heap_gbps:.3} GB/s below required {min_heap_gbps:.3} GB/s"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "heap copy-bandwidth gate passed: {large_heap_gbps:.3} GB/s >= {min_heap_gbps:.3} GB/s"
+    );
 
     // ---- committed-results staleness check -------------------------------
     // Checked at the default paths regardless of --out overrides: CI runs
@@ -1479,6 +1728,7 @@ fn main() {
         "BENCH_pipeline.json",
         "BENCH_recorder.json",
         "BENCH_gc.json",
+        "BENCH_heap.json",
     ] {
         if let Err(reason) = check_committed_bench(path) {
             eprintln!("FAIL: stale committed bench results — {reason}");

@@ -10,6 +10,7 @@
 //! lives in `crates/gc/tests/worker_determinism.rs`.
 
 use polm2_core::{AnalysisOutcome, AnalyzerConfig, FaultConfig, ProfilingSession, SnapshotPolicy};
+use polm2_heap::{BackendKind, ParallelTuning};
 use polm2_runtime::{
     ClassDef, HookAction, HookRegistry, Instr, Jvm, MethodDef, Program, RuntimeConfig, SizeSpec,
 };
@@ -60,6 +61,14 @@ fn workload_hooks() -> HookRegistry {
 /// One full profiling session at the given GC worker count; `fault_seed`
 /// `Some(s)` runs it as a chaos session with every fault class enabled.
 fn run_profiling(gc_workers: usize, fault_seed: Option<u64>) -> AnalysisOutcome {
+    run_profiling_on(gc_workers, fault_seed, BackendKind::Sim)
+}
+
+fn run_profiling_on(
+    gc_workers: usize,
+    fault_seed: Option<u64>,
+    backend: BackendKind,
+) -> AnalysisOutcome {
     let mut session = match fault_seed {
         Some(seed) => ProfilingSession::with_faults(
             SnapshotPolicy::default(),
@@ -70,11 +79,19 @@ fn run_profiling(gc_workers: usize, fault_seed: Option<u64>) -> AnalysisOutcome 
         ),
         None => ProfilingSession::new(SnapshotPolicy::default()),
     };
-    let mut jvm = Jvm::builder(RuntimeConfig::small().with_gc_workers(gc_workers))
-        .hooks(workload_hooks())
-        .transformer(session.recorder_agent())
-        .build(workload_program())
-        .expect("boot");
+    let mut jvm = Jvm::builder(
+        RuntimeConfig::small()
+            .with_gc_workers(gc_workers)
+            .with_heap_backend(backend),
+    )
+    .hooks(workload_hooks())
+    .transformer(session.recorder_agent())
+    .build(workload_program())
+    .expect("boot");
+    // The small-heap session stays under the production break-even
+    // thresholds; force them to zero so multi-worker runs genuinely take
+    // the parallel mark/evacuate paths this contract is about.
+    jvm.heap_mut().set_parallel_tuning(ParallelTuning::force());
     let t = jvm.spawn_thread();
     for batch in 0..6 {
         for _ in 0..200 {
@@ -106,6 +123,18 @@ fn profiles_are_bit_identical_across_gc_worker_counts() {
             run_profiling(workers, None),
             baseline,
             "profile diverged at gc_workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn profiles_are_bit_identical_on_the_real_memory_backend() {
+    let baseline = run_profiling(1, None);
+    for workers in [1usize, 2, 4] {
+        assert_eq!(
+            run_profiling_on(workers, None, BackendKind::Real),
+            baseline,
+            "real-backend profile diverged at gc_workers={workers}"
         );
     }
 }

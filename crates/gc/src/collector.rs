@@ -601,6 +601,56 @@ mod tests {
     }
 
     #[test]
+    fn collection_phases_are_backend_invariant() {
+        // Young evacuation then an old-space reclaim, on both memory
+        // backends: identical GcWork and identical surviving placement —
+        // the collector-phase slice of the sim/real equality invariant.
+        use polm2_heap::BackendKind;
+        type Placement = (u64, u32, u32, SpaceId);
+        fn drive(backend: BackendKind) -> (Vec<GcWork>, Vec<Placement>) {
+            let mut heap = Heap::new(HeapConfig::small().with_backend(backend));
+            let old = heap.create_space(GenId::new(1), None);
+            let class = heap.classes_mut().intern("T");
+            let slot = heap.roots_mut().create_slot("r");
+            let mut ids = Vec::new();
+            for i in 0..96 {
+                let obj = heap
+                    .allocate(
+                        class,
+                        2048 + (i % 5) * 1024,
+                        SiteId::new(0),
+                        Heap::YOUNG_SPACE,
+                    )
+                    .unwrap();
+                if i % 3 == 0 {
+                    heap.roots_mut().push(slot, obj);
+                    ids.push(obj);
+                }
+            }
+            let mut works = Vec::new();
+            let live = heap.mark_live(&[]);
+            works.push(evacuate_young(&mut heap, &live, 1, old, u64::MAX).unwrap());
+            let cycle = MarkCycle::run(&mut heap, &SafepointRoots::none());
+            works.push(reclaim_spaces(&mut heap, &cycle, &[old], 1.0, u32::MAX).unwrap());
+            heap.check_invariants();
+            let placement = ids
+                .iter()
+                .map(|&id| {
+                    let rec = heap.object(id).expect("rooted object survives");
+                    (
+                        id.raw(),
+                        rec.addr().region.raw(),
+                        rec.addr().offset,
+                        rec.space(),
+                    )
+                })
+                .collect();
+            (works, placement)
+        }
+        assert_eq!(drive(BackendKind::Sim), drive(BackendKind::Real));
+    }
+
+    #[test]
     fn survivor_cap_floor_is_one_region() {
         let heap = Heap::new(HeapConfig::small());
         // young/8 = 128 KiB is below one region, so the floor applies.

@@ -15,7 +15,7 @@ use polm2_gc::{
     AllocRequest, C4Collector, Collector, G1Collector, GcConfig, GcWork, Ng2cCollector,
     SafepointRoots, ThreadId,
 };
-use polm2_heap::{Heap, HeapConfig, SiteId};
+use polm2_heap::{BackendKind, Heap, HeapConfig, ParallelTuning, SiteId};
 
 fn xorshift(state: &mut u64) -> u64 {
     let mut x = *state;
@@ -56,8 +56,13 @@ fn drive<C: Collector>(
     make: impl Fn(GcConfig) -> C,
     seed: u64,
     workers: usize,
+    backend: BackendKind,
 ) -> (u64, Vec<GcWork>) {
-    let mut heap = Heap::new(HeapConfig::small());
+    let mut heap = Heap::new(HeapConfig::small().with_backend(backend));
+    // The small test heap never crosses the production break-even
+    // thresholds; force them to zero so multi-worker runs actually take the
+    // parallel paths this suite exists to check.
+    heap.set_parallel_tuning(ParallelTuning::force());
     let mut gc = make(GcConfig {
         gc_workers: workers,
         ..GcConfig::default()
@@ -114,9 +119,9 @@ fn drive<C: Collector>(
 
 fn assert_worker_invariant<C: Collector>(make: impl Fn(GcConfig) -> C + Copy, name: &str) {
     for seed in [1u64, 7, 42, 0xdead_beef] {
-        let baseline = drive(make, seed, 1);
+        let baseline = drive(make, seed, 1, BackendKind::Sim);
         for workers in [2usize, 4, 8] {
-            let got = drive(make, seed, workers);
+            let got = drive(make, seed, workers, BackendKind::Sim);
             assert_eq!(
                 got.0, baseline.0,
                 "{name} seed {seed}: heap diverged at gc_workers={workers}"
@@ -124,6 +129,20 @@ fn assert_worker_invariant<C: Collector>(make: impl Fn(GcConfig) -> C + Copy, na
             assert_eq!(
                 got.1, baseline.1,
                 "{name} seed {seed}: GcWork accounting diverged at gc_workers={workers}"
+            );
+        }
+        // The real-memory backend must drive the same trajectory too, at
+        // any worker count: backing regions with actual pages and memcpying
+        // payloads is invisible to everything this fingerprint folds in.
+        for workers in [1usize, 2, 4] {
+            let got = drive(make, seed, workers, BackendKind::Real);
+            assert_eq!(
+                got.0, baseline.0,
+                "{name} seed {seed}: real backend diverged at gc_workers={workers}"
+            );
+            assert_eq!(
+                got.1, baseline.1,
+                "{name} seed {seed}: real backend GcWork diverged at gc_workers={workers}"
             );
         }
     }

@@ -1,0 +1,505 @@
+//! Pluggable memory backends: simulated addresses vs real allocation.
+//!
+//! The heap's *logical* layout — region assignment order, bump cursors, page
+//! ranges, object addresses — is computed by [`Heap`](crate::Heap) itself
+//! and is the single source of truth for every profile, snapshot, and
+//! GcWork ledger. A [`HeapBackend`] only decides whether those logical
+//! addresses are *backed by real memory*:
+//!
+//! - [`SimBackend`] is the historical behavior: pure address arithmetic,
+//!   every hook a no-op. Zero cost, zero memory.
+//! - [`RealBackend`] maps each assigned region to a page-aligned block of
+//!   real memory — young regions from a pointer-bump arena
+//!   ([`BumpArena`]), tenured regions from a size-class segregated free
+//!   list ([`FreeList`]) — writes each object's header and payload on
+//!   allocation, and `memcpy`s payloads on relocate/evacuate.
+//!
+//! Because the physical offset of an object inside its region's backing
+//! equals its logical [`Addr::offset`], the two backends produce
+//! bit-identical ObjectIds, page bits, snapshot columns, and GcWork at any
+//! worker count: the equality invariant perfgate's heap arm hard-gates.
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bump::{BumpArena, BumpBlock};
+use crate::config::HeapConfig;
+use crate::free_list::{FreeBlock, FreeList};
+use crate::ids::{IdentityHash, RegionId};
+use crate::region::Addr;
+
+/// Object header written at the start of every real-memory payload of at
+/// least this many bytes: `(identity_hash as u64) << 32 | size`, little
+/// endian. Smaller objects carry no header (their whole payload is the fill
+/// pattern) and readers fall back to the object table.
+pub const OBJECT_HEADER_BYTES: usize = 8;
+
+/// Which memory backend a heap runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Pure address arithmetic (the historical default).
+    #[default]
+    Sim,
+    /// Real page-aligned memory: bump-allocated young regions, free-list
+    /// tenured regions, payloads written and memcpy'd.
+    Real,
+}
+
+impl BackendKind {
+    /// Parses a CLI value (`sim` or `real`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(BackendKind::Sim),
+            "real" => Some(BackendKind::Real),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Real => "real",
+        })
+    }
+}
+
+/// Byte counters a backend accumulates; the perfgate heap arm turns these
+/// into alloc-bandwidth and copy/compact GB/s figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendStats {
+    /// Payload bytes written by `write_object` (allocation-path stores).
+    pub bytes_written: u64,
+    /// Payload bytes memcpy'd by `copy_object` / the parallel copier.
+    pub bytes_copied: u64,
+    /// Regions currently backed by real memory.
+    pub regions_backed: u64,
+    /// Total bytes obtained from the system allocator.
+    pub footprint_bytes: u64,
+}
+
+/// Memory behavior behind the heap's logical address layout.
+///
+/// Implementations must never influence logical placement: the heap calls
+/// these hooks *after* it has decided addresses, and equality of sim and
+/// real outputs is a hard perfgate invariant.
+pub trait HeapBackend: fmt::Debug + Send {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// A region was just assigned to a space; back it with memory if this
+    /// backend uses any. `young` selects the bump arena over the tenured
+    /// free list.
+    fn ensure_region(&mut self, region: RegionId, young: bool);
+
+    /// A region was released back to the free pool; its backing returns to
+    /// the allocator it came from.
+    fn release_region(&mut self, region: RegionId);
+
+    /// An object was just allocated at `addr`: write its header and fill
+    /// its payload.
+    fn write_object(&mut self, addr: Addr, size: u32, hash: IdentityHash);
+
+    /// An object was relocated from `from` to `to`: copy its payload.
+    fn copy_object(&mut self, from: Addr, to: Addr, size: u32);
+
+    /// Reads the identity hash back out of the object header at `addr`, or
+    /// `None` if this backend keeps no memory or the object is too small to
+    /// carry a header. Callers fall back to the object table; the streamed
+    /// snapshot path uses this so capture reads heap pages, not a
+    /// materialized side table.
+    fn read_header_hash(&self, addr: Addr, size: u32) -> Option<IdentityHash>;
+
+    /// A shareable copier for the parallel evacuation apply phase, or
+    /// `None` if copying is a no-op for this backend.
+    fn copier(&self) -> Option<RegionCopier<'_>>;
+
+    /// Current byte counters.
+    fn stats(&self) -> BackendStats;
+
+    /// Resets the byte counters (footprint/backed-region gauges remain).
+    fn reset_stats(&mut self);
+}
+
+/// The historical simulated backend: address arithmetic only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimBackend;
+
+impl HeapBackend for SimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim
+    }
+    fn ensure_region(&mut self, _region: RegionId, _young: bool) {}
+    fn release_region(&mut self, _region: RegionId) {}
+    fn write_object(&mut self, _addr: Addr, _size: u32, _hash: IdentityHash) {}
+    fn copy_object(&mut self, _from: Addr, _to: Addr, _size: u32) {}
+    fn read_header_hash(&self, _addr: Addr, _size: u32) -> Option<IdentityHash> {
+        None
+    }
+    fn copier(&self) -> Option<RegionCopier<'_>> {
+        None
+    }
+    fn stats(&self) -> BackendStats {
+        BackendStats::default()
+    }
+    fn reset_stats(&mut self) {}
+}
+
+/// Where a region's backing memory came from.
+#[derive(Debug, Clone, Copy)]
+enum Backing {
+    /// No memory backs this region (it is in the free pool).
+    None,
+    /// Backed by the young bump arena.
+    Bump(BumpBlock),
+    /// Backed by the tenured free list.
+    Tenured(FreeBlock),
+}
+
+/// Real-memory backend: every assigned region is a page-aligned block, every
+/// object's header+payload is written on allocation and memcpy'd on move.
+pub struct RealBackend {
+    region_bytes: usize,
+    /// Base pointer of each region's backing, null when unbacked. Kept as a
+    /// flat array so the hot paths are one indexed load.
+    bases: Vec<*mut u8>,
+    backing: Vec<Backing>,
+    bump: BumpArena,
+    tenured: FreeList,
+    bytes_written: u64,
+    /// Atomic because the parallel apply phase adds to it through
+    /// [`RegionCopier`] while the backend itself is only borrowed shared.
+    bytes_copied: AtomicU64,
+    regions_backed: u64,
+}
+
+// SAFETY: the backend exclusively owns its arena/free-list memory; the raw
+// base pointers alias that memory and are never shared outside `&self`
+// methods (the copier borrows the backend for its lifetime), so moving the
+// backend between threads is sound.
+unsafe impl Send for RealBackend {}
+
+impl fmt::Debug for RealBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RealBackend")
+            .field("region_bytes", &self.region_bytes)
+            .field("regions_backed", &self.regions_backed)
+            .field("bytes_written", &self.bytes_written)
+            .field("bytes_copied", &self.bytes_copied.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl RealBackend {
+    /// Chunks are sized to hold several regions so split/coalesce in the
+    /// tenured free list is genuinely exercised.
+    const REGIONS_PER_CHUNK: usize = 8;
+
+    /// Creates a real backend for the given heap geometry. No memory is
+    /// allocated until regions are assigned.
+    pub fn new(config: &HeapConfig) -> Self {
+        let region_bytes = config.region_bytes as usize;
+        let page_bytes = config.page_bytes as usize;
+        let chunk_bytes = region_bytes * Self::REGIONS_PER_CHUNK;
+        let regions = config.region_count() as usize;
+        RealBackend {
+            region_bytes,
+            bases: vec![ptr::null_mut(); regions],
+            backing: vec![Backing::None; regions],
+            bump: BumpArena::new(page_bytes, chunk_bytes),
+            tenured: FreeList::new(page_bytes, chunk_bytes),
+            bytes_written: 0,
+            bytes_copied: AtomicU64::new(0),
+            regions_backed: 0,
+        }
+    }
+
+    #[inline]
+    fn base(&self, region: RegionId) -> *mut u8 {
+        self.bases[region.index()]
+    }
+}
+
+impl HeapBackend for RealBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Real
+    }
+
+    fn ensure_region(&mut self, region: RegionId, young: bool) {
+        let idx = region.index();
+        if !self.bases[idx].is_null() {
+            return;
+        }
+        if young {
+            let block = self.bump.alloc(self.region_bytes);
+            self.bases[idx] = self.bump.ptr(block).as_ptr();
+            self.backing[idx] = Backing::Bump(block);
+        } else {
+            let block = self.tenured.alloc(self.region_bytes);
+            self.bases[idx] = self.tenured.ptr(block).as_ptr();
+            self.backing[idx] = Backing::Tenured(block);
+        }
+        self.regions_backed += 1;
+    }
+
+    fn release_region(&mut self, region: RegionId) {
+        let idx = region.index();
+        match std::mem::replace(&mut self.backing[idx], Backing::None) {
+            Backing::None => return,
+            Backing::Bump(block) => self.bump.recycle(block),
+            Backing::Tenured(block) => self.tenured.free(block),
+        }
+        self.bases[idx] = ptr::null_mut();
+        self.regions_backed -= 1;
+    }
+
+    fn write_object(&mut self, addr: Addr, size: u32, hash: IdentityHash) {
+        let base = self.base(addr.region);
+        debug_assert!(!base.is_null(), "write into unbacked region {addr:?}");
+        if base.is_null() {
+            return;
+        }
+        let size = size as usize;
+        debug_assert!(addr.offset as usize + size <= self.region_bytes);
+        let raw = hash.raw();
+        // SAFETY: the heap bump-allocated [offset, offset+size) inside this
+        // region, and the backing block spans the full region, so every
+        // write below stays inside the block.
+        unsafe {
+            let dst = base.add(addr.offset as usize);
+            if size >= OBJECT_HEADER_BYTES {
+                let header = (u64::from(raw) << 32) | size as u64;
+                ptr::copy_nonoverlapping(header.to_le_bytes().as_ptr(), dst, OBJECT_HEADER_BYTES);
+                ptr::write_bytes(
+                    dst.add(OBJECT_HEADER_BYTES),
+                    raw as u8,
+                    size - OBJECT_HEADER_BYTES,
+                );
+            } else {
+                ptr::write_bytes(dst, raw as u8, size);
+            }
+        }
+        self.bytes_written += size as u64;
+    }
+
+    fn copy_object(&mut self, from: Addr, to: Addr, size: u32) {
+        let src = self.base(from.region);
+        let dst = self.base(to.region);
+        debug_assert!(!src.is_null() && !dst.is_null(), "copy via unbacked region");
+        if src.is_null() || dst.is_null() {
+            return;
+        }
+        let size = size as usize;
+        debug_assert!(from.offset as usize + size <= self.region_bytes);
+        debug_assert!(to.offset as usize + size <= self.region_bytes);
+        // Destinations are freshly bump-allocated above every live object in
+        // their region, so source and destination ranges never overlap even
+        // within one region.
+        debug_assert!(
+            from.region != to.region
+                || to.offset >= from.offset + size as u32
+                || from.offset >= to.offset + size as u32,
+            "overlapping copy {from:?} -> {to:?}"
+        );
+        // SAFETY: both ranges lie inside their regions' backing blocks (the
+        // heap sized them), and they are disjoint per the argument above.
+        unsafe {
+            ptr::copy_nonoverlapping(
+                src.add(from.offset as usize),
+                dst.add(to.offset as usize),
+                size,
+            );
+        }
+        self.bytes_copied.fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    fn read_header_hash(&self, addr: Addr, size: u32) -> Option<IdentityHash> {
+        if (size as usize) < OBJECT_HEADER_BYTES {
+            return None;
+        }
+        let base = self.base(addr.region);
+        if base.is_null() {
+            return None;
+        }
+        debug_assert!(addr.offset as usize + size as usize <= self.region_bytes);
+        let mut bytes = [0u8; OBJECT_HEADER_BYTES];
+        // SAFETY: the object spans at least OBJECT_HEADER_BYTES at
+        // [offset, offset+size) inside this region's backing block.
+        unsafe {
+            ptr::copy_nonoverlapping(
+                base.add(addr.offset as usize),
+                bytes.as_mut_ptr(),
+                OBJECT_HEADER_BYTES,
+            );
+        }
+        let header = u64::from_le_bytes(bytes);
+        debug_assert_eq!(header as u32, size, "object header size drifted");
+        Some(IdentityHash::from_raw((header >> 32) as u32))
+    }
+
+    fn copier(&self) -> Option<RegionCopier<'_>> {
+        Some(RegionCopier {
+            bases: self.bases.clone(),
+            region_bytes: self.region_bytes,
+            bytes_copied: &self.bytes_copied,
+        })
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            bytes_written: self.bytes_written,
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            regions_backed: self.regions_backed,
+            footprint_bytes: (self.bump.footprint_bytes() + self.tenured.footprint_bytes()) as u64,
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.bytes_written = 0;
+        self.bytes_copied.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Shareable payload copier for the parallel evacuation apply phase.
+///
+/// Snapshot of the backend's region base pointers, handed to the scoped
+/// worker threads. Soundness leans on the same contract as the rest of the
+/// apply phase (see [`crate::evac`]): every move in a batch has a distinct
+/// destination range (bump-allocated), and source regions are detached from
+/// their spaces before evacuation, so no two threads ever write overlapping
+/// bytes and no thread reads bytes another writes.
+pub struct RegionCopier<'a> {
+    bases: Vec<*mut u8>,
+    region_bytes: usize,
+    bytes_copied: &'a AtomicU64,
+}
+
+// SAFETY: per the batch contract above, concurrent `copy` calls touch
+// disjoint destination ranges and read only regions no move writes; the
+// byte counter is atomic.
+unsafe impl Sync for RegionCopier<'_> {}
+// SAFETY: the copier only holds pointers into the backend it borrows from;
+// sending it to a scoped worker thread cannot outlive that borrow.
+unsafe impl Send for RegionCopier<'_> {}
+
+impl RegionCopier<'_> {
+    /// Copies one object payload; called from the apply-phase workers.
+    pub(crate) fn copy(&self, from: Addr, to: Addr, size: u32) {
+        let src = self.bases[from.region.index()];
+        let dst = self.bases[to.region.index()];
+        debug_assert!(!src.is_null() && !dst.is_null(), "copy via unbacked region");
+        if src.is_null() || dst.is_null() {
+            return;
+        }
+        let size = size as usize;
+        debug_assert!(from.offset as usize + size <= self.region_bytes);
+        debug_assert!(to.offset as usize + size <= self.region_bytes);
+        // SAFETY: ranges are in-bounds of their backing blocks; disjointness
+        // across the batch is the apply-phase contract (distinct bump
+        // destinations, detached sources), making concurrent copies sound.
+        unsafe {
+            ptr::copy_nonoverlapping(
+                src.add(from.offset as usize),
+                dst.add(to.offset as usize),
+                size,
+            );
+        }
+        self.bytes_copied.fetch_add(size as u64, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for RegionCopier<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegionCopier")
+            .field("regions", &self.bases.len())
+            .field("region_bytes", &self.region_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real() -> RealBackend {
+        RealBackend::new(&HeapConfig::small())
+    }
+
+    fn addr(region: u32, offset: u32) -> Addr {
+        Addr {
+            region: RegionId::new(region),
+            offset,
+        }
+    }
+
+    #[test]
+    fn header_round_trips_through_real_memory() {
+        let mut b = real();
+        b.ensure_region(RegionId::new(0), true);
+        let hash = IdentityHash::from_raw(0xDEAD_BEEF);
+        b.write_object(addr(0, 128), 64, hash);
+        assert_eq!(b.read_header_hash(addr(0, 128), 64), Some(hash));
+        // Tiny objects carry no header.
+        b.write_object(addr(0, 0), 4, hash);
+        assert_eq!(b.read_header_hash(addr(0, 0), 4), None);
+        assert_eq!(b.stats().bytes_written, 68);
+    }
+
+    #[test]
+    fn copy_moves_payload_across_regions() {
+        let mut b = real();
+        b.ensure_region(RegionId::new(0), true);
+        b.ensure_region(RegionId::new(5), false);
+        let hash = IdentityHash::from_raw(42);
+        b.write_object(addr(0, 256), 512, hash);
+        b.copy_object(addr(0, 256), addr(5, 1024), 512);
+        assert_eq!(b.read_header_hash(addr(5, 1024), 512), Some(hash));
+        assert_eq!(b.stats().bytes_copied, 512);
+    }
+
+    #[test]
+    fn release_returns_backing_to_its_origin() {
+        let mut b = real();
+        b.ensure_region(RegionId::new(1), true);
+        b.ensure_region(RegionId::new(2), false);
+        assert_eq!(b.stats().regions_backed, 2);
+        b.release_region(RegionId::new(1));
+        b.release_region(RegionId::new(2));
+        assert_eq!(b.stats().regions_backed, 0);
+        // Releasing an unbacked region is a no-op.
+        b.release_region(RegionId::new(3));
+        // Re-assigning reuses the recycled memory, footprint stays flat.
+        let footprint = b.stats().footprint_bytes;
+        b.ensure_region(RegionId::new(7), true);
+        b.ensure_region(RegionId::new(8), false);
+        assert_eq!(b.stats().footprint_bytes, footprint);
+    }
+
+    #[test]
+    fn sim_backend_is_inert() {
+        let mut s = SimBackend;
+        s.ensure_region(RegionId::new(0), true);
+        s.write_object(addr(0, 0), 64, IdentityHash::from_raw(1));
+        assert_eq!(s.read_header_hash(addr(0, 0), 64), None);
+        assert!(s.copier().is_none());
+        assert_eq!(s.stats(), BackendStats::default());
+    }
+
+    #[test]
+    fn copier_counts_bytes_into_the_backend() {
+        let mut b = real();
+        b.ensure_region(RegionId::new(0), true);
+        b.ensure_region(RegionId::new(1), false);
+        b.write_object(addr(0, 0), 4096, IdentityHash::from_raw(7));
+        let copier = b.copier().expect("real backend has a copier");
+        copier.copy(addr(0, 0), addr(1, 0), 4096);
+        drop(copier);
+        assert_eq!(b.stats().bytes_copied, 4096);
+        assert_eq!(
+            b.read_header_hash(addr(1, 0), 4096),
+            Some(IdentityHash::from_raw(7))
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Pointer-bump block allocator backing young/eden region memory.
+//!
+//! A [`BumpArena`] owns a set of large page-aligned chunks obtained from the
+//! system allocator (`alloc_zeroed`) and carves fixed-alignment blocks out of
+//! them by bumping a cursor — the allocation discipline of a young
+//! generation, where regions are handed out whole and returned whole.
+//! Released blocks go on a LIFO recycle stack and are reused before the
+//! cursor advances, so steady-state young-generation churn touches the same
+//! hot memory over and over instead of growing the footprint.
+//!
+//! Blocks are identified by handles ([`BumpBlock`]) rather than raw
+//! addresses, so the arena never has to re-derive which chunk a pointer came
+//! from — and the pointer arithmetic stays provenance-clean under Miri.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+/// One system-allocated chunk the arena carves blocks from.
+#[derive(Debug)]
+struct Chunk {
+    ptr: NonNull<u8>,
+    layout: Layout,
+}
+
+/// Handle to one block carved from a [`BumpArena`].
+///
+/// Valid until the block is [`recycle`](BumpArena::recycle)d, the arena is
+/// [`reset`](BumpArena::reset), or the arena is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BumpBlock {
+    chunk: u32,
+    offset: usize,
+    /// The rounded size actually reserved for the block.
+    pub(crate) size: usize,
+}
+
+impl BumpBlock {
+    /// The rounded size actually reserved for the block, in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+/// A pointer-bump block allocator over page-aligned chunks.
+#[derive(Debug)]
+pub struct BumpArena {
+    /// Alignment (and size granule) of every block — the heap's page size.
+    align: usize,
+    /// Preferred chunk size; oversized requests get a dedicated chunk.
+    chunk_bytes: usize,
+    chunks: Vec<Chunk>,
+    /// Chunk currently being carved (always the last one, except right
+    /// after [`reset`](BumpArena::reset)).
+    current: usize,
+    /// Bump cursor within the current chunk.
+    cursor: usize,
+    /// LIFO recycle stack of released blocks, reused size-exact.
+    recycled: Vec<BumpBlock>,
+}
+
+// SAFETY: the arena exclusively owns its chunks; the raw pointers are never
+// shared, so moving the whole arena to another thread is sound.
+unsafe impl Send for BumpArena {}
+
+impl BumpArena {
+    /// Creates an arena carving blocks aligned to `align` (a power of two,
+    /// typically the heap page size) out of `chunk_bytes`-sized chunks.
+    pub fn new(align: usize, chunk_bytes: usize) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let chunk_bytes = chunk_bytes.max(align);
+        BumpArena {
+            align,
+            chunk_bytes,
+            chunks: Vec::new(),
+            current: 0,
+            cursor: 0,
+            recycled: Vec::new(),
+        }
+    }
+
+    fn round_up(&self, size: usize) -> usize {
+        size.max(1).div_ceil(self.align) * self.align
+    }
+
+    /// Allocates a block of at least `size` bytes, aligned to the arena
+    /// alignment. Recycled blocks of the exact rounded size are reused
+    /// (most-recently-released first) before fresh memory is carved.
+    pub fn alloc(&mut self, size: usize) -> BumpBlock {
+        let size = self.round_up(size);
+        if let Some(pos) = self.recycled.iter().rposition(|b| b.size == size) {
+            return self.recycled.remove(pos);
+        }
+        // Advance through (or grow) the chunk list until the block fits.
+        loop {
+            if self.current < self.chunks.len() {
+                let capacity = self.chunks[self.current].layout.size();
+                if self.cursor + size <= capacity {
+                    let block = BumpBlock {
+                        chunk: self.current as u32,
+                        offset: self.cursor,
+                        size,
+                    };
+                    self.cursor += size;
+                    return block;
+                }
+                // Tail waste: the remainder of this chunk is skipped, as a
+                // real bump allocator retires a region it cannot fit into.
+                self.current += 1;
+                self.cursor = 0;
+                continue;
+            }
+            let bytes = self.chunk_bytes.max(size);
+            let layout = Layout::from_size_align(bytes, self.align).expect("valid chunk layout");
+            // SAFETY: `layout` has non-zero size (bytes >= align >= 1).
+            let raw = unsafe { alloc_zeroed(layout) };
+            let Some(ptr) = NonNull::new(raw) else {
+                handle_alloc_error(layout)
+            };
+            self.chunks.push(Chunk { ptr, layout });
+        }
+    }
+
+    /// Returns a block for reuse. The caller must not touch the block's
+    /// memory afterwards; the next [`alloc`](BumpArena::alloc) of the same
+    /// size may hand it out again (contents are *not* re-zeroed).
+    pub fn recycle(&mut self, block: BumpBlock) {
+        debug_assert!((block.chunk as usize) < self.chunks.len());
+        self.recycled.push(block);
+    }
+
+    /// Forgets every outstanding block and rewinds the cursor to the start
+    /// of the first chunk. Chunks are kept for reuse. All previously issued
+    /// blocks and pointers are invalidated.
+    pub fn reset(&mut self) {
+        self.recycled.clear();
+        self.current = 0;
+        self.cursor = 0;
+    }
+
+    /// The base pointer of `block`.
+    pub fn ptr(&self, block: BumpBlock) -> NonNull<u8> {
+        let chunk = &self.chunks[block.chunk as usize];
+        debug_assert!(block.offset + block.size <= chunk.layout.size());
+        // SAFETY: the block was carved from this chunk, so
+        // `offset + size <= layout.size()` and the result stays in bounds.
+        unsafe { NonNull::new_unchecked(chunk.ptr.as_ptr().add(block.offset)) }
+    }
+
+    /// Total bytes obtained from the system allocator.
+    pub fn footprint_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.layout.size()).sum()
+    }
+
+    /// Number of blocks currently on the recycle stack.
+    pub fn recycled_len(&self) -> usize {
+        self.recycled.len()
+    }
+}
+
+impl Drop for BumpArena {
+    fn drop(&mut self) {
+        for chunk in &self.chunks {
+            // SAFETY: each chunk was allocated with exactly this layout and
+            // is deallocated once, here.
+            unsafe { dealloc(chunk.ptr.as_ptr(), chunk.layout) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_aligned_and_disjoint() {
+        let mut arena = BumpArena::new(4096, 64 << 10);
+        let blocks: Vec<BumpBlock> = (0..8).map(|_| arena.alloc(10_000)).collect();
+        let mut ranges: Vec<(usize, usize)> = blocks
+            .iter()
+            .map(|&b| {
+                let p = arena.ptr(b).as_ptr() as usize;
+                assert_eq!(p % 4096, 0, "block not page aligned");
+                (p, p + b.size)
+            })
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "blocks overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn recycle_reuses_lifo() {
+        let mut arena = BumpArena::new(4096, 64 << 10);
+        let a = arena.alloc(4096);
+        let b = arena.alloc(4096);
+        arena.recycle(a);
+        arena.recycle(b);
+        assert_eq!(arena.recycled_len(), 2);
+        let c = arena.alloc(4096);
+        assert_eq!(c, b, "most recently released block is reused first");
+        let d = arena.alloc(4096);
+        assert_eq!(d, a);
+        assert_eq!(arena.recycled_len(), 0);
+    }
+
+    #[test]
+    fn oversized_requests_get_dedicated_chunks() {
+        let mut arena = BumpArena::new(4096, 16 << 10);
+        let big = arena.alloc(1 << 20);
+        assert_eq!(big.size, 1 << 20);
+        assert!(arena.footprint_bytes() >= 1 << 20);
+        // Writing the whole block must be in bounds.
+        // SAFETY: `big` spans `size` bytes of the chunk it was carved from.
+        unsafe { std::ptr::write_bytes(arena.ptr(big).as_ptr(), 0xAB, big.size) };
+    }
+
+    #[test]
+    fn reset_rewinds_the_cursor() {
+        let mut arena = BumpArena::new(4096, 64 << 10);
+        let first = arena.alloc(4096);
+        for _ in 0..31 {
+            arena.alloc(4096);
+        }
+        let footprint = arena.footprint_bytes();
+        arena.reset();
+        let again = arena.alloc(4096);
+        assert_eq!(again, first, "reset rewinds to the first block");
+        assert_eq!(
+            arena.footprint_bytes(),
+            footprint,
+            "reset keeps chunks for reuse"
+        );
+    }
+}

@@ -1,5 +1,7 @@
 //! Heap geometry configuration.
 
+use crate::backend::BackendKind;
+
 /// Geometry of the simulated heap.
 ///
 /// The paper's evaluation fixes a 12 GiB heap with a 2 GiB young generation.
@@ -27,6 +29,12 @@ pub struct HeapConfig {
     pub region_bytes: u64,
     /// Page size, in bytes. Pages carry dirty/no-need bits for the Dumper.
     pub page_bytes: u64,
+    /// Which memory backend the heap runs on. [`BackendKind::Sim`] keeps the
+    /// historical pure-address-arithmetic behavior; [`BackendKind::Real`]
+    /// backs every region with real page-aligned memory. Logical layout —
+    /// and therefore every profile, snapshot, and GcWork ledger — is
+    /// identical either way.
+    pub backend: BackendKind,
 }
 
 impl HeapConfig {
@@ -39,6 +47,7 @@ impl HeapConfig {
             young_bytes: 32 << 20,
             region_bytes: 1 << 20,
             page_bytes: 4 << 10,
+            backend: BackendKind::Sim,
         }
     }
 
@@ -50,7 +59,14 @@ impl HeapConfig {
             young_bytes: 1 << 20,
             region_bytes: 256 << 10,
             page_bytes: 4 << 10,
+            backend: BackendKind::Sim,
         }
+    }
+
+    /// This geometry with the given memory backend (chainable).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Number of regions in the pool.

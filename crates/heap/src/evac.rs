@@ -14,6 +14,7 @@
 
 use std::sync::atomic::Ordering;
 
+use crate::backend::RegionCopier;
 use crate::region::as_atomic_words;
 use crate::{Addr, ObjectRecord, PageTable, SpaceId};
 
@@ -40,6 +41,8 @@ pub(crate) struct MoveEntry {
     /// Record slot of the moved object (unique within one batch).
     pub slot: u32,
     pub dest: SpaceId,
+    /// Address the object is copied from (the payload source).
+    pub old_addr: Addr,
     pub new_addr: Addr,
     pub size: u32,
     pub bump_age: bool,
@@ -77,13 +80,18 @@ impl RecordsCell {
     /// uniqueness within the batch).
     fn record(&self, slot: u32) -> *mut Option<ObjectRecord> {
         assert!((slot as usize) < self.len, "record slot out of range");
+        // SAFETY: `slot < len` was just asserted, so the offset stays inside
+        // the slab allocation `ptr` was derived from.
         unsafe { self.ptr.add(slot as usize) }
     }
 }
 
 /// Applies the fix-up phase across `workers` scoped threads. Every effect is
 /// commutative, so chunk boundaries and interleaving cannot change the final
-/// state.
+/// state. When a real-memory backend supplies a `copier`, each worker also
+/// memcpys its moves' payloads — destination ranges are distinct
+/// bump-allocations and source regions are detached from their spaces, so
+/// the copies touch disjoint bytes (see [`RegionCopier`]).
 pub(crate) fn apply_parallel(
     workers: usize,
     records: &mut [Option<ObjectRecord>],
@@ -91,6 +99,7 @@ pub(crate) fn apply_parallel(
     page_table: &mut PageTable,
     moves: &[MoveEntry],
     drops: &[DropEntry],
+    copier: Option<&RegionCopier<'_>>,
 ) {
     let workers = workers.max(1);
     let cell = RecordsCell {
@@ -111,6 +120,9 @@ pub(crate) fn apply_parallel(
                 let mstart = (w * move_chunk).min(moves.len());
                 let mend = ((w + 1) * move_chunk).min(moves.len());
                 for m in &moves[mstart..mend] {
+                    if let Some(c) = copier {
+                        c.copy(m.old_addr, m.new_addr, m.size);
+                    }
                     // SAFETY: slots are unique within the batch; this worker
                     // is the only one holding this slot.
                     let rec = unsafe { &mut *cell.record(m.slot) }

@@ -4,6 +4,7 @@ use std::sync::atomic::AtomicU32;
 
 use polm2_metrics::RememberedSetChurn;
 
+use crate::backend::{BackendKind, BackendStats, HeapBackend, RealBackend, SimBackend};
 use crate::evac::{self, DropEntry, EvacDecision, MoveEntry};
 use crate::fasthash::IdHashSet;
 use crate::mark;
@@ -13,13 +14,59 @@ use crate::{
     PageTable, Region, RegionId, RootTable, SiteId, Space, SpaceId,
 };
 
-/// Below this many live records a sharded mark is not worth the thread
-/// scaffolding; `mark_live*` falls back to the serial tracer (whose output is
-/// bit-identical by construction).
-const MIN_PARALLEL_MARK_RECORDS: usize = 1024;
+/// Default break-even: below this many live records a sharded mark is not
+/// worth the thread scaffolding, and `mark_live*` falls back to the serial
+/// tracer (whose output is bit-identical by construction). Measured on the
+/// perfgate GC workloads: the small workload (~5.5k records) loses wall-clock
+/// to spawn/join overhead at any worker count, while marks past ~16k records
+/// start amortizing it.
+const MIN_PARALLEL_MARK_RECORDS: usize = 16384;
 
-/// Below this many batched evacuation ops the fix-up phase applies serially.
-const MIN_PARALLEL_EVAC_OPS: usize = 1024;
+/// Default break-even: below this many batched evacuation ops the fix-up
+/// phase applies serially (same measurement basis as the mark threshold;
+/// fix-up does less work per op than marking, so the bar is lower).
+const MIN_PARALLEL_EVAC_OPS: usize = 8192;
+
+/// When the GC safepoint phases actually fan out across worker threads.
+///
+/// `gc_workers` is a *configuration* — output is bit-identical at any value —
+/// but spawning scoped threads below the break-even, or beyond the machine's
+/// cores, makes the pause *slower* (the regression `BENCH_gc.json` recorded
+/// before PR 8). The tuning separates the two: thresholds gate small work
+/// onto the serial path, and `respect_cpu_budget` caps the fan-out at
+/// `available_parallelism`. Tests and equality gates that must exercise the
+/// parallel code paths regardless of host size use [`ParallelTuning::force`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelTuning {
+    /// Minimum live records before a mark shards across workers.
+    pub min_mark_records: usize,
+    /// Minimum batched ops before the evacuation fix-up fans out.
+    pub min_evac_ops: usize,
+    /// Cap the effective worker count at the host's available parallelism.
+    pub respect_cpu_budget: bool,
+}
+
+impl ParallelTuning {
+    /// Forces the parallel paths on: zero thresholds, no CPU cap. For tests
+    /// and determinism/equality gates; never faster in production.
+    pub fn force() -> Self {
+        ParallelTuning {
+            min_mark_records: 0,
+            min_evac_ops: 0,
+            respect_cpu_budget: false,
+        }
+    }
+}
+
+impl Default for ParallelTuning {
+    fn default() -> Self {
+        ParallelTuning {
+            min_mark_records: MIN_PARALLEL_MARK_RECORDS,
+            min_evac_ops: MIN_PARALLEL_EVAC_OPS,
+            respect_cpu_budget: true,
+        }
+    }
+}
 
 /// Retired `(bits, order)` buffer pairs kept for reuse by later marks.
 const MAX_RETIRED_LIVE_BUFFERS: usize = 4;
@@ -268,6 +315,14 @@ pub struct Heap {
     /// Worker threads used inside GC safepoints (mark + evacuate fix-up).
     /// `1` keeps every path serial; any value yields bit-identical output.
     gc_workers: usize,
+    /// When the safepoint phases actually fan out (see [`ParallelTuning`]).
+    tuning: ParallelTuning,
+    /// `available_parallelism()` cached at construction; caps the effective
+    /// worker count when `tuning.respect_cpu_budget` is set.
+    cpu_budget: usize,
+    /// Memory behavior behind the logical address layout (see
+    /// [`crate::backend`]). Never influences placement.
+    backend: Box<dyn HeapBackend>,
     /// Per-record claim stamps for the sharded mark, indexed by record slot.
     /// A slot is claimed for the current epoch by an atomic swap; stale
     /// stamps never equal a fresh epoch because epochs strictly increase.
@@ -313,6 +368,13 @@ impl Heap {
             Some(config.young_region_budget()),
         );
         let page_count = config.page_count() as usize;
+        let backend: Box<dyn HeapBackend> = match config.backend {
+            BackendKind::Sim => Box::new(SimBackend),
+            BackendKind::Real => Box::new(RealBackend::new(&config)),
+        };
+        let cpu_budget = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Heap {
             config,
             classes: ClassRegistry::new(),
@@ -338,6 +400,9 @@ impl Heap {
             remembered_scratch: IdHashSet::default(),
             remembered_churn: RememberedSetChurn::default(),
             gc_workers: 1,
+            tuning: ParallelTuning::default(),
+            cpu_budget,
+            backend,
             mark_stamps: Vec::new(),
             region_live_scratch: Vec::new(),
             retired_live_buffers: Vec::new(),
@@ -358,6 +423,45 @@ impl Heap {
     /// time inside the pause.
     pub fn set_gc_workers(&mut self, workers: usize) {
         self.gc_workers = workers.max(1);
+    }
+
+    /// The break-even tuning gating the parallel safepoint phases.
+    pub fn parallel_tuning(&self) -> ParallelTuning {
+        self.tuning
+    }
+
+    /// Replaces the break-even tuning (see [`ParallelTuning`]). Output is
+    /// bit-identical under any tuning; this only moves the serial/parallel
+    /// crossover.
+    pub fn set_parallel_tuning(&mut self, tuning: ParallelTuning) {
+        self.tuning = tuning;
+    }
+
+    /// Worker threads a safepoint phase will actually use: `gc_workers`,
+    /// capped at the host's available parallelism when the tuning says to
+    /// respect it. Fanning out past the core count can only slow a pause.
+    fn effective_gc_workers(&self) -> usize {
+        if self.tuning.respect_cpu_budget {
+            self.gc_workers.min(self.cpu_budget).max(1)
+        } else {
+            self.gc_workers
+        }
+    }
+
+    /// Which memory backend this heap runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// The backend's byte counters (real bytes written/copied; all zero for
+    /// the sim backend).
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
+    }
+
+    /// Resets the backend's byte counters (bench instrumentation).
+    pub fn reset_backend_stats(&mut self) {
+        self.backend.reset_stats();
     }
 
     /// The heap geometry.
@@ -477,6 +581,8 @@ impl Heap {
         let id = ObjectId::new(self.next_object);
         self.next_object += 1;
         let record = ObjectRecord::new(id, class, site, size, space, gen, addr);
+        self.backend
+            .write_object(addr, size, record.identity_hash());
         self.regions[addr.region.index()].push_object(id);
         // Objects allocated after the last mark are conservatively counted
         // live; marking recomputes the truth.
@@ -542,6 +648,8 @@ impl Heap {
             .pop()
             .ok_or(HeapError::OutOfRegions { space })?;
         self.regions[region.index()].assign(space);
+        self.backend
+            .ensure_region(region, space == Heap::YOUNG_SPACE);
         self.spaces[space.index()].push_region(region);
         let offset = self.regions[region.index()]
             .try_bump(size, capacity)
@@ -666,6 +774,7 @@ impl Heap {
         region_live.clear();
         region_live.resize(self.regions.len(), 0);
 
+        let eff_workers = self.effective_gc_workers();
         let live_bytes = if self.use_parallel_mark() {
             let roots: Vec<ObjectId> = self
                 .roots
@@ -676,7 +785,7 @@ impl Heap {
                 .resize_with(self.records.len(), || AtomicU32::new(0));
             mark::parallel_mark(
                 &mark::MarkShards {
-                    workers: self.gc_workers,
+                    workers: eff_workers,
                     epoch: self.mark_epoch,
                     slots: &self.slots,
                     records: &self.records,
@@ -760,6 +869,7 @@ impl Heap {
         region_live.clear();
         region_live.resize(self.regions.len(), 0);
 
+        let eff_workers = self.effective_gc_workers();
         let live_bytes = if self.use_parallel_mark() {
             let roots: Vec<ObjectId> = self
                 .roots
@@ -771,7 +881,7 @@ impl Heap {
                 .resize_with(self.records.len(), || AtomicU32::new(0));
             mark::parallel_mark(
                 &mark::MarkShards {
-                    workers: self.gc_workers,
+                    workers: eff_workers,
                     epoch: self.mark_epoch,
                     slots: &self.slots,
                     records: &self.records,
@@ -846,7 +956,7 @@ impl Heap {
     /// worker is configured and the live population is large enough to pay
     /// for the thread scaffolding.
     fn use_parallel_mark(&self) -> bool {
-        self.gc_workers > 1 && self.live_records >= MIN_PARALLEL_MARK_RECORDS
+        self.effective_gc_workers() > 1 && self.live_records >= self.tuning.min_mark_records
     }
 
     /// Pops a retired `(bits, order)` buffer pair (or allocates fresh ones)
@@ -938,6 +1048,7 @@ impl Heap {
             (rec.size(), rec.addr())
         };
         let new_addr = self.bump_into(dest, size)?;
+        self.backend.copy_object(old_addr, new_addr, size);
         self.regions[new_addr.region.index()].push_object(obj);
         // The source region keeps a stale list entry (see `drop_object`);
         // relocation sources are always released or purged by the collector.
@@ -1030,6 +1141,7 @@ impl Heap {
                     moves.push(MoveEntry {
                         slot,
                         dest,
+                        old_addr,
                         new_addr,
                         size,
                         bump_age,
@@ -1044,17 +1156,20 @@ impl Heap {
                 }
             }
         }
-        if self.gc_workers > 1 && moves.len() + drops.len() >= MIN_PARALLEL_EVAC_OPS {
+        let workers = self.effective_gc_workers();
+        if workers > 1 && moves.len() + drops.len() >= self.tuning.min_evac_ops {
             evac::apply_parallel(
-                self.gc_workers,
+                workers,
                 &mut self.records,
                 &mut self.page_object_counts,
                 &mut self.page_table,
                 &moves,
                 &drops,
+                self.backend.copier().as_ref(),
             );
         } else {
             for m in &moves {
+                self.backend.copy_object(m.old_addr, m.new_addr, m.size);
                 let rec = self.records[m.slot as usize]
                     .as_mut()
                     .expect("planned move has a record");
@@ -1151,6 +1266,7 @@ impl Heap {
             self.spaces[space.index()].remove_region(region);
         }
         r.release();
+        self.backend.release_region(region);
         for p in first..first + self.config.pages_per_region() {
             self.page_table.set_no_need(p, true);
         }
@@ -1446,6 +1562,37 @@ impl Heap {
         }
         self.live_pages_epoch = live.epoch;
         self.live_pages_seq = live.mutation_seq;
+    }
+
+    /// Streams the identity hashes of `live` into `out` as the sorted,
+    /// duplicate-free u64 column a [`SnapshotSeries`] ingests — reading each
+    /// hash back out of the backend's object headers where real memory
+    /// exists (falling back to the object table for sim heaps and tiny
+    /// objects). This is the Dumper's capture path: no per-snapshot hash set
+    /// is ever materialized.
+    ///
+    /// `SnapshotSeries` lives in `polm2-snapshot`; the column contract
+    /// (ascending, deduplicated, widened raw hashes) is shared between the
+    /// two crates.
+    pub fn live_hash_column(&self, live: &LiveSet, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(live.len());
+        for id in live.iter() {
+            if let Some(rec) = slab_get(&self.slots, &self.records, id) {
+                let hash = self
+                    .backend
+                    .read_header_hash(rec.addr(), rec.size())
+                    .unwrap_or_else(|| rec.identity_hash());
+                debug_assert_eq!(
+                    hash,
+                    rec.identity_hash(),
+                    "backend object header drifted from the object table"
+                );
+                out.push(u64::from(hash.raw()));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Verifies internal invariants; used by tests and debug assertions.
@@ -1998,8 +2145,11 @@ mod tests {
     #[test]
     fn parallel_mark_matches_serial_at_any_worker_count() {
         let mut h = heap();
+        // Force the parallel paths regardless of host core count or the
+        // production break-even thresholds — this test pins equality, not
+        // wall-clock.
+        h.set_parallel_tuning(ParallelTuning::force());
         seeded_graph(&mut h, 2000, 40, 0xDEADBEEF);
-        assert!(h.object_count() >= MIN_PARALLEL_MARK_RECORDS);
         h.set_gc_workers(1);
         let reference = {
             let live = h.mark_live(&[]);
@@ -2022,6 +2172,7 @@ mod tests {
     #[test]
     fn parallel_young_mark_matches_serial_with_remembered_set() {
         let mut h = heap();
+        h.set_parallel_tuning(ParallelTuning::force());
         let old = h.create_space(GenId::new(1), None);
         let class = h.classes_mut().intern("Old");
         let parent = h.allocate(class, 64, SiteId::new(0), old).unwrap();
@@ -2084,7 +2235,12 @@ mod tests {
     }
 
     fn evacuation_workload(workers: usize) -> Heap {
-        let mut h = heap();
+        evacuation_workload_on(HeapConfig::small(), workers)
+    }
+
+    fn evacuation_workload_on(config: HeapConfig, workers: usize) -> Heap {
+        let mut h = Heap::new(config);
+        h.set_parallel_tuning(ParallelTuning::force());
         h.set_gc_workers(workers);
         let ids = seeded_graph(&mut h, 1500, 30, 0xABCD);
         let old = h.create_space(GenId::new(1), None);
@@ -2105,7 +2261,6 @@ mod tests {
             };
             ops.push((id, op));
         }
-        assert!(ops.len() >= MIN_PARALLEL_EVAC_OPS);
         h.evacuate_batch(&ops).unwrap();
         h.finish_evacuation();
         h.check_invariants();
@@ -2119,6 +2274,52 @@ mod tests {
             let fp = heap_fingerprint(&evacuation_workload(workers));
             assert_eq!(fp, reference, "{workers}-worker evacuation diverged");
         }
+    }
+
+    #[test]
+    fn real_backend_matches_sim_on_evacuation_workload() {
+        let real = HeapConfig::small().with_backend(BackendKind::Real);
+        let reference = heap_fingerprint(&evacuation_workload(1));
+        for workers in [1usize, 2, 4] {
+            let h = evacuation_workload_on(real, workers);
+            assert_eq!(h.backend_kind(), BackendKind::Real);
+            let fp = heap_fingerprint(&h);
+            assert_eq!(fp, reference, "real backend diverged at {workers}w");
+            let stats = h.backend_stats();
+            assert!(stats.bytes_written > 0, "payloads were written");
+            assert!(stats.bytes_copied > 0, "moves were memcpy'd");
+        }
+    }
+
+    #[test]
+    fn real_backend_streams_identical_hash_columns() {
+        let mut sim = heap();
+        let mut real = Heap::new(HeapConfig::small().with_backend(BackendKind::Real));
+        for h in [&mut sim, &mut real] {
+            seeded_graph(h, 600, 20, 0x5EED);
+        }
+        let (mut sim_col, mut real_col) = (Vec::new(), Vec::new());
+        let live = sim.mark_live(&[]);
+        sim.live_hash_column(&live, &mut sim_col);
+        let live_r = real.mark_live(&[]);
+        real.live_hash_column(&live_r, &mut real_col);
+        assert!(!sim_col.is_empty());
+        assert_eq!(sim_col, real_col, "streamed hash columns diverged");
+        assert!(sim_col.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+    }
+
+    #[test]
+    fn cpu_budget_caps_effective_workers_under_default_tuning() {
+        let mut h = heap();
+        h.set_gc_workers(64);
+        assert_eq!(h.gc_workers(), 64, "configured count is preserved");
+        let budgeted = h.effective_gc_workers();
+        assert!(
+            budgeted <= std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "default tuning respects the cpu budget"
+        );
+        h.set_parallel_tuning(ParallelTuning::force());
+        assert_eq!(h.effective_gc_workers(), 64, "force() lifts the cap");
     }
 
     #[test]

@@ -43,12 +43,16 @@
 
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
+mod backend;
+mod bump;
 mod class;
 mod config;
 mod error;
 mod evac;
 mod fasthash;
+mod free_list;
 mod heap;
 mod ids;
 mod mark;
@@ -58,12 +62,18 @@ mod roots;
 mod space;
 mod stats;
 
+pub use backend::{
+    BackendKind, BackendStats, HeapBackend, RealBackend, RegionCopier, SimBackend,
+    OBJECT_HEADER_BYTES,
+};
+pub use bump::{BumpArena, BumpBlock};
 pub use class::{ClassInfo, ClassRegistry};
 pub use config::HeapConfig;
 pub use error::HeapError;
 pub use evac::EvacDecision;
 pub use fasthash::{BuildIdHasher, IdHashMap, IdHashSet, IdHasher};
-pub use heap::{Heap, LiveSet};
+pub use free_list::{FreeBlock, FreeList};
+pub use heap::{Heap, LiveSet, ParallelTuning};
 pub use ids::{ClassId, GenId, IdentityHash, ObjectId, PageId, RegionId, SiteId, SpaceId};
 pub use object::ObjectRecord;
 pub use region::{Addr, PageFlags, PageTable, Region};

@@ -193,6 +193,8 @@ impl AtomicPageBits<'_> {
 /// exclusive borrow guarantees no non-atomic access can overlap the
 /// atomic view's lifetime.
 pub(crate) fn as_atomic_words(words: &mut [u32]) -> &[std::sync::atomic::AtomicU32] {
+    // SAFETY: same layout, every bit pattern valid, and the exclusive borrow
+    // rules out overlapping non-atomic access (see the doc comment above).
     unsafe { &*(words as *mut [u32] as *const [std::sync::atomic::AtomicU32]) }
 }
 

@@ -65,6 +65,18 @@ impl RuntimeConfig {
         self
     }
 
+    /// This configuration with the given heap memory backend (chainable).
+    /// The backend changes what the heap's bytes are made of, never where
+    /// they go: profiles, snapshots, and GcWork ledgers are identical on
+    /// [`BackendKind::Sim`] and [`BackendKind::Real`].
+    ///
+    /// [`BackendKind::Sim`]: polm2_heap::BackendKind::Sim
+    /// [`BackendKind::Real`]: polm2_heap::BackendKind::Real
+    pub fn with_heap_backend(mut self, backend: polm2_heap::BackendKind) -> Self {
+        self.heap.backend = backend;
+        self
+    }
+
     /// A small configuration for unit tests.
     pub fn small() -> Self {
         RuntimeConfig {
@@ -90,6 +102,14 @@ mod tests {
         assert!(RuntimeConfig::small().heap.validate().is_ok());
         assert!(RuntimeConfig::default().gc.validate().is_ok());
         assert!(RuntimeConfig::default().max_stack_depth > 0);
+    }
+
+    #[test]
+    fn with_heap_backend_selects_the_backend() {
+        use polm2_heap::BackendKind;
+        let cfg = RuntimeConfig::small().with_heap_backend(BackendKind::Real);
+        assert_eq!(cfg.heap.backend, BackendKind::Real);
+        assert_eq!(RuntimeConfig::small().heap.backend, BackendKind::Sim);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The CRIU-based Dumper.
 
-use polm2_heap::{Heap, IdHashSet, IdentityHash};
+use polm2_heap::Heap;
 use polm2_metrics::{SimDuration, SimTime};
 
 use crate::{HeapDumper, Snapshot, SnapshotError};
@@ -105,12 +105,12 @@ impl HeapDumper for CriuDumper {
             }
             None => heap.mark_live(&[]),
         };
-        let mut hashes: IdHashSet<IdentityHash> =
-            IdHashSet::with_capacity_and_hasher(live.len(), Default::default());
-        hashes.extend(
-            live.iter()
-                .filter_map(|id| heap.object(id).map(|o| o.identity_hash())),
-        );
+        // Stream the content column straight off the heap: on a real-memory
+        // backend the hashes come out of the object headers page by page, the
+        // way CRIU reads /proc/pid/mem — no per-snapshot hash set is
+        // materialized inside the capture window.
+        let mut column = Vec::with_capacity(live.len());
+        heap.live_hash_column(&live, &mut column);
 
         // The Recorder's madvise walk: mark no-need pages.
         if self.options.use_no_need {
@@ -135,7 +135,7 @@ impl HeapDumper for CriuDumper {
         let size_bytes = captured * page_bytes;
         let capture_time =
             SimDuration::from_micros(self.options.base_us + captured * self.options.us_per_page);
-        let snap = Snapshot::new(self.seq, now, hashes, size_bytes, capture_time);
+        let snap = Snapshot::from_sorted_column(self.seq, now, column, size_bytes, capture_time);
         self.seq += 1;
         // Hand the set back: if the heap stays untouched, the next snapshot
         // (or an immediately following GC-free cycle) reuses it as well.

@@ -9,21 +9,21 @@ use polm2_metrics::{SimDuration, SimTime};
 /// consumes); cost is the number of bytes captured and the stop time the
 /// capture imposed (what Figures 3–4 compare).
 ///
-/// The content is kept in two shapes: the hash set (point queries,
-/// compatibility) and a sorted column of raw hash values (the shape
-/// [`crate::SnapshotIndex`] merges). The column is built once, lazily, on
-/// first access — the capture window itself (the application is stopped!)
-/// never pays for the Analyzer's sort.
-#[derive(Debug, Clone)]
+/// The canonical content is a **sorted, duplicate-free column** of raw hash
+/// values — the shape [`crate::SnapshotIndex`] merges and the shape the
+/// Dumper now streams directly off the heap (no per-snapshot hash set is
+/// materialized during the capture window). A hash-set view is rebuilt
+/// lazily on first use for the point-query consumers that still want one.
+#[derive(Debug)]
 pub struct Snapshot {
     /// Sequence number within its series (0-based).
     pub seq: u32,
     /// When the capture happened.
     pub at: SimTime,
-    /// Identity hashes of the live objects included in the snapshot.
-    hashes: IdHashSet<IdentityHash>,
-    /// The same hashes as a sorted column of raw values, built on first use.
-    sorted: std::sync::OnceLock<Vec<u64>>,
+    /// Sorted, duplicate-free raw identity-hash column (canonical content).
+    sorted: Vec<u64>,
+    /// Hash-set view over `sorted`, rebuilt lazily on first use.
+    hashes: std::sync::OnceLock<IdHashSet<IdentityHash>>,
     /// Number of live objects captured.
     pub live_objects: u64,
     /// Bytes written by the capture.
@@ -32,8 +32,24 @@ pub struct Snapshot {
     pub capture_time: SimDuration,
 }
 
+impl Clone for Snapshot {
+    fn clone(&self) -> Self {
+        // The lazy set view is cheap to rebuild; cloning only the canonical
+        // column keeps clones allocation-light.
+        Snapshot {
+            seq: self.seq,
+            at: self.at,
+            sorted: self.sorted.clone(),
+            hashes: std::sync::OnceLock::new(),
+            live_objects: self.live_objects,
+            size_bytes: self.size_bytes,
+            capture_time: self.capture_time,
+        }
+    }
+}
+
 impl Snapshot {
-    /// Creates a snapshot record.
+    /// Creates a snapshot record from a hash set (sorts the column eagerly).
     pub fn new(
         seq: u32,
         at: SimTime,
@@ -41,12 +57,37 @@ impl Snapshot {
         size_bytes: u64,
         capture_time: SimDuration,
     ) -> Self {
-        let live_objects = hashes.len() as u64;
+        let mut sorted: Vec<u64> = hashes.iter().map(|h| u64::from(h.raw())).collect();
+        sorted.sort_unstable();
+        Self::from_sorted_column(seq, at, sorted, size_bytes, capture_time)
+    }
+
+    /// Creates a snapshot record directly from a sorted, duplicate-free
+    /// column of raw hash values — the Dumper's streaming capture path
+    /// ([`Heap::live_hash_column`] produces exactly this shape).
+    ///
+    /// [`Heap::live_hash_column`]: polm2_heap::Heap::live_hash_column
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the column is strictly ascending.
+    pub fn from_sorted_column(
+        seq: u32,
+        at: SimTime,
+        sorted: Vec<u64>,
+        size_bytes: u64,
+        capture_time: SimDuration,
+    ) -> Self {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] < w[1]),
+            "snapshot column must be sorted and duplicate-free"
+        );
+        let live_objects = sorted.len() as u64;
         Snapshot {
             seq,
             at,
-            hashes,
-            sorted: std::sync::OnceLock::new(),
+            sorted,
+            hashes: std::sync::OnceLock::new(),
             live_objects,
             size_bytes,
             capture_time,
@@ -55,23 +96,25 @@ impl Snapshot {
 
     /// True if an object with this identity hash was live at capture time.
     pub fn contains(&self, hash: IdentityHash) -> bool {
-        self.hashes.contains(&hash)
+        self.sorted.binary_search(&u64::from(hash.raw())).is_ok()
     }
 
-    /// The captured identity hashes (hash-set compatibility view).
+    /// The captured identity hashes (hash-set compatibility view, rebuilt
+    /// lazily from the canonical column).
     pub fn hashes(&self) -> &IdHashSet<IdentityHash> {
-        &self.hashes
+        self.hashes.get_or_init(|| {
+            self.sorted
+                .iter()
+                .map(|&raw| IdentityHash::from_raw(raw as u32))
+                .collect()
+        })
     }
 
     /// The captured identity hashes as a sorted column of raw values — the
-    /// Analyzer-facing columnar view ([`crate::SnapshotIndex`] is built from
-    /// these without re-sorting). Sorted once on first call and cached.
+    /// canonical content ([`crate::SnapshotIndex`] is built from these
+    /// without re-sorting).
     pub fn sorted_hashes(&self) -> &[u64] {
-        self.sorted.get_or_init(|| {
-            let mut sorted: Vec<u64> = self.hashes.iter().map(|h| u64::from(h.raw())).collect();
-            sorted.sort_unstable();
-            sorted
-        })
+        &self.sorted
     }
 }
 

@@ -17,6 +17,7 @@ use std::process::ExitCode;
 use polm2::core::journal::KIND_COMMIT;
 use polm2::core::merge::TenantInput;
 use polm2::core::{seal_profile_text, AllocationProfile, FaultConfig};
+use polm2::heap::BackendKind;
 use polm2::metrics::report::TextTable;
 use polm2::metrics::{FaultCounters, SimDuration, STANDARD_PERCENTILES};
 use polm2::snapshot::{journal, FsMedia};
@@ -111,6 +112,8 @@ fn print_usage() {
          \x20     --chaos-seed <n>   fault-injection seed (default 1)\n\
          \x20     --gc-workers <n>   GC mark/evacuate worker threads (default 1; the\n\
          \x20                        profile is bit-identical at any worker count)\n\
+         \x20     --heap-backend <b> sim | real (default sim; real backs regions with\n\
+         \x20                        actual memory — the profile is bit-identical)\n\
          \x20     --journal <dir>    stream the session into a crash-safe journal\n\
          \x20     --resume           finish from the journal in <dir>: replay a committed\n\
          \x20                        run, or re-execute a crashed one deterministically\n\
@@ -124,6 +127,7 @@ fn print_usage() {
          \x20     --chaos <rate>     per-tenant fault probability, 0.0-1.0 (default 0)\n\
          \x20     --chaos-seed <n>   chaos plan seed (default 1)\n\
          \x20     --gc-workers <n>   GC worker threads per tenant runtime (default 1)\n\
+         \x20     --heap-backend <b> sim | real per tenant heap (default sim)\n\
          \x20     --journal-root <d> per-tenant journal directories (default polm2-fleet)\n\
          \x20     --out <file>       write the merged fleet profile (default fleet.profile)\n\
          \x20     --merge <root>     merge-only: recover and merge existing tenant journals\n\
@@ -138,6 +142,7 @@ fn print_usage() {
          \x20     --warmup <n>       ignored prefix in simulated minutes (default 3)\n\
          \x20     --seed <n>         workload seed (default 42)\n\
          \x20     --gc-workers <n>   GC mark/evacuate worker threads (default 1)\n\
+         \x20     --heap-backend <b> sim | real (default sim)\n\
          \x20 polm2 inspect <file>                     pretty-print a profile"
     );
 }
@@ -164,6 +169,14 @@ fn parse_f64(args: &[String], name: &str, default: f64) -> Result<f64, String> {
             .parse()
             .map_err(|_| format!("{name} expects a number, got {v:?}")),
         None => Ok(default),
+    }
+}
+
+fn parse_backend(args: &[String]) -> Result<BackendKind, String> {
+    match flag(args, "--heap-backend") {
+        Some(v) => BackendKind::parse(&v)
+            .ok_or_else(|| format!("--heap-backend expects sim or real, got {v:?}")),
+        None => Ok(BackendKind::Sim),
     }
 }
 
@@ -200,6 +213,7 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     }
     let chaos_seed = parse_u64(args, "--chaos-seed", 1)?;
     let gc_workers = parse_u64(args, "--gc-workers", 1)?;
+    let backend = parse_backend(args)?;
     let out = flag(args, "--out").unwrap_or_else(|| format!("{name}.profile"));
     let journal_dir = flag(args, "--journal");
     let resume = args.iter().any(|a| a == "--resume");
@@ -213,7 +227,10 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
         faults: FaultConfig::all_at(chaos, chaos_seed),
         ..ProfilePhaseConfig::paper()
     };
-    config.runtime = config.runtime.with_gc_workers(gc_workers as usize);
+    config.runtime = config
+        .runtime
+        .with_gc_workers(gc_workers as usize)
+        .with_heap_backend(backend);
     if chaos > 0.0 {
         eprintln!(
             "profiling {name} for {minutes} simulated minutes \
@@ -369,6 +386,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
         }
         let chaos_seed = parse_u64(args, "--chaos-seed", 1)?;
         let gc_workers = parse_u64(args, "--gc-workers", 1)?;
+        let backend = parse_backend(args)?;
         let root = flag(args, "--journal-root").unwrap_or_else(|| "polm2-fleet".into());
 
         let workloads = paper_workloads();
@@ -380,7 +398,10 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
                     seed: seed + i,
                     ..ProfilePhaseConfig::paper()
                 };
-                config.runtime = config.runtime.with_gc_workers(gc_workers as usize);
+                config.runtime = config
+                    .runtime
+                    .with_gc_workers(gc_workers as usize)
+                    .with_heap_backend(backend);
                 TenantSpec {
                     tenant: format!("tenant-{i:02}"),
                     workload: workload.name().to_string(),
@@ -525,13 +546,17 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     };
 
     let gc_workers = parse_u64(args, "--gc-workers", 1)?;
+    let backend = parse_backend(args)?;
     let mut config = RunConfig {
         duration: SimDuration::from_secs(minutes * 60),
         warmup: SimDuration::from_secs(warmup * 60),
         seed,
         ..RunConfig::paper()
     };
-    config.runtime = config.runtime.with_gc_workers(gc_workers as usize);
+    config.runtime = config
+        .runtime
+        .with_gc_workers(gc_workers as usize)
+        .with_heap_backend(backend);
     eprintln!(
         "running {name} under {} for {minutes} simulated minutes (warmup {warmup}, seed {seed}) ...",
         setup.label()
