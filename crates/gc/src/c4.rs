@@ -126,6 +126,9 @@ impl C4Collector {
             heap.retire_live_set(live);
             (young, GcWork::default())
         };
+        // Cycle boundary: let the backend run deferred allocator
+        // maintenance (tenured free-list coalescing).
+        heap.note_gc_cycle_finished();
         Ok(self.phase_pauses(&young.merged(olds)))
     }
 }

@@ -131,6 +131,9 @@ impl G1Collector {
             heap.retire_live_set(cycle.live);
         }
         let work = young.merged(old);
+        // Cycle boundary: let the backend run deferred allocator
+        // maintenance (tenured free-list coalescing).
+        heap.note_gc_cycle_finished();
         Ok(PauseEvent {
             kind: GcKind::Full,
             pause: self.config.cost.pause(&work),

@@ -160,6 +160,9 @@ impl Ng2cCollector {
             heap.retire_live_set(cycle.live);
         }
         let work = young.merged(olds);
+        // Cycle boundary: let the backend run deferred allocator
+        // maintenance (tenured free-list coalescing).
+        heap.note_gc_cycle_finished();
         Ok(PauseEvent {
             kind: GcKind::Full,
             pause: self.config.cost.pause(&work),

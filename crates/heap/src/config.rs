@@ -35,6 +35,11 @@ pub struct HeapConfig {
     /// and therefore every profile, snapshot, and GcWork ledger — is
     /// identical either way.
     pub backend: BackendKind,
+    /// TLAB window size for the real backend's allocation fast path, in
+    /// bytes (the `--tlab-kb` knob). Clamped to the region size; ignored by
+    /// the sim backend. Never affects logical placement, only how often the
+    /// real backend's write window refills.
+    pub tlab_bytes: u64,
 }
 
 impl HeapConfig {
@@ -48,6 +53,7 @@ impl HeapConfig {
             region_bytes: 1 << 20,
             page_bytes: 4 << 10,
             backend: BackendKind::Sim,
+            tlab_bytes: Self::DEFAULT_TLAB_BYTES,
         }
     }
 
@@ -60,12 +66,24 @@ impl HeapConfig {
             region_bytes: 256 << 10,
             page_bytes: 4 << 10,
             backend: BackendKind::Sim,
+            tlab_bytes: Self::DEFAULT_TLAB_BYTES,
         }
     }
+
+    /// Default TLAB window size (256 KiB): large enough that the gate
+    /// workloads refill a handful of times per region, small enough that a
+    /// window never outlives its usefulness across survivor turnover.
+    pub const DEFAULT_TLAB_BYTES: u64 = 256 << 10;
 
     /// This geometry with the given memory backend (chainable).
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// This geometry with the given TLAB window size in bytes (chainable).
+    pub fn with_tlab_bytes(mut self, tlab_bytes: u64) -> Self {
+        self.tlab_bytes = tlab_bytes;
         self
     }
 
@@ -110,6 +128,9 @@ impl HeapConfig {
         }
         if self.young_bytes == 0 || self.young_bytes >= self.total_bytes {
             return Err("young generation must be non-empty and smaller than the heap".into());
+        }
+        if self.tlab_bytes == 0 {
+            return Err("TLAB window size must be non-zero".into());
         }
         Ok(())
     }
@@ -156,6 +177,9 @@ mod tests {
 
         let mut cfg = HeapConfig::small();
         cfg.total_bytes = 0;
+        assert!(cfg.validate().is_err());
+
+        let cfg = HeapConfig::small().with_tlab_bytes(0);
         assert!(cfg.validate().is_err());
     }
 }

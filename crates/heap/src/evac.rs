@@ -1,14 +1,22 @@
 //! Batched evacuation: plan/apply split and the parallel fix-up phase.
 //!
-//! [`Heap::evacuate_batch`] runs in two phases. The *planning* phase is
+//! [`Heap::evacuate_batch`] runs in three phases. The *planning* phase is
 //! serial and deterministic: it walks the ops in order, takes dead records,
 //! bump-allocates every destination address, and updates region lists and
-//! live-byte accounting — everything whose outcome depends on order. What
-//! remains for the *fix-up* phase is strictly commutative: rewriting each
-//! moved record's address/age (disjoint slots), adjusting per-page occupancy
-//! counters (atomic add/sub), and ORing/ANDNOT-ing page dirty/no-need bits.
-//! Commutativity is what makes the fix-up safe to shard across workers with
-//! no coordination and bit-identical at any worker count.
+//! live-byte accounting — everything whose outcome depends on order. The
+//! *copy* phase (real backend only) memcpys the planned payloads,
+//! partitioned by **destination region** ([`plan_copy_shards`]): moves into
+//! the same region stay on one worker, so workers stream into disjoint
+//! memory instead of interleaving stores across each other's cache lines,
+//! and the phase is timed on its own so bandwidth figures measure the
+//! copier. What remains for the *fix-up* phase is strictly commutative:
+//! rewriting each moved record's address/age (disjoint slots), adjusting
+//! per-page occupancy counters (atomic add/sub), and ORing/ANDNOT-ing page
+//! dirty/no-need bits. Commutativity is what makes the fix-up safe to shard
+//! across workers with no coordination and bit-identical at any worker
+//! count; the copy phase is safe because destination ranges are distinct
+//! bump allocations, and *placement-identical* because copying bytes can
+//! never alter logical state.
 //!
 //! [`Heap::evacuate_batch`]: crate::Heap::evacuate_batch
 
@@ -86,12 +94,94 @@ impl RecordsCell {
     }
 }
 
+/// One worker's share of a copy phase: the indices into the move list it
+/// copies, and their total payload bytes.
+#[derive(Debug, Default)]
+pub(crate) struct CopyShard {
+    pub moves: Vec<u32>,
+    pub bytes: u64,
+}
+
+/// Partitions a batch's moves into per-worker copy shards, keyed by
+/// **destination region**: all moves into one region land on one worker
+/// (disjoint destination memory per worker, no cross-worker cache-line
+/// interleaving), and region groups are spread across workers
+/// largest-bytes-first onto the least-loaded shard (deterministic LPT).
+/// Returns exactly `workers.max(1)` shards; trailing shards may be empty
+/// when there are fewer destination regions than workers.
+pub(crate) fn plan_copy_shards(moves: &[MoveEntry], workers: usize) -> Vec<CopyShard> {
+    let workers = workers.max(1);
+    let mut shards: Vec<CopyShard> = (0..workers).map(|_| CopyShard::default()).collect();
+    if moves.is_empty() {
+        return shards;
+    }
+    // Group move indices by destination region, preserving planning order
+    // within each group (sort is stable; the key ignores the index).
+    let mut by_dest: Vec<u32> = (0..moves.len() as u32).collect();
+    by_dest.sort_by_key(|&i| moves[i as usize].new_addr.region.raw());
+    let mut groups: Vec<(u64, Vec<u32>)> = Vec::new();
+    let mut start = 0;
+    while start < by_dest.len() {
+        let region = moves[by_dest[start] as usize].new_addr.region;
+        let mut end = start;
+        let mut bytes = 0u64;
+        while end < by_dest.len() && moves[by_dest[end] as usize].new_addr.region == region {
+            bytes += u64::from(moves[by_dest[end] as usize].size);
+            end += 1;
+        }
+        groups.push((bytes, by_dest[start..end].to_vec()));
+        start = end;
+    }
+    // LPT: biggest groups first, each onto the currently lightest shard.
+    // Ties break on the group's first move index, keeping the plan a pure
+    // function of the batch.
+    groups.sort_by_key(|(bytes, idxs)| (std::cmp::Reverse(*bytes), idxs[0]));
+    for (bytes, idxs) in groups {
+        let lightest = shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.bytes, *i))
+            .map(|(i, _)| i)
+            .expect("workers >= 1");
+        shards[lightest].bytes += bytes;
+        shards[lightest].moves.extend(idxs);
+    }
+    shards
+}
+
+/// Runs the copy phase: each non-empty shard's payload memcpys on its own
+/// scoped thread (or inline when only one shard has work). Safe because
+/// destination ranges are distinct bump allocations and source regions are
+/// detached (the [`RegionCopier`] contract), and shard partitioning by
+/// destination region additionally keeps each worker's stores inside its
+/// own regions.
+pub(crate) fn run_copy_phase(copier: &RegionCopier<'_>, moves: &[MoveEntry], shards: &[CopyShard]) {
+    let busy = shards.iter().filter(|s| !s.moves.is_empty()).count();
+    if busy <= 1 {
+        for shard in shards {
+            for &i in &shard.moves {
+                let m = &moves[i as usize];
+                copier.copy(m.old_addr, m.new_addr, m.size);
+            }
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for shard in shards.iter().filter(|s| !s.moves.is_empty()) {
+            s.spawn(move || {
+                for &i in &shard.moves {
+                    let m = &moves[i as usize];
+                    copier.copy(m.old_addr, m.new_addr, m.size);
+                }
+            });
+        }
+    });
+}
+
 /// Applies the fix-up phase across `workers` scoped threads. Every effect is
 /// commutative, so chunk boundaries and interleaving cannot change the final
-/// state. When a real-memory backend supplies a `copier`, each worker also
-/// memcpys its moves' payloads — destination ranges are distinct
-/// bump-allocations and source regions are detached from their spaces, so
-/// the copies touch disjoint bytes (see [`RegionCopier`]).
+/// state. Payload copies happen earlier, in the dedicated copy phase
+/// ([`run_copy_phase`]); by the time fix-up runs, the bytes have landed.
 pub(crate) fn apply_parallel(
     workers: usize,
     records: &mut [Option<ObjectRecord>],
@@ -99,7 +189,6 @@ pub(crate) fn apply_parallel(
     page_table: &mut PageTable,
     moves: &[MoveEntry],
     drops: &[DropEntry],
-    copier: Option<&RegionCopier<'_>>,
 ) {
     let workers = workers.max(1);
     let cell = RecordsCell {
@@ -120,9 +209,6 @@ pub(crate) fn apply_parallel(
                 let mstart = (w * move_chunk).min(moves.len());
                 let mend = ((w + 1) * move_chunk).min(moves.len());
                 for m in &moves[mstart..mend] {
-                    if let Some(c) = copier {
-                        c.copy(m.old_addr, m.new_addr, m.size);
-                    }
                     // SAFETY: slots are unique within the batch; this worker
                     // is the only one holding this slot.
                     let rec = unsafe { &mut *cell.record(m.slot) }

@@ -1,36 +1,58 @@
 //! Size-class segregated free-list allocator backing tenured region memory.
 //!
 //! A [`FreeList`] owns large page-aligned chunks obtained from the system
-//! allocator (`alloc_zeroed`) and serves variable-sized blocks out of them.
-//! Free space is tracked twice, and the two views are kept consistent:
+//! allocator and serves variable-sized blocks out of them. Every block
+//! handed out is **zeroed**, the same handout contract as
+//! [`BumpArena`](crate::bump::BumpArena): fresh chunks are zeroed at carve
+//! and freed blocks are re-zeroed at [`free`](FreeList::free) time — which
+//! the backend only reaches from a region release inside a collection, so
+//! the bulk memset is charged to GC wall-clock, never to the allocation
+//! path. Splitting and merging preserve the contract for free (zeroed
+//! fragments of zeroed blocks), which is what lets tenured allocation
+//! store only the 8-byte object header.
 //!
-//! - **per chunk**, an address-ordered map `offset -> size` of free blocks,
-//!   which is what makes first-fit deterministic and neighbor coalescing
-//!   O(log n);
-//! - **per size class**, an ordered set of `(chunk, offset)` block keys, so
-//!   allocation scans only classes large enough to possibly fit instead of
-//!   every free block.
+//! Free space is **segregated by size class**: class `c` holds free blocks
+//! of `granule * 2^c ..= granule * (2^(c+1) - 1)` bytes (the last class is
+//! open-ended), each class a LIFO stack, with a nonempty-class bitmap on
+//! top. Allocation is O(1): a bounded first-fit scan of the request's own
+//! class, then a bitmap scan for the lowest nonempty *strictly higher*
+//! class, any block of which is guaranteed to fit. The class of a size is
+//! a precomputed table lookup ([`FreeList::class_of`]).
 //!
-//! Sizes are rounded up to a fixed granule (the heap page size), so every
-//! block the list hands out is page-aligned and page-sized — exactly the
-//! contract tenured regions need. Splitting on allocation and address-ordered
-//! coalescing on free keep fragmentation bounded; the invariant "no two
-//! adjacent free blocks" is checked by [`FreeList::assert_invariants`] and
-//! the property suite.
+//! `free` does O(1) bookkeeping — push, set a bit — because coalescing is
+//! **deferred**: instead of merging neighbors on every free, the whole
+//! list is address-sorted and merged in one pass by [`FreeList::coalesce`],
+//! which the real backend runs once per GC cycle (and `alloc` runs itself
+//! before growing, so a fit fragmented across deferred frees is always
+//! found before the footprint grows). The invariants "no overlap, classes
+//! consistent, bytes accounted" hold at every step
+//! ([`FreeList::assert_invariants`]); "no two adjacent free blocks"
+//! additionally holds right after a coalesce
+//! ([`FreeList::assert_coalesced`]).
 //!
 //! Like [`BumpArena`](crate::bump::BumpArena), blocks are identified by
 //! handles ([`FreeBlock`]) rather than raw addresses, which keeps pointer
-//! provenance clean under Miri and makes `free` O(log n) with no address
-//! lookup.
+//! provenance clean under Miri and makes `free` order-independent with no
+//! address lookup.
 
-use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
-use std::collections::{BTreeMap, BTreeSet};
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::ptr::NonNull;
+
+use crate::bump::pretouch;
 
 /// Number of size classes. Class `c` holds free blocks of
 /// `granule * 2^c ..= granule * (2^(c+1) - 1)` bytes; the last class is
 /// open-ended.
 const NUM_CLASSES: usize = 16;
+
+/// Granule counts covered by the precomputed size-class table; larger
+/// counts (blocks over 16 MiB at the 4 KiB production granule) fall back
+/// to the bit-scan formula.
+const CLASS_LUT_GRANULES: usize = 4096;
+
+/// How many blocks of the request's own class the bounded first-fit scan
+/// inspects before escalating to a strictly higher class.
+const CLASS_SCAN: usize = 8;
 
 /// One system-allocated chunk the free list carves blocks from.
 #[derive(Debug)]
@@ -57,7 +79,15 @@ impl FreeBlock {
     }
 }
 
-/// A size-class segregated free-list allocator with address-ordered
+/// A free block on one of the class lists.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    chunk: u32,
+    offset: usize,
+    size: usize,
+}
+
+/// A size-class segregated free-list allocator with deferred address-order
 /// coalescing.
 #[derive(Debug)]
 pub struct FreeList {
@@ -66,10 +96,17 @@ pub struct FreeList {
     /// Preferred chunk size; oversized requests get a dedicated chunk.
     min_chunk: usize,
     chunks: Vec<Chunk>,
-    /// Per chunk: address-ordered free blocks, `offset -> size`.
-    free: Vec<BTreeMap<usize, usize>>,
-    /// Per size class: keys of the free blocks currently in that class.
-    classes: Vec<BTreeSet<(u32, usize)>>,
+    /// Per size class: LIFO stack of free blocks.
+    classes: Vec<Vec<Slot>>,
+    /// Bit `c` set iff `classes[c]` is nonempty.
+    nonempty: u32,
+    /// `granule count -> class`, precomputed so the alloc path does one
+    /// indexed load instead of a bit scan.
+    class_lut: Box<[u8; CLASS_LUT_GRANULES]>,
+    /// Frees since the last coalesce (deferred-merge debt).
+    pending_frees: usize,
+    /// Retained scratch for [`FreeList::coalesce`].
+    scratch: Vec<Slot>,
     /// Bytes currently handed out to callers.
     allocated_bytes: usize,
 }
@@ -84,12 +121,19 @@ impl FreeList {
     /// chunks.
     pub fn new(granule: usize, min_chunk: usize) -> Self {
         assert!(granule.is_power_of_two(), "granule must be a power of two");
+        let mut class_lut = Box::new([0u8; CLASS_LUT_GRANULES]);
+        for (g, slot) in class_lut.iter_mut().enumerate().skip(1) {
+            *slot = Self::class_of_granules(g) as u8;
+        }
         FreeList {
             granule,
             min_chunk: min_chunk.max(granule),
             chunks: Vec::new(),
-            free: Vec::new(),
-            classes: vec![BTreeSet::new(); NUM_CLASSES],
+            classes: vec![Vec::new(); NUM_CLASSES],
+            nonempty: 0,
+            class_lut,
+            pending_frees: 0,
+            scratch: Vec::new(),
             allocated_bytes: 0,
         }
     }
@@ -98,108 +142,189 @@ impl FreeList {
         size.max(1).div_ceil(self.granule) * self.granule
     }
 
-    /// The size class of a rounded block size: floor(log2(size / granule)),
-    /// clamped to the last class.
-    fn class_of(&self, size: usize) -> usize {
-        debug_assert!(size >= self.granule && size.is_multiple_of(self.granule));
-        let g = size / self.granule;
+    /// `floor(log2(g))` clamped to the last class — the bit-scan fallback
+    /// behind the lookup table.
+    fn class_of_granules(g: usize) -> usize {
+        debug_assert!(g >= 1);
         ((usize::BITS - 1 - g.leading_zeros()) as usize).min(NUM_CLASSES - 1)
     }
 
-    fn insert_free(&mut self, chunk: u32, offset: usize, size: usize) {
-        let prev = self.free[chunk as usize].insert(offset, size);
-        debug_assert!(prev.is_none(), "double insert of free block");
-        let class = self.class_of(size);
-        self.classes[class].insert((chunk, offset));
+    /// The size class of a rounded block size: one table load for every
+    /// block up to [`CLASS_LUT_GRANULES`] granules, bit scan beyond.
+    #[inline]
+    fn class_of(&self, size: usize) -> usize {
+        debug_assert!(size >= self.granule && size.is_multiple_of(self.granule));
+        let g = size / self.granule;
+        match self.class_lut.get(g) {
+            Some(&c) => c as usize,
+            None => Self::class_of_granules(g),
+        }
     }
 
-    fn remove_free(&mut self, chunk: u32, offset: usize) -> usize {
-        let size = self.free[chunk as usize]
-            .remove(&offset)
-            .expect("free block present");
-        let class = self.class_of(size);
-        let removed = self.classes[class].remove(&(chunk, offset));
-        debug_assert!(removed, "class index out of sync");
-        size
+    fn push_slot(&mut self, slot: Slot) {
+        let class = self.class_of(slot.size);
+        self.classes[class].push(slot);
+        self.nonempty |= 1 << class;
     }
 
-    /// First-fit search: lowest `(chunk, offset)` block of at least `size`
-    /// bytes, scanning classes from the smallest that can fit upward.
-    fn find_fit(&self, size: usize) -> Option<(u32, usize)> {
-        for class in self.class_of(size)..NUM_CLASSES {
-            for &(chunk, offset) in &self.classes[class] {
-                if self.free[chunk as usize][&offset] >= size {
-                    return Some((chunk, offset));
-                }
+    fn take_slot(&mut self, class: usize, index: usize) -> Slot {
+        let slot = self.classes[class].swap_remove(index);
+        if self.classes[class].is_empty() {
+            self.nonempty &= !(1 << class);
+        }
+        slot
+    }
+
+    /// O(1) segregated fit: a bounded first-fit scan of the request's own
+    /// class (newest blocks first), then the lowest nonempty strictly
+    /// higher class, whose every block is guaranteed large enough.
+    fn try_alloc(&mut self, size: usize) -> Option<FreeBlock> {
+        let class = self.class_of(size);
+        let len = self.classes[class].len();
+        for i in (len.saturating_sub(CLASS_SCAN)..len).rev() {
+            if self.classes[class][i].size >= size {
+                let slot = self.take_slot(class, i);
+                return Some(self.carve(slot, size));
             }
         }
+        let higher = self.nonempty >> (class + 1);
+        if higher != 0 {
+            let c = class + 1 + higher.trailing_zeros() as usize;
+            let index = self.classes[c].len() - 1;
+            let slot = self.take_slot(c, index);
+            debug_assert!(slot.size >= size, "higher-class block too small");
+            return Some(self.carve(slot, size));
+        }
         None
+    }
+
+    /// Splits `size` bytes off the low end of `slot`, returning the
+    /// remainder (if any) to its class.
+    fn carve(&mut self, slot: Slot, size: usize) -> FreeBlock {
+        if slot.size > size {
+            self.push_slot(Slot {
+                chunk: slot.chunk,
+                offset: slot.offset + size,
+                size: slot.size - size,
+            });
+        }
+        self.allocated_bytes += size;
+        FreeBlock {
+            chunk: slot.chunk,
+            offset: slot.offset,
+            size,
+        }
     }
 
     fn grow(&mut self, at_least: usize) {
         let bytes = self.round_up(at_least.max(self.min_chunk));
         let layout = Layout::from_size_align(bytes, self.granule).expect("valid chunk layout");
         // SAFETY: `layout` has non-zero size (bytes >= granule >= 1).
-        let raw = unsafe { alloc_zeroed(layout) };
+        let raw = unsafe { alloc(layout) };
         let Some(ptr) = NonNull::new(raw) else {
             handle_alloc_error(layout)
         };
+        // Zero at carve so the handout contract holds; chunks past the
+        // prefaulted pool pay this cold, once.
+        // SAFETY: the chunk spans `layout.size()` writable bytes.
+        unsafe { pretouch(ptr.as_ptr(), layout.size()) };
         self.chunks.push(Chunk { ptr, layout });
-        self.free.push(BTreeMap::new());
         let chunk = (self.chunks.len() - 1) as u32;
-        self.insert_free(chunk, 0, bytes);
+        self.push_slot(Slot {
+            chunk,
+            offset: 0,
+            size: bytes,
+        });
+    }
+
+    /// Grows chunks until the list's footprint covers `bytes`, leaving the
+    /// memory on the free list zeroed, page-warm, and ready to serve — the
+    /// tenured half of the `-XX:+AlwaysPreTouch` analogue (see
+    /// [`BumpArena::prefault`](crate::bump::BumpArena::prefault)). Demand
+    /// beyond the pre-faulted pool still grows cold, once.
+    pub fn prefault(&mut self, bytes: usize) {
+        while self.footprint_bytes() < bytes {
+            self.grow(self.min_chunk);
+        }
     }
 
     /// Allocates a block of at least `size` bytes (rounded up to the
-    /// granule), splitting the chosen free block and keeping the remainder
-    /// on the list.
+    /// granule) with every byte zeroed (see the module docs), splitting the
+    /// chosen free block and keeping the remainder on the list.
     pub fn alloc(&mut self, size: usize) -> FreeBlock {
         let size = self.round_up(size);
-        let (chunk, offset) = match self.find_fit(size) {
-            Some(fit) => fit,
-            None => {
-                self.grow(size);
-                self.find_fit(size).expect("fresh chunk fits the request")
+        if let Some(block) = self.try_alloc(size) {
+            return block;
+        }
+        // The fit may exist but be fragmented across deferred frees;
+        // coalesce before paying for fresh memory.
+        if self.pending_frees > 0 {
+            self.coalesce();
+            if let Some(block) = self.try_alloc(size) {
+                return block;
             }
-        };
-        let block_size = self.remove_free(chunk, offset);
-        if block_size > size {
-            self.insert_free(chunk, offset + size, block_size - size);
         }
-        self.allocated_bytes += size;
-        FreeBlock {
-            chunk,
-            offset,
-            size,
-        }
+        self.grow(size);
+        self.try_alloc(size).expect("fresh chunk fits the request")
     }
 
-    /// Returns a block to the list, coalescing with adjacent free blocks.
-    /// The caller must not touch the block's memory afterwards, and must not
-    /// free the same block twice.
+    /// Returns a block to the list, re-zeroing it in bulk — the GC-side
+    /// half of the zeroed-handout contract (the backend frees only from a
+    /// region release inside a collection). The list bookkeeping is O(1):
+    /// coalescing with neighbors is deferred to the next
+    /// [`coalesce`](FreeList::coalesce) pass. The caller must not touch
+    /// the block's memory afterwards, and must not free the same block
+    /// twice.
     pub fn free(&mut self, block: FreeBlock) {
-        let mut offset = block.offset;
-        let mut size = block.size;
-        let map = &self.free[block.chunk as usize];
-        // Successor: a free block starting exactly at our end.
-        if map.contains_key(&(offset + size)) {
-            size += self.remove_free(block.chunk, offset + size);
+        // SAFETY: the block is live (not yet freed) and spans `size`
+        // writable bytes of its chunk; the caller surrenders it here.
+        unsafe { pretouch(self.ptr(block).as_ptr(), block.size) };
+        self.push_slot(Slot {
+            chunk: block.chunk,
+            offset: block.offset,
+            size: block.size,
+        });
+        self.pending_frees += 1;
+        self.allocated_bytes -= block.size;
+    }
+
+    /// Address-order coalescing pass: sorts every free block and merges
+    /// adjacent neighbors in one sweep, rebuilding the class lists. Run
+    /// once per GC cycle by the real backend (and by
+    /// [`alloc`](FreeList::alloc) before it grows the footprint), instead
+    /// of on every `free`.
+    pub fn coalesce(&mut self) {
+        self.pending_frees = 0;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for class in &mut self.classes {
+            scratch.append(class);
         }
-        // Predecessor: the last free block below us, if it ends at our start.
-        let pred = self.free[block.chunk as usize]
-            .range(..offset)
-            .next_back()
-            .map(|(&o, &s)| (o, s));
-        if let Some((pred_offset, pred_size)) = pred {
-            debug_assert!(pred_offset + pred_size <= offset, "freed block overlaps");
-            if pred_offset + pred_size == offset {
-                self.remove_free(block.chunk, pred_offset);
-                offset = pred_offset;
-                size += pred_size;
+        self.nonempty = 0;
+        scratch.sort_unstable_by_key(|s| (s.chunk, s.offset));
+        let mut merged: Option<Slot> = None;
+        for slot in scratch.drain(..) {
+            match &mut merged {
+                Some(m) if m.chunk == slot.chunk && m.offset + m.size == slot.offset => {
+                    m.size += slot.size;
+                }
+                _ => {
+                    if let Some(m) = merged.take() {
+                        self.push_slot(m);
+                    }
+                    merged = Some(slot);
+                }
             }
         }
-        self.insert_free(block.chunk, offset, size);
-        self.allocated_bytes -= block.size;
+        if let Some(m) = merged {
+            self.push_slot(m);
+        }
+        self.scratch = scratch;
+    }
+
+    /// Frees recorded since the last coalescing pass.
+    pub fn pending_frees(&self) -> usize {
+        self.pending_frees
     }
 
     /// The base pointer of `block`.
@@ -221,57 +346,79 @@ impl FreeList {
         self.allocated_bytes
     }
 
-    /// Number of free blocks across all chunks (coalescing keeps this the
-    /// minimum possible for the current allocation pattern).
+    /// Number of free blocks across all chunks. Between coalescing passes
+    /// this includes unmerged neighbors; right after
+    /// [`coalesce`](FreeList::coalesce) it is the minimum possible for the
+    /// current allocation pattern.
     pub fn free_block_count(&self) -> usize {
-        self.free.iter().map(BTreeMap::len).sum()
+        self.classes.iter().map(Vec::len).sum()
     }
 
-    /// Checks the structural invariants; panics with a description on
+    /// Checks the structural invariants that hold at *every* step —
+    /// in-bounds, granule-aligned, non-overlapping free blocks, class and
+    /// bitmap consistency, byte accounting. Panics with a description on
     /// violation. Used by unit and property tests.
     pub fn assert_invariants(&self) {
+        let mut all: Vec<Slot> = Vec::new();
         let mut free_bytes = 0usize;
-        let mut class_members = 0usize;
-        for (idx, map) in self.free.iter().enumerate() {
-            let capacity = self.chunks[idx].layout.size();
-            let mut prev_end: Option<usize> = None;
-            for (&offset, &size) in map {
+        for (class, list) in self.classes.iter().enumerate() {
+            assert_eq!(
+                !list.is_empty(),
+                self.nonempty & (1 << class) != 0,
+                "nonempty bitmap out of sync for class {class}"
+            );
+            for slot in list {
                 assert!(
-                    size > 0 && size.is_multiple_of(self.granule),
+                    slot.size > 0 && slot.size.is_multiple_of(self.granule),
                     "bad free size"
                 );
                 assert!(
-                    offset.is_multiple_of(self.granule),
+                    slot.offset.is_multiple_of(self.granule),
                     "misaligned free offset"
                 );
-                assert!(offset + size <= capacity, "free block out of bounds");
-                if let Some(end) = prev_end {
-                    assert!(end <= offset, "free blocks overlap");
-                    assert!(end < offset, "adjacent free blocks not coalesced");
-                }
-                prev_end = Some(offset + size);
                 assert!(
-                    self.classes[self.class_of(size)].contains(&(idx as u32, offset)),
-                    "free block missing from its size class"
+                    slot.offset + slot.size <= self.chunks[slot.chunk as usize].layout.size(),
+                    "free block out of bounds"
                 );
-                free_bytes += size;
+                assert_eq!(
+                    self.class_of(slot.size),
+                    class,
+                    "free block filed under the wrong class"
+                );
+                free_bytes += slot.size;
+                all.push(*slot);
             }
         }
-        for class in &self.classes {
-            for &(chunk, offset) in class {
+        all.sort_unstable_by_key(|s| (s.chunk, s.offset));
+        for pair in all.windows(2) {
+            if pair[0].chunk == pair[1].chunk {
                 assert!(
-                    self.free[chunk as usize].contains_key(&offset),
-                    "class index references a non-free block"
+                    pair[0].offset + pair[0].size <= pair[1].offset,
+                    "free blocks overlap"
                 );
-                class_members += 1;
             }
         }
-        assert_eq!(class_members, self.free_block_count(), "class index drift");
         assert_eq!(
             free_bytes + self.allocated_bytes,
             self.footprint_bytes(),
             "free + allocated bytes must equal the footprint"
         );
+    }
+
+    /// [`assert_invariants`](FreeList::assert_invariants) plus the
+    /// post-coalesce guarantee: no two adjacent free blocks remain.
+    pub fn assert_coalesced(&self) {
+        self.assert_invariants();
+        let mut all: Vec<Slot> = self.classes.iter().flatten().copied().collect();
+        all.sort_unstable_by_key(|s| (s.chunk, s.offset));
+        for pair in all.windows(2) {
+            if pair[0].chunk == pair[1].chunk {
+                assert!(
+                    pair[0].offset + pair[0].size < pair[1].offset,
+                    "adjacent free blocks not coalesced"
+                );
+            }
+        }
     }
 }
 
@@ -304,18 +451,41 @@ mod tests {
     }
 
     #[test]
+    fn class_lut_matches_the_bit_scan() {
+        let fl = FreeList::new(4096, 1 << 20);
+        for g in 1..CLASS_LUT_GRANULES {
+            assert_eq!(
+                fl.class_of(g * 4096),
+                FreeList::class_of_granules(g),
+                "granules {g}"
+            );
+        }
+        // Beyond the table the fallback serves (and clamps to the last
+        // class).
+        assert_eq!(
+            fl.class_of(CLASS_LUT_GRANULES * 2 * 4096),
+            FreeList::class_of_granules(CLASS_LUT_GRANULES * 2)
+        );
+        assert_eq!(fl.class_of(1usize << 40), NUM_CLASSES - 1);
+    }
+
+    #[test]
     fn coalescing_round_trips_to_one_block() {
         let mut fl = FreeList::new(4096, 1 << 20);
         let blocks: Vec<FreeBlock> = (0..16).map(|_| fl.alloc(64 << 10)).collect();
         fl.assert_invariants();
-        // Free in a shuffled-but-deterministic order; everything must merge
-        // back into a single free block per chunk.
+        // Free in a shuffled-but-deterministic order; merging is deferred,
+        // so the fragments persist until the coalescing pass runs.
         for &i in &[3, 7, 0, 12, 15, 1, 9, 4, 11, 2, 14, 6, 8, 13, 5, 10] {
             fl.free(blocks[i]);
             fl.assert_invariants();
         }
         assert_eq!(fl.allocated_bytes(), 0);
+        assert!(fl.pending_frees() > 0, "frees must be recorded as pending");
+        fl.coalesce();
+        assert_eq!(fl.pending_frees(), 0);
         assert_eq!(fl.free_block_count(), 1, "full coalescing expected");
+        fl.assert_coalesced();
     }
 
     #[test]
@@ -324,11 +494,45 @@ mod tests {
         let a = fl.alloc(256 << 10);
         let _b = fl.alloc(256 << 10);
         fl.free(a);
-        // First-fit must land in the hole `a` left, not grow the footprint.
+        // The freed hole must be reused, not fresh footprint grown.
         let footprint = fl.footprint_bytes();
         let c = fl.alloc(128 << 10);
         assert_eq!((c.chunk, c.offset), (a.chunk, a.offset));
         assert_eq!(fl.footprint_bytes(), footprint);
+        fl.assert_invariants();
+    }
+
+    #[test]
+    fn higher_class_serves_when_native_class_is_empty() {
+        let mut fl = FreeList::new(4096, 1 << 20);
+        // Carve the whole chunk, then free one large block: a small request
+        // must split it via the bitmap's higher-class path in O(1).
+        let big = fl.alloc(512 << 10);
+        let _rest = fl.alloc((1 << 20) - (512 << 10));
+        fl.free(big);
+        let small = fl.alloc(4096);
+        assert_eq!((small.chunk, small.offset), (big.chunk, big.offset));
+        fl.assert_invariants();
+    }
+
+    #[test]
+    fn fragmented_fit_coalesces_before_growing() {
+        let mut fl = FreeList::new(4096, 64 << 10);
+        // Two adjacent 32 KiB blocks carve the whole 64 KiB chunk; freed
+        // un-coalesced, neither alone fits a 64 KiB request.
+        let a = fl.alloc(32 << 10);
+        let b = fl.alloc(32 << 10);
+        let footprint = fl.footprint_bytes();
+        fl.free(a);
+        fl.free(b);
+        assert_eq!(fl.free_block_count(), 2, "coalescing must be deferred");
+        let whole = fl.alloc(64 << 10);
+        assert_eq!(
+            fl.footprint_bytes(),
+            footprint,
+            "alloc must coalesce the fragments instead of growing"
+        );
+        assert_eq!(whole.size, 64 << 10);
         fl.assert_invariants();
     }
 
@@ -341,5 +545,19 @@ mod tests {
         unsafe { std::ptr::write_bytes(fl.ptr(big).as_ptr(), 0xCD, big.size) };
         fl.free(big);
         fl.assert_invariants();
+    }
+
+    #[test]
+    fn blocks_hand_out_zeroed_even_after_dirty_free() {
+        let mut fl = FreeList::new(4096, 64 << 10);
+        let a = fl.alloc(16 << 10);
+        // SAFETY: `a` is live and spans its reserved bytes.
+        unsafe { std::ptr::write_bytes(fl.ptr(a).as_ptr(), 0x77, a.size) };
+        fl.free(a);
+        let b = fl.alloc(16 << 10);
+        assert_eq!((b.chunk, b.offset), (a.chunk, a.offset), "hole reused");
+        // SAFETY: reading `b`'s live range.
+        let dirty = (0..b.size).any(|i| unsafe { fl.ptr(b).as_ptr().add(i).read() } != 0);
+        assert!(!dirty, "freed block handed out dirty");
     }
 }

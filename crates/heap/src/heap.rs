@@ -1,6 +1,7 @@
 //! The heap façade: allocation, mutation, marking, relocation, reclamation.
 
 use std::sync::atomic::AtomicU32;
+use std::time::Instant;
 
 use polm2_metrics::RememberedSetChurn;
 
@@ -27,6 +28,11 @@ const MIN_PARALLEL_MARK_RECORDS: usize = 16384;
 /// fix-up does less work per op than marking, so the bar is lower).
 const MIN_PARALLEL_EVAC_OPS: usize = 8192;
 
+/// Default break-even: below this many payload bytes in one batch the
+/// evacuation copy phase runs on one thread — memcpying less than ~1 MiB
+/// finishes faster than the workers can be spawned.
+const MIN_PARALLEL_COPY_BYTES: u64 = 1 << 20;
+
 /// When the GC safepoint phases actually fan out across worker threads.
 ///
 /// `gc_workers` is a *configuration* — output is bit-identical at any value —
@@ -42,6 +48,10 @@ pub struct ParallelTuning {
     pub min_mark_records: usize,
     /// Minimum batched ops before the evacuation fix-up fans out.
     pub min_evac_ops: usize,
+    /// Minimum payload bytes in one batch before the evacuation copy phase
+    /// fans out across workers (real backend only; the partition itself is
+    /// always computed, only the thread spawn is gated).
+    pub min_copy_bytes: u64,
     /// Cap the effective worker count at the host's available parallelism.
     pub respect_cpu_budget: bool,
 }
@@ -53,6 +63,7 @@ impl ParallelTuning {
         ParallelTuning {
             min_mark_records: 0,
             min_evac_ops: 0,
+            min_copy_bytes: 0,
             respect_cpu_budget: false,
         }
     }
@@ -63,6 +74,7 @@ impl Default for ParallelTuning {
         ParallelTuning {
             min_mark_records: MIN_PARALLEL_MARK_RECORDS,
             min_evac_ops: MIN_PARALLEL_EVAC_OPS,
+            min_copy_bytes: MIN_PARALLEL_COPY_BYTES,
             respect_cpu_budget: true,
         }
     }
@@ -462,6 +474,13 @@ impl Heap {
     /// Resets the backend's byte counters (bench instrumentation).
     pub fn reset_backend_stats(&mut self) {
         self.backend.reset_stats();
+    }
+
+    /// Tells the backend one GC cycle just completed so it can run deferred
+    /// allocator maintenance (tenured free-list coalescing). Collectors call
+    /// this once at the end of `collect`; it never touches logical state.
+    pub fn note_gc_cycle_finished(&mut self) {
+        self.backend.gc_cycle_finished();
     }
 
     /// The heap geometry.
@@ -1157,6 +1176,28 @@ impl Heap {
             }
         }
         let workers = self.effective_gc_workers();
+        // Copy phase (real backend only): memcpy the planned payloads,
+        // partitioned by destination region and timed on its own so
+        // bandwidth figures measure the copier. Runs before fix-up and
+        // cannot influence logical state — it only moves bytes to addresses
+        // the planning phase already fixed.
+        if !moves.is_empty() {
+            if let Some(copier) = self.backend.copier() {
+                let total_bytes: u64 = moves.iter().map(|m| u64::from(m.size)).sum();
+                let copy_workers = if workers > 1 && total_bytes >= self.tuning.min_copy_bytes {
+                    workers
+                } else {
+                    1
+                };
+                let shards = evac::plan_copy_shards(&moves, copy_workers);
+                let critical = shards.iter().map(|s| s.bytes).max().unwrap_or(0);
+                let start = Instant::now();
+                evac::run_copy_phase(&copier, &moves, &shards);
+                let ns = start.elapsed().as_nanos() as u64;
+                drop(copier);
+                self.backend.note_copy_phase(ns, critical);
+            }
+        }
         if workers > 1 && moves.len() + drops.len() >= self.tuning.min_evac_ops {
             evac::apply_parallel(
                 workers,
@@ -1165,11 +1206,9 @@ impl Heap {
                 &mut self.page_table,
                 &moves,
                 &drops,
-                self.backend.copier().as_ref(),
             );
         } else {
             for m in &moves {
-                self.backend.copy_object(m.old_addr, m.new_addr, m.size);
                 let rec = self.records[m.slot as usize]
                     .as_mut()
                     .expect("planned move has a record");

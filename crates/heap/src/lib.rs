@@ -61,6 +61,7 @@ mod region;
 mod roots;
 mod space;
 mod stats;
+mod tlab;
 
 pub use backend::{
     BackendKind, BackendStats, HeapBackend, RealBackend, RegionCopier, SimBackend,
@@ -80,3 +81,4 @@ pub use region::{Addr, PageFlags, PageTable, Region};
 pub use roots::{RootSlotId, RootTable};
 pub use space::Space;
 pub use stats::HeapStats;
+pub use tlab::TlabWindow;

@@ -14,7 +14,8 @@
 use proptest::prelude::*;
 
 use polm2_heap::{
-    BackendKind, BumpArena, EvacDecision, FreeBlock, FreeList, Heap, HeapConfig, ObjectId, SiteId,
+    BackendKind, BumpArena, EvacDecision, FreeBlock, FreeList, Heap, HeapConfig, ObjectId,
+    ParallelTuning, SiteId, TlabWindow, OBJECT_HEADER_BYTES,
 };
 
 /// The heap page size the allocators serve in production.
@@ -126,6 +127,10 @@ proptest! {
             list.free(blocks[i]);
             list.assert_invariants();
         }
+        // Frees are O(1) and deferred; one maintenance pass (what the
+        // backend runs per GC cycle) must merge back to a single block.
+        list.coalesce();
+        list.assert_coalesced();
         prop_assert_eq!(list.free_block_count(), 1, "chunk did not coalesce");
 
         let whole = list.alloc(BLOCKS * GRANULE);
@@ -176,6 +181,129 @@ proptest! {
             footprint,
             "reset must rewind, not leak chunks"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TLAB window properties
+// ---------------------------------------------------------------------------
+
+/// Splits `region_bytes` into `lanes` equal sub-ranges and returns each
+/// lane's seeded (offset, size) write sequence — bump-style, never crossing
+/// the lane boundary.
+fn lane_writes(lane: usize, lanes: usize, region_bytes: u32, seed: u64) -> Vec<(u32, u32)> {
+    let lane_bytes = region_bytes / lanes as u32;
+    let start = lane as u32 * lane_bytes;
+    let mut state = seed ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut cursor = start;
+    let mut writes = Vec::new();
+    while cursor + 8 <= start + lane_bytes {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let size =
+            (OBJECT_HEADER_BYTES as u32 + (state as u32 % 256)).min(start + lane_bytes - cursor);
+        if size < OBJECT_HEADER_BYTES as u32 {
+            break;
+        }
+        writes.push((cursor, size));
+        cursor += size;
+    }
+    writes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent windows installed over disjoint lanes of one pre-zeroed
+    /// backing never write outside their lane: after all threads finish,
+    /// every lane's bytes decode to exactly its own write sequence —
+    /// headers intact, payloads still the zeros the backing started with
+    /// (the header-only store's contract) — with refill (window exhaustion
+    /// mid-lane) exercised by windows much smaller than a lane. Any
+    /// overlap or stray payload store corrupts a decoded lane.
+    #[test]
+    fn tlab_windows_stay_disjoint_across_threads(seed in any::<u64>()) {
+        const LANES: usize = 4;
+        const REGION_BYTES: u32 = 256 << 10;
+        const WINDOW: u32 = 8 << 10; // forces many refills per lane
+        let mut backing = vec![0u8; REGION_BYTES as usize];
+        let base = backing.as_mut_ptr() as usize;
+        let all_writes: Vec<Vec<(u32, u32)>> = (0..LANES)
+            .map(|l| lane_writes(l, LANES, REGION_BYTES, seed))
+            .collect();
+        std::thread::scope(|s| {
+            for (lane, writes) in all_writes.iter().enumerate() {
+                s.spawn(move || {
+                    let base = base as *mut u8;
+                    let mut w = TlabWindow::empty();
+                    for &(offset, size) in writes {
+                        let hash = offset ^ 0x5A5A_0000;
+                        if !w.write(7, offset, size, hash) {
+                            // Refill: a fresh window from the miss offset,
+                            // clamped to the lane the writes stay inside.
+                            let limit = (offset + WINDOW.max(size))
+                                .min((lane as u32 + 1) * (REGION_BYTES / LANES as u32));
+                            // SAFETY: the backing vec outlives the scope and
+                            // lanes are disjoint, so no other thread's window
+                            // overlaps [offset, limit).
+                            unsafe { w.install(base, 7, offset, limit) };
+                            assert!(w.write(7, offset, size, hash), "refit window must cover");
+                        }
+                    }
+                });
+            }
+        });
+        // Decode every lane: each write's header must carry its own hash
+        // and size, and its payload must still be all-zero — the
+        // header-only store never touches payload bytes.
+        for writes in &all_writes {
+            for &(offset, size) in writes {
+                let hash = offset ^ 0x5A5A_0000;
+                let at = offset as usize;
+                let header =
+                    u64::from_le_bytes(backing[at..at + 8].try_into().expect("8 bytes"));
+                prop_assert_eq!(header as u32, size, "size clobbered at {}", offset);
+                prop_assert_eq!((header >> 32) as u32, hash, "hash clobbered at {}", offset);
+                prop_assert!(
+                    backing[at + 8..at + size as usize].iter().all(|&b| b == 0),
+                    "payload clobbered at {}",
+                    offset
+                );
+            }
+        }
+    }
+
+    /// Retire-then-reuse: once a window is retired, writes through it miss
+    /// (the old backing is never touched again), and a window reinstalled
+    /// over a different backing serves the same offsets independently.
+    #[test]
+    fn tlab_retire_then_reuse_never_touches_old_backing(
+        offsets in proptest::collection::vec(0u32..4000, 1..24)
+    ) {
+        let mut old_backing = vec![0u8; 8 << 10];
+        let mut new_backing = vec![0u8; 8 << 10];
+        let mut w = TlabWindow::empty();
+        // SAFETY: old_backing outlives the window's use of it below.
+        unsafe { w.install(old_backing.as_mut_ptr(), 3, 0, old_backing.len() as u32) };
+        for &off in &offsets {
+            prop_assert!(w.write(3, off.min(4000), 64, 0x11), "covered write must hit");
+        }
+        let old_snapshot = old_backing.clone();
+        w.retire();
+        for &off in &offsets {
+            prop_assert!(!w.write(3, off, 64, 0x22), "retired window must miss");
+        }
+        prop_assert_eq!(&old_backing, &old_snapshot, "retired window wrote old backing");
+        // Reinstall over fresh backing, same region id (the backing of a
+        // recycled region): writes land in the new block only.
+        // SAFETY: new_backing outlives the window's use of it below.
+        unsafe { w.install(new_backing.as_mut_ptr(), 3, 0, new_backing.len() as u32) };
+        for &off in &offsets {
+            prop_assert!(w.write(3, off.min(4000), 64, 0x33));
+        }
+        prop_assert_eq!(&old_backing, &old_snapshot, "reused window wrote old backing");
+        prop_assert!(new_backing.contains(&0x33), "new backing untouched");
     }
 }
 
@@ -251,20 +379,28 @@ fn collect_young(heap: &mut Heap) {
     heap.finish_evacuation();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The same mutation trace drives a simulated and a real-memory heap to
-    /// bit-identical logical state: placement fingerprints match after every
-    /// collection, and the streamed snapshot columns (read from real object
-    /// headers on one side, from the object table on the other) agree.
-    #[test]
-    fn sim_and_real_heaps_stay_bit_identical(
-        ops in proptest::collection::vec(heap_op(), 1..120)
-    ) {
-        let mut sim = Heap::new(HeapConfig::small());
-        let mut real = Heap::new(HeapConfig::small().with_backend(BackendKind::Real));
+/// Drives one mutation trace through a sim and a real heap in lockstep and
+/// asserts bit-identical logical state throughout. With `parallel_4w`, both
+/// heaps run every safepoint phase through the forced parallel paths
+/// ([`ParallelTuning::force`]) at 4 workers — including the partitioned
+/// evacuation copy phase — which must not move a single logical bit.
+fn differential_trace(ops: &[HeapOp], parallel_4w: bool) {
+    let mut sim = Heap::new(HeapConfig::small());
+    // A small TLAB window (one page) forces frequent refills so the
+    // window/refill/retire machinery is exercised, not just the hit path.
+    let mut real = Heap::new(
+        HeapConfig::small()
+            .with_backend(BackendKind::Real)
+            .with_tlab_bytes(4 << 10),
+    );
+    {
         let heaps: &mut [&mut Heap] = &mut [&mut sim, &mut real];
+        if parallel_4w {
+            for h in heaps.iter_mut() {
+                h.set_parallel_tuning(ParallelTuning::force());
+                h.set_gc_workers(4);
+            }
+        }
         let mut known: Vec<ObjectId> = Vec::new();
         let (class_a, class_b, slot_a, slot_b);
         {
@@ -283,7 +419,7 @@ proptest! {
         prop_assert_eq!(class_a, class_b);
         prop_assert_eq!(slot_a, slot_b);
 
-        for op in ops {
+        for op in ops.iter().cloned() {
             match op {
                 HeapOp::Alloc { size, site } => {
                     let a = heaps[0].allocate(class_a, size, SiteId::new(site), Heap::YOUNG_SPACE);
@@ -344,5 +480,30 @@ proptest! {
         heaps[0].live_hash_column(&live_sim, &mut col_sim);
         heaps[1].live_hash_column(&live_real, &mut col_real);
         prop_assert_eq!(col_sim, col_real, "snapshot columns diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The same mutation trace drives a simulated and a real-memory heap to
+    /// bit-identical logical state: placement fingerprints match after every
+    /// collection, and the streamed snapshot columns (read from real object
+    /// headers on one side, from the object table on the other) agree.
+    #[test]
+    fn sim_and_real_heaps_stay_bit_identical(
+        ops in proptest::collection::vec(heap_op(), 1..120)
+    ) {
+        differential_trace(&ops, false);
+    }
+
+    /// The same lockstep equality holds with every parallel safepoint path
+    /// forced on at 4 workers — sharded mark, the partitioned evacuation
+    /// copy phase, and the parallel fix-up must not move one logical bit.
+    #[test]
+    fn sim_and_real_heaps_stay_bit_identical_at_4_workers(
+        ops in proptest::collection::vec(heap_op(), 1..120)
+    ) {
+        differential_trace(&ops, true);
     }
 }

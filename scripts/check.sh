@@ -13,9 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "== perfgate smoke (heap arm: sim/real equality + bandwidth floor)"
+echo "== perfgate smoke (heap arm: sim/real equality + bandwidth floor + copy scaling)"
 cargo run --release -p polm2-bench --bin perfgate -- \
   --quick --min-recorder-speedup 1.5 --min-gc-speedup 1.5 --min-heap-gbps 0.01 \
+  --min-copy-scaling 1.0 \
   --out /tmp/BENCH_check.json --pipeline-out /tmp/BENCH_pipeline_check.json \
   --recorder-out /tmp/BENCH_recorder_check.json --gc-out /tmp/BENCH_gc_check.json \
   --heap-out /tmp/BENCH_heap_check.json

@@ -114,6 +114,8 @@ fn print_usage() {
          \x20                        profile is bit-identical at any worker count)\n\
          \x20     --heap-backend <b> sim | real (default sim; real backs regions with\n\
          \x20                        actual memory — the profile is bit-identical)\n\
+         \x20     --tlab-kb <n>      real-backend allocation window size in KiB\n\
+         \x20                        (default 256; never changes placement)\n\
          \x20     --journal <dir>    stream the session into a crash-safe journal\n\
          \x20     --resume           finish from the journal in <dir>: replay a committed\n\
          \x20                        run, or re-execute a crashed one deterministically\n\
@@ -128,6 +130,7 @@ fn print_usage() {
          \x20     --chaos-seed <n>   chaos plan seed (default 1)\n\
          \x20     --gc-workers <n>   GC worker threads per tenant runtime (default 1)\n\
          \x20     --heap-backend <b> sim | real per tenant heap (default sim)\n\
+         \x20     --tlab-kb <n>      real-backend allocation window size in KiB (default 256)\n\
          \x20     --journal-root <d> per-tenant journal directories (default polm2-fleet)\n\
          \x20     --out <file>       write the merged fleet profile (default fleet.profile)\n\
          \x20     --merge <root>     merge-only: recover and merge existing tenant journals\n\
@@ -143,6 +146,7 @@ fn print_usage() {
          \x20     --seed <n>         workload seed (default 42)\n\
          \x20     --gc-workers <n>   GC mark/evacuate worker threads (default 1)\n\
          \x20     --heap-backend <b> sim | real (default sim)\n\
+         \x20     --tlab-kb <n>      real-backend allocation window size in KiB (default 256)\n\
          \x20 polm2 inspect <file>                     pretty-print a profile"
     );
 }
@@ -180,6 +184,17 @@ fn parse_backend(args: &[String]) -> Result<BackendKind, String> {
     }
 }
 
+/// Parses `--tlab-kb` if present; `None` keeps the heap's default window.
+fn parse_tlab_kb(args: &[String]) -> Result<Option<u64>, String> {
+    match flag(args, "--tlab-kb") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(kb) if kb > 0 => Ok(Some(kb)),
+            _ => Err(format!("--tlab-kb expects a positive KiB count, got {v:?}")),
+        },
+        None => Ok(None),
+    }
+}
+
 fn cmd_workloads() -> Result<(), CliError> {
     let mut table = TextTable::new(vec![
         "name".into(),
@@ -214,6 +229,7 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let chaos_seed = parse_u64(args, "--chaos-seed", 1)?;
     let gc_workers = parse_u64(args, "--gc-workers", 1)?;
     let backend = parse_backend(args)?;
+    let tlab_kb = parse_tlab_kb(args)?;
     let out = flag(args, "--out").unwrap_or_else(|| format!("{name}.profile"));
     let journal_dir = flag(args, "--journal");
     let resume = args.iter().any(|a| a == "--resume");
@@ -231,6 +247,9 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
         .runtime
         .with_gc_workers(gc_workers as usize)
         .with_heap_backend(backend);
+    if let Some(kb) = tlab_kb {
+        config.runtime = config.runtime.with_tlab_kb(kb);
+    }
     if chaos > 0.0 {
         eprintln!(
             "profiling {name} for {minutes} simulated minutes \
@@ -387,6 +406,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
         let chaos_seed = parse_u64(args, "--chaos-seed", 1)?;
         let gc_workers = parse_u64(args, "--gc-workers", 1)?;
         let backend = parse_backend(args)?;
+        let tlab_kb = parse_tlab_kb(args)?;
         let root = flag(args, "--journal-root").unwrap_or_else(|| "polm2-fleet".into());
 
         let workloads = paper_workloads();
@@ -402,6 +422,9 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
                     .runtime
                     .with_gc_workers(gc_workers as usize)
                     .with_heap_backend(backend);
+                if let Some(kb) = tlab_kb {
+                    config.runtime = config.runtime.with_tlab_kb(kb);
+                }
                 TenantSpec {
                     tenant: format!("tenant-{i:02}"),
                     workload: workload.name().to_string(),
@@ -547,6 +570,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 
     let gc_workers = parse_u64(args, "--gc-workers", 1)?;
     let backend = parse_backend(args)?;
+    let tlab_kb = parse_tlab_kb(args)?;
     let mut config = RunConfig {
         duration: SimDuration::from_secs(minutes * 60),
         warmup: SimDuration::from_secs(warmup * 60),
@@ -557,6 +581,9 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         .runtime
         .with_gc_workers(gc_workers as usize)
         .with_heap_backend(backend);
+    if let Some(kb) = tlab_kb {
+        config.runtime = config.runtime.with_tlab_kb(kb);
+    }
     eprintln!(
         "running {name} under {} for {minutes} simulated minutes (warmup {warmup}, seed {seed}) ...",
         setup.label()
