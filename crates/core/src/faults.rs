@@ -35,7 +35,7 @@ use std::io;
 use std::path::Path;
 use std::rc::Rc;
 
-use polm2_heap::{Heap, IdHashSet, IdentityHash};
+use polm2_heap::{CorruptionKind, Heap, IdHashSet, IdentityHash, PlantedCorruption};
 use polm2_metrics::SimTime;
 use polm2_runtime::{AllocEvent, TraceFrame};
 use polm2_snapshot::{HeapDumper, JournalMedia, Snapshot, SnapshotError};
@@ -75,6 +75,15 @@ pub struct FaultConfig {
     /// Per-rename probability that the file vanishes instead of arriving at
     /// its destination (crash between unlink and link).
     pub io_torn_rename_rate: f64,
+    /// Per-operation probability that one bit of a live object's heap memory
+    /// flips (real backend only; detected by the integrity verifier).
+    pub heap_bit_flip_rate: f64,
+    /// Per-operation probability that a byte of a live object's header is
+    /// clobbered (real backend only).
+    pub heap_header_clobber_rate: f64,
+    /// Per-operation probability of a stray write into free or unallocated
+    /// heap memory (real backend only).
+    pub heap_stray_write_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -92,6 +101,9 @@ impl Default for FaultConfig {
             io_short_write_rate: 0.0,
             io_bit_flip_rate: 0.0,
             io_torn_rename_rate: 0.0,
+            heap_bit_flip_rate: 0.0,
+            heap_header_clobber_rate: 0.0,
+            heap_stray_write_rate: 0.0,
         }
     }
 }
@@ -129,6 +141,20 @@ impl FaultConfig {
         }
     }
 
+    /// A config that injects only memory corruption, each class at `rate`
+    /// (the `--chaos-heap` arm: the pipeline and disk stay healthy, the
+    /// heap's bytes do not). Kept out of [`FaultConfig::all_at`] so existing
+    /// chaos suites keep their exact PRNG streams.
+    pub fn heap_only_at(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            heap_bit_flip_rate: rate,
+            heap_header_clobber_rate: rate,
+            heap_stray_write_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+
     /// True if no fault can ever fire (all rates zero).
     pub fn is_inert(&self) -> bool {
         self.snapshot_failure_rate == 0.0
@@ -141,6 +167,14 @@ impl FaultConfig {
             && self.io_short_write_rate == 0.0
             && self.io_bit_flip_rate == 0.0
             && self.io_torn_rename_rate == 0.0
+            && !self.corrupts_heap()
+    }
+
+    /// True if any memory-corruption class can fire.
+    pub fn corrupts_heap(&self) -> bool {
+        self.heap_bit_flip_rate > 0.0
+            || self.heap_header_clobber_rate > 0.0
+            || self.heap_stray_write_rate > 0.0
     }
 }
 
@@ -171,6 +205,20 @@ pub struct InjectedFaults {
     pub io_bit_flips: u64,
     /// Journal renames that lost the file.
     pub io_torn_renames: u64,
+    /// Bits flipped inside live heap objects.
+    pub heap_bit_flips: u64,
+    /// Live-object headers clobbered in heap memory.
+    pub heap_header_clobbers: u64,
+    /// Stray writes planted in free or unallocated heap memory.
+    pub heap_stray_writes: u64,
+}
+
+impl InjectedFaults {
+    /// Total memory corruptions planted (the chaos arm's ground truth: the
+    /// verifier must detect exactly this many).
+    pub fn heap_corruptions(&self) -> u64 {
+        self.heap_bit_flips + self.heap_header_clobbers + self.heap_stray_writes
+    }
 }
 
 /// The seeded fault source. Deterministic: a splitmix64 stream drives every
@@ -277,6 +325,39 @@ impl FaultInjector {
                 }
             }
         }
+    }
+
+    /// Rolls the memory-corruption rates and, on a hit, plants one seeded
+    /// corruption directly into real heap memory (at most one per call).
+    /// Returns the planted ground truth, or `None` when no roll hit or the
+    /// heap had no eligible target (sim backend, empty heap).
+    ///
+    /// The guard keeps the PRNG stream untouched when every heap rate is
+    /// zero, so adding this arm never perturbs existing chaos suites.
+    pub fn maybe_corrupt_heap(&mut self, heap: &mut Heap) -> Option<PlantedCorruption> {
+        if !self.config.corrupts_heap() {
+            return None;
+        }
+        for kind in CorruptionKind::ALL {
+            let rate = match kind {
+                CorruptionKind::BitFlip => self.config.heap_bit_flip_rate,
+                CorruptionKind::HeaderClobber => self.config.heap_header_clobber_rate,
+                CorruptionKind::StrayWrite => self.config.heap_stray_write_rate,
+            };
+            if !self.roll(rate) {
+                continue;
+            }
+            let seed = self.next_u64();
+            if let Some(planted) = heap.plant_corruption(kind, seed) {
+                match kind {
+                    CorruptionKind::BitFlip => self.injected.heap_bit_flips += 1,
+                    CorruptionKind::HeaderClobber => self.injected.heap_header_clobbers += 1,
+                    CorruptionKind::StrayWrite => self.injected.heap_stray_writes += 1,
+                }
+                return Some(planted);
+            }
+        }
+        None
     }
 
     /// Clobbers characters of serialized profile text (disk corruption).

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use polm2_metrics::{FaultCounters, SimDuration};
-use polm2_runtime::{ClassTransformer, Jvm, Program};
+use polm2_runtime::{ClassTransformer, Jvm, Program, RuntimeError};
 use polm2_snapshot::{CriuDumper, HeapDumper, SnapshotSeries};
 
 use crate::analyzer::{AnalysisOutcome, Analyzer, AnalyzerConfig};
@@ -182,7 +182,11 @@ impl ProfilingSession {
     /// [`PipelineError::Snapshot`] only when the recovery policy demands
     /// aborting on snapshot loss; with the default policy faults are
     /// absorbed into [`fault_counters`](ProfilingSession::fault_counters).
+    /// [`PipelineError::Runtime`] wrapping a heap integrity violation when
+    /// the memory-corruption chaos arm planted a fault (detection is
+    /// synchronous: corrupt memory never reaches a snapshot read).
     pub fn after_op(&mut self, jvm: &mut Jvm) -> Result<(), PipelineError> {
+        self.maybe_corrupt_heap(jvm)?;
         self.drain_events(jvm);
         if let Some(journal) = self.journal.as_mut() {
             let records = self.recorder.records();
@@ -195,6 +199,35 @@ impl ProfilingSession {
             self.take_snapshot(jvm)?;
         }
         Ok(())
+    }
+
+    /// The memory-corruption chaos arm: rolls the injector's heap rates and,
+    /// on a plant, runs the integrity verifier *immediately* — synchronous
+    /// detection, before any snapshot or hash-column read can trip over the
+    /// corrupt bytes. A plant the verifier misses is itself reported as a
+    /// violation (`corruption-undetected`), so corrupt memory never survives
+    /// this call unnoticed.
+    fn maybe_corrupt_heap(&mut self, jvm: &mut Jvm) -> Result<(), PipelineError> {
+        let Some(injector) = &self.injector else {
+            return Ok(());
+        };
+        let planted = injector.borrow_mut().maybe_corrupt_heap(jvm.heap_mut());
+        let Some(planted) = planted else {
+            return Ok(());
+        };
+        match jvm.heap_mut().verify_integrity() {
+            Err(e) => Err(PipelineError::Runtime(RuntimeError::Heap(e))),
+            Ok(()) => Err(PipelineError::Runtime(RuntimeError::Heap(
+                polm2_heap::HeapError::IntegrityViolation {
+                    invariant: "corruption-undetected",
+                    detail: format!(
+                        "verifier passed a corrupted heap: {} ({})",
+                        planted.kind.label(),
+                        planted.detail
+                    ),
+                },
+            ))),
+        }
     }
 
     /// Drains the runtime's buffered allocation events into the Recorder.
@@ -302,6 +335,18 @@ impl ProfilingSession {
     /// [`with_faults`](ProfilingSession::with_faults).
     pub fn injected_faults(&self) -> Option<InjectedFaults> {
         self.injector.as_ref().map(|i| i.borrow().injected())
+    }
+
+    /// Folds the JVM-side robustness tallies into the session ledger:
+    /// heap-verifier passes, emergency full collections, and (when the run
+    /// hit its hard heap limit) the out-of-memory abort. Call once, right
+    /// before [`finish`](ProfilingSession::finish) — the counters then land
+    /// in the journal's commit frame, so a replayed session reports the same
+    /// ledger as the uninterrupted run.
+    pub fn absorb_runtime_health(&mut self, jvm: &Jvm, oom_aborts: u64) {
+        self.counters.heap_verify_passes += jvm.heap().verify_passes();
+        self.counters.emergency_collections += jvm.collector().emergency_collections();
+        self.counters.heap_oom_aborts += oom_aborts;
     }
 
     /// Ends the profiling phase: final drain, final snapshot (unless the

@@ -10,7 +10,7 @@
 //! lives in `crates/gc/tests/worker_determinism.rs`.
 
 use polm2_core::{AnalysisOutcome, AnalyzerConfig, FaultConfig, ProfilingSession, SnapshotPolicy};
-use polm2_heap::{BackendKind, ParallelTuning};
+use polm2_heap::{BackendKind, ParallelTuning, VerifyMode};
 use polm2_runtime::{
     ClassDef, HookAction, HookRegistry, Instr, Jvm, MethodDef, Program, RuntimeConfig, SizeSpec,
 };
@@ -58,16 +58,29 @@ fn workload_hooks() -> HookRegistry {
     h
 }
 
+/// Heap-verification mode for every session in this suite, from the
+/// `POLM2_VERIFY_HEAP` environment variable (`scripts/check.sh` re-runs the
+/// whole suite with `gc` set). Verification is read-only, so every
+/// bit-identity assertion below must hold unchanged at any mode.
+fn env_verify_mode() -> VerifyMode {
+    match std::env::var("POLM2_VERIFY_HEAP").as_deref() {
+        Ok("gc") => VerifyMode::Gc,
+        Ok("full") => VerifyMode::Full,
+        _ => VerifyMode::Off,
+    }
+}
+
 /// One full profiling session at the given GC worker count; `fault_seed`
 /// `Some(s)` runs it as a chaos session with every fault class enabled.
 fn run_profiling(gc_workers: usize, fault_seed: Option<u64>) -> AnalysisOutcome {
-    run_profiling_on(gc_workers, fault_seed, BackendKind::Sim)
+    run_profiling_on(gc_workers, fault_seed, BackendKind::Sim, env_verify_mode())
 }
 
 fn run_profiling_on(
     gc_workers: usize,
     fault_seed: Option<u64>,
     backend: BackendKind,
+    verify: VerifyMode,
 ) -> AnalysisOutcome {
     let mut session = match fault_seed {
         Some(seed) => ProfilingSession::with_faults(
@@ -82,7 +95,8 @@ fn run_profiling_on(
     let mut jvm = Jvm::builder(
         RuntimeConfig::small()
             .with_gc_workers(gc_workers)
-            .with_heap_backend(backend),
+            .with_heap_backend(backend)
+            .with_verify_heap(verify),
     )
     .hooks(workload_hooks())
     .transformer(session.recorder_agent())
@@ -132,10 +146,29 @@ fn profiles_are_bit_identical_on_the_real_memory_backend() {
     let baseline = run_profiling(1, None);
     for workers in [1usize, 2, 4] {
         assert_eq!(
-            run_profiling_on(workers, None, BackendKind::Real),
+            run_profiling_on(workers, None, BackendKind::Real, env_verify_mode()),
             baseline,
             "real-backend profile diverged at gc_workers={workers}"
         );
+    }
+}
+
+/// Safepoint verification is observation, not participation: enabling it at
+/// any mode, on either backend, at any worker count, must leave the profile
+/// bit-identical to a run with it off.
+#[test]
+fn profiles_are_bit_identical_with_verification_enabled() {
+    let baseline = run_profiling_on(1, None, BackendKind::Sim, VerifyMode::Off);
+    for backend in [BackendKind::Sim, BackendKind::Real] {
+        for verify in [VerifyMode::Gc, VerifyMode::Full] {
+            for workers in [1usize, 4] {
+                assert_eq!(
+                    run_profiling_on(workers, None, backend, verify),
+                    baseline,
+                    "profile diverged with verify={verify:?} backend={backend:?} workers={workers}"
+                );
+            }
+        }
     }
 }
 

@@ -33,6 +33,8 @@ pub struct C4Collector {
     barrier_permille: u32,
     /// Upper bound on any single safepoint.
     max_phase_pause_us: u64,
+    /// Last-resort full cycles forced by a failed allocation.
+    emergency_collections: u64,
 }
 
 impl C4Collector {
@@ -49,6 +51,7 @@ impl C4Collector {
             old: None,
             barrier_permille: 280,
             max_phase_pause_us: 8_000,
+            emergency_collections: 0,
         }
     }
 
@@ -158,9 +161,13 @@ impl Collector for C4Collector {
                     .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
             );
         }
+        // A hard heap-limit miss (`OutOfMemory`) is retried the same way
+        // pool exhaustion is: collection frees budget too.
         match heap.allocate(req.class, req.size, req.site, Heap::YOUNG_SPACE) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
-            Err(HeapError::SpaceFull { .. }) | Err(HeapError::OutOfRegions { .. }) => {}
+            Err(HeapError::SpaceFull { .. })
+            | Err(HeapError::OutOfRegions { .. })
+            | Err(HeapError::OutOfMemory { .. }) => {}
             Err(e) => return Err(e.into()),
         }
         let full = pool_pressure(heap);
@@ -170,9 +177,13 @@ impl Collector for C4Collector {
         );
         match heap.allocate(req.class, req.size, req.site, Heap::YOUNG_SPACE) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
-            Err(HeapError::SpaceFull { .. }) | Err(HeapError::OutOfRegions { .. }) => {}
+            Err(HeapError::SpaceFull { .. })
+            | Err(HeapError::OutOfRegions { .. })
+            | Err(HeapError::OutOfMemory { .. }) => {}
             Err(e) => return Err(e.into()),
         }
+        // Last resort: one emergency full cycle, then the verdict.
+        self.emergency_collections += 1;
         pauses.extend(
             self.cycle(heap, roots, true)
                 .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
@@ -195,6 +206,10 @@ impl Collector for C4Collector {
 
     fn reported_committed_bytes(&self, heap: &Heap) -> u64 {
         heap.config().total_bytes
+    }
+
+    fn emergency_collections(&self) -> u64 {
+        self.emergency_collections
     }
 }
 

@@ -153,6 +153,14 @@ pub trait Collector: fmt::Debug {
     fn reported_committed_bytes(&self, heap: &Heap) -> u64 {
         heap.committed_bytes()
     }
+
+    /// Emergency full collections taken so far: last-resort cycles forced by
+    /// an allocation that could not be satisfied any other way (the retry
+    /// before a [`GcError::OutOfMemory`] verdict). Ledger- and CLI-visible
+    /// through the metrics fault counters.
+    fn emergency_collections(&self) -> u64 {
+        0
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -221,7 +229,7 @@ pub(crate) fn evacuate_young(
     }
     heap.evacuate_batch(&ops)?;
     work.freed_regions += sources.len() as u64;
-    heap.finish_evacuation();
+    heap.finish_evacuation()?;
     // Promotion turns edges to still-young children into old->young edges
     // the write barrier never saw; remember them now (the promotion buffer
     // of a real generational collector).
@@ -350,7 +358,7 @@ pub(crate) fn reclaim_spaces(
             .collect();
         heap.evacuate_batch(&ops)?;
         heap.purge_region_objects(region);
-        heap.release_region(region);
+        heap.release_region(region)?;
         work.freed_regions += 1;
     }
 
@@ -383,7 +391,7 @@ pub(crate) fn reclaim_spaces(
             }
         }
         heap.evacuate_batch(&ops)?;
-        heap.finish_evacuation();
+        heap.finish_evacuation()?;
         work.freed_regions += 1;
     }
     Ok(work)
@@ -398,7 +406,8 @@ pub(crate) fn reclaim_spaces(
 pub(crate) fn oom_if_exhausted(e: GcError, requested: u64) -> GcError {
     match e {
         GcError::Heap(HeapError::OutOfRegions { .. })
-        | GcError::Heap(HeapError::SpaceFull { .. }) => GcError::OutOfMemory { requested },
+        | GcError::Heap(HeapError::SpaceFull { .. })
+        | GcError::Heap(HeapError::OutOfMemory { .. }) => GcError::OutOfMemory { requested },
         other => other,
     }
 }

@@ -25,6 +25,8 @@ pub struct G1Collector {
     old: Option<SpaceId>,
     /// The current (conceptually concurrent) marking cycle.
     mark: Option<MarkCycle>,
+    /// Last-resort full collections forced by a failed allocation.
+    emergency_collections: u64,
 }
 
 impl G1Collector {
@@ -39,6 +41,7 @@ impl G1Collector {
             config,
             old: None,
             mark: None,
+            emergency_collections: 0,
         }
     }
 
@@ -181,10 +184,13 @@ impl Collector for G1Collector {
                 );
             }
         }
-        // Fast path.
+        // Fast path. A hard heap-limit miss (`OutOfMemory`) is retried the
+        // same way pool exhaustion is: collection frees budget too.
         match heap.allocate(req.class, req.size, req.site, Heap::YOUNG_SPACE) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
-            Err(HeapError::SpaceFull { .. }) | Err(HeapError::OutOfRegions { .. }) => {}
+            Err(HeapError::SpaceFull { .. })
+            | Err(HeapError::OutOfRegions { .. })
+            | Err(HeapError::OutOfMemory { .. }) => {}
             Err(e) => return Err(e.into()),
         }
         // Young full: make sure old space pressure will not sink the
@@ -207,10 +213,13 @@ impl Collector for G1Collector {
         }
         match heap.allocate(req.class, req.size, req.site, Heap::YOUNG_SPACE) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
-            Err(HeapError::SpaceFull { .. }) | Err(HeapError::OutOfRegions { .. }) => {}
+            Err(HeapError::SpaceFull { .. })
+            | Err(HeapError::OutOfRegions { .. })
+            | Err(HeapError::OutOfMemory { .. }) => {}
             Err(e) => return Err(e.into()),
         }
-        // Last resort.
+        // Last resort: one emergency full collection, then the verdict.
+        self.emergency_collections += 1;
         pauses.push(
             self.full(heap, roots)
                 .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
@@ -232,6 +241,10 @@ impl Collector for G1Collector {
                 work: GcWork::default(),
             }],
         }
+    }
+
+    fn emergency_collections(&self) -> u64 {
+        self.emergency_collections
     }
 }
 

@@ -37,6 +37,8 @@ pub struct Ng2cCollector {
     targets: HashMap<ThreadId, GenId>,
     /// The current (conceptually concurrent) marking cycle.
     mark: Option<MarkCycle>,
+    /// Last-resort full collections forced by a failed allocation.
+    emergency_collections: u64,
 }
 
 impl Ng2cCollector {
@@ -52,6 +54,7 @@ impl Ng2cCollector {
             gen_spaces: Vec::new(),
             targets: HashMap::new(),
             mark: None,
+            emergency_collections: 0,
         }
     }
 
@@ -221,9 +224,13 @@ impl Collector for Ng2cCollector {
             }
         }
         let space = self.alloc_space(&req)?;
+        // A hard heap-limit miss (`OutOfMemory`) is retried the same way
+        // pool exhaustion is: collection frees budget too.
         match heap.allocate(req.class, req.size, req.site, space) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
-            Err(HeapError::SpaceFull { .. }) | Err(HeapError::OutOfRegions { .. }) => {}
+            Err(HeapError::SpaceFull { .. })
+            | Err(HeapError::OutOfRegions { .. })
+            | Err(HeapError::OutOfMemory { .. }) => {}
             Err(e) => return Err(e.into()),
         }
         if pool_pressure(heap) {
@@ -244,9 +251,13 @@ impl Collector for Ng2cCollector {
         }
         match heap.allocate(req.class, req.size, req.site, space) {
             Ok(object) => return Ok(AllocOutcome { object, pauses }),
-            Err(HeapError::SpaceFull { .. }) | Err(HeapError::OutOfRegions { .. }) => {}
+            Err(HeapError::SpaceFull { .. })
+            | Err(HeapError::OutOfRegions { .. })
+            | Err(HeapError::OutOfMemory { .. }) => {}
             Err(e) => return Err(e.into()),
         }
+        // Last resort: one emergency full collection, then the verdict.
+        self.emergency_collections += 1;
         pauses.push(
             self.full(heap, roots)
                 .map_err(|e| oom_if_exhausted(e, u64::from(req.size)))?,
@@ -286,6 +297,10 @@ impl Collector for Ng2cCollector {
 
     fn target_gen(&self, thread: ThreadId) -> GenId {
         self.targets.get(&thread).copied().unwrap_or(GenId::YOUNG)
+    }
+
+    fn emergency_collections(&self) -> u64 {
+        self.emergency_collections
     }
 }
 

@@ -15,7 +15,20 @@ use polm2_gc::{
     AllocRequest, C4Collector, Collector, G1Collector, GcConfig, GcWork, Ng2cCollector,
     SafepointRoots, ThreadId,
 };
-use polm2_heap::{BackendKind, Heap, HeapConfig, ParallelTuning, SiteId};
+use polm2_heap::{BackendKind, Heap, HeapConfig, ParallelTuning, SiteId, VerifyMode};
+
+/// Heap-verification mode for every drive in this suite, from the
+/// `POLM2_VERIFY_HEAP` environment variable (`scripts/check.sh` re-runs the
+/// suite with `gc` set): at `gc` or `full` every collection is followed by a
+/// full integrity pass. Verification is read-only, so the fingerprints and
+/// `GcWork` accounting must stay bit-identical to an unverified drive.
+fn env_verify_mode() -> VerifyMode {
+    match std::env::var("POLM2_VERIFY_HEAP").as_deref() {
+        Ok("gc") => VerifyMode::Gc,
+        Ok("full") => VerifyMode::Full,
+        _ => VerifyMode::Off,
+    }
+}
 
 fn xorshift(state: &mut u64) -> u64 {
     let mut x = *state;
@@ -58,6 +71,7 @@ fn drive<C: Collector>(
     workers: usize,
     backend: BackendKind,
 ) -> (u64, Vec<GcWork>) {
+    let verify = env_verify_mode();
     let mut heap = Heap::new(HeapConfig::small().with_backend(backend));
     // The small test heap never crosses the production break-even
     // thresholds; force them to zero so multi-worker runs actually take the
@@ -111,9 +125,15 @@ fn drive<C: Collector>(
             for p in gc.collect(&mut heap, &SafepointRoots::none()) {
                 works.push(p.work);
             }
+            if verify != VerifyMode::Off {
+                heap.verify_integrity().expect("post-collection verify");
+            }
         }
     }
     heap.check_invariants();
+    if verify != VerifyMode::Off {
+        heap.verify_integrity().expect("final verify");
+    }
     (heap_fingerprint(&heap), works)
 }
 

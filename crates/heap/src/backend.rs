@@ -155,6 +155,55 @@ pub trait HeapBackend: fmt::Debug + Send {
     /// `None` if copying is a no-op for this backend.
     fn copier(&self) -> Option<RegionCopier<'_>>;
 
+    /// Reads `buf.len()` raw bytes starting at `addr` into `buf`, returning
+    /// `false` when this backend keeps no memory or the region is unbacked.
+    /// The integrity verifier reads headers through this rather than
+    /// [`read_header_hash`](HeapBackend::read_header_hash), which
+    /// debug-asserts on the very drift the verifier exists to report.
+    fn read_bytes(&self, addr: Addr, buf: &mut [u8]) -> bool {
+        let _ = (addr, buf);
+        false
+    }
+
+    /// Whether every byte of `[addr.offset, addr.offset + len)` in the
+    /// region's backing is zero, or `None` when this backend keeps no
+    /// memory or the region is unbacked.
+    fn range_is_zero(&self, addr: Addr, len: usize) -> Option<bool> {
+        let _ = (addr, len);
+        None
+    }
+
+    /// XORs `mask` into the byte at `addr` — the memory-corruption chaos
+    /// arm's planting primitive, never called outside fault injection.
+    /// Returns `false` (nothing planted) when this backend keeps no memory,
+    /// the region is unbacked, or `mask` is zero.
+    fn corrupt_byte(&mut self, addr: Addr, mask: u8) -> bool {
+        let _ = (addr, mask);
+        false
+    }
+
+    /// XORs `mask` into a deterministically chosen byte of the allocators'
+    /// *free* memory (a free tenured block or a recycled young block) — the
+    /// chaos arm's "stray write into freed memory" class. Returns `false`
+    /// when this backend keeps no memory, no free blocks exist, or `mask`
+    /// is zero.
+    fn corrupt_free_byte(&mut self, selector: u64, mask: u8) -> bool {
+        let _ = (selector, mask);
+        false
+    }
+
+    /// Verifies allocator-internal invariants: free-list structure, the
+    /// zeroed-handout contract on free memory, and TLAB window validity.
+    /// Returns `(invariant, detail)` for the first violation; trivially
+    /// clean for memory-less backends.
+    ///
+    /// # Errors
+    ///
+    /// The failing invariant's stable name plus a description.
+    fn verify_allocator(&self) -> Result<(), (&'static str, String)> {
+        Ok(())
+    }
+
     /// The heap finished one evacuation-copy phase that took `ns`
     /// wall-clock nanoseconds with a critical-path (largest worker shard)
     /// of `critical_bytes`. Accumulated into [`BackendStats`]; a no-op for
@@ -448,6 +497,103 @@ impl HeapBackend for RealBackend {
             region_bytes: self.region_bytes,
             bytes_copied: &self.bytes_copied,
         })
+    }
+
+    fn read_bytes(&self, addr: Addr, buf: &mut [u8]) -> bool {
+        let base = self.base(addr.region);
+        if base.is_null() {
+            return false;
+        }
+        debug_assert!(addr.offset as usize + buf.len() <= self.region_bytes);
+        // SAFETY: the range lies inside this region's backing block, which
+        // the backend exclusively owns.
+        unsafe {
+            ptr::copy_nonoverlapping(base.add(addr.offset as usize), buf.as_mut_ptr(), buf.len());
+        }
+        true
+    }
+
+    fn range_is_zero(&self, addr: Addr, len: usize) -> Option<bool> {
+        let base = self.base(addr.region);
+        if base.is_null() {
+            return None;
+        }
+        debug_assert!(addr.offset as usize + len <= self.region_bytes);
+        // SAFETY: in-bounds of the exclusively-owned backing block.
+        let bytes = unsafe { std::slice::from_raw_parts(base.add(addr.offset as usize), len) };
+        Some(bytes.iter().all(|&b| b == 0))
+    }
+
+    fn corrupt_byte(&mut self, addr: Addr, mask: u8) -> bool {
+        let base = self.base(addr.region);
+        if base.is_null() || mask == 0 {
+            return false;
+        }
+        debug_assert!((addr.offset as usize) < self.region_bytes);
+        // SAFETY: a single in-bounds byte of the exclusively-owned backing.
+        unsafe {
+            let p = base.add(addr.offset as usize);
+            p.write(p.read() ^ mask);
+        }
+        true
+    }
+
+    // Not `if_same_then_else`: the branches try the two allocators in
+    // opposite orders, and `||` short-circuits after the first plant.
+    #[allow(clippy::if_same_then_else)]
+    fn corrupt_free_byte(&mut self, selector: u64, mask: u8) -> bool {
+        // Alternate which allocator is hit first so both free-memory pools
+        // get exercised across seeds.
+        if selector & 1 == 0 {
+            self.bump.corrupt_recycled(selector, mask) || self.tenured.corrupt_free(selector, mask)
+        } else {
+            self.tenured.corrupt_free(selector, mask) || self.bump.corrupt_recycled(selector, mask)
+        }
+    }
+
+    fn verify_allocator(&self) -> Result<(), (&'static str, String)> {
+        self.tenured
+            .validate()
+            .map_err(|d| ("free-list-structure", d))?;
+        self.tenured
+            .check_zeroed()
+            .map_err(|d| ("free-memory-zero", format!("tenured: {d}")))?;
+        self.bump
+            .check_recycled_zeroed()
+            .map_err(|d| ("free-memory-zero", format!("young: {d}")))?;
+        for (way, tlab) in self.tlabs.iter().enumerate() {
+            let Some(region) = tlab.region() else {
+                continue;
+            };
+            let base = self
+                .bases
+                .get(region as usize)
+                .copied()
+                .unwrap_or(ptr::null_mut());
+            if base.is_null() {
+                return Err((
+                    "tlab-window",
+                    format!("window {way} installed over unbacked region {region}"),
+                ));
+            }
+            if tlab.base_ptr() != base {
+                return Err((
+                    "tlab-window",
+                    format!("window {way} base pointer drifted for region {region}"),
+                ));
+            }
+            if tlab.start() > tlab.limit() || tlab.limit() as usize > self.region_bytes {
+                return Err((
+                    "tlab-window",
+                    format!(
+                        "window {way} bounds [{}, {}) exceed region {region}",
+                        tlab.start(),
+                        tlab.limit()
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn note_copy_phase(&mut self, ns: u64, critical_bytes: u64) {

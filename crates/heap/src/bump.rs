@@ -215,6 +215,44 @@ impl BumpArena {
     pub fn recycled_len(&self) -> usize {
         self.recycled.len()
     }
+
+    /// XORs `mask` into a deterministically chosen byte of one recycled
+    /// block — the chaos arm's "stray write into freed memory" class.
+    /// Returns `false` when no recycled blocks exist or `mask` is zero.
+    pub(crate) fn corrupt_recycled(&mut self, selector: u64, mask: u8) -> bool {
+        if self.recycled.is_empty() || mask == 0 {
+            return false;
+        }
+        let block = self.recycled[(selector % self.recycled.len() as u64) as usize];
+        let offset = ((selector >> 8) % block.size as u64) as usize;
+        // SAFETY: `offset < size` of a live recycled block the arena owns.
+        unsafe {
+            let p = self.ptr(block).as_ptr().add(offset);
+            p.write(p.read() ^ mask);
+        }
+        true
+    }
+
+    /// Checks the zeroed-handout contract on every recycled block: the
+    /// memory was re-zeroed at [`recycle`](BumpArena::recycle) time and
+    /// nothing may legitimately write it while it waits for reuse, so any
+    /// non-zero byte is proof of a stale or wild write. Returns a
+    /// description of the first dirty byte.
+    pub fn check_recycled_zeroed(&self) -> Result<(), String> {
+        for block in &self.recycled {
+            // SAFETY: recycled blocks stay in-bounds of their chunks and
+            // the arena exclusively owns the memory.
+            let bytes =
+                unsafe { std::slice::from_raw_parts(self.ptr(*block).as_ptr(), block.size) };
+            if let Some(pos) = bytes.iter().position(|&b| b != 0) {
+                return Err(format!(
+                    "recycled block at chunk {} offset {:#x} holds non-zero byte {:#04x} at +{:#x}",
+                    block.chunk, block.offset, bytes[pos], pos
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Drop for BumpArena {

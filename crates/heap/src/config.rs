@@ -1,6 +1,49 @@
 //! Heap geometry configuration.
 
+use std::fmt;
+
 use crate::backend::BackendKind;
+
+/// When the heap's integrity verifier runs (the `--verify-heap` knob).
+///
+/// Verification is strictly read-only: trajectories are bit-identical at
+/// every mode, on either backend, at any worker count. The modes only trade
+/// detection latency against mutator overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Never verify (the historical behavior, zero overhead).
+    #[default]
+    Off,
+    /// Verify at every safepoint that performed a collection — the cheap
+    /// production setting: corruption is caught before its effects spread
+    /// through a copy phase.
+    Gc,
+    /// Verify at every allocation safepoint — the chaos-test setting: a
+    /// planted fault is detected at the very next safepoint.
+    Full,
+}
+
+impl VerifyMode {
+    /// Parses a CLI value (`off`, `gc`, or `full`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(VerifyMode::Off),
+            "gc" => Some(VerifyMode::Gc),
+            "full" => Some(VerifyMode::Full),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VerifyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VerifyMode::Off => "off",
+            VerifyMode::Gc => "gc",
+            VerifyMode::Full => "full",
+        })
+    }
+}
 
 /// Geometry of the simulated heap.
 ///
@@ -40,6 +83,17 @@ pub struct HeapConfig {
     /// the sim backend. Never affects logical placement, only how often the
     /// real backend's write window refills.
     pub tlab_bytes: u64,
+    /// When the integrity verifier runs (the `--verify-heap` knob).
+    /// Read-only at every setting; see [`VerifyMode`].
+    pub verify: VerifyMode,
+    /// Optional hard commit budget in bytes (the `--heap-mb` knob): growing
+    /// a space beyond this many committed bytes fails with
+    /// [`HeapError::OutOfMemory`] instead of drawing from the region pool.
+    /// `None` (the default) keeps the historical behavior where
+    /// `total_bytes` alone bounds the heap.
+    ///
+    /// [`HeapError::OutOfMemory`]: crate::HeapError::OutOfMemory
+    pub limit_bytes: Option<u64>,
 }
 
 impl HeapConfig {
@@ -54,6 +108,8 @@ impl HeapConfig {
             page_bytes: 4 << 10,
             backend: BackendKind::Sim,
             tlab_bytes: Self::DEFAULT_TLAB_BYTES,
+            verify: VerifyMode::Off,
+            limit_bytes: None,
         }
     }
 
@@ -67,6 +123,8 @@ impl HeapConfig {
             page_bytes: 4 << 10,
             backend: BackendKind::Sim,
             tlab_bytes: Self::DEFAULT_TLAB_BYTES,
+            verify: VerifyMode::Off,
+            limit_bytes: None,
         }
     }
 
@@ -84,6 +142,18 @@ impl HeapConfig {
     /// This geometry with the given TLAB window size in bytes (chainable).
     pub fn with_tlab_bytes(mut self, tlab_bytes: u64) -> Self {
         self.tlab_bytes = tlab_bytes;
+        self
+    }
+
+    /// This geometry with the given verifier mode (chainable).
+    pub fn with_verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// This geometry with the given hard commit budget in bytes (chainable).
+    pub fn with_limit_bytes(mut self, limit_bytes: u64) -> Self {
+        self.limit_bytes = Some(limit_bytes);
         self
     }
 
@@ -131,6 +201,11 @@ impl HeapConfig {
         }
         if self.tlab_bytes == 0 {
             return Err("TLAB window size must be non-zero".into());
+        }
+        if let Some(limit) = self.limit_bytes {
+            if limit < self.region_bytes {
+                return Err("heap limit must cover at least one region".into());
+            }
         }
         Ok(())
     }
@@ -181,5 +256,28 @@ mod tests {
 
         let cfg = HeapConfig::small().with_tlab_bytes(0);
         assert!(cfg.validate().is_err());
+
+        // A budget smaller than one region could never grow any space.
+        let cfg = HeapConfig::small().with_limit_bytes(1);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn verify_mode_parses_and_displays() {
+        assert_eq!(VerifyMode::parse("off"), Some(VerifyMode::Off));
+        assert_eq!(VerifyMode::parse("gc"), Some(VerifyMode::Gc));
+        assert_eq!(VerifyMode::parse("full"), Some(VerifyMode::Full));
+        assert_eq!(VerifyMode::parse("sometimes"), None);
+        assert_eq!(VerifyMode::Gc.to_string(), "gc");
+    }
+
+    #[test]
+    fn verify_and_limit_chainables() {
+        let cfg = HeapConfig::small()
+            .with_verify(VerifyMode::Full)
+            .with_limit_bytes(2 << 20);
+        assert_eq!(cfg.verify, VerifyMode::Full);
+        assert_eq!(cfg.limit_bytes, Some(2 << 20));
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -39,6 +39,25 @@ pub enum HeapError {
         /// Maximum allocatable size (one region).
         max: u64,
     },
+    /// The integrity verifier found heap state that breaks an invariant —
+    /// evidence of a stale write, memory corruption, or an accounting bug.
+    /// Reported, never panicked, so a supervisor can quarantine the heap.
+    IntegrityViolation {
+        /// Short stable name of the invariant that failed (e.g.
+        /// `"header-matches-record"`), the handle tests and ledgers key on.
+        invariant: &'static str,
+        /// Human-readable description of the specific violation.
+        detail: String,
+    },
+    /// The configured hard heap budget (`--heap-mb`) is exhausted: growing
+    /// a space would commit more regions than the budget allows, even after
+    /// an emergency full collection.
+    OutOfMemory {
+        /// Bytes the failing allocation requested.
+        requested: u64,
+        /// The configured budget, in bytes.
+        limit_bytes: u64,
+    },
 }
 
 impl fmt::Display for HeapError {
@@ -54,6 +73,19 @@ impl fmt::Display for HeapError {
                 write!(
                     f,
                     "object of {size} bytes exceeds the maximum of {max} bytes"
+                )
+            }
+            HeapError::IntegrityViolation { invariant, detail } => {
+                write!(f, "heap integrity violation [{invariant}]: {detail}")
+            }
+            HeapError::OutOfMemory {
+                requested,
+                limit_bytes,
+            } => {
+                write!(
+                    f,
+                    "heap limit of {limit_bytes} bytes exhausted \
+                     (allocation of {requested} bytes failed)"
                 )
             }
         }
@@ -78,6 +110,17 @@ mod tests {
         assert!(e.to_string().contains("obj#5"));
         let e = HeapError::ObjectTooLarge { size: 10, max: 5 };
         assert!(e.to_string().contains("10 bytes"));
+        let e = HeapError::IntegrityViolation {
+            invariant: "header-matches-record",
+            detail: "obj#3 header drifted".into(),
+        };
+        assert!(e.to_string().contains("header-matches-record"));
+        assert!(e.to_string().contains("obj#3"));
+        let e = HeapError::OutOfMemory {
+            requested: 64,
+            limit_bytes: 1024,
+        };
+        assert!(e.to_string().contains("1024 bytes exhausted"));
     }
 
     #[test]

@@ -356,53 +356,115 @@ impl FreeList {
 
     /// Checks the structural invariants that hold at *every* step —
     /// in-bounds, granule-aligned, non-overlapping free blocks, class and
-    /// bitmap consistency, byte accounting. Panics with a description on
-    /// violation. Used by unit and property tests.
-    pub fn assert_invariants(&self) {
+    /// bitmap consistency, byte accounting — returning a description of the
+    /// first violation instead of panicking. The integrity verifier's entry
+    /// point; [`assert_invariants`](FreeList::assert_invariants) is the
+    /// panicking wrapper tests use.
+    pub fn validate(&self) -> Result<(), String> {
         let mut all: Vec<Slot> = Vec::new();
         let mut free_bytes = 0usize;
         for (class, list) in self.classes.iter().enumerate() {
-            assert_eq!(
-                !list.is_empty(),
-                self.nonempty & (1 << class) != 0,
-                "nonempty bitmap out of sync for class {class}"
-            );
+            if list.is_empty() != (self.nonempty & (1 << class) == 0) {
+                return Err(format!("nonempty bitmap out of sync for class {class}"));
+            }
             for slot in list {
-                assert!(
-                    slot.size > 0 && slot.size.is_multiple_of(self.granule),
-                    "bad free size"
-                );
-                assert!(
-                    slot.offset.is_multiple_of(self.granule),
-                    "misaligned free offset"
-                );
-                assert!(
-                    slot.offset + slot.size <= self.chunks[slot.chunk as usize].layout.size(),
-                    "free block out of bounds"
-                );
-                assert_eq!(
-                    self.class_of(slot.size),
-                    class,
-                    "free block filed under the wrong class"
-                );
+                if slot.size == 0 || !slot.size.is_multiple_of(self.granule) {
+                    return Err(format!("bad free size {}", slot.size));
+                }
+                if !slot.offset.is_multiple_of(self.granule) {
+                    return Err(format!("misaligned free offset {:#x}", slot.offset));
+                }
+                if slot.offset + slot.size > self.chunks[slot.chunk as usize].layout.size() {
+                    return Err(format!(
+                        "free block out of bounds: chunk {} offset {:#x} size {}",
+                        slot.chunk, slot.offset, slot.size
+                    ));
+                }
+                if self.class_of(slot.size) != class {
+                    return Err(format!(
+                        "free block of {} bytes filed under class {class}",
+                        slot.size
+                    ));
+                }
                 free_bytes += slot.size;
                 all.push(*slot);
             }
         }
         all.sort_unstable_by_key(|s| (s.chunk, s.offset));
         for pair in all.windows(2) {
-            if pair[0].chunk == pair[1].chunk {
-                assert!(
-                    pair[0].offset + pair[0].size <= pair[1].offset,
-                    "free blocks overlap"
-                );
+            if pair[0].chunk == pair[1].chunk && pair[0].offset + pair[0].size > pair[1].offset {
+                return Err(format!(
+                    "free blocks overlap in chunk {} at offset {:#x}",
+                    pair[0].chunk, pair[1].offset
+                ));
             }
         }
-        assert_eq!(
-            free_bytes + self.allocated_bytes,
-            self.footprint_bytes(),
-            "free + allocated bytes must equal the footprint"
-        );
+        if free_bytes + self.allocated_bytes != self.footprint_bytes() {
+            return Err(format!(
+                "free ({free_bytes}) + allocated ({}) bytes do not equal the footprint ({})",
+                self.allocated_bytes,
+                self.footprint_bytes()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks the zeroed-handout contract on every *free* block: freed
+    /// memory is re-zeroed at [`free`](FreeList::free) time and nothing may
+    /// legitimately write it afterwards, so any non-zero byte is proof of a
+    /// stale or wild write. Returns a description of the first dirty byte.
+    pub fn check_zeroed(&self) -> Result<(), String> {
+        for slot in self.classes.iter().flatten() {
+            let chunk = &self.chunks[slot.chunk as usize];
+            // SAFETY: the slot lies in-bounds of its chunk (validated at
+            // every push) and the list exclusively owns the memory.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(chunk.ptr.as_ptr().add(slot.offset), slot.size)
+            };
+            if let Some(pos) = bytes.iter().position(|&b| b != 0) {
+                return Err(format!(
+                    "free block at chunk {} offset {:#x} holds non-zero byte {:#04x} at +{:#x}",
+                    slot.chunk, slot.offset, bytes[pos], pos
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// XORs `mask` into a deterministically chosen byte of one free block —
+    /// the chaos arm's "stray write into freed memory" class. Returns
+    /// `false` when no free blocks exist or `mask` is zero.
+    pub(crate) fn corrupt_free(&mut self, selector: u64, mask: u8) -> bool {
+        let total = self.free_block_count();
+        if total == 0 || mask == 0 {
+            return false;
+        }
+        let mut k = (selector % total as u64) as usize;
+        for list in &self.classes {
+            if k >= list.len() {
+                k -= list.len();
+                continue;
+            }
+            let slot = list[k];
+            let offset = ((selector >> 8) % slot.size as u64) as usize;
+            let chunk = &self.chunks[slot.chunk as usize];
+            // SAFETY: `slot.offset + offset < slot.offset + slot.size`,
+            // in-bounds of the chunk the list owns.
+            unsafe {
+                let p = chunk.ptr.as_ptr().add(slot.offset + offset);
+                p.write(p.read() ^ mask);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Panicking wrapper around [`validate`](FreeList::validate), used by
+    /// unit and property tests.
+    pub fn assert_invariants(&self) {
+        if let Err(msg) = self.validate() {
+            panic!("{msg}");
+        }
     }
 
     /// [`assert_invariants`](FreeList::assert_invariants) plus the

@@ -1,4 +1,23 @@
 //! The heap façade: allocation, mutation, marking, relocation, reclamation.
+//!
+//! # Panic policy (audited for PR 10)
+//!
+//! Every panic reachable through the public API by *misuse* — releasing a
+//! region that still holds live objects, nesting evacuations, naming an
+//! evacuation victim from the wrong space — has been converted to a typed
+//! [`HeapError`] (`region-empty-on-release`, `no-nested-evacuation`,
+//! `victim-in-space`). The `expect`s that remain fall into exactly two
+//! classes, both programming errors rather than runtime states:
+//!
+//! * **internal bookkeeping invariants** the heap itself maintains (a live
+//!   slab slot always has a record, page occupancy counts never underflow,
+//!   a fresh region fits a size validated against `region_bytes`) — the
+//!   integrity verifier ([`Heap::verify_integrity`]) checks the same facts
+//!   non-fatally, so a corrupted process reports a typed
+//!   `IntegrityViolation` at the next safepoint instead of relying on these;
+//! * **constructor contracts**: [`Heap::new`] panics on a config that fails
+//!   [`HeapConfig::validate`], which is documented and unreachable from the
+//!   CLI (flag parsing enforces `--heap-mb ≥ 1` MiB ≥ `region_bytes`).
 
 use std::sync::atomic::AtomicU32;
 use std::time::Instant;
@@ -14,6 +33,12 @@ use crate::{
     Addr, ClassId, ClassRegistry, GenId, HeapConfig, HeapError, HeapStats, ObjectId, ObjectRecord,
     PageTable, Region, RegionId, RootTable, SiteId, Space, SpaceId,
 };
+
+/// Integrity verification and corruption planting (child module so it can
+/// re-derive invariants straight from the private bookkeeping fields).
+#[path = "verify.rs"]
+mod verify;
+pub use verify::{CorruptionKind, PlantedCorruption};
 
 /// Default break-even: below this many live records a sharded mark is not
 /// worth the thread scaffolding, and `mark_live*` falls back to the serial
@@ -344,6 +369,10 @@ pub struct Heap {
     /// Bounded pool of retired `(bits, order)` buffers from consumed
     /// [`LiveSet`]s, reused by later marks (see [`Heap::retire_live_set`]).
     retired_live_buffers: Vec<(Vec<u64>, Vec<ObjectId>)>,
+    /// Completed integrity-verifier passes (see `verify.rs`). Deliberately
+    /// outside [`HeapStats`]: verification must never change any state a
+    /// trajectory fingerprint could see.
+    verify_passes: u64,
     stats: HeapStats,
 }
 
@@ -418,6 +447,7 @@ impl Heap {
             mark_stamps: Vec::new(),
             region_live_scratch: Vec::new(),
             retired_live_buffers: Vec::new(),
+            verify_passes: 0,
             stats: HeapStats::default(),
         }
     }
@@ -661,6 +691,22 @@ impl Heap {
         // Acquire a fresh region.
         if self.spaces[space.index()].at_budget() {
             return Err(HeapError::SpaceFull { space });
+        }
+        // Hard commit budget (`--heap-mb`): committing one more region past
+        // the limit fails typed instead of drawing from the pool. Committed
+        // bytes are purely logical, so the check is bit-identical on either
+        // backend. Exempt while an evacuation is in flight — denying the
+        // collector a to-space region mid-copy could wedge the emergency
+        // collection that is supposed to relieve the pressure.
+        if let Some(limit) = self.config.limit_bytes {
+            if self.evacuating.is_empty()
+                && self.committed_bytes() + self.config.region_bytes > limit
+            {
+                return Err(HeapError::OutOfMemory {
+                    requested: u64::from(size),
+                    limit_bytes: limit,
+                });
+            }
         }
         let region = self
             .free_regions
@@ -1282,23 +1328,28 @@ impl Heap {
     /// Releases `region` back to the free pool and marks all of its pages
     /// no-need.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the region still contains live object records; collectors
-    /// must evacuate or drop them first. Stale list entries are fine.
-    pub fn release_region(&mut self, region: RegionId) {
+    /// Returns [`HeapError::IntegrityViolation`] (invariant
+    /// `region-empty-on-release`) if the region still contains live object
+    /// records; collectors must evacuate or drop them first. Stale list
+    /// entries are fine. The region is left untouched on error.
+    pub fn release_region(&mut self, region: RegionId) -> Result<(), HeapError> {
         // The incremental page-occupancy counters make the emptiness check
         // O(pages-per-region); the resident list is only materialized for
-        // the panic message.
+        // the error detail.
         let first = self.regions[region.index()].first_page().raw();
         let occupied = (first..first + self.config.pages_per_region())
             .any(|p| self.page_object_counts[p as usize] > 0);
         if occupied {
             let live = self.live_objects_in_region(region);
-            panic!(
-                "released region {region} still holds {} live objects",
-                live.len()
-            );
+            return Err(HeapError::IntegrityViolation {
+                invariant: "region-empty-on-release",
+                detail: format!(
+                    "released region {region} still holds {} live objects",
+                    live.len()
+                ),
+            });
         }
         let r = &mut self.regions[region.index()];
         if let Some(space) = r.space() {
@@ -1311,6 +1362,7 @@ impl Heap {
         }
         self.free_regions.push(region);
         self.mutation_seq += 1;
+        Ok(())
     }
 
     /// Detaches every region of `space` for evacuation.
@@ -1324,13 +1376,20 @@ impl Heap {
     ///
     /// # Errors
     ///
-    /// Returns [`HeapError::NoSuchSpace`] for an unknown id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an evacuation is already in progress.
+    /// * [`HeapError::NoSuchSpace`] for an unknown id.
+    /// * [`HeapError::IntegrityViolation`] (invariant
+    ///   `no-nested-evacuation`) if an evacuation is already in progress —
+    ///   a collector protocol violation, reachable from the public API.
     pub fn begin_evacuation(&mut self, space: SpaceId) -> Result<Vec<RegionId>, HeapError> {
-        assert!(self.evacuating.is_empty(), "evacuation already in progress");
+        if !self.evacuating.is_empty() {
+            return Err(HeapError::IntegrityViolation {
+                invariant: "no-nested-evacuation",
+                detail: format!(
+                    "evacuation of {} regions already in progress",
+                    self.evacuating.len()
+                ),
+            });
+        }
         if space.index() >= self.spaces.len() {
             return Err(HeapError::NoSuchSpace { space });
         }
@@ -1347,27 +1406,38 @@ impl Heap {
     ///
     /// # Errors
     ///
-    /// Returns [`HeapError::NoSuchSpace`] for an unknown id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an evacuation is already in progress or a region does not
-    /// belong to `space`.
+    /// * [`HeapError::NoSuchSpace`] for an unknown id.
+    /// * [`HeapError::IntegrityViolation`] if an evacuation is already in
+    ///   progress (`no-nested-evacuation`) or a victim region does not
+    ///   belong to `space` (`victim-in-space`) — collector protocol
+    ///   violations, reachable from the public API. No region is detached
+    ///   until every victim is vetted.
     pub fn begin_evacuation_of(
         &mut self,
         space: SpaceId,
         regions: &[RegionId],
     ) -> Result<(), HeapError> {
-        assert!(self.evacuating.is_empty(), "evacuation already in progress");
+        if !self.evacuating.is_empty() {
+            return Err(HeapError::IntegrityViolation {
+                invariant: "no-nested-evacuation",
+                detail: format!(
+                    "evacuation of {} regions already in progress",
+                    self.evacuating.len()
+                ),
+            });
+        }
         if space.index() >= self.spaces.len() {
             return Err(HeapError::NoSuchSpace { space });
         }
         for &r in regions {
-            assert_eq!(
-                self.regions[r.index()].space(),
-                Some(space),
-                "evacuation victim {r} does not belong to {space}"
-            );
+            if self.regions[r.index()].space() != Some(space) {
+                return Err(HeapError::IntegrityViolation {
+                    invariant: "victim-in-space",
+                    detail: format!("evacuation victim {r} does not belong to {space}"),
+                });
+            }
+        }
+        for &r in regions {
             self.spaces[space.index()].remove_region(r);
         }
         self.evacuating = regions.to_vec();
@@ -1376,15 +1446,24 @@ impl Heap {
 
     /// Releases all evacuated regions back to the free pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any evacuated region still holds object records — the
-    /// collector failed to relocate or drop something.
-    pub fn finish_evacuation(&mut self) {
+    /// Returns [`HeapError::IntegrityViolation`] (invariant
+    /// `region-empty-on-release`) if an evacuated region still holds object
+    /// records — the collector failed to relocate or drop something.
+    /// Regions released before the failing one stay released; the failing
+    /// region and any after it remain detached in `evacuating`.
+    pub fn finish_evacuation(&mut self) -> Result<(), HeapError> {
+        // Release in detach order: the pool's LIFO region-reuse order is
+        // part of the deterministic trajectory.
         let regions = std::mem::take(&mut self.evacuating);
-        for region in regions {
-            self.release_region(region);
+        for (i, &region) in regions.iter().enumerate() {
+            if let Err(e) = self.release_region(region) {
+                self.evacuating = regions[i..].to_vec();
+                return Err(e);
+            }
         }
+        Ok(())
     }
 
     /// The regions currently detached for evacuation.
@@ -1840,18 +1919,26 @@ mod tests {
         assert_eq!(freed, 128);
         assert!(h.object(a).is_none());
         let before = h.free_region_count();
-        h.release_region(region);
+        h.release_region(region).unwrap();
         assert_eq!(h.free_region_count(), before + 1);
         h.check_invariants();
     }
 
     #[test]
-    #[should_panic(expected = "still holds")]
-    fn releasing_populated_region_panics() {
+    fn releasing_populated_region_is_a_typed_violation() {
         let mut h = heap();
         let a = alloc(&mut h, 128);
         let region = h.object(a).unwrap().addr().region;
-        h.release_region(region);
+        let err = h.release_region(region).unwrap_err();
+        match err {
+            HeapError::IntegrityViolation { invariant, .. } => {
+                assert_eq!(invariant, "region-empty-on-release");
+            }
+            other => panic!("expected integrity violation, got {other}"),
+        }
+        // The failed release must leave the region untouched.
+        assert!(h.object(a).is_some());
+        h.check_invariants();
     }
 
     #[test]
@@ -1957,7 +2044,7 @@ mod tests {
         // Survivor moves to a fresh young region; the dead object is dropped.
         h.relocate(keep, Heap::YOUNG_SPACE).unwrap();
         h.drop_object(dead).unwrap();
-        h.finish_evacuation();
+        h.finish_evacuation().unwrap();
         assert!(h.evacuating_regions().is_empty());
         let rec = h.object(keep).unwrap();
         assert_ne!(rec.addr().region, src[0], "survivor left the source region");
@@ -1980,18 +2067,23 @@ mod tests {
         for obj in to_move {
             h.relocate(obj, Heap::YOUNG_SPACE).unwrap();
         }
-        h.finish_evacuation();
+        h.finish_evacuation().unwrap();
         assert_eq!(h.region(victim).space(), None);
         h.check_invariants();
     }
 
     #[test]
-    #[should_panic(expected = "already in progress")]
-    fn nested_evacuation_panics() {
+    fn nested_evacuation_is_a_typed_violation() {
         let mut h = heap();
         alloc(&mut h, 64);
         h.begin_evacuation(Heap::YOUNG_SPACE).unwrap();
-        let _ = h.begin_evacuation(Heap::YOUNG_SPACE);
+        let err = h.begin_evacuation(Heap::YOUNG_SPACE).unwrap_err();
+        match err {
+            HeapError::IntegrityViolation { invariant, .. } => {
+                assert_eq!(invariant, "no-nested-evacuation");
+            }
+            other => panic!("expected integrity violation, got {other}"),
+        }
     }
 
     #[test]
@@ -2301,7 +2393,7 @@ mod tests {
             ops.push((id, op));
         }
         h.evacuate_batch(&ops).unwrap();
-        h.finish_evacuation();
+        h.finish_evacuation().unwrap();
         h.check_invariants();
         h
     }
@@ -2387,7 +2479,7 @@ mod tests {
             })
             .collect();
         batch.evacuate_batch(&ops).unwrap();
-        batch.finish_evacuation();
+        batch.finish_evacuation().unwrap();
 
         let (mut serial, ids) = build();
         let old = serial.create_space(GenId::new(1), None);
@@ -2400,7 +2492,7 @@ mod tests {
                 serial.relocate(id, old).unwrap();
             }
         }
-        serial.finish_evacuation();
+        serial.finish_evacuation().unwrap();
 
         assert_eq!(heap_fingerprint(&batch), heap_fingerprint(&serial));
         batch.check_invariants();

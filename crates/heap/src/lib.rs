@@ -69,12 +69,12 @@ pub use backend::{
 };
 pub use bump::{BumpArena, BumpBlock};
 pub use class::{ClassInfo, ClassRegistry};
-pub use config::HeapConfig;
+pub use config::{HeapConfig, VerifyMode};
 pub use error::HeapError;
 pub use evac::EvacDecision;
 pub use fasthash::{BuildIdHasher, IdHashMap, IdHashSet, IdHasher};
 pub use free_list::{FreeBlock, FreeList};
-pub use heap::{Heap, LiveSet, ParallelTuning};
+pub use heap::{CorruptionKind, Heap, LiveSet, ParallelTuning, PlantedCorruption};
 pub use ids::{ClassId, GenId, IdentityHash, ObjectId, PageId, RegionId, SiteId, SpaceId};
 pub use object::ObjectRecord;
 pub use region::{Addr, PageFlags, PageTable, Region};

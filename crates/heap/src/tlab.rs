@@ -110,6 +110,22 @@ impl TlabWindow {
         (self.region != Self::EMPTY).then_some(self.region)
     }
 
+    /// The base pointer the window was installed with (null when retired).
+    /// Exposed for the integrity verifier's window-validity check only.
+    pub(crate) fn base_ptr(&self) -> *mut u8 {
+        self.base
+    }
+
+    /// The window's inclusive start offset.
+    pub(crate) fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// The window's exclusive end offset.
+    pub(crate) fn limit(&self) -> u32 {
+        self.limit
+    }
+
     /// Whether `[offset, offset + size)` of `region` lies inside the
     /// window.
     #[inline]

@@ -376,7 +376,7 @@ fn collect_young(heap: &mut Heap) {
     heap.begin_evacuation(Heap::YOUNG_SPACE)
         .expect("begin evacuation");
     heap.evacuate_batch(&ops).expect("evacuate");
-    heap.finish_evacuation();
+    heap.finish_evacuation().expect("finish evacuation");
 }
 
 /// Drives one mutation trace through a sim and a real heap in lockstep and

@@ -92,7 +92,7 @@ fn counts_track_evacuation_and_region_release() {
     }
     // finish_evacuation releases the emptied sources via `release_region`,
     // which re-verifies emptiness with the incremental counters.
-    heap.finish_evacuation();
+    heap.finish_evacuation().unwrap();
     assert_counts_match(&heap, "evacuation + release");
 
     for region in sources {

@@ -167,7 +167,7 @@ fn collect_young(heap: &mut Heap, known: &mut Vec<ObjectId>) {
         .filter(|&r| heap.region(r).objects().is_empty())
         .collect();
     for r in regions {
-        heap.release_region(r);
+        heap.release_region(r).unwrap();
     }
     known.retain(|&o| heap.object(o).is_some());
 }

@@ -47,10 +47,20 @@ pub struct FaultCounters {
     /// Journal segments missing at recovery time (a gap in the numbering;
     /// everything past it is unreachable).
     pub journal_segments_missing: u64,
+    /// Completed heap-integrity verifier passes (`--verify-heap`). Not a
+    /// fault: a nonzero count is *evidence the verifier ran* (excluded from
+    /// [`is_clean`](FaultCounters::is_clean)).
+    pub heap_verify_passes: u64,
+    /// Allocations aborted with a typed out-of-memory error after the hard
+    /// heap limit (`--heap-mb`) held even through an emergency collection.
+    pub heap_oom_aborts: u64,
+    /// Emergency full collections forced by a failed allocation (the retry
+    /// before an out-of-memory verdict).
+    pub emergency_collections: u64,
 }
 
 /// Stable per-counter names, used by the profile-file footer and the CLI.
-const NAMES: [&str; 12] = [
+const NAMES: [&str; 15] = [
     "snapshots-failed",
     "snapshot-retries",
     "snapshots-lost",
@@ -63,6 +73,9 @@ const NAMES: [&str; 12] = [
     "journal-frames-lost",
     "journal-frames-truncated",
     "journal-segments-missing",
+    "heap-verify-passes",
+    "heap-oom-aborts",
+    "emergency-collections",
 ];
 
 impl FaultCounters {
@@ -72,8 +85,12 @@ impl FaultCounters {
     }
 
     /// True if no fault was observed and no recovery action was taken.
+    /// Verifier passes are bookkeeping, not faults, and do not count.
     pub fn is_clean(&self) -> bool {
-        *self == FaultCounters::default()
+        FaultCounters {
+            heap_verify_passes: 0,
+            ..*self
+        } == FaultCounters::default()
     }
 
     /// Adds another counter set into this one (e.g. profiling-phase counters
@@ -91,10 +108,13 @@ impl FaultCounters {
         self.journal_frames_lost += other.journal_frames_lost;
         self.journal_frames_truncated += other.journal_frames_truncated;
         self.journal_segments_missing += other.journal_segments_missing;
+        self.heap_verify_passes += other.heap_verify_passes;
+        self.heap_oom_aborts += other.heap_oom_aborts;
+        self.emergency_collections += other.emergency_collections;
     }
 
     /// All counters as stable `(name, value)` pairs, in declaration order.
-    pub fn entries(&self) -> [(&'static str, u64); 12] {
+    pub fn entries(&self) -> [(&'static str, u64); 15] {
         [
             (NAMES[0], self.snapshots_failed),
             (NAMES[1], self.snapshot_retries),
@@ -108,6 +128,9 @@ impl FaultCounters {
             (NAMES[9], self.journal_frames_lost),
             (NAMES[10], self.journal_frames_truncated),
             (NAMES[11], self.journal_segments_missing),
+            (NAMES[12], self.heap_verify_passes),
+            (NAMES[13], self.heap_oom_aborts),
+            (NAMES[14], self.emergency_collections),
         ]
     }
 
@@ -127,6 +150,9 @@ impl FaultCounters {
             "journal-frames-lost" => &mut self.journal_frames_lost,
             "journal-frames-truncated" => &mut self.journal_frames_truncated,
             "journal-segments-missing" => &mut self.journal_segments_missing,
+            "heap-verify-passes" => &mut self.heap_verify_passes,
+            "heap-oom-aborts" => &mut self.heap_oom_aborts,
+            "emergency-collections" => &mut self.emergency_collections,
             _ => return false,
         };
         *slot = value;
@@ -197,6 +223,9 @@ mod tests {
             journal_frames_lost: 10,
             journal_frames_truncated: 11,
             journal_segments_missing: 12,
+            heap_verify_passes: 13,
+            heap_oom_aborts: 14,
+            emergency_collections: 15,
         };
         let mut back = FaultCounters::new();
         for (name, value) in src.entries() {
@@ -217,5 +246,20 @@ mod tests {
         assert!(s.contains("snapshots-failed=2"));
         assert!(s.contains("snapshots-lost=1"));
         assert!(!s.contains("retries"));
+    }
+
+    #[test]
+    fn verify_passes_do_not_dirty_a_run() {
+        let c = FaultCounters {
+            heap_verify_passes: 40,
+            ..FaultCounters::default()
+        };
+        assert!(c.is_clean(), "verification evidence is not a fault");
+        let oom = FaultCounters {
+            heap_oom_aborts: 1,
+            emergency_collections: 1,
+            ..FaultCounters::default()
+        };
+        assert!(!oom.is_clean(), "OOM backpressure is a fault");
     }
 }

@@ -86,6 +86,23 @@ impl RuntimeConfig {
         self
     }
 
+    /// This configuration with the given heap-integrity verification mode,
+    /// the CLI's `--verify-heap` knob (chainable). Verification is strictly
+    /// read-only: trajectories are bit-identical at any mode.
+    pub fn with_verify_heap(mut self, mode: polm2_heap::VerifyMode) -> Self {
+        self.heap.verify = mode;
+        self
+    }
+
+    /// This configuration with a hard heap limit in MiB, the CLI's
+    /// `--heap-mb` knob (chainable). `None` removes the limit. Allocation
+    /// past the budget triggers one emergency full collection, then a typed
+    /// out-of-memory error that unwinds cleanly.
+    pub fn with_heap_limit_mb(mut self, limit_mb: Option<u64>) -> Self {
+        self.heap.limit_bytes = limit_mb.map(|mb| mb << 20);
+        self
+    }
+
     /// A small configuration for unit tests.
     pub fn small() -> Self {
         RuntimeConfig {
@@ -136,6 +153,18 @@ mod tests {
             .heap
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn with_verify_heap_and_limit_set_the_heap_config() {
+        use polm2_heap::VerifyMode;
+        let cfg = RuntimeConfig::small()
+            .with_verify_heap(VerifyMode::Full)
+            .with_heap_limit_mb(Some(64));
+        assert_eq!(cfg.heap.verify, VerifyMode::Full);
+        assert_eq!(cfg.heap.limit_bytes, Some(64 << 20));
+        assert_eq!(cfg.with_heap_limit_mb(None).heap.limit_bytes, None);
+        assert_eq!(RuntimeConfig::small().heap.verify, VerifyMode::Off);
     }
 
     #[test]

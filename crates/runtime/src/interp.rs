@@ -127,7 +127,9 @@ impl Jvm {
                         .alloc(&mut self.heap, req, &SafepointRoots::new(&roots));
                 self.safepoint_scratch = roots;
                 let outcome = outcome?;
+                let collected = !outcome.pauses.is_empty();
                 self.log_pauses(outcome.pauses);
+                self.verify_at_safepoint(collected)?;
                 let frame = self.frame_mut(thread);
                 frame.acc = Some(outcome.object);
                 frame.roots.push(outcome.object);

@@ -289,7 +289,14 @@ impl Jvm {
 
     /// Forces a full collection cycle and logs its pauses (workload phase
     /// boundaries; also what `System.gc()` would do).
-    pub fn force_collect(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Heap`] with
+    /// [`HeapError::IntegrityViolation`](polm2_heap::HeapError::IntegrityViolation)
+    /// if post-collection verification (`--verify-heap gc` or `full`) finds
+    /// the heap inconsistent.
+    pub fn force_collect(&mut self) -> Result<(), RuntimeError> {
         let mut roots = std::mem::take(&mut self.safepoint_scratch);
         roots.clear();
         for t in &self.threads {
@@ -300,6 +307,24 @@ impl Jvm {
             .collect(&mut self.heap, &polm2_gc::SafepointRoots::new(&roots));
         self.safepoint_scratch = roots;
         self.log_pauses(pauses);
+        self.verify_at_safepoint(true)
+    }
+
+    /// Runs the heap's integrity verifier if the configured
+    /// [`VerifyMode`](polm2_heap::VerifyMode) asks for it at this safepoint
+    /// (`collected` = a collection just ran). Verification is read-only;
+    /// trajectories are bit-identical at any mode.
+    pub(crate) fn verify_at_safepoint(&mut self, collected: bool) -> Result<(), RuntimeError> {
+        use polm2_heap::VerifyMode;
+        let run = match self.config.heap.verify {
+            VerifyMode::Off => false,
+            VerifyMode::Gc => collected,
+            VerifyMode::Full => true,
+        };
+        if run {
+            self.heap.verify_integrity()?;
+        }
+        Ok(())
     }
 
     /// Committed memory as the collector reports it (C4 pre-reserves).

@@ -86,7 +86,7 @@ fn put_roots_object_and_scratch_dies() {
     vm.invoke(t, "Store", "scratch").unwrap();
     assert_eq!(vm.state_mut::<TestState>().inserts, 1);
     assert_eq!(vm.heap().stats().allocated_objects, 2);
-    vm.force_collect();
+    vm.force_collect().unwrap();
     // The inserted cell survives; the scratch buffer does not.
     assert_eq!(vm.heap().object_count(), 1);
 }
@@ -116,7 +116,7 @@ fn repeat_runs_body_n_times_and_scopes_locals() {
     assert_eq!(vm.heap().stats().allocated_objects, 10);
     // Loop locals must not accumulate as stack roots: after the invoke
     // everything is garbage.
-    vm.force_collect();
+    vm.force_collect().unwrap();
     assert_eq!(vm.heap().object_count(), 0);
 }
 
@@ -160,7 +160,7 @@ fn in_flight_objects_survive_collection_via_stack_roots() {
     }
     let inserts = vm.state_mut::<TestState>().inserts;
     assert_eq!(inserts, 3_000);
-    vm.force_collect();
+    vm.force_collect().unwrap();
     assert_eq!(
         vm.heap().object_count() as u64,
         inserts,

@@ -803,7 +803,7 @@ mod tests {
             }
         }
         assert!(last_flushes > 0);
-        jvm.force_collect();
+        jvm.force_collect().unwrap();
         // After a flush + full GC, live cells are only the post-flush ones.
         let cell_class = jvm.heap().classes().lookup("Cell").unwrap();
         let live = jvm.heap_mut().mark_live(&[]);
@@ -841,7 +841,7 @@ mod tests {
         let s = jvm.state_mut::<CassandraState>();
         assert!(s.log_segments.len() <= s.config.log_segments);
         // Retired segments (and their entries) must be collectable.
-        jvm.force_collect();
+        jvm.force_collect().unwrap();
         jvm.heap().check_invariants();
     }
 

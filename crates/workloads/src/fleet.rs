@@ -33,9 +33,10 @@ use std::sync::Once;
 use polm2_core::journal::KIND_COMMIT;
 use polm2_core::merge::{merge_tenants, recover_tenants, MergedProfile, TenantInput};
 use polm2_core::{AnalyzerConfig, PipelineError, Recorder};
-use polm2_heap::{Heap, HeapConfig};
+use polm2_gc::GcError;
+use polm2_heap::{Heap, HeapConfig, HeapError};
 use polm2_metrics::{FaultCounters, FleetLedger, SimDuration, SimTime, TenantStats};
-use polm2_runtime::{Jvm, Loader};
+use polm2_runtime::{Jvm, Loader, RuntimeError};
 use polm2_snapshot::journal::{fsck, SEGMENT_HEADER_LEN};
 use polm2_snapshot::FsMedia;
 
@@ -215,6 +216,21 @@ pub enum QuarantineReason {
         /// The last transient failure.
         last_error: String,
     },
+    /// The heap-integrity verifier found corrupted heap memory in the
+    /// tenant's runtime (`--verify-heap`, or the chaos arm's synchronous
+    /// post-plant check).
+    HeapCorrupt {
+        /// The violated invariant's stable name.
+        invariant: String,
+    },
+    /// The tenant hit its hard per-tenant heap quota (`--heap-mb`) and its
+    /// run was cut short by a typed out-of-memory abort. The journal is
+    /// still committed — the quarantine is a resource-policy verdict, not
+    /// data loss.
+    OutOfMemory {
+        /// Bytes the failing allocation requested.
+        requested: u64,
+    },
     /// The tenant's pipeline returned a non-transient error.
     Failed {
         /// The error, stringified at the thread boundary.
@@ -230,6 +246,8 @@ impl QuarantineReason {
             QuarantineReason::DeadlineExceeded { .. } => "deadline",
             QuarantineReason::JournalCorrupt { .. } => "journal-corrupt",
             QuarantineReason::RetryBudgetExhausted { .. } => "retry-exhausted",
+            QuarantineReason::HeapCorrupt { .. } => "heap-corrupt",
+            QuarantineReason::OutOfMemory { .. } => "oom",
             QuarantineReason::Failed { .. } => "failed",
         }
     }
@@ -251,6 +269,12 @@ impl QuarantineReason {
                 attempts,
                 last_error,
             } => format!("{attempts} failed attempts; last: {last_error}"),
+            QuarantineReason::HeapCorrupt { invariant } => {
+                format!("integrity violation: {invariant}")
+            }
+            QuarantineReason::OutOfMemory { requested } => {
+                format!("heap quota exhausted allocating {requested} bytes")
+            }
             QuarantineReason::Failed { error } => error.clone(),
         }
     }
@@ -445,6 +469,18 @@ enum AttemptError {
     Transient(String),
     /// Not worth retrying.
     Fatal(PipelineError),
+    /// The tenant hit its hard heap quota. Unlike `Fatal`, the attempt
+    /// unwound cleanly first — journal committed, ledger absorbed — so the
+    /// salvage is kept for the fleet ledger alongside the quarantine.
+    Oom {
+        /// Bytes the failing allocation requested.
+        requested: u64,
+        /// Simulated time the truncated run actually consumed.
+        elapsed: SimDuration,
+        /// What the attempt produced before the quota hit (boxed to keep
+        /// the error variant small; clippy `result_large_err`).
+        salvage: Box<AttemptSuccess>,
+    },
 }
 
 /// Supervises one tenant: retry loop around [`run_tenant_attempt`], panic
@@ -516,11 +552,31 @@ fn supervise_tenant(
                     PipelineError::Deadline { silent_ops } => {
                         QuarantineReason::DeadlineExceeded { silent_ops }
                     }
+                    PipelineError::Runtime(RuntimeError::Heap(HeapError::IntegrityViolation {
+                        invariant,
+                        ..
+                    })) => QuarantineReason::HeapCorrupt {
+                        invariant: invariant.to_string(),
+                    },
                     other => QuarantineReason::Failed {
                         error: other.to_string(),
                     },
                 };
                 return outcome(Some(reason), retries, penalty, 0, 0, FaultCounters::new());
+            }
+            Ok(Err(AttemptError::Oom {
+                requested,
+                elapsed,
+                salvage,
+            })) => {
+                return outcome(
+                    Some(QuarantineReason::OutOfMemory { requested }),
+                    retries,
+                    penalty + elapsed,
+                    salvage.records,
+                    salvage.snapshots,
+                    salvage.counters,
+                );
             }
             Ok(Ok(success)) => {
                 // Chaos arm: rot the journal *after* the clean run, then
@@ -596,6 +652,7 @@ fn run_tenant_attempt(
 
     let mut op = 0u64;
     let mut silent = 0u64;
+    let mut oom: Option<u64> = None;
     while jvm.now() < end {
         if let Some(TenantFault::Kill { at_op }) = fault {
             if op == at_op {
@@ -605,8 +662,17 @@ fn run_tenant_attempt(
         let stalled = matches!(fault, Some(TenantFault::Stall { at_op }) if op >= at_op);
         let before = jvm.now();
         if !stalled {
-            jvm.invoke(thread, class, method)
-                .map_err(|e| AttemptError::Fatal(e.into()))?;
+            match jvm.invoke(thread, class, method) {
+                Ok(()) => {}
+                Err(RuntimeError::Gc(GcError::OutOfMemory { requested })) => {
+                    // Per-tenant heap quota hit: stop the run but unwind it
+                    // cleanly below, so the journal commits and the salvage
+                    // reaches the fleet ledger before the quarantine.
+                    oom = Some(requested);
+                    break;
+                }
+                Err(e) => return Err(AttemptError::Fatal(e.into())),
+            }
             jvm.advance_mutator(op_cost);
             session.after_op(&mut jvm).map_err(AttemptError::Fatal)?;
         }
@@ -624,6 +690,7 @@ fn run_tenant_attempt(
     }
 
     let records = session.recorded_allocations();
+    session.absorb_runtime_health(&jvm, oom.is_some() as u64);
     let report = session
         .finish(&mut jvm, &spec.config.analyzer)
         .map_err(AttemptError::Fatal)?;
@@ -632,11 +699,19 @@ fn run_tenant_attempt(
             std::panic::panic_any(InjectedKill { at_op });
         }
     }
-    Ok(AttemptSuccess {
+    let success = AttemptSuccess {
         records,
         snapshots: report.snapshots.len() as u64,
         counters: report.counters,
-    })
+    };
+    if let Some(requested) = oom {
+        return Err(AttemptError::Oom {
+            requested,
+            elapsed: jvm.now() - SimTime::ZERO,
+            salvage: Box::new(success),
+        });
+    }
+    Ok(success)
 }
 
 /// Flips one seeded byte inside the frame region of the tenant's last

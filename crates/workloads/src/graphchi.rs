@@ -563,7 +563,7 @@ mod tests {
             jvm.invoke(t, "GraphChi", "runBatch").unwrap();
         }
         assert_eq!(jvm.state_mut::<GraphchiState>().batches, 4);
-        jvm.force_collect();
+        jvm.force_collect().unwrap();
         let block_class = jvm.heap().classes().lookup("EdgeBlock").unwrap();
         let live = jvm.heap_mut().mark_live(&[]);
         let live_blocks = live
@@ -585,7 +585,7 @@ mod tests {
         for _ in 0..3 {
             jvm.invoke(t, "GraphChi", "runBatch").unwrap();
         }
-        jvm.force_collect();
+        jvm.force_collect().unwrap();
         let vertex_class = jvm.heap().classes().lookup("VertexState").unwrap();
         let live = jvm.heap_mut().mark_live(&[]);
         let live_vertices = live

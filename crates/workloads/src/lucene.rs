@@ -501,7 +501,7 @@ mod tests {
         for _ in 0..2_000 {
             jvm.invoke(t, "Lucene", "handleOp").unwrap();
         }
-        jvm.force_collect();
+        jvm.force_collect().unwrap();
         let posting_class = jvm.heap().classes().lookup("Posting").unwrap();
         let live = jvm.heap_mut().mark_live(&[]);
         let live_postings = live
@@ -526,7 +526,7 @@ mod tests {
         }
         let terms_before = jvm.state_mut::<LuceneState>().terms_seen.len();
         assert!(terms_before > 0);
-        jvm.force_collect();
+        jvm.force_collect().unwrap();
         let term_class = jvm.heap().classes().lookup("TermEntry").unwrap();
         let live = jvm.heap_mut().mark_live(&[]);
         let live_terms = live

@@ -9,11 +9,11 @@ use polm2_core::{
     PipelineError, ProductionSetup, ProfilingSession, Recorder, RecoveryPolicy, SessionJournal,
     SessionMeta, SnapshotPolicy,
 };
-use polm2_gc::{C4Collector, GcLog, Ng2cCollector};
+use polm2_gc::{C4Collector, GcError, GcLog, Ng2cCollector};
 use polm2_metrics::{
     FaultCounters, MemoryTracker, PauseHistogram, SimDuration, SimTime, ThroughputTracker,
 };
-use polm2_runtime::{Jvm, RuntimeConfig};
+use polm2_runtime::{Jvm, RuntimeConfig, RuntimeError};
 use polm2_snapshot::journal::{recover, DEFAULT_SEGMENT_BYTES};
 use polm2_snapshot::{
     FsMedia, FsckReport, JournalError, JournalMedia, JournalWriter, SnapshotSeries,
@@ -152,7 +152,7 @@ pub fn run_workload(
     if let Some(setup) = &production {
         builder = builder.transformer(setup.agent());
     }
-    let fault_counters = production
+    let mut fault_counters = production
         .as_ref()
         .map(ProductionSetup::fault_counters)
         .unwrap_or_default();
@@ -189,6 +189,8 @@ pub fn run_workload(
             memory.sample(now, jvm.reported_committed_bytes());
         }
     }
+    fault_counters.heap_verify_passes += jvm.heap().verify_passes();
+    fault_counters.emergency_collections += jvm.collector().emergency_collections();
 
     Ok(RunResult {
         workload: workload.name(),
@@ -265,6 +267,12 @@ pub struct ProfilePhaseResult {
     /// Faults absorbed and recovery actions taken during profiling;
     /// all-zero for a fault-free run.
     pub counters: FaultCounters,
+    /// True when the run hit its hard heap limit (`--heap-mb`) and was cut
+    /// short by a typed out-of-memory abort. The unwind is clean — the
+    /// journal is committed and the partial profile above is still valid
+    /// (under-observation only demotes traces, never corrupts them) — but
+    /// callers persisting the profile must mark it partial.
+    pub oom: bool,
 }
 
 /// Runs the POLM2 profiling phase on `workload` (under G1 — profiling needs
@@ -309,13 +317,25 @@ fn drive_profiling_session(
     let (class, method) = workload.entry();
     let op_cost = workload.op_cost();
     let end = SimTime::ZERO + config.duration;
+    let mut oom = false;
     while jvm.now() < end {
-        jvm.invoke(thread, class, method)?;
+        if let Err(e) = jvm.invoke(thread, class, method) {
+            if matches!(e, RuntimeError::Gc(GcError::OutOfMemory { .. })) {
+                // The hard heap limit held even through the collector's
+                // emergency full collection: stop issuing operations and
+                // unwind cleanly. Everything recorded so far is kept — the
+                // journal still commits and the partial profile is flushed.
+                oom = true;
+                break;
+            }
+            return Err(e.into());
+        }
         jvm.advance_mutator(op_cost);
         session.after_op(&mut jvm)?;
     }
     let recorder_sites = session.instrumented_sites();
     let recorded_allocations = session.recorded_allocations();
+    session.absorb_runtime_health(&jvm, oom as u64);
     let report = session.finish(&mut jvm, &config.analyzer)?;
     Ok(ProfilePhaseResult {
         outcome: report.outcome,
@@ -323,6 +343,7 @@ fn drive_profiling_session(
         recorded_allocations,
         snapshots: report.snapshots,
         counters: report.counters,
+        oom,
     })
 }
 
@@ -523,6 +544,9 @@ fn finalize_replayed(
             recorder_sites,
             recorded_allocations: replayed.records.total_records(),
             snapshots: replayed.snapshots,
+            // The commit ledger carries the OOM verdict (absorbed before the
+            // commit frame), so replay reproduces it.
+            oom: counters.heap_oom_aborts > 0,
             counters,
         },
         mode: ResumeMode::Replayed,

@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== worker-determinism suites under --verify-heap gc"
+# Verification is observation, not participation: the same bit-identity
+# suites must pass with a full integrity pass after every collection
+# (DESIGN.md §18). The env var flips every session/drive in both suites.
+POLM2_VERIFY_HEAP=gc cargo test -q -p polm2-gc --test worker_determinism
+POLM2_VERIFY_HEAP=gc cargo test -q -p polm2-core --test gc_worker_determinism
+
 echo "== perfgate smoke (heap arm: sim/real equality + bandwidth floor + copy scaling)"
 cargo run --release -p polm2-bench --bin perfgate -- \
   --quick --min-recorder-speedup 1.5 --min-gc-speedup 1.5 --min-heap-gbps 0.01 \

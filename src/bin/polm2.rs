@@ -16,10 +16,12 @@ use std::process::ExitCode;
 
 use polm2::core::journal::KIND_COMMIT;
 use polm2::core::merge::TenantInput;
-use polm2::core::{seal_profile_text, AllocationProfile, FaultConfig};
-use polm2::heap::BackendKind;
+use polm2::core::{seal_profile_text, AllocationProfile, FaultConfig, PipelineError};
+use polm2::gc::GcError;
+use polm2::heap::{BackendKind, HeapError, VerifyMode};
 use polm2::metrics::report::TextTable;
 use polm2::metrics::{FaultCounters, SimDuration, STANDARD_PERCENTILES};
+use polm2::runtime::RuntimeError;
 use polm2::snapshot::{journal, FsMedia};
 use polm2::workloads::registry::{paper_workloads, workload_by_name};
 use polm2::workloads::{
@@ -43,6 +45,13 @@ const EXIT_PROFILE_STALE: u8 = 4;
 const EXIT_FLEET_DEGRADED: u8 = 5;
 /// Exit code: every tenant of a fleet was quarantined; no merged payload.
 const EXIT_FLEET_ALL_QUARANTINED: u8 = 6;
+/// Exit code: the heap-integrity verifier detected memory corruption
+/// (`--verify-heap`, or the `--chaos-heap` arm's synchronous check).
+const EXIT_HEAP_CORRUPT: u8 = 7;
+/// Exit code: the run hit its hard heap limit (`--heap-mb`) even after an
+/// emergency full collection. The unwind is clean: the journal (if any) is
+/// committed and the partial profile is flushed with a `# polm2-oom` footer.
+const EXIT_OOM: u8 = 8;
 
 /// A CLI failure with a distinct exit code, so scripts can tell a missing
 /// profile from a corrupt one from a stale one.
@@ -71,6 +80,22 @@ fn fail(code: u8, message: impl Into<String>) -> CliError {
         code,
         message: message.into(),
     }
+}
+
+/// Maps a pipeline failure to its exit code: detected heap corruption and
+/// heap-limit exhaustion get distinct codes so scripts (and CI chaos jobs)
+/// can tell them from generic failures.
+fn pipeline_error(e: PipelineError) -> CliError {
+    let code = match &e {
+        PipelineError::Runtime(RuntimeError::Heap(HeapError::IntegrityViolation { .. }))
+        | PipelineError::Runtime(RuntimeError::Gc(GcError::Heap(
+            HeapError::IntegrityViolation { .. },
+        ))) => EXIT_HEAP_CORRUPT,
+        PipelineError::Runtime(RuntimeError::Gc(GcError::OutOfMemory { .. }))
+        | PipelineError::Runtime(RuntimeError::Heap(HeapError::OutOfMemory { .. })) => EXIT_OOM,
+        _ => EXIT_FAILURE,
+    };
+    fail(code, e.to_string())
 }
 
 fn main() -> ExitCode {
@@ -116,6 +141,16 @@ fn print_usage() {
          \x20                        actual memory — the profile is bit-identical)\n\
          \x20     --tlab-kb <n>      real-backend allocation window size in KiB\n\
          \x20                        (default 256; never changes placement)\n\
+         \x20     --verify-heap <m>  off | gc | full — run the heap-integrity verifier at\n\
+         \x20                        safepoints (default off; trajectories are bit-identical\n\
+         \x20                        at any mode); violations exit 7\n\
+         \x20     --heap-mb <n>      hard heap limit in MiB; an allocation that still fails\n\
+         \x20                        after an emergency full collection aborts the run with\n\
+         \x20                        exit 8, leaving a committed journal and a partial\n\
+         \x20                        profile marked `# polm2-oom`\n\
+         \x20     --chaos-heap <r>   plant seeded memory corruption (bit flips, header\n\
+         \x20                        clobbers, stray writes) at this rate; needs\n\
+         \x20                        --heap-backend real, implies --verify-heap full\n\
          \x20     --journal <dir>    stream the session into a crash-safe journal\n\
          \x20     --resume           finish from the journal in <dir>: replay a committed\n\
          \x20                        run, or re-execute a crashed one deterministically\n\
@@ -131,6 +166,12 @@ fn print_usage() {
          \x20     --gc-workers <n>   GC worker threads per tenant runtime (default 1)\n\
          \x20     --heap-backend <b> sim | real per tenant heap (default sim)\n\
          \x20     --tlab-kb <n>      real-backend allocation window size in KiB (default 256)\n\
+         \x20     --verify-heap <m>  off | gc | full per tenant runtime (default off)\n\
+         \x20     --heap-mb <n>      hard per-tenant heap quota in MiB; a tenant that\n\
+         \x20                        exhausts it is quarantined (reason `oom`)\n\
+         \x20     --chaos-heap <r>   plant per-tenant seeded memory corruption; a tenant\n\
+         \x20                        whose verifier trips is quarantined (`heap-corrupt`);\n\
+         \x20                        needs --heap-backend real, implies --verify-heap full\n\
          \x20     --journal-root <d> per-tenant journal directories (default polm2-fleet)\n\
          \x20     --out <file>       write the merged fleet profile (default fleet.profile)\n\
          \x20     --merge <root>     merge-only: recover and merge existing tenant journals\n\
@@ -147,6 +188,8 @@ fn print_usage() {
          \x20     --gc-workers <n>   GC mark/evacuate worker threads (default 1)\n\
          \x20     --heap-backend <b> sim | real (default sim)\n\
          \x20     --tlab-kb <n>      real-backend allocation window size in KiB (default 256)\n\
+         \x20     --verify-heap <m>  off | gc | full (default off); violations exit 7\n\
+         \x20     --heap-mb <n>      hard heap limit in MiB; exhaustion exits 8\n\
          \x20 polm2 inspect <file>                     pretty-print a profile"
     );
 }
@@ -195,6 +238,46 @@ fn parse_tlab_kb(args: &[String]) -> Result<Option<u64>, String> {
     }
 }
 
+/// Parses `--verify-heap` (default `off`).
+fn parse_verify(args: &[String]) -> Result<VerifyMode, String> {
+    match flag(args, "--verify-heap") {
+        Some(v) => VerifyMode::parse(&v)
+            .ok_or_else(|| format!("--verify-heap expects off, gc, or full, got {v:?}")),
+        None => Ok(VerifyMode::Off),
+    }
+}
+
+/// Parses `--heap-mb` if present; `None` leaves the heap unlimited.
+fn parse_heap_mb(args: &[String]) -> Result<Option<u64>, String> {
+    match flag(args, "--heap-mb") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(mb) if mb > 0 => Ok(Some(mb)),
+            _ => Err(format!("--heap-mb expects a positive MiB count, got {v:?}")),
+        },
+        None => Ok(None),
+    }
+}
+
+/// Parses `--chaos-heap` (memory-corruption injection rate) and checks its
+/// prerequisites: planting needs real memory to flip bits in, and detection
+/// needs the verifier on at every safepoint.
+fn parse_chaos_heap(args: &[String], backend: BackendKind) -> Result<f64, String> {
+    let rate = parse_f64(args, "--chaos-heap", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "--chaos-heap expects a rate in 0.0..=1.0, got {rate}"
+        ));
+    }
+    if rate > 0.0 && backend != BackendKind::Real {
+        return Err(
+            "--chaos-heap needs --heap-backend real (there is no memory to corrupt \
+                    on the sim backend)"
+                .into(),
+        );
+    }
+    Ok(rate)
+}
+
 fn cmd_workloads() -> Result<(), CliError> {
     let mut table = TextTable::new(vec![
         "name".into(),
@@ -230,23 +313,39 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let gc_workers = parse_u64(args, "--gc-workers", 1)?;
     let backend = parse_backend(args)?;
     let tlab_kb = parse_tlab_kb(args)?;
+    let chaos_heap = parse_chaos_heap(args, backend)?;
+    let mut verify = parse_verify(args)?;
+    let heap_mb = parse_heap_mb(args)?;
     let out = flag(args, "--out").unwrap_or_else(|| format!("{name}.profile"));
     let journal_dir = flag(args, "--journal");
     let resume = args.iter().any(|a| a == "--resume");
     if resume && journal_dir.is_none() {
         return Err(CliError::from("--resume needs --journal <dir>"));
     }
+    if chaos_heap > 0.0 && verify == VerifyMode::Off {
+        // A planted corruption must be *detected*, not silently executed on:
+        // the chaos arm implies the strictest verification cadence.
+        verify = VerifyMode::Full;
+    }
 
+    let mut faults = FaultConfig::all_at(chaos, chaos_seed);
+    if chaos_heap > 0.0 {
+        faults.heap_bit_flip_rate = chaos_heap;
+        faults.heap_header_clobber_rate = chaos_heap;
+        faults.heap_stray_write_rate = chaos_heap;
+    }
     let mut config = ProfilePhaseConfig {
         duration: SimDuration::from_secs(minutes * 60),
         seed,
-        faults: FaultConfig::all_at(chaos, chaos_seed),
+        faults,
         ..ProfilePhaseConfig::paper()
     };
     config.runtime = config
         .runtime
         .with_gc_workers(gc_workers as usize)
-        .with_heap_backend(backend);
+        .with_heap_backend(backend)
+        .with_verify_heap(verify)
+        .with_heap_limit_mb(heap_mb);
     if let Some(kb) = tlab_kb {
         config.runtime = config.runtime.with_tlab_kb(kb);
     }
@@ -261,7 +360,7 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let result = match &journal_dir {
         Some(dir) if resume => {
             let resumed = resume_profile(workload.as_ref(), &config, Path::new(dir))
-                .map_err(|e| e.to_string())?;
+                .map_err(pipeline_error)?;
             match resumed.mode {
                 ResumeMode::Replayed => eprintln!(
                     "journal {dir} is committed ({} frames): profile finalized from \
@@ -278,8 +377,8 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
             resumed.result
         }
         Some(dir) => profile_workload_journaled(workload.as_ref(), &config, Path::new(dir))
-            .map_err(|e| e.to_string())?,
-        None => profile_workload(workload.as_ref(), &config).map_err(|e| e.to_string())?,
+            .map_err(pipeline_error)?,
+        None => profile_workload(workload.as_ref(), &config).map_err(pipeline_error)?,
     };
     eprintln!(
         "recorded {} allocations over {} snapshots; {} sites pretenured, {} conflicts",
@@ -299,11 +398,24 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
             text.push_str(&format!("# polm2-faults {name} {value}\n"));
         }
     }
+    if result.oom {
+        // The profile is still valid (under-observation only demotes sites),
+        // but mark it partial so downstream readers know the run was cut.
+        text.push_str("# polm2-oom profiling run hit its hard heap limit; partial profile\n");
+    }
     // Seal and write atomically: readers never see a torn profile, and the
     // checksum footer turns later on-disk corruption into a typed error.
     seal_profile_text(&mut text);
     write_atomic(&out, &text)?;
     println!("wrote {out}");
+    if result.oom {
+        return Err(fail(
+            EXIT_OOM,
+            format!(
+                "{name}: profiling run hit its hard heap limit; partial profile written to {out}"
+            ),
+        ));
+    }
     Ok(())
 }
 
@@ -407,6 +519,12 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
         let gc_workers = parse_u64(args, "--gc-workers", 1)?;
         let backend = parse_backend(args)?;
         let tlab_kb = parse_tlab_kb(args)?;
+        let chaos_heap = parse_chaos_heap(args, backend)?;
+        let mut verify = parse_verify(args)?;
+        let heap_mb = parse_heap_mb(args)?;
+        if chaos_heap > 0.0 && verify == VerifyMode::Off {
+            verify = VerifyMode::Full;
+        }
         let root = flag(args, "--journal-root").unwrap_or_else(|| "polm2-fleet".into());
 
         let workloads = paper_workloads();
@@ -418,10 +536,20 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
                     seed: seed + i,
                     ..ProfilePhaseConfig::paper()
                 };
+                if chaos_heap > 0.0 {
+                    // Each tenant draws its corruption plants from its own
+                    // seeded stream, so one tenant's faults never shift
+                    // another's — the fleet's isolation contract.
+                    config.faults = FaultConfig::heap_only_at(chaos_heap, chaos_seed + i);
+                }
                 config.runtime = config
                     .runtime
                     .with_gc_workers(gc_workers as usize)
-                    .with_heap_backend(backend);
+                    .with_heap_backend(backend)
+                    .with_verify_heap(verify)
+                    // The heap budget is a per-tenant quota: each tenant's
+                    // runtime owns its own heap.
+                    .with_heap_limit_mb(heap_mb);
                 if let Some(kb) = tlab_kb {
                     config.runtime = config.runtime.with_tlab_kb(kb);
                 }
@@ -571,6 +699,8 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let gc_workers = parse_u64(args, "--gc-workers", 1)?;
     let backend = parse_backend(args)?;
     let tlab_kb = parse_tlab_kb(args)?;
+    let verify = parse_verify(args)?;
+    let heap_mb = parse_heap_mb(args)?;
     let mut config = RunConfig {
         duration: SimDuration::from_secs(minutes * 60),
         warmup: SimDuration::from_secs(warmup * 60),
@@ -580,7 +710,9 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     config.runtime = config
         .runtime
         .with_gc_workers(gc_workers as usize)
-        .with_heap_backend(backend);
+        .with_heap_backend(backend)
+        .with_verify_heap(verify)
+        .with_heap_limit_mb(heap_mb);
     if let Some(kb) = tlab_kb {
         config.runtime = config.runtime.with_tlab_kb(kb);
     }
@@ -588,7 +720,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         "running {name} under {} for {minutes} simulated minutes (warmup {warmup}, seed {seed}) ...",
         setup.label()
     );
-    let result = run_workload(workload.as_ref(), &setup, &config).map_err(|e| e.to_string())?;
+    let result = run_workload(workload.as_ref(), &setup, &config).map_err(pipeline_error)?;
     if !result.fault_counters.is_clean() {
         eprintln!("stale profile entries skipped: {}", result.fault_counters);
     }

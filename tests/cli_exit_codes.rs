@@ -1,7 +1,9 @@
 //! The CLI's distinct exit codes: 2 for a missing profile or journal,
 //! 3 for corruption (unparseable profile, bad checksum footer, defective
 //! journal), 4 for a stale profile the runner refuses to launch on, 5 for
-//! a fleet that completed degraded, 6 for a fleet with no survivors.
+//! a fleet that completed degraded, 6 for a fleet with no survivors, 7 for
+//! detected heap-memory corruption (`--verify-heap` / `--chaos-heap`), and
+//! 8 for a run cut short by its hard heap limit (`--heap-mb`).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -237,6 +239,78 @@ fn fleet_merge_distinguishes_healthy_degraded_and_dead_fleets() {
     assert_eq!(exit_code(&args), 6, "no survivors");
 
     std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn heap_corruption_chaos_exits_with_the_corruption_code() {
+    let dir = tempdir("chaos-heap");
+    let out_path = dir.join("chaos.profile");
+    // Rate 1.0 plants a corruption at the first post-op check; the implied
+    // `--verify-heap full` detects it synchronously and nothing is written.
+    let out = polm2(&[
+        "profile",
+        "cassandra-wi",
+        "--minutes",
+        "1",
+        "--chaos-heap",
+        "1.0",
+        "--heap-backend",
+        "real",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(7), "detected corruption exits 7");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("integrity violation"),
+        "stderr names the violation: {stderr}"
+    );
+    assert!(!out_path.exists(), "no profile is written on corruption");
+
+    // Planting needs real memory: the sim backend is refused up front.
+    assert_eq!(
+        exit_code(&["profile", "cassandra-wi", "--chaos-heap", "0.5"]),
+        1,
+        "--chaos-heap without --heap-backend real is a usage error"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn heap_limit_exhaustion_exits_oom_with_a_committed_journal() {
+    let dir = tempdir("oom");
+    let out_path = dir.join("oom.profile");
+    let journal = dir.join("journal");
+    // graphchi's first batch blows a 2 MiB budget immediately, even after
+    // the emergency full collection.
+    let out = polm2(&[
+        "profile",
+        "graphchi-cc",
+        "--minutes",
+        "1",
+        "--heap-mb",
+        "2",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(8), "heap-limit exhaustion exits 8");
+
+    // The unwind is clean: the partial profile is flushed with the OOM
+    // footer and the ledger, and the journal is committed and fsck-clean.
+    let text = std::fs::read_to_string(&out_path).expect("partial profile written");
+    assert!(text.contains("# polm2-oom"), "OOM footer present: {text}");
+    assert!(
+        text.contains("# polm2-faults heap-oom-aborts 1"),
+        "OOM abort ledgered: {text}"
+    );
+    assert_eq!(
+        exit_code(&["fsck", journal.to_str().unwrap()]),
+        0,
+        "the OOM run leaves a committed, fsck-clean journal"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
